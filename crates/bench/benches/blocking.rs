@@ -1,0 +1,31 @@
+//! Benchmarks of the blocking preprocessor (§V-B1): throughput per
+//! non-zero and the touch bound.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use memsci_sparse::blocking::{exponent_window_partition, BlockedMatrix, BlockingConfig};
+use memsci_sparse::suite::by_name;
+
+fn bench_blocking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("blocking");
+    group.sample_size(10);
+    for name in ["Pres_Poisson", "bcircuit", "ns3Da"] {
+        let a = by_name(name).unwrap().generate_scaled(0.1);
+        group.throughput(Throughput::Elements(a.nnz() as u64));
+        group.bench_function(format!("preprocess/{name}"), |bench| {
+            bench.iter(|| BlockedMatrix::block(black_box(&a), &BlockingConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_exponent_window(c: &mut Criterion) {
+    let values: Vec<f64> = (0..4096)
+        .map(|i| (1.0 + (i % 97) as f64) * (2.0f64).powi((i % 160) - 80))
+        .collect();
+    c.bench_function("blocking/exponent_window_4096", |bench| {
+        bench.iter(|| exponent_window_partition(black_box(&values), 64))
+    });
+}
+
+criterion_group!(benches, bench_blocking, bench_exponent_window);
+criterion_main!(benches);

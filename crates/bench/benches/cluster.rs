@@ -1,0 +1,76 @@
+//! Benchmarks of the bit-exact cluster simulator: programming and MVM
+//! across crossbar sizes, with and without early termination.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use memsci_xbar::cluster::{Cluster, ClusterSpec, MvmOptions};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn block(n: usize, density: f64, seed: u64) -> Vec<(u16, u16, f64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for r in 0..n {
+        for c in 0..n {
+            if rng.gen::<f64>() < density {
+                out.push((r as u16, c as u16, rng.gen_range(-4.0..4.0)));
+            }
+        }
+    }
+    out
+}
+
+fn bench_program(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster/program");
+    group.sample_size(10);
+    for n in [16usize, 32, 64] {
+        let entries = block(n, 0.25, n as u64);
+        group.bench_function(format!("{n}x{n}"), |bench| {
+            let mut rng = StdRng::seed_from_u64(1);
+            bench.iter(|| {
+                Cluster::program(ClusterSpec::with_size(n), black_box(&entries), &mut rng)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mvm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster/mvm");
+    group.sample_size(10);
+    for n in [16usize, 32, 64] {
+        let entries = block(n, 0.25, n as u64);
+        let mut rng = StdRng::seed_from_u64(2);
+        let cluster =
+            Cluster::program(ClusterSpec::with_size(n), &entries, &mut rng).unwrap().cluster;
+        let x: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.37).sin()).collect();
+        group.bench_function(format!("{n}x{n}"), |bench| {
+            bench.iter(|| cluster.mvm(black_box(&x), &MvmOptions::default(), &mut rng).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_early_termination_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster/early_termination");
+    group.sample_size(10);
+    let n = 32;
+    let entries = block(n, 0.3, 9);
+    let mut rng = StdRng::seed_from_u64(3);
+    let cluster = Cluster::program(ClusterSpec::with_size(n), &entries, &mut rng).unwrap().cluster;
+    // A wide-dynamic-range vector: early termination matters here.
+    let x: Vec<f64> = (0..n)
+        .map(|i| (1.0 + i as f64 * 0.1) * (2.0f64).powi((i as i32 % 6) * 8 - 20))
+        .collect();
+    group.bench_function("on", |bench| {
+        bench.iter(|| cluster.mvm(black_box(&x), &MvmOptions::default(), &mut rng).unwrap())
+    });
+    let no_term = MvmOptions { early_termination: false, ..Default::default() };
+    group.bench_function("off", |bench| {
+        bench.iter(|| cluster.mvm(black_box(&x), &no_term, &mut rng).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_program, bench_mvm, bench_early_termination_ablation);
+criterion_main!(benches);

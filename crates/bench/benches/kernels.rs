@@ -1,0 +1,67 @@
+//! Micro-benchmarks of the numeric substrate: the operations inside the
+//! cluster's inner loop.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use memsci_numeric::align::AlignedSlice;
+use memsci_numeric::bias::BiasedSlice;
+use memsci_numeric::bitslice::SliceSet;
+use memsci_numeric::running_sum::{remaining_bound_bit, settled};
+use memsci_numeric::{AnCode, Rounding, WideInt};
+
+fn bench_wideint(c: &mut Criterion) {
+    let a = WideInt::pow2(100) - WideInt::from(987654321u64);
+    let b = WideInt::pow2(90) + WideInt::from(123456789u64);
+    c.bench_function("wideint/add_100bit", |bench| {
+        bench.iter(|| black_box(&a) + black_box(&b))
+    });
+    c.bench_function("wideint/mul_100bit", |bench| {
+        bench.iter(|| black_box(&a) * black_box(&b))
+    });
+    c.bench_function("wideint/round_to_53", |bench| {
+        bench.iter(|| black_box(&a).round_to_precision(53, Rounding::TowardNegInf))
+    });
+    c.bench_function("wideint/to_f64", |bench| {
+        bench.iter(|| black_box(&a).to_f64_with_exp(-60, Rounding::TowardNegInf))
+    });
+}
+
+fn bench_alignment(c: &mut Criterion) {
+    let values: Vec<f64> = (0..512)
+        .map(|i| (1.0 + i as f64 * 0.01) * (2.0f64).powi((i % 13) - 6))
+        .collect();
+    c.bench_function("align/512_values", |bench| {
+        bench.iter(|| AlignedSlice::align(black_box(&values), 117).unwrap())
+    });
+    let aligned = AlignedSlice::align(&values, 117).unwrap();
+    c.bench_function("bias/512_values", |bench| {
+        bench.iter(|| BiasedSlice::from_aligned(black_box(&aligned)))
+    });
+    let biased = BiasedSlice::from_aligned(&aligned);
+    c.bench_function("bitslice/512_values", |bench| {
+        bench.iter(|| SliceSet::from_unsigned(black_box(biased.values()), biased.operand_bits()))
+    });
+}
+
+fn bench_ancode(c: &mut Criterion) {
+    let code = AnCode::default();
+    let v = WideInt::pow2(110) + WideInt::from(42u64);
+    let clean = code.encode(&v);
+    let flipped = &clean + &WideInt::pow2(77);
+    c.bench_function("ancode/decode_clean", |bench| {
+        bench.iter(|| code.decode(black_box(&clean)).unwrap())
+    });
+    c.bench_function("ancode/decode_corrects", |bench| {
+        bench.iter(|| code.decode(black_box(&flipped)).unwrap())
+    });
+}
+
+fn bench_settled(c: &mut Criterion) {
+    let sum = WideInt::pow2(120) + WideInt::pow2(60) - WideInt::from(12345u64);
+    let bound = remaining_bound_bit(40, 20);
+    c.bench_function("running_sum/settled_check", |bench| {
+        bench.iter(|| settled(black_box(&sum), bound, 53, Rounding::TowardNegInf))
+    });
+}
+
+criterion_group!(benches, bench_wideint, bench_alignment, bench_ancode, bench_settled);
+criterion_main!(benches);

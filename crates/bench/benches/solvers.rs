@@ -1,0 +1,94 @@
+//! Benchmarks of full solver iterations on the three platforms: how
+//! expensive is the *simulation* itself (host-side), per solve.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use memsci_core::engine::accelerate;
+use memsci_core::AcceleratorConfig;
+use memsci_gpu::GpuPlatform;
+use memsci_solvers::platform::Platform;
+use memsci_solvers::{bicgstab::bicgstab, cg::cg, gmres::gmres, CsrPlatform, SolveOptions};
+use memsci_sparse::generate::poisson2d;
+
+fn bench_cg_platforms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solve/cg_poisson_32x32");
+    group.sample_size(10);
+    let a = poisson2d(32, 32);
+    let n = a.rows();
+    let b = vec![1.0; n];
+    let opts = SolveOptions::with_tol(1e-8);
+
+    group.bench_function("reference", |bench| {
+        bench.iter(|| {
+            let mut p = CsrPlatform::new(a.clone());
+            let mut x = vec![0.0; n];
+            black_box(cg(&mut p, &b, &mut x, &opts))
+        })
+    });
+    group.bench_function("gpu_model", |bench| {
+        bench.iter(|| {
+            let mut p = GpuPlatform::new(a.clone());
+            let mut x = vec![0.0; n];
+            black_box(cg(&mut p, &b, &mut x, &opts))
+        })
+    });
+    group.bench_function("accelerator_model", |bench| {
+        bench.iter(|| {
+            let mut p = accelerate(&a, AcceleratorConfig::default());
+            let mut x = vec![0.0; n];
+            black_box(cg(&mut p, &b, &mut x, &opts))
+        })
+    });
+    group.finish();
+}
+
+fn bench_solver_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solve/variants_poisson_24x24");
+    group.sample_size(10);
+    let a = poisson2d(24, 24);
+    let n = a.rows();
+    let b = vec![1.0; n];
+    let opts = SolveOptions::with_tol(1e-8);
+    group.bench_function("cg", |bench| {
+        bench.iter(|| {
+            let mut p = CsrPlatform::new(a.clone());
+            let mut x = vec![0.0; n];
+            black_box(cg(&mut p, &b, &mut x, &opts))
+        })
+    });
+    group.bench_function("bicgstab", |bench| {
+        bench.iter(|| {
+            let mut p = CsrPlatform::new(a.clone());
+            let mut x = vec![0.0; n];
+            black_box(bicgstab(&mut p, &b, &mut x, &opts))
+        })
+    });
+    group.bench_function("gmres30", |bench| {
+        bench.iter(|| {
+            let mut p = CsrPlatform::new(a.clone());
+            let mut x = vec![0.0; n];
+            black_box(gmres(&mut p, &b, &mut x, 30, &opts))
+        })
+    });
+    group.finish();
+}
+
+fn bench_engine_spmv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/spmv_overhead");
+    group.sample_size(20);
+    let a = poisson2d(64, 64);
+    let n = a.rows();
+    let x = vec![1.0; n];
+    group.bench_function("csr_reference", |bench| {
+        let mut y = vec![0.0; n];
+        bench.iter(|| a.spmv(black_box(&x), &mut y))
+    });
+    group.bench_function("accelerator_engine", |bench| {
+        let mut p = accelerate(&a, AcceleratorConfig::default());
+        let mut y = vec![0.0; n];
+        bench.iter(|| p.spmv(black_box(&x), &mut y))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cg_platforms, bench_solver_variants, bench_engine_spmv);
+criterion_main!(benches);

@@ -1,0 +1,197 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro <experiment> [--scale S] [--runs N] [--tol T]
+//!
+//! experiments:
+//!   table1 table2 table3
+//!   fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
+//!   area endurance ablation solve all
+//! ```
+//!
+//! `solve` runs the 20-matrix suite once and prints Figures 8, 9, and
+//! 10 together (they share the same runs); `all` runs everything.
+
+use memsci_bench::{figures, montecarlo, suite_run, tables};
+
+#[derive(Debug, Clone, Copy)]
+struct Args {
+    scale: f64,
+    runs: usize,
+    tol: f64,
+}
+
+fn main() {
+    let mut argv = std::env::args().skip(1);
+    let Some(cmd) = argv.next() else {
+        eprintln!("usage: repro <experiment> [--scale S] [--runs N] [--tol T]");
+        eprintln!("experiments: table1 table2 table3 fig6 fig7 fig8 fig9 fig10 fig11");
+        eprintln!("             fig12 fig13 area endurance ablation sizing solve all");
+        eprintln!("             matrix <file.mtx>   (run a real SuiteSparse download)");
+        std::process::exit(2);
+    };
+    let rest: Vec<String> = argv.collect();
+    if cmd == "matrix" {
+        let Some(path) = rest.first() else {
+            eprintln!("usage: repro matrix <file.mtx> [--tol T]");
+            std::process::exit(2);
+        };
+        let tol = rest
+            .iter()
+            .position(|a| a == "--tol")
+            .and_then(|i| rest.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1e-8);
+        match memsci_bench::figures::real_matrix_report(path, tol) {
+            Ok(report) => print!("{report}"),
+            Err(e) => {
+                eprintln!("failed to process {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    let mut args = Args { scale: 1.0, runs: 15, tol: 1e-8 };
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--scale" => {
+                args.scale = rest.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--scale needs a number");
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            "--runs" => {
+                args.runs = rest.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--runs needs an integer");
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            "--tol" => {
+                args.tol = rest.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--tol needs a number");
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    run(&cmd, args);
+}
+
+fn run(cmd: &str, args: Args) {
+    match cmd {
+        "table1" => print!("{}", tables::table1()),
+        "table2" => print!("{}", tables::table2(args.scale)),
+        "table3" => print!("{}", tables::table3()),
+        "fig6" => print!("{}", figures::figure6()),
+        "fig7" => {
+            print!("{}", figures::blocking_pattern("Pres_Poisson", args.scale.min(0.25)));
+            println!();
+            print!("{}", figures::blocking_pattern("xenon1", args.scale.min(0.25)));
+        }
+        "fig11" => {
+            print!("{}", figures::blocking_pattern("ns3Da", args.scale.min(0.25)));
+        }
+        "fig8" => {
+            let outcomes = suite_run::run_suite(args.scale, args.tol);
+            print!("{}", figures::figure8(&outcomes));
+        }
+        "fig9" => {
+            let outcomes = suite_run::run_suite(args.scale, args.tol);
+            print!("{}", figures::figure9(&outcomes));
+        }
+        "fig10" => {
+            let outcomes = suite_run::run_suite(args.scale, args.tol);
+            print!("{}", figures::figure10(&outcomes));
+        }
+        "solve" => {
+            let outcomes = suite_run::run_suite(args.scale, args.tol);
+            print!("{}", figures::figure8(&outcomes));
+            println!();
+            print!("{}", figures::figure9(&outcomes));
+            println!();
+            print!("{}", figures::figure10(&outcomes));
+            println!();
+            print!("{}", figures::endurance_report(&outcomes));
+        }
+        "fig12" => {
+            let mc = montecarlo::MonteCarloConfig {
+                runs: args.runs,
+                ..Default::default()
+            };
+            println!(
+                "Figure 12 — iteration count vs bits/cell and dynamic range ({} runs/point)",
+                mc.runs
+            );
+            print_mc(&montecarlo::figure12(&mc), "B=1; D=1.5K");
+        }
+        "fig13" => {
+            let mc = montecarlo::MonteCarloConfig {
+                runs: args.runs,
+                ..Default::default()
+            };
+            println!(
+                "Figure 13 — iteration count vs bits/cell and programming error ({} runs/point)",
+                mc.runs
+            );
+            print_mc(&montecarlo::figure13(&mc), "B=1; E=0%");
+        }
+        "area" => print!("{}", figures::area_report()),
+        "endurance" => {
+            let outcomes = suite_run::run_suite(args.scale, args.tol);
+            print!("{}", figures::endurance_report(&outcomes));
+        }
+        "ablation" => print!("{}", figures::ablation()),
+        "sizing" => print!("{}", figures::sizing_exploration()),
+        "detail" => {
+            let outcomes = suite_run::run_suite(args.scale, args.tol);
+            print!("{}", figures::detail(&outcomes));
+        }
+        "all" => {
+            for c in ["table1", "table3", "fig6", "sizing", "ablation", "area"] {
+                run(c, args);
+                println!();
+            }
+            run("table2", args);
+            println!();
+            run("fig7", args);
+            println!();
+            run("fig11", args);
+            println!();
+            run("solve", args);
+            println!();
+            run("fig12", args);
+            println!();
+            run("fig13", args);
+        }
+        other => {
+            eprintln!("unknown experiment {other}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn print_mc(points: &[montecarlo::McPoint], baseline_label: &str) {
+    let baseline = points
+        .iter()
+        .find(|p| p.label == baseline_label)
+        .map(|p| p.mean)
+        .unwrap_or(1.0);
+    println!("{:<14} | {:>5} | {:>6} | {:>5} | fails | normalized (min/mean/max)", "config", "min", "mean", "max");
+    for p in points {
+        let (nmin, nmean, nmax) = p.normalized(baseline);
+        println!(
+            "{:<14} | {:>5} | {:>6.1} | {:>5} | {:>5} | {:.2} / {:.2} / {:.2}",
+            p.label, p.min, p.mean, p.max, p.failures, nmin, nmean, nmax
+        );
+    }
+}

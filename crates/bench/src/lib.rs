@@ -1,0 +1,17 @@
+//! Benchmark harness regenerating every table and figure of the paper's
+//! evaluation (see DESIGN.md §3 for the experiment index).
+//!
+//! The `repro` binary exposes one subcommand per artifact:
+//!
+//! ```text
+//! cargo run --release -p memsci-bench --bin repro -- table2
+//! cargo run --release -p memsci-bench --bin repro -- fig8 --scale 0.5
+//! cargo run --release -p memsci-bench --bin repro -- all
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod montecarlo;
+pub mod suite_run;
+pub mod tables;

@@ -1,0 +1,215 @@
+//! End-to-end solver runs over the 20-matrix suite (Figures 8–10).
+
+use memsci_core::dispatch::{choose_target, Target};
+use memsci_core::engine::AcceleratorPlatform;
+use memsci_core::overhead::{preprocessing_time, SetupCost};
+use memsci_core::AcceleratorConfig;
+use memsci_gpu::GpuPlatform;
+use memsci_solvers::{bicgstab::bicgstab, cg::cg, SolveOptions, SolveReport};
+use memsci_sparse::blocking::{BlockedMatrix, BlockingConfig};
+use memsci_sparse::suite::{suite, SuiteEntry};
+use memsci_sparse::MatrixStats;
+
+/// Cost of one solve on one platform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveCost {
+    /// Iterations to convergence.
+    pub iterations: usize,
+    /// Whether the solve converged.
+    pub converged: bool,
+    /// Modelled time, seconds.
+    pub time: f64,
+    /// Modelled energy, joules.
+    pub energy: f64,
+}
+
+impl From<&SolveReport> for SolveCost {
+    fn from(r: &SolveReport) -> Self {
+        SolveCost {
+            iterations: r.iterations,
+            converged: r.converged,
+            time: r.time_seconds,
+            energy: r.energy_joules,
+        }
+    }
+}
+
+/// Complete outcome for one suite matrix.
+#[derive(Debug, Clone)]
+pub struct MatrixOutcome {
+    /// SuiteSparse name.
+    pub name: &'static str,
+    /// Whether CG (SPD) or BiCG-STAB was used.
+    pub spd: bool,
+    /// Statistics of the generated replica.
+    pub stats: MatrixStats,
+    /// Blocking efficiency achieved by the preprocessor.
+    pub efficiency: f64,
+    /// Table II blocking efficiency for comparison.
+    pub paper_blocked: f64,
+    /// Where the solve ran (§VIII-A dispatch).
+    pub target: Target,
+    /// Cost on the accelerator path (for GPU-fallback matrices this is
+    /// the GPU solve plus the preprocessing attempt).
+    pub accel: SolveCost,
+    /// Cost on the GPU baseline.
+    pub gpu: SolveCost,
+    /// Setup overheads (preprocessing + programming).
+    pub setup: SetupCost,
+    /// Average vector slices per cluster in the last MVM.
+    pub avg_slices: f64,
+}
+
+impl MatrixOutcome {
+    /// Fig. 8 metric: GPU time / accelerator time.
+    pub fn speedup(&self) -> f64 {
+        self.gpu.time / self.accel.time
+    }
+
+    /// Fig. 9 metric: accelerator energy normalized to the GPU.
+    pub fn energy_ratio(&self) -> f64 {
+        self.accel.energy / self.gpu.energy
+    }
+
+    /// Fig. 10 metric: setup overhead fraction of the accelerator solve.
+    pub fn overhead_fraction(&self) -> f64 {
+        self.setup.overhead_fraction(self.accel.time)
+    }
+}
+
+/// Runs one suite matrix on both platforms.
+pub fn run_matrix(entry: &SuiteEntry, scale: f64, tol: f64) -> MatrixOutcome {
+    let a = entry.generate_scaled(scale);
+    let stats = MatrixStats::compute(&a);
+    let n = a.rows();
+    let b = vec![1.0; n];
+    // Per-iteration costs are what Figures 8-9 compare; capping the
+    // count keeps ill-conditioned replicas affordable while both
+    // platforms execute identical iteration sequences.
+    let opts = SolveOptions { tol, max_iters: 2_000, record_residuals: false };
+
+    // GPU baseline solve.
+    let mut gpu = GpuPlatform::new(a.clone());
+    let mut xg = vec![0.0; n];
+    let gpu_report = if entry.spd {
+        cg(&mut gpu, &b, &mut xg, &opts)
+    } else {
+        bicgstab(&mut gpu, &b, &mut xg, &opts)
+    };
+    let gpu_cost = SolveCost::from(&gpu_report);
+
+    // Accelerator path: preprocess, dispatch, solve.
+    let config = AcceleratorConfig::default();
+    let blocked = BlockedMatrix::block(&a, &BlockingConfig::default());
+    let efficiency = blocked.stats.efficiency();
+    let target = choose_target(&blocked, &config);
+    let preproc = preprocessing_time(&blocked.stats, n, |rows, nnz| {
+        gpu.spec().spmv_time(rows, nnz)
+    });
+
+    let (accel_cost, setup, avg_slices) = match target {
+        Target::Accelerator => {
+            let mut acc = AcceleratorPlatform::new(&blocked, config);
+            let setup = SetupCost {
+                preprocessing_time: preproc,
+                write_time: acc.write_time(),
+                write_energy: acc.write_energy(),
+            };
+            let mut x = vec![0.0; n];
+            let report = if entry.spd {
+                cg(&mut acc, &b, &mut x, &opts)
+            } else {
+                bicgstab(&mut acc, &b, &mut x, &opts)
+            };
+            (SolveCost::from(&report), setup, acc.last_spmv().avg_slices)
+        }
+        Target::Gpu => {
+            // §VIII-A: fall back to the GPU, paying only the bounded
+            // preprocessing attempt.
+            let mut gpu2 = GpuPlatform::new(a.clone());
+            let mut x = vec![0.0; n];
+            let report = if entry.spd {
+                cg(&mut gpu2, &b, &mut x, &opts)
+            } else {
+                bicgstab(&mut gpu2, &b, &mut x, &opts)
+            };
+            let cost = SolveCost {
+                iterations: report.iterations,
+                converged: report.converged,
+                time: report.time_seconds + preproc,
+                energy: report.energy_joules + gpu.spec().energy(preproc),
+            };
+            let setup =
+                SetupCost { preprocessing_time: preproc, write_time: 0.0, write_energy: 0.0 };
+            (cost, setup, 0.0)
+        }
+    };
+
+    MatrixOutcome {
+        name: entry.name,
+        spd: entry.spd,
+        stats,
+        efficiency,
+        paper_blocked: entry.paper_blocked,
+        target,
+        accel: accel_cost,
+        gpu: gpu_cost,
+        setup,
+        avg_slices,
+    }
+}
+
+/// Runs the whole suite.
+pub fn run_suite(scale: f64, tol: f64) -> Vec<MatrixOutcome> {
+    suite().iter().map(|e| run_matrix(e, scale, tol)).collect()
+}
+
+/// Geometric mean of a positive series.
+pub fn geometric_mean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut count = 0usize;
+    for v in values {
+        log_sum += v.ln();
+        count += 1;
+    }
+    if count == 0 {
+        return f64::NAN;
+    }
+    (log_sum / count as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsci_sparse::suite::by_name;
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert!((geometric_mean([2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!(geometric_mean(std::iter::empty()).is_nan());
+    }
+
+    #[test]
+    fn well_blocking_matrix_beats_the_gpu() {
+        let e = by_name("Pres_Poisson").unwrap();
+        let o = run_matrix(&e, 0.25, 1e-8);
+        assert_eq!(o.target, Target::Accelerator);
+        assert!(o.accel.converged && o.gpu.converged);
+        // Same precision class; block-wise summation may shift the count
+        // by a hair.
+        assert!(o.accel.iterations.abs_diff(o.gpu.iterations) <= 2);
+        assert!(o.speedup() > 1.0, "speedup {}", o.speedup());
+        assert!(o.energy_ratio() < 1.0, "energy ratio {}", o.energy_ratio());
+        assert!(o.overhead_fraction() < 0.9);
+    }
+
+    #[test]
+    fn difficult_matrix_falls_back_with_small_loss() {
+        let e = by_name("ns3Da").unwrap();
+        let o = run_matrix(&e, 0.25, 1e-8);
+        assert_eq!(o.target, Target::Gpu);
+        // The fallback pays only preprocessing: a few percent.
+        let loss = 1.0 - o.speedup();
+        assert!(loss > 0.0 && loss < 0.25, "loss {loss}");
+    }
+}

@@ -1,0 +1,155 @@
+//! Text renderings of the paper's tables.
+
+use memsci_core::AcceleratorConfig;
+use memsci_sparse::blocking::{BlockedMatrix, BlockingConfig};
+use memsci_sparse::suite::suite;
+use memsci_sparse::MatrixStats;
+use memsci_xbar::CostModel;
+
+/// Table I: the accelerator configuration.
+pub fn table1() -> String {
+    let c = AcceleratorConfig::default();
+    let mut out = String::new();
+    out.push_str("Table I — Accelerator configuration\n");
+    out.push_str(&format!(
+        "System   | ({}) banks, double-precision floating point, fclk = {:.1} GHz, 15nm process\n",
+        c.banks,
+        c.local.f_clk / 1e9
+    ));
+    let mix: Vec<String> = c
+        .clusters_per_bank
+        .iter()
+        .map(|&(s, n)| format!("({n}) x {s}x{s} clusters"))
+        .collect();
+    out.push_str(&format!("Bank     | {}, 1 LEON core\n", mix.join(", ")));
+    out.push_str("Cluster  | 127 bit slice crossbars\n");
+    out.push_str(
+        "Crossbar | N x N cells, (log2[N] - 1)-bit pipelined SAR ADC (CIC), 2N drivers\n",
+    );
+    out.push_str(&format!(
+        "Cell     | TaOx, Ron = {:.0} kOhm, Roff = {:.0} MOhm, Vread = {} V, Ewrite = {:.2} nJ, Twrite = {:.2} ns\n",
+        c.cell.r_on / 1e3,
+        c.cell.r_off / 1e6,
+        c.cell.v_read,
+        c.cell.e_write * 1e9,
+        c.cell.t_write * 1e9,
+    ));
+    out
+}
+
+/// One row of the Table II regeneration.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Matrix name.
+    pub name: &'static str,
+    /// Whether the matrix is SPD.
+    pub spd: bool,
+    /// Generated non-zeros.
+    pub nnz: usize,
+    /// Generated rows.
+    pub rows: usize,
+    /// Generated non-zeros per row.
+    pub nnz_per_row: f64,
+    /// Measured blocking efficiency.
+    pub blocked: f64,
+    /// Paper's Table II values for comparison.
+    pub paper: (usize, usize, f64, f64),
+}
+
+/// Regenerates Table II at the given scale.
+pub fn table2_rows(scale: f64) -> Vec<Table2Row> {
+    let cfg = BlockingConfig::default();
+    suite()
+        .iter()
+        .map(|e| {
+            let a = e.generate_scaled(scale);
+            let stats = MatrixStats::compute(&a);
+            let blocked = BlockedMatrix::block(&a, &cfg);
+            Table2Row {
+                name: e.name,
+                spd: e.spd,
+                nnz: stats.nnz,
+                rows: stats.rows,
+                nnz_per_row: stats.nnz_per_row,
+                blocked: blocked.stats.efficiency(),
+                paper: (e.paper_nnz, e.rows, e.paper_nnz_per_row, e.paper_blocked),
+            }
+        })
+        .collect()
+}
+
+/// Renders Table II.
+pub fn table2(scale: f64) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("Table II — Evaluated matrices (replicas at scale {scale}), SPD on top\n"));
+    out.push_str(
+        "Matrix            |      NNZs |    Rows | NNZ/Row | Blocked | (paper: NNZ/Row, Blocked)\n",
+    );
+    out.push_str(&"-".repeat(95));
+    out.push('\n');
+    for r in table2_rows(scale) {
+        out.push_str(&format!(
+            "{:<17} | {:>9} | {:>7} | {:>7.1} | {:>6.1}% | (paper: {:>5.1}, {:>4.1}%)\n",
+            r.name,
+            r.nnz,
+            r.rows,
+            r.nnz_per_row,
+            r.blocked * 100.0,
+            r.paper.2,
+            r.paper.3 * 100.0,
+        ));
+    }
+    out
+}
+
+/// Table III: area, energy, and latency of the four crossbar sizes.
+pub fn table3() -> String {
+    let m = CostModel::default();
+    let mut out = String::new();
+    out.push_str("Table III — Area, energy, and latency of crossbar sizes (includes the ADC)\n");
+    out.push_str("Size | Area [mm2] | Energy [pJ] | Latency [nsec] | (paper: energy, latency)\n");
+    out.push_str(&"-".repeat(78));
+    out.push('\n');
+    let paper = [(64usize, 28.0, 53.3), (128, 65.2, 107.0), (256, 150.0, 213.0), (512, 342.0, 427.0)];
+    for (size, e_paper, l_paper) in paper {
+        out.push_str(&format!(
+            "{:>4} | {:>10.5} | {:>11.1} | {:>14.1} | (paper: {:>6.1} pJ, {:>5.1} ns)\n",
+            size,
+            m.crossbar_area_mm2(size),
+            m.crossbar_op_energy(size, 1) * 1e12,
+            m.crossbar_op_latency(size) * 1e9,
+            e_paper,
+            l_paper,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_mentions_the_key_parameters() {
+        let t = table1();
+        assert!(t.contains("128"));
+        assert!(t.contains("512x512"));
+        assert!(t.contains("LEON"));
+        assert!(t.contains("TaOx"));
+    }
+
+    #[test]
+    fn table3_matches_paper_values() {
+        let t = table3();
+        assert!(t.contains("342.0"));
+        assert!(t.contains("53.3"));
+        assert!(t.contains("0.00352"));
+    }
+
+    #[test]
+    fn table2_has_twenty_rows() {
+        let rows = table2_rows(0.02);
+        assert_eq!(rows.len(), 20);
+        assert!(rows.iter().all(|r| r.rows >= 192));
+    }
+}

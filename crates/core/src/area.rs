@@ -1,0 +1,110 @@
+//! System area model (§VIII-C).
+//!
+//! The paper reports a 539 mm² footprint for the 128-bank Table I
+//! system — below the P100's 610 mm² die — with the crossbars and
+//! peripheral circuitry (rather than the ADCs, thanks to CIC) as the
+//! dominant consumer at 54.1% of cluster area, and the per-bank
+//! processors plus global memory at 13.6% of the system.
+
+use crate::config::AcceleratorConfig;
+
+/// Bit-slice crossbars per cluster (127-bit encoded operands).
+pub const CROSSBARS_PER_CLUSTER: usize = 127;
+
+/// Per-cluster overhead outside the crossbar/ADC stacks: the shift-and-
+/// add reduction tree, the vector and partial-result SRAM buffers, and
+/// control, in mm² (calibrated to the paper's totals).
+pub const CLUSTER_OVERHEAD_MM2: f64 = 0.016;
+
+/// LEON3-class local processor with FMA, in mm² at 15 nm.
+pub const LOCAL_PROCESSOR_MM2: f64 = 0.35;
+
+/// Global eDRAM memory and interconnect, in mm².
+pub const GLOBAL_MEMORY_MM2: f64 = 28.5;
+
+/// Area breakdown of the accelerator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaBreakdown {
+    /// Crossbars + ADCs across all clusters, mm².
+    pub crossbars_mm2: f64,
+    /// Reduction networks, buffers, and cluster control, mm².
+    pub cluster_overhead_mm2: f64,
+    /// Per-bank local processors, mm².
+    pub processors_mm2: f64,
+    /// Global memory, mm².
+    pub global_memory_mm2: f64,
+}
+
+impl AreaBreakdown {
+    /// Total system area, mm².
+    pub fn total_mm2(&self) -> f64 {
+        self.crossbars_mm2
+            + self.cluster_overhead_mm2
+            + self.processors_mm2
+            + self.global_memory_mm2
+    }
+
+    /// Fraction of the system devoted to processors and global memory
+    /// (the paper reports 13.6%).
+    pub fn processor_memory_fraction(&self) -> f64 {
+        (self.processors_mm2 + self.global_memory_mm2) / self.total_mm2()
+    }
+}
+
+/// Computes the system area for a configuration.
+///
+/// # Examples
+///
+/// ```
+/// use memsci_core::area::system_area;
+/// use memsci_core::AcceleratorConfig;
+///
+/// let a = system_area(&AcceleratorConfig::default());
+/// // §VIII-C: 539 mm², below the P100's 610 mm² die.
+/// assert!((a.total_mm2() - 539.0).abs() / 539.0 < 0.03);
+/// assert!(a.total_mm2() < 610.0);
+/// ```
+pub fn system_area(config: &AcceleratorConfig) -> AreaBreakdown {
+    let mut crossbars = 0.0;
+    let mut clusters = 0usize;
+    for &(size, count) in &config.clusters_per_bank {
+        let per_cluster =
+            CROSSBARS_PER_CLUSTER as f64 * config.cost.crossbar_area_mm2(size);
+        crossbars += per_cluster * count as f64 * config.banks as f64;
+        clusters += count * config.banks;
+    }
+    AreaBreakdown {
+        crossbars_mm2: crossbars,
+        cluster_overhead_mm2: clusters as f64 * CLUSTER_OVERHEAD_MM2,
+        processors_mm2: config.banks as f64 * LOCAL_PROCESSOR_MM2,
+        global_memory_mm2: GLOBAL_MEMORY_MM2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_system_is_539_mm2() {
+        let a = system_area(&AcceleratorConfig::default());
+        let total = a.total_mm2();
+        assert!((total - 539.0).abs() / 539.0 < 0.03, "total {total:.1} mm²");
+        assert!(total < 610.0, "must undercut the P100 die");
+    }
+
+    #[test]
+    fn processors_and_memory_are_a_small_fraction() {
+        let a = system_area(&AcceleratorConfig::default());
+        let f = a.processor_memory_fraction();
+        assert!((0.10..0.18).contains(&f), "fraction {f:.3}");
+    }
+
+    #[test]
+    fn area_scales_with_banks() {
+        let a1 = system_area(&AcceleratorConfig::with_banks(64));
+        let a2 = system_area(&AcceleratorConfig::with_banks(128));
+        assert!(a2.total_mm2() > 1.8 * a1.total_mm2() - GLOBAL_MEMORY_MM2);
+        assert!(a2.crossbars_mm2 > a1.crossbars_mm2);
+    }
+}

@@ -1,0 +1,200 @@
+//! Accelerator configuration (Table I).
+
+use memsci_xbar::{CellSpec, CostModel};
+
+/// Cluster mix within one bank: `(crossbar size, count)` pairs.
+pub type ClusterMix = Vec<(usize, usize)>;
+
+/// Full accelerator configuration.
+///
+/// The default reproduces Table I: 128 banks, each with two 512×512,
+/// four 256×256, six 128×128, and eight 64×64 clusters plus one
+/// LEON3-class local processor, clocked at 1.2 GHz in a 15 nm process.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcceleratorConfig {
+    /// Number of banks.
+    pub banks: usize,
+    /// Clusters per bank: `(size, count)`, largest first.
+    pub clusters_per_bank: ClusterMix,
+    /// Memristor cell parameters.
+    pub cell: CellSpec,
+    /// Crossbar/ADC cost model.
+    pub cost: CostModel,
+    /// Local-processor timing model.
+    pub local: LocalTimings,
+    /// Whether clusters protect operands with the AN code.
+    pub an_enabled: bool,
+    /// Elements of the solution vector owned by each bank (§VI).
+    pub vector_section: usize,
+    /// Cross-bank barrier latency through global memory, seconds.
+    pub barrier_time: f64,
+    /// Blocking-efficiency threshold below which the matrix runs on the
+    /// companion GPU instead (§VIII-A).
+    pub gpu_fallback_efficiency: f64,
+    /// Chip-level static power (eDRAM refresh, clock distribution,
+    /// global interconnect), watts — charged over kernel time so energy
+    /// comparisons against the whole-chip GPU baseline are like for
+    /// like.
+    pub system_static_power: f64,
+}
+
+impl Default for AcceleratorConfig {
+    fn default() -> Self {
+        AcceleratorConfig {
+            banks: 128,
+            clusters_per_bank: vec![(512, 2), (256, 4), (128, 6), (64, 8)],
+            cell: CellSpec::default(),
+            cost: CostModel::default(),
+            local: LocalTimings::default(),
+            an_enabled: true,
+            vector_section: 1200,
+            barrier_time: 1.0e-6,
+            gpu_fallback_efficiency: 0.10,
+            system_static_power: 60.0,
+        }
+    }
+}
+
+impl AcceleratorConfig {
+    /// Total clusters of a given size across all banks.
+    pub fn cluster_capacity(&self, size: usize) -> usize {
+        self.clusters_per_bank
+            .iter()
+            .find(|&&(s, _)| s == size)
+            .map_or(0, |&(_, count)| count * self.banks)
+    }
+
+    /// Total clusters of all sizes.
+    pub fn total_clusters(&self) -> usize {
+        self.clusters_per_bank.iter().map(|&(_, c)| c).sum::<usize>() * self.banks
+    }
+
+    /// Crossbar sizes available, descending.
+    pub fn sizes(&self) -> Vec<usize> {
+        self.clusters_per_bank.iter().map(|&(s, _)| s).collect()
+    }
+
+    /// A scaled-down configuration (for tests): `banks` banks with the
+    /// Table I per-bank mix.
+    pub fn with_banks(banks: usize) -> Self {
+        AcceleratorConfig { banks, ..Default::default() }
+    }
+
+    /// Vector-section length actually used for an `n`-element problem:
+    /// the configured section, shrunk so every bank participates when
+    /// `n` is smaller than `banks × vector_section`.
+    pub fn effective_section(&self, n: usize) -> usize {
+        self.vector_section.min(n.div_ceil(self.banks.max(1))).max(1)
+    }
+}
+
+/// Timing and power model of the per-bank LEON3-class local processor
+/// with an FPGen FMA unit (§VII-A), clocked at the 1.2 GHz system clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocalTimings {
+    /// Clock frequency, hertz.
+    pub f_clk: f64,
+    /// Cycles to process one unblocked (CSR residual) non-zero:
+    /// column-index load, value load, gather, FMA, bookkeeping.
+    pub cycles_per_residual_nnz: f64,
+    /// Cycles per element of a local dot product.
+    pub cycles_per_dot_elem: f64,
+    /// Cycles per element of an AXPY.
+    pub cycles_per_axpy_elem: f64,
+    /// Time to service one cluster-completion interrupt, seconds.
+    pub interrupt_time: f64,
+    /// Time for the cross-bank reduction of per-bank dot products
+    /// through global memory, seconds.
+    pub global_reduce_time: f64,
+    /// Effective time per *remote* residual gather — an unblocked
+    /// element whose column lies outside the bank's vector section must
+    /// fetch `x` through global memory (latency-bound, partially
+    /// overlapped), seconds.
+    pub remote_gather_time: f64,
+    /// Halo width: each bank streams a contiguous window of `x` around
+    /// its residual rows into its buffers (standard ghost-cell
+    /// practice), so gathers within `|row - col| <= gather_halo` are
+    /// local even across section boundaries.
+    pub gather_halo: usize,
+    /// Average core power while busy, watts.
+    pub power: f64,
+}
+
+impl Default for LocalTimings {
+    fn default() -> Self {
+        LocalTimings {
+            f_clk: 1.2e9,
+            cycles_per_residual_nnz: 6.0,
+            cycles_per_dot_elem: 4.0,
+            cycles_per_axpy_elem: 5.0,
+            interrupt_time: 0.5e-6,
+            global_reduce_time: 1.5e-6,
+            remote_gather_time: 25.0e-9,
+            gather_halo: 2048,
+            power: 0.05,
+        }
+    }
+}
+
+impl LocalTimings {
+    /// Time to process residual non-zeros on one core: `local` gathers
+    /// hit the bank's own vector section, `remote` ones go through
+    /// global memory (the reason unblockable matrices are slower on the
+    /// accelerator than on the GPU, §VIII-A).
+    pub fn residual_time_split(&self, local: usize, remote: usize) -> f64 {
+        local as f64 * self.cycles_per_residual_nnz / self.f_clk
+            + remote as f64 * (self.cycles_per_residual_nnz / self.f_clk + self.remote_gather_time)
+    }
+
+    /// Time to process `nnz` all-local residual non-zeros on one core.
+    pub fn residual_time(&self, nnz: usize) -> f64 {
+        self.residual_time_split(nnz, 0)
+    }
+
+    /// Time for a local dot product over `elems` elements.
+    pub fn dot_time(&self, elems: usize) -> f64 {
+        elems as f64 * self.cycles_per_dot_elem / self.f_clk
+    }
+
+    /// Time for a local AXPY over `elems` elements.
+    pub fn axpy_time(&self, elems: usize) -> f64 {
+        elems as f64 * self.cycles_per_axpy_elem / self.f_clk
+    }
+
+    /// Energy for a busy period on one core.
+    pub fn energy(&self, busy_time: f64) -> f64 {
+        self.power * busy_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table1() {
+        let c = AcceleratorConfig::default();
+        assert_eq!(c.banks, 128);
+        assert_eq!(c.clusters_per_bank, vec![(512, 2), (256, 4), (128, 6), (64, 8)]);
+        assert_eq!(c.total_clusters(), 128 * 20);
+        assert_eq!(c.cluster_capacity(512), 256);
+        assert_eq!(c.cluster_capacity(64), 1024);
+        assert_eq!(c.cluster_capacity(32), 0);
+        assert_eq!(c.sizes(), vec![512, 256, 128, 64]);
+        assert_eq!(c.cell.r_on, 2.0e3);
+    }
+
+    #[test]
+    fn local_timings_scale_linearly() {
+        let t = LocalTimings::default();
+        assert!((t.residual_time(1200) - 1200.0 * 6.0 / 1.2e9).abs() < 1e-18);
+        assert!(t.dot_time(100) < t.axpy_time(100));
+        assert_eq!(t.energy(2.0), 0.1);
+    }
+
+    #[test]
+    fn scaled_config() {
+        let c = AcceleratorConfig::with_banks(2);
+        assert_eq!(c.total_clusters(), 40);
+    }
+}

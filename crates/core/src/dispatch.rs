@@ -1,0 +1,79 @@
+//! Accelerator-vs-GPU dispatch (§VIII-A).
+//!
+//! Two of the twenty evaluated matrices (ns3Da, thermomech_TC) barely
+//! block at all, and running them on the crossbars would be more than an
+//! order of magnitude slower than the GPU. Because the blocking
+//! preprocessor's cost is bounded (at most four touches per non-zero)
+//! and its output reveals the blocking efficiency, the system decides
+//! *after* preprocessing where to run, losing under 3% for the fallback
+//! matrices.
+
+use memsci_sparse::BlockedMatrix;
+
+use crate::config::AcceleratorConfig;
+
+/// Where a matrix should execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Target {
+    /// Run the solve on the memristive accelerator.
+    Accelerator,
+    /// Fall back to the companion GPU.
+    Gpu,
+}
+
+/// Chooses the execution target from a preprocessing outcome.
+///
+/// # Examples
+///
+/// ```
+/// use memsci_core::dispatch::{choose_target, Target};
+/// use memsci_core::AcceleratorConfig;
+/// use memsci_sparse::blocking::{BlockedMatrix, BlockingConfig};
+/// use memsci_sparse::generate::poisson2d;
+///
+/// let blocked = BlockedMatrix::block(&poisson2d(64, 64), &BlockingConfig::default());
+/// let target = choose_target(&blocked, &AcceleratorConfig::default());
+/// assert!(matches!(target, Target::Accelerator | Target::Gpu));
+/// ```
+pub fn choose_target(blocked: &BlockedMatrix, config: &AcceleratorConfig) -> Target {
+    if blocked.stats.efficiency() < config.gpu_fallback_efficiency {
+        Target::Gpu
+    } else {
+        Target::Accelerator
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsci_sparse::blocking::BlockingConfig;
+    use memsci_sparse::generate::{banded, uniform_random, ValueModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dense_bands_go_to_the_accelerator() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = banded(600, 16, 0.9, ValueModel::with_spread(8), &mut rng).to_csr();
+        let blocked = BlockedMatrix::block(&a, &BlockingConfig::default());
+        assert_eq!(choose_target(&blocked, &AcceleratorConfig::default()), Target::Accelerator);
+    }
+
+    #[test]
+    fn uniform_scatter_falls_back_to_the_gpu() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = uniform_random(2048, 14000, ValueModel::with_spread(8), &mut rng).to_csr();
+        let blocked = BlockedMatrix::block(&a, &BlockingConfig::default());
+        assert_eq!(choose_target(&blocked, &AcceleratorConfig::default()), Target::Gpu);
+    }
+
+    #[test]
+    fn threshold_is_configurable() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = banded(600, 16, 0.9, ValueModel::with_spread(8), &mut rng).to_csr();
+        let blocked = BlockedMatrix::block(&a, &BlockingConfig::default());
+        let config =
+            AcceleratorConfig { gpu_fallback_efficiency: 1.1, ..Default::default() };
+        assert_eq!(choose_target(&blocked, &config), Target::Gpu);
+    }
+}

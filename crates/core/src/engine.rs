@@ -1,0 +1,703 @@
+//! The fast accelerator engine: functional kernels with analytic cost.
+//!
+//! Solver-scale runs (Figures 8–10 cover matrices with millions of
+//! non-zeros and thousands of iterations) cannot afford bit-level
+//! simulation of every crossbar, so this engine computes kernels in
+//! `f64` — the same precision class the hardware guarantees (§IV) — and
+//! models cost analytically:
+//!
+//! * per-cluster vector-slice counts come from the early-termination
+//!   model of §IV-B, driven by the actual data (block exponent base,
+//!   per-apply vector exponent statistics, and each row's dot-product
+//!   magnitude);
+//! * energy combines per-conversion ADC cost with headstart, the
+//!   skip-settled-columns saving, and crossbar base energy, using the
+//!   Table III-calibrated [`CostModel`];
+//! * the bank's local processor handles residual non-zeros in CSR and
+//!   the dense kernels over its 1200-element vector sections (§VI).
+//!
+//! The bit-exact counterpart lives in [`crate::exact`]; a test in
+//! `tests/` checks this engine's slice-count estimate against it.
+//!
+//! [`CostModel`]: memsci_xbar::CostModel
+
+use memsci_numeric::FloatParts;
+use memsci_solvers::platform::{axpby_f64, dot_f64, Platform};
+use memsci_sparse::{BlockedMatrix, Coo, Csr};
+
+use crate::config::AcceleratorConfig;
+use crate::mapping::{map_blocks, Mapping};
+
+/// Cost and utilization statistics of the most recent sparse MVM.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SpmvStats {
+    /// Wall-clock model time of the MVM, seconds.
+    pub time: f64,
+    /// Energy of the MVM, joules.
+    pub energy: f64,
+    /// Slowest bank's cluster pipeline time, seconds.
+    pub cluster_time: f64,
+    /// Slowest bank's residual-processing time, seconds.
+    pub residual_time: f64,
+    /// Mean vector slices applied per cluster.
+    pub avg_slices: f64,
+    /// Maximum vector slices applied by any cluster.
+    pub max_slices: usize,
+    /// Fraction of potential conversions skipped by early termination.
+    pub skipped_fraction: f64,
+}
+
+/// One cluster in the fast engine.
+#[derive(Debug, Clone)]
+struct FastCluster {
+    bank: usize,
+    size: usize,
+    row0: usize,
+    col0: usize,
+    /// Entries grouped per matrix row: `(local_row, entries(col, val))`.
+    rows: Vec<(u16, Vec<(u16, f64)>)>,
+    /// Fixed-point LSB exponent of the stored block.
+    exp_base: i32,
+    /// Bit-group crossbars in the cluster.
+    groups: usize,
+    /// Magnitude bound (bits) of a de-biased partial dot product.
+    pm_bits: i64,
+    /// Per-row estimated SAR bits searched (headstart model).
+    searched_bits: Vec<u32>,
+    /// Programming time and energy.
+    write_time: f64,
+    write_energy: f64,
+}
+
+/// The fast accelerator platform (Table I system by default).
+#[derive(Debug, Clone)]
+pub struct AcceleratorPlatform {
+    config: AcceleratorConfig,
+    n: usize,
+    clusters: Vec<FastCluster>,
+    residual: Csr,
+    residual_t: Csr,
+    /// Residual non-zeros per bank whose gathers stay in the bank's own
+    /// vector section.
+    bank_residual_local: Vec<usize>,
+    /// Residual non-zeros per bank gathering through global memory.
+    bank_residual_remote: Vec<usize>,
+    /// Dense-kernel elements owned by each bank.
+    bank_elems: Vec<usize>,
+    /// Blocking efficiency of the underlying preprocessing run.
+    blocking_efficiency: f64,
+    time: f64,
+    energy: f64,
+    last_spmv: SpmvStats,
+    spmv_count: u64,
+}
+
+impl AcceleratorPlatform {
+    /// Builds the engine from a blocked matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the blocked matrix is not square.
+    pub fn new(blocked: &BlockedMatrix, config: AcceleratorConfig) -> Self {
+        let (rows, cols) = blocked.shape();
+        assert_eq!(rows, cols, "platform matrices must be square");
+        let mapping = map_blocks(blocked, &config);
+        Self::from_mapping(blocked, mapping, config)
+    }
+
+    fn from_mapping(blocked: &BlockedMatrix, mapping: Mapping, config: AcceleratorConfig) -> Self {
+        let (rows, _) = blocked.shape();
+        let n = rows;
+        // Residual = preprocessing residual + mapping overflow.
+        let mut residual_coo = blocked.residual.to_coo();
+        for &(r, c, v) in &mapping.extra_residual {
+            residual_coo.push(r as usize, c as usize, v).expect("overflow entry in range");
+        }
+        let residual = residual_coo.to_csr();
+        let residual_t = residual.transpose();
+
+        let an_bits = if config.an_enabled { 9 } else { 0 };
+        let b = config.cell.bits_per_cell;
+        let clusters: Vec<FastCluster> = mapping
+            .clusters
+            .iter()
+            .filter(|load| !load.entries.is_empty())
+            .map(|load| {
+                let values: Vec<f64> = load.entries.iter().map(|&(_, _, v)| v).collect();
+                let alignment = memsci_numeric::align::analyze(values.iter().copied())
+                    .expect("blocked values are finite")
+                    .expect("non-empty cluster");
+                let bias_bit = alignment.magnitude_bits;
+                let stored_bits = bias_bit + 1 + an_bits;
+                let groups = (stored_bits as u32).div_ceil(b) as usize;
+                let size = load.size as usize;
+                let n_bits = usize::BITS - size.leading_zeros();
+                let pm_bits = bias_bit as i64 + 1 + i64::from(n_bits);
+                let mut per_row: std::collections::BTreeMap<u16, Vec<(u16, f64)>> =
+                    std::collections::BTreeMap::new();
+                for &(r, c, v) in &load.entries {
+                    per_row.entry(r).or_default().push((c, v));
+                }
+                let resolution = config.cost.resolution(size, b);
+                let rows: Vec<(u16, Vec<(u16, f64)>)> = per_row.into_iter().collect();
+                let searched_bits = rows
+                    .iter()
+                    .map(|(_, entries)| {
+                        // Headstart: columns hold about half their row's
+                        // operand bits as ones.
+                        let ones = (entries.len() as u64).max(1);
+                        (64 - ones.leading_zeros()).clamp(1, resolution)
+                    })
+                    .collect();
+                let write_model = memsci_xbar::WriteModel::default();
+                let set_cells = (load.entries.len() * groups) as u64 / 2;
+                FastCluster {
+                    bank: load.bank,
+                    size,
+                    row0: load.row0 as usize,
+                    col0: load.col0 as usize,
+                    rows,
+                    exp_base: alignment.exp_base,
+                    groups,
+                    pm_bits,
+                    searched_bits,
+                    write_time: write_model.cluster_write_time(size),
+                    write_energy: write_model.write_energy(set_cells),
+                }
+            })
+            .collect();
+
+        let section = config.effective_section(n);
+        let mut bank_residual_local = vec![0usize; config.banks];
+        let mut bank_residual_remote = vec![0usize; config.banks];
+        for (r, c, _) in residual.iter() {
+            let bank = bank_of_row(r, section, config.banks);
+            let local = r.abs_diff(c) <= config.local.gather_halo
+                || bank_of_row(c, section, config.banks) == bank;
+            if local {
+                bank_residual_local[bank] += 1;
+            } else {
+                bank_residual_remote[bank] += 1;
+            }
+        }
+        let mut bank_elems = vec![0usize; config.banks];
+        for r in 0..n {
+            bank_elems[bank_of_row(r, section, config.banks)] += 1;
+        }
+
+        AcceleratorPlatform {
+            n,
+            clusters,
+            residual,
+            residual_t,
+            bank_residual_local,
+            bank_residual_remote,
+            bank_elems,
+            blocking_efficiency: blocked.stats.efficiency(),
+            time: 0.0,
+            energy: 0.0,
+            last_spmv: SpmvStats::default(),
+            spmv_count: 0,
+            config,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &AcceleratorConfig {
+        &self.config
+    }
+
+    /// Number of populated clusters.
+    pub fn cluster_count(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Non-zeros handled by the local processors.
+    pub fn residual_nnz(&self) -> usize {
+        self.residual.nnz()
+    }
+
+    /// Blocking efficiency of the underlying matrix.
+    pub fn blocking_efficiency(&self) -> f64 {
+        self.blocking_efficiency
+    }
+
+    /// Statistics of the most recent sparse MVM.
+    pub fn last_spmv(&self) -> &SpmvStats {
+        &self.last_spmv
+    }
+
+    /// Sparse MVMs performed so far.
+    pub fn spmv_count(&self) -> u64 {
+        self.spmv_count
+    }
+
+    /// Total time to program every cluster, with the clusters of
+    /// different banks writing in parallel and those within a bank
+    /// sequentially (§VIII-D).
+    pub fn write_time(&self) -> f64 {
+        let mut per_bank = vec![0.0f64; self.config.banks];
+        for c in &self.clusters {
+            per_bank[c.bank] += c.write_time;
+        }
+        per_bank.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Total programming energy.
+    pub fn write_energy(&self) -> f64 {
+        self.clusters.iter().map(|c| c.write_energy).sum()
+    }
+
+    /// Estimates the vector slices a row needs before its mantissa
+    /// settles (§IV-B): the running sum's leading one sits near
+    /// `log2 |dot|` above the fixed-point LSB, and accumulation stops
+    /// once the remaining-slice bound drops below the mantissa.
+    pub fn estimate_row_slices(dot: f64, exp_base: i32, x_exp_base: i32, xw: usize, pm_bits: i64) -> usize {
+        if xw == 0 {
+            return 0;
+        }
+        let lead = if dot == 0.0 || !dot.is_finite() {
+            i64::MIN / 4
+        } else {
+            dot.abs().log2().floor() as i64 - i64::from(exp_base) - i64::from(x_exp_base)
+        };
+        let k_stop = lead.saturating_sub(53 + pm_bits + 2).max(0);
+        ((xw as i64) - k_stop).clamp(1, xw as i64) as usize
+    }
+
+    fn charge_spmv_cost(&mut self, x: &[f64], dots: &[Vec<f64>]) {
+        let cost = &self.config.cost;
+        let cell = &self.config.cell;
+        let mut bank_cluster_time = vec![0.0f64; self.config.banks];
+        let mut bank_interrupts = vec![0usize; self.config.banks];
+        let mut energy = 0.0f64;
+        let mut total_slices = 0usize;
+        let mut max_slices = 0usize;
+        let mut conv_done = 0.0f64;
+        let mut conv_possible = 0.0f64;
+
+        for (ci, cluster) in self.clusters.iter().enumerate() {
+            let hi = (cluster.col0 + cluster.size).min(self.n);
+            let (x_exp_base, x_mag_bits) = vector_stats(&x[cluster.col0..hi]);
+            if x_mag_bits == 0 {
+                continue; // all-zero vector section: nothing applied
+            }
+            let xw = x_mag_bits + 1;
+            let mut cluster_max_used = 0usize;
+            let mut used_total = 0usize;
+            for (ri, (_, _entries)) in cluster.rows.iter().enumerate() {
+                let used = Self::estimate_row_slices(
+                    dots[ci][ri],
+                    cluster.exp_base,
+                    x_exp_base,
+                    xw,
+                    cluster.pm_bits,
+                );
+                cluster_max_used = cluster_max_used.max(used);
+                used_total += used;
+                let conv_energy = cost.column_energy(
+                    cluster.size,
+                    cell.bits_per_cell,
+                    Some(cluster.searched_bits[ri]),
+                );
+                energy += used as f64 * cluster.groups as f64 * conv_energy;
+            }
+            // Settled rows idle at base energy for the remaining slices.
+            let skipped: usize = cluster
+                .rows
+                .iter()
+                .enumerate()
+                .map(|(ri, _)| {
+                    let used = Self::estimate_row_slices(
+                        dots[ci][ri],
+                        cluster.exp_base,
+                        x_exp_base,
+                        xw,
+                        cluster.pm_bits,
+                    );
+                    cluster_max_used - used
+                })
+                .sum();
+            energy += skipped as f64 * cluster.groups as f64 * cost.skipped_column_energy();
+            conv_done += (used_total * cluster.groups) as f64;
+            conv_possible += ((used_total + skipped) * cluster.groups) as f64;
+            let t = cluster_max_used as f64 * cost.crossbar_op_latency(cluster.size);
+            bank_cluster_time[cluster.bank] = bank_cluster_time[cluster.bank].max(t);
+            bank_interrupts[cluster.bank] += 1;
+            total_slices += cluster_max_used;
+            max_slices = max_slices.max(cluster_max_used);
+        }
+
+        let local = &self.config.local;
+        let mut worst_bank = 0.0f64;
+        let mut worst_cluster = 0.0f64;
+        let mut worst_residual = 0.0f64;
+        for bank in 0..self.config.banks {
+            let residual_time = local.residual_time_split(
+                self.bank_residual_local[bank],
+                self.bank_residual_remote[bank],
+            ) + bank_interrupts[bank] as f64 * local.interrupt_time;
+            let bank_time = bank_cluster_time[bank].max(residual_time);
+            worst_bank = worst_bank.max(bank_time);
+            worst_cluster = worst_cluster.max(bank_cluster_time[bank]);
+            worst_residual = worst_residual.max(residual_time);
+            energy += local.energy(residual_time);
+        }
+        let time = worst_bank + self.config.barrier_time;
+        energy += self.config.system_static_power * time;
+
+        self.time += time;
+        self.energy += energy;
+        self.spmv_count += 1;
+        let cluster_count = self.clusters.len().max(1);
+        self.last_spmv = SpmvStats {
+            time,
+            energy,
+            cluster_time: worst_cluster,
+            residual_time: worst_residual,
+            avg_slices: total_slices as f64 / cluster_count as f64,
+            max_slices,
+            skipped_fraction: if conv_possible > 0.0 {
+                1.0 - conv_done / conv_possible
+            } else {
+                0.0
+            },
+        };
+    }
+
+    fn dense_kernel(&mut self, per_elem_time: impl Fn(usize) -> f64, extra: f64) {
+        let max_elems = self.bank_elems.iter().copied().max().unwrap_or(0);
+        let time = per_elem_time(max_elems) + extra;
+        let busy: f64 = self
+            .bank_elems
+            .iter()
+            .map(|&e| self.config.local.energy(per_elem_time(e)))
+            .sum();
+        self.time += time;
+        self.energy += busy + self.config.system_static_power * time;
+    }
+}
+
+/// Bank owning a vector element (1200-element sections, §VI, shrunk so
+/// all banks participate on small problems).
+fn bank_of_row(row: usize, section: usize, banks: usize) -> usize {
+    (row / section) % banks
+}
+
+/// Minimum LSB exponent and magnitude width of a vector section
+/// (mirrors `memsci_numeric::align::analyze` without allocating).
+fn vector_stats(x: &[f64]) -> (i32, usize) {
+    let mut exp_min = i32::MAX;
+    let mut top_max = i32::MIN;
+    for &v in x {
+        if let Ok(p) = FloatParts::decompose(v) {
+            if let Some(top) = p.top_exponent() {
+                exp_min = exp_min.min(p.exponent);
+                top_max = top_max.max(top);
+            }
+        }
+    }
+    if exp_min == i32::MAX {
+        (0, 0)
+    } else {
+        (exp_min, (top_max - exp_min + 1) as usize)
+    }
+}
+
+impl Platform for AcceleratorPlatform {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn spmv(&mut self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n, "x length");
+        assert_eq!(y.len(), self.n, "y length");
+        // Functional result: per-cluster dots plus residual.
+        let mut dots: Vec<Vec<f64>> = Vec::with_capacity(self.clusters.len());
+        y.fill(0.0);
+        for cluster in &self.clusters {
+            let mut cluster_dots = Vec::with_capacity(cluster.rows.len());
+            for (lr, entries) in &cluster.rows {
+                let mut acc = 0.0;
+                for &(c, v) in entries {
+                    acc += v * x[cluster.col0 + c as usize];
+                }
+                y[cluster.row0 + *lr as usize] += acc;
+                cluster_dots.push(acc);
+            }
+            dots.push(cluster_dots);
+        }
+        self.residual.spmv_add(x, y);
+        self.charge_spmv_cost(x, &dots);
+    }
+
+    fn spmv_transpose(&mut self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n, "x length");
+        assert_eq!(y.len(), self.n, "y length");
+        y.fill(0.0);
+        let mut dots: Vec<Vec<f64>> = Vec::with_capacity(self.clusters.len());
+        for cluster in &self.clusters {
+            // Functional transpose; cost modelled as a forward MVM over
+            // the mirrored mapping (a deployment would program Aᵀ).
+            for (lr, entries) in &cluster.rows {
+                let xv = x[cluster.row0 + *lr as usize];
+                if xv != 0.0 {
+                    for &(c, v) in entries {
+                        y[cluster.col0 + c as usize] += v * xv;
+                    }
+                }
+            }
+            dots.push(vec![1.0; cluster.rows.len()]);
+        }
+        self.residual_t.spmv_add(x, y);
+        // Approximate transpose dots by forward magnitudes for costing.
+        let dots_est: Vec<Vec<f64>> = dots;
+        self.charge_spmv_cost(x, &dots_est);
+    }
+
+    fn dot(&mut self, x: &[f64], y: &[f64]) -> f64 {
+        let reduce = self.config.local.global_reduce_time;
+        let local = self.config.local;
+        self.dense_kernel(|e| local.dot_time(e), reduce);
+        dot_f64(x, y)
+    }
+
+    fn axpby(&mut self, alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
+        let barrier = self.config.barrier_time;
+        let local = self.config.local;
+        self.dense_kernel(|e| local.axpy_time(e), barrier);
+        axpby_f64(alpha, x, beta, y);
+    }
+
+    fn diagonal(&self) -> Vec<f64> {
+        let mut diag = self.residual.diagonal();
+        for cluster in &self.clusters {
+            for (lr, entries) in &cluster.rows {
+                let gr = cluster.row0 + *lr as usize;
+                for &(c, v) in entries {
+                    if cluster.col0 + c as usize == gr {
+                        diag[gr] += v;
+                    }
+                }
+            }
+        }
+        diag
+    }
+
+    fn elapsed_seconds(&self) -> f64 {
+        self.time
+    }
+
+    fn energy_joules(&self) -> f64 {
+        self.energy
+    }
+}
+
+/// Convenience: blocks, maps, and wraps a CSR matrix in one call.
+///
+/// # Examples
+///
+/// ```
+/// use memsci_core::engine::accelerate;
+/// use memsci_core::AcceleratorConfig;
+/// use memsci_solvers::platform::Platform;
+/// use memsci_sparse::generate::poisson2d;
+///
+/// let mut acc = accelerate(&poisson2d(32, 32), AcceleratorConfig::default());
+/// let x = vec![1.0; 1024];
+/// let mut y = vec![0.0; 1024];
+/// acc.spmv(&x, &mut y);
+/// assert!(acc.elapsed_seconds() > 0.0);
+/// ```
+pub fn accelerate(matrix: &Csr, config: AcceleratorConfig) -> AcceleratorPlatform {
+    let blocked = BlockedMatrix::block(matrix, &memsci_sparse::BlockingConfig::default());
+    AcceleratorPlatform::new(&blocked, config)
+}
+
+/// Builds a platform directly from COO triplets (test helper).
+pub fn accelerate_coo(coo: &Coo, config: AcceleratorConfig) -> AcceleratorPlatform {
+    accelerate(&coo.to_csr(), config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsci_sparse::generate::{banded, poisson2d, ValueModel};
+    use memsci_sparse::BlockingConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(21)
+    }
+
+    #[test]
+    fn spmv_matches_csr_reference() {
+        let a = banded(600, 12, 0.7, ValueModel::with_spread(10), &mut rng()).to_csr();
+        let mut acc = accelerate(&a, AcceleratorConfig::with_banks(4));
+        let x: Vec<f64> = (0..600).map(|i| (i as f64 * 0.11).sin() * 2.0).collect();
+        let mut y1 = vec![0.0; 600];
+        let mut y2 = vec![0.0; 600];
+        acc.spmv(&x, &mut y1);
+        a.spmv(&x, &mut y2);
+        for (u, v) in y1.iter().zip(&y2) {
+            assert!((u - v).abs() <= 1e-9 * v.abs().max(1.0), "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn transpose_matches_csr_reference() {
+        let a = banded(300, 10, 0.6, ValueModel::with_spread(8), &mut rng()).to_csr();
+        let mut acc = accelerate(&a, AcceleratorConfig::with_banks(4));
+        let x: Vec<f64> = (0..300).map(|i| (i as f64 * 0.23).cos()).collect();
+        let mut y1 = vec![0.0; 300];
+        let mut y2 = vec![0.0; 300];
+        acc.spmv_transpose(&x, &mut y1);
+        a.spmv_transpose(&x, &mut y2);
+        for (u, v) in y1.iter().zip(&y2) {
+            assert!((u - v).abs() <= 1e-9 * v.abs().max(1.0), "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn diagonal_combines_blocks_and_residual() {
+        let a = poisson2d(24, 24);
+        let acc = accelerate(&a, AcceleratorConfig::with_banks(2));
+        assert_eq!(acc.diagonal(), a.diagonal());
+    }
+
+    #[test]
+    fn costs_accumulate_and_report() {
+        let a = banded(800, 16, 0.8, ValueModel::with_spread(6), &mut rng()).to_csr();
+        let mut acc = accelerate(&a, AcceleratorConfig::with_banks(8));
+        assert!(acc.cluster_count() > 0);
+        let x = vec![1.0; 800];
+        let mut y = vec![0.0; 800];
+        acc.spmv(&x, &mut y);
+        let s = *acc.last_spmv();
+        assert!(s.time > 0.0 && s.energy > 0.0);
+        assert!(s.max_slices >= 1);
+        assert!(s.avg_slices <= s.max_slices as f64);
+        assert_eq!(acc.spmv_count(), 1);
+        let t1 = acc.elapsed_seconds();
+        acc.spmv(&x, &mut y);
+        assert!(acc.elapsed_seconds() > t1);
+        // Dense kernels also cost time.
+        let before = acc.elapsed_seconds();
+        acc.dot(&x, &y);
+        assert!(acc.elapsed_seconds() > before);
+    }
+
+    #[test]
+    fn early_termination_saves_conversions() {
+        let a = banded(512, 20, 0.9, ValueModel::with_spread(4), &mut rng()).to_csr();
+        let mut acc = accelerate(&a, AcceleratorConfig::with_banks(4));
+        // A wide-dynamic-range vector: most rows settle long before the
+        // least significant slices.
+        let x: Vec<f64> =
+            (0..512).map(|i| (2.0f64).powi((i % 10) * 6 - 30) * (1.0 + i as f64 * 0.01)).collect();
+        let mut y = vec![0.0; 512];
+        acc.spmv(&x, &mut y);
+        assert!(
+            acc.last_spmv().skipped_fraction > 0.0,
+            "skipped {}",
+            acc.last_spmv().skipped_fraction
+        );
+    }
+
+    #[test]
+    fn write_costs_are_positive_for_mapped_matrices() {
+        let a = banded(512, 16, 0.9, ValueModel::with_spread(6), &mut rng()).to_csr();
+        let acc = accelerate(&a, AcceleratorConfig::with_banks(4));
+        assert!(acc.write_time() > 0.0);
+        assert!(acc.write_energy() > 0.0);
+    }
+
+    #[test]
+    fn unblockable_matrices_run_on_the_local_processors() {
+        let a = memsci_sparse::generate::uniform_random(
+            1024,
+            4096,
+            ValueModel::with_spread(8),
+            &mut rng(),
+        )
+        .to_csr();
+        let blocked = BlockedMatrix::block(&a, &BlockingConfig::default());
+        let mut acc = AcceleratorPlatform::new(&blocked, AcceleratorConfig::with_banks(4));
+        assert_eq!(acc.cluster_count(), 0);
+        assert_eq!(acc.residual_nnz(), a.nnz());
+        let x = vec![1.0; 1024];
+        let mut y1 = vec![0.0; 1024];
+        let mut y2 = vec![0.0; 1024];
+        acc.spmv(&x, &mut y1);
+        a.spmv(&x, &mut y2);
+        assert_eq!(y1, y2);
+        assert!(acc.last_spmv().residual_time > 0.0);
+    }
+
+    #[test]
+    fn slice_estimate_behaviour() {
+        // Large dot values settle quickly; tiny ones consume all slices.
+        let big = AcceleratorPlatform::estimate_row_slices(1e20, -60, -60, 100, 60);
+        let small = AcceleratorPlatform::estimate_row_slices(1e-30, -60, -60, 100, 60);
+        assert!(big < small);
+        assert_eq!(small, 100);
+        assert_eq!(AcceleratorPlatform::estimate_row_slices(0.0, 0, 0, 50, 60), 50);
+        assert_eq!(AcceleratorPlatform::estimate_row_slices(1.0, 0, 0, 0, 60), 0);
+    }
+}
+
+#[cfg(test)]
+mod edge_tests {
+    use super::*;
+    use memsci_sparse::{BlockingConfig, Csr};
+
+    #[test]
+    fn empty_matrix_is_harmless() {
+        let a = Csr::empty(16, 16);
+        let mut acc = accelerate(&a, AcceleratorConfig::with_banks(2));
+        assert_eq!(acc.cluster_count(), 0);
+        assert_eq!(acc.residual_nnz(), 0);
+        let x = vec![1.0; 16];
+        let mut y = vec![9.0; 16];
+        acc.spmv(&x, &mut y);
+        assert!(y.iter().all(|&v| v == 0.0));
+        assert!(acc.elapsed_seconds() > 0.0); // barrier still charged
+    }
+
+    #[test]
+    fn identity_matrix_runs_on_the_residual_path() {
+        let a = Csr::identity(100);
+        let blocked = memsci_sparse::BlockedMatrix::block(&a, &BlockingConfig::default());
+        let mut acc = AcceleratorPlatform::new(&blocked, AcceleratorConfig::with_banks(4));
+        // A diagonal of 100 entries never reaches block density.
+        assert_eq!(acc.residual_nnz(), 100);
+        let x: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let mut y = vec![0.0; 100];
+        acc.spmv(&x, &mut y);
+        assert_eq!(y, x);
+        assert_eq!(acc.diagonal(), vec![1.0; 100]);
+    }
+
+    #[test]
+    fn effective_sections_engage_every_bank() {
+        let config = AcceleratorConfig::default();
+        // Small problem: sections shrink so all banks get elements.
+        assert_eq!(config.effective_section(128 * 10), 10);
+        // Large problem: the Table I section size caps.
+        assert_eq!(config.effective_section(1_000_000), 1200);
+        assert_eq!(config.effective_section(1), 1);
+    }
+
+    #[test]
+    fn single_bank_configuration_works() {
+        let a = memsci_sparse::generate::poisson2d(16, 16);
+        let mut acc = accelerate(&a, AcceleratorConfig::with_banks(1));
+        let x = vec![1.0; 256];
+        let mut y = vec![0.0; 256];
+        acc.spmv(&x, &mut y);
+        let mut want = vec![0.0; 256];
+        a.spmv(&x, &mut want);
+        assert_eq!(y, want);
+    }
+}

@@ -1,0 +1,369 @@
+//! The bit-exact accelerator platform.
+//!
+//! Every blocked MVM runs through real [`memsci_xbar::Cluster`]
+//! simulations — alignment, biasing, AN coding, bit slicing, analog
+//! column sums with device non-idealities, early termination — making
+//! this platform the ground truth for precision (§IV) and the vehicle
+//! for the Monte-Carlo device-sensitivity experiments of Figures 12–13.
+//! It is orders of magnitude slower than
+//! [`crate::engine::AcceleratorPlatform`], so it is meant for small
+//! systems.
+
+use memsci_numeric::align::AlignError;
+use memsci_solvers::platform::{axpby_f64, dot_f64, Platform};
+use memsci_sparse::{BlockedMatrix, Csr};
+use memsci_xbar::cluster::{Cluster, ClusterSpec, MvmOptions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::config::AcceleratorConfig;
+use crate::mapping::map_blocks;
+
+/// Options for the exact platform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExactOptions {
+    /// Seed for programming errors and read noise.
+    pub seed: u64,
+    /// Per-read RTN upset probability (§IV-E).
+    pub rtn_probability: f64,
+    /// Per-MVM cluster options (early termination, rounding).
+    pub mvm: MvmOptions,
+}
+
+impl Default for ExactOptions {
+    fn default() -> Self {
+        ExactOptions { seed: 0, rtn_probability: 0.0, mvm: MvmOptions::default() }
+    }
+}
+
+struct ExactCluster {
+    row0: usize,
+    col0: usize,
+    bank: usize,
+    cluster: Cluster,
+}
+
+impl std::fmt::Debug for ExactCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ExactCluster(row0={}, col0={}, bank={})", self.row0, self.col0, self.bank)
+    }
+}
+
+/// The bit-exact accelerator platform.
+#[derive(Debug)]
+pub struct ExactAcceleratorPlatform {
+    config: AcceleratorConfig,
+    opts: ExactOptions,
+    n: usize,
+    clusters: Vec<ExactCluster>,
+    residual: Csr,
+    diag: Vec<f64>,
+    bank_residual_local: Vec<usize>,
+    bank_residual_remote: Vec<usize>,
+    bank_elems: Vec<usize>,
+    rng: StdRng,
+    time: f64,
+    energy: f64,
+    /// AN-code corrections observed so far.
+    pub an_corrections: u64,
+    /// AN-code detections (uncorrectable) observed so far.
+    pub an_detections: u64,
+}
+
+impl ExactAcceleratorPlatform {
+    /// Builds the platform, programming every mapped cluster (with
+    /// programming errors sampled from the configured cell spec).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlignError`] if a blocked value is non-finite (the
+    /// preprocessor guarantees the exponent ranges fit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the blocked matrix is not square.
+    pub fn new(
+        blocked: &BlockedMatrix,
+        config: AcceleratorConfig,
+        opts: ExactOptions,
+    ) -> Result<Self, AlignError> {
+        let (rows, cols) = blocked.shape();
+        assert_eq!(rows, cols, "platform matrices must be square");
+        let n = rows;
+        let mapping = map_blocks(blocked, &config);
+        let mut rng = StdRng::seed_from_u64(opts.seed);
+        let mut residual_coo = blocked.residual.to_coo();
+        for &(r, c, v) in &mapping.extra_residual {
+            residual_coo.push(r as usize, c as usize, v).expect("in range");
+        }
+        let mut clusters = Vec::new();
+        for load in &mapping.clusters {
+            if load.entries.is_empty() {
+                continue;
+            }
+            let spec = ClusterSpec {
+                size: load.size as usize,
+                cell: config.cell,
+                cost: config.cost,
+                an_enabled: config.an_enabled,
+                rtn_probability: opts.rtn_probability,
+                max_magnitude_bits: memsci_numeric::align::MAX_MAGNITUDE_BITS,
+            };
+            let outcome = Cluster::program(spec, &load.entries, &mut rng)?;
+            for &(r, c, v) in &outcome.evicted {
+                residual_coo
+                    .push(load.row0 as usize + r as usize, load.col0 as usize + c as usize, v)
+                    .expect("in range");
+            }
+            clusters.push(ExactCluster {
+                row0: load.row0 as usize,
+                col0: load.col0 as usize,
+                bank: load.bank,
+                cluster: outcome.cluster,
+            });
+        }
+        let residual = residual_coo.to_csr();
+        // Diagonal of the full matrix (blocks + residual), kept for the
+        // Platform::diagonal accessor.
+        let mut diag = residual.diagonal();
+        for b in &blocked.blocks {
+            for (r, c, v) in b.global_entries() {
+                if r == c {
+                    diag[r] += v;
+                }
+            }
+        }
+        let section = config.effective_section(n);
+        let mut bank_residual_local = vec![0usize; config.banks];
+        let mut bank_residual_remote = vec![0usize; config.banks];
+        for (r, c, _) in residual.iter() {
+            let bank = (r / section) % config.banks;
+            let local = r.abs_diff(c) <= config.local.gather_halo
+                || (c / section) % config.banks == bank;
+            if local {
+                bank_residual_local[bank] += 1;
+            } else {
+                bank_residual_remote[bank] += 1;
+            }
+        }
+        let mut bank_elems = vec![0usize; config.banks];
+        for r in 0..n {
+            bank_elems[(r / section) % config.banks] += 1;
+        }
+        Ok(ExactAcceleratorPlatform {
+            config,
+            opts,
+            n,
+            clusters,
+            residual,
+            diag,
+            bank_residual_local,
+            bank_residual_remote,
+            bank_elems,
+            rng,
+            time: 0.0,
+            energy: 0.0,
+            an_corrections: 0,
+            an_detections: 0,
+        })
+    }
+
+    /// Number of programmed clusters.
+    pub fn cluster_count(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Non-zeros on the residual path.
+    pub fn residual_nnz(&self) -> usize {
+        self.residual.nnz()
+    }
+
+    fn dense_kernel(&mut self, per_elem_time: impl Fn(usize) -> f64, extra: f64) {
+        let max_elems = self.bank_elems.iter().copied().max().unwrap_or(0);
+        let time = per_elem_time(max_elems) + extra;
+        let busy: f64 = self
+            .bank_elems
+            .iter()
+            .map(|&e| self.config.local.energy(per_elem_time(e)))
+            .sum();
+        self.time += time;
+        self.energy += busy + self.config.system_static_power * time;
+    }
+}
+
+impl Platform for ExactAcceleratorPlatform {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn spmv(&mut self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n, "x length");
+        assert_eq!(y.len(), self.n, "y length");
+        y.fill(0.0);
+        let mut bank_cluster_time = vec![0.0f64; self.config.banks];
+        let mut bank_interrupts = vec![0usize; self.config.banks];
+        let mut energy = 0.0f64;
+        let mut x_pad = Vec::new();
+        for ec in &self.clusters {
+            let size = ec.cluster.n();
+            let hi = (ec.col0 + size).min(self.n);
+            let x_block: &[f64] = if hi - ec.col0 == size {
+                &x[ec.col0..hi]
+            } else {
+                x_pad.clear();
+                x_pad.extend_from_slice(&x[ec.col0..hi]);
+                x_pad.resize(size, 0.0);
+                &x_pad
+            };
+            let res = ec
+                .cluster
+                .mvm(x_block, &self.opts.mvm, &mut self.rng)
+                .expect("vector values are finite");
+            for (r, &v) in res.y.iter().enumerate() {
+                if v != 0.0 && ec.row0 + r < self.n {
+                    y[ec.row0 + r] += v;
+                }
+            }
+            energy += res.energy;
+            bank_cluster_time[ec.bank] = bank_cluster_time[ec.bank].max(res.time);
+            bank_interrupts[ec.bank] += 1;
+            self.an_corrections += res.an_corrections;
+            self.an_detections += res.an_detections;
+        }
+        self.residual.spmv_add(x, y);
+        let local = self.config.local;
+        let mut worst = 0.0f64;
+        for bank in 0..self.config.banks {
+            let residual_time = local.residual_time_split(
+                self.bank_residual_local[bank],
+                self.bank_residual_remote[bank],
+            ) + bank_interrupts[bank] as f64 * local.interrupt_time;
+            worst = worst.max(bank_cluster_time[bank].max(residual_time));
+            energy += local.energy(residual_time);
+        }
+        let time = worst + self.config.barrier_time;
+        self.time += time;
+        self.energy += energy + self.config.system_static_power * time;
+    }
+
+    fn spmv_transpose(&mut self, _x: &[f64], _y: &mut [f64]) {
+        // The exact platform backs CG and BiCG-STAB, neither of which
+        // needs transpose products; a deployment would program A^T into
+        // its own clusters. Use the fast engine for BiCG.
+        unimplemented!("exact platform does not model transpose products; use the fast engine");
+    }
+
+    fn dot(&mut self, x: &[f64], y: &[f64]) -> f64 {
+        let reduce = self.config.local.global_reduce_time;
+        let local = self.config.local;
+        self.dense_kernel(|e| local.dot_time(e), reduce);
+        dot_f64(x, y)
+    }
+
+    fn axpby(&mut self, alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
+        let barrier = self.config.barrier_time;
+        let local = self.config.local;
+        self.dense_kernel(|e| local.axpy_time(e), barrier);
+        axpby_f64(alpha, x, beta, y);
+    }
+
+    fn diagonal(&self) -> Vec<f64> {
+        self.diag.clone()
+    }
+
+    fn elapsed_seconds(&self) -> f64 {
+        self.time
+    }
+
+    fn energy_joules(&self) -> f64 {
+        self.energy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsci_sparse::generate::poisson2d;
+    use memsci_sparse::BlockingConfig;
+
+    fn build(n_grid: usize) -> (Csr, ExactAcceleratorPlatform) {
+        let a = poisson2d(n_grid, n_grid);
+        let blocked = BlockedMatrix::block(&a, &BlockingConfig::default());
+        let acc = ExactAcceleratorPlatform::new(
+            &blocked,
+            AcceleratorConfig::with_banks(2),
+            ExactOptions::default(),
+        )
+        .unwrap();
+        (a, acc)
+    }
+
+    #[test]
+    fn exact_spmv_is_close_to_f64_reference() {
+        let (a, mut acc) = build(12);
+        let n = a.rows();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.19).sin() + 1.5).collect();
+        let mut y1 = vec![0.0; n];
+        let mut y2 = vec![0.0; n];
+        acc.spmv(&x, &mut y1);
+        a.spmv(&x, &mut y2);
+        for (u, v) in y1.iter().zip(&y2) {
+            // Per-block dots are floor-rounded at 53 bits, then summed
+            // across blocks in f64: a few ULPs at most.
+            assert!((u - v).abs() <= 1e-12 * v.abs().max(1.0), "{u} vs {v}");
+        }
+        assert!(acc.elapsed_seconds() > 0.0);
+        assert!(acc.energy_joules() > 0.0);
+    }
+
+    #[test]
+    fn cg_converges_on_the_exact_platform() {
+        let (a, mut acc) = build(10);
+        let n = a.rows();
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let opts = memsci_solvers::SolveOptions::with_tol(1e-8);
+        let rep = memsci_solvers::cg::cg(&mut acc, &b, &mut x, &opts);
+        assert!(rep.converged, "iters {} res {}", rep.iterations, rep.relative_residual);
+        // Compare against the reference solve: same tolerance reached.
+        let mut reference = memsci_solvers::CsrPlatform::new(a);
+        let mut xr = vec![0.0; n];
+        let rep_ref = memsci_solvers::cg::cg(&mut reference, &b, &mut xr, &opts);
+        assert!(rep_ref.converged);
+        // Iteration counts match within a small slack (the platform
+        // rounds per-block dots toward −∞ instead of to nearest).
+        let diff = rep.iterations.abs_diff(rep_ref.iterations);
+        assert!(diff <= 2, "exact {} vs reference {}", rep.iterations, rep_ref.iterations);
+    }
+
+    #[test]
+    fn programming_noise_degrades_convergence() {
+        let a = poisson2d(10, 10);
+        let blocked = BlockedMatrix::block(&a, &BlockingConfig::default());
+        let mut config = AcceleratorConfig::with_banks(2);
+        config.cell = config.cell.with_programming_sigma(0.05).with_bits_per_cell(2);
+        let mut noisy = ExactAcceleratorPlatform::new(
+            &blocked,
+            config,
+            ExactOptions { seed: 3, ..Default::default() },
+        )
+        .unwrap();
+        let n = a.rows();
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let opts = memsci_solvers::SolveOptions { tol: 1e-8, max_iters: 4000, ..Default::default() };
+        let rep_noisy = memsci_solvers::cg::cg(&mut noisy, &b, &mut x, &opts);
+        let (_, mut clean) = build(10);
+        let mut xc = vec![0.0; n];
+        let rep_clean = memsci_solvers::cg::cg(&mut clean, &b, &mut xc, &opts);
+        assert!(rep_clean.converged);
+        // Two-bit cells with 5% programming error hinder convergence
+        // (Figure 13): more iterations or outright failure.
+        assert!(
+            !rep_noisy.converged || rep_noisy.iterations > rep_clean.iterations,
+            "noisy {} vs clean {}",
+            rep_noisy.iterations,
+            rep_clean.iterations
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! The memristive scientific-computing accelerator.
+//!
+//! This crate assembles the primary contribution of *Enabling
+//! Scientific Computing on Memristive Accelerators* (ISCA 2018) on top
+//! of the substrate crates:
+//!
+//! * [`config`] — the Table I system (128 banks × heterogeneous
+//!   512/256/128/64 clusters, LEON3-class local processors);
+//! * [`mapping`] — capacity-aware placement of blocked matrices onto
+//!   the cluster inventory;
+//! * [`engine`] — the fast platform: functional kernels with the
+//!   early-termination/headstart/CIC cost models (drives Figures 8–10);
+//! * [`exact`] — the bit-exact platform built from real cluster
+//!   simulations (drives Figures 12–13 and precision validation);
+//! * [`overhead`] — preprocessing/write overheads and endurance
+//!   (§VIII-D/E);
+//! * [`area`] — the 539 mm² system area model (§VIII-C);
+//! * [`dispatch`] — the accelerator-vs-GPU decision (§VIII-A);
+//! * [`multi`] — row-striped execution across several accelerators
+//!   (§VI).
+//!
+//! # Examples
+//!
+//! Solve a Poisson system on the accelerator and inspect the model cost:
+//!
+//! ```
+//! use memsci_core::engine::accelerate;
+//! use memsci_core::AcceleratorConfig;
+//! use memsci_solvers::cg::cg;
+//! use memsci_solvers::report::SolveOptions;
+//! use memsci_sparse::generate::poisson2d;
+//!
+//! let a = poisson2d(24, 24);
+//! let mut acc = accelerate(&a, AcceleratorConfig::default());
+//! let b = vec![1.0; a.rows()];
+//! let mut x = vec![0.0; a.rows()];
+//! let report = cg(&mut acc, &b, &mut x, &SolveOptions::default());
+//! assert!(report.converged);
+//! assert!(report.time_seconds > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod area;
+pub mod config;
+pub mod dispatch;
+pub mod engine;
+pub mod exact;
+pub mod mapping;
+pub mod multi;
+pub mod overhead;
+
+pub use config::{AcceleratorConfig, LocalTimings};
+pub use dispatch::Target;
+pub use engine::{accelerate, AcceleratorPlatform, SpmvStats};
+pub use exact::{ExactAcceleratorPlatform, ExactOptions};
+pub use mapping::{map_blocks, ClusterLoad, Mapping, VectorMapEntry};
+pub use multi::MultiAcceleratorPlatform;
+pub use overhead::SetupCost;

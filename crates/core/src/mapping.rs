@@ -1,0 +1,416 @@
+//! Capacity-aware assignment of matrix blocks to clusters.
+//!
+//! The blocking preprocessor (§V-B1) decides block *sizes*; this module
+//! places the blocks onto the finite cluster inventory of Table I.
+//! Blocks spread round-robin across banks. When one size is
+//! oversubscribed, blocks sharing a parent tile merge upward into a free
+//! larger cluster (re-checking the exponent-range constraint), and
+//! oversized overflow splits downward into quadrants; elements that
+//! still cannot be placed fall back to the local processors' residual
+//! path, preserving the paper's program-once operation (§VIII-E).
+
+use std::collections::BTreeMap;
+
+use memsci_sparse::blocking::exponent_window_partition;
+use memsci_sparse::BlockedMatrix;
+
+use crate::config::AcceleratorConfig;
+
+/// The contents assigned to one physical cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterLoad {
+    /// Hosting bank.
+    pub bank: usize,
+    /// Cluster (and content tile) edge.
+    pub size: u32,
+    /// Global row of the tile origin.
+    pub row0: u32,
+    /// Global column of the tile origin.
+    pub col0: u32,
+    /// Entries in tile-local coordinates.
+    pub entries: Vec<(u16, u16, f64)>,
+}
+
+impl ClusterLoad {
+    /// Non-zeros mapped to this cluster.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// Result of mapping a blocked matrix onto the cluster inventory.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Mapping {
+    /// Populated clusters.
+    pub clusters: Vec<ClusterLoad>,
+    /// Entries (global coordinates) pushed to the residual path by
+    /// capacity overflow or merge-time exponent evictions.
+    pub extra_residual: Vec<(u32, u32, f64)>,
+    /// Blocks merged upward into larger clusters.
+    pub merged_up: usize,
+    /// Blocks split downward into quadrants.
+    pub split_down: usize,
+}
+
+impl Mapping {
+    /// Non-zeros held by clusters.
+    pub fn mapped_nnz(&self) -> usize {
+        self.clusters.iter().map(ClusterLoad::nnz).sum()
+    }
+
+    /// Builds the per-bank vector maps of §VI-A1: for every cluster on a
+    /// bank, the tuple of (input-buffer base address, vector element
+    /// index, cluster size). Entries are ordered largest cluster first,
+    /// because larger clusters have higher latency and are started
+    /// first.
+    pub fn vector_maps(&self, banks: usize) -> Vec<Vec<VectorMapEntry>> {
+        let mut maps: Vec<Vec<VectorMapEntry>> = vec![Vec::new(); banks];
+        let mut next_base: Vec<u32> = vec![0; banks];
+        // Sort cluster indices by (bank, descending size) for the
+        // start-large-first ordering.
+        let mut order: Vec<usize> = (0..self.clusters.len()).collect();
+        order.sort_by_key(|&i| {
+            let c = &self.clusters[i];
+            (c.bank, core::cmp::Reverse(c.size), c.row0, c.col0)
+        });
+        for i in order {
+            let c = &self.clusters[i];
+            let entry = VectorMapEntry {
+                buffer_base: next_base[c.bank],
+                vector_index: c.col0,
+                size: c.size,
+            };
+            next_base[c.bank] += c.size;
+            maps[c.bank].push(entry);
+        }
+        maps
+    }
+}
+
+/// One vector-map tuple (§VI-A1): where a cluster's contiguous input
+/// vector section lives in the bank's SRAM buffer, which global vector
+/// element it starts at, and how long it is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VectorMapEntry {
+    /// Base address (in elements) within the bank's input vector buffer.
+    pub buffer_base: u32,
+    /// Global index of the first vector element the cluster consumes.
+    pub vector_index: u32,
+    /// Cluster size (length of the contiguous section).
+    pub size: u32,
+}
+
+#[derive(Debug, Clone)]
+struct PendingBlock {
+    row0: u32,
+    col0: u32,
+    entries: Vec<(u16, u16, f64)>,
+}
+
+/// Maps the blocks of a [`BlockedMatrix`] onto the configured cluster
+/// inventory.
+///
+/// # Panics
+///
+/// Panics if a block's size does not appear in the configuration.
+pub fn map_blocks(blocked: &BlockedMatrix, config: &AcceleratorConfig) -> Mapping {
+    let sizes = config.sizes(); // descending
+    let max_spread =
+        (memsci_numeric::align::MAX_MAGNITUDE_BITS - memsci_numeric::align::MANTISSA_BITS) as i32;
+    let mut pending: BTreeMap<u32, Vec<PendingBlock>> = BTreeMap::new();
+    for s in &sizes {
+        pending.insert(*s as u32, Vec::new());
+    }
+    for b in &blocked.blocks {
+        pending
+            .get_mut(&b.size)
+            .unwrap_or_else(|| panic!("block size {} not in the configuration", b.size))
+            .push(PendingBlock { row0: b.row0, col0: b.col0, entries: b.entries.clone() });
+    }
+
+    let mut out = Mapping::default();
+
+    // Upward merge: relieve oversubscribed small sizes by fusing blocks
+    // that share a parent tile into the next size up.
+    let ascending: Vec<u32> = sizes.iter().rev().map(|&s| s as u32).collect();
+    for w in 0..ascending.len().saturating_sub(1) {
+        let s = ascending[w];
+        let parent = ascending[w + 1];
+        let cap = config.cluster_capacity(s as usize);
+        let have = pending[&s].len();
+        if have <= cap {
+            continue;
+        }
+        let mut excess = have - cap;
+        // Group this size's blocks by parent tile; merge the largest
+        // groups first (they relieve the most pressure per new cluster).
+        let blocks = pending.remove(&s).unwrap();
+        let mut groups: BTreeMap<(u32, u32), Vec<PendingBlock>> = BTreeMap::new();
+        for b in blocks {
+            groups.entry((b.row0 / parent, b.col0 / parent)).or_default().push(b);
+        }
+        let mut ordered: Vec<((u32, u32), Vec<PendingBlock>)> = groups.into_iter().collect();
+        ordered.sort_by_key(|(key, group)| (usize::MAX - group.len(), *key));
+        let mut keep = Vec::new();
+        for ((pr, pc), group) in ordered {
+            if excess == 0 {
+                keep.extend(group);
+                continue;
+            }
+            excess = excess.saturating_sub(group.len());
+            out.merged_up += group.len();
+            let merged = merge_group(pr * parent, pc * parent, &group, max_spread, &mut out);
+            pending.get_mut(&parent).unwrap().push(merged);
+        }
+        pending.insert(s, keep);
+    }
+
+    // Downward assignment: place blocks, splitting overflow into
+    // quadrants for the next smaller size.
+    let mut next_instance: BTreeMap<u32, usize> = BTreeMap::new();
+    for (idx, &s) in sizes.iter().enumerate() {
+        let s = s as u32;
+        let cap = config.cluster_capacity(s as usize);
+        let blocks = pending.remove(&s).unwrap_or_default();
+        for b in blocks {
+            let used = next_instance.entry(s).or_insert(0);
+            if *used < cap {
+                let bank = *used % config.banks;
+                *used += 1;
+                out.clusters.push(ClusterLoad {
+                    bank,
+                    size: s,
+                    row0: b.row0,
+                    col0: b.col0,
+                    entries: b.entries,
+                });
+            } else if idx + 1 < sizes.len() {
+                out.split_down += 1;
+                let half = s / 2;
+                let mut quadrants: BTreeMap<(u32, u32), PendingBlock> = BTreeMap::new();
+                for (r, c, v) in b.entries {
+                    let (qr, qc) = (u32::from(r) / half, u32::from(c) / half);
+                    let q = quadrants.entry((qr, qc)).or_insert_with(|| PendingBlock {
+                        row0: b.row0 + qr * half,
+                        col0: b.col0 + qc * half,
+                        entries: Vec::new(),
+                    });
+                    q.entries.push((
+                        (u32::from(r) - qr * half) as u16,
+                        (u32::from(c) - qc * half) as u16,
+                        v,
+                    ));
+                }
+                pending.entry(half).or_default().extend(quadrants.into_values());
+            } else {
+                for (r, c, v) in b.entries {
+                    out.extra_residual.push((b.row0 + u32::from(r), b.col0 + u32::from(c), v));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn merge_group(
+    row0: u32,
+    col0: u32,
+    group: &[PendingBlock],
+    max_spread: i32,
+    out: &mut Mapping,
+) -> PendingBlock {
+    let mut entries: Vec<(u16, u16, f64)> = Vec::new();
+    for b in group {
+        for &(r, c, v) in &b.entries {
+            entries.push((
+                (b.row0 - row0 + u32::from(r)) as u16,
+                (b.col0 - col0 + u32::from(c)) as u16,
+                v,
+            ));
+        }
+    }
+    // Merged blocks may combine incompatible exponent ranges: keep the
+    // largest alignable subset, evict the rest to the residual path.
+    let values: Vec<f64> = entries.iter().map(|&(_, _, v)| v).collect();
+    let (kept, evicted) = exponent_window_partition(&values, max_spread);
+    for &i in &evicted {
+        let (r, c, v) = entries[i];
+        out.extra_residual.push((row0 + u32::from(r), col0 + u32::from(c), v));
+    }
+    let entries: Vec<(u16, u16, f64)> = kept.into_iter().map(|i| entries[i]).collect();
+    PendingBlock { row0, col0, entries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsci_sparse::blocking::BlockingConfig;
+    use memsci_sparse::generate::{banded, ValueModel};
+    use memsci_sparse::{BlockedMatrix, Coo};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(5)
+    }
+
+    fn block(m: &memsci_sparse::Csr) -> BlockedMatrix {
+        BlockedMatrix::block(m, &BlockingConfig::default())
+    }
+
+    fn total_nnz(mapping: &Mapping) -> usize {
+        mapping.mapped_nnz() + mapping.extra_residual.len()
+    }
+
+    #[test]
+    fn vector_maps_are_ordered_largest_first() {
+        let a = banded(3000, 24, 0.8, ValueModel::with_spread(8), &mut rng()).to_csr();
+        let blocked = block(&a);
+        let config = AcceleratorConfig::with_banks(4);
+        let mapping = map_blocks(&blocked, &config);
+        let maps = mapping.vector_maps(config.banks);
+        assert_eq!(maps.len(), 4);
+        let mut total_entries = 0;
+        for bank_map in &maps {
+            // Descending cluster sizes within each bank.
+            for w in bank_map.windows(2) {
+                assert!(w[0].size >= w[1].size);
+            }
+            // Buffer sections are packed contiguously.
+            let mut expect_base = 0;
+            for e in bank_map {
+                assert_eq!(e.buffer_base, expect_base);
+                expect_base += e.size;
+            }
+            total_entries += bank_map.len();
+        }
+        assert_eq!(total_entries, mapping.clusters.len());
+    }
+
+    #[test]
+    fn mapping_conserves_entries() {
+        let a = banded(1500, 20, 0.8, ValueModel::with_spread(10), &mut rng()).to_csr();
+        let blocked = block(&a);
+        let mapping = map_blocks(&blocked, &AcceleratorConfig::default());
+        assert_eq!(total_nnz(&mapping), blocked.stats.nnz_blocked);
+    }
+
+    #[test]
+    fn banks_are_balanced() {
+        let a = banded(4000, 24, 0.8, ValueModel::with_spread(8), &mut rng()).to_csr();
+        let blocked = block(&a);
+        let config = AcceleratorConfig::with_banks(4);
+        let mapping = map_blocks(&blocked, &config);
+        let mut per_bank = vec![0usize; 4];
+        for c in &mapping.clusters {
+            per_bank[c.bank] += 1;
+        }
+        let max = per_bank.iter().max().unwrap();
+        let min = per_bank.iter().min().unwrap();
+        assert!(max - min <= 4, "per-bank loads {per_bank:?}");
+    }
+
+    #[test]
+    fn oversubscription_merges_upward() {
+        // A tiny 1-bank config with very few 64-clusters and free 128s.
+        let mut config = AcceleratorConfig::with_banks(1);
+        config.clusters_per_bank = vec![(128, 8), (64, 2)];
+        // Many adjacent dense 64-tiles.
+        let n = 64 * 12;
+        let mut coo = Coo::new(n, n);
+        for t in 0..12usize {
+            for r in 0..64usize {
+                for c in 0..64usize {
+                    if (r + c) % 2 == 0 {
+                        coo.push(t * 64 + r, t * 64 + c, 1.0 + r as f64).unwrap();
+                    }
+                }
+            }
+        }
+        let a = coo.to_csr();
+        let bc = BlockingConfig { block_sizes: vec![64], ..Default::default() };
+        let blocked = BlockedMatrix::block(&a, &bc);
+        assert!(blocked.blocks.iter().all(|b| b.size == 64));
+        assert!(blocked.blocks.len() > 2);
+        let mapping = map_blocks(&blocked, &config);
+        assert!(mapping.merged_up > 0, "expected upward merges");
+        assert!(mapping.clusters.iter().any(|c| c.size == 128));
+        assert_eq!(total_nnz(&mapping), blocked.stats.nnz_blocked);
+        // Capacity respected.
+        assert!(mapping.clusters.iter().filter(|c| c.size == 64).count() <= 2);
+        assert!(mapping.clusters.iter().filter(|c| c.size == 128).count() <= 8);
+    }
+
+    #[test]
+    fn oversubscribed_large_blocks_split_downward() {
+        let mut config = AcceleratorConfig::with_banks(1);
+        config.clusters_per_bank = vec![(512, 1), (256, 8)];
+        // Two dense 512-tiles; only one 512-cluster.
+        let n = 1024;
+        let mut coo = Coo::new(n, n);
+        for t in 0..2usize {
+            for r in 0..512usize {
+                for c in (0..512).step_by(7) {
+                    coo.push(t * 512 + r, t * 512 + c, 2.0).unwrap();
+                }
+            }
+        }
+        let a = coo.to_csr();
+        let bc = BlockingConfig { block_sizes: vec![512, 256], ..Default::default() };
+        let blocked = BlockedMatrix::block(&a, &bc);
+        assert_eq!(blocked.blocks.len(), 2);
+        let mapping = map_blocks(&blocked, &config);
+        assert_eq!(mapping.split_down, 1);
+        assert_eq!(mapping.clusters.iter().filter(|c| c.size == 512).count(), 1);
+        assert_eq!(mapping.clusters.iter().filter(|c| c.size == 256).count(), 4);
+        assert_eq!(total_nnz(&mapping), blocked.stats.nnz_blocked);
+    }
+
+    #[test]
+    fn total_overflow_goes_to_residual() {
+        let mut config = AcceleratorConfig::with_banks(1);
+        config.clusters_per_bank = vec![(64, 1)];
+        let n = 192;
+        let mut coo = Coo::new(n, n);
+        for t in 0..3usize {
+            for r in 0..64usize {
+                for c in 0..64usize {
+                    coo.push(t * 64 + r, t * 64 + c, 1.0).unwrap();
+                }
+            }
+        }
+        let bc = BlockingConfig { block_sizes: vec![64], ..Default::default() };
+        let blocked = BlockedMatrix::block(&coo.to_csr(), &bc);
+        assert_eq!(blocked.blocks.len(), 3);
+        let mapping = map_blocks(&blocked, &config);
+        assert_eq!(mapping.clusters.len(), 1);
+        assert_eq!(mapping.extra_residual.len(), 2 * 64 * 64);
+        assert_eq!(total_nnz(&mapping), blocked.stats.nnz_blocked);
+    }
+
+    #[test]
+    fn merge_evicts_range_violations() {
+        let mut config = AcceleratorConfig::with_banks(1);
+        config.clusters_per_bank = vec![(128, 4), (64, 1)];
+        // Two adjacent dense 64-tiles with wildly different exponents:
+        // merging must evict one side.
+        let n = 128;
+        let mut coo = Coo::new(n, n);
+        for r in 0..64usize {
+            for c in 0..64usize {
+                coo.push(r, c, 1.0).unwrap();
+                coo.push(64 + r, 64 + c, 1e260).unwrap();
+            }
+        }
+        let bc = BlockingConfig { block_sizes: vec![64], ..Default::default() };
+        let blocked = BlockedMatrix::block(&coo.to_csr(), &bc);
+        assert_eq!(blocked.blocks.len(), 2);
+        let mapping = map_blocks(&blocked, &config);
+        // One block stays on the 64-cluster; the other merges up alone
+        // or both merge — in every case all entries are conserved.
+        assert_eq!(total_nnz(&mapping), blocked.stats.nnz_blocked);
+        if mapping.merged_up == 2 {
+            assert_eq!(mapping.extra_residual.len(), 64 * 64);
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Multi-accelerator execution (§VI).
+//!
+//! "On problems that are too large for a single accelerator, the MVM can
+//! be split in a manner analogous to the partitioning on GPUs: each
+//! accelerator handles a portion of the MVM, and the accelerators
+//! synchronize between iterations." This platform partitions the matrix
+//! row-wise across several accelerator instances; each device computes
+//! its row stripe (reading the full `x`), and a synchronization
+//! exchange puts the produced stripes back together before the next
+//! kernel.
+
+use memsci_solvers::platform::{axpby_f64, dot_f64, Platform};
+use memsci_sparse::blocking::{BlockedMatrix, BlockingConfig};
+use memsci_sparse::{Coo, Csr};
+
+use crate::config::AcceleratorConfig;
+use crate::engine::AcceleratorPlatform;
+
+/// Several accelerators jointly solving one system.
+#[derive(Debug, Clone)]
+pub struct MultiAcceleratorPlatform {
+    n: usize,
+    /// Per-device: (first row of the stripe, engine over the stripe
+    /// embedded in an n×n matrix).
+    devices: Vec<(usize, AcceleratorPlatform)>,
+    /// Seconds to exchange produced vector stripes between iterations.
+    sync_time: f64,
+    time: f64,
+    energy: f64,
+}
+
+impl MultiAcceleratorPlatform {
+    /// Splits a matrix row-wise over `devices` accelerators.
+    ///
+    /// Each stripe is blocked and mapped independently, so every device
+    /// only spends clusters on its own rows. `sync_time` models the
+    /// inter-accelerator exchange after each kernel (e.g. over NVLink-
+    /// class links).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `devices == 0` or the matrix is not square.
+    pub fn new(a: &Csr, devices: usize, config: AcceleratorConfig, sync_time: f64) -> Self {
+        assert!(devices > 0, "at least one device");
+        let (rows, cols) = a.shape();
+        assert_eq!(rows, cols, "platform matrices must be square");
+        let n = rows;
+        let stripe = n.div_ceil(devices);
+        let mut out = Vec::with_capacity(devices);
+        for d in 0..devices {
+            let r0 = d * stripe;
+            if r0 >= n {
+                break;
+            }
+            let r1 = ((d + 1) * stripe).min(n);
+            // Embed the stripe in an n×n matrix so column indices (and
+            // the incoming x) keep their global meaning.
+            let mut coo = Coo::new(n, n);
+            for (r, c, v) in a.iter() {
+                if r >= r0 && r < r1 {
+                    coo.push(r, c, v).expect("in range");
+                }
+            }
+            let blocked = BlockedMatrix::block(&coo.to_csr(), &BlockingConfig::default());
+            out.push((r0, AcceleratorPlatform::new(&blocked, config.clone())));
+        }
+        MultiAcceleratorPlatform { n, devices: out, sync_time, time: 0.0, energy: 0.0 }
+    }
+
+    /// Number of participating accelerators.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Clusters programmed across all devices.
+    pub fn cluster_count(&self) -> usize {
+        self.devices.iter().map(|(_, d)| d.cluster_count()).sum()
+    }
+}
+
+impl Platform for MultiAcceleratorPlatform {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn spmv(&mut self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n, "x length");
+        assert_eq!(y.len(), self.n, "y length");
+        // Devices run in parallel: wall time is the slowest stripe plus
+        // the synchronization exchange; energies add.
+        let mut worst = 0.0f64;
+        let mut buf = vec![0.0; self.n];
+        y.fill(0.0);
+        for (_, dev) in &mut self.devices {
+            let t0 = dev.elapsed_seconds();
+            let e0 = dev.energy_joules();
+            dev.spmv(x, &mut buf);
+            for (yi, bi) in y.iter_mut().zip(&buf) {
+                *yi += bi;
+            }
+            worst = worst.max(dev.elapsed_seconds() - t0);
+            self.energy += dev.energy_joules() - e0;
+        }
+        self.time += worst + self.sync_time;
+    }
+
+    fn spmv_transpose(&mut self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n, "x length");
+        assert_eq!(y.len(), self.n, "y length");
+        let mut worst = 0.0f64;
+        let mut buf = vec![0.0; self.n];
+        y.fill(0.0);
+        for (_, dev) in &mut self.devices {
+            let t0 = dev.elapsed_seconds();
+            let e0 = dev.energy_joules();
+            dev.spmv_transpose(x, &mut buf);
+            for (yi, bi) in y.iter_mut().zip(&buf) {
+                *yi += bi;
+            }
+            worst = worst.max(dev.elapsed_seconds() - t0);
+            self.energy += dev.energy_joules() - e0;
+        }
+        self.time += worst + self.sync_time;
+    }
+
+    fn dot(&mut self, x: &[f64], y: &[f64]) -> f64 {
+        // Each device reduces its stripe locally; one exchange combines.
+        let mut worst = 0.0f64;
+        for (_, dev) in &mut self.devices {
+            let t0 = dev.elapsed_seconds();
+            let e0 = dev.energy_joules();
+            let _ = dev.dot(x, y); // per-device cost model
+            worst = worst.max(dev.elapsed_seconds() - t0);
+            self.energy += dev.energy_joules() - e0;
+        }
+        self.time += worst + self.sync_time;
+        dot_f64(x, y)
+    }
+
+    fn axpby(&mut self, alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
+        let mut worst = 0.0f64;
+        for (_, dev) in &mut self.devices {
+            let t0 = dev.elapsed_seconds();
+            let e0 = dev.energy_joules();
+            let mut scratch = y.to_vec();
+            dev.axpby(alpha, x, beta, &mut scratch);
+            worst = worst.max(dev.elapsed_seconds() - t0);
+            self.energy += dev.energy_joules() - e0;
+        }
+        self.time += worst;
+        axpby_f64(alpha, x, beta, y);
+    }
+
+    fn diagonal(&self) -> Vec<f64> {
+        let mut diag = vec![0.0; self.n];
+        for (_, dev) in &self.devices {
+            for (i, v) in dev.diagonal().into_iter().enumerate() {
+                diag[i] += v;
+            }
+        }
+        diag
+    }
+
+    fn elapsed_seconds(&self) -> f64 {
+        self.time
+    }
+
+    fn energy_joules(&self) -> f64 {
+        self.energy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsci_solvers::cg::cg;
+    use memsci_solvers::SolveOptions;
+    use memsci_sparse::generate::{banded, make_diagonally_dominant, symmetrize, ValueModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn spd(n: usize) -> Csr {
+        let mut rng = StdRng::seed_from_u64(31);
+        let base = banded(n, 10, 0.8, ValueModel::with_spread(8), &mut rng);
+        make_diagonally_dominant(&symmetrize(&base), 1.3)
+    }
+
+    #[test]
+    fn multi_matches_single_numerically() {
+        let a = spd(800);
+        let mut multi =
+            MultiAcceleratorPlatform::new(&a, 3, AcceleratorConfig::with_banks(8), 2e-6);
+        assert_eq!(multi.device_count(), 3);
+        assert!(multi.cluster_count() > 0);
+        let x: Vec<f64> = (0..800).map(|i| (i as f64 * 0.11).sin()).collect();
+        let mut y1 = vec![0.0; 800];
+        let mut y2 = vec![0.0; 800];
+        multi.spmv(&x, &mut y1);
+        a.spmv(&x, &mut y2);
+        for (u, v) in y1.iter().zip(&y2) {
+            assert!((u - v).abs() <= 1e-9 * v.abs().max(1.0));
+        }
+        assert_eq!(multi.diagonal(), a.diagonal());
+    }
+
+    #[test]
+    fn cg_converges_on_multi_device() {
+        let a = spd(600);
+        let mut multi =
+            MultiAcceleratorPlatform::new(&a, 4, AcceleratorConfig::with_banks(4), 2e-6);
+        let b = vec![1.0; 600];
+        let mut x = vec![0.0; 600];
+        let rep = cg(&mut multi, &b, &mut x, &SolveOptions::with_tol(1e-9));
+        assert!(rep.converged);
+        assert!(rep.time_seconds > 0.0 && rep.energy_joules > 0.0);
+    }
+
+    #[test]
+    fn more_devices_do_not_slow_the_stripe() {
+        // Splitting reduces (or at worst maintains) the slowest stripe's
+        // cluster time, at the cost of synchronization.
+        let a = spd(1200);
+        let x = vec![1.0; 1200];
+        let mut y = vec![0.0; 1200];
+        let mut one = MultiAcceleratorPlatform::new(&a, 1, AcceleratorConfig::with_banks(2), 0.0);
+        one.spmv(&x, &mut y);
+        let t1 = one.elapsed_seconds();
+        let mut four = MultiAcceleratorPlatform::new(&a, 4, AcceleratorConfig::with_banks(2), 0.0);
+        four.spmv(&x, &mut y);
+        let t4 = four.elapsed_seconds();
+        assert!(t4 <= t1 * 1.05, "four devices {t4} vs one {t1}");
+    }
+
+    #[test]
+    fn sync_cost_is_charged_per_kernel() {
+        let a = spd(300);
+        let mut multi =
+            MultiAcceleratorPlatform::new(&a, 2, AcceleratorConfig::with_banks(2), 1e-3);
+        let x = vec![1.0; 300];
+        let mut y = vec![0.0; 300];
+        multi.spmv(&x, &mut y);
+        assert!(multi.elapsed_seconds() >= 1e-3);
+    }
+}

@@ -1,0 +1,273 @@
+//! Analytic GPU baseline: a Tesla P100 roofline model.
+//!
+//! The paper compares against an nVidia Tesla P100 modelled with
+//! GPGPU-Sim and GPUWattch (§VII-B). Neither tool is available here, so
+//! this crate substitutes a calibrated analytic model resting on the
+//! observation that double-precision Krylov solvers on GPUs are
+//! memory-bandwidth-bound (Anzt et al., the paper's reference 53).
+//! Sustained efficiencies are calibrated to the GPGPU-Sim-class
+//! behaviour the paper measures — irregular CSR SpMV sustains roughly a
+//! tenth of peak bandwidth, and kernel launch/synchronization costs
+//! dominate the BLAS-1 tail — rather than to hand-tuned modern
+//! libraries:
+//!
+//! * CSR SpMV moves `12·nnz` bytes of matrix data plus partially-cached
+//!   gathers of `x`, at an irregular-access bandwidth efficiency well
+//!   below peak;
+//! * BLAS-1 kernels (dot, AXPY) stream at near-peak efficiency but pay
+//!   a launch/synchronization latency per kernel, which dominates for
+//!   the smaller matrices of Table II;
+//! * energy is average kernel power times busy time.
+//!
+//! Numerically the platform executes kernels in plain `f64` — the same
+//! arithmetic a real GPU performs — so iteration counts are faithful.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use memsci_solvers::platform::{axpby_f64, dot_f64, Platform};
+use memsci_sparse::Csr;
+
+/// Performance/energy parameters of the modelled GPU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuSpec {
+    /// Peak memory bandwidth in bytes/s (P100 HBM2: 732 GB/s).
+    pub mem_bw: f64,
+    /// Sustained fraction of peak bandwidth for irregular CSR SpMV.
+    pub eff_bw_spmv: f64,
+    /// Sustained fraction of peak bandwidth for streaming BLAS-1.
+    pub eff_bw_dense: f64,
+    /// Peak double-precision throughput in FLOP/s (P100: 4.7 TFLOP/s).
+    pub peak_dp_flops: f64,
+    /// Launch + dependency-synchronization latency per kernel, seconds.
+    pub kernel_launch: f64,
+    /// Average power while kernels execute, watts.
+    pub power_avg: f64,
+    /// Bytes of `x` gather traffic per non-zero after caching.
+    pub x_gather_bytes_per_nnz: f64,
+}
+
+impl Default for GpuSpec {
+    /// Tesla P100 (PCIe, 16 GB) with sustained efficiencies calibrated
+    /// against published DP sparse-solver measurements.
+    fn default() -> Self {
+        GpuSpec {
+            mem_bw: 732.0e9,
+            eff_bw_spmv: 0.085,
+            eff_bw_dense: 0.35,
+            peak_dp_flops: 4.7e12,
+            kernel_launch: 15.0e-6,
+            power_avg: 120.0,
+            x_gather_bytes_per_nnz: 8.0,
+        }
+    }
+}
+
+impl GpuSpec {
+    /// Model time for one CSR SpMV (`nnz` non-zeros, `rows` rows).
+    pub fn spmv_time(&self, rows: usize, nnz: usize) -> f64 {
+        // Matrix: 8 B value + 4 B column per nnz, 4 B row pointer and
+        // 8 B result per row; vector gathers partially cached.
+        let bytes = nnz as f64 * (12.0 + self.x_gather_bytes_per_nnz) + rows as f64 * 12.0;
+        let bw_time = bytes / (self.eff_bw_spmv * self.mem_bw);
+        let flop_time = 2.0 * nnz as f64 / self.peak_dp_flops;
+        bw_time.max(flop_time) + self.kernel_launch
+    }
+
+    /// Model time for a dense dot product of length `n` (two kernels:
+    /// multiply-reduce and final reduction, plus a result readback).
+    pub fn dot_time(&self, n: usize) -> f64 {
+        let bytes = 16.0 * n as f64;
+        bytes / (self.eff_bw_dense * self.mem_bw) + 2.0 * self.kernel_launch
+    }
+
+    /// Model time for `y = α·x + β·y` of length `n`.
+    pub fn axpby_time(&self, n: usize) -> f64 {
+        let bytes = 24.0 * n as f64;
+        bytes / (self.eff_bw_dense * self.mem_bw) + self.kernel_launch
+    }
+
+    /// Energy for a period of busy time.
+    pub fn energy(&self, time: f64) -> f64 {
+        self.power_avg * time
+    }
+}
+
+/// A [`Platform`] executing kernels in `f64` while accumulating the
+/// analytic P100 cost model.
+///
+/// # Examples
+///
+/// ```
+/// use memsci_gpu::GpuPlatform;
+/// use memsci_solvers::cg::cg;
+/// use memsci_solvers::report::SolveOptions;
+/// use memsci_sparse::generate::poisson2d;
+///
+/// let mut gpu = GpuPlatform::new(poisson2d(16, 16));
+/// let b = vec![1.0; 256];
+/// let mut x = vec![0.0; 256];
+/// let report = cg(&mut gpu, &b, &mut x, &SolveOptions::default());
+/// assert!(report.converged);
+/// assert!(report.time_seconds > 0.0);
+/// assert!(report.energy_joules > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GpuPlatform {
+    spec: GpuSpec,
+    a: Csr,
+    a_t: Csr,
+    time: f64,
+    energy: f64,
+}
+
+impl GpuPlatform {
+    /// Wraps a square CSR matrix with the default P100 model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn new(a: Csr) -> Self {
+        Self::with_spec(a, GpuSpec::default())
+    }
+
+    /// Wraps a matrix with an explicit GPU spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn with_spec(a: Csr, spec: GpuSpec) -> Self {
+        assert_eq!(a.rows(), a.cols(), "platform matrices must be square");
+        let a_t = a.transpose();
+        GpuPlatform { spec, a, a_t, time: 0.0, energy: 0.0 }
+    }
+
+    /// The GPU parameters in use.
+    pub fn spec(&self) -> &GpuSpec {
+        &self.spec
+    }
+
+    /// The wrapped matrix.
+    pub fn matrix(&self) -> &Csr {
+        &self.a
+    }
+
+    fn charge(&mut self, t: f64) {
+        self.time += t;
+        self.energy += self.spec.energy(t);
+    }
+}
+
+impl Platform for GpuPlatform {
+    fn n(&self) -> usize {
+        self.a.rows()
+    }
+
+    fn spmv(&mut self, x: &[f64], y: &mut [f64]) {
+        self.a.spmv(x, y);
+        let t = self.spec.spmv_time(self.a.rows(), self.a.nnz());
+        self.charge(t);
+    }
+
+    fn spmv_transpose(&mut self, x: &[f64], y: &mut [f64]) {
+        self.a_t.spmv(x, y);
+        let t = self.spec.spmv_time(self.a.rows(), self.a.nnz());
+        self.charge(t);
+    }
+
+    fn dot(&mut self, x: &[f64], y: &[f64]) -> f64 {
+        let t = self.spec.dot_time(x.len());
+        self.charge(t);
+        dot_f64(x, y)
+    }
+
+    fn axpby(&mut self, alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
+        let t = self.spec.axpby_time(x.len());
+        self.charge(t);
+        axpby_f64(alpha, x, beta, y);
+    }
+
+    fn diagonal(&self) -> Vec<f64> {
+        self.a.diagonal()
+    }
+
+    fn elapsed_seconds(&self) -> f64 {
+        self.time
+    }
+
+    fn energy_joules(&self) -> f64 {
+        self.energy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsci_sparse::generate::poisson2d;
+    use memsci_sparse::Coo;
+
+    #[test]
+    fn spmv_time_is_bandwidth_dominated() {
+        let s = GpuSpec::default();
+        // 1.6M nnz, 100k rows: tens of microseconds, not milliseconds.
+        let t = s.spmv_time(100_000, 1_600_000);
+        assert!(t > 1.0e-5 && t < 1.0e-3, "{t}");
+        // Doubling nnz roughly doubles the time (launch constant aside).
+        let t2 = s.spmv_time(100_000, 3_200_000);
+        assert!(t2 > 1.7 * (t - s.kernel_launch));
+    }
+
+    #[test]
+    fn small_kernels_are_launch_bound() {
+        let s = GpuSpec::default();
+        let t = s.dot_time(1000);
+        assert!(t < 2.5 * s.kernel_launch + 1e-6);
+        assert!(t >= 2.0 * s.kernel_launch);
+    }
+
+    #[test]
+    fn numerics_match_reference_platform() {
+        let a = poisson2d(8, 8);
+        let mut gpu = GpuPlatform::new(a.clone());
+        let mut reference = memsci_solvers::CsrPlatform::new(a);
+        let x: Vec<f64> = (0..64).map(|i| (i as f64 * 0.17).sin()).collect();
+        let mut y1 = vec![0.0; 64];
+        let mut y2 = vec![0.0; 64];
+        gpu.spmv(&x, &mut y1);
+        reference.spmv(&x, &mut y2);
+        assert_eq!(y1, y2);
+        assert_eq!(gpu.dot(&x, &y1), reference.dot(&x, &y2));
+    }
+
+    #[test]
+    fn transpose_spmv_uses_transposed_matrix() {
+        let a = Coo::from_triplets(2, 2, [(0, 1, 3.0)]).unwrap().to_csr();
+        let mut gpu = GpuPlatform::new(a);
+        let mut y = vec![0.0; 2];
+        gpu.spmv_transpose(&[2.0, 0.0], &mut y);
+        assert_eq!(y, vec![0.0, 6.0]);
+    }
+
+    #[test]
+    fn cost_accumulates_per_kernel() {
+        let a = poisson2d(4, 4);
+        let mut gpu = GpuPlatform::new(a);
+        assert_eq!(gpu.elapsed_seconds(), 0.0);
+        let x = vec![1.0; 16];
+        let mut y = vec![0.0; 16];
+        gpu.spmv(&x, &mut y);
+        let t1 = gpu.elapsed_seconds();
+        assert!(t1 > 0.0);
+        gpu.spmv(&x, &mut y);
+        assert!((gpu.elapsed_seconds() - 2.0 * t1).abs() < 1e-12);
+        assert!(
+            (gpu.energy_joules() - gpu.spec().power_avg * gpu.elapsed_seconds()).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn energy_scales_with_power() {
+        let spec = GpuSpec { power_avg: 100.0, ..Default::default() };
+        assert_eq!(spec.energy(2.0), 200.0);
+    }
+}

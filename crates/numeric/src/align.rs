@@ -1,0 +1,287 @@
+//! Mantissa alignment: floating point → block-relative fixed point.
+//!
+//! Values that are summed in the analog domain must share one exponent
+//! base, so each mantissa is shifted left by the difference between its
+//! own exponent and the block minimum (paper §IV-A). Because matrices
+//! from physical systems exhibit *exponent range locality*, the padding
+//! stays small — at most [`MAX_PAD_BITS`] bits per block rather than the
+//! 2046 bits naive IEEE-754 emulation would require.
+
+use core::fmt;
+
+use crate::float::{FloatParts, NonFiniteError};
+use crate::wideint::WideInt;
+
+/// Bits in a double-precision mantissa, including the implied leading one.
+pub const MANTISSA_BITS: usize = 53;
+
+/// Maximum pad bits available for mantissa alignment inside one operand.
+pub const MAX_PAD_BITS: usize = 64;
+
+/// Maximum magnitude width of an aligned operand
+/// (`MANTISSA_BITS + MAX_PAD_BITS`, the paper's 117 value bits).
+pub const MAX_MAGNITUDE_BITS: usize = MANTISSA_BITS + MAX_PAD_BITS;
+
+/// Full unsigned operand width once the bias bit is included (118 bits);
+/// AN encoding expands this to at most 127 bits, one per crossbar.
+pub const MAX_OPERAND_BITS: usize = MAX_MAGNITUDE_BITS + 1;
+
+/// The exponent base and magnitude width shared by a block of values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Alignment {
+    /// Power-of-two weight of the fixed-point LSB.
+    pub exp_base: i32,
+    /// Bits needed to represent the largest aligned magnitude.
+    pub magnitude_bits: usize,
+}
+
+/// Error produced when a slice of doubles cannot be aligned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlignError {
+    /// A NaN or infinity was present.
+    NonFinite(NonFiniteError),
+    /// The block's exponent range needs more magnitude bits than allowed;
+    /// the blocking preprocessor reacts by evicting outlier elements.
+    RangeExceeded {
+        /// Magnitude bits the data actually needs.
+        required: usize,
+        /// The configured maximum.
+        max: usize,
+    },
+}
+
+impl fmt::Display for AlignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlignError::NonFinite(e) => e.fmt(f),
+            AlignError::RangeExceeded { required, max } => write!(
+                f,
+                "exponent range requires {required} magnitude bits, exceeding the {max}-bit operand"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AlignError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AlignError::NonFinite(e) => Some(e),
+            AlignError::RangeExceeded { .. } => None,
+        }
+    }
+}
+
+impl From<NonFiniteError> for AlignError {
+    fn from(e: NonFiniteError) -> Self {
+        AlignError::NonFinite(e)
+    }
+}
+
+/// Computes the alignment (exponent base and magnitude width) required by
+/// a set of finite values; zeros are ignored. Returns `Ok(None)` when all
+/// values are zero.
+///
+/// # Errors
+///
+/// Returns [`NonFiniteError`] if any value is NaN or infinite.
+///
+/// # Examples
+///
+/// ```
+/// use memsci_numeric::align::analyze;
+///
+/// let a = analyze([1.0, 4.0].into_iter()).unwrap().unwrap();
+/// // 4.0 tops out two bits above 1.0: 53 + 2 bits of magnitude.
+/// assert_eq!(a.magnitude_bits, 55);
+/// ```
+pub fn analyze<I>(values: I) -> Result<Option<Alignment>, NonFiniteError>
+where
+    I: IntoIterator<Item = f64>,
+{
+    let mut exp_min = i32::MAX;
+    let mut top_max = i32::MIN;
+    for v in values {
+        let p = FloatParts::decompose(v)?;
+        if let Some(top) = p.top_exponent() {
+            exp_min = exp_min.min(p.exponent);
+            top_max = top_max.max(top);
+        }
+    }
+    if exp_min == i32::MAX {
+        return Ok(None);
+    }
+    Ok(Some(Alignment {
+        exp_base: exp_min,
+        magnitude_bits: (top_max - exp_min + 1) as usize,
+    }))
+}
+
+/// A block of values converted to signed fixed point relative to a shared
+/// exponent base: `values[i] × 2^exp_base` reconstructs each double
+/// exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlignedSlice {
+    exp_base: i32,
+    magnitude_bits: usize,
+    values: Vec<WideInt>,
+}
+
+impl AlignedSlice {
+    /// Aligns a slice of finite doubles into at most `max_magnitude_bits`
+    /// bits of signed fixed point.
+    ///
+    /// # Errors
+    ///
+    /// [`AlignError::NonFinite`] for NaN/infinity inputs and
+    /// [`AlignError::RangeExceeded`] when the exponent range does not fit.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use memsci_numeric::align::{AlignedSlice, MAX_MAGNITUDE_BITS};
+    ///
+    /// let a = AlignedSlice::align(&[0.5, -2.0, 0.0], MAX_MAGNITUDE_BITS)?;
+    /// assert_eq!(a.value(0), 0.5);
+    /// assert_eq!(a.value(1), -2.0);
+    /// assert_eq!(a.value(2), 0.0);
+    /// # Ok::<(), memsci_numeric::align::AlignError>(())
+    /// ```
+    pub fn align(values: &[f64], max_magnitude_bits: usize) -> Result<Self, AlignError> {
+        let alignment = analyze(values.iter().copied())?;
+        let (exp_base, magnitude_bits) = match alignment {
+            None => (0, 0),
+            Some(a) => (a.exp_base, a.magnitude_bits),
+        };
+        if magnitude_bits > max_magnitude_bits {
+            return Err(AlignError::RangeExceeded {
+                required: magnitude_bits,
+                max: max_magnitude_bits,
+            });
+        }
+        let mut out = Vec::with_capacity(values.len());
+        for &v in values {
+            let p = FloatParts::decompose(v).map_err(AlignError::NonFinite)?;
+            if p.is_zero() {
+                out.push(WideInt::zero());
+            } else {
+                let shift = (p.exponent - exp_base) as u32;
+                out.push(p.signed_mantissa().shl(shift));
+            }
+        }
+        Ok(AlignedSlice { exp_base, magnitude_bits, values: out })
+    }
+
+    /// Power-of-two weight of the fixed-point LSB.
+    pub fn exp_base(&self) -> i32 {
+        self.exp_base
+    }
+
+    /// Magnitude bits actually used by the widest element.
+    pub fn magnitude_bits(&self) -> usize {
+        self.magnitude_bits
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if the slice holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The aligned fixed-point integers.
+    pub fn integers(&self) -> &[WideInt] {
+        &self.values
+    }
+
+    /// Exact reconstruction of element `i` as a double.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn value(&self, i: usize) -> f64 {
+        self.values[i].to_f64_with_exp(self.exp_base, crate::Rounding::NearestEven)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analyze_ignores_zeros() {
+        let a = analyze([0.0, 1.0, 0.0]).unwrap().unwrap();
+        assert_eq!(a.magnitude_bits, MANTISSA_BITS);
+        assert_eq!(a.exp_base, -52);
+    }
+
+    #[test]
+    fn analyze_all_zero_is_none() {
+        assert_eq!(analyze([0.0, -0.0].into_iter()).unwrap(), None);
+        assert_eq!(analyze(std::iter::empty()).unwrap(), None);
+    }
+
+    #[test]
+    fn analyze_range() {
+        // 1.0 (top 0) and 2^10 (top 10): range 10 -> 63 bits.
+        let a = analyze([1.0, 1024.0]).unwrap().unwrap();
+        assert_eq!(a.magnitude_bits, 63);
+    }
+
+    #[test]
+    fn align_roundtrips_exactly() {
+        let vals = [1.0, -0.375, 1e-3, 123456.789, 0.0, -7.25e4];
+        let a = AlignedSlice::align(&vals, MAX_MAGNITUDE_BITS).unwrap();
+        for (i, &v) in vals.iter().enumerate() {
+            assert_eq!(a.value(i), v, "element {i}");
+        }
+        assert!(a.magnitude_bits() <= MAX_MAGNITUDE_BITS);
+    }
+
+    #[test]
+    fn align_rejects_wide_range() {
+        let err = AlignedSlice::align(&[1e-300, 1e300], MAX_MAGNITUDE_BITS).unwrap_err();
+        match err {
+            AlignError::RangeExceeded { required, max } => {
+                assert!(required > max);
+                assert_eq!(max, MAX_MAGNITUDE_BITS);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn align_rejects_nan() {
+        assert!(matches!(
+            AlignedSlice::align(&[1.0, f64::NAN], MAX_MAGNITUDE_BITS),
+            Err(AlignError::NonFinite(_))
+        ));
+    }
+
+    #[test]
+    fn aligned_integers_share_base() {
+        let a = AlignedSlice::align(&[1.5, 3.0], MAX_MAGNITUDE_BITS).unwrap();
+        // 1.5 = 3 × 2^-1 -> mantissa 3<<51 at exp -52; 3.0 = 3<<52 at exp -52.
+        assert_eq!(a.exp_base(), -52);
+        assert_eq!(a.integers()[1], a.integers()[0].shl(1));
+    }
+
+    #[test]
+    fn subnormals_align() {
+        let vals = [5e-324, 1e-320];
+        let a = AlignedSlice::align(&vals, MAX_MAGNITUDE_BITS).unwrap();
+        assert_eq!(a.value(0), 5e-324);
+        assert_eq!(a.value(1), 1e-320);
+        assert_eq!(a.exp_base(), -1074);
+    }
+
+    #[test]
+    fn empty_slice_aligns() {
+        let a = AlignedSlice::align(&[], MAX_MAGNITUDE_BITS).unwrap();
+        assert!(a.is_empty());
+        assert_eq!(a.len(), 0);
+        assert_eq!(a.magnitude_bits(), 0);
+    }
+}

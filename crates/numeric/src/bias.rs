@@ -1,0 +1,158 @@
+//! Per-block biasing for negative numbers.
+//!
+//! Crossbar conductances are non-negative, so signed fixed-point operands
+//! cannot be programmed directly. Following ISAAC's biasing scheme with
+//! the paper's per-block refinement (§IV-C), every aligned value `v` in a
+//! block is stored as `v + 2^bias_bit`, where the bias covers the block's
+//! actual magnitude range instead of a fixed 2^16. After a crossbar
+//! computes a partial dot product against a vector bit slice, the bias
+//! contribution — `2^bias_bit` per participating row — is removed
+//! digitally using the population count of the applied slice.
+
+use crate::align::AlignedSlice;
+use crate::wideint::WideInt;
+
+/// A block of aligned values shifted into non-negative range by a
+/// power-of-two bias.
+///
+/// Stored values lie in `(0, 2^operand_bits)` with
+/// `operand_bits = bias_bit + 1`; the extra bit is the cost of biasing.
+///
+/// # Examples
+///
+/// ```
+/// use memsci_numeric::align::AlignedSlice;
+/// use memsci_numeric::bias::BiasedSlice;
+/// use memsci_numeric::WideInt;
+///
+/// let a = AlignedSlice::align(&[1.0, -1.0], 117)?;
+/// let b = BiasedSlice::from_aligned(&a);
+/// // -1.0 aligns to -2^52; biased by 2^53 it stores as +2^52.
+/// assert_eq!(b.values()[1], WideInt::pow2(52));
+/// assert_eq!(b.operand_bits(), 54);
+/// # Ok::<(), memsci_numeric::align::AlignError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BiasedSlice {
+    bias_bit: usize,
+    exp_base: i32,
+    values: Vec<WideInt>,
+}
+
+impl BiasedSlice {
+    /// Biases an aligned block so all stored operands are positive.
+    pub fn from_aligned(aligned: &AlignedSlice) -> Self {
+        let bias_bit = aligned.magnitude_bits();
+        let bias = WideInt::pow2(bias_bit);
+        let values = aligned.integers().iter().map(|v| v + &bias).collect();
+        BiasedSlice { bias_bit, exp_base: aligned.exp_base(), values }
+    }
+
+    /// Bit position of the bias constant (`B = 2^bias_bit`).
+    pub fn bias_bit(&self) -> usize {
+        self.bias_bit
+    }
+
+    /// Total unsigned operand width, `bias_bit + 1`.
+    pub fn operand_bits(&self) -> usize {
+        self.bias_bit + 1
+    }
+
+    /// Power-of-two weight of the fixed-point LSB (inherited from the
+    /// aligned block).
+    pub fn exp_base(&self) -> i32 {
+        self.exp_base
+    }
+
+    /// The biased, strictly positive operands.
+    pub fn values(&self) -> &[WideInt] {
+        &self.values
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if the block holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Recovers the signed aligned value of element `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn unbiased(&self, i: usize) -> WideInt {
+        &self.values[i] - &WideInt::pow2(self.bias_bit)
+    }
+}
+
+/// Removes the bias contribution from a biased partial dot product.
+///
+/// For a partial product `p = Σ_i (v_i + B)·x[i]` computed against a
+/// binary vector slice with `popcount` ones, the true contribution is
+/// `p - B·popcount` (paper §IV-C).
+///
+/// # Examples
+///
+/// ```
+/// use memsci_numeric::bias::debias_partial;
+/// use memsci_numeric::WideInt;
+///
+/// // Two active rows, bias 2^4, raw partial 35: true partial is 3.
+/// let p = debias_partial(&WideInt::from(35u64), 4, 2);
+/// assert_eq!(p, WideInt::from(3u64));
+/// ```
+pub fn debias_partial(p: &WideInt, bias_bit: usize, popcount: u64) -> WideInt {
+    p - &WideInt::from(popcount).shl(bias_bit as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::align::MAX_MAGNITUDE_BITS;
+
+    #[test]
+    fn biased_values_are_positive() {
+        let a = AlignedSlice::align(&[3.5, -3.5, 0.0, -0.001], MAX_MAGNITUDE_BITS).unwrap();
+        let b = BiasedSlice::from_aligned(&a);
+        for v in b.values() {
+            assert!(!v.is_negative());
+            assert!(!v.is_zero(), "bias makes every operand strictly positive");
+            assert!(v.bit_len() <= b.operand_bits());
+        }
+    }
+
+    #[test]
+    fn unbiased_roundtrip() {
+        let vals = [1.0, -2.0, 0.25, 0.0];
+        let a = AlignedSlice::align(&vals, MAX_MAGNITUDE_BITS).unwrap();
+        let b = BiasedSlice::from_aligned(&a);
+        for i in 0..vals.len() {
+            assert_eq!(b.unbiased(i), a.integers()[i]);
+        }
+    }
+
+    #[test]
+    fn debias_recovers_dot_product() {
+        // v = [5, -3] biased by B=2^4=16 -> stored [21, 13].
+        // Vector slice [1, 1]: raw = 34, popcount 2 -> 34 - 32 = 2 = 5 - 3.
+        let raw = WideInt::from(21u64 + 13);
+        assert_eq!(debias_partial(&raw, 4, 2), WideInt::from(2u64));
+        // Vector slice [0, 1]: raw = 13, popcount 1 -> -3.
+        let raw = WideInt::from(13u64);
+        assert_eq!(debias_partial(&raw, 4, 1), WideInt::from(-3i64));
+    }
+
+    #[test]
+    fn operand_width_fits_the_cluster() {
+        // A block using the full 64-bit pad stays within 118 operand bits.
+        let lo = 1.0;
+        let hi = (2.0f64).powi(64 - 53); // top exponent 11 above lo's LSB span
+        let a = AlignedSlice::align(&[lo, hi], MAX_MAGNITUDE_BITS).unwrap();
+        let b = BiasedSlice::from_aligned(&a);
+        assert!(b.operand_bits() <= crate::align::MAX_OPERAND_BITS);
+    }
+}

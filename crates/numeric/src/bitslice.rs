@@ -1,0 +1,207 @@
+//! Bit slicing of fixed-point operand blocks.
+//!
+//! A bit-sliced block stores, for every bit position `j`, the bitmap of
+//! elements whose operand has bit `j` set (paper §II-A, Equation 1). The
+//! matrix side is sliced from *biased unsigned* operands — one slice per
+//! crossbar. The vector side is sliced from a *two's-complement*
+//! representation whose most significant slice carries negative weight,
+//! which lets signed vectors drive the row lines with plain binary
+//! voltages while the reduction network subtracts the top slice.
+
+use crate::wideint::WideInt;
+
+/// A set of bit slices over a block of fixed-point operands.
+///
+/// Slice `j` is a bitmap over element indices; element `i`'s operand has
+/// bit `j` set iff `get(j, i)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SliceSet {
+    n: usize,
+    width: usize,
+    signed_msb: bool,
+    words: Vec<Vec<u64>>,
+}
+
+impl SliceSet {
+    /// Slices non-negative operands of at most `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is negative or wider than `width` bits.
+    pub fn from_unsigned(values: &[WideInt], width: usize) -> Self {
+        let n = values.len();
+        let words_per_slice = n.div_ceil(64);
+        let mut words = vec![vec![0u64; words_per_slice]; width];
+        for (i, v) in values.iter().enumerate() {
+            assert!(!v.is_negative(), "unsigned slice set given a negative value");
+            assert!(v.bit_len() <= width, "operand wider than the slice set");
+            for (j, slice) in words.iter_mut().enumerate() {
+                if v.bit(j) {
+                    slice[i / 64] |= 1u64 << (i % 64);
+                }
+            }
+        }
+        SliceSet { n, width, signed_msb: false, words }
+    }
+
+    /// Slices signed operands in two's complement at `width` bits; the
+    /// most significant slice has weight `-2^(width-1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value lies outside `[-2^(width-1), 2^(width-1))`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use memsci_numeric::bitslice::SliceSet;
+    /// use memsci_numeric::WideInt;
+    ///
+    /// let s = SliceSet::from_twos_complement(&[WideInt::from(-1i64)], 4);
+    /// // -1 is 0b1111 in 4-bit two's complement: every slice set.
+    /// assert!((0..4).all(|j| s.get(j, 0)));
+    /// assert_eq!(s.reconstruct(0), WideInt::from(-1i64));
+    /// ```
+    pub fn from_twos_complement(values: &[WideInt], width: usize) -> Self {
+        assert!(width >= 1, "two's complement needs at least the sign bit");
+        let n = values.len();
+        let words_per_slice = n.div_ceil(64);
+        let mut words = vec![vec![0u64; words_per_slice]; width];
+        let modulus = WideInt::pow2(width);
+        let half = WideInt::pow2(width - 1);
+        for (i, v) in values.iter().enumerate() {
+            assert!(
+                v < &half && -&half <= *v,
+                "value out of two's-complement range for width {width}"
+            );
+            let enc = if v.is_negative() { &modulus + v } else { v.clone() };
+            for (j, slice) in words.iter_mut().enumerate() {
+                if enc.bit(j) {
+                    slice[i / 64] |= 1u64 << (i % 64);
+                }
+            }
+        }
+        SliceSet { n, width, signed_msb: true, words }
+    }
+
+    /// Number of elements in the block.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` if the block holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of bit slices.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Whether the most significant slice carries negative weight.
+    pub fn signed_msb(&self) -> bool {
+        self.signed_msb
+    }
+
+    /// Whether slice `j`'s weight is negative (`-2^j`).
+    pub fn weight_is_negative(&self, j: usize) -> bool {
+        self.signed_msb && j + 1 == self.width
+    }
+
+    /// The bitmap words of slice `j` (little-endian element order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= width`.
+    pub fn slice_words(&self, j: usize) -> &[u64] {
+        &self.words[j]
+    }
+
+    /// Bit `j` of element `i`'s operand.
+    pub fn get(&self, j: usize, i: usize) -> bool {
+        (self.words[j][i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of elements with bit `j` set.
+    pub fn popcount(&self, j: usize) -> u64 {
+        self.words[j].iter().map(|w| u64::from(w.count_ones())).sum()
+    }
+
+    /// Reconstructs element `i`'s operand from its slices (test oracle).
+    pub fn reconstruct(&self, i: usize) -> WideInt {
+        let mut v = WideInt::zero();
+        for j in 0..self.width {
+            if self.get(j, i) {
+                let w = WideInt::pow2(j);
+                if self.weight_is_negative(j) {
+                    v -= &w;
+                } else {
+                    v += &w;
+                }
+            }
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(v: i64) -> WideInt {
+        WideInt::from(v)
+    }
+
+    #[test]
+    fn unsigned_slices_reconstruct() {
+        let vals = [w(0), w(1), w(5), w(127), w(64)];
+        let s = SliceSet::from_unsigned(&vals, 7);
+        for (i, v) in vals.iter().enumerate() {
+            assert_eq!(&s.reconstruct(i), v, "element {i}");
+        }
+    }
+
+    #[test]
+    fn twos_complement_reconstructs_signed() {
+        let vals = [w(0), w(1), w(-1), w(7), w(-8), w(3)];
+        let s = SliceSet::from_twos_complement(&vals, 4);
+        for (i, v) in vals.iter().enumerate() {
+            assert_eq!(&s.reconstruct(i), v, "element {i}");
+        }
+        assert!(s.signed_msb());
+        assert!(s.weight_is_negative(3));
+        assert!(!s.weight_is_negative(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of two's-complement range")]
+    fn twos_complement_rejects_overflow() {
+        SliceSet::from_twos_complement(&[w(8)], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative value")]
+    fn unsigned_rejects_negative() {
+        SliceSet::from_unsigned(&[w(-1)], 4);
+    }
+
+    #[test]
+    fn popcounts_count_set_bits() {
+        let vals = [w(0b01), w(0b11), w(0b10)];
+        let s = SliceSet::from_unsigned(&vals, 2);
+        assert_eq!(s.popcount(0), 2);
+        assert_eq!(s.popcount(1), 2);
+    }
+
+    #[test]
+    fn wide_blocks_span_multiple_words() {
+        let vals: Vec<WideInt> = (0..130).map(|i| w(i % 2)).collect();
+        let s = SliceSet::from_unsigned(&vals, 1);
+        assert_eq!(s.popcount(0), 65);
+        assert_eq!(s.slice_words(0).len(), 3);
+        assert!(s.get(0, 1));
+        assert!(!s.get(0, 128));
+        assert!(s.get(0, 129));
+    }
+}

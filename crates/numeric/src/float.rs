@@ -1,0 +1,195 @@
+//! Exact decomposition of IEEE-754 doubles into sign/mantissa/exponent.
+//!
+//! Every finite `f64` equals `±mantissa × 2^exponent` with an integer
+//! mantissa below `2^53`; this module performs that decomposition and its
+//! exact inverse, and classifies the non-finite values the accelerator
+//! must reject at its input boundary (paper §IV-D).
+
+use core::fmt;
+
+use crate::wideint::WideInt;
+use crate::Rounding;
+
+/// Error returned when a NaN or infinity reaches an interface that
+/// requires finite values.
+///
+/// The accelerator cannot map non-finite values onto crossbar
+/// conductances; input matrices and vectors must be finite and any
+/// non-finite intermediate is confined to the local processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NonFiniteError {
+    /// The offending bit pattern, kept for diagnostics.
+    bits: u64,
+}
+
+impl NonFiniteError {
+    /// The rejected value.
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.bits)
+    }
+}
+
+impl fmt::Display for NonFiniteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "non-finite value {} cannot be mapped to the crossbar substrate", self.value())
+    }
+}
+
+impl std::error::Error for NonFiniteError {}
+
+/// A finite double decomposed as `±mantissa × 2^exponent` (exactly).
+///
+/// For normal numbers the mantissa includes the implied leading one and
+/// spans exactly 53 bits; subnormals have shorter mantissas. Zero is
+/// represented with `mantissa == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use memsci_numeric::FloatParts;
+///
+/// let p = FloatParts::decompose(1.5).unwrap();
+/// assert_eq!(p.value(), 1.5);
+/// assert_eq!(p.mantissa, 3 << 51);
+/// assert_eq!(p.exponent, -52);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FloatParts {
+    /// Sign bit (`true` for negative, including `-0.0`).
+    pub sign: bool,
+    /// Integer mantissa, `< 2^53`.
+    pub mantissa: u64,
+    /// Power-of-two exponent of the mantissa's least significant bit.
+    pub exponent: i32,
+}
+
+impl FloatParts {
+    /// Decomposes a finite double exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NonFiniteError`] for NaNs and infinities, which the
+    /// accelerator rejects at its input boundary.
+    pub fn decompose(x: f64) -> Result<Self, NonFiniteError> {
+        if !x.is_finite() {
+            return Err(NonFiniteError { bits: x.to_bits() });
+        }
+        let bits = x.to_bits();
+        let sign = bits >> 63 == 1;
+        let raw_exp = ((bits >> 52) & 0x7FF) as i32;
+        let frac = bits & ((1u64 << 52) - 1);
+        let (mantissa, exponent) = if raw_exp == 0 {
+            (frac, -1074)
+        } else {
+            (frac | (1u64 << 52), raw_exp - 1075)
+        };
+        Ok(FloatParts { sign, mantissa, exponent })
+    }
+
+    /// Reconstructs the double exactly.
+    pub fn value(&self) -> f64 {
+        let v = WideInt::from(self.mantissa);
+        let v = if self.sign { -v } else { v };
+        let out = v.to_f64_with_exp(self.exponent, Rounding::NearestEven);
+        if self.sign && out == 0.0 {
+            -0.0
+        } else {
+            out
+        }
+    }
+
+    /// Returns `true` if the value is zero (of either sign).
+    pub fn is_zero(&self) -> bool {
+        self.mantissa == 0
+    }
+
+    /// Exponent of the most significant mantissa bit (`floor(log2 |x|)`),
+    /// or `None` for zero.
+    pub fn top_exponent(&self) -> Option<i32> {
+        if self.mantissa == 0 {
+            None
+        } else {
+            Some(self.exponent + 63 - self.mantissa.leading_zeros() as i32)
+        }
+    }
+
+    /// The signed mantissa as a [`WideInt`].
+    pub fn signed_mantissa(&self) -> WideInt {
+        let v = WideInt::from(self.mantissa);
+        if self.sign {
+            -v
+        } else {
+            v
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decompose_rejects_non_finite() {
+        assert!(FloatParts::decompose(f64::NAN).is_err());
+        assert!(FloatParts::decompose(f64::INFINITY).is_err());
+        assert!(FloatParts::decompose(f64::NEG_INFINITY).is_err());
+        let err = FloatParts::decompose(f64::INFINITY).unwrap_err();
+        assert!(err.value().is_infinite());
+        assert!(err.to_string().contains("non-finite"));
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        for x in [
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            0.1,
+            -3.5,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+            5e-324,            // smallest subnormal
+            2.225_073_858_507_201e-308, // largest subnormal
+            1.7976931348623157e308,
+            -9.869604401089358,
+        ] {
+            let p = FloatParts::decompose(x).unwrap();
+            assert_eq!(p.value().to_bits(), x.to_bits(), "{x}");
+        }
+    }
+
+    #[test]
+    fn normal_mantissa_has_53_bits() {
+        let p = FloatParts::decompose(1.0).unwrap();
+        assert_eq!(p.mantissa, 1u64 << 52);
+        assert_eq!(p.exponent, -52);
+        assert_eq!(p.top_exponent(), Some(0));
+        let p = FloatParts::decompose(2.0_f64.powi(100)).unwrap();
+        assert_eq!(p.top_exponent(), Some(100));
+    }
+
+    #[test]
+    fn subnormal_mantissa_is_short() {
+        let p = FloatParts::decompose(5e-324).unwrap();
+        assert_eq!(p.mantissa, 1);
+        assert_eq!(p.exponent, -1074);
+        assert_eq!(p.top_exponent(), Some(-1074));
+    }
+
+    #[test]
+    fn zero_has_no_top_exponent() {
+        let p = FloatParts::decompose(0.0).unwrap();
+        assert!(p.is_zero());
+        assert_eq!(p.top_exponent(), None);
+        let p = FloatParts::decompose(-0.0).unwrap();
+        assert!(p.sign);
+        assert_eq!(p.value().to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn signed_mantissa_sign() {
+        let p = FloatParts::decompose(-2.0).unwrap();
+        assert!(p.signed_mantissa().is_negative());
+    }
+}

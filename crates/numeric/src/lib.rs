@@ -1,0 +1,59 @@
+//! Exact fixed-point numerics for floating point on memristive crossbars.
+//!
+//! This crate implements the numeric machinery from *Enabling Scientific
+//! Computing on Memristive Accelerators* (Feinberg et al., ISCA 2018)
+//! that turns IEEE-754 double-precision arithmetic into the fixed-point
+//! operations a crossbar can perform:
+//!
+//! * [`WideInt`] — exact sign–magnitude integers up to the 127-bit
+//!   operand widths the hardware manipulates;
+//! * [`FloatParts`] — exact decomposition of doubles;
+//! * [`align`] — mantissa alignment against a per-block exponent base,
+//!   exploiting exponent range locality (§IV-A);
+//! * [`bias`] — the per-block biasing scheme for negative numbers
+//!   (§IV-C);
+//! * [`bitslice`] — bit-slice extraction for crossbar mapping (§II-A);
+//! * [`running_sum`] — early termination of partial-product accumulation
+//!   (§IV-B, Figures 4–5);
+//! * [`ancode`] — the A=251 AN error-correcting code (§IV-E).
+//!
+//! # Examples
+//!
+//! Align a block, bias it, slice it, and verify exact reconstruction:
+//!
+//! ```
+//! use memsci_numeric::align::AlignedSlice;
+//! use memsci_numeric::bias::BiasedSlice;
+//! use memsci_numeric::bitslice::SliceSet;
+//!
+//! let block = [1.5, -0.25, 3.0];
+//! let aligned = AlignedSlice::align(&block, 117)?;
+//! let biased = BiasedSlice::from_aligned(&aligned);
+//! let slices = SliceSet::from_unsigned(biased.values(), biased.operand_bits());
+//! for i in 0..block.len() {
+//!     assert_eq!(biased.unbiased(i), aligned.integers()[i]);
+//!     assert_eq!(slices.reconstruct(i), biased.values()[i]);
+//! }
+//! # Ok::<(), memsci_numeric::align::AlignError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod align;
+pub mod ancode;
+pub mod bias;
+pub mod bitslice;
+pub mod float;
+pub mod rounding;
+pub mod running_sum;
+pub mod wideint;
+
+pub use align::{AlignError, AlignedSlice, Alignment};
+pub use ancode::AnCode;
+pub use bias::BiasedSlice;
+pub use bitslice::SliceSet;
+pub use float::{FloatParts, NonFiniteError};
+pub use rounding::Rounding;
+pub use running_sum::RunningSum;
+pub use wideint::{Rounded, WideInt};

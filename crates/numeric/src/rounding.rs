@@ -1,0 +1,42 @@
+//! IEEE-754 rounding-direction attributes supported by the accelerator.
+
+/// Rounding direction for converting exact fixed-point values to a
+/// finite-precision mantissa.
+///
+/// The accelerator's natural mode is [`Rounding::TowardNegInf`]: mantissa
+/// alignment plus leading-one detection truncate the biased running sum,
+/// which is equivalent to rounding the dot product toward negative
+/// infinity (paper §IV-D). The remaining modes are supported by computing
+/// three additional settled bits before truncation.
+///
+/// # Examples
+///
+/// ```
+/// use memsci_numeric::{Rounding, WideInt};
+///
+/// let v = WideInt::from(-5i64); // -0b101
+/// let r = v.round_to_precision(2, Rounding::TowardNegInf);
+/// assert_eq!((r.neg, r.mantissa, r.exp), (true, 0b11, 1)); // -6
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Rounding {
+    /// Round toward negative infinity (the hardware's native truncation).
+    #[default]
+    TowardNegInf,
+    /// Round toward zero.
+    TowardZero,
+    /// Round toward positive infinity.
+    TowardPosInf,
+    /// Round to nearest, ties to even (the IEEE-754 default).
+    NearestEven,
+}
+
+impl Rounding {
+    /// All four supported modes, for exhaustive testing.
+    pub const ALL: [Rounding; 4] = [
+        Rounding::TowardNegInf,
+        Rounding::TowardZero,
+        Rounding::TowardPosInf,
+        Rounding::NearestEven,
+    ];
+}

@@ -1,0 +1,350 @@
+//! Early termination of fixed-point dot-product accumulation.
+//!
+//! A memristive cluster aggregates partial dot products from the most
+//! significant vector bit slice toward the least significant. Once the
+//! 53-bit mantissa of the final result can no longer change, the
+//! remaining slices are skipped (paper §IV-B, Figures 4–5). Two
+//! implementations are provided:
+//!
+//! * [`settled`] — an exact interval oracle: the mantissa is settled iff
+//!   every value within the bound of the remaining contributions rounds
+//!   to the same mantissa. It is correct for signed partial products and
+//!   every rounding mode, and is what the simulation engines use.
+//! * [`regions_nonneg`]/[`settled_nonneg`] — the paper's region
+//!   decomposition (stable / barrier / carry / aligned) for non-negative
+//!   accumulation, provided both as documentation of the hardware
+//!   mechanism and as a cross-check; it is conservative with respect to
+//!   the oracle (proved by property tests).
+
+use crate::rounding::Rounding;
+use crate::wideint::{Rounded, WideInt};
+
+/// Upper bound (as a bit position) on the magnitude of the remaining
+/// contributions: after the slice with weight `2^next_weight_bit` and all
+/// less significant slices, whose partial products have magnitudes below
+/// `2^partial_magnitude_bits`, the remaining sum satisfies
+/// `|R| < 2^(next_weight_bit + partial_magnitude_bits + 1)`.
+pub fn remaining_bound_bit(next_weight_bit: u32, partial_magnitude_bits: u32) -> u32 {
+    next_weight_bit + partial_magnitude_bits + 1
+}
+
+/// Exact settlement oracle: returns `true` when every value in
+/// `(sum - 2^bound_bit, sum + 2^bound_bit)` rounds to the same
+/// `precision`-bit mantissa under `mode`.
+///
+/// Rounding is monotonic, so checking the two endpoints suffices.
+///
+/// # Examples
+///
+/// ```
+/// use memsci_numeric::running_sum::settled;
+/// use memsci_numeric::{Rounding, WideInt};
+///
+/// // Sum 0b110100...0 with remaining |R| < 2^3 cannot disturb a 3-bit
+/// // mantissa: the low zeros absorb any carry or borrow.
+/// let sum = WideInt::from(0b1101_0000u64);
+/// assert!(settled(&sum, 3, 3, Rounding::TowardNegInf));
+/// // With |R| < 2^5 the mantissa bit at 2^4 is still in play.
+/// assert!(!settled(&sum, 5, 3, Rounding::TowardNegInf));
+/// ```
+pub fn settled(sum: &WideInt, bound_bit: u32, precision: u32, mode: Rounding) -> bool {
+    // Cheap necessary condition: the interval [sum − 2^b, sum + 2^b]
+    // spans 2^(b+1); it can only fall inside one rounding cell (width
+    // 2^(lead − precision + 1)) when the leading one sits at least
+    // b + precision bits up. Checking the bit length first avoids the
+    // wide-integer arithmetic on the (common) unsettled slices.
+    if sum.bit_len() + 1 < (bound_bit + precision) as usize {
+        return false;
+    }
+    let bound = WideInt::pow2(bound_bit as usize);
+    let lo = sum - &bound;
+    let hi = sum + &bound;
+    lo.round_to_precision(precision, mode) == hi.round_to_precision(precision, mode)
+}
+
+/// One-sided settlement oracle for non-negative accumulation, where the
+/// remaining contributions lie in `[0, 2^bound_bit)`: the mantissa is
+/// settled iff `sum` and `sum + 2^bound_bit` round identically.
+///
+/// This is the exact counterpart of the paper's region argument, which
+/// only has to absorb a *carry* (never a borrow).
+pub fn settled_nonneg_remaining(
+    sum: &WideInt,
+    bound_bit: u32,
+    precision: u32,
+    mode: Rounding,
+) -> bool {
+    let hi = sum + &WideInt::pow2(bound_bit as usize);
+    sum.round_to_precision(precision, mode) == hi.round_to_precision(precision, mode)
+}
+
+/// The four regions of a non-negative running sum (paper Figure 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Regions {
+    /// Exclusive top of the aligned region: bits `[0, aligned_top)`
+    /// overlap the remaining partial products (plus the one guaranteed
+    /// carry position).
+    pub aligned_top: usize,
+    /// Length of the carry region: the chain of consecutive ones starting
+    /// at `aligned_top` that would propagate an incoming carry.
+    pub carry_len: usize,
+    /// Position of the barrier bit — the zero that absorbs the single
+    /// potential carry, protecting all more significant bits.
+    pub barrier: usize,
+}
+
+impl Regions {
+    /// First bit position of the stable region.
+    pub fn stable_from(&self) -> usize {
+        self.barrier + 1
+    }
+}
+
+/// Decomposes a non-negative running sum into the regions of Figure 5,
+/// given that the next partial product has weight `2^next_weight_bit` and
+/// every partial product is below `2^partial_magnitude_bits`.
+///
+/// The remaining contributions satisfy
+/// `R < 2^(next_weight_bit + partial_magnitude_bits + 1)`, so adding them
+/// changes bits at or above that position by at most a single carry.
+///
+/// # Panics
+///
+/// Panics if `sum` is negative; the region argument only applies to
+/// non-negative accumulation (use [`settled`] for the signed case).
+pub fn regions_nonneg(sum: &WideInt, next_weight_bit: u32, partial_magnitude_bits: u32) -> Regions {
+    assert!(!sum.is_negative(), "region analysis requires a non-negative running sum");
+    let aligned_top = remaining_bound_bit(next_weight_bit, partial_magnitude_bits) as usize;
+    let mut carry_len = 0usize;
+    while sum.bit(aligned_top + carry_len) {
+        carry_len += 1;
+    }
+    Regions { aligned_top, carry_len, barrier: aligned_top + carry_len }
+}
+
+/// Paper-faithful settlement test for non-negative accumulation: the
+/// running sum is settled once the full `precision`-bit mantissa lies in
+/// the stable region above the barrier bit.
+pub fn settled_nonneg(
+    sum: &WideInt,
+    next_weight_bit: u32,
+    partial_magnitude_bits: u32,
+    precision: u32,
+) -> bool {
+    let regions = regions_nonneg(sum, next_weight_bit, partial_magnitude_bits);
+    match sum.leading_one() {
+        None => false,
+        Some(lead) => lead >= regions.barrier + precision as usize,
+    }
+}
+
+/// Accumulates signed partial dot products from most to least significant
+/// slice, tracking settlement so the caller can terminate early.
+///
+/// # Examples
+///
+/// ```
+/// use memsci_numeric::running_sum::RunningSum;
+/// use memsci_numeric::{Rounding, WideInt};
+///
+/// let mut rs = RunningSum::new(4, Rounding::TowardNegInf);
+/// rs.add(&WideInt::from(0b110100u64), 6);
+/// // Partial products are 6 bits wide; the next slice has weight 2^5.
+/// let done = rs.is_settled(5, 6);
+/// assert!(!done); // low bits can still carry into a 4-bit mantissa
+/// # let _ = rs.sum();
+/// ```
+#[derive(Debug, Clone)]
+pub struct RunningSum {
+    sum: WideInt,
+    precision: u32,
+    mode: Rounding,
+}
+
+impl RunningSum {
+    /// Creates an empty running sum targeting a `precision`-bit mantissa.
+    pub fn new(precision: u32, mode: Rounding) -> Self {
+        RunningSum { sum: WideInt::zero(), precision, mode }
+    }
+
+    /// Creates a running sum seeded with a known exact correction term
+    /// (for example a precomputed bias constant).
+    pub fn with_initial(init: WideInt, precision: u32, mode: Rounding) -> Self {
+        RunningSum { sum: init, precision, mode }
+    }
+
+    /// Adds `partial × 2^weight_bit` to the running sum.
+    pub fn add(&mut self, partial: &WideInt, weight_bit: u32) {
+        self.sum += &partial.shl(weight_bit);
+    }
+
+    /// Subtracts `partial × 2^weight_bit` (used for the negative-weight
+    /// two's-complement vector MSB slice).
+    pub fn sub(&mut self, partial: &WideInt, weight_bit: u32) {
+        self.sum -= &partial.shl(weight_bit);
+    }
+
+    /// Returns `true` once the mantissa can no longer change, given that
+    /// the next unprocessed slice has weight `2^next_weight_bit` and the
+    /// partial products stay below `2^partial_magnitude_bits` in
+    /// magnitude.
+    pub fn is_settled(&self, next_weight_bit: u32, partial_magnitude_bits: u32) -> bool {
+        settled(
+            &self.sum,
+            remaining_bound_bit(next_weight_bit, partial_magnitude_bits),
+            self.precision,
+            self.mode,
+        )
+    }
+
+    /// The exact accumulated value.
+    pub fn sum(&self) -> &WideInt {
+        &self.sum
+    }
+
+    /// Rounds the accumulated value to the target mantissa.
+    pub fn round(&self) -> Rounded {
+        self.sum.round_to_precision(self.precision, self.mode)
+    }
+
+    /// The mantissa precision this sum targets.
+    pub fn precision(&self) -> u32 {
+        self.precision
+    }
+
+    /// The rounding mode in effect.
+    pub fn mode(&self) -> Rounding {
+        self.mode
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Accumulation in the style of Figure 4: six-bit partial products
+    /// added from most to least significant slice, four-bit mantissa,
+    /// terminating as soon as the mantissa settles.
+    #[test]
+    fn figure4_style_accumulation_terminates_early() {
+        // Thirteen slices with weights 12..=0. The leading slices place a
+        // mantissa of 1100 with a settled gap below it; the tail slices
+        // only touch bits the early-terminated mantissa never sees.
+        let mut partials: Vec<(u64, u32)> =
+            vec![(0b100110, 12), (0b010011, 11), (0b000101, 10)];
+        for w in (5..=9).rev() {
+            partials.push((0, w));
+        }
+        for w in (0..=4).rev() {
+            partials.push((0b000001, w));
+        }
+        let mut rs = RunningSum::new(4, Rounding::TowardNegInf);
+        let mut settled_at = None;
+        for (idx, &(p, w)) in partials.iter().enumerate() {
+            rs.add(&WideInt::from(p), w);
+            if idx + 1 < partials.len() {
+                let next_w = partials[idx + 1].1;
+                if rs.is_settled(next_w, 6) {
+                    settled_at = Some(idx);
+                    break;
+                }
+            }
+        }
+        // The sum settles well before all partials are consumed.
+        let at = settled_at.expect("accumulation settles early");
+        assert!(at < partials.len() - 2);
+        // And the early mantissa equals the full-precision mantissa.
+        let early = rs.round();
+        let mut full = RunningSum::new(4, Rounding::TowardNegInf);
+        for &(p, w) in &partials {
+            full.add(&WideInt::from(p), w);
+        }
+        assert_eq!(early, full.round());
+    }
+
+    #[test]
+    fn regions_match_figure5_shape() {
+        // sum = ...0 1 1110 XXXX0 with aligned region of 5 bits.
+        // Choose: bits 0..5 arbitrary, bits 5..9 = 1s, bit 9 = 0, bit 10.. stable.
+        let sum = WideInt::from(0b101_1110_0110_u64 | (0b1 << 11));
+        // next_weight_bit + partial_magnitude_bits + 1 = 5 -> pick 2 and 2.
+        let r = regions_nonneg(&sum, 2, 2);
+        assert_eq!(r.aligned_top, 5);
+        // Bits 5,6,7,8 are ones; bit 9 is zero.
+        assert_eq!(r.carry_len, 4);
+        assert_eq!(r.barrier, 9);
+        assert_eq!(r.stable_from(), 10);
+    }
+
+    #[test]
+    fn settled_nonneg_requires_mantissa_above_barrier() {
+        // Leading one at bit 40, zeros below: barrier from small aligned
+        // region, 4-bit mantissa occupies bits 37..=40.
+        let sum = WideInt::pow2(40);
+        assert!(settled_nonneg(&sum, 2, 2, 4));
+        // Mantissa overlapping the carry region is not settled:
+        // ones right below the aligned top keep the carry alive.
+        let sum = WideInt::pow2(8) - WideInt::one(); // 0b1111_1111
+        assert!(!settled_nonneg(&sum, 2, 2, 4));
+    }
+
+    #[test]
+    fn region_method_is_conservative_vs_oracle() {
+        // Whenever the region method says settled, the exact one-sided
+        // oracle (remaining contributions are non-negative) agrees.
+        for raw in 0u64..4096 {
+            let sum = WideInt::from(raw << 3 | 1 << 20);
+            for (next_w, pm) in [(0u32, 3u32), (1, 4), (2, 2)] {
+                if settled_nonneg(&sum, next_w, pm, 4) {
+                    assert!(
+                        settled_nonneg_remaining(
+                            &sum,
+                            remaining_bound_bit(next_w, pm),
+                            4,
+                            Rounding::TowardNegInf
+                        ),
+                        "region said settled but oracle disagrees for {raw:#b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_detects_sign_boundary() {
+        // A sum near zero with large remaining bound is never settled.
+        let sum = WideInt::from(3u64);
+        assert!(!settled(&sum, 4, 3, Rounding::TowardNegInf));
+        // A settled sum needs a 0 below the mantissa to absorb a carry
+        // AND a 1 to absorb a borrow: 0b110_01 << 26 has both.
+        let sum = WideInt::from(0b11001u64 << 26);
+        assert!(settled(&sum, 4, 3, Rounding::TowardNegInf));
+        // Negative sums settle symmetrically.
+        let sum = -(WideInt::from(0b11001u64 << 26));
+        assert!(settled(&sum, 4, 3, Rounding::TowardNegInf));
+        // A sum that is an exact power of two is NOT settled under a
+        // symmetric bound: a borrow would drop the mantissa below it.
+        let sum = WideInt::from(3u64 << 30);
+        assert!(!settled(&sum, 4, 3, Rounding::TowardNegInf));
+        // ...but it IS settled when the remaining sum is non-negative.
+        assert!(settled_nonneg_remaining(&sum, 4, 3, Rounding::TowardNegInf));
+    }
+
+    #[test]
+    fn seeded_sum_carries_correction() {
+        let init = WideInt::from(-1000i64);
+        let mut rs = RunningSum::with_initial(init, 8, Rounding::TowardNegInf);
+        rs.add(&WideInt::from(1000u64), 0);
+        assert!(rs.sum().is_zero());
+        assert_eq!(rs.precision(), 8);
+        assert_eq!(rs.mode(), Rounding::TowardNegInf);
+    }
+
+    #[test]
+    fn sub_applies_negative_weight() {
+        let mut rs = RunningSum::new(8, Rounding::TowardNegInf);
+        rs.add(&WideInt::from(5u64), 2); // +20
+        rs.sub(&WideInt::from(3u64), 1); // -6
+        assert_eq!(rs.sum(), &WideInt::from(14u64));
+    }
+}

@@ -1,0 +1,983 @@
+//! Arbitrary-width signed integers in sign–magnitude form.
+//!
+//! The accelerator manipulates fixed-point operands of up to 127 bits
+//! (a 53-bit mantissa, up to 64 pad bits, one sign/bias bit, and the
+//! ×251 AN-code expansion) and running sums a few bits wider still.
+//! [`WideInt`] provides exact arithmetic at those widths: magnitudes are
+//! stored as little-endian `u64` limbs and every operation is exact.
+//!
+//! # Examples
+//!
+//! ```
+//! use memsci_numeric::WideInt;
+//!
+//! let a = WideInt::pow2(100) - WideInt::from(1u64);
+//! let b = &a + &WideInt::from(1u64);
+//! assert_eq!(b, WideInt::pow2(100));
+//! assert_eq!(b.bit_len(), 101);
+//! ```
+
+use core::cmp::Ordering;
+use core::fmt;
+use core::ops::{Add, AddAssign, Mul, Neg, Shl, Shr, Sub, SubAssign};
+
+use crate::rounding::Rounding;
+
+/// An arbitrary-width signed integer in sign–magnitude representation.
+///
+/// All arithmetic is exact; widths grow as needed. The magnitude is kept
+/// normalized (no high zero limbs) and zero is always non-negative, so
+/// `Eq`/`Hash`/`Ord` behave structurally and numerically at the same time.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct WideInt {
+    /// Sign flag; always `false` when the magnitude is zero.
+    neg: bool,
+    /// Little-endian magnitude limbs with no trailing (high) zeros.
+    mag: Vec<u64>,
+}
+
+// ---------------------------------------------------------------------------
+// Magnitude (unsigned limb vector) helpers.
+// ---------------------------------------------------------------------------
+
+fn mag_norm(v: &mut Vec<u64>) {
+    while v.last() == Some(&0) {
+        v.pop();
+    }
+}
+
+fn mag_cmp(a: &[u64], b: &[u64]) -> Ordering {
+    match a.len().cmp(&b.len()) {
+        Ordering::Equal => {
+            for i in (0..a.len()).rev() {
+                match a[i].cmp(&b[i]) {
+                    Ordering::Equal => continue,
+                    other => return other,
+                }
+            }
+            Ordering::Equal
+        }
+        other => other,
+    }
+}
+
+fn mag_add(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::with_capacity(long.len() + 1);
+    let mut carry = 0u64;
+    for (i, &l) in long.iter().enumerate() {
+        let s = short.get(i).copied().unwrap_or(0);
+        let (x, c1) = l.overflowing_add(s);
+        let (x, c2) = x.overflowing_add(carry);
+        carry = u64::from(c1) + u64::from(c2);
+        out.push(x);
+    }
+    if carry != 0 {
+        out.push(carry);
+    }
+    out
+}
+
+/// Computes `a - b`; requires `a >= b`.
+fn mag_sub(a: &[u64], b: &[u64]) -> Vec<u64> {
+    debug_assert!(mag_cmp(a, b) != Ordering::Less);
+    let mut out = Vec::with_capacity(a.len());
+    let mut borrow = 0u64;
+    for (i, &ai) in a.iter().enumerate() {
+        let s = b.get(i).copied().unwrap_or(0);
+        let (x, b1) = ai.overflowing_sub(s);
+        let (x, b2) = x.overflowing_sub(borrow);
+        borrow = u64::from(b1) + u64::from(b2);
+        out.push(x);
+    }
+    debug_assert_eq!(borrow, 0);
+    mag_norm(&mut out);
+    out
+}
+
+fn mag_shl(a: &[u64], k: u32) -> Vec<u64> {
+    if a.is_empty() {
+        return Vec::new();
+    }
+    let limbs = (k / 64) as usize;
+    let bits = k % 64;
+    let mut out = vec![0u64; limbs];
+    if bits == 0 {
+        out.extend_from_slice(a);
+    } else {
+        let mut carry = 0u64;
+        for &w in a {
+            out.push((w << bits) | carry);
+            carry = w >> (64 - bits);
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+    }
+    mag_norm(&mut out);
+    out
+}
+
+fn mag_shr(a: &[u64], k: u32) -> Vec<u64> {
+    let limbs = (k / 64) as usize;
+    if limbs >= a.len() {
+        return Vec::new();
+    }
+    let bits = k % 64;
+    let mut out = Vec::with_capacity(a.len() - limbs);
+    if bits == 0 {
+        out.extend_from_slice(&a[limbs..]);
+    } else {
+        for i in limbs..a.len() {
+            let hi = a.get(i + 1).copied().unwrap_or(0);
+            out.push((a[i] >> bits) | (hi << (64 - bits)));
+        }
+    }
+    mag_norm(&mut out);
+    out
+}
+
+fn mag_mul(a: &[u64], b: &[u64]) -> Vec<u64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0u64; a.len() + b.len()];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        let mut carry = 0u128;
+        for (j, &bj) in b.iter().enumerate() {
+            let t = u128::from(ai) * u128::from(bj) + u128::from(out[i + j]) + carry;
+            out[i + j] = t as u64;
+            carry = t >> 64;
+        }
+        let mut k = i + b.len();
+        while carry != 0 {
+            let t = u128::from(out[k]) + carry;
+            out[k] = t as u64;
+            carry = t >> 64;
+            k += 1;
+        }
+    }
+    mag_norm(&mut out);
+    out
+}
+
+fn mag_mul_u64(a: &[u64], m: u64) -> Vec<u64> {
+    if a.is_empty() || m == 0 {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(a.len() + 1);
+    let mut carry = 0u128;
+    for &w in a {
+        let t = u128::from(w) * u128::from(m) + carry;
+        out.push(t as u64);
+        carry = t >> 64;
+    }
+    if carry != 0 {
+        out.push(carry as u64);
+    }
+    out
+}
+
+fn mag_divrem_u64(a: &[u64], d: u64) -> (Vec<u64>, u64) {
+    assert!(d != 0, "division by zero");
+    let mut out = vec![0u64; a.len()];
+    let mut rem = 0u128;
+    for i in (0..a.len()).rev() {
+        let cur = (rem << 64) | u128::from(a[i]);
+        out[i] = (cur / u128::from(d)) as u64;
+        rem = cur % u128::from(d);
+    }
+    mag_norm(&mut out);
+    (out, rem as u64)
+}
+
+fn mag_bit_len(a: &[u64]) -> usize {
+    match a.last() {
+        None => 0,
+        Some(&w) => 64 * (a.len() - 1) + (64 - w.leading_zeros() as usize),
+    }
+}
+
+fn mag_bit(a: &[u64], i: usize) -> bool {
+    a.get(i / 64).is_some_and(|w| (w >> (i % 64)) & 1 == 1)
+}
+
+fn mag_low_bits_nonzero(a: &[u64], k: usize) -> bool {
+    let limbs = k / 64;
+    let bits = k % 64;
+    for (i, &w) in a.iter().enumerate().take(limbs) {
+        let _ = i;
+        if w != 0 {
+            return true;
+        }
+    }
+    if bits != 0 {
+        if let Some(&w) = a.get(limbs) {
+            if w & ((1u64 << bits) - 1) != 0 {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Construction and inspection.
+// ---------------------------------------------------------------------------
+
+impl WideInt {
+    /// Returns zero.
+    ///
+    /// ```
+    /// # use memsci_numeric::WideInt;
+    /// assert!(WideInt::zero().is_zero());
+    /// ```
+    pub fn zero() -> Self {
+        WideInt { neg: false, mag: Vec::new() }
+    }
+
+    /// Returns one.
+    pub fn one() -> Self {
+        WideInt { neg: false, mag: vec![1] }
+    }
+
+    /// Returns `2^pos`.
+    ///
+    /// ```
+    /// # use memsci_numeric::WideInt;
+    /// assert_eq!(WideInt::pow2(70).bit_len(), 71);
+    /// ```
+    pub fn pow2(pos: usize) -> Self {
+        let mut mag = vec![0u64; pos / 64 + 1];
+        mag[pos / 64] = 1u64 << (pos % 64);
+        WideInt { neg: false, mag }
+    }
+
+    /// Builds a value from a sign and magnitude limbs (little endian).
+    pub fn from_sign_magnitude(neg: bool, mut mag: Vec<u64>) -> Self {
+        mag_norm(&mut mag);
+        let neg = neg && !mag.is_empty();
+        WideInt { neg, mag }
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.mag.is_empty()
+    }
+
+    /// Returns `true` if the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.neg
+    }
+
+    /// Number of bits in the magnitude (`0` for zero).
+    ///
+    /// ```
+    /// # use memsci_numeric::WideInt;
+    /// assert_eq!(WideInt::from(6u64).bit_len(), 3);
+    /// ```
+    pub fn bit_len(&self) -> usize {
+        mag_bit_len(&self.mag)
+    }
+
+    /// Position of the most significant set bit of the magnitude, or
+    /// `None` for zero.
+    pub fn leading_one(&self) -> Option<usize> {
+        let l = self.bit_len();
+        if l == 0 {
+            None
+        } else {
+            Some(l - 1)
+        }
+    }
+
+    /// Returns bit `i` of the magnitude.
+    pub fn bit(&self, i: usize) -> bool {
+        mag_bit(&self.mag, i)
+    }
+
+    /// Number of set bits in the magnitude.
+    pub fn count_ones(&self) -> u32 {
+        self.mag.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Returns `true` if any of the `k` least significant magnitude bits
+    /// are set.
+    pub fn low_bits_nonzero(&self, k: usize) -> bool {
+        mag_low_bits_nonzero(&self.mag, k)
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Self {
+        WideInt { neg: false, mag: self.mag.clone() }
+    }
+
+    /// Sign of the value: `-1`, `0`, or `1`.
+    pub fn signum(&self) -> i32 {
+        if self.is_zero() {
+            0
+        } else if self.neg {
+            -1
+        } else {
+            1
+        }
+    }
+
+    /// Borrows the magnitude limbs (little endian, normalized).
+    pub fn magnitude_limbs(&self) -> &[u64] {
+        &self.mag
+    }
+
+    /// Converts to `i128` if the value fits.
+    pub fn to_i128(&self) -> Option<i128> {
+        if self.bit_len() > 127 {
+            return None;
+        }
+        let lo = self.mag.first().copied().unwrap_or(0) as u128;
+        let hi = self.mag.get(1).copied().unwrap_or(0) as u128;
+        let v = (hi << 64) | lo;
+        if self.neg {
+            Some(-(v as i128))
+        } else {
+            Some(v as i128)
+        }
+    }
+}
+
+impl From<u64> for WideInt {
+    fn from(v: u64) -> Self {
+        WideInt::from_sign_magnitude(false, vec![v])
+    }
+}
+
+impl From<i64> for WideInt {
+    fn from(v: i64) -> Self {
+        WideInt::from_sign_magnitude(v < 0, vec![v.unsigned_abs()])
+    }
+}
+
+impl From<u128> for WideInt {
+    fn from(v: u128) -> Self {
+        WideInt::from_sign_magnitude(false, vec![v as u64, (v >> 64) as u64])
+    }
+}
+
+impl From<i128> for WideInt {
+    fn from(v: i128) -> Self {
+        let m = v.unsigned_abs();
+        WideInt::from_sign_magnitude(v < 0, vec![m as u64, (m >> 64) as u64])
+    }
+}
+
+impl From<u32> for WideInt {
+    fn from(v: u32) -> Self {
+        WideInt::from(u64::from(v))
+    }
+}
+
+impl From<i32> for WideInt {
+    fn from(v: i32) -> Self {
+        WideInt::from(i64::from(v))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Comparison.
+// ---------------------------------------------------------------------------
+
+impl PartialOrd for WideInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for WideInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.neg, other.neg) {
+            (false, true) => Ordering::Greater,
+            (true, false) => Ordering::Less,
+            (false, false) => mag_cmp(&self.mag, &other.mag),
+            (true, true) => mag_cmp(&other.mag, &self.mag),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Arithmetic.
+// ---------------------------------------------------------------------------
+
+impl WideInt {
+    fn add_impl(&self, other: &Self) -> Self {
+        if self.neg == other.neg {
+            WideInt::from_sign_magnitude(self.neg, mag_add(&self.mag, &other.mag))
+        } else {
+            match mag_cmp(&self.mag, &other.mag) {
+                Ordering::Equal => WideInt::zero(),
+                Ordering::Greater => {
+                    WideInt::from_sign_magnitude(self.neg, mag_sub(&self.mag, &other.mag))
+                }
+                Ordering::Less => {
+                    WideInt::from_sign_magnitude(other.neg, mag_sub(&other.mag, &self.mag))
+                }
+            }
+        }
+    }
+
+    fn mul_impl(&self, other: &Self) -> Self {
+        WideInt::from_sign_magnitude(self.neg != other.neg, mag_mul(&self.mag, &other.mag))
+    }
+
+    /// Multiplies by a small unsigned constant.
+    pub fn mul_u64(&self, m: u64) -> Self {
+        WideInt::from_sign_magnitude(self.neg, mag_mul_u64(&self.mag, m))
+    }
+
+    /// Truncating division by a small unsigned constant; the remainder
+    /// carries the sign of the dividend (Rust `%` semantics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    pub fn divrem_u64(&self, d: u64) -> (Self, i64) {
+        let (q, r) = mag_divrem_u64(&self.mag, d);
+        let rem = if self.neg { -(r as i64) } else { r as i64 };
+        (WideInt::from_sign_magnitude(self.neg, q), rem)
+    }
+
+    /// Remainder of the value modulo `d`, mapped into `[0, d)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    pub fn rem_euclid_u64(&self, d: u64) -> u64 {
+        let (_, r) = mag_divrem_u64(&self.mag, d);
+        if self.neg && r != 0 {
+            d - r
+        } else {
+            r
+        }
+    }
+
+    /// Exact left shift (multiplication by `2^k`).
+    pub fn shl(&self, k: u32) -> Self {
+        WideInt::from_sign_magnitude(self.neg, mag_shl(&self.mag, k))
+    }
+
+    /// Flooring right shift: `floor(self / 2^k)` for both signs, matching
+    /// two's-complement arithmetic shifts.
+    ///
+    /// ```
+    /// # use memsci_numeric::WideInt;
+    /// assert_eq!(WideInt::from(-5i64).shr_floor(1), WideInt::from(-3i64));
+    /// ```
+    pub fn shr_floor(&self, k: u32) -> Self {
+        let dropped = mag_low_bits_nonzero(&self.mag, k as usize);
+        let mut m = mag_shr(&self.mag, k);
+        if self.neg && dropped {
+            m = mag_add(&m, &[1]);
+        }
+        WideInt::from_sign_magnitude(self.neg, m)
+    }
+}
+
+macro_rules! forward_binop {
+    ($trait_:ident, $method:ident, $impl_:ident) => {
+        impl<'a, 'b> $trait_<&'b WideInt> for &'a WideInt {
+            type Output = WideInt;
+            fn $method(self, rhs: &'b WideInt) -> WideInt {
+                self.$impl_(rhs)
+            }
+        }
+        impl $trait_<WideInt> for WideInt {
+            type Output = WideInt;
+            fn $method(self, rhs: WideInt) -> WideInt {
+                (&self).$impl_(&rhs)
+            }
+        }
+        impl<'a> $trait_<&'a WideInt> for WideInt {
+            type Output = WideInt;
+            fn $method(self, rhs: &'a WideInt) -> WideInt {
+                (&self).$impl_(rhs)
+            }
+        }
+        impl<'a> $trait_<WideInt> for &'a WideInt {
+            type Output = WideInt;
+            fn $method(self, rhs: WideInt) -> WideInt {
+                self.$impl_(&rhs)
+            }
+        }
+    };
+}
+
+impl WideInt {
+    fn sub_impl(&self, other: &Self) -> Self {
+        self.add_impl(&other.clone().neg_impl())
+    }
+
+    fn neg_impl(self) -> Self {
+        WideInt::from_sign_magnitude(!self.neg, self.mag)
+    }
+}
+
+forward_binop!(Add, add, add_impl);
+forward_binop!(Sub, sub, sub_impl);
+forward_binop!(Mul, mul, mul_impl);
+
+impl Neg for WideInt {
+    type Output = WideInt;
+    fn neg(self) -> WideInt {
+        self.neg_impl()
+    }
+}
+
+impl Neg for &WideInt {
+    type Output = WideInt;
+    fn neg(self) -> WideInt {
+        self.clone().neg_impl()
+    }
+}
+
+impl AddAssign<&WideInt> for WideInt {
+    fn add_assign(&mut self, rhs: &WideInt) {
+        *self = self.add_impl(rhs);
+    }
+}
+
+impl SubAssign<&WideInt> for WideInt {
+    fn sub_assign(&mut self, rhs: &WideInt) {
+        *self = self.sub_impl(rhs);
+    }
+}
+
+impl Shl<u32> for &WideInt {
+    type Output = WideInt;
+    fn shl(self, k: u32) -> WideInt {
+        WideInt::shl(self, k)
+    }
+}
+
+impl Shl<u32> for WideInt {
+    type Output = WideInt;
+    fn shl(self, k: u32) -> WideInt {
+        WideInt::shl(&self, k)
+    }
+}
+
+impl Shr<u32> for &WideInt {
+    type Output = WideInt;
+    fn shr(self, k: u32) -> WideInt {
+        self.shr_floor(k)
+    }
+}
+
+impl Shr<u32> for WideInt {
+    type Output = WideInt;
+    fn shr(self, k: u32) -> WideInt {
+        self.shr_floor(k)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rounding and float conversion.
+// ---------------------------------------------------------------------------
+
+/// A value rounded to a fixed number of significant bits: `±mantissa × 2^exp`
+/// with the mantissa normalized so its leading one sits at bit
+/// `precision - 1` (zero is canonical as all-zero).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rounded {
+    /// Sign flag (`false` for zero).
+    pub neg: bool,
+    /// Normalized mantissa with exactly `precision` bits, or zero.
+    pub mantissa: u64,
+    /// Exponent of the mantissa's least significant bit.
+    pub exp: i64,
+}
+
+impl Rounded {
+    /// The canonical zero.
+    pub fn zero() -> Self {
+        Rounded { neg: false, mantissa: 0, exp: 0 }
+    }
+}
+
+impl WideInt {
+    /// Rounds the value to `precision` significant bits under `mode`,
+    /// producing a canonical sign/mantissa/exponent triple.
+    ///
+    /// This models the conversion of a settled fixed-point running sum to
+    /// the intermediate floating-point format (paper §III-B): the leading
+    /// one is detected and the following `precision - 1` bits are kept.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= precision <= 63`.
+    pub fn round_to_precision(&self, precision: u32, mode: Rounding) -> Rounded {
+        assert!((1..=63).contains(&precision), "precision must be in 1..=63");
+        if self.is_zero() {
+            return Rounded::zero();
+        }
+        let bl = self.bit_len() as i64;
+        let p = i64::from(precision);
+        if bl <= p {
+            // Exact: widen to the canonical left-aligned form.
+            let shift = (p - bl) as u32;
+            let m = self.mag[0] << shift;
+            let m = if self.mag.len() > 1 {
+                // bl <= 63 here, so a second limb cannot exist.
+                unreachable!("normalized magnitude wider than bit_len")
+            } else {
+                m
+            };
+            return Rounded { neg: self.neg, mantissa: m, exp: -(shift as i64) };
+        }
+        let shift = (bl - p) as u32;
+        let kept = mag_shr(&self.mag, shift);
+        debug_assert_eq!(mag_bit_len(&kept) as i64, p);
+        let mut m = kept.first().copied().unwrap_or(0);
+        let guard = self.bit(shift as usize - 1);
+        let sticky_low = mag_low_bits_nonzero(&self.mag, shift as usize - 1);
+        let any_dropped = guard || sticky_low;
+        let inc = match mode {
+            Rounding::TowardZero => false,
+            Rounding::TowardNegInf => self.neg && any_dropped,
+            Rounding::TowardPosInf => !self.neg && any_dropped,
+            Rounding::NearestEven => guard && (sticky_low || (m & 1 == 1)),
+        };
+        let mut exp = i64::from(shift);
+        if inc {
+            m += 1;
+            if m == 1u64 << precision {
+                m >>= 1;
+                exp += 1;
+            }
+        }
+        Rounded { neg: self.neg, mantissa: m, exp }
+    }
+
+    /// Converts `self × 2^e2` to the nearest `f64` under `mode`, with
+    /// correct handling of subnormals, underflow, and overflow.
+    ///
+    /// ```
+    /// # use memsci_numeric::{Rounding, WideInt};
+    /// let v = WideInt::from(3u64);
+    /// assert_eq!(v.to_f64_with_exp(-1, Rounding::NearestEven), 1.5);
+    /// ```
+    pub fn to_f64_with_exp(&self, e2: i32, mode: Rounding) -> f64 {
+        if self.is_zero() {
+            return 0.0;
+        }
+        let bl = self.bit_len() as i64;
+        let pos = bl - 1 + i64::from(e2); // exponent of the leading bit
+        if pos > 1024 {
+            return overflow_value(self.neg, mode);
+        }
+        // Quantum: LSB position of the target representation.
+        let q = core::cmp::max(-1074i64, pos - 52);
+        let shift = q - i64::from(e2);
+        let n = if shift <= 0 {
+            // Exact: all bits representable.
+            debug_assert!(bl - shift <= 54);
+            let m = self.mag[0] as u128;
+            let m = if self.mag.len() > 1 {
+                (u128::from(self.mag[1]) << 64) | m
+            } else {
+                m
+            };
+            (m << (-shift) as u32) as u64
+        } else {
+            let dropped = mag_low_bits_nonzero(&self.mag, shift as usize);
+            let guard = self.bit(shift as usize - 1);
+            let sticky_low = mag_low_bits_nonzero(&self.mag, shift as usize - 1);
+            let kept = mag_shr(&self.mag, shift as u32);
+            let mut m = kept.first().copied().unwrap_or(0);
+            let _ = dropped;
+            let inc = match mode {
+                Rounding::TowardZero => false,
+                Rounding::TowardNegInf => self.neg && (guard || sticky_low),
+                Rounding::TowardPosInf => !self.neg && (guard || sticky_low),
+                Rounding::NearestEven => guard && (sticky_low || (m & 1 == 1)),
+            };
+            if inc {
+                m += 1;
+            }
+            m
+        };
+        if n == 0 {
+            return if self.neg { -0.0 } else { 0.0 };
+        }
+        let magnitude = ldexp_exact(n, q);
+        let out = if self.neg { -magnitude } else { magnitude };
+        if out.is_infinite() {
+            // Rounding pushed the magnitude past the largest finite value.
+            return overflow_value(self.neg, mode);
+        }
+        out
+    }
+}
+
+fn overflow_value(neg: bool, mode: Rounding) -> f64 {
+    match (mode, neg) {
+        (Rounding::NearestEven, false) => f64::INFINITY,
+        (Rounding::NearestEven, true) => f64::NEG_INFINITY,
+        (Rounding::TowardZero, false) => f64::MAX,
+        (Rounding::TowardZero, true) => -f64::MAX,
+        (Rounding::TowardNegInf, false) => f64::MAX,
+        (Rounding::TowardNegInf, true) => f64::NEG_INFINITY,
+        (Rounding::TowardPosInf, false) => f64::INFINITY,
+        (Rounding::TowardPosInf, true) => -f64::MAX,
+    }
+}
+
+/// Computes `n × 2^k` exactly where `n < 2^54` and the result is
+/// representable (possibly subnormal); the stepwise scaling below never
+/// rounds because every intermediate stays in the normal range or is the
+/// exactly-representable final value.
+fn ldexp_exact(n: u64, k: i64) -> f64 {
+    let mut r = n as f64;
+    let mut k = k;
+    while k > 1023 {
+        r *= f64::powi(2.0, 1023);
+        k -= 1023;
+        if r.is_infinite() {
+            return r;
+        }
+    }
+    while k < -1021 {
+        r *= f64::powi(2.0, -1021);
+        k += 1021;
+        if r == 0.0 {
+            return r;
+        }
+    }
+    r * f64::powi(2.0, k as i32)
+}
+
+// ---------------------------------------------------------------------------
+// Formatting.
+// ---------------------------------------------------------------------------
+
+impl fmt::Debug for WideInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "WideInt({self})")
+    }
+}
+
+impl fmt::Display for WideInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.pad_integral(true, "", "0");
+        }
+        let mut digits = Vec::new();
+        let mut cur = self.mag.clone();
+        while !cur.is_empty() {
+            let (q, r) = mag_divrem_u64(&cur, 10);
+            digits.push(b'0' + r as u8);
+            cur = q;
+        }
+        digits.reverse();
+        let s = core::str::from_utf8(&digits).expect("ascii digits");
+        f.pad_integral(!self.neg, "", s)
+    }
+}
+
+impl fmt::LowerHex for WideInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        if self.is_zero() {
+            s.push('0');
+        } else {
+            for (i, w) in self.mag.iter().enumerate().rev() {
+                if i == self.mag.len() - 1 {
+                    s.push_str(&format!("{w:x}"));
+                } else {
+                    s.push_str(&format!("{w:016x}"));
+                }
+            }
+        }
+        f.pad_integral(!self.neg, "0x", &s)
+    }
+}
+
+impl fmt::Binary for WideInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        if self.is_zero() {
+            s.push('0');
+        } else {
+            for i in (0..self.bit_len()).rev() {
+                s.push(if self.bit(i) { '1' } else { '0' });
+            }
+        }
+        f.pad_integral(!self.neg, "0b", &s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(v: i128) -> WideInt {
+        WideInt::from(v)
+    }
+
+    #[test]
+    fn zero_is_canonical() {
+        assert_eq!(WideInt::zero(), WideInt::from(0i64));
+        assert_eq!(w(5) - w(5), WideInt::zero());
+        assert!(!(w(3) - w(3)).is_negative());
+    }
+
+    #[test]
+    fn add_sub_match_i128() {
+        let cases = [0i128, 1, -1, 2, 7, -13, 1 << 62, -(1 << 62), i64::MAX as i128];
+        for &a in &cases {
+            for &b in &cases {
+                assert_eq!(w(a) + w(b), w(a + b), "{a} + {b}");
+                assert_eq!(w(a) - w(b), w(a - b), "{a} - {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn mul_matches_i128() {
+        let cases = [0i128, 1, -1, 3, -7, 1 << 40, -(1 << 40)];
+        for &a in &cases {
+            for &b in &cases {
+                assert_eq!(w(a) * w(b), w(a * b), "{a} * {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_multiplication_carries() {
+        let a = WideInt::pow2(100) - WideInt::one();
+        let b = WideInt::pow2(90) - WideInt::one();
+        let p = &a * &b;
+        // (2^100-1)(2^90-1) = 2^190 - 2^100 - 2^90 + 1
+        let expect = WideInt::pow2(190) - WideInt::pow2(100) - WideInt::pow2(90) + WideInt::one();
+        assert_eq!(p, expect);
+    }
+
+    #[test]
+    fn shifts_match_floor_semantics() {
+        for v in [-9i128, -8, -7, -1, 0, 1, 7, 8, 9] {
+            for k in 0..5u32 {
+                assert_eq!(
+                    w(v).shr_floor(k),
+                    w(v >> k),
+                    "{v} >> {k} (floor)"
+                );
+                assert_eq!(w(v).shl(k), w(v << k));
+            }
+        }
+    }
+
+    #[test]
+    fn divrem_small() {
+        assert_eq!(w(100).divrem_u64(7), (w(14), 2));
+        assert_eq!(w(-100).divrem_u64(7), (w(-14), -2));
+        assert_eq!(w(-100).rem_euclid_u64(7), 5);
+        let big = WideInt::pow2(200);
+        let (q, r) = big.divrem_u64(251);
+        assert_eq!(q.mul_u64(251) + WideInt::from(r), WideInt::pow2(200));
+    }
+
+    #[test]
+    fn bit_inspection() {
+        let v = w(0b1011_0000);
+        assert_eq!(v.bit_len(), 8);
+        assert_eq!(v.leading_one(), Some(7));
+        assert!(v.bit(4) && v.bit(5) && !v.bit(6) && v.bit(7));
+        assert_eq!(v.count_ones(), 3);
+        assert!(v.low_bits_nonzero(5));
+        assert!(!v.low_bits_nonzero(4));
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        let mut vals = [w(-5), w(3), w(0), w(-1), w(100), w(-100)];
+        vals.sort();
+        let nums: Vec<i128> = vals.iter().map(|v| v.to_i128().unwrap()).collect();
+        assert_eq!(nums, vec![-100, -5, -1, 0, 3, 100]);
+    }
+
+    #[test]
+    fn display_decimal() {
+        assert_eq!(w(0).to_string(), "0");
+        assert_eq!(w(-12345).to_string(), "-12345");
+        let big = WideInt::pow2(64);
+        assert_eq!(big.to_string(), "18446744073709551616");
+        assert_eq!(format!("{:#x}", w(255)), "0xff");
+        assert_eq!(format!("{:x}", w(-255)), "-ff");
+        assert_eq!(format!("{:#b}", w(5)), "0b101");
+    }
+
+    #[test]
+    fn round_to_precision_exact_and_inexact() {
+        // 0b1011 rounded to 3 bits.
+        let v = w(0b1011);
+        let r = v.round_to_precision(3, Rounding::TowardZero);
+        assert_eq!((r.neg, r.mantissa, r.exp), (false, 0b101, 1));
+        let r = v.round_to_precision(3, Rounding::NearestEven);
+        assert_eq!((r.mantissa, r.exp), (0b110, 1));
+        let r = v.round_to_precision(3, Rounding::TowardPosInf);
+        assert_eq!((r.mantissa, r.exp), (0b110, 1));
+        let r = v.round_to_precision(3, Rounding::TowardNegInf);
+        assert_eq!((r.mantissa, r.exp), (0b101, 1));
+        // Negative value: floor rounds magnitude up.
+        let v = w(-0b1011);
+        let r = v.round_to_precision(3, Rounding::TowardNegInf);
+        assert_eq!((r.neg, r.mantissa, r.exp), (true, 0b110, 1));
+        // Exact value is left-aligned canonically.
+        let v = w(4);
+        let r = v.round_to_precision(4, Rounding::NearestEven);
+        assert_eq!((r.mantissa, r.exp), (0b1000, -1));
+    }
+
+    #[test]
+    fn rounding_carry_renormalizes() {
+        let v = w(0b1_1111); // 31
+        let r = v.round_to_precision(4, Rounding::NearestEven);
+        // 31 -> 32 = 0b1000 × 2^2
+        assert_eq!((r.mantissa, r.exp), (0b1000, 2));
+    }
+
+    #[test]
+    fn to_f64_roundtrips_doubles() {
+        for x in [1.0f64, -1.5, 0.1, 1e300, -1e-300, 3.141592653589793, 5e-324] {
+            let bits = crate::float::FloatParts::decompose(x).unwrap();
+            let v = WideInt::from(bits.mantissa).shl(0);
+            let v = if bits.sign { -v } else { v };
+            let back = v.to_f64_with_exp(bits.exponent, Rounding::NearestEven);
+            assert_eq!(back, x, "{x}");
+        }
+    }
+
+    #[test]
+    fn to_f64_rounds_directed() {
+        // 2^53 + 1 is not representable: floor keeps 2^53, ceil bumps.
+        let v = WideInt::pow2(53) + WideInt::one();
+        assert_eq!(v.to_f64_with_exp(0, Rounding::TowardNegInf), 9007199254740992.0);
+        assert_eq!(v.to_f64_with_exp(0, Rounding::TowardPosInf), 9007199254740994.0);
+        let n = -(WideInt::pow2(53) + WideInt::one());
+        assert_eq!(n.to_f64_with_exp(0, Rounding::TowardNegInf), -9007199254740994.0);
+        assert_eq!(n.to_f64_with_exp(0, Rounding::TowardZero), -9007199254740992.0);
+    }
+
+    #[test]
+    fn to_f64_handles_overflow_and_underflow() {
+        let v = WideInt::one();
+        assert_eq!(v.to_f64_with_exp(1100, Rounding::NearestEven), f64::INFINITY);
+        assert_eq!(v.to_f64_with_exp(1100, Rounding::TowardZero), f64::MAX);
+        assert_eq!(v.to_f64_with_exp(-1200, Rounding::NearestEven), 0.0);
+        assert_eq!(v.to_f64_with_exp(-1200, Rounding::TowardPosInf), 5e-324);
+        assert_eq!(v.to_f64_with_exp(-1074, Rounding::NearestEven), 5e-324);
+        // Subnormal rounding: 3 × 2^-1075 = 1.5 ulp -> rounds to 2 ulp (even).
+        let v = WideInt::from(3u64);
+        assert_eq!(v.to_f64_with_exp(-1075, Rounding::NearestEven), 1e-323);
+    }
+}

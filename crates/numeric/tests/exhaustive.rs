@@ -1,0 +1,156 @@
+//! Exhaustive small-width verification: for every value in a small
+//! domain, the wide-integer machinery must agree with straightforward
+//! 64-bit reference computations.
+
+use memsci_numeric::align::AlignedSlice;
+use memsci_numeric::bias::{debias_partial, BiasedSlice};
+use memsci_numeric::bitslice::SliceSet;
+use memsci_numeric::running_sum::{regions_nonneg, settled_nonneg, settled_nonneg_remaining};
+use memsci_numeric::{Rounding, WideInt};
+
+/// Reference rounding of a u32 to `bits` significant bits.
+fn round_ref(v: u32, bits: u32, mode: Rounding) -> (u64, i64) {
+    if v == 0 {
+        return (0, 0);
+    }
+    let bl = 32 - v.leading_zeros();
+    if bl <= bits {
+        let shift = bits - bl;
+        return (u64::from(v) << shift, -i64::from(shift));
+    }
+    let shift = bl - bits;
+    let kept = u64::from(v >> shift);
+    let dropped = u64::from(v) & ((1u64 << shift) - 1);
+    let guard = dropped >> (shift - 1) & 1 == 1;
+    let sticky = dropped & ((1u64 << (shift - 1)) - 1) != 0;
+    let inc = match mode {
+        Rounding::TowardZero | Rounding::TowardNegInf => false,
+        Rounding::TowardPosInf => guard || sticky,
+        Rounding::NearestEven => guard && (sticky || kept & 1 == 1),
+    };
+    let mut m = kept + u64::from(inc);
+    let mut exp = i64::from(shift);
+    if m == 1u64 << bits {
+        m >>= 1;
+        exp += 1;
+    }
+    (m, exp)
+}
+
+/// Every 16-bit value, every precision 1..=8, every mode: canonical
+/// rounding matches the reference.
+#[test]
+fn round_to_precision_exhaustive_16bit() {
+    for v in 0u32..=u16::MAX as u32 {
+        let w = WideInt::from(u64::from(v));
+        for bits in 1..=8u32 {
+            for mode in Rounding::ALL {
+                let r = w.round_to_precision(bits, mode);
+                let (m, e) = round_ref(v, bits, mode);
+                assert_eq!(
+                    (r.neg, r.mantissa, r.exp),
+                    (false, m, e),
+                    "v={v} bits={bits} mode={mode:?}"
+                );
+            }
+        }
+    }
+}
+
+/// Every pair of signed 8-bit values through add/sub/mul/shift.
+#[test]
+fn arithmetic_exhaustive_8bit() {
+    for a in -128i64..=127 {
+        let wa = WideInt::from(a);
+        for b in -128i64..=127 {
+            let wb = WideInt::from(b);
+            assert_eq!((&wa + &wb).to_i128().unwrap(), i128::from(a + b));
+            assert_eq!((&wa - &wb).to_i128().unwrap(), i128::from(a - b));
+            assert_eq!((&wa * &wb).to_i128().unwrap(), i128::from(a * b));
+        }
+        for k in 0..8u32 {
+            assert_eq!(wa.shr_floor(k).to_i128().unwrap(), i128::from(a >> k));
+            assert_eq!(wa.shl(k).to_i128().unwrap(), i128::from(a << k));
+        }
+    }
+}
+
+/// Exhaustive region soundness: for every 12-bit running sum and a grid
+/// of (next weight, partial width) configurations, whenever the paper's
+/// region method declares the mantissa settled, adding ANY admissible
+/// remaining contribution leaves the rounded mantissa unchanged.
+#[test]
+fn region_termination_exhaustive_12bit() {
+    let precision = 4u32;
+    for sum in 0u64..(1 << 12) {
+        let w = WideInt::from(sum);
+        for (next_w, pm) in [(0u32, 2u32), (1, 2), (0, 3)] {
+            if !settled_nonneg(&w, next_w, pm, precision) {
+                continue;
+            }
+            let before = w.round_to_precision(precision, Rounding::TowardNegInf);
+            // The remaining contributions sum to at most
+            // sum_{k<=next_w} (2^pm - 1) * 2^k < 2^(next_w + pm + 1).
+            let bound = ((1u64 << pm) - 1) * ((1u64 << (next_w + 1)) - 1);
+            for r in 0..=bound {
+                let after =
+                    WideInt::from(sum + r).round_to_precision(precision, Rounding::TowardNegInf);
+                assert_eq!(
+                    before, after,
+                    "sum={sum:#b} next_w={next_w} pm={pm} r={r}"
+                );
+            }
+            // Cross-check the region decomposition invariants.
+            let regions = regions_nonneg(&w, next_w, pm);
+            assert!(!w.bit(regions.barrier), "barrier must be a zero bit");
+            assert!(settled_nonneg_remaining(
+                &w,
+                next_w + pm + 1,
+                precision,
+                Rounding::TowardNegInf
+            ));
+        }
+    }
+}
+
+/// Exhaustive bias/debias over all 6-bit signed blocks of length 3 with
+/// all 8 vector slices.
+#[test]
+fn bias_debias_exhaustive() {
+    for a0 in -4i64..4 {
+        for a1 in -4i64..4 {
+            for a2 in -4i64..4 {
+                let vals = [a0 as f64, a1 as f64, a2 as f64];
+                let aligned = AlignedSlice::align(&vals, 117).unwrap();
+                let biased = BiasedSlice::from_aligned(&aligned);
+                let slices =
+                    SliceSet::from_unsigned(biased.values(), biased.operand_bits());
+                for mask in 0u32..8 {
+                    let mut raw = WideInt::zero();
+                    let mut pop = 0u64;
+                    let mut want = 0f64;
+                    for (i, v) in biased.values().iter().enumerate() {
+                        if mask >> i & 1 == 1 {
+                            raw += v;
+                            pop += 1;
+                            want += vals[i];
+                        }
+                    }
+                    let got = debias_partial(&raw, biased.bias_bit(), pop);
+                    let want_int = aligned
+                        .integers()
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| mask >> i & 1 == 1)
+                        .fold(WideInt::zero(), |acc, (_, v)| acc + v);
+                    assert_eq!(got, want_int, "vals={vals:?} mask={mask:03b}");
+                    let _ = want;
+                    // Slices reconstruct the stored operands.
+                    for i in 0..3 {
+                        assert_eq!(slices.reconstruct(i), biased.values()[i]);
+                    }
+                }
+            }
+        }
+    }
+}

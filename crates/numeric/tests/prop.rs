@@ -1,0 +1,251 @@
+//! Property-based tests for the numeric substrate.
+//!
+//! The centerpiece is `bit_sliced_dot_product_matches_exact`, which runs
+//! the full floating-point-on-fixed-point pipeline the way a cluster
+//! does — alignment, biasing, two's-complement vector slicing,
+//! MSB-first accumulation with early termination, AN coding — and checks
+//! the result against an exact wide-integer dot product rounded toward
+//! negative infinity.
+
+use memsci_numeric::align::AlignedSlice;
+use memsci_numeric::bias::{debias_partial, BiasedSlice};
+use memsci_numeric::bitslice::SliceSet;
+use memsci_numeric::running_sum::{remaining_bound_bit, settled};
+use memsci_numeric::{AnCode, FloatParts, Rounded, Rounding, WideInt};
+use proptest::prelude::*;
+
+fn wideint_strategy() -> impl Strategy<Value = (WideInt, i128)> {
+    any::<i128>().prop_map(|v| {
+        let v = v >> 8; // keep headroom for arithmetic in i128
+        (WideInt::from(v), v)
+    })
+}
+
+/// Small doubles with a bounded exponent range, as produced by physical
+/// models (paper §IV-B: exponent range locality).
+fn small_double() -> impl Strategy<Value = f64> {
+    (any::<bool>(), 1u64..(1 << 53), -24i32..24).prop_map(|(neg, m, e)| {
+        let v = (m as f64) * (2.0f64).powi(e - 52);
+        if neg {
+            -v
+        } else {
+            v
+        }
+    })
+}
+
+proptest! {
+    #[test]
+    fn add_matches_i128((a, ai) in wideint_strategy(), (b, bi) in wideint_strategy()) {
+        prop_assert_eq!(&a + &b, WideInt::from(ai + bi));
+        prop_assert_eq!(&a - &b, WideInt::from(ai - bi));
+    }
+
+    #[test]
+    fn mul_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        let p = WideInt::from(a) * WideInt::from(b);
+        prop_assert_eq!(p, WideInt::from(i128::from(a) * i128::from(b)));
+    }
+
+    #[test]
+    fn shifts_match_floor((a, ai) in wideint_strategy(), k in 0u32..40) {
+        prop_assert_eq!(a.shr_floor(k), WideInt::from(ai >> k));
+        prop_assert_eq!(a.shl(k).shr_floor(k), a.clone());
+    }
+
+    #[test]
+    fn ordering_matches_i128((a, ai) in wideint_strategy(), (b, bi) in wideint_strategy()) {
+        prop_assert_eq!(a.cmp(&b), ai.cmp(&bi));
+    }
+
+    #[test]
+    fn decimal_display_matches_i128((a, ai) in wideint_strategy()) {
+        prop_assert_eq!(a.to_string(), ai.to_string());
+    }
+
+    #[test]
+    fn float_decompose_roundtrips(x in any::<f64>()) {
+        prop_assume!(x.is_finite());
+        let p = FloatParts::decompose(x).unwrap();
+        prop_assert_eq!(p.value().to_bits(), x.to_bits());
+    }
+
+    #[test]
+    fn to_f64_nearest_matches_reference(m in 1u64..u64::MAX, e in -100i32..100) {
+        // Reference: f64 conversion of m (correctly rounded) then exact
+        // power-of-two scaling.
+        let v = WideInt::from(m);
+        let got = v.to_f64_with_exp(e, Rounding::NearestEven);
+        let want = (m as f64) * (2.0f64).powi(e);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn rounding_modes_bracket_the_value(m in 1u64..u64::MAX, e in -80i32..80, neg in any::<bool>()) {
+        let v = if neg { -WideInt::from(m) } else { WideInt::from(m) };
+        let down = v.to_f64_with_exp(e, Rounding::TowardNegInf);
+        let up = v.to_f64_with_exp(e, Rounding::TowardPosInf);
+        let near = v.to_f64_with_exp(e, Rounding::NearestEven);
+        let toward_zero = v.to_f64_with_exp(e, Rounding::TowardZero);
+        prop_assert!(down <= up);
+        prop_assert!(down <= near && near <= up);
+        prop_assert!(toward_zero == down || toward_zero == up);
+        prop_assert!(toward_zero.abs() <= down.abs().max(up.abs()));
+    }
+
+    #[test]
+    fn alignment_roundtrips(vals in prop::collection::vec(small_double(), 0..20)) {
+        let a = AlignedSlice::align(&vals, 117).unwrap();
+        for (i, &v) in vals.iter().enumerate() {
+            prop_assert_eq!(a.value(i), v);
+        }
+    }
+
+    #[test]
+    fn bias_then_debias_recovers_partials(
+        vals in prop::collection::vec(small_double(), 1..16),
+        mask in any::<u16>(),
+    ) {
+        let a = AlignedSlice::align(&vals, 117).unwrap();
+        let b = BiasedSlice::from_aligned(&a);
+        // Apply an arbitrary binary "vector slice" to the biased block.
+        let mut raw = WideInt::zero();
+        let mut pop = 0u64;
+        let mut want = WideInt::zero();
+        for (i, v) in b.values().iter().enumerate() {
+            if (mask >> (i % 16)) & 1 == 1 {
+                raw += v;
+                pop += 1;
+                want += &a.integers()[i];
+            }
+        }
+        prop_assert_eq!(debias_partial(&raw, b.bias_bit(), pop), want);
+    }
+
+    #[test]
+    fn slices_reconstruct_signed_values(
+        vals in prop::collection::vec(-(1i64 << 40)..(1i64 << 40), 1..24),
+    ) {
+        let ints: Vec<WideInt> = vals.iter().map(|&v| WideInt::from(v)).collect();
+        let s = SliceSet::from_twos_complement(&ints, 42);
+        for (i, v) in ints.iter().enumerate() {
+            prop_assert_eq!(&s.reconstruct(i), v);
+        }
+    }
+
+    #[test]
+    fn an_code_corrects_random_single_errors(
+        v in any::<u64>(),
+        j in 0usize..100,
+        neg in any::<bool>(),
+    ) {
+        let code = AnCode::default();
+        let value = WideInt::from(v);
+        let word = code.encode(&value);
+        let err = WideInt::pow2(j);
+        let word = if neg { &word - &err } else { &word + &err };
+        let d = code.decode(&word).unwrap();
+        prop_assert_eq!(d.value, value);
+        prop_assert_eq!(d.correction, Some((j, neg)));
+    }
+
+    /// The full pipeline: an early-terminated, bit-sliced, biased,
+    /// AN-protected dot product equals the exact dot product rounded
+    /// toward negative infinity to a 53-bit mantissa.
+    #[test]
+    fn bit_sliced_dot_product_matches_exact(
+        pairs in prop::collection::vec((small_double(), small_double()), 1..32),
+    ) {
+        let a: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let x: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let (got, slices_used, total_slices) = pipeline_dot(&a, &x);
+        let want = exact_dot_floor(&a, &x);
+        prop_assert_eq!(got, want);
+        prop_assert!(slices_used <= total_slices);
+    }
+}
+
+/// Exact dot product of two f64 slices, rounded toward −∞ to a 53-bit
+/// mantissa, returned canonically.
+fn exact_dot_floor(a: &[f64], x: &[f64]) -> Rounded {
+    let mut terms = Vec::new();
+    let mut min_exp = i32::MAX;
+    for (&ai, &xi) in a.iter().zip(x) {
+        let pa = FloatParts::decompose(ai).unwrap();
+        let px = FloatParts::decompose(xi).unwrap();
+        if pa.is_zero() || px.is_zero() {
+            continue;
+        }
+        let prod = pa.signed_mantissa() * px.signed_mantissa();
+        let exp = pa.exponent + px.exponent;
+        min_exp = min_exp.min(exp);
+        terms.push((prod, exp));
+    }
+    let mut sum = WideInt::zero();
+    for (prod, exp) in terms {
+        sum += &prod.shl((exp - min_exp) as u32);
+    }
+    let r = sum.round_to_precision(53, Rounding::TowardNegInf);
+    if r.mantissa == 0 {
+        return Rounded::zero();
+    }
+    Rounded { neg: r.neg, mantissa: r.mantissa, exp: r.exp + i64::from(min_exp) }
+}
+
+/// Simulates the cluster pipeline in software: returns the rounded
+/// result, the number of vector slices actually consumed, and the total
+/// number of vector slices.
+fn pipeline_dot(a: &[f64], x: &[f64]) -> (Rounded, usize, usize) {
+    let a_al = AlignedSlice::align(a, 117).unwrap();
+    let x_al = AlignedSlice::align(x, 117).unwrap();
+    let biased = BiasedSlice::from_aligned(&a_al);
+    let code = AnCode::default();
+    // Encode the stored operands with the AN code, as the crossbars do.
+    let stored: Vec<WideInt> = biased.values().iter().map(|v| code.encode(v)).collect();
+    let xw = x_al.magnitude_bits() + 1; // two's-complement width
+    let xs = SliceSet::from_twos_complement(x_al.integers(), xw);
+    // Partial dot products are bounded by n × 2^(bias_bit + 1).
+    let n_bits = WideInt::from(a.len() as u64).bit_len() as u32;
+    let pm = biased.operand_bits() as u32 + n_bits;
+    let mut sum = WideInt::zero();
+    let mut used = 0usize;
+    for k in (0..xw).rev() {
+        used += 1;
+        // "Analog" partial product of the AN-encoded biased operands.
+        let mut raw = WideInt::zero();
+        let mut pop = 0u64;
+        for i in 0..a.len() {
+            if xs.get(k, i) {
+                raw += &stored[i];
+                pop += 1;
+            }
+        }
+        // AN check (no injected errors here) and decode.
+        let decoded = code.decode(&raw).unwrap();
+        assert_eq!(decoded.correction, None);
+        let partial = debias_partial(&decoded.value, biased.bias_bit(), pop);
+        let term = partial.shl(k as u32);
+        if xs.weight_is_negative(k) {
+            sum -= &term;
+        } else {
+            sum += &term;
+        }
+        if k > 0 && settled(&sum, remaining_bound_bit(k as u32 - 1, pm), 53, Rounding::TowardNegInf)
+        {
+            break;
+        }
+    }
+    let r = sum.round_to_precision(53, Rounding::TowardNegInf);
+    // The fixed-point LSB carries weight 2^(a_base + x_base); fold it in
+    // by adjusting the canonical exponent.
+    let r = if r.mantissa == 0 {
+        Rounded::zero()
+    } else {
+        Rounded {
+            neg: r.neg,
+            mantissa: r.mantissa,
+            exp: r.exp + i64::from(a_al.exp_base()) + i64::from(x_al.exp_base()),
+        }
+    };
+    (r, used, xw)
+}

@@ -1,0 +1,149 @@
+//! Bi-conjugate gradient (the classical non-symmetric Lanczos solver,
+//! listed alongside BiCG-STAB in §II-B).
+//!
+//! Requires products with both `A` and `Aᵀ`.
+
+use crate::platform::Platform;
+use crate::report::{SolveOptions, SolveReport};
+
+/// Solves `A·x = b` by BiCG, updating `x` in place.
+///
+/// # Examples
+///
+/// ```
+/// use memsci_solvers::bicg::bicg;
+/// use memsci_solvers::platform::CsrPlatform;
+/// use memsci_solvers::report::SolveOptions;
+/// use memsci_sparse::Coo;
+///
+/// let a = Coo::from_triplets(2, 2, [(0, 0, 5.0), (1, 0, 1.0), (1, 1, 4.0)])
+///     .unwrap()
+///     .to_csr();
+/// let mut p = CsrPlatform::new(a);
+/// let mut x = vec![0.0; 2];
+/// let report = bicg(&mut p, &[5.0, 9.0], &mut x, &SolveOptions::default());
+/// assert!(report.converged);
+/// assert!((x[0] - 1.0).abs() < 1e-8 && (x[1] - 2.0).abs() < 1e-8);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `b.len()` or `x.len()` differ from the platform dimension.
+pub fn bicg<P: Platform + ?Sized>(
+    platform: &mut P,
+    b: &[f64],
+    x: &mut [f64],
+    opts: &SolveOptions,
+) -> SolveReport {
+    let n = platform.n();
+    assert_eq!(b.len(), n, "b length");
+    assert_eq!(x.len(), n, "x length");
+    let mut report = SolveReport::new();
+    let t0 = platform.elapsed_seconds();
+    let e0 = platform.energy_joules();
+
+    let b_norm = platform.norm(b);
+    if b_norm == 0.0 {
+        x.fill(0.0);
+        report.converged = true;
+        report.relative_residual = 0.0;
+        return report;
+    }
+
+    let mut r = vec![0.0; n];
+    platform.spmv(x, &mut r);
+    platform.axpby(1.0, b, -1.0, &mut r);
+    let mut r_star = r.clone();
+    let mut p = r.clone();
+    let mut p_star = r.clone();
+    let mut q = vec![0.0; n];
+    let mut q_star = vec![0.0; n];
+    let mut rho = platform.dot(&r_star, &r);
+    let mut res = platform.norm(&r) / b_norm;
+
+    for _ in 0..opts.max_iters {
+        if opts.record_residuals {
+            report.residual_history.push(res);
+        }
+        if res <= opts.tol {
+            report.converged = true;
+            break;
+        }
+        if rho == 0.0 || !rho.is_finite() {
+            break; // Lanczos breakdown
+        }
+        platform.spmv(&p, &mut q);
+        platform.spmv_transpose(&p_star, &mut q_star);
+        let denom = platform.dot(&p_star, &q);
+        if denom == 0.0 || !denom.is_finite() {
+            break;
+        }
+        let alpha = rho / denom;
+        platform.axpy(alpha, &p, x);
+        platform.axpy(-alpha, &q, &mut r);
+        platform.axpy(-alpha, &q_star, &mut r_star);
+        let rho_new = platform.dot(&r_star, &r);
+        let beta = rho_new / rho;
+        platform.axpby(1.0, &r, beta, &mut p);
+        platform.axpby(1.0, &r_star, beta, &mut p_star);
+        rho = rho_new;
+        res = platform.norm(&r) / b_norm;
+        report.iterations += 1;
+    }
+
+    report.relative_residual = res;
+    report.converged |= res <= opts.tol;
+    report.time_seconds = platform.elapsed_seconds() - t0;
+    report.energy_joules = platform.energy_joules() - e0;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::CsrPlatform;
+    use memsci_sparse::generate::{banded, make_diagonally_dominant, poisson2d, ValueModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matches_known_solution_on_nonsymmetric_system() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let base = banded(120, 4, 0.6, ValueModel::with_spread(6), &mut rng);
+        let a = make_diagonally_dominant(&base, 1.4);
+        let n = a.rows();
+        let want: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).cos()).collect();
+        let mut b = vec![0.0; n];
+        a.spmv(&want, &mut b);
+        let mut p = CsrPlatform::new(a);
+        let mut x = vec![0.0; n];
+        let rep = bicg(&mut p, &b, &mut x, &SolveOptions::with_tol(1e-10));
+        assert!(rep.converged, "iters {} res {}", rep.iterations, rep.relative_residual);
+        for (xi, wi) in x.iter().zip(&want) {
+            assert!((xi - wi).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn on_spd_systems_bicg_reduces_to_cg_iterations() {
+        let a = poisson2d(8, 8);
+        let b = vec![1.0; 64];
+        let mut p1 = CsrPlatform::new(a.clone());
+        let mut x1 = vec![0.0; 64];
+        let rep_bicg = bicg(&mut p1, &b, &mut x1, &SolveOptions::with_tol(1e-10));
+        let mut p2 = CsrPlatform::new(a);
+        let mut x2 = vec![0.0; 64];
+        let rep_cg = crate::cg::cg(&mut p2, &b, &mut x2, &SolveOptions::with_tol(1e-10));
+        assert!(rep_bicg.converged && rep_cg.converged);
+        // For SPD matrices BiCG produces the CG iterates.
+        assert_eq!(rep_bicg.iterations, rep_cg.iterations);
+    }
+
+    #[test]
+    fn zero_rhs() {
+        let mut p = CsrPlatform::new(poisson2d(3, 3));
+        let mut x = vec![1.0; 9];
+        let rep = bicg(&mut p, &[0.0; 9], &mut x, &SolveOptions::default());
+        assert!(rep.converged && x.iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,213 @@
+//! Stabilized bi-conjugate gradient (van der Vorst), the paper's solver
+//! for the non-SPD matrices of Table II.
+
+use crate::platform::Platform;
+use crate::report::{SolveOptions, SolveReport};
+
+/// Solves `A·x = b` by BiCG-STAB, updating `x` in place.
+///
+/// Works for general (non-symmetric) matrices; requires only `A·x`
+/// products.
+///
+/// # Examples
+///
+/// ```
+/// use memsci_solvers::bicgstab::bicgstab;
+/// use memsci_solvers::platform::CsrPlatform;
+/// use memsci_solvers::report::SolveOptions;
+/// use memsci_sparse::Coo;
+///
+/// let a = Coo::from_triplets(2, 2, [(0, 0, 4.0), (0, 1, 1.0), (1, 1, 3.0)])
+///     .unwrap()
+///     .to_csr();
+/// let mut p = CsrPlatform::new(a);
+/// let mut x = vec![0.0; 2];
+/// let report = bicgstab(&mut p, &[9.0, 6.0], &mut x, &SolveOptions::default());
+/// assert!(report.converged);
+/// assert!((x[0] - 1.75).abs() < 1e-8 && (x[1] - 2.0).abs() < 1e-8);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `b.len()` or `x.len()` differ from the platform dimension.
+pub fn bicgstab<P: Platform + ?Sized>(
+    platform: &mut P,
+    b: &[f64],
+    x: &mut [f64],
+    opts: &SolveOptions,
+) -> SolveReport {
+    let n = platform.n();
+    assert_eq!(b.len(), n, "b length");
+    assert_eq!(x.len(), n, "x length");
+    let mut report = SolveReport::new();
+    let t0 = platform.elapsed_seconds();
+    let e0 = platform.energy_joules();
+
+    let b_norm = platform.norm(b);
+    if b_norm == 0.0 {
+        x.fill(0.0);
+        report.converged = true;
+        report.relative_residual = 0.0;
+        return report;
+    }
+
+    let mut r = vec![0.0; n];
+    platform.spmv(x, &mut r);
+    platform.axpby(1.0, b, -1.0, &mut r);
+    let r_hat = r.clone();
+    let mut rho = 1.0f64;
+    let mut alpha = 1.0f64;
+    let mut omega = 1.0f64;
+    let mut v = vec![0.0; n];
+    let mut p = vec![0.0; n];
+    let mut s = vec![0.0; n];
+    let mut t = vec![0.0; n];
+    let mut res = platform.norm(&r) / b_norm;
+
+    for _ in 0..opts.max_iters {
+        if opts.record_residuals {
+            report.residual_history.push(res);
+        }
+        if res <= opts.tol {
+            report.converged = true;
+            break;
+        }
+        let rho_new = platform.dot(&r_hat, &r);
+        if rho_new == 0.0 || !rho_new.is_finite() {
+            break; // breakdown
+        }
+        let beta = (rho_new / rho) * (alpha / omega);
+        rho = rho_new;
+        // p = r + β (p − ω v)
+        platform.axpy(-omega, &v, &mut p);
+        platform.axpby(1.0, &r, beta, &mut p);
+        platform.spmv(&p, &mut v);
+        let rhat_v = platform.dot(&r_hat, &v);
+        if rhat_v == 0.0 || !rhat_v.is_finite() {
+            break;
+        }
+        alpha = rho / rhat_v;
+        // s = r − α v
+        platform.assign(&r, &mut s);
+        platform.axpy(-alpha, &v, &mut s);
+        let s_norm = platform.norm(&s);
+        if s_norm / b_norm <= opts.tol {
+            platform.axpy(alpha, &p, x);
+            res = s_norm / b_norm;
+            report.iterations += 1;
+            report.converged = true;
+            break;
+        }
+        platform.spmv(&s, &mut t);
+        let tt = platform.dot(&t, &t);
+        if tt == 0.0 || !tt.is_finite() {
+            break;
+        }
+        omega = platform.dot(&t, &s) / tt;
+        if omega == 0.0 || !omega.is_finite() {
+            break;
+        }
+        platform.axpy(alpha, &p, x);
+        platform.axpy(omega, &s, x);
+        // r = s − ω t
+        platform.assign(&s, &mut r);
+        platform.axpy(-omega, &t, &mut r);
+        res = platform.norm(&r) / b_norm;
+        report.iterations += 1;
+    }
+
+    report.relative_residual = res;
+    report.converged |= res <= opts.tol;
+    report.time_seconds = platform.elapsed_seconds() - t0;
+    report.energy_joules = platform.energy_joules() - e0;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::CsrPlatform;
+    use memsci_sparse::generate::{banded, make_diagonally_dominant, poisson2d, ValueModel};
+    use memsci_sparse::Coo;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn solves_nonsymmetric_system() {
+        // Upper bidiagonal, strictly dominant.
+        let a = Coo::from_triplets(
+            4,
+            4,
+            [
+                (0, 0, 3.0),
+                (0, 1, 1.0),
+                (1, 1, 3.0),
+                (1, 2, -1.0),
+                (2, 2, 4.0),
+                (2, 3, 0.5),
+                (3, 3, 2.0),
+            ],
+        )
+        .unwrap()
+        .to_csr();
+        let want = [1.0, -2.0, 0.5, 3.0];
+        let mut b = vec![0.0; 4];
+        a.spmv(&want, &mut b);
+        let mut p = CsrPlatform::new(a);
+        let mut x = vec![0.0; 4];
+        let rep = bicgstab(&mut p, &b, &mut x, &SolveOptions::with_tol(1e-12));
+        assert!(rep.converged);
+        for (xi, wi) in x.iter().zip(want) {
+            assert!((xi - wi).abs() < 1e-8, "{xi} vs {wi}");
+        }
+    }
+
+    #[test]
+    fn solves_random_dominant_matrix() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let base = banded(200, 6, 0.5, ValueModel::with_spread(8), &mut rng);
+        let a = make_diagonally_dominant(&base, 1.5);
+        let n = a.rows();
+        let want: Vec<f64> = (0..n).map(|i| ((i * 7 % 13) as f64) - 6.0).collect();
+        let mut b = vec![0.0; n];
+        a.spmv(&want, &mut b);
+        let mut p = CsrPlatform::new(a);
+        let mut x = vec![0.0; n];
+        let rep = bicgstab(&mut p, &b, &mut x, &SolveOptions::with_tol(1e-10));
+        assert!(rep.converged, "iters {} res {}", rep.iterations, rep.relative_residual);
+        for (xi, wi) in x.iter().zip(&want) {
+            assert!((xi - wi).abs() < 1e-6, "{xi} vs {wi}");
+        }
+    }
+
+    #[test]
+    fn also_solves_spd_systems() {
+        let a = poisson2d(10, 10);
+        let mut p = CsrPlatform::new(a);
+        let b = vec![1.0; 100];
+        let mut x = vec![0.0; 100];
+        let rep = bicgstab(&mut p, &b, &mut x, &SolveOptions::default());
+        assert!(rep.converged);
+    }
+
+    #[test]
+    fn zero_rhs_short_circuits() {
+        let mut p = CsrPlatform::new(poisson2d(4, 4));
+        let mut x = vec![5.0; 16];
+        let rep = bicgstab(&mut p, &[0.0; 16], &mut x, &SolveOptions::default());
+        assert!(rep.converged);
+        assert_eq!(rep.iterations, 0);
+        assert!(x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn respects_iteration_cap() {
+        let mut p = CsrPlatform::new(poisson2d(16, 16));
+        let b = vec![1.0; 256];
+        let mut x = vec![0.0; 256];
+        let opts = SolveOptions { max_iters: 2, ..Default::default() };
+        let rep = bicgstab(&mut p, &b, &mut x, &opts);
+        assert!(rep.iterations <= 2);
+        assert!(!rep.converged);
+    }
+}

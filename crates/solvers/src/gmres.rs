@@ -1,0 +1,249 @@
+//! Restarted generalized minimal residual, GMRES(m) (Saad & Schultz;
+//! listed in §II-B for non-SPD systems).
+
+use crate::platform::Platform;
+use crate::report::{SolveOptions, SolveReport};
+
+/// Solves `A·x = b` by GMRES with restart length `m`, updating `x` in
+/// place.
+///
+/// Each outer iteration builds an `m`-dimensional Krylov basis by
+/// modified Gram–Schmidt Arnoldi and minimizes the residual over it via
+/// Givens rotations. `report.iterations` counts *inner* iterations
+/// (matrix–vector products after the initial residual).
+///
+/// # Examples
+///
+/// ```
+/// use memsci_solvers::gmres::gmres;
+/// use memsci_solvers::platform::CsrPlatform;
+/// use memsci_solvers::report::SolveOptions;
+/// use memsci_sparse::generate::poisson2d;
+///
+/// let mut p = CsrPlatform::new(poisson2d(6, 6));
+/// let b = vec![1.0; 36];
+/// let mut x = vec![0.0; 36];
+/// let report = gmres(&mut p, &b, &mut x, 20, &SolveOptions::default());
+/// assert!(report.converged);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `m == 0` or the slice lengths differ from the platform
+/// dimension.
+pub fn gmres<P: Platform + ?Sized>(
+    platform: &mut P,
+    b: &[f64],
+    x: &mut [f64],
+    m: usize,
+    opts: &SolveOptions,
+) -> SolveReport {
+    let n = platform.n();
+    assert!(m > 0, "restart length must be positive");
+    assert_eq!(b.len(), n, "b length");
+    assert_eq!(x.len(), n, "x length");
+    let mut report = SolveReport::new();
+    let t0 = platform.elapsed_seconds();
+    let e0 = platform.energy_joules();
+
+    let b_norm = platform.norm(b);
+    if b_norm == 0.0 {
+        x.fill(0.0);
+        report.converged = true;
+        report.relative_residual = 0.0;
+        return report;
+    }
+
+    let mut res = f64::INFINITY;
+    'outer: while report.iterations < opts.max_iters {
+        // r = b − A·x
+        let mut r = vec![0.0; n];
+        platform.spmv(x, &mut r);
+        platform.axpby(1.0, b, -1.0, &mut r);
+        let beta = platform.norm(&r);
+        res = beta / b_norm;
+        if opts.record_residuals {
+            report.residual_history.push(res);
+        }
+        if res <= opts.tol {
+            report.converged = true;
+            break;
+        }
+
+        // Arnoldi with modified Gram-Schmidt.
+        let mut basis: Vec<Vec<f64>> = Vec::with_capacity(m + 1);
+        let mut v0 = r;
+        platform.axpby(0.0, &vec![0.0; n], 1.0 / beta, &mut v0);
+        basis.push(v0);
+        // Hessenberg columns, Givens rotations, and the rotated rhs.
+        let mut h_cols: Vec<Vec<f64>> = Vec::with_capacity(m);
+        let mut cs: Vec<f64> = Vec::with_capacity(m);
+        let mut sn: Vec<f64> = Vec::with_capacity(m);
+        let mut g = vec![0.0; m + 1];
+        g[0] = beta;
+        let mut k_used = 0usize;
+
+        for k in 0..m {
+            if report.iterations >= opts.max_iters {
+                break;
+            }
+            let mut w = vec![0.0; n];
+            platform.spmv(&basis[k], &mut w);
+            report.iterations += 1;
+            let mut h = vec![0.0; k + 2];
+            for (j, vj) in basis.iter().enumerate() {
+                h[j] = platform.dot(vj, &w);
+                platform.axpy(-h[j], vj, &mut w);
+            }
+            let w_norm = platform.norm(&w);
+            h[k + 1] = w_norm;
+            // Apply the accumulated rotations to the new column.
+            for j in 0..k {
+                let t = cs[j] * h[j] + sn[j] * h[j + 1];
+                h[j + 1] = -sn[j] * h[j] + cs[j] * h[j + 1];
+                h[j] = t;
+            }
+            // New rotation to annihilate h[k+1].
+            let denom = (h[k] * h[k] + h[k + 1] * h[k + 1]).sqrt();
+            let (c, s) = if denom == 0.0 { (1.0, 0.0) } else { (h[k] / denom, h[k + 1] / denom) };
+            cs.push(c);
+            sn.push(s);
+            h[k] = c * h[k] + s * h[k + 1];
+            h[k + 1] = 0.0;
+            g[k + 1] = -s * g[k];
+            g[k] *= c;
+            h_cols.push(h);
+            k_used = k + 1;
+            res = g[k + 1].abs() / b_norm;
+            if opts.record_residuals {
+                report.residual_history.push(res);
+            }
+            let lucky_breakdown = w_norm == 0.0;
+            if res <= opts.tol || lucky_breakdown {
+                update_solution(platform, x, &basis, &h_cols, &g, k_used);
+                if res <= opts.tol {
+                    report.converged = true;
+                }
+                if report.converged {
+                    break 'outer;
+                }
+                continue 'outer;
+            }
+            let mut v_next = w;
+            platform.axpby(0.0, &vec![0.0; n], 1.0 / w_norm, &mut v_next);
+            basis.push(v_next);
+        }
+        if k_used > 0 {
+            update_solution(platform, x, &basis, &h_cols, &g, k_used);
+        } else {
+            break;
+        }
+    }
+
+    report.relative_residual = res;
+    report.converged |= res <= opts.tol;
+    report.time_seconds = platform.elapsed_seconds() - t0;
+    report.energy_joules = platform.energy_joules() - e0;
+    report
+}
+
+/// Back-substitutes the triangularized least-squares system and applies
+/// the correction `x += V·y`.
+fn update_solution<P: Platform + ?Sized>(
+    platform: &mut P,
+    x: &mut [f64],
+    basis: &[Vec<f64>],
+    h_cols: &[Vec<f64>],
+    g: &[f64],
+    k: usize,
+) {
+    let mut y = vec![0.0; k];
+    for i in (0..k).rev() {
+        let mut v = g[i];
+        for (j, yj) in y.iter().enumerate().take(k).skip(i + 1) {
+            v -= h_cols[j][i] * yj;
+        }
+        y[i] = v / h_cols[i][i];
+    }
+    for (j, yj) in y.iter().enumerate() {
+        platform.axpy(*yj, &basis[j], x);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::CsrPlatform;
+    use memsci_sparse::generate::{banded, make_diagonally_dominant, poisson2d, ValueModel};
+    use memsci_sparse::Coo;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn solves_small_triangular_system() {
+        let a = Coo::from_triplets(
+            3,
+            3,
+            [(0, 0, 2.0), (0, 1, 1.0), (1, 1, 3.0), (2, 2, 4.0)],
+        )
+        .unwrap()
+        .to_csr();
+        let want = [1.0, 2.0, -1.0];
+        let mut b = vec![0.0; 3];
+        a.spmv(&want, &mut b);
+        let mut p = CsrPlatform::new(a);
+        let mut x = vec![0.0; 3];
+        let rep = gmres(&mut p, &b, &mut x, 3, &SolveOptions::with_tol(1e-12));
+        assert!(rep.converged);
+        for (xi, wi) in x.iter().zip(want) {
+            assert!((xi - wi).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn full_gmres_converges_in_at_most_n_products() {
+        let a = poisson2d(5, 5);
+        let mut p = CsrPlatform::new(a);
+        let b: Vec<f64> = (0..25).map(|i| (i as f64 + 1.0) * 0.2).collect();
+        let mut x = vec![0.0; 25];
+        let rep = gmres(&mut p, &b, &mut x, 25, &SolveOptions::with_tol(1e-10));
+        assert!(rep.converged);
+        assert!(rep.iterations <= 25);
+    }
+
+    #[test]
+    fn restarted_gmres_matches_known_solution() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let base = banded(150, 5, 0.6, ValueModel::with_spread(4), &mut rng);
+        let a = make_diagonally_dominant(&base, 1.5);
+        let n = a.rows();
+        let want: Vec<f64> = (0..n).map(|i| ((i % 11) as f64) * 0.4 - 2.0).collect();
+        let mut b = vec![0.0; n];
+        a.spmv(&want, &mut b);
+        let mut p = CsrPlatform::new(a);
+        let mut x = vec![0.0; n];
+        let rep = gmres(&mut p, &b, &mut x, 15, &SolveOptions::with_tol(1e-10));
+        assert!(rep.converged, "iters {} res {}", rep.iterations, rep.relative_residual);
+        for (xi, wi) in x.iter().zip(&want) {
+            assert!((xi - wi).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn zero_rhs() {
+        let mut p = CsrPlatform::new(poisson2d(3, 3));
+        let mut x = vec![2.0; 9];
+        let rep = gmres(&mut p, &[0.0; 9], &mut x, 5, &SolveOptions::default());
+        assert!(rep.converged && x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn iteration_cap() {
+        let mut p = CsrPlatform::new(poisson2d(16, 16));
+        let b = vec![1.0; 256];
+        let mut x = vec![0.0; 256];
+        let opts = SolveOptions { max_iters: 7, ..Default::default() };
+        let rep = gmres(&mut p, &b, &mut x, 5, &opts);
+        assert!(rep.iterations <= 7);
+    }
+}

@@ -1,0 +1,46 @@
+//! Krylov-subspace solvers over an abstract compute platform.
+//!
+//! The paper programs its accelerator with Krylov subspace solvers
+//! built from three kernels — sparse MVM, AXPY, and dot product (§VI).
+//! This crate implements those solvers from scratch over the
+//! [`Platform`] trait, so the same code drives the reference CPU path,
+//! the analytic GPU model, and the memristive accelerator engine:
+//!
+//! * [`cg`](cg::cg) — conjugate gradients for SPD systems;
+//! * [`bicgstab`](bicgstab::bicgstab) — stabilized BiCG for general
+//!   systems (the paper's non-SPD solver);
+//! * [`bicg`](bicg::bicg) — classical BiCG (needs `Aᵀ` products);
+//! * [`gmres`](gmres::gmres) — restarted GMRES(m);
+//! * [`pcg_jacobi`](pcg::pcg_jacobi) — Jacobi-preconditioned CG (an
+//!   extension beyond the paper's plain CG);
+//! * [`jacobi`](jacobi::jacobi) — a stationary-method reference.
+//!
+//! # Examples
+//!
+//! ```
+//! use memsci_solvers::cg::cg;
+//! use memsci_solvers::platform::CsrPlatform;
+//! use memsci_solvers::report::SolveOptions;
+//! use memsci_sparse::generate::poisson2d;
+//!
+//! let mut platform = CsrPlatform::new(poisson2d(10, 10));
+//! let b = vec![1.0; 100];
+//! let mut x = vec![0.0; 100];
+//! let report = cg(&mut platform, &b, &mut x, &SolveOptions::with_tol(1e-10));
+//! assert!(report.converged);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bicg;
+pub mod bicgstab;
+pub mod cg;
+pub mod gmres;
+pub mod jacobi;
+pub mod pcg;
+pub mod platform;
+pub mod report;
+
+pub use platform::{CsrPlatform, Platform};
+pub use report::{SolveOptions, SolveReport};

@@ -1,0 +1,196 @@
+//! Jacobi-preconditioned conjugate gradient.
+//!
+//! An extension beyond the paper's plain CG: diagonal (Jacobi)
+//! preconditioning costs one extra element-wise multiply per iteration —
+//! an AXPY-class local-processor kernel (§VI-A3) — and sharply reduces
+//! iteration counts on badly scaled systems, which matters for FEM
+//! matrices whose value dynamic ranges motivate §IV-B in the first
+//! place.
+
+use crate::platform::Platform;
+use crate::report::{SolveOptions, SolveReport};
+
+/// Solves `A·x = b` by conjugate gradients with Jacobi (diagonal)
+/// preconditioning, updating `x` in place.
+///
+/// # Examples
+///
+/// ```
+/// use memsci_solvers::pcg::pcg_jacobi;
+/// use memsci_solvers::platform::CsrPlatform;
+/// use memsci_solvers::report::SolveOptions;
+/// use memsci_sparse::generate::poisson2d;
+///
+/// let mut p = CsrPlatform::new(poisson2d(8, 8));
+/// let b = vec![1.0; 64];
+/// let mut x = vec![0.0; 64];
+/// let report = pcg_jacobi(&mut p, &b, &mut x, &SolveOptions::default());
+/// assert!(report.converged);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the dimensions disagree or the matrix has a zero diagonal
+/// entry.
+pub fn pcg_jacobi<P: Platform + ?Sized>(
+    platform: &mut P,
+    b: &[f64],
+    x: &mut [f64],
+    opts: &SolveOptions,
+) -> SolveReport {
+    let n = platform.n();
+    assert_eq!(b.len(), n, "b length");
+    assert_eq!(x.len(), n, "x length");
+    let inv_diag: Vec<f64> = platform
+        .diagonal()
+        .into_iter()
+        .map(|d| {
+            assert!(d != 0.0, "Jacobi preconditioning requires a non-zero diagonal");
+            1.0 / d
+        })
+        .collect();
+    let mut report = SolveReport::new();
+    let t0 = platform.elapsed_seconds();
+    let e0 = platform.energy_joules();
+
+    let b_norm = platform.norm(b);
+    if b_norm == 0.0 {
+        x.fill(0.0);
+        report.converged = true;
+        report.relative_residual = 0.0;
+        return report;
+    }
+
+    let mut r = vec![0.0; n];
+    platform.spmv(x, &mut r);
+    platform.axpby(1.0, b, -1.0, &mut r);
+    let mut z = vec![0.0; n];
+    jacobi_apply(platform, &r, &mut z, &inv_diag);
+    let mut p = z.clone();
+    let mut q = vec![0.0; n];
+    let mut rz = platform.dot(&r, &z);
+    let mut res = platform.norm(&r) / b_norm;
+
+    for _ in 0..opts.max_iters {
+        if opts.record_residuals {
+            report.residual_history.push(res);
+        }
+        if res <= opts.tol {
+            report.converged = true;
+            break;
+        }
+        platform.spmv(&p, &mut q);
+        let pq = platform.dot(&p, &q);
+        if pq <= 0.0 || !pq.is_finite() {
+            break;
+        }
+        let alpha = rz / pq;
+        platform.axpy(alpha, &p, x);
+        platform.axpy(-alpha, &q, &mut r);
+        jacobi_apply(platform, &r, &mut z, &inv_diag);
+        let rz_new = platform.dot(&r, &z);
+        let beta = rz_new / rz;
+        platform.axpby(1.0, &z, beta, &mut p);
+        rz = rz_new;
+        res = platform.norm(&r) / b_norm;
+        report.iterations += 1;
+    }
+
+    report.relative_residual = res;
+    report.converged |= res <= opts.tol;
+    report.time_seconds = platform.elapsed_seconds() - t0;
+    report.energy_joules = platform.energy_joules() - e0;
+    report
+}
+
+/// `z = D⁻¹ r`, charged to the platform as one element-wise pass.
+fn jacobi_apply<P: Platform + ?Sized>(
+    platform: &mut P,
+    r: &[f64],
+    z: &mut [f64],
+    inv_diag: &[f64],
+) {
+    platform.assign(r, z);
+    for (zi, mi) in z.iter_mut().zip(inv_diag) {
+        *zi *= mi;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cg::cg;
+    use crate::platform::CsrPlatform;
+    use memsci_sparse::generate::poisson2d;
+    use memsci_sparse::Coo;
+
+    /// A badly scaled SPD system: diag entries spanning ten orders of
+    /// magnitude.
+    fn scaled_system(n: usize) -> memsci_sparse::Csr {
+        let mut coo = Coo::new(n, n);
+        for i in 0..n {
+            let s = (10.0f64).powi((i % 11) as i32 - 5);
+            coo.push(i, i, 4.0 * s).unwrap();
+            if i + 1 < n {
+                let t = (10.0f64).powi(((i + 1) % 11) as i32 - 5);
+                let off = -(s * t).sqrt() * 0.5;
+                coo.push(i, i + 1, off).unwrap();
+                coo.push(i + 1, i, off).unwrap();
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn pcg_converges_where_cg_struggles() {
+        let a = scaled_system(400);
+        let b = vec![1.0; 400];
+        let opts = SolveOptions { tol: 1e-10, max_iters: 4000, record_residuals: false };
+        let mut p1 = CsrPlatform::new(a.clone());
+        let mut x1 = vec![0.0; 400];
+        let plain = cg(&mut p1, &b, &mut x1, &opts);
+        let mut p2 = CsrPlatform::new(a);
+        let mut x2 = vec![0.0; 400];
+        let pre = pcg_jacobi(&mut p2, &b, &mut x2, &opts);
+        assert!(pre.converged);
+        assert!(
+            pre.iterations * 2 < plain.iterations.max(1) || !plain.converged,
+            "pcg {} vs cg {}",
+            pre.iterations,
+            plain.iterations
+        );
+    }
+
+    #[test]
+    fn matches_cg_solution_on_poisson() {
+        let a = poisson2d(10, 10);
+        let b: Vec<f64> = (0..100).map(|i| (i as f64 * 0.21).sin()).collect();
+        let opts = SolveOptions::with_tol(1e-11);
+        let mut p1 = CsrPlatform::new(a.clone());
+        let mut x1 = vec![0.0; 100];
+        assert!(cg(&mut p1, &b, &mut x1, &opts).converged);
+        let mut p2 = CsrPlatform::new(a);
+        let mut x2 = vec![0.0; 100];
+        assert!(pcg_jacobi(&mut p2, &b, &mut x2, &opts).converged);
+        for (u, v) in x1.iter().zip(&x2) {
+            assert!((u - v).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn zero_rhs() {
+        let mut p = CsrPlatform::new(poisson2d(3, 3));
+        let mut x = vec![9.0; 9];
+        let rep = pcg_jacobi(&mut p, &[0.0; 9], &mut x, &SolveOptions::default());
+        assert!(rep.converged && x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero diagonal")]
+    fn rejects_zero_diagonal() {
+        let a = Coo::from_triplets(2, 2, [(0, 1, 1.0), (1, 0, 1.0)]).unwrap().to_csr();
+        let mut p = CsrPlatform::new(a);
+        let mut x = vec![0.0; 2];
+        pcg_jacobi(&mut p, &[1.0, 1.0], &mut x, &SolveOptions::default());
+    }
+}

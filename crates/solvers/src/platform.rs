@@ -1,0 +1,199 @@
+//! The compute-platform abstraction behind the solvers.
+//!
+//! Krylov subspace solvers are built from three kernels (§VI): a sparse
+//! matrix–dense vector multiply, a dense AXPY, and a dense dot product.
+//! [`Platform`] exposes exactly those, plus cost counters, so one solver
+//! implementation runs unchanged on the reference CPU path, the GPU
+//! model, and the memristive accelerator engine.
+
+use memsci_sparse::Csr;
+
+/// A compute platform providing the solver kernels of §VI-A and
+/// accounting for their simulated cost.
+///
+/// Implementations accumulate model time and energy as kernels execute;
+/// solvers snapshot the counters around a solve to attribute cost.
+pub trait Platform {
+    /// Problem dimension (the matrices are square).
+    fn n(&self) -> usize;
+
+    /// `y = A·x` (sparse MVM, §VI-A1).
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if the slice lengths differ from [`Platform::n`].
+    fn spmv(&mut self, x: &[f64], y: &mut [f64]);
+
+    /// `y = Aᵀ·x` (needed by BiCG).
+    fn spmv_transpose(&mut self, x: &[f64], y: &mut [f64]);
+
+    /// Dense dot product `x·y` (§VI-A2).
+    fn dot(&mut self, x: &[f64], y: &[f64]) -> f64;
+
+    /// `y = α·x + β·y` (generalized AXPY, §VI-A3).
+    fn axpby(&mut self, alpha: f64, x: &[f64], beta: f64, y: &mut [f64]);
+
+    /// The main diagonal of `A` (used by the Jacobi reference solver).
+    fn diagonal(&self) -> Vec<f64>;
+
+    /// Simulated seconds elapsed so far.
+    fn elapsed_seconds(&self) -> f64;
+
+    /// Simulated joules consumed so far.
+    fn energy_joules(&self) -> f64;
+
+    /// `y += α·x`.
+    fn axpy(&mut self, alpha: f64, x: &[f64], y: &mut [f64]) {
+        self.axpby(alpha, x, 1.0, y);
+    }
+
+    /// `dst = src`.
+    fn assign(&mut self, src: &[f64], dst: &mut [f64]) {
+        self.axpby(1.0, src, 0.0, dst);
+    }
+
+    /// Euclidean norm `‖x‖₂`.
+    fn norm(&mut self, x: &[f64]) -> f64 {
+        self.dot(x, x).max(0.0).sqrt()
+    }
+}
+
+/// A cost-free reference platform executing kernels in plain `f64` on a
+/// CSR matrix — the software baseline the engines are validated against.
+///
+/// # Examples
+///
+/// ```
+/// use memsci_solvers::platform::{CsrPlatform, Platform};
+/// use memsci_sparse::generate::poisson2d;
+///
+/// let mut p = CsrPlatform::new(poisson2d(4, 4));
+/// let x = vec![1.0; 16];
+/// let mut y = vec![0.0; 16];
+/// p.spmv(&x, &mut y);
+/// assert_eq!(p.elapsed_seconds(), 0.0); // reference costs nothing
+/// ```
+#[derive(Debug, Clone)]
+pub struct CsrPlatform {
+    a: Csr,
+}
+
+impl CsrPlatform {
+    /// Wraps a CSR matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn new(a: Csr) -> Self {
+        assert_eq!(a.rows(), a.cols(), "platform matrices must be square");
+        CsrPlatform { a }
+    }
+
+    /// The wrapped matrix.
+    pub fn matrix(&self) -> &Csr {
+        &self.a
+    }
+}
+
+impl Platform for CsrPlatform {
+    fn n(&self) -> usize {
+        self.a.rows()
+    }
+
+    fn spmv(&mut self, x: &[f64], y: &mut [f64]) {
+        self.a.spmv(x, y);
+    }
+
+    fn spmv_transpose(&mut self, x: &[f64], y: &mut [f64]) {
+        self.a.spmv_transpose(x, y);
+    }
+
+    fn dot(&mut self, x: &[f64], y: &[f64]) -> f64 {
+        dot_f64(x, y)
+    }
+
+    fn axpby(&mut self, alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
+        axpby_f64(alpha, x, beta, y);
+    }
+
+    fn diagonal(&self) -> Vec<f64> {
+        self.a.diagonal()
+    }
+
+    fn elapsed_seconds(&self) -> f64 {
+        0.0
+    }
+
+    fn energy_joules(&self) -> f64 {
+        0.0
+    }
+}
+
+/// Plain dot product (shared by platform implementations).
+pub fn dot_f64(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot length mismatch");
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// Plain `y = α·x + β·y` (shared by platform implementations).
+pub fn axpby_f64(alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpby length mismatch");
+    if beta == 0.0 {
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi = alpha * xi;
+        }
+    } else {
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi = alpha * xi + beta * *yi;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsci_sparse::Coo;
+
+    #[test]
+    fn csr_platform_kernels() {
+        let a = Coo::from_triplets(2, 2, [(0, 0, 2.0), (1, 1, 3.0)]).unwrap().to_csr();
+        let mut p = CsrPlatform::new(a);
+        assert_eq!(p.n(), 2);
+        let mut y = vec![0.0; 2];
+        p.spmv(&[1.0, 2.0], &mut y);
+        assert_eq!(y, vec![2.0, 6.0]);
+        p.spmv_transpose(&[1.0, 2.0], &mut y);
+        assert_eq!(y, vec![2.0, 6.0]);
+        assert_eq!(p.dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        let mut z = vec![1.0, 1.0];
+        p.axpby(2.0, &[1.0, 2.0], 0.5, &mut z);
+        assert_eq!(z, vec![2.5, 4.5]);
+        assert_eq!(p.diagonal(), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn default_axpy_and_assign() {
+        let a = Coo::from_triplets(2, 2, [(0, 0, 1.0)]).unwrap().to_csr();
+        let mut p = CsrPlatform::new(a);
+        let mut y = vec![1.0, 1.0];
+        p.axpy(3.0, &[1.0, 2.0], &mut y);
+        assert_eq!(y, vec![4.0, 7.0]);
+        let mut d = vec![0.0, 0.0];
+        p.assign(&[5.0, 6.0], &mut d);
+        assert_eq!(d, vec![5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn rejects_rectangular() {
+        let a = Coo::from_triplets(1, 2, [(0, 1, 1.0)]).unwrap().to_csr();
+        CsrPlatform::new(a);
+    }
+
+    #[test]
+    fn axpby_beta_zero_overwrites_garbage() {
+        let mut y = vec![f64::NAN, 1.0];
+        axpby_f64(1.0, &[2.0, 3.0], 0.0, &mut y);
+        assert_eq!(y, vec![2.0, 3.0]); // NaN must not propagate
+    }
+}

@@ -1,0 +1,77 @@
+//! Solve configuration and outcome reporting.
+
+/// Options shared by all solvers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveOptions {
+    /// Relative residual tolerance: converged when
+    /// `‖b − A·x‖ ≤ tol · ‖b‖` (the paper's stopping tolerance ε,
+    /// §II-B).
+    pub tol: f64,
+    /// Iteration cap.
+    pub max_iters: usize,
+    /// Record the residual norm after every iteration.
+    pub record_residuals: bool,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions { tol: 1e-8, max_iters: 10_000, record_residuals: false }
+    }
+}
+
+impl SolveOptions {
+    /// Options with the given tolerance.
+    pub fn with_tol(tol: f64) -> Self {
+        SolveOptions { tol, ..Default::default() }
+    }
+}
+
+/// Outcome of a solve, including the platform cost attributed to it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveReport {
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Whether the tolerance was met within the iteration cap.
+    pub converged: bool,
+    /// Final relative residual norm `‖b − A·x‖ / ‖b‖`.
+    pub relative_residual: f64,
+    /// Residual norms per iteration (when requested).
+    pub residual_history: Vec<f64>,
+    /// Simulated seconds the solve consumed on the platform.
+    pub time_seconds: f64,
+    /// Simulated joules the solve consumed on the platform.
+    pub energy_joules: f64,
+}
+
+impl SolveReport {
+    pub(crate) fn new() -> Self {
+        SolveReport {
+            iterations: 0,
+            converged: false,
+            relative_residual: f64::INFINITY,
+            residual_history: Vec::new(),
+            time_seconds: 0.0,
+            energy_joules: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let o = SolveOptions::default();
+        assert!(o.tol > 0.0 && o.max_iters > 0 && !o.record_residuals);
+        assert_eq!(SolveOptions::with_tol(1e-6).tol, 1e-6);
+    }
+
+    #[test]
+    fn fresh_report_is_unconverged() {
+        let r = SolveReport::new();
+        assert!(!r.converged);
+        assert_eq!(r.iterations, 0);
+        assert!(r.relative_residual.is_infinite());
+    }
+}

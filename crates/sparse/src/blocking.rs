@@ -1,0 +1,484 @@
+//! The heterogeneous blocking preprocessor (paper §V-B1).
+//!
+//! The accelerator's banks contain clusters of four different crossbar
+//! sizes. This preprocessing step maps the dense sub-blocks of a sparse
+//! matrix onto those sizes: candidate tiles are scanned from the largest
+//! block size to the smallest, each candidate's non-zero count and
+//! exponent range are computed, out-of-range elements are selectively
+//! evicted, and the candidate is accepted when enough non-zeros remain.
+//! Elements that never block efficiently fall through to a residual CSR
+//! matrix handled by the bank's local processor.
+//!
+//! The scan touches each non-zero at most once per block size (worst
+//! case `4 × NNZ` for the default four sizes); early acceptance of good
+//! blocks brings the average down (the paper reports `1.8 × NNZ`), which
+//! the [`BlockingStats::touches`] counter makes observable.
+
+use std::collections::BTreeMap;
+
+use memsci_numeric::FloatParts;
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+
+/// Configuration for the blocking preprocessor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockingConfig {
+    /// Candidate block sizes, scanned in the given (descending) order.
+    pub block_sizes: Vec<u32>,
+    /// Per-non-zero acceptance floor: a candidate must keep at least
+    /// `fill_factor × size` non-zeros.
+    pub fill_factor: f64,
+    /// Per-size density thresholds `(size, min_density)`, encoding the
+    /// §V-A trade-off: a large crossbar's higher per-operation latency
+    /// and ADC resolution are only worth paying when the tile is dense
+    /// enough; otherwise the scan falls through to smaller sizes whose
+    /// clusters are faster and cheaper per captured non-zero.
+    pub min_densities: Vec<(u32, f64)>,
+    /// Maximum aligned-operand magnitude width (the paper's 117 bits:
+    /// a 53-bit mantissa plus 64 pad bits).
+    pub max_magnitude_bits: usize,
+}
+
+impl Default for BlockingConfig {
+    fn default() -> Self {
+        BlockingConfig {
+            block_sizes: vec![512, 256, 128, 64],
+            fill_factor: 4.0,
+            min_densities: vec![(512, 0.10), (256, 0.08), (128, 0.07), (64, 0.06)],
+            max_magnitude_bits: memsci_numeric::align::MAX_MAGNITUDE_BITS,
+        }
+    }
+}
+
+impl BlockingConfig {
+    /// Minimum kept non-zeros for a candidate of edge `size`: the
+    /// per-non-zero floor or the per-size density threshold, whichever
+    /// is larger.
+    pub fn min_nnz(&self, size: u32) -> usize {
+        let density = self
+            .min_densities
+            .iter()
+            .find(|&&(s, _)| s == size)
+            .map_or(0.0, |&(_, d)| d);
+        let by_fill = self.fill_factor * f64::from(size);
+        let by_density = density * f64::from(size) * f64::from(size);
+        by_fill.max(by_density).ceil() as usize
+    }
+
+    /// Maximum allowed spread of top binary exponents within one block
+    /// (conservatively guarantees the aligned magnitude width fits).
+    pub fn max_exponent_spread(&self) -> i32 {
+        (self.max_magnitude_bits as i32 - memsci_numeric::align::MANTISSA_BITS as i32).max(0)
+    }
+}
+
+/// A dense sub-block mapped to one cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Global row of the block's top-left corner.
+    pub row0: u32,
+    /// Global column of the block's top-left corner.
+    pub col0: u32,
+    /// Block edge (crossbar size it maps to).
+    pub size: u32,
+    /// Entries in block-local coordinates.
+    pub entries: Vec<(u16, u16, f64)>,
+}
+
+impl Block {
+    /// Number of captured non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Fraction of the block's cells that are non-zero.
+    pub fn density(&self) -> f64 {
+        self.nnz() as f64 / (f64::from(self.size) * f64::from(self.size))
+    }
+
+    /// Iterates entries in global coordinates.
+    pub fn global_entries(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.entries.iter().map(move |&(r, c, v)| {
+            (self.row0 as usize + r as usize, self.col0 as usize + c as usize, v)
+        })
+    }
+
+    /// The values captured by the block.
+    pub fn values(&self) -> impl Iterator<Item = f64> + '_ {
+        self.entries.iter().map(|&(_, _, v)| v)
+    }
+}
+
+/// Counters describing a blocking run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BlockingStats {
+    /// Total non-zeros in the input matrix.
+    pub nnz_total: usize,
+    /// Non-zeros captured by accepted blocks.
+    pub nnz_blocked: usize,
+    /// Non-zeros evicted from otherwise-accepted blocks because of
+    /// exponent range violations (they join the residual).
+    pub nnz_evicted_range: usize,
+    /// Non-zeros the scan visited, across all block sizes.
+    pub touches: usize,
+    /// Accepted blocks per size.
+    pub blocks_by_size: BTreeMap<u32, usize>,
+}
+
+impl BlockingStats {
+    /// Blocking efficiency: the fraction of non-zeros captured by blocks
+    /// (the paper's "Blocked" column in Table II).
+    pub fn efficiency(&self) -> f64 {
+        if self.nnz_total == 0 {
+            0.0
+        } else {
+            self.nnz_blocked as f64 / self.nnz_total as f64
+        }
+    }
+
+    /// Average number of times each non-zero was touched.
+    pub fn touches_per_nnz(&self) -> f64 {
+        if self.nnz_total == 0 {
+            0.0
+        } else {
+            self.touches as f64 / self.nnz_total as f64
+        }
+    }
+}
+
+/// A sparse matrix partitioned into crossbar blocks plus a residual for
+/// the local processor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockedMatrix {
+    rows: usize,
+    cols: usize,
+    /// Accepted blocks, largest sizes first.
+    pub blocks: Vec<Block>,
+    /// Elements left to the bank's local processor (CSR, §VI-A1).
+    pub residual: Csr,
+    /// Run counters.
+    pub stats: BlockingStats,
+}
+
+impl BlockedMatrix {
+    /// Runs the preprocessing step on a matrix.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use memsci_sparse::blocking::{BlockedMatrix, BlockingConfig};
+    /// use memsci_sparse::generate::poisson2d;
+    ///
+    /// let a = poisson2d(64, 64);
+    /// let blocked = BlockedMatrix::block(&a, &BlockingConfig::default());
+    /// let captured: usize = blocked.blocks.iter().map(|b| b.nnz()).sum();
+    /// assert_eq!(captured + blocked.residual.nnz(), a.nnz());
+    /// ```
+    pub fn block(matrix: &Csr, config: &BlockingConfig) -> Self {
+        let (rows, cols) = matrix.shape();
+        let mut remaining: Vec<(u32, u32, f64)> =
+            matrix.iter().map(|(r, c, v)| (r as u32, c as u32, v)).collect();
+        let mut stats = BlockingStats { nnz_total: remaining.len(), ..Default::default() };
+        let mut blocks = Vec::new();
+        let max_spread = config.max_exponent_spread();
+
+        for &size in &config.block_sizes {
+            let min_nnz = config.min_nnz(size);
+            let mut survivors: Vec<(u32, u32, f64)> = Vec::with_capacity(remaining.len());
+            let mut i = 0;
+            while i < remaining.len() {
+                let tile_row = remaining[i].0 / size;
+                let mut j = i;
+                while j < remaining.len() && remaining[j].0 / size == tile_row {
+                    j += 1;
+                }
+                // Bucket this tile-row's entries by tile column.
+                let mut tiles: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+                for (k, entry) in remaining.iter().enumerate().take(j).skip(i) {
+                    tiles.entry(entry.1 / size).or_default().push(k);
+                }
+                for (tile_col, idxs) in tiles {
+                    stats.touches += idxs.len();
+                    if idxs.len() < min_nnz {
+                        survivors.extend(idxs.iter().map(|&k| remaining[k]));
+                        continue;
+                    }
+                    let (kept, evicted) =
+                        exponent_window_filter(&remaining, &idxs, max_spread);
+                    if kept.len() < min_nnz {
+                        survivors.extend(idxs.iter().map(|&k| remaining[k]));
+                        continue;
+                    }
+                    stats.nnz_blocked += kept.len();
+                    stats.nnz_evicted_range += evicted.len();
+                    *stats.blocks_by_size.entry(size).or_default() += 1;
+                    let row0 = tile_row * size;
+                    let col0 = tile_col * size;
+                    let entries = kept
+                        .iter()
+                        .map(|&k| {
+                            let (r, c, v) = remaining[k];
+                            ((r - row0) as u16, (c - col0) as u16, v)
+                        })
+                        .collect();
+                    blocks.push(Block { row0, col0, size, entries });
+                    survivors.extend(evicted.iter().map(|&k| remaining[k]));
+                }
+                i = j;
+            }
+            survivors.sort_unstable_by_key(|&(r, c, _)| (r, c));
+            remaining = survivors;
+        }
+
+        let residual = Coo::from_triplets(
+            rows,
+            cols,
+            remaining.iter().map(|&(r, c, v)| (r as usize, c as usize, v)),
+        )
+        .expect("residual indices in range")
+        .to_csr();
+        BlockedMatrix { rows, cols, blocks, residual, stats }
+    }
+
+    /// Matrix dimensions as `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total non-zeros (blocked plus residual).
+    pub fn nnz(&self) -> usize {
+        self.blocks.iter().map(Block::nnz).sum::<usize>() + self.residual.nnz()
+    }
+
+    /// Reference `y = A·x` over blocks plus residual (plain f64; used to
+    /// validate that blocking partitions — not alters — the matrix).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols` or `y.len() != rows`.
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "x length");
+        assert_eq!(y.len(), self.rows, "y length");
+        y.fill(0.0);
+        for block in &self.blocks {
+            for (r, c, v) in block.global_entries() {
+                y[r] += v * x[c];
+            }
+        }
+        self.residual.spmv_add(x, y);
+    }
+
+    /// Histogram of accepted block sizes, descending by size.
+    pub fn block_size_histogram(&self) -> Vec<(u32, usize)> {
+        let mut hist: BTreeMap<u32, usize> = BTreeMap::new();
+        for b in &self.blocks {
+            *hist.entry(b.size).or_default() += 1;
+        }
+        hist.into_iter().rev().collect()
+    }
+}
+
+/// Selects the largest subset of entries whose top binary exponents fit
+/// within `max_spread`; returns `(kept, evicted)` index lists.
+fn exponent_window_filter(
+    entries: &[(u32, u32, f64)],
+    idxs: &[usize],
+    max_spread: i32,
+) -> (Vec<usize>, Vec<usize>) {
+    let values: Vec<f64> = idxs.iter().map(|&k| entries[k].2).collect();
+    let (kept, evicted) = exponent_window_partition(&values, max_spread);
+    (
+        kept.into_iter().map(|i| idxs[i]).collect(),
+        evicted.into_iter().map(|i| idxs[i]).collect(),
+    )
+}
+
+/// Partitions values into the largest subset whose top binary exponents
+/// span at most `max_spread` (keeping the block alignable within the
+/// operand width) and the evicted remainder; returns index lists into
+/// `values`. Zeros and non-finite values are treated as exponent 0.
+///
+/// # Examples
+///
+/// ```
+/// use memsci_sparse::blocking::exponent_window_partition;
+///
+/// let (kept, evicted) = exponent_window_partition(&[1.0, 2.0, 1e300], 64);
+/// assert_eq!(kept.len(), 2);
+/// assert_eq!(evicted, vec![2]);
+/// ```
+pub fn exponent_window_partition(values: &[f64], max_spread: i32) -> (Vec<usize>, Vec<usize>) {
+    let mut exps: Vec<(i32, usize)> = values
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| {
+            let top = FloatParts::decompose(v)
+                .ok()
+                .and_then(|p| p.top_exponent())
+                .unwrap_or(0);
+            (top, i)
+        })
+        .collect();
+    exps.sort_unstable();
+    if exps.is_empty() {
+        return (Vec::new(), Vec::new());
+    }
+    // Two-pointer max window with exponent spread <= max_spread.
+    let (mut best_lo, mut best_hi) = (0usize, 0usize);
+    let mut lo = 0usize;
+    for hi in 0..exps.len() {
+        while exps[hi].0 - exps[lo].0 > max_spread {
+            lo += 1;
+        }
+        if hi - lo > best_hi - best_lo {
+            best_lo = lo;
+            best_hi = hi;
+        }
+    }
+    let kept: Vec<usize> = exps[best_lo..=best_hi].iter().map(|&(_, i)| i).collect();
+    let evicted: Vec<usize> = exps[..best_lo]
+        .iter()
+        .chain(&exps[best_hi + 1..])
+        .map(|&(_, i)| i)
+        .collect();
+    (kept, evicted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{banded, poisson2d, uniform_random, ValueModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn blocking_partitions_the_matrix() {
+        let a = poisson2d(48, 48);
+        let blocked = BlockedMatrix::block(&a, &BlockingConfig::default());
+        assert_eq!(blocked.nnz(), a.nnz());
+        assert_eq!(blocked.stats.nnz_total, a.nnz());
+        assert_eq!(
+            blocked.stats.nnz_blocked,
+            blocked.blocks.iter().map(Block::nnz).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn blocked_spmv_matches_csr() {
+        let a = banded(300, 8, 0.7, ValueModel::with_spread(6), &mut rng()).to_csr();
+        let blocked = BlockedMatrix::block(&a, &BlockingConfig::default());
+        let x: Vec<f64> = (0..300).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut y1 = vec![0.0; 300];
+        let mut y2 = vec![0.0; 300];
+        a.spmv(&x, &mut y1);
+        blocked.spmv(&x, &mut y2);
+        for (u, v) in y1.iter().zip(&y2) {
+            assert!((u - v).abs() <= 1e-9 * u.abs().max(1.0), "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn dense_band_blocks_well() {
+        // A dense narrow band should block almost completely.
+        let a = banded(512, 16, 0.9, ValueModel::with_spread(8), &mut rng()).to_csr();
+        let blocked = BlockedMatrix::block(&a, &BlockingConfig::default());
+        assert!(
+            blocked.stats.efficiency() > 0.8,
+            "band efficiency {}",
+            blocked.stats.efficiency()
+        );
+    }
+
+    #[test]
+    fn uniform_scatter_does_not_block() {
+        // ns3Da-like structureless scatter: nothing reaches the density
+        // thresholds.
+        let a = uniform_random(2048, 16384, ValueModel::with_spread(8), &mut rng()).to_csr();
+        let blocked = BlockedMatrix::block(&a, &BlockingConfig::default());
+        assert!(
+            blocked.stats.efficiency() < 0.1,
+            "scatter efficiency {}",
+            blocked.stats.efficiency()
+        );
+    }
+
+    #[test]
+    fn touches_bounded_by_passes() {
+        let a = poisson2d(40, 40);
+        let cfg = BlockingConfig::default();
+        let blocked = BlockedMatrix::block(&a, &cfg);
+        let per_nnz = blocked.stats.touches_per_nnz();
+        assert!(per_nnz <= cfg.block_sizes.len() as f64, "touches/nnz {per_nnz}");
+        assert!(per_nnz >= 1.0);
+    }
+
+    #[test]
+    fn exponent_outliers_are_evicted() {
+        // A dense 64x64 block with a handful of enormous values: the
+        // outliers must be evicted to the residual, the bulk blocked.
+        let n = 64;
+        let mut coo = Coo::new(n, n);
+        for r in 0..n {
+            for c in 0..n {
+                let v = if r == 0 && c < 4 { 1e300 } else { 1.0 + (r * n + c) as f64 * 1e-3 };
+                coo.push(r, c, v).unwrap();
+            }
+        }
+        let a = coo.to_csr();
+        let blocked = BlockedMatrix::block(&a, &BlockingConfig::default());
+        assert_eq!(blocked.stats.nnz_evicted_range, 4);
+        assert_eq!(blocked.residual.nnz(), 4);
+        assert!(blocked.stats.efficiency() > 0.99);
+        // Every blocked value must be alignable within the operand width.
+        for b in &blocked.blocks {
+            let vals: Vec<f64> = b.values().collect();
+            assert!(memsci_numeric::AlignedSlice::align(
+                &vals,
+                memsci_numeric::align::MAX_MAGNITUDE_BITS
+            )
+            .is_ok());
+        }
+    }
+
+    #[test]
+    fn heterogeneous_sizes_are_used() {
+        // A matrix with one large dense region and small dense pockets:
+        // expect both large and small block sizes in the outcome.
+        let n = 700;
+        let mut coo = Coo::new(n, n);
+        let mut r = rng();
+        use rand::Rng;
+        // 512-region
+        for _ in 0..60_000 {
+            let i = r.gen_range(0..512);
+            let j = r.gen_range(0..512);
+            coo.push(i, j, 1.0 + r.gen::<f64>()).unwrap();
+        }
+        // small dense pocket at (640, 640): 1600 entries is below the
+        // 512-size threshold (2048) but above the 256-size one (1024).
+        for i in 640..680 {
+            for j in 640..680 {
+                coo.push(i, j, 2.0).unwrap();
+            }
+        }
+        let a = coo.to_csr();
+        let blocked = BlockedMatrix::block(&a, &BlockingConfig::default());
+        let hist = blocked.block_size_histogram();
+        let sizes: Vec<u32> = hist.iter().map(|&(s, _)| s).collect();
+        assert!(sizes.contains(&512), "sizes used: {sizes:?}");
+        assert!(sizes.iter().any(|&s| s < 512), "sizes used: {sizes:?}");
+    }
+
+    #[test]
+    fn empty_matrix_blocks_trivially() {
+        let blocked = BlockedMatrix::block(&Csr::empty(10, 10), &BlockingConfig::default());
+        assert!(blocked.blocks.is_empty());
+        assert_eq!(blocked.stats.efficiency(), 0.0);
+        assert_eq!(blocked.nnz(), 0);
+    }
+}

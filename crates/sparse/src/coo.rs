@@ -1,0 +1,238 @@
+//! Coordinate-format (triplet) sparse matrices.
+//!
+//! COO is the assembly format: generators and the Matrix Market reader
+//! produce triplets, which are then compressed to [`Csr`] for kernels.
+//!
+//! [`Csr`]: crate::Csr
+
+use core::fmt;
+
+use crate::csr::Csr;
+
+/// Error for entries outside the matrix dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexOutOfBounds {
+    /// Offending row index.
+    pub row: usize,
+    /// Offending column index.
+    pub col: usize,
+    /// Matrix dimensions.
+    pub shape: (usize, usize),
+}
+
+impl fmt::Display for IndexOutOfBounds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "entry ({}, {}) outside {}x{} matrix",
+            self.row, self.col, self.shape.0, self.shape.1
+        )
+    }
+}
+
+impl std::error::Error for IndexOutOfBounds {}
+
+/// A sparse matrix in coordinate (triplet) format.
+///
+/// Duplicate entries are permitted until [`Coo::compress`] or
+/// [`Coo::to_csr`] sums them.
+///
+/// # Examples
+///
+/// ```
+/// use memsci_sparse::Coo;
+///
+/// let mut m = Coo::new(2, 2);
+/// m.push(0, 0, 2.0)?;
+/// m.push(1, 1, 3.0)?;
+/// m.push(0, 0, 1.0)?; // duplicate, summed on compression
+/// let csr = m.to_csr();
+/// assert_eq!(csr.nnz(), 2);
+/// assert_eq!(csr.get(0, 0), 3.0);
+/// # Ok::<(), memsci_sparse::coo::IndexOutOfBounds>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Coo {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(u32, u32, f64)>,
+}
+
+impl Coo {
+    /// Creates an empty matrix with the given dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension exceeds `u32::MAX`.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows <= u32::MAX as usize && cols <= u32::MAX as usize);
+        Coo { rows, cols, entries: Vec::new() }
+    }
+
+    /// Creates a matrix from raw triplets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IndexOutOfBounds`] if any triplet lies outside the
+    /// matrix.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: impl IntoIterator<Item = (usize, usize, f64)>,
+    ) -> Result<Self, IndexOutOfBounds> {
+        let mut m = Coo::new(rows, cols);
+        for (r, c, v) in triplets {
+            m.push(r, c, v)?;
+        }
+        Ok(m)
+    }
+
+    /// Appends one entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IndexOutOfBounds`] if the entry lies outside the matrix.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) -> Result<(), IndexOutOfBounds> {
+        if row >= self.rows || col >= self.cols {
+            return Err(IndexOutOfBounds { row, col, shape: (self.rows, self.cols) });
+        }
+        self.entries.push((row as u32, col as u32, value));
+        Ok(())
+    }
+
+    /// Number of stored triplets (including duplicates and explicit
+    /// zeros until compression).
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Matrix dimensions as `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Iterates over `(row, col, value)` triplets.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.entries.iter().map(|&(r, c, v)| (r as usize, c as usize, v))
+    }
+
+    /// Sorts entries row-major and sums duplicates, dropping entries that
+    /// cancel to exact zero.
+    pub fn compress(&mut self) {
+        // Stable sort: duplicate entries sum in insertion order, keeping
+        // compression deterministic down to floating-point rounding.
+        self.entries.sort_by_key(|&(r, c, _)| (r, c));
+        let mut out: Vec<(u32, u32, f64)> = Vec::with_capacity(self.entries.len());
+        for &(r, c, v) in &self.entries {
+            match out.last_mut() {
+                Some(last) if last.0 == r && last.1 == c => last.2 += v,
+                _ => out.push((r, c, v)),
+            }
+        }
+        out.retain(|&(_, _, v)| v != 0.0);
+        self.entries = out;
+    }
+
+    /// Converts to CSR, summing duplicates.
+    pub fn to_csr(&self) -> Csr {
+        let mut m = self.clone();
+        m.compress();
+        let mut row_ptr = vec![0usize; m.rows + 1];
+        for &(r, _, _) in &m.entries {
+            row_ptr[r as usize + 1] += 1;
+        }
+        for i in 0..m.rows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let col_idx = m.entries.iter().map(|&(_, c, _)| c).collect();
+        let values = m.entries.iter().map(|&(_, _, v)| v).collect();
+        Csr::from_raw_parts(m.rows, m.cols, row_ptr, col_idx, values)
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Coo {
+        Coo {
+            rows: self.cols,
+            cols: self.rows,
+            entries: self.entries.iter().map(|&(r, c, v)| (c, r, v)).collect(),
+        }
+    }
+
+    /// Appends all entries of another matrix (dimensions must match).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn append(&mut self, other: &Coo) {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch");
+        self.entries.extend_from_slice(&other.entries);
+    }
+
+    /// Mirrors the strictly-lower or strictly-upper triangle so the
+    /// matrix becomes structurally and numerically symmetric (used when
+    /// expanding Matrix Market `symmetric` storage).
+    pub fn symmetrize(&mut self) {
+        let mirrored: Vec<(u32, u32, f64)> = self
+            .entries
+            .iter()
+            .filter(|&&(r, c, _)| r != c)
+            .map(|&(r, c, v)| (c, r, v))
+            .collect();
+        self.entries.extend(mirrored);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_rejects_out_of_bounds() {
+        let mut m = Coo::new(2, 3);
+        assert!(m.push(0, 2, 1.0).is_ok());
+        let err = m.push(2, 0, 1.0).unwrap_err();
+        assert_eq!(err.shape, (2, 3));
+        assert!(err.to_string().contains("(2, 0)"));
+    }
+
+    #[test]
+    fn compress_sums_duplicates_and_drops_zeros() {
+        let mut m = Coo::from_triplets(
+            2,
+            2,
+            [(0, 0, 1.0), (0, 0, 2.0), (1, 1, 5.0), (1, 0, 3.0), (1, 0, -3.0)],
+        )
+        .unwrap();
+        m.compress();
+        assert_eq!(m.nnz(), 2);
+        let entries: Vec<_> = m.iter().collect();
+        assert_eq!(entries, vec![(0, 0, 3.0), (1, 1, 5.0)]);
+    }
+
+    #[test]
+    fn transpose_swaps_indices() {
+        let m = Coo::from_triplets(2, 3, [(0, 2, 1.0), (1, 0, 2.0)]).unwrap();
+        let t = m.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        let entries: Vec<_> = t.iter().collect();
+        assert!(entries.contains(&(2, 0, 1.0)));
+        assert!(entries.contains(&(0, 1, 2.0)));
+    }
+
+    #[test]
+    fn symmetrize_mirrors_off_diagonals() {
+        let mut m = Coo::from_triplets(3, 3, [(0, 0, 1.0), (1, 0, 2.0), (2, 1, 3.0)]).unwrap();
+        m.symmetrize();
+        let csr = m.to_csr();
+        assert_eq!(csr.get(0, 1), 2.0);
+        assert_eq!(csr.get(1, 2), 3.0);
+        assert_eq!(csr.get(0, 0), 1.0); // diagonal not duplicated
+        assert_eq!(csr.nnz(), 5);
+    }
+
+    #[test]
+    fn iter_reports_usize_indices() {
+        let m = Coo::from_triplets(1, 1, [(0, 0, 4.5)]).unwrap();
+        assert_eq!(m.iter().next(), Some((0, 0, 4.5)));
+    }
+}

@@ -1,0 +1,321 @@
+//! Compressed sparse row matrices and reference kernels.
+//!
+//! CSR is the compute format: the GPU baseline model, the local
+//! processors, and all reference SpMV kernels operate on it (paper §VI-A1
+//! stores unblocked elements in CSR for the bank processor).
+
+use crate::coo::Coo;
+
+/// A sparse matrix in compressed sparse row format.
+///
+/// # Examples
+///
+/// ```
+/// use memsci_sparse::{Coo, Csr};
+///
+/// let coo = Coo::from_triplets(2, 2, [(0, 0, 2.0), (0, 1, 1.0), (1, 1, 3.0)]).unwrap();
+/// let a: Csr = coo.to_csr();
+/// let mut y = vec![0.0; 2];
+/// a.spmv(&[1.0, 2.0], &mut y);
+/// assert_eq!(y, vec![4.0, 6.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl Csr {
+    /// Builds a CSR matrix from raw parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parts are inconsistent: `row_ptr` must have
+    /// `rows + 1` monotonically non-decreasing entries ending at the
+    /// common length of `col_idx` and `values`, with all column indices
+    /// in range and sorted within each row.
+    pub fn from_raw_parts(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<u32>,
+        values: Vec<f64>,
+    ) -> Self {
+        assert_eq!(row_ptr.len(), rows + 1, "row_ptr length");
+        assert_eq!(col_idx.len(), values.len(), "col/value length mismatch");
+        assert_eq!(*row_ptr.last().unwrap_or(&0), col_idx.len(), "row_ptr end");
+        for r in 0..rows {
+            assert!(row_ptr[r] <= row_ptr[r + 1], "row_ptr monotonicity");
+            let cols_r = &col_idx[row_ptr[r]..row_ptr[r + 1]];
+            for w in cols_r.windows(2) {
+                assert!(w[0] < w[1], "columns sorted and unique within a row");
+            }
+            if let Some(&c) = cols_r.last() {
+                assert!((c as usize) < cols, "column index in range");
+            }
+        }
+        Csr { rows, cols, row_ptr, col_idx, values }
+    }
+
+    /// An empty matrix with the given shape.
+    pub fn empty(rows: usize, cols: usize) -> Self {
+        Csr {
+            rows,
+            cols,
+            row_ptr: vec![0; rows + 1],
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// The identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        Csr {
+            rows: n,
+            cols: n,
+            row_ptr: (0..=n).collect(),
+            col_idx: (0..n as u32).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Matrix dimensions as `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Fraction of cells that are non-zero.
+    pub fn density(&self) -> f64 {
+        if self.rows == 0 || self.cols == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / (self.rows as f64 * self.cols as f64)
+        }
+    }
+
+    /// The `(column indices, values)` of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row(&self, r: usize) -> (&[u32], &[f64]) {
+        let span = self.row_ptr[r]..self.row_ptr[r + 1];
+        (&self.col_idx[span.clone()], &self.values[span])
+    }
+
+    /// Value at `(r, c)`, or `0.0` when not stored.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        let (cols, vals) = self.row(r);
+        match cols.binary_search(&(c as u32)) {
+            Ok(i) => vals[i],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Iterates over all `(row, col, value)` entries in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.rows).flat_map(move |r| {
+            let (cols, vals) = self.row(r);
+            cols.iter().zip(vals).map(move |(&c, &v)| (r, c as usize, v))
+        })
+    }
+
+    /// `y = A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols` or `y.len() != rows`.
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "x length");
+        assert_eq!(y.len(), self.rows, "y length");
+        for (r, yr) in y.iter_mut().enumerate() {
+            let (cols, vals) = self.row(r);
+            let mut acc = 0.0;
+            for (&c, &v) in cols.iter().zip(vals) {
+                acc += v * x[c as usize];
+            }
+            *yr = acc;
+        }
+    }
+
+    /// `y += A·x` (accumulating variant used for residual elements).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols` or `y.len() != rows`.
+    pub fn spmv_add(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "x length");
+        assert_eq!(y.len(), self.rows, "y length");
+        for (r, yr) in y.iter_mut().enumerate() {
+            let (cols, vals) = self.row(r);
+            let mut acc = 0.0;
+            for (&c, &v) in cols.iter().zip(vals) {
+                acc += v * x[c as usize];
+            }
+            *yr += acc;
+        }
+    }
+
+    /// `y = Aᵀ·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != rows` or `y.len() != cols`.
+    pub fn spmv_transpose(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.rows, "x length");
+        assert_eq!(y.len(), self.cols, "y length");
+        y.fill(0.0);
+        for (r, &xr) in x.iter().enumerate() {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                y[c as usize] += v * xr;
+            }
+        }
+    }
+
+    /// The main diagonal (zeros where unstored).
+    pub fn diagonal(&self) -> Vec<f64> {
+        (0..self.rows.min(self.cols)).map(|i| self.get(i, i)).collect()
+    }
+
+    /// Returns the transpose as a new CSR matrix.
+    pub fn transpose(&self) -> Csr {
+        self.to_coo().transpose().to_csr()
+    }
+
+    /// Converts back to COO.
+    pub fn to_coo(&self) -> Coo {
+        Coo::from_triplets(self.rows, self.cols, self.iter()).expect("indices in range")
+    }
+
+    /// Checks numeric symmetry within `tol` (absolute).
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        self.iter().all(|(r, c, v)| (self.get(c, r) - v).abs() <= tol)
+    }
+
+    /// Structural bandwidth: the maximum of `|r - c|` over stored
+    /// entries.
+    pub fn bandwidth(&self) -> usize {
+        self.iter().map(|(r, c, _)| r.abs_diff(c)).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr {
+        // [ 2 1 0 ]
+        // [ 0 3 0 ]
+        // [ 4 0 5 ]
+        Coo::from_triplets(
+            3,
+            3,
+            [(0, 0, 2.0), (0, 1, 1.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)],
+        )
+        .unwrap()
+        .to_csr()
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let a = sample();
+        let mut y = vec![0.0; 3];
+        a.spmv(&[1.0, 2.0, 3.0], &mut y);
+        assert_eq!(y, vec![4.0, 6.0, 19.0]);
+    }
+
+    #[test]
+    fn spmv_add_accumulates() {
+        let a = sample();
+        let mut y = vec![1.0; 3];
+        a.spmv_add(&[1.0, 2.0, 3.0], &mut y);
+        assert_eq!(y, vec![5.0, 7.0, 20.0]);
+    }
+
+    #[test]
+    fn transpose_spmv_matches_explicit_transpose() {
+        let a = sample();
+        let x = [1.0, -2.0, 0.5];
+        let mut y1 = vec![0.0; 3];
+        a.spmv_transpose(&x, &mut y1);
+        let mut y2 = vec![0.0; 3];
+        a.transpose().spmv(&x, &mut y2);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn get_returns_zero_for_missing() {
+        let a = sample();
+        assert_eq!(a.get(0, 2), 0.0);
+        assert_eq!(a.get(2, 2), 5.0);
+    }
+
+    #[test]
+    fn identity_behaves() {
+        let i = Csr::identity(4);
+        let mut y = vec![0.0; 4];
+        i.spmv(&[1.0, 2.0, 3.0, 4.0], &mut y);
+        assert_eq!(y, vec![1.0, 2.0, 3.0, 4.0]);
+        assert!(i.is_symmetric(0.0));
+        assert_eq!(i.bandwidth(), 0);
+    }
+
+    #[test]
+    fn symmetry_check() {
+        let a = sample();
+        assert!(!a.is_symmetric(1e-12));
+        let mut coo = a.to_coo();
+        coo.symmetrize();
+        // Doubling off-diagonals both ways yields a symmetric matrix.
+        assert!(coo.to_csr().is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn bandwidth_and_density() {
+        let a = sample();
+        assert_eq!(a.bandwidth(), 2);
+        assert!((a.density() - 5.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diagonal_extraction() {
+        assert_eq!(sample().diagonal(), vec![2.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "columns sorted")]
+    fn from_raw_parts_validates() {
+        Csr::from_raw_parts(1, 3, vec![0, 2], vec![2, 1], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let e = Csr::empty(2, 2);
+        assert_eq!(e.nnz(), 0);
+        let mut y = vec![9.0; 2];
+        e.spmv(&[1.0, 1.0], &mut y);
+        assert_eq!(y, vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,47 @@
+//! Sparse-matrix substrate for the memristive accelerator reproduction.
+//!
+//! This crate provides everything the accelerator and its evaluation
+//! need on the matrix side of *Enabling Scientific Computing on
+//! Memristive Accelerators* (ISCA 2018):
+//!
+//! * [`Coo`]/[`Csr`] — assembly and compute formats with reference
+//!   kernels (SpMV, transpose SpMV);
+//! * [`matrix_market`] — Matrix Market I/O for real SuiteSparse files;
+//! * [`generate`] — synthetic structure generators (stencils, bands,
+//!   clustered blocks, power-law circuits, uniform scatter);
+//! * [`suite`] — deterministic replicas of the paper's 20 evaluated
+//!   matrices (Table II);
+//! * [`blocking`] — the heterogeneous blocking preprocessor (§V-B1)
+//!   that maps dense sub-blocks onto 512/256/128/64 crossbars;
+//! * [`stats`] — the matrix statistics the evaluation reports.
+//!
+//! # Examples
+//!
+//! ```
+//! use memsci_sparse::blocking::{BlockedMatrix, BlockingConfig};
+//! use memsci_sparse::generate::poisson2d;
+//!
+//! let a = poisson2d(32, 32);
+//! let blocked = BlockedMatrix::block(&a, &BlockingConfig::default());
+//! // Blocking partitions the matrix: nothing is lost or duplicated.
+//! assert_eq!(blocked.nnz(), a.nnz());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod blocking;
+pub mod coo;
+pub mod csr;
+pub mod dense;
+pub mod generate;
+pub mod matrix_market;
+pub mod stats;
+pub mod suite;
+
+pub use blocking::{Block, BlockedMatrix, BlockingConfig, BlockingStats};
+pub use coo::Coo;
+pub use csr::Csr;
+pub use dense::DenseMatrix;
+pub use stats::MatrixStats;
+pub use suite::SuiteEntry;

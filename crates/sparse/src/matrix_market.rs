@@ -1,0 +1,272 @@
+//! Matrix Market (`.mtx`) coordinate-format I/O.
+//!
+//! The paper evaluates on 20 SuiteSparse matrices distributed in this
+//! format; the reader lets real downloads drop into the harness, while
+//! the writer round-trips the synthetic replica suite.
+
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+
+/// Errors produced while parsing a Matrix Market stream.
+#[derive(Debug)]
+pub enum MatrixMarketError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The banner line is missing or malformed.
+    BadBanner(String),
+    /// The format is valid Matrix Market but not supported here
+    /// (only `matrix coordinate real/integer general|symmetric`).
+    Unsupported(String),
+    /// A data line could not be parsed.
+    BadEntry {
+        /// 1-based line number.
+        line: usize,
+        /// Line content.
+        content: String,
+    },
+    /// Entry count or indices disagree with the header.
+    Inconsistent(String),
+}
+
+impl fmt::Display for MatrixMarketError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixMarketError::Io(e) => write!(f, "i/o error: {e}"),
+            MatrixMarketError::BadBanner(s) => write!(f, "bad MatrixMarket banner: {s}"),
+            MatrixMarketError::Unsupported(s) => write!(f, "unsupported MatrixMarket variant: {s}"),
+            MatrixMarketError::BadEntry { line, content } => {
+                write!(f, "unparsable entry at line {line}: {content}")
+            }
+            MatrixMarketError::Inconsistent(s) => write!(f, "inconsistent data: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for MatrixMarketError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MatrixMarketError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for MatrixMarketError {
+    fn from(e: std::io::Error) -> Self {
+        MatrixMarketError::Io(e)
+    }
+}
+
+/// Reads a `matrix coordinate real general|symmetric` stream into COO
+/// form (symmetric storage is expanded).
+///
+/// A `&mut` reference can be passed for any `R: Read`.
+///
+/// # Errors
+///
+/// See [`MatrixMarketError`].
+///
+/// # Examples
+///
+/// ```
+/// use memsci_sparse::matrix_market::read_coo;
+///
+/// let text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.5\n2 2 -2.0\n";
+/// let m = read_coo(text.as_bytes())?;
+/// assert_eq!(m.shape(), (2, 2));
+/// assert_eq!(m.nnz(), 2);
+/// # Ok::<(), memsci_sparse::matrix_market::MatrixMarketError>(())
+/// ```
+pub fn read_coo<R: Read>(reader: R) -> Result<Coo, MatrixMarketError> {
+    let mut lines = BufReader::new(reader).lines().enumerate();
+    let banner = loop {
+        match lines.next() {
+            Some((_, line)) => {
+                let line = line?;
+                if !line.trim().is_empty() {
+                    break line;
+                }
+            }
+            None => return Err(MatrixMarketError::BadBanner("empty stream".into())),
+        }
+    };
+    let tokens: Vec<String> =
+        banner.split_whitespace().map(|t| t.to_ascii_lowercase()).collect();
+    if tokens.len() < 5 || tokens[0] != "%%matrixmarket" || tokens[1] != "matrix" {
+        return Err(MatrixMarketError::BadBanner(banner));
+    }
+    if tokens[2] != "coordinate" {
+        return Err(MatrixMarketError::Unsupported(banner));
+    }
+    if tokens[3] != "real" && tokens[3] != "integer" {
+        return Err(MatrixMarketError::Unsupported(banner));
+    }
+    let symmetric = match tokens[4].as_str() {
+        "general" => false,
+        "symmetric" => true,
+        _ => return Err(MatrixMarketError::Unsupported(banner)),
+    };
+    // Size line: first non-comment, non-empty line.
+    let (mut rows, mut cols, mut nnz) = (0usize, 0usize, 0usize);
+    let mut have_size = false;
+    let mut coo = Coo::new(0, 0);
+    let mut seen = 0usize;
+    for (idx, line) in lines {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split_whitespace().collect();
+        if !have_size {
+            if fields.len() != 3 {
+                return Err(MatrixMarketError::BadEntry { line: idx + 1, content: line });
+            }
+            rows = fields[0].parse().map_err(|_| MatrixMarketError::BadEntry {
+                line: idx + 1,
+                content: line.clone(),
+            })?;
+            cols = fields[1].parse().map_err(|_| MatrixMarketError::BadEntry {
+                line: idx + 1,
+                content: line.clone(),
+            })?;
+            nnz = fields[2].parse().map_err(|_| MatrixMarketError::BadEntry {
+                line: idx + 1,
+                content: line.clone(),
+            })?;
+            coo = Coo::new(rows, cols);
+            have_size = true;
+            continue;
+        }
+        if fields.len() < 3 {
+            return Err(MatrixMarketError::BadEntry { line: idx + 1, content: line });
+        }
+        let r: usize = fields[0].parse().map_err(|_| MatrixMarketError::BadEntry {
+            line: idx + 1,
+            content: line.clone(),
+        })?;
+        let c: usize = fields[1].parse().map_err(|_| MatrixMarketError::BadEntry {
+            line: idx + 1,
+            content: line.clone(),
+        })?;
+        let v: f64 = fields[2].parse().map_err(|_| MatrixMarketError::BadEntry {
+            line: idx + 1,
+            content: line.clone(),
+        })?;
+        if r == 0 || c == 0 || r > rows || c > cols {
+            return Err(MatrixMarketError::Inconsistent(format!(
+                "entry ({r}, {c}) outside {rows}x{cols} matrix"
+            )));
+        }
+        coo.push(r - 1, c - 1, v).expect("checked bounds");
+        seen += 1;
+    }
+    if !have_size {
+        return Err(MatrixMarketError::Inconsistent("missing size line".into()));
+    }
+    if seen != nnz {
+        return Err(MatrixMarketError::Inconsistent(format!(
+            "header promised {nnz} entries, found {seen}"
+        )));
+    }
+    if symmetric {
+        coo.symmetrize();
+    }
+    Ok(coo)
+}
+
+/// Writes a CSR matrix as `matrix coordinate real general`.
+///
+/// A `&mut` reference can be passed for any `W: Write`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_csr<W: Write>(matrix: &Csr, mut writer: W) -> std::io::Result<()> {
+    writeln!(writer, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(writer, "% generated by memsci-sparse")?;
+    let (rows, cols) = matrix.shape();
+    writeln!(writer, "{rows} {cols} {}", matrix.nnz())?;
+    for (r, c, v) in matrix.iter() {
+        writeln!(writer, "{} {} {:e}", r + 1, c + 1, v)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_general() {
+        let m = Coo::from_triplets(3, 2, [(0, 0, 1.5), (2, 1, -2.25), (1, 0, 1e-10)])
+            .unwrap()
+            .to_csr();
+        let mut buf = Vec::new();
+        write_csr(&m, &mut buf).unwrap();
+        let back = read_coo(buf.as_slice()).unwrap().to_csr();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn symmetric_storage_expands() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    3 3 3\n1 1 2.0\n2 1 -1.0\n3 3 4.0\n";
+        let m = read_coo(text.as_bytes()).unwrap().to_csr();
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.get(0, 1), -1.0);
+        assert_eq!(m.get(1, 0), -1.0);
+        assert!(m.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "\n%%MatrixMarket matrix coordinate real general\n\
+                    % a comment\n\n2 2 1\n% another\n2 2 7.0\n";
+        let m = read_coo(text.as_bytes()).unwrap();
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn integer_values_parse() {
+        let text = "%%MatrixMarket matrix coordinate integer general\n1 1 1\n1 1 3\n";
+        let m = read_coo(text.as_bytes()).unwrap();
+        assert_eq!(m.iter().next(), Some((0, 0, 3.0)));
+    }
+
+    #[test]
+    fn bad_banner_is_rejected() {
+        assert!(matches!(
+            read_coo("hello world\n".as_bytes()),
+            Err(MatrixMarketError::BadBanner(_))
+        ));
+    }
+
+    #[test]
+    fn unsupported_field_is_rejected() {
+        let text = "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n";
+        assert!(matches!(read_coo(text.as_bytes()), Err(MatrixMarketError::Unsupported(_))));
+    }
+
+    #[test]
+    fn count_mismatch_detected() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
+        assert!(matches!(read_coo(text.as_bytes()), Err(MatrixMarketError::Inconsistent(_))));
+    }
+
+    #[test]
+    fn out_of_range_detected() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        assert!(matches!(read_coo(text.as_bytes()), Err(MatrixMarketError::Inconsistent(_))));
+    }
+
+    #[test]
+    fn one_based_indices() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2 9.0\n";
+        let m = read_coo(text.as_bytes()).unwrap();
+        assert_eq!(m.iter().next(), Some((0, 1, 9.0)));
+    }
+}

@@ -1,0 +1,141 @@
+//! Matrix statistics used throughout the evaluation.
+//!
+//! Table II reports rows, non-zeros, and non-zeros per matrix row for
+//! each evaluated matrix; §IV-B depends on the exponent range of the
+//! values, and §II-A on the density of the iterated vectors.
+
+use memsci_numeric::FloatParts;
+
+use crate::csr::Csr;
+
+/// Summary statistics for a sparse matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatrixStats {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Number of stored non-zeros.
+    pub nnz: usize,
+    /// Average non-zeros per matrix row.
+    pub nnz_per_row: f64,
+    /// Fraction of cells that are non-zero.
+    pub density: f64,
+    /// Maximum `|row - col|` over stored entries.
+    pub bandwidth: usize,
+    /// Spread between the largest and smallest binary exponent of the
+    /// non-zero values (`floor(log2 |v|)` range).
+    pub exponent_range: i32,
+    /// Whether the matrix is numerically symmetric (tolerance 0).
+    pub symmetric: bool,
+}
+
+impl MatrixStats {
+    /// Computes statistics for a matrix.
+    ///
+    /// Non-finite values are ignored for the exponent range (the
+    /// accelerator rejects them earlier in the pipeline).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use memsci_sparse::{Coo, stats::MatrixStats};
+    ///
+    /// let m = Coo::from_triplets(2, 2, [(0, 0, 1.0), (1, 1, 4.0)]).unwrap().to_csr();
+    /// let s = MatrixStats::compute(&m);
+    /// assert_eq!(s.nnz, 2);
+    /// assert_eq!(s.exponent_range, 2); // log2 range between 1.0 and 4.0
+    /// ```
+    pub fn compute(matrix: &Csr) -> Self {
+        let (rows, cols) = matrix.shape();
+        let nnz = matrix.nnz();
+        let mut min_exp = i32::MAX;
+        let mut max_exp = i32::MIN;
+        for (_, _, v) in matrix.iter() {
+            if let Ok(p) = FloatParts::decompose(v) {
+                if let Some(top) = p.top_exponent() {
+                    min_exp = min_exp.min(top);
+                    max_exp = max_exp.max(top);
+                }
+            }
+        }
+        let exponent_range = if min_exp == i32::MAX { 0 } else { max_exp - min_exp };
+        MatrixStats {
+            rows,
+            cols,
+            nnz,
+            nnz_per_row: if rows == 0 { 0.0 } else { nnz as f64 / rows as f64 },
+            density: matrix.density(),
+            bandwidth: matrix.bandwidth(),
+            exponent_range,
+            symmetric: matrix.is_symmetric(0.0),
+        }
+    }
+}
+
+/// Fraction of non-zero entries in a dense vector.
+///
+/// The paper observes vector densities of 30–100% in iterative solvers
+/// (§II-A), which rules out accelerators that rely on sparse vectors.
+///
+/// # Examples
+///
+/// ```
+/// use memsci_sparse::stats::vector_density;
+///
+/// assert_eq!(vector_density(&[1.0, 0.0, 2.0, 0.0]), 0.5);
+/// ```
+pub fn vector_density(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    x.iter().filter(|&&v| v != 0.0).count() as f64 / x.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+
+    #[test]
+    fn stats_of_simple_matrix() {
+        let m = Coo::from_triplets(
+            4,
+            4,
+            [(0, 0, 1.0), (1, 1, -2.0), (2, 2, 0.5), (3, 3, 8.0), (0, 3, 1.0)],
+        )
+        .unwrap()
+        .to_csr();
+        let s = MatrixStats::compute(&m);
+        assert_eq!(s.rows, 4);
+        assert_eq!(s.nnz, 5);
+        assert_eq!(s.bandwidth, 3);
+        assert!((s.nnz_per_row - 1.25).abs() < 1e-12);
+        // Exponents: 0, 1, -1, 3 -> range 4.
+        assert_eq!(s.exponent_range, 4);
+        assert!(!s.symmetric);
+    }
+
+    #[test]
+    fn empty_matrix_stats() {
+        let s = MatrixStats::compute(&Csr::empty(3, 3));
+        assert_eq!(s.nnz, 0);
+        assert_eq!(s.exponent_range, 0);
+        assert_eq!(s.density, 0.0);
+    }
+
+    #[test]
+    fn vector_density_bounds() {
+        assert_eq!(vector_density(&[]), 0.0);
+        assert_eq!(vector_density(&[0.0; 4]), 0.0);
+        assert_eq!(vector_density(&[1.0; 4]), 1.0);
+    }
+
+    #[test]
+    fn symmetric_detection() {
+        let m = Coo::from_triplets(2, 2, [(0, 1, 3.0), (1, 0, 3.0), (0, 0, 1.0)])
+            .unwrap()
+            .to_csr();
+        assert!(MatrixStats::compute(&m).symmetric);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests for the sparse substrate.
+
+use memsci_sparse::blocking::{exponent_window_partition, BlockedMatrix, BlockingConfig};
+use memsci_sparse::dense::DenseMatrix;
+use memsci_sparse::matrix_market::{read_coo, write_csr};
+use memsci_sparse::Coo;
+use proptest::prelude::*;
+
+/// Strategy: a random sparse square matrix as unique-position triplets.
+fn matrix_strategy(max_n: usize) -> impl Strategy<Value = (usize, Vec<(usize, usize, f64)>)> {
+    (2usize..max_n).prop_flat_map(|n| {
+        let entry = (0..n, 0..n, -100.0f64..100.0);
+        (Just(n), prop::collection::vec(entry, 0..(n * 4)))
+    })
+}
+
+proptest! {
+    /// COO→CSR compresses duplicates exactly like a dense accumulation.
+    #[test]
+    fn coo_to_csr_matches_dense_accumulation((n, entries) in matrix_strategy(24)) {
+        let coo = Coo::from_triplets(n, n, entries.iter().copied()).unwrap();
+        let csr = coo.to_csr();
+        // Accumulate in the same (stable, position-sorted) order the
+        // compression uses, so float sums match bit for bit.
+        let mut sorted = entries.clone();
+        sorted.sort_by_key(|&(r, c, _)| (r, c));
+        let mut dense = vec![0.0f64; n * n];
+        for &(r, c, v) in &sorted {
+            dense[r * n + c] += v;
+        }
+        for r in 0..n {
+            for c in 0..n {
+                prop_assert_eq!(csr.get(r, c), dense[r * n + c], "({}, {})", r, c);
+            }
+        }
+    }
+
+    /// SpMV distributes over the transpose: (Aᵀ)ᵀ x == A x, and
+    /// y = Aᵀ x matches the explicit transpose.
+    #[test]
+    fn transpose_is_involutive((n, entries) in matrix_strategy(20)) {
+        let a = Coo::from_triplets(n, n, entries).unwrap().to_csr();
+        let att = a.transpose().transpose();
+        prop_assert_eq!(&a, &att);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64) * 0.7 - 1.0).collect();
+        let mut y1 = vec![0.0; n];
+        let mut y2 = vec![0.0; n];
+        a.spmv_transpose(&x, &mut y1);
+        a.transpose().spmv(&x, &mut y2);
+        for (u, v) in y1.iter().zip(&y2) {
+            prop_assert!((u - v).abs() < 1e-9);
+        }
+    }
+
+    /// Matrix Market round trips are exact.
+    #[test]
+    fn matrix_market_roundtrip((n, entries) in matrix_strategy(16)) {
+        let a = Coo::from_triplets(n, n, entries).unwrap().to_csr();
+        let mut buf = Vec::new();
+        write_csr(&a, &mut buf).unwrap();
+        let back = read_coo(buf.as_slice()).unwrap().to_csr();
+        prop_assert_eq!(a, back);
+    }
+
+    /// Blocking partitions: blocked + residual non-zeros equal the input,
+    /// and the blocked SpMV matches CSR.
+    #[test]
+    fn blocking_partitions_and_preserves_spmv((n, entries) in matrix_strategy(24)) {
+        let a = Coo::from_triplets(n, n, entries).unwrap().to_csr();
+        let blocked = BlockedMatrix::block(&a, &BlockingConfig::default());
+        prop_assert_eq!(blocked.nnz(), a.nnz());
+        let x: Vec<f64> = (0..n).map(|i| ((i * 13 % 7) as f64) - 3.0).collect();
+        let mut y1 = vec![0.0; n];
+        let mut y2 = vec![0.0; n];
+        a.spmv(&x, &mut y1);
+        blocked.spmv(&x, &mut y2);
+        for (u, v) in y1.iter().zip(&y2) {
+            prop_assert!((u - v).abs() <= 1e-9 * u.abs().max(1.0));
+        }
+    }
+
+    /// The exponent window keeps a maximal subset within the spread and
+    /// never loses elements.
+    #[test]
+    fn exponent_window_is_a_partition(values in prop::collection::vec(-1e30f64..1e30, 1..64)) {
+        let (kept, evicted) = exponent_window_partition(&values, 64);
+        prop_assert_eq!(kept.len() + evicted.len(), values.len());
+        // Kept values must be alignable within the operand width.
+        let kept_vals: Vec<f64> = kept.iter().map(|&i| values[i]).collect();
+        prop_assert!(memsci_numeric::AlignedSlice::align(
+            &kept_vals,
+            memsci_numeric::align::MAX_MAGNITUDE_BITS
+        )
+        .is_ok());
+        // No duplicated indices.
+        let mut all: Vec<usize> = kept.iter().chain(&evicted).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        prop_assert_eq!(all.len(), values.len());
+    }
+
+    /// Dense LU solves random well-conditioned systems to tight residual.
+    #[test]
+    fn dense_lu_solves_dominant_systems(
+        n in 2usize..12,
+        seed_vals in prop::collection::vec(-1.0f64..1.0, 144),
+    ) {
+        let mut m = DenseMatrix::zeros(n, n);
+        for r in 0..n {
+            let mut row_sum = 0.0;
+            for c in 0..n {
+                if r != c {
+                    let v = seed_vals[(r * n + c) % seed_vals.len()];
+                    *m.get_mut(r, c) = v;
+                    row_sum += v.abs();
+                }
+            }
+            *m.get_mut(r, r) = row_sum + 1.0;
+        }
+        let want: Vec<f64> = (0..n).map(|i| (i as f64) - 2.0).collect();
+        let mut b = vec![0.0; n];
+        m.matvec(&want, &mut b);
+        let x = m.solve(&b).unwrap();
+        for (xi, wi) in x.iter().zip(&want) {
+            prop_assert!((xi - wi).abs() < 1e-8);
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Pipelined SAR ADC model (§V-A, §VII-A).
+//!
+//! The reference design point is a 1.2 GHz 10-bit pipelined SAR ADC.
+//! Following the paper's scaling analysis: roughly 7% of the reported
+//! power scales exponentially with resolution, 20% is static, and the
+//! remainder scales linearly; conversion time is held at one clock
+//! period regardless of resolution, with the slack spent in the static
+//! state. Computational invert coding lets every crossbar use
+//! `log2(N) - 1` bits (§V-B2), and the ADC-headstart optimization skips
+//! the leading search steps that the column's content makes impossible,
+//! saving energy but not latency.
+
+/// SAR ADC configuration and energy model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdcSpec {
+    /// Resolution in bits.
+    pub resolution: u32,
+    /// Clock/conversion frequency in hertz.
+    pub f_clk: f64,
+    /// Reference energy of one conversion at the 10-bit design point, in
+    /// joules. Calibrated so cluster-level energy reproduces Table III
+    /// (see [`crate::cost`]).
+    pub e_ref_10bit: f64,
+}
+
+/// Fraction of reference ADC power scaling exponentially with resolution.
+pub const EXPONENTIAL_POWER_FRACTION: f64 = 0.07;
+/// Fraction of reference ADC power that is static.
+pub const STATIC_POWER_FRACTION: f64 = 0.20;
+/// Reference resolution for the power fractions.
+pub const REFERENCE_RESOLUTION: u32 = 10;
+
+impl AdcSpec {
+    /// An ADC sized for a crossbar with `n` rows under computational
+    /// invert coding: `log2(n) - 1` bits (§V-B2), scaled up for
+    /// multi-level cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n` is a power of two of at least 4.
+    pub fn for_crossbar(n: usize, bits_per_cell: u32, f_clk: f64, e_ref_10bit: f64) -> Self {
+        assert!(n.is_power_of_two() && n >= 4, "crossbar size must be a power of two >= 4");
+        // Max column output with CIC is (2^b - 1) · n/2 - 1.
+        let max_out = ((1u64 << bits_per_cell) - 1) * (n as u64 / 2) - 1;
+        let resolution = 64 - max_out.leading_zeros();
+        AdcSpec { resolution, f_clk, e_ref_10bit }
+    }
+
+    /// Conversion time in seconds (one clock period, independent of
+    /// resolution — the slack idles at static power).
+    pub fn conversion_time(&self) -> f64 {
+        1.0 / self.f_clk
+    }
+
+    /// Energy of one conversion that searches `bits` of the `resolution`
+    /// available (with ADC headstart, `bits < resolution`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits > resolution`.
+    pub fn conversion_energy(&self, bits: u32) -> f64 {
+        assert!(bits <= self.resolution, "cannot search more bits than the resolution");
+        let r = f64::from(self.resolution);
+        let b = f64::from(bits);
+        let r_ref = f64::from(REFERENCE_RESOLUTION);
+        let linear_fraction = 1.0 - EXPONENTIAL_POWER_FRACTION - STATIC_POWER_FRACTION;
+        // Static power burns for the whole period; the dynamic parts
+        // scale with the fraction of search steps actually taken.
+        let duty = if self.resolution == 0 { 0.0 } else { b / r };
+        self.e_ref_10bit
+            * (STATIC_POWER_FRACTION
+                + duty
+                    * (EXPONENTIAL_POWER_FRACTION * (2.0f64).powf(r - r_ref)
+                        + linear_fraction * r / r_ref))
+    }
+
+    /// Energy of one full-resolution conversion.
+    pub fn full_conversion_energy(&self) -> f64 {
+        self.conversion_energy(self.resolution)
+    }
+
+    /// Bits a headstarted conversion must search, given the maximum
+    /// output the column can produce (§V-B2): the SAR starts from the
+    /// most significant *possible* bit instead of the resolution MSb.
+    pub fn headstart_bits(&self, max_possible_output: u64) -> u32 {
+        let needed = 64 - max_possible_output.leading_zeros();
+        needed.clamp(1, self.resolution)
+    }
+
+    /// ADC area in mm², scaling 23% exponentially with resolution and
+    /// the rest linearly, against a reference area at 10 bits.
+    pub fn area_mm2(&self, a_ref_10bit: f64) -> f64 {
+        let r = f64::from(self.resolution);
+        let r_ref = f64::from(REFERENCE_RESOLUTION);
+        a_ref_10bit * (0.23 * (2.0f64).powf(r - r_ref) + 0.77 * r / r_ref)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolution_matches_cic_sizing() {
+        // 1-bit cells: max output N/2 - 1 -> log2(N) - 1 bits.
+        for (n, bits) in [(64usize, 5u32), (128, 6), (256, 7), (512, 8)] {
+            let adc = AdcSpec::for_crossbar(n, 1, 1.2e9, 1.0e-12);
+            assert_eq!(adc.resolution, bits, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn multibit_cells_need_more_resolution() {
+        let one = AdcSpec::for_crossbar(64, 1, 1.2e9, 1.0e-12);
+        let two = AdcSpec::for_crossbar(64, 2, 1.2e9, 1.0e-12);
+        // Max output goes from 31 to 95: 5 -> 7 bits.
+        assert_eq!(one.resolution, 5);
+        assert_eq!(two.resolution, 7);
+    }
+
+    #[test]
+    fn headstart_saves_energy_not_latency() {
+        let adc = AdcSpec::for_crossbar(512, 1, 1.2e9, 1.0e-12);
+        let full = adc.full_conversion_energy();
+        let head = adc.conversion_energy(adc.headstart_bits(7));
+        assert!(head < full);
+        assert_eq!(adc.conversion_time(), 1.0 / 1.2e9);
+    }
+
+    #[test]
+    fn energy_grows_with_resolution() {
+        let e: Vec<f64> = [64usize, 128, 256, 512]
+            .iter()
+            .map(|&n| AdcSpec::for_crossbar(n, 1, 1.2e9, 1.0e-12).full_conversion_energy())
+            .collect();
+        assert!(e.windows(2).all(|w| w[0] < w[1]), "{e:?}");
+    }
+
+    #[test]
+    fn static_energy_is_the_floor() {
+        let adc = AdcSpec::for_crossbar(256, 1, 1.2e9, 1.0e-12);
+        let idle = adc.conversion_energy(1);
+        assert!(idle >= STATIC_POWER_FRACTION * adc.e_ref_10bit);
+        assert!(idle < adc.full_conversion_energy());
+    }
+
+    #[test]
+    fn headstart_clamps_to_resolution() {
+        let adc = AdcSpec::for_crossbar(64, 1, 1.2e9, 1.0e-12);
+        assert_eq!(adc.headstart_bits(u64::MAX), adc.resolution);
+        assert_eq!(adc.headstart_bits(0), 1);
+        assert_eq!(adc.headstart_bits(5), 3);
+    }
+}

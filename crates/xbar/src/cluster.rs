@@ -1,0 +1,895 @@
+//! A cluster: the crossbars, reduction network, and buffers that perform
+//! IEEE-754-compatible MVM on one matrix block (§III-B, Figure 3).
+//!
+//! Programming converts a block's double-precision coefficients to
+//! aligned fixed point (§IV-A), biases them per block (§IV-C), protects
+//! them with the AN code (§IV-E), and bit-slices them across the
+//! cluster's crossbars. An MVM applies the incoming vector's bit slices
+//! from most to least significant; each slice produces, per matrix row,
+//! a reduced partial dot product that is AN-checked, de-biased, and
+//! accumulated into a running sum. Rows terminate early once their
+//! 53-bit mantissa settles (§IV-B), skipping the remaining conversions.
+
+use memsci_numeric::align::{AlignError, AlignedSlice};
+use memsci_numeric::bias::debias_partial;
+use memsci_numeric::bitslice::SliceSet;
+use memsci_numeric::running_sum::{remaining_bound_bit, settled};
+use memsci_numeric::{AnCode, Rounding, WideInt};
+use rand::Rng;
+
+use crate::cost::{CostModel, WriteModel};
+use crate::crossbar::{operand_levels, Crossbar};
+use crate::device::CellSpec;
+
+/// Maximum magnitude bits for vector alignment. Vector bit slices stream
+/// in time rather than occupying crossbars, so the width is bounded only
+/// by the full double exponent range (2046 + 53); early termination
+/// keeps the actual slice count data-dependent.
+pub const VECTOR_MAX_MAGNITUDE_BITS: usize = 2200;
+
+/// Configuration of one cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterSpec {
+    /// Crossbar dimension (block edge): 512, 256, 128, or 64 in Table I.
+    pub size: usize,
+    /// Memristor cell parameters.
+    pub cell: CellSpec,
+    /// Latency/energy/area model.
+    pub cost: CostModel,
+    /// Whether operands carry the AN error-correcting code.
+    pub an_enabled: bool,
+    /// Per-read probability of a random telegraph noise upset (±1 ADC
+    /// count) on one column.
+    pub rtn_probability: f64,
+    /// Maximum aligned magnitude width for the matrix block (117).
+    pub max_magnitude_bits: usize,
+}
+
+impl Default for ClusterSpec {
+    fn default() -> Self {
+        ClusterSpec {
+            size: 512,
+            cell: CellSpec::default(),
+            cost: CostModel::default(),
+            an_enabled: true,
+            rtn_probability: 0.0,
+            max_magnitude_bits: memsci_numeric::align::MAX_MAGNITUDE_BITS,
+        }
+    }
+}
+
+impl ClusterSpec {
+    /// A cluster of the given size with otherwise default parameters.
+    pub fn with_size(size: usize) -> Self {
+        ClusterSpec { size, ..Default::default() }
+    }
+}
+
+/// Options controlling one MVM operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MvmOptions {
+    /// Terminate each row's accumulation as soon as its mantissa settles
+    /// (§IV-B). Disabling this is the ablation baseline.
+    pub early_termination: bool,
+    /// Rounding mode for the final conversion to IEEE-754.
+    pub rounding: Rounding,
+    /// Record the number of slices each row needed (feeds the
+    /// scheduling analysis of Figure 6).
+    pub collect_row_profile: bool,
+    /// Pre-set the SAR search to the column's maximum possible output
+    /// (§V-B2). Disabling it is the ablation baseline: every conversion
+    /// searches the full resolution.
+    pub adc_headstart: bool,
+}
+
+impl Default for MvmOptions {
+    fn default() -> Self {
+        MvmOptions {
+            early_termination: true,
+            rounding: Rounding::TowardNegInf,
+            collect_row_profile: false,
+            adc_headstart: true,
+        }
+    }
+}
+
+impl MvmOptions {
+    /// Extra settled bits required beyond the 53-bit mantissa: directed
+    /// truncation needs none, other modes need three (§IV-D).
+    pub fn settle_precision(&self) -> u32 {
+        match self.rounding {
+            Rounding::TowardNegInf => 53,
+            _ => 56,
+        }
+    }
+}
+
+/// Result of one cluster MVM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MvmResult {
+    /// Per-matrix-row dot products in IEEE-754.
+    pub y: Vec<f64>,
+    /// Energy consumed, in joules.
+    pub energy: f64,
+    /// Latency, in seconds.
+    pub time: f64,
+    /// Vector bit slices available (two's-complement width).
+    pub slices_total: usize,
+    /// Vector bit slices actually applied before all rows settled.
+    pub slices_used: usize,
+    /// ADC conversions performed.
+    pub conversions: u64,
+    /// Conversions skipped thanks to early termination.
+    pub conversions_skipped: u64,
+    /// Partial products corrected by the AN code.
+    pub an_corrections: u64,
+    /// Partial products with detected-but-uncorrectable errors.
+    pub an_detections: u64,
+    /// Per-row slice counts (only when requested).
+    pub row_slices: Option<Vec<u32>>,
+}
+
+/// Outcome of programming a block into a cluster.
+#[derive(Debug)]
+pub struct ProgramOutcome {
+    /// The programmed cluster.
+    pub cluster: Cluster,
+    /// Entries evicted to satisfy the CIC resolution bound (§V-B2);
+    /// they must be handled by the local processor.
+    pub evicted: Vec<(u16, u16, f64)>,
+}
+
+/// A programmed cluster holding one matrix block.
+#[derive(Debug)]
+pub struct Cluster {
+    spec: ClusterSpec,
+    exp_base: i32,
+    bias_bit: usize,
+    stored_bits: usize,
+    groups: Vec<Crossbar>,
+    row_nnz: Vec<u32>,
+    an: Option<AnCode>,
+    /// Magnitude bound (bits) of a de-biased partial dot product.
+    pm_bits: u32,
+    /// Per output row: the present cells' `(input, encoded operand)`
+    /// pairs, enabling the exact fast path (see `mvm`).
+    fast_rows: Vec<Vec<(u32, WideInt)>>,
+    /// The encoded bias constant stored in every absent cell.
+    enc_bias: WideInt,
+    write_time: f64,
+    write_energy: f64,
+}
+
+impl Cluster {
+    /// Programs block `entries` (local coordinates, `(row, col, value)`)
+    /// into a cluster.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlignError`] if the values are non-finite or their
+    /// exponent range exceeds the operand width (the blocking
+    /// preprocessor prevents both for well-formed inputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an entry's coordinates fall outside the block.
+    pub fn program<R: Rng + ?Sized>(
+        spec: ClusterSpec,
+        entries: &[(u16, u16, f64)],
+        rng: &mut R,
+    ) -> Result<ProgramOutcome, AlignError> {
+        let n = spec.size;
+        let mut entries: Vec<(u16, u16, f64)> = entries.to_vec();
+        for &(r, c, _) in &entries {
+            assert!((r as usize) < n && (c as usize) < n, "entry outside the block");
+        }
+        let mut evicted = Vec::new();
+        loop {
+            match Self::try_program(&spec, &entries, rng) {
+                Ok(cluster) => return Ok(ProgramOutcome { cluster, evicted }),
+                Err(ProgramError::Align(e)) => return Err(e),
+                Err(ProgramError::CicBoundary { row }) => {
+                    // Evict the largest-magnitude entry of the offending
+                    // matrix row and retry (§V-B2 corner case).
+                    let victim = entries
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, e)| e.0 as usize == row)
+                        .max_by(|a, b| a.1 .2.abs().total_cmp(&b.1 .2.abs()))
+                        .map(|(i, _)| i)
+                        .expect("boundary column must contain entries");
+                    evicted.push(entries.swap_remove(victim));
+                }
+            }
+        }
+    }
+
+    fn try_program<R: Rng + ?Sized>(
+        spec: &ClusterSpec,
+        entries: &[(u16, u16, f64)],
+        rng: &mut R,
+    ) -> Result<Cluster, ProgramError> {
+        let n = spec.size;
+        let values: Vec<f64> = entries.iter().map(|&(_, _, v)| v).collect();
+        let aligned =
+            AlignedSlice::align(&values, spec.max_magnitude_bits).map_err(ProgramError::Align)?;
+        let bias_bit = aligned.magnitude_bits();
+        let bias = WideInt::pow2(bias_bit);
+        let an = spec.an_enabled.then(AnCode::default);
+        let encode = |v: &WideInt| match &an {
+            Some(code) => code.encode(v),
+            None => v.clone(),
+        };
+        let enc_bias = encode(&bias);
+        let stored: Vec<WideInt> =
+            aligned.integers().iter().map(|v| encode(&(v + &bias))).collect();
+        let stored_bits = stored
+            .iter()
+            .map(WideInt::bit_len)
+            .max()
+            .unwrap_or(0)
+            .max(enc_bias.bit_len());
+        let b = spec.cell.bits_per_cell;
+        let group_count = (stored_bits as u32).div_ceil(b) as usize;
+        let adc_res = spec.cost.resolution(n, b);
+
+        // Per matrix row: the explicit (input, stored value index) pairs.
+        let mut row_entries: Vec<Vec<(u32, usize)>> = vec![Vec::new(); n];
+        let mut row_nnz = vec![0u32; n];
+        for (idx, &(r, c, _)) in entries.iter().enumerate() {
+            row_entries[r as usize].push((u32::from(c), idx));
+            row_nnz[r as usize] += 1;
+        }
+        let level_tables: Vec<Vec<u8>> =
+            stored.iter().map(|s| operand_levels(s, b, group_count)).collect();
+        let bias_levels = operand_levels(&enc_bias, b, group_count);
+
+        let mut groups = Vec::with_capacity(group_count);
+        for g in 0..group_count {
+            let present: Vec<Vec<(u32, u8)>> = row_entries
+                .iter()
+                .map(|row| {
+                    row.iter().map(|&(input, idx)| (input, level_tables[idx][g])).collect()
+                })
+                .collect();
+            let xb = Crossbar::program(
+                n,
+                b,
+                adc_res,
+                &present,
+                bias_levels[g],
+                &spec.cell,
+                rng,
+            )
+            .map_err(|e| ProgramError::CicBoundary { row: e.column })?;
+            groups.push(xb);
+        }
+
+        let fast_rows: Vec<Vec<(u32, WideInt)>> = row_entries
+            .iter()
+            .map(|row| row.iter().map(|&(input, idx)| (input, stored[idx].clone())).collect())
+            .collect();
+
+        let write_model = WriteModel::default();
+        let set_cells: u64 = groups.iter().map(Crossbar::stored_level_sum).sum();
+        let n_bits = WideInt::from(n as u64).bit_len() as u32;
+        Ok(Cluster {
+            exp_base: aligned.exp_base(),
+            bias_bit,
+            stored_bits,
+            groups,
+            row_nnz,
+            an,
+            pm_bits: bias_bit as u32 + 1 + n_bits,
+            fast_rows,
+            enc_bias,
+            write_time: write_model.cluster_write_time(n),
+            write_energy: write_model.write_energy(set_cells),
+            spec: *spec,
+        })
+    }
+
+    /// Block edge.
+    pub fn n(&self) -> usize {
+        self.spec.size
+    }
+
+    /// The cluster's configuration.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// Fixed-point LSB exponent of the stored block.
+    pub fn exp_base(&self) -> i32 {
+        self.exp_base
+    }
+
+    /// Width of the stored (biased, AN-encoded) operands in bits — the
+    /// "stored bits per cluster" of §VIII-B. At most 127.
+    pub fn stored_bits(&self) -> usize {
+        self.stored_bits
+    }
+
+    /// Bit position of the per-block bias constant (§IV-C).
+    pub fn bias_bit(&self) -> usize {
+        self.bias_bit
+    }
+
+    /// Magnitude bound (bits) of a de-biased partial dot product, used
+    /// by the early-termination criterion.
+    pub fn partial_magnitude_bits(&self) -> u32 {
+        self.pm_bits
+    }
+
+    /// Number of bit-group crossbars.
+    pub fn crossbar_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Non-zero entries mapped to each matrix row.
+    pub fn row_nnz(&self) -> &[u32] {
+        &self.row_nnz
+    }
+
+    /// Time to program the cluster, in seconds.
+    pub fn write_time(&self) -> f64 {
+        self.write_time
+    }
+
+    /// Energy to program the cluster, in joules.
+    pub fn write_energy(&self) -> f64 {
+        self.write_energy
+    }
+
+    /// Performs `y = block · x` on the crossbar substrate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlignError`] if the vector contains non-finite values
+    /// (its exponent range never exceeds [`VECTOR_MAX_MAGNITUDE_BITS`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the block edge.
+    pub fn mvm<R: Rng + ?Sized>(
+        &self,
+        x: &[f64],
+        opts: &MvmOptions,
+        rng: &mut R,
+    ) -> Result<MvmResult, AlignError> {
+        let n = self.n();
+        assert_eq!(x.len(), n, "vector length must match the block edge");
+        let x_aligned = AlignedSlice::align(x, VECTOR_MAX_MAGNITUDE_BITS)?;
+        let precision = opts.settle_precision();
+        let active_rows: Vec<usize> =
+            (0..n).filter(|&r| self.row_nnz[r] > 0).collect();
+
+        let mut result = MvmResult {
+            y: vec![0.0; n],
+            energy: 0.0,
+            time: 0.0,
+            slices_total: 0,
+            slices_used: 0,
+            conversions: 0,
+            conversions_skipped: 0,
+            an_corrections: 0,
+            an_detections: 0,
+            row_slices: opts.collect_row_profile.then(|| vec![0u32; n]),
+        };
+        if active_rows.is_empty() || x_aligned.magnitude_bits() == 0 {
+            return Ok(result);
+        }
+
+        let xw = x_aligned.magnitude_bits() + 1; // two's-complement width
+        let slices = SliceSet::from_twos_complement(x_aligned.integers(), xw);
+        result.slices_total = xw;
+
+        let mut sums: Vec<WideInt> = vec![WideInt::zero(); n];
+        let mut done: Vec<bool> = vec![false; n];
+        let mut remaining = active_rows.len();
+        let groups = self.groups.len() as u64;
+
+        let resolution = self.spec.cost.resolution(n, self.spec.cell.bits_per_cell);
+        let lmax = u64::from(self.spec.cell.max_level());
+        for k in (0..xw).rev() {
+            result.slices_used += 1;
+            result.time += self.spec.cost.crossbar_op_latency(n);
+            let active_words = slices.slice_words(k);
+            let pop = slices.popcount(k);
+            let negative_weight = slices.weight_is_negative(k);
+            // Exact fast path: with ideal programming, no RTN, and a
+            // leak below half an LSB, every group's ADC count is exact,
+            // so the shift-and-add reduction provably equals the direct
+            // sum of the active encoded operands (absent cells all hold
+            // the encoded bias). This skips the per-group reads without
+            // changing a single bit of the result.
+            let fast_exact = self.spec.cell.programming_sigma == 0.0
+                && self.spec.rtn_probability == 0.0
+                && self.spec.cell.leak_per_active_row() * (pop as f64) < 0.499;
+
+            for &r in &active_rows {
+                if done[r] {
+                    result.conversions_skipped += groups;
+                    result.energy +=
+                        groups as f64 * self.spec.cost.skipped_column_energy();
+                    continue;
+                }
+                if let Some(profile) = result.row_slices.as_mut() {
+                    profile[r] += 1;
+                }
+                let raw = if fast_exact {
+                    // Direct exact reduction; energy/headstart accounted
+                    // per group from the stored column level sums.
+                    let mut present_active = 0u64;
+                    let mut sum = WideInt::zero();
+                    for (input, enc) in &self.fast_rows[r] {
+                        if active_words[*input as usize / 64] >> (input % 64) & 1 == 1 {
+                            sum += enc;
+                            present_active += 1;
+                        }
+                    }
+                    let absent_active = pop - present_active;
+                    if absent_active > 0 {
+                        sum += &self.enc_bias.mul_u64(absent_active);
+                    }
+                    for xb in &self.groups {
+                        result.conversions += 1;
+                        let searched = opts.adc_headstart.then(|| {
+                            headstart_bits(
+                                xb.column_level_sum(r).min(lmax * pop),
+                                resolution,
+                            )
+                        });
+                        result.energy += self.spec.cost.column_energy(
+                            n,
+                            self.spec.cell.bits_per_cell,
+                            searched,
+                        );
+                    }
+                    sum
+                } else {
+                    // Analog path: per-group reads with noise, leak, and
+                    // ADC quantization; accumulate in two i128 lanes
+                    // (shift < 64 and >= 64) and combine once.
+                    let mut lane_lo: i128 = 0;
+                    let mut lane_hi: i128 = 0;
+                    for (g, xb) in self.groups.iter().enumerate() {
+                        let read = xb.read_column(
+                            r,
+                            active_words,
+                            pop as u32,
+                            &self.spec.cell,
+                            self.spec.rtn_probability,
+                            rng,
+                        );
+                        result.conversions += 1;
+                        let searched = opts.adc_headstart.then_some(read.searched_bits);
+                        result.energy += self.spec.cost.column_energy(
+                            n,
+                            self.spec.cell.bits_per_cell,
+                            searched,
+                        );
+                        let shift = g as u32 * self.spec.cell.bits_per_cell;
+                        if shift < 64 {
+                            lane_lo += i128::from(read.contribution) << shift;
+                        } else {
+                            lane_hi += i128::from(read.contribution) << (shift - 64);
+                        }
+                    }
+                    WideInt::from(lane_lo) + WideInt::from(lane_hi).shl(64)
+                };
+                // AN check / correction (§IV-E), applied after reduction
+                // and before leading-one detection.
+                let checked = match &self.an {
+                    None => raw,
+                    Some(code) => match code.decode(&raw) {
+                        Ok(d) => {
+                            if d.correction.is_some() {
+                                result.an_corrections += 1;
+                            }
+                            d.value
+                        }
+                        Err(_) => {
+                            result.an_detections += 1;
+                            nearest_multiple(&raw, code.constant())
+                        }
+                    },
+                };
+                let partial = debias_partial(&checked, self.bias_bit, pop);
+                let term = partial.shl(k as u32);
+                if negative_weight {
+                    sums[r] -= &term;
+                } else {
+                    sums[r] += &term;
+                }
+                if opts.early_termination
+                    && k > 0
+                    && settled(
+                        &sums[r],
+                        remaining_bound_bit(k as u32 - 1, self.pm_bits),
+                        precision,
+                        opts.rounding,
+                    )
+                {
+                    done[r] = true;
+                    remaining -= 1;
+                }
+            }
+            if opts.early_termination && remaining == 0 {
+                break;
+            }
+        }
+
+        let out_exp = self.exp_base + x_aligned.exp_base();
+        for &r in &active_rows {
+            result.y[r] = sums[r].to_f64_with_exp(out_exp, opts.rounding);
+        }
+        Ok(result)
+    }
+}
+
+/// Bits a headstarted SAR conversion searches (mirrors the crossbar's
+/// per-read computation for the fast path).
+fn headstart_bits(max_possible: u64, resolution: u32) -> u32 {
+    let needed = 64 - max_possible.leading_zeros();
+    needed.clamp(1, resolution)
+}
+
+/// Rounds a word to the nearest multiple of `a` and divides — the
+/// best-effort fallback when the AN code detects an uncorrectable error.
+fn nearest_multiple(word: &WideInt, a: u64) -> WideInt {
+    let (q, r) = word.divrem_u64(a);
+    if r.unsigned_abs() * 2 > a {
+        if word.is_negative() {
+            q - WideInt::one()
+        } else {
+            q + WideInt::one()
+        }
+    } else {
+        q
+    }
+}
+
+#[derive(Debug)]
+enum ProgramError {
+    Align(AlignError),
+    CicBoundary { row: usize },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsci_numeric::FloatParts;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    /// Exact dot product oracle, rounded toward −∞ to 53 bits.
+    fn exact_dot_floor(pairs: &[(f64, f64)]) -> f64 {
+        let mut min_exp = i32::MAX;
+        let mut terms = Vec::new();
+        for &(a, x) in pairs {
+            let pa = FloatParts::decompose(a).unwrap();
+            let px = FloatParts::decompose(x).unwrap();
+            if pa.is_zero() || px.is_zero() {
+                continue;
+            }
+            terms.push((pa.signed_mantissa() * px.signed_mantissa(), pa.exponent + px.exponent));
+            min_exp = min_exp.min(pa.exponent + px.exponent);
+        }
+        let mut sum = WideInt::zero();
+        for (m, e) in terms {
+            sum += &m.shl((e - min_exp) as u32);
+        }
+        sum.to_f64_with_exp(min_exp, Rounding::TowardNegInf)
+    }
+
+    fn dense_block(n: usize, f: impl Fn(usize, usize) -> f64) -> Vec<(u16, u16, f64)> {
+        let mut out = Vec::new();
+        for r in 0..n {
+            for c in 0..n {
+                let v = f(r, c);
+                if v != 0.0 {
+                    out.push((r as u16, c as u16, v));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn mvm_matches_exact_floor_dot_products() {
+        let n = 16;
+        let entries = dense_block(n, |r, c| {
+            if (r + 2 * c) % 3 == 0 {
+                ((r * n + c) as f64 - 100.0) * 0.037
+            } else {
+                0.0
+            }
+        });
+        let spec = ClusterSpec { size: n, ..Default::default() };
+        let outcome = Cluster::program(spec, &entries, &mut rng()).unwrap();
+        assert!(outcome.evicted.is_empty());
+        let x: Vec<f64> = (0..n).map(|i| ((i as f64) - 7.5) * 0.21).collect();
+        let res = outcome.cluster.mvm(&x, &MvmOptions::default(), &mut rng()).unwrap();
+        for r in 0..n {
+            let pairs: Vec<(f64, f64)> = entries
+                .iter()
+                .filter(|e| e.0 as usize == r)
+                .map(|&(_, c, v)| (v, x[c as usize]))
+                .collect();
+            let want = exact_dot_floor(&pairs);
+            assert_eq!(res.y[r], want, "row {r}");
+        }
+        assert!(res.an_corrections == 0 && res.an_detections == 0);
+    }
+
+    #[test]
+    fn early_termination_preserves_results() {
+        let n = 16;
+        let entries = dense_block(n, |r, c| 1.0 + ((r * 31 + c * 17) % 97) as f64 * 0.125);
+        let spec = ClusterSpec { size: n, ..Default::default() };
+        let cluster = Cluster::program(spec, &entries, &mut rng()).unwrap().cluster;
+        // A vector with a ~36-binary-order dynamic range: plenty of
+        // slices below the point where every row's mantissa settles.
+        let x: Vec<f64> = (0..n)
+            .map(|i| (1.0 + i as f64 * 0.3) * (2.0f64).powi((i as i32 % 6) * 6 - 15))
+            .collect();
+        let with = cluster.mvm(&x, &MvmOptions::default(), &mut rng()).unwrap();
+        let without = cluster
+            .mvm(
+                &x,
+                &MvmOptions { early_termination: false, ..Default::default() },
+                &mut rng(),
+            )
+            .unwrap();
+        assert_eq!(with.y, without.y);
+        assert!(with.slices_used < without.slices_used);
+        assert!(with.energy < without.energy);
+        assert!(with.conversions < without.conversions);
+    }
+
+    #[test]
+    fn empty_rows_cost_nothing_and_yield_zero() {
+        let n = 8;
+        let entries = vec![(1u16, 0u16, 2.0), (1, 3, -1.5)];
+        let spec = ClusterSpec { size: n, ..Default::default() };
+        let cluster = Cluster::program(spec, &entries, &mut rng()).unwrap().cluster;
+        let x = vec![1.0; n];
+        let res = cluster.mvm(&x, &MvmOptions::default(), &mut rng()).unwrap();
+        assert_eq!(res.y[0], 0.0);
+        assert_eq!(res.y[1], 0.5);
+        assert!(res.y[2..].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn zero_vector_is_free() {
+        let n = 8;
+        let entries = vec![(0u16, 0u16, 1.0)];
+        let spec = ClusterSpec { size: n, ..Default::default() };
+        let cluster = Cluster::program(spec, &entries, &mut rng()).unwrap().cluster;
+        let res = cluster.mvm(&vec![0.0; n], &MvmOptions::default(), &mut rng()).unwrap();
+        assert_eq!(res.slices_used, 0);
+        assert_eq!(res.conversions, 0);
+        assert!(res.y.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn rtn_upsets_are_corrected_by_the_an_code() {
+        let n = 16;
+        let entries = dense_block(n, |r, c| ((r + c) % 5) as f64 - 2.0);
+        // Ideal programming is deterministic, so a clean and a noisy
+        // cluster built from the same seed hold identical patterns.
+        let clean_spec = ClusterSpec { size: n, ..Default::default() };
+        let clean = Cluster::program(clean_spec, &entries, &mut rng()).unwrap().cluster;
+        let noisy_spec = ClusterSpec { size: n, rtn_probability: 1e-4, ..Default::default() };
+        let noisy = Cluster::program(noisy_spec, &entries, &mut rng()).unwrap().cluster;
+        let x: Vec<f64> = (0..n).map(|i| 1.0 + i as f64 * 0.5).collect();
+        let reference = clean.mvm(&x, &MvmOptions::default(), &mut rng()).unwrap().y;
+        let mut r = rng();
+        let mut corrections = 0u64;
+        let mut clean_runs = 0u32;
+        let mut matching_runs = 0u32;
+        for _ in 0..20 {
+            let res = noisy.mvm(&x, &MvmOptions::default(), &mut r).unwrap();
+            corrections += res.an_corrections;
+            if res.an_detections == 0 {
+                clean_runs += 1;
+                if res.y == reference {
+                    matching_runs += 1;
+                }
+            }
+        }
+        assert!(corrections > 0, "expected some RTN upsets to be corrected");
+        // Single upsets are always corrected; only the rare multi-upset
+        // partial products (which usually raise a detection) can slip.
+        assert!(
+            matching_runs + 2 >= clean_runs,
+            "corrected runs should match the clean reference: {matching_runs}/{clean_runs}"
+        );
+        assert!(matching_runs > 0);
+    }
+
+    #[test]
+    fn disabling_an_lets_errors_through() {
+        let n = 16;
+        let entries = dense_block(n, |r, c| ((r * c) % 7) as f64 + 1.0);
+        let x: Vec<f64> = (0..n).map(|i| (i + 1) as f64).collect();
+        let clean = {
+            let spec = ClusterSpec { size: n, ..Default::default() };
+            let cluster = Cluster::program(spec, &entries, &mut rng()).unwrap().cluster;
+            cluster.mvm(&x, &MvmOptions::default(), &mut rng()).unwrap().y
+        };
+        let spec =
+            ClusterSpec { size: n, an_enabled: false, rtn_probability: 0.05, ..Default::default() };
+        let cluster = Cluster::program(spec, &entries, &mut rng()).unwrap().cluster;
+        let mut r = rng();
+        let mut diverged = false;
+        for _ in 0..10 {
+            let res = cluster.mvm(&x, &MvmOptions::default(), &mut r).unwrap();
+            diverged |= res.y != clean;
+        }
+        assert!(diverged, "uncoded cluster should show RTN errors");
+    }
+
+    #[test]
+    fn wide_exponent_vectors_terminate_early() {
+        // A vector spanning ~180 binary orders of magnitude: naive
+        // fixed-point would need ~240 slices, early termination needs
+        // far fewer.
+        let n = 8;
+        let entries = dense_block(n, |_, _| 1.5);
+        let spec = ClusterSpec { size: n, ..Default::default() };
+        let cluster = Cluster::program(spec, &entries, &mut rng()).unwrap().cluster;
+        let x: Vec<f64> = (0..n).map(|i| (2.0f64).powi(-(i as i32) * 25)).collect();
+        let res = cluster.mvm(&x, &MvmOptions::default(), &mut rng()).unwrap();
+        assert!(res.slices_total > 200, "total {}", res.slices_total);
+        assert!(res.slices_used < 120, "used {}", res.slices_used);
+        // Results still match the exact oracle.
+        for r in 0..n {
+            let pairs: Vec<(f64, f64)> = x.iter().map(|&xi| (1.5, xi)).collect();
+            assert_eq!(res.y[r], exact_dot_floor(&pairs), "row {r}");
+        }
+    }
+
+    #[test]
+    fn rounding_modes_bracket_floor_results() {
+        let n = 8;
+        let entries = dense_block(n, |r, c| ((r * 13 + c * 7) % 11) as f64 * 0.3 - 1.0);
+        let spec = ClusterSpec { size: n, ..Default::default() };
+        let cluster = Cluster::program(spec, &entries, &mut rng()).unwrap().cluster;
+        let x: Vec<f64> = (0..n).map(|i| 0.1 + i as f64 * 0.7).collect();
+        let down = cluster.mvm(&x, &MvmOptions::default(), &mut rng()).unwrap();
+        let up = cluster
+            .mvm(
+                &x,
+                &MvmOptions { rounding: Rounding::TowardPosInf, ..Default::default() },
+                &mut rng(),
+            )
+            .unwrap();
+        let near = cluster
+            .mvm(
+                &x,
+                &MvmOptions { rounding: Rounding::NearestEven, ..Default::default() },
+                &mut rng(),
+            )
+            .unwrap();
+        for r in 0..n {
+            assert!(down.y[r] <= up.y[r], "row {r}");
+            assert!(down.y[r] <= near.y[r] && near.y[r] <= up.y[r], "row {r}");
+        }
+    }
+
+    #[test]
+    fn eviction_handles_cic_boundary() {
+        // Construct a block whose bias plane forces a boundary: with one
+        // row holding exactly n/2 present entries whose top stored bit
+        // is 1 and the other half absent with const 0 at that plane.
+        // Easier: randomized stress — program many random sparse blocks
+        // and check the invariant that programming always succeeds with
+        // evictions reported.
+        let mut r = rng();
+        use rand::Rng as _;
+        for trial in 0..20 {
+            let n = 8;
+            let mut entries = Vec::new();
+            for row in 0..n {
+                for col in 0..n {
+                    if r.gen::<f64>() < 0.5 {
+                        entries.push((row as u16, col as u16, r.gen_range(-4.0..4.0)));
+                    }
+                }
+            }
+            let spec = ClusterSpec { size: n, ..Default::default() };
+            let outcome = Cluster::program(spec, &entries, &mut r).unwrap();
+            let total = outcome.cluster.row_nnz().iter().map(|&v| v as usize).sum::<usize>()
+                + outcome.evicted.len();
+            assert_eq!(total, entries.len(), "trial {trial}: entries conserved");
+        }
+    }
+
+    #[test]
+    fn stored_bits_fit_the_cluster() {
+        let n = 16;
+        // Values spanning the full 64-bit pad range.
+        let entries = dense_block(n, |r, c| {
+            (1.0 + (r as f64) * 0.01) * (2.0f64).powi(((r * n + c) % 64) as i32)
+        });
+        let spec = ClusterSpec { size: n, ..Default::default() };
+        let cluster = Cluster::program(spec, &entries, &mut rng()).unwrap().cluster;
+        assert!(cluster.stored_bits() <= 127, "stored bits {}", cluster.stored_bits());
+        assert!(cluster.crossbar_count() <= 127);
+    }
+
+    #[test]
+    fn write_costs_scale_with_content() {
+        let n = 16;
+        let sparse = vec![(0u16, 0u16, 1.0)];
+        let dense = dense_block(n, |r, c| 1.0 + ((r * 5 + c * 3) % 9) as f64 * 0.37);
+        let spec = ClusterSpec { size: n, ..Default::default() };
+        let c1 = Cluster::program(spec, &sparse, &mut rng()).unwrap().cluster;
+        let c2 = Cluster::program(spec, &dense, &mut rng()).unwrap().cluster;
+        assert!(c2.write_energy() > c1.write_energy());
+        assert_eq!(c1.write_time(), c2.write_time()); // row-parallel writes
+    }
+
+    #[test]
+    fn cic_stores_uniform_dense_blocks_cheaply() {
+        // A block where every coefficient is identical produces all-ones
+        // or all-zeros bit planes; CIC inverts the dense planes, so the
+        // stored pattern is almost empty.
+        let n = 16;
+        let uniform = dense_block(n, |_, _| 1.0);
+        let spec = ClusterSpec { size: n, ..Default::default() };
+        let c = Cluster::program(spec, &uniform, &mut rng()).unwrap().cluster;
+        let varied = dense_block(n, |r, c| 1.0 + ((r * 5 + c * 3) % 9) as f64 * 0.37);
+        let cv = Cluster::program(spec, &varied, &mut rng()).unwrap().cluster;
+        assert!(c.write_energy() < cv.write_energy());
+    }
+}
+
+#[cfg(test)]
+mod fast_path_tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// The exact fast path and the analog per-group path must agree bit
+    /// for bit (and in their cost accounting) when devices are ideal.
+    /// An RTN probability too small to ever fire forces the slow path
+    /// on an otherwise identical cluster.
+    #[test]
+    fn fast_path_matches_analog_path_exactly() {
+        let n = 16;
+        let mut entries = Vec::new();
+        for r in 0..n {
+            for c in 0..n {
+                if (r * 7 + c * 3) % 4 != 0 {
+                    entries.push((
+                        r as u16,
+                        c as u16,
+                        ((r * 13 + c * 5) % 19) as f64 * 0.31 - 2.0,
+                    ));
+                }
+            }
+        }
+        let fast_spec = ClusterSpec { size: n, ..Default::default() };
+        let slow_spec = ClusterSpec { size: n, rtn_probability: 1e-300, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(5);
+        let fast = Cluster::program(fast_spec, &entries, &mut rng).unwrap().cluster;
+        let mut rng = StdRng::seed_from_u64(5);
+        let slow = Cluster::program(slow_spec, &entries, &mut rng).unwrap().cluster;
+        let x: Vec<f64> = (0..n)
+            .map(|i| (0.4 + i as f64 * 0.17) * (2.0f64).powi((i as i32 % 5) * 3 - 6))
+            .collect();
+        let rf = fast.mvm(&x, &MvmOptions::default(), &mut rng).unwrap();
+        let rs = slow.mvm(&x, &MvmOptions::default(), &mut rng).unwrap();
+        assert_eq!(rf.y, rs.y);
+        assert_eq!(rf.conversions, rs.conversions);
+        assert_eq!(rf.slices_used, rs.slices_used);
+        assert!((rf.energy - rs.energy).abs() < 1e-18 * rs.energy.max(1e-30));
+    }
+}

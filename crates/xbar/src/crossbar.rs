@@ -1,0 +1,461 @@
+//! A single bit-group crossbar with computational invert coding.
+//!
+//! Each crossbar of a cluster stores one bit group (one bit per cell by
+//! default) of every AN-encoded, biased operand in the block. The
+//! crossbar's *rows* are the input lines driven by vector bit slices and
+//! its *columns* accumulate currents for one matrix row each (the
+//! memory-systems convention of the paper's footnote 1).
+//!
+//! Sparse blocks are stored sparsely: every column keeps the list of
+//! cells whose *stored* level is non-zero, plus a constant level shared
+//! by all absent (zero-coefficient) cells — absent coefficients still
+//! carry the block bias, so their encoded pattern is the same constant
+//! in every column. Computational invert coding (§V-B2) complements
+//! columns whose level sum exceeds half the maximum, statically
+//! guaranteeing the reduced ADC resolution.
+
+use memsci_numeric::WideInt;
+use rand::Rng;
+
+use crate::device::{standard_normal, CellSpec};
+
+/// Error returned when a column's level sum sits exactly on the CIC
+/// boundary `(levels-1)·n/2`, which would require one extra ADC bit; the
+/// cluster reacts by evicting an element from the offending matrix row
+/// (§V-B2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CicBoundaryError {
+    /// The output column (block-local matrix row) on the boundary.
+    pub column: usize,
+}
+
+impl core::fmt::Display for CicBoundaryError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "column {} sits on the CIC resolution boundary", self.column)
+    }
+}
+
+impl std::error::Error for CicBoundaryError {}
+
+/// One stored cell with a persistent programming error.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct StoredCell {
+    input: u32,
+    level: u8,
+    eps: f32,
+}
+
+/// One output column of the crossbar.
+#[derive(Debug, Clone, PartialEq)]
+struct Column {
+    inverted: bool,
+    /// Stored level shared by every absent (zero-coefficient) cell.
+    const_level: u8,
+    /// Number of present (explicit) cells in this column's matrix row.
+    present: u32,
+    /// Explicit cells with non-zero stored level, sorted by input.
+    cells: Vec<StoredCell>,
+    /// Present-cell inputs with stored level zero do not appear in
+    /// `cells`; their count is needed to attribute the constant level to
+    /// absent cells only.
+    present_zero_inputs: Vec<u32>,
+    /// Total stored level sum across all `n` cells (for ADC headstart).
+    level_sum: u64,
+}
+
+/// Result of reading one column.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ColumnRead {
+    /// The ADC count (after clamping to the ADC range).
+    pub measured: u32,
+    /// The de-inverted contribution `Σ level·x` this column represents.
+    pub contribution: i64,
+    /// SAR bits the headstarted conversion searched.
+    pub searched_bits: u32,
+}
+
+/// A crossbar storing one bit group of a block's operands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Crossbar {
+    n: usize,
+    bits_per_cell: u32,
+    adc_resolution: u32,
+    columns: Vec<Column>,
+}
+
+impl Crossbar {
+    /// Programs a crossbar from per-column raw levels.
+    ///
+    /// `present[r]` lists the `(input, level)` pairs of matrix row `r`'s
+    /// explicit entries (levels may be zero), and `const_level` is the
+    /// stored level of every absent cell (the bit group of the encoded
+    /// bias constant). Programming errors are sampled per explicit cell
+    /// from `cell`; `adc_resolution` clamps reads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CicBoundaryError`] if a column lands exactly on the CIC
+    /// boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any level is outside `0..2^bits_per_cell` or any input
+    /// index is out of range.
+    pub fn program<R: Rng + ?Sized>(
+        n: usize,
+        bits_per_cell: u32,
+        adc_resolution: u32,
+        present: &[Vec<(u32, u8)>],
+        const_level: u8,
+        cell: &CellSpec,
+        rng: &mut R,
+    ) -> Result<Self, CicBoundaryError> {
+        let lmax = (1u16 << bits_per_cell) - 1;
+        assert!(u16::from(const_level) <= lmax, "const level out of range");
+        let boundary = u64::from(lmax) * n as u64 / 2;
+        let mut columns = Vec::with_capacity(present.len());
+        for (r, entries) in present.iter().enumerate() {
+            let mut raw_sum = 0u64;
+            for &(input, level) in entries {
+                assert!((input as usize) < n, "input index out of range");
+                assert!(u16::from(level) <= lmax, "level out of range");
+                raw_sum += u64::from(level);
+            }
+            let absent = n as u64 - entries.len() as u64;
+            raw_sum += absent * u64::from(const_level);
+            if raw_sum == boundary {
+                return Err(CicBoundaryError { column: r });
+            }
+            let inverted = raw_sum > boundary;
+            let stored = |l: u8| if inverted { lmax as u8 - l } else { l };
+            let stored_const = stored(const_level);
+            let mut cells = Vec::new();
+            let mut present_zero_inputs = Vec::new();
+            for &(input, level) in entries {
+                let s = stored(level);
+                if s > 0 {
+                    cells.push(StoredCell {
+                        input,
+                        level: s,
+                        eps: cell.sample_programming_error(rng) as f32,
+                    });
+                } else {
+                    present_zero_inputs.push(input);
+                }
+            }
+            let level_sum = if inverted {
+                u64::from(lmax) * n as u64 - raw_sum
+            } else {
+                raw_sum
+            };
+            columns.push(Column {
+                inverted,
+                const_level: stored_const,
+                present: entries.len() as u32,
+                cells,
+                present_zero_inputs,
+                level_sum,
+            });
+        }
+        Ok(Crossbar { n, bits_per_cell, adc_resolution, columns })
+    }
+
+    /// Crossbar dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of output columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Total stored level across the crossbar (proxy for set cells, used
+    /// by the write-energy model).
+    pub fn stored_level_sum(&self) -> u64 {
+        self.columns.iter().map(|c| c.level_sum).sum()
+    }
+
+    /// Stored level sum of one column (drives the ADC-headstart model).
+    pub fn column_level_sum(&self, r: usize) -> u64 {
+        self.columns[r].level_sum
+    }
+
+    /// Whether column `r` is stored inverted.
+    pub fn column_inverted(&self, r: usize) -> bool {
+        self.columns[r].inverted
+    }
+
+    /// Reads column `r` against the active input lines (a bitmask of
+    /// `ceil(n/64)` words with `active_count` ones).
+    ///
+    /// The analog sum includes persistent per-cell programming errors,
+    /// off-state leakage from every active line, and an optional RTN
+    /// upset with probability `rtn_probability` (±1 count); the ADC
+    /// rounds to the nearest count and clamps to its resolution.
+    pub fn read_column<R: Rng + ?Sized>(
+        &self,
+        r: usize,
+        active: &[u64],
+        active_count: u32,
+        cell: &CellSpec,
+        rtn_probability: f64,
+        rng: &mut R,
+    ) -> ColumnRead {
+        let col = &self.columns[r];
+        let lmax = u64::from(cell.max_level());
+        let mut ideal = 0u64;
+        let mut noise = 0.0f64;
+        let noisy = cell.programming_sigma > 0.0;
+        let mut present_active = 0u32;
+        for c in &col.cells {
+            if active[c.input as usize / 64] >> (c.input % 64) & 1 == 1 {
+                ideal += u64::from(c.level);
+                present_active += 1;
+                if noisy {
+                    noise += f64::from(c.level) * f64::from(c.eps);
+                }
+            }
+        }
+        for &input in &col.present_zero_inputs {
+            if active[input as usize / 64] >> (input % 64) & 1 == 1 {
+                present_active += 1;
+            }
+        }
+        let absent_active = active_count.saturating_sub(present_active);
+        if col.const_level > 0 && absent_active > 0 {
+            ideal += u64::from(col.const_level) * u64::from(absent_active);
+            if noisy {
+                // Absent cells only carry the bias pattern; their i.i.d.
+                // programming errors are aggregated statistically.
+                noise += f64::from(col.const_level)
+                    * cell.programming_sigma
+                    * f64::from(absent_active).sqrt()
+                    * standard_normal(rng);
+            }
+        }
+        let leak = cell.leak_per_active_row() * f64::from(active_count);
+        let mut analog = ideal as f64 + noise + leak;
+        if rtn_probability > 0.0 && rng.gen::<f64>() < rtn_probability {
+            analog += if rng.gen() { 1.0 } else { -1.0 };
+        }
+        let adc_max = (1u64 << self.adc_resolution) - 1;
+        let measured = (analog.round().max(0.0) as u64).min(adc_max) as u32;
+        let contribution = if col.inverted {
+            lmax as i64 * i64::from(active_count) - i64::from(measured)
+        } else {
+            i64::from(measured)
+        };
+        let max_possible = col.level_sum.min(lmax * u64::from(active_count));
+        let searched_bits = headstart_bits(max_possible, self.adc_resolution);
+        ColumnRead { measured, contribution, searched_bits }
+    }
+
+    /// Exact (noise-free, infinite-resolution) contribution of column
+    /// `r` — a test oracle bypassing the analog path.
+    pub fn ideal_contribution(&self, r: usize, active: &[u64], active_count: u32) -> i64 {
+        let col = &self.columns[r];
+        let mut sum = 0i64;
+        let mut present_active = 0u32;
+        for c in &col.cells {
+            if active[c.input as usize / 64] >> (c.input % 64) & 1 == 1 {
+                sum += i64::from(c.level);
+                present_active += 1;
+            }
+        }
+        for &input in &col.present_zero_inputs {
+            if active[input as usize / 64] >> (input % 64) & 1 == 1 {
+                present_active += 1;
+            }
+        }
+        let absent_active = active_count.saturating_sub(present_active);
+        sum += i64::from(col.const_level) * i64::from(absent_active);
+        if col.inverted {
+            let lmax = i64::from((1u32 << self.bits_per_cell) - 1);
+            lmax * i64::from(active_count) - sum
+        } else {
+            sum
+        }
+    }
+}
+
+fn headstart_bits(max_possible: u64, resolution: u32) -> u32 {
+    let needed = 64 - max_possible.leading_zeros();
+    needed.clamp(1, resolution)
+}
+
+/// Splits an encoded operand into base-`2^bits_per_cell` levels, least
+/// significant group first.
+pub fn operand_levels(value: &WideInt, bits_per_cell: u32, groups: usize) -> Vec<u8> {
+    assert!(!value.is_negative(), "operands are biased non-negative");
+    let mut out = Vec::with_capacity(groups);
+    for g in 0..groups {
+        let mut level = 0u8;
+        for b in 0..bits_per_cell {
+            let bit = g as u32 * bits_per_cell + b;
+            if value.bit(bit as usize) {
+                level |= 1 << b;
+            }
+        }
+        out.push(level);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    fn all_active(n: usize) -> (Vec<u64>, u32) {
+        let mut words = vec![0u64; n.div_ceil(64)];
+        for i in 0..n {
+            words[i / 64] |= 1 << (i % 64);
+        }
+        (words, n as u32)
+    }
+
+    #[test]
+    fn ideal_count_matches_pattern() {
+        // 8 inputs, column 0 has ones at inputs 1, 3, 5 (const 0).
+        let present = vec![vec![(1u32, 1u8), (3, 1), (5, 1)]];
+        let xb = Crossbar::program(8, 1, 3, &present, 0, &CellSpec::default(), &mut rng())
+            .unwrap();
+        let (active, count) = all_active(8);
+        let read = xb.read_column(0, &active, count, &CellSpec::default(), 0.0, &mut rng());
+        assert_eq!(read.contribution, 3);
+        assert_eq!(read.measured, 3);
+        // Partial activation: only inputs 0..4.
+        let words = vec![0b1111u64];
+        let read = xb.read_column(0, &words, 4, &CellSpec::default(), 0.0, &mut rng());
+        assert_eq!(read.contribution, 2); // inputs 1 and 3
+    }
+
+    #[test]
+    fn cic_inverts_dense_columns() {
+        // All 8 cells set: sum 8 > 4 -> inverted, stored zeros.
+        let present = vec![(0..8).map(|i| (i, 1u8)).collect::<Vec<_>>()];
+        let xb = Crossbar::program(8, 1, 3, &present, 0, &CellSpec::default(), &mut rng())
+            .unwrap();
+        assert!(xb.column_inverted(0));
+        let (active, count) = all_active(8);
+        let read = xb.read_column(0, &active, count, &CellSpec::default(), 0.0, &mut rng());
+        assert_eq!(read.measured, 0); // inverted pattern stores nothing
+        assert_eq!(read.contribution, 8); // de-inverted
+    }
+
+    #[test]
+    fn cic_boundary_is_an_error() {
+        // Exactly n/2 ones triggers the boundary condition.
+        let present = vec![(0..4).map(|i| (i, 1u8)).collect::<Vec<_>>()];
+        let err =
+            Crossbar::program(8, 1, 3, &present, 0, &CellSpec::default(), &mut rng()).unwrap_err();
+        assert_eq!(err.column, 0);
+        assert!(err.to_string().contains("boundary"));
+    }
+
+    #[test]
+    fn constant_plane_counts_absent_cells() {
+        // One present cell (level 0) and const level 1 for the 7 absent:
+        // raw sum 7 > 4 -> inverted.
+        let present = vec![vec![(2u32, 0u8)]];
+        let xb = Crossbar::program(8, 1, 3, &present, 1, &CellSpec::default(), &mut rng())
+            .unwrap();
+        assert!(xb.column_inverted(0));
+        let (active, count) = all_active(8);
+        let read = xb.read_column(0, &active, count, &CellSpec::default(), 0.0, &mut rng());
+        assert_eq!(read.contribution, 7);
+        // Activating only the present (zero-level) input yields 0.
+        let words = vec![0b100u64];
+        let read = xb.read_column(0, &words, 1, &CellSpec::default(), 0.0, &mut rng());
+        assert_eq!(read.contribution, 0);
+    }
+
+    #[test]
+    fn multibit_levels() {
+        let present = vec![vec![(0u32, 3u8), (1, 2)]];
+        let xb = Crossbar::program(8, 2, 5, &present, 0, &CellSpec::default(), &mut rng())
+            .unwrap();
+        let (active, count) = all_active(8);
+        let read = xb.read_column(0, &active, count, &CellSpec::default(), 0.0, &mut rng());
+        assert_eq!(read.contribution, 5);
+    }
+
+    #[test]
+    fn leakage_flips_counts_at_low_dynamic_range() {
+        // 512 active rows with DR 100: leak = 512/99 > 5 counts.
+        let n = 512;
+        let present = vec![vec![(0u32, 1u8)]];
+        let cell = CellSpec::default().with_dynamic_range(100.0);
+        let xb = Crossbar::program(n, 1, 8, &present, 0, &cell, &mut rng()).unwrap();
+        let (active, count) = all_active(n);
+        let read = xb.read_column(0, &active, count, &cell, 0.0, &mut rng());
+        assert!(read.measured > 1, "leak should inflate the count: {}", read.measured);
+        // At the Table I dynamic range the same read is exact.
+        let cell = CellSpec::default();
+        let xb = Crossbar::program(n, 1, 8, &present, 0, &cell, &mut rng()).unwrap();
+        let read = xb.read_column(0, &active, count, &cell, 0.0, &mut rng());
+        assert_eq!(read.measured, 1);
+    }
+
+    #[test]
+    fn ideal_contribution_matches_noiseless_read() {
+        let present = vec![
+            vec![(0u32, 1u8), (5, 1), (9, 1)],
+            (0..12).map(|i| (i, 1u8)).collect::<Vec<_>>(),
+        ];
+        let xb = Crossbar::program(16, 1, 4, &present, 0, &CellSpec::default(), &mut rng())
+            .unwrap();
+        let words = vec![0b1010_1010_1010_1010u64];
+        for r in 0..2 {
+            let read = xb.read_column(r, &words, 8, &CellSpec::default(), 0.0, &mut rng());
+            assert_eq!(read.contribution, xb.ideal_contribution(r, &words, 8));
+        }
+    }
+
+    #[test]
+    fn headstart_reflects_column_content() {
+        // A nearly-empty column needs to search far fewer bits.
+        let present = vec![vec![(0u32, 1u8)], (0..200).map(|i| (i, 1u8)).collect::<Vec<_>>()];
+        let xb = Crossbar::program(512, 1, 8, &present, 0, &CellSpec::default(), &mut rng())
+            .unwrap();
+        let (active, count) = all_active(512);
+        let sparse = xb.read_column(0, &active, count, &CellSpec::default(), 0.0, &mut rng());
+        let dense = xb.read_column(1, &active, count, &CellSpec::default(), 0.0, &mut rng());
+        assert!(sparse.searched_bits < dense.searched_bits);
+        assert_eq!(sparse.searched_bits, 1);
+    }
+
+    #[test]
+    fn operand_levels_roundtrip() {
+        let v = WideInt::from(0b1101_0110u64);
+        let levels = operand_levels(&v, 2, 4);
+        assert_eq!(levels, vec![0b10, 0b01, 0b01, 0b11]);
+        let levels = operand_levels(&v, 1, 8);
+        assert_eq!(levels, vec![0, 1, 1, 0, 1, 0, 1, 1]);
+    }
+
+    #[test]
+    fn rtn_errors_occur_at_configured_rate() {
+        let present = vec![vec![(0u32, 1u8), (1, 1)]];
+        let cell = CellSpec::default();
+        let xb = Crossbar::program(64, 1, 5, &present, 0, &cell, &mut rng()).unwrap();
+        let (active, count) = all_active(64);
+        let mut r = rng();
+        let mut upsets = 0;
+        let trials = 2000;
+        for _ in 0..trials {
+            let read = xb.read_column(0, &active, count, &cell, 0.5, &mut r);
+            if read.measured != 2 {
+                upsets += 1;
+            }
+        }
+        let rate = f64::from(upsets) / f64::from(trials as u32);
+        assert!((0.4..0.6).contains(&rate), "rate {rate}");
+    }
+}

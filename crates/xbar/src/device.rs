@@ -1,0 +1,172 @@
+//! Memristor cell model (Table I, §VII-A).
+//!
+//! Cells are TaOx devices modelled as resistors during computation.
+//! Multi-level cells map level `l ∈ 0..2^bits` to a conductance
+//! `g_off + l·Δ` with `Δ = (g_on - g_off)/(2^bits - 1)`; in ADC-count
+//! units this contributes `l` plus two non-idealities:
+//!
+//! * **off-state leakage** — every active row adds
+//!   `(2^bits - 1)/(R_off/R_on - 1)` counts regardless of its level,
+//!   the §IV-E concern that motivates capping blocks at 512×512 for a
+//!   dynamic range of 1.5×10³;
+//! * **programming error** — each cell's conductance is off by a
+//!   persistent relative factor `ε ~ N(0, σ)` fixed when the cell is
+//!   programmed (§VIII-G sweeps σ from 0 to 5%).
+
+use rand::Rng;
+
+/// Physical and programming parameters of one memristor cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellSpec {
+    /// On-state resistance in ohms (Table I: 2 kΩ).
+    pub r_on: f64,
+    /// Off-state resistance in ohms (Table I: 3 MΩ).
+    pub r_off: f64,
+    /// Bits stored per cell (the paper uses 1 for robustness; Figures
+    /// 12–13 sweep 2).
+    pub bits_per_cell: u32,
+    /// Relative programming error σ (0.0 = ideal).
+    pub programming_sigma: f64,
+    /// Read voltage in volts (Table I: 0.2 V).
+    pub v_read: f64,
+    /// Energy to write one cell, in joules (Table I: 3.91 nJ).
+    pub e_write: f64,
+    /// Time to write one cell row, in seconds (Table I: 50.88 ns).
+    pub t_write: f64,
+}
+
+impl Default for CellSpec {
+    /// The Table I TaOx cell: 1-bit, ideal programming.
+    fn default() -> Self {
+        CellSpec {
+            r_on: 2.0e3,
+            r_off: 3.0e6,
+            bits_per_cell: 1,
+            programming_sigma: 0.0,
+            v_read: 0.2,
+            e_write: 3.91e-9,
+            t_write: 50.88e-9,
+        }
+    }
+}
+
+impl CellSpec {
+    /// Dynamic range `R_off / R_on` (Table I default: 1500).
+    pub fn dynamic_range(&self) -> f64 {
+        self.r_off / self.r_on
+    }
+
+    /// Returns a copy with the dynamic range set by scaling `R_off`
+    /// (used by the Figure 12 sweep).
+    pub fn with_dynamic_range(mut self, ratio: f64) -> Self {
+        assert!(ratio > 1.0, "dynamic range must exceed 1");
+        self.r_off = self.r_on * ratio;
+        self
+    }
+
+    /// Returns a copy with the given bits per cell.
+    pub fn with_bits_per_cell(mut self, bits: u32) -> Self {
+        assert!((1..=4).contains(&bits), "1..=4 bits per cell supported");
+        self.bits_per_cell = bits;
+        self
+    }
+
+    /// Returns a copy with the given relative programming error σ.
+    pub fn with_programming_sigma(mut self, sigma: f64) -> Self {
+        assert!((0.0..1.0).contains(&sigma), "sigma must be in [0, 1)");
+        self.programming_sigma = sigma;
+        self
+    }
+
+    /// Number of conductance levels (`2^bits_per_cell`).
+    pub fn levels(&self) -> u32 {
+        1 << self.bits_per_cell
+    }
+
+    /// Maximum level value (`2^bits_per_cell - 1`).
+    pub fn max_level(&self) -> u32 {
+        self.levels() - 1
+    }
+
+    /// Leakage per active row in ADC-count units:
+    /// `(levels - 1) / (dynamic_range - 1)`.
+    pub fn leak_per_active_row(&self) -> f64 {
+        f64::from(self.max_level()) / (self.dynamic_range() - 1.0)
+    }
+
+    /// Samples a persistent programming error for one cell.
+    pub fn sample_programming_error<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.programming_sigma == 0.0 {
+            0.0
+        } else {
+            self.programming_sigma * standard_normal(rng)
+        }
+    }
+}
+
+/// Samples a standard normal deviate via Box–Muller (keeps the crate on
+/// `rand` alone, without `rand_distr`).
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        if u1 > f64::MIN_POSITIVE {
+            let u2: f64 = rng.gen();
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn default_matches_table1() {
+        let c = CellSpec::default();
+        assert_eq!(c.r_on, 2.0e3);
+        assert_eq!(c.r_off, 3.0e6);
+        assert_eq!(c.dynamic_range(), 1500.0);
+        assert_eq!(c.bits_per_cell, 1);
+        assert_eq!(c.levels(), 2);
+    }
+
+    #[test]
+    fn leak_is_small_for_single_bit_cells() {
+        // The §IV-E design point: 512 active rows at DR 1500 leak less
+        // than half an LSB.
+        let c = CellSpec::default();
+        assert!(512.0 * c.leak_per_active_row() < 0.5);
+        // At DR 750 it crosses the threshold only for the biggest arrays.
+        let weak = c.with_dynamic_range(750.0);
+        assert!(512.0 * weak.leak_per_active_row() > 0.5);
+    }
+
+    #[test]
+    fn two_bit_cells_leak_three_times_more() {
+        let c1 = CellSpec::default();
+        let c2 = c1.with_bits_per_cell(2);
+        let ratio = c2.leak_per_active_row() / c1.leak_per_active_row();
+        assert!((ratio - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn programming_error_statistics() {
+        let c = CellSpec::default().with_programming_sigma(0.05);
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| c.sample_programming_error(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.002, "mean {mean}");
+        assert!((var.sqrt() - 0.05).abs() < 0.005, "sigma {}", var.sqrt());
+    }
+
+    #[test]
+    fn ideal_cells_have_zero_error() {
+        let c = CellSpec::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(c.sample_programming_error(&mut rng), 0.0);
+    }
+}

@@ -1,0 +1,55 @@
+//! Memristive crossbar cluster simulator.
+//!
+//! This crate models the analog compute substrate of *Enabling
+//! Scientific Computing on Memristive Accelerators* (ISCA 2018):
+//!
+//! * [`device`] — TaOx memristor cells with dynamic range, multi-level
+//!   storage, and persistent programming error (Table I, §VII-A);
+//! * [`adc`] — the pipelined SAR ADC with CIC-reduced resolution and
+//!   the headstart optimization (§V-B2);
+//! * [`crossbar`] — one bit-group crossbar with computational invert
+//!   coding, leakage, and RTN upsets;
+//! * [`cluster`] — the full cluster of Figure 3: programming
+//!   (align → bias → AN-encode → bit-slice), MVM with MSB-first slice
+//!   application, AN-checked reduction, and per-row early termination;
+//! * [`schedule`] — vertical/diagonal/hybrid activation schedules
+//!   (Figure 6);
+//! * [`cost`] — analytic latency/energy/area models calibrated to
+//!   Table III.
+//!
+//! # Examples
+//!
+//! ```
+//! use memsci_xbar::cluster::{Cluster, ClusterSpec, MvmOptions};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let entries = vec![(0u16, 0u16, 2.0), (0, 1, -0.5), (1, 1, 4.0)];
+//! let spec = ClusterSpec::with_size(64);
+//! let cluster = Cluster::program(spec, &entries, &mut rng)?.cluster;
+//! let mut x = vec![0.0; 64];
+//! x[0] = 1.0;
+//! x[1] = 2.0;
+//! let result = cluster.mvm(&x, &MvmOptions::default(), &mut rng)?;
+//! assert_eq!(result.y[0], 1.0); // 2·1 − 0.5·2
+//! assert_eq!(result.y[1], 8.0);
+//! # Ok::<(), memsci_numeric::align::AlignError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod adc;
+pub mod cluster;
+pub mod cost;
+pub mod crossbar;
+pub mod device;
+pub mod schedule;
+
+pub use adc::AdcSpec;
+pub use cluster::{Cluster, ClusterSpec, MvmOptions, MvmResult, ProgramOutcome};
+pub use cost::{CostModel, WriteModel};
+pub use crossbar::Crossbar;
+pub use device::CellSpec;
+pub use schedule::{plan, Plan, Policy};

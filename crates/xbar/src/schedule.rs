@@ -1,0 +1,246 @@
+//! Static scheduling of crossbar activations (§IV-B, Figure 6).
+//!
+//! A partial product between matrix bit slice `j` and vector bit slice
+//! `k` has significance `j + k`. Once early termination establishes that
+//! only partial products with significance at least some cutoff are
+//! needed, the remaining activations can be grouped in different orders:
+//!
+//! * **vertical** — one vector slice at a time across all matrix slices:
+//!   minimum latency, maximum activations;
+//! * **diagonal** — group by significance: minimum activations, extra
+//!   latency;
+//! * **hybrid** — vertical within chunks of vector slices, diagonal
+//!   across chunks: the evaluation's compromise.
+//!
+//! The simulation engines compute numerics in vertical order (which is
+//! what the exactness proofs cover); these plans model the energy/latency
+//! trade-off of the alternatives, reproducing the Figure 6 example.
+
+/// An activation-scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Policy {
+    /// All matrix slices per vector slice (Figure 6 left).
+    Vertical,
+    /// Group activations by significance `j + k` (Figure 6 middle).
+    Diagonal,
+    /// Vertical within chunks of `chunk` vector slices (Figure 6 right
+    /// uses `chunk = 2`).
+    Hybrid {
+        /// Vector slices per chunk.
+        chunk: usize,
+    },
+}
+
+/// A concrete activation schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Plan {
+    /// Per time step, the `(matrix_slice, vector_slice)` activations
+    /// performed simultaneously.
+    pub steps: Vec<Vec<(usize, usize)>>,
+}
+
+impl Plan {
+    /// Total crossbar activations (correlates with energy).
+    pub fn activations(&self) -> usize {
+        self.steps.iter().map(Vec::len).sum()
+    }
+
+    /// Number of time steps (correlates with latency).
+    pub fn time_steps(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Checks that every required pair (`j + k >= cutoff`) is activated
+    /// exactly once and nothing below the cutoff group's guarantee is
+    /// missed.
+    pub fn covers_required(&self, matrix_slices: usize, vector_slices: usize, cutoff: i64) -> bool {
+        let mut seen = vec![false; matrix_slices * vector_slices];
+        for step in &self.steps {
+            for &(j, k) in step {
+                if j >= matrix_slices || k >= vector_slices {
+                    return false;
+                }
+                let idx = j * vector_slices + k;
+                if seen[idx] {
+                    return false; // duplicate activation
+                }
+                seen[idx] = true;
+            }
+        }
+        for j in 0..matrix_slices {
+            for k in 0..vector_slices {
+                if (j + k) as i64 >= cutoff && !seen[j * vector_slices + k] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Builds the activation schedule for `matrix_slices × vector_slices`
+/// bit-slice pairs where only significances `j + k >= cutoff` must be
+/// computed.
+///
+/// # Panics
+///
+/// Panics if a hybrid chunk size of zero is requested.
+///
+/// # Examples
+///
+/// The Figure 6 example — 4×4 slices, cutoff 2:
+///
+/// ```
+/// use memsci_xbar::schedule::{plan, Policy};
+///
+/// let vertical = plan(Policy::Vertical, 4, 4, 2);
+/// assert_eq!((vertical.activations(), vertical.time_steps()), (16, 4));
+/// let diagonal = plan(Policy::Diagonal, 4, 4, 2);
+/// assert_eq!((diagonal.activations(), diagonal.time_steps()), (13, 5));
+/// let hybrid = plan(Policy::Hybrid { chunk: 2 }, 4, 4, 2);
+/// assert_eq!((hybrid.activations(), hybrid.time_steps()), (14, 4));
+/// ```
+pub fn plan(policy: Policy, matrix_slices: usize, vector_slices: usize, cutoff: i64) -> Plan {
+    let needed_col = |k: usize| (matrix_slices - 1 + k) as i64 >= cutoff;
+    let steps = match policy {
+        Policy::Vertical => {
+            let mut steps = Vec::new();
+            for k in (0..vector_slices).rev() {
+                if !needed_col(k) {
+                    continue;
+                }
+                steps.push((0..matrix_slices).map(|j| (j, k)).collect());
+            }
+            steps
+        }
+        Policy::Diagonal => {
+            let max_s = (matrix_slices + vector_slices).saturating_sub(2) as i64;
+            let mut steps = Vec::new();
+            let mut s = max_s;
+            while s >= cutoff.max(0) && s >= 0 {
+                let mut step = Vec::new();
+                for j in 0..matrix_slices {
+                    let k = s - j as i64;
+                    if (0..vector_slices as i64).contains(&k) {
+                        step.push((j, k as usize));
+                    }
+                }
+                if !step.is_empty() {
+                    steps.push(step);
+                }
+                s -= 1;
+            }
+            steps
+        }
+        Policy::Hybrid { chunk } => {
+            assert!(chunk > 0, "hybrid chunk size must be positive");
+            let mut steps = Vec::new();
+            let mut k_hi = vector_slices as i64 - 1;
+            while k_hi >= 0 {
+                let k_lo = (k_hi - chunk as i64 + 1).max(0);
+                // Matrix slices needed anywhere in this chunk, judged by
+                // the chunk's most significant vector slice.
+                let j_min = (cutoff - k_hi).max(0) as usize;
+                if j_min < matrix_slices {
+                    for k in (k_lo..=k_hi).rev() {
+                        // Skip vector slices with no required pair at all.
+                        if (matrix_slices as i64 - 1 + k) < cutoff {
+                            continue;
+                        }
+                        let step: Vec<(usize, usize)> =
+                            (j_min..matrix_slices).map(|j| (j, k as usize)).collect();
+                        steps.push(step);
+                    }
+                }
+                k_hi = k_lo - 1;
+            }
+            steps
+        }
+    };
+    Plan { steps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure6_numbers() {
+        let v = plan(Policy::Vertical, 4, 4, 2);
+        assert_eq!((v.activations(), v.time_steps()), (16, 4));
+        let d = plan(Policy::Diagonal, 4, 4, 2);
+        assert_eq!((d.activations(), d.time_steps()), (13, 5));
+        let h = plan(Policy::Hybrid { chunk: 2 }, 4, 4, 2);
+        assert_eq!((h.activations(), h.time_steps()), (14, 4));
+    }
+
+    #[test]
+    fn all_policies_cover_required_pairs() {
+        for (j, k, cutoff) in [(4usize, 4usize, 2i64), (8, 6, 5), (127, 60, 100), (5, 9, 0)] {
+            for policy in
+                [Policy::Vertical, Policy::Diagonal, Policy::Hybrid { chunk: 3 }]
+            {
+                let p = plan(policy, j, k, cutoff);
+                assert!(p.covers_required(j, k, cutoff), "{policy:?} {j}x{k} cutoff {cutoff}");
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_minimizes_activations() {
+        for cutoff in 0..10 {
+            let d = plan(Policy::Diagonal, 8, 8, cutoff).activations();
+            let v = plan(Policy::Vertical, 8, 8, cutoff).activations();
+            let h = plan(Policy::Hybrid { chunk: 2 }, 8, 8, cutoff).activations();
+            assert!(d <= h && h <= v, "cutoff {cutoff}: {d} {h} {v}");
+        }
+    }
+
+    #[test]
+    fn vertical_minimizes_time_steps() {
+        for cutoff in 0..10 {
+            let d = plan(Policy::Diagonal, 8, 8, cutoff).time_steps();
+            let v = plan(Policy::Vertical, 8, 8, cutoff).time_steps();
+            let h = plan(Policy::Hybrid { chunk: 2 }, 8, 8, cutoff).time_steps();
+            assert!(v <= h && h <= d, "cutoff {cutoff}: {v} {h} {d}");
+        }
+    }
+
+    #[test]
+    fn diagonal_exactly_counts_needed_pairs() {
+        let (j, k, cutoff) = (6usize, 5usize, 4i64);
+        let needed = (0..j)
+            .flat_map(|jj| (0..k).map(move |kk| (jj, kk)))
+            .filter(|&(jj, kk)| (jj + kk) as i64 >= cutoff)
+            .count();
+        assert_eq!(plan(Policy::Diagonal, j, k, cutoff).activations(), needed);
+    }
+
+    #[test]
+    fn zero_cutoff_activates_everything() {
+        let p = plan(Policy::Vertical, 3, 3, 0);
+        assert_eq!(p.activations(), 9);
+        let p = plan(Policy::Diagonal, 3, 3, 0);
+        assert_eq!(p.activations(), 9);
+    }
+
+    #[test]
+    fn high_cutoff_skips_whole_columns() {
+        // cutoff above max significance: nothing to do.
+        let p = plan(Policy::Vertical, 3, 3, 10);
+        assert_eq!(p.activations(), 0);
+        let p = plan(Policy::Hybrid { chunk: 2 }, 3, 3, 10);
+        assert_eq!(p.activations(), 0);
+    }
+
+    #[test]
+    fn hybrid_with_chunk_one_matches_diagonal_activations_columnwise() {
+        // chunk = 1 prunes each column individually: fewer activations
+        // than vertical, same step count as vertical's needed columns.
+        let v = plan(Policy::Vertical, 6, 6, 4);
+        let h = plan(Policy::Hybrid { chunk: 1 }, 6, 6, 4);
+        assert!(h.activations() < v.activations());
+        assert_eq!(h.time_steps(), v.time_steps());
+        assert!(h.covers_required(6, 6, 4));
+    }
+}

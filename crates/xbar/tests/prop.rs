@@ -1,0 +1,116 @@
+//! Property-based tests for the crossbar cluster: exactness of in-situ
+//! dot products over randomized blocks, vectors, and configurations.
+
+use memsci_numeric::{FloatParts, Rounding, WideInt};
+use memsci_xbar::cluster::{Cluster, ClusterSpec, MvmOptions};
+use memsci_xbar::schedule::{plan, Policy};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Exact dot product rounded toward −∞ to 53 bits.
+fn exact_dot_floor(pairs: &[(f64, f64)]) -> f64 {
+    let mut min_exp = i32::MAX;
+    let mut terms = Vec::new();
+    for &(a, x) in pairs {
+        let pa = FloatParts::decompose(a).unwrap();
+        let px = FloatParts::decompose(x).unwrap();
+        if pa.is_zero() || px.is_zero() {
+            continue;
+        }
+        terms.push((pa.signed_mantissa() * px.signed_mantissa(), pa.exponent + px.exponent));
+        min_exp = min_exp.min(pa.exponent + px.exponent);
+    }
+    let mut sum = WideInt::zero();
+    for (m, e) in terms {
+        sum += &m.shl((e - min_exp) as u32);
+    }
+    sum.to_f64_with_exp(min_exp, Rounding::TowardNegInf)
+}
+
+fn small_double() -> impl Strategy<Value = f64> {
+    (any::<bool>(), 1u64..(1 << 50), -18i32..18).prop_map(|(neg, m, e)| {
+        let v = (m as f64) * (2.0f64).powi(e - 40);
+        if neg {
+            -v
+        } else {
+            v
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Randomized blocks on randomized vectors: the cluster's output is
+    /// exactly the floor-rounded dot product for every row the CIC did
+    /// not evict.
+    #[test]
+    fn random_clusters_compute_exact_dots(
+        entries in prop::collection::vec((0u16..8, 0u16..8, small_double()), 1..40),
+        xs in prop::collection::vec(small_double(), 8),
+        seed in any::<u64>(),
+    ) {
+        // Deduplicate positions (last write wins, like dense assembly).
+        let mut grid = [[None::<f64>; 8]; 8];
+        for &(r, c, v) in &entries {
+            grid[r as usize][c as usize] = Some(v);
+        }
+        let block: Vec<(u16, u16, f64)> = (0..8)
+            .flat_map(|r| (0..8).filter_map(move |c| grid[r][c].map(|v| (r as u16, c as u16, v))))
+            .collect();
+        prop_assume!(!block.is_empty());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let spec = ClusterSpec { size: 8, ..Default::default() };
+        let outcome = Cluster::program(spec, &block, &mut rng).unwrap();
+        let res = outcome.cluster.mvm(&xs, &MvmOptions::default(), &mut rng).unwrap();
+        for r in 0..8usize {
+            if outcome.evicted.iter().any(|&(er, _, _)| er as usize == r) {
+                continue;
+            }
+            let pairs: Vec<(f64, f64)> = block
+                .iter()
+                .filter(|e| e.0 as usize == r)
+                .map(|&(_, c, v)| (v, xs[c as usize]))
+                .collect();
+            prop_assert_eq!(res.y[r], exact_dot_floor(&pairs), "row {}", r);
+        }
+    }
+
+    /// Early termination never changes results, only costs.
+    #[test]
+    fn early_termination_is_result_invariant(
+        vals in prop::collection::vec(small_double(), 8),
+        xs in prop::collection::vec(small_double(), 8),
+    ) {
+        let block: Vec<(u16, u16, f64)> = vals
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| ((i % 8) as u16, ((i * 3 + 1) % 8) as u16, v))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(7);
+        let spec = ClusterSpec { size: 8, ..Default::default() };
+        let cluster = Cluster::program(spec, &block, &mut rng).unwrap().cluster;
+        let with = cluster.mvm(&xs, &MvmOptions::default(), &mut rng).unwrap();
+        let without = cluster
+            .mvm(&xs, &MvmOptions { early_termination: false, ..Default::default() }, &mut rng)
+            .unwrap();
+        prop_assert_eq!(&with.y, &without.y);
+        prop_assert!(with.slices_used <= without.slices_used);
+        prop_assert!(with.energy <= without.energy + 1e-18);
+    }
+
+    /// Every schedule covers the required pairs for random shapes.
+    #[test]
+    fn schedules_cover_required_pairs(
+        j in 1usize..40,
+        k in 1usize..40,
+        cutoff in 0i64..60,
+        chunk in 1usize..6,
+    ) {
+        for policy in [Policy::Vertical, Policy::Diagonal, Policy::Hybrid { chunk }] {
+            let p = plan(policy, j, k, cutoff);
+            prop_assert!(p.covers_required(j, k, cutoff), "{:?}", policy);
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Precision study on the bit-exact platform: every dot product is
+//! computed through real crossbar simulations — alignment, biasing,
+//! AN coding, bit slicing, early termination — and the solver's
+//! behaviour is compared against plain IEEE-754, with and without
+//! device noise (§IV, §VIII-G).
+//!
+//! ```text
+//! cargo run --release --example precision_study
+//! ```
+
+use memsci::core::{AcceleratorConfig, ExactAcceleratorPlatform, ExactOptions};
+use memsci::solvers::cg::cg;
+use memsci::solvers::{CsrPlatform, SolveOptions};
+use memsci::sparse::blocking::{BlockedMatrix, BlockingConfig};
+use memsci::sparse::generate::poisson2d;
+
+fn main() {
+    let a = poisson2d(12, 12);
+    let n = a.rows();
+    let blocked = BlockedMatrix::block(&a, &BlockingConfig::default());
+    let b = vec![1.0; n];
+    let opts = SolveOptions { tol: 1e-10, max_iters: 500, record_residuals: false };
+
+    // Reference: plain f64 CG.
+    let mut reference = CsrPlatform::new(a.clone());
+    let mut x_ref = vec![0.0; n];
+    let r_ref = cg(&mut reference, &b, &mut x_ref, &opts);
+    println!("f64 reference : {} iterations", r_ref.iterations);
+
+    // Bit-exact crossbars, ideal devices: same convergence behaviour,
+    // because the in-situ dot products carry full IEEE-754 precision.
+    let mut exact = ExactAcceleratorPlatform::new(
+        &blocked,
+        AcceleratorConfig::with_banks(2),
+        ExactOptions::default(),
+    )
+    .expect("finite matrix");
+    let mut x = vec![0.0; n];
+    let r = cg(&mut exact, &b, &mut x, &opts);
+    println!(
+        "ideal crossbar: {} iterations (AN corrections: {})",
+        r.iterations, exact.an_corrections
+    );
+
+    // Noisy devices: 2-bit cells with 5% programming error (the worst
+    // point of Figure 13) visibly hinder convergence.
+    let mut config = AcceleratorConfig::with_banks(2);
+    config.cell = config.cell.with_bits_per_cell(2).with_programming_sigma(0.05);
+    let mut noisy =
+        ExactAcceleratorPlatform::new(&blocked, config, ExactOptions { seed: 1, ..Default::default() })
+            .expect("finite matrix");
+    let mut x_noisy = vec![0.0; n];
+    let r_noisy = cg(&mut noisy, &b, &mut x_noisy, &opts);
+    println!(
+        "noisy crossbar: {} iterations, converged = {} (B=2, 5% programming error)",
+        r_noisy.iterations, r_noisy.converged
+    );
+
+    let err = x
+        .iter()
+        .zip(&x_ref)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    println!("max |x_exact - x_f64| = {err:.2e}");
+}

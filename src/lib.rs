@@ -1,0 +1,55 @@
+//! # memsci — scientific computing on memristive accelerators
+//!
+//! An open, from-scratch reproduction of *Enabling Scientific Computing
+//! on Memristive Accelerators* (Feinberg, Vengalam, Whitehair, Wang,
+//! Ipek — ISCA 2018): a memristive crossbar accelerator that performs
+//! IEEE-754 double-precision sparse linear algebra on fixed-point
+//! analog hardware, embedded in Krylov-subspace iterative solvers and
+//! compared against a Tesla P100 baseline.
+//!
+//! This umbrella crate re-exports the workspace members:
+//!
+//! * [`numeric`] — wide fixed point, alignment, biasing, bit slicing,
+//!   early termination, AN codes;
+//! * [`sparse`] — matrix formats, generators, the Table II replica
+//!   suite, and the heterogeneous blocking preprocessor;
+//! * [`xbar`] — the crossbar/cluster hardware simulator with Table III
+//!   cost models;
+//! * [`core`] — the assembled accelerator (banks, mapping, engines,
+//!   overhead/area/dispatch models);
+//! * [`gpu`] — the analytic P100 baseline;
+//! * [`solvers`] — CG, BiCG, BiCG-STAB, GMRES, Jacobi over the shared
+//!   [`Platform`](solvers::Platform) abstraction.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use memsci::core::{accelerate, AcceleratorConfig};
+//! use memsci::gpu::GpuPlatform;
+//! use memsci::solvers::{cg::cg, SolveOptions};
+//! use memsci::sparse::generate::poisson2d;
+//!
+//! let a = poisson2d(32, 32);
+//! let b = vec![1.0; a.rows()];
+//!
+//! let mut acc = accelerate(&a, AcceleratorConfig::default());
+//! let mut x = vec![0.0; a.rows()];
+//! let on_accel = cg(&mut acc, &b, &mut x, &SolveOptions::default());
+//!
+//! let mut gpu = GpuPlatform::new(a);
+//! let mut xg = vec![0.0; b.len()];
+//! let on_gpu = cg(&mut gpu, &b, &mut xg, &SolveOptions::default());
+//!
+//! assert!(on_accel.converged && on_gpu.converged);
+//! let speedup = on_gpu.time_seconds / on_accel.time_seconds;
+//! assert!(speedup.is_finite() && speedup > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use memsci_core as core;
+pub use memsci_gpu as gpu;
+pub use memsci_numeric as numeric;
+pub use memsci_solvers as solvers;
+pub use memsci_sparse as sparse;
+pub use memsci_xbar as xbar;

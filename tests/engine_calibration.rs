@@ -1,0 +1,96 @@
+//! Calibration: the fast engine's analytic early-termination model must
+//! track the bit-exact cluster simulation (DESIGN.md §4, "two engines").
+
+use memsci::core::AcceleratorPlatform;
+use memsci::numeric::align::analyze;
+use memsci::sparse::generate::{banded, ValueModel};
+use memsci::xbar::cluster::{Cluster, ClusterSpec, MvmOptions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-row slice counts estimated by the fast engine vs measured on the
+/// exact cluster: the estimate must be within a small additive band and
+/// err on the conservative (not-fewer-slices) side on average.
+#[test]
+fn slice_estimates_track_the_exact_engine() {
+    let mut rng = StdRng::seed_from_u64(77);
+    let n = 32;
+    let matrix = banded(n, 6, 0.8, ValueModel::with_spread(10), &mut rng).to_csr();
+    let entries: Vec<(u16, u16, f64)> =
+        matrix.iter().map(|(r, c, v)| (r as u16, c as u16, v)).collect();
+    let spec = ClusterSpec { size: n, ..Default::default() };
+    let cluster = Cluster::program(spec, &entries, &mut rng).unwrap().cluster;
+
+    // A vector with enough dynamic range for termination to matter.
+    let x: Vec<f64> = (0..n)
+        .map(|i| (0.7 + i as f64 * 0.05) * (2.0f64).powi((i as i32 % 8) * 5 - 17))
+        .collect();
+    let opts = MvmOptions { collect_row_profile: true, ..Default::default() };
+    let res = cluster.mvm(&x, &opts, &mut rng).unwrap();
+    let measured = res.row_slices.unwrap();
+
+    let x_alignment = analyze(x.iter().copied()).unwrap().unwrap();
+    let xw = x_alignment.magnitude_bits + 1;
+    assert_eq!(res.slices_total, xw);
+
+    let mut dots = vec![0.0f64; n];
+    for (r, c, v) in matrix.iter() {
+        dots[r] += v * x[c];
+    }
+
+    let mut total_est = 0i64;
+    let mut total_meas = 0i64;
+    for r in 0..n {
+        if matrix.row(r).0.is_empty() {
+            continue;
+        }
+        let est = AcceleratorPlatform::estimate_row_slices(
+            dots[r],
+            cluster.exp_base(),
+            x_alignment.exp_base,
+            xw,
+            i64::from(cluster.partial_magnitude_bits()),
+        );
+        let meas = measured[r] as usize;
+        assert!(
+            est.abs_diff(meas) <= 8,
+            "row {r}: estimated {est} vs measured {meas} slices (of {xw})"
+        );
+        total_est += est as i64;
+        total_meas += meas as i64;
+    }
+    // In aggregate the analytic model must not be optimistic by more
+    // than a few percent.
+    assert!(
+        total_est * 100 >= total_meas * 95,
+        "aggregate estimate {total_est} vs measured {total_meas}"
+    );
+}
+
+/// Cluster-level energy from the exact simulation and the fast engine's
+/// closed-form accounting agree to first order.
+#[test]
+fn energy_accounting_is_consistent_between_engines() {
+    let mut rng = StdRng::seed_from_u64(78);
+    let n = 32;
+    let matrix = banded(n, 8, 0.75, ValueModel::with_spread(8), &mut rng).to_csr();
+    let entries: Vec<(u16, u16, f64)> =
+        matrix.iter().map(|(r, c, v)| (r as u16, c as u16, v)).collect();
+    let spec = ClusterSpec { size: n, ..Default::default() };
+    let cluster = Cluster::program(spec, &entries, &mut rng).unwrap().cluster;
+    let x: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.31).sin()).collect();
+    let exact = cluster.mvm(&x, &MvmOptions::default(), &mut rng).unwrap();
+
+    // Closed form: conversions × headstarted column energy bounds.
+    let cost = memsci::xbar::CostModel::default();
+    let full = cost.column_energy(n, 1, None);
+    let floor = cost.skipped_column_energy();
+    let upper = exact.conversions as f64 * full
+        + exact.conversions_skipped as f64 * floor;
+    let lower = (exact.conversions + exact.conversions_skipped) as f64 * floor;
+    assert!(
+        exact.energy > lower && exact.energy <= upper * 1.001,
+        "energy {} outside [{lower}, {upper}]",
+        exact.energy
+    );
+}

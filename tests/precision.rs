@@ -1,0 +1,184 @@
+//! Cross-crate precision invariants: the accelerator's arithmetic is
+//! IEEE-754-compatible end to end (paper §IV).
+
+use memsci::core::{AcceleratorConfig, ExactAcceleratorPlatform, ExactOptions};
+use memsci::numeric::{FloatParts, Rounding, WideInt};
+use memsci::solvers::cg::cg;
+use memsci::solvers::{CsrPlatform, SolveOptions};
+use memsci::sparse::blocking::{BlockedMatrix, BlockingConfig};
+use memsci::sparse::generate::{banded, make_diagonally_dominant, symmetrize, ValueModel};
+use memsci::sparse::Csr;
+use memsci::xbar::cluster::{Cluster, ClusterSpec, MvmOptions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn spd_matrix(n: usize, spread: i32, seed: u64) -> Csr {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let base = banded(n, 6, 0.7, ValueModel::with_spread(spread), &mut rng);
+    make_diagonally_dominant(&symmetrize(&base), 1.3)
+}
+
+/// Exact dot product oracle rounded toward −∞ to 53 bits.
+fn exact_dot_floor(pairs: &[(f64, f64)]) -> f64 {
+    let mut min_exp = i32::MAX;
+    let mut terms = Vec::new();
+    for &(a, x) in pairs {
+        let pa = FloatParts::decompose(a).unwrap();
+        let px = FloatParts::decompose(x).unwrap();
+        if pa.is_zero() || px.is_zero() {
+            continue;
+        }
+        terms.push((pa.signed_mantissa() * px.signed_mantissa(), pa.exponent + px.exponent));
+        min_exp = min_exp.min(pa.exponent + px.exponent);
+    }
+    let mut sum = WideInt::zero();
+    for (m, e) in terms {
+        sum += &m.shl((e - min_exp) as u32);
+    }
+    sum.to_f64_with_exp(min_exp, Rounding::TowardNegInf)
+}
+
+/// The headline §IV claim: a cluster's in-situ dot products are exactly
+/// the infinitely-precise dot products rounded toward −∞ — across a
+/// range of block contents and vector dynamic ranges.
+#[test]
+fn cluster_dot_products_are_exactly_rounded() {
+    let mut rng = StdRng::seed_from_u64(1);
+    for trial in 0..4 {
+        let n = 32; // cluster sizes are powers of two
+        let matrix = banded(
+            n,
+            5 + trial,
+            0.8,
+            ValueModel::with_spread(8 + 4 * trial as i32),
+            &mut rng,
+        )
+        .to_csr();
+        let entries: Vec<(u16, u16, f64)> = matrix
+            .iter()
+            .map(|(r, c, v)| (r as u16, c as u16, v))
+            .collect();
+        let spec = ClusterSpec { size: n, ..Default::default() };
+        let outcome = Cluster::program(spec, &entries, &mut rng).unwrap();
+        let x: Vec<f64> = (0..n)
+            .map(|i| (1.0 + i as f64 * 0.13) * (2.0f64).powi((i as i32 % 7) * 5 - 15))
+            .collect();
+        let res = outcome.cluster.mvm(&x, &MvmOptions::default(), &mut rng).unwrap();
+        for r in 0..n {
+            let pairs: Vec<(f64, f64)> = matrix
+                .row(r)
+                .0
+                .iter()
+                .zip(matrix.row(r).1)
+                .map(|(&c, &v)| (v, x[c as usize]))
+                .collect();
+            let evicted_here = outcome
+                .evicted
+                .iter()
+                .any(|&(er, _, _)| er as usize == r);
+            if evicted_here {
+                continue; // CIC evictions move entries to the CPU path
+            }
+            assert_eq!(res.y[r], exact_dot_floor(&pairs), "trial {trial}, row {r}");
+        }
+    }
+}
+
+/// The §VIII claim backing Figure 8's fairness: solvers on the
+/// (bit-exact) accelerator converge like the f64 reference.
+#[test]
+fn exact_platform_matches_f64_convergence() {
+    for (spread, seed) in [(6, 10), (14, 11)] {
+        let a = spd_matrix(120, spread, seed);
+        let blocked = BlockedMatrix::block(&a, &BlockingConfig::default());
+        let n = a.rows();
+        let b = vec![1.0; n];
+        let opts = SolveOptions { tol: 1e-9, max_iters: 500, record_residuals: false };
+
+        let mut reference = CsrPlatform::new(a.clone());
+        let mut x_ref = vec![0.0; n];
+        let r_ref = cg(&mut reference, &b, &mut x_ref, &opts);
+        assert!(r_ref.converged);
+
+        let mut exact = ExactAcceleratorPlatform::new(
+            &blocked,
+            AcceleratorConfig::with_banks(2),
+            ExactOptions::default(),
+        )
+        .unwrap();
+        let mut x = vec![0.0; n];
+        let r = cg(&mut exact, &b, &mut x, &opts);
+        assert!(r.converged, "spread {spread}: exact platform did not converge");
+        assert!(
+            r.iterations.abs_diff(r_ref.iterations) <= 2,
+            "spread {spread}: {} vs {} iterations",
+            r.iterations,
+            r_ref.iterations
+        );
+        // Solutions agree to solver accuracy.
+        for (xa, xb) in x.iter().zip(&x_ref) {
+            assert!((xa - xb).abs() <= 1e-6 * xb.abs().max(1.0));
+        }
+        // Ideal devices: the AN code should have had nothing to do.
+        assert_eq!(exact.an_corrections, 0);
+        assert_eq!(exact.an_detections, 0);
+    }
+}
+
+/// Directed-rounding support (§IV-D): the four modes bracket correctly
+/// on the exact platform.
+#[test]
+fn rounding_modes_bracket_on_clusters() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let n = 16;
+    let matrix = banded(n, 4, 0.9, ValueModel::with_spread(6), &mut rng).to_csr();
+    let entries: Vec<(u16, u16, f64)> =
+        matrix.iter().map(|(r, c, v)| (r as u16, c as u16, v)).collect();
+    let spec = ClusterSpec { size: n, ..Default::default() };
+    let outcome = Cluster::program(spec, &entries, &mut rng).unwrap();
+    let evicted_rows: std::collections::BTreeSet<usize> =
+        outcome.evicted.iter().map(|&(r, _, _)| r as usize).collect();
+    let cluster = outcome.cluster;
+    let x: Vec<f64> = (0..n).map(|i| 0.3 + (i as f64) * 0.77).collect();
+    let mut run = |mode| {
+        cluster
+            .mvm(&x, &MvmOptions { rounding: mode, ..Default::default() }, &mut rng)
+            .unwrap()
+            .y
+    };
+    let down = run(Rounding::TowardNegInf);
+    let up = run(Rounding::TowardPosInf);
+    let near = run(Rounding::NearestEven);
+    let zero = run(Rounding::TowardZero);
+    for r in 0..n {
+        assert!(down[r] <= near[r] && near[r] <= up[r], "row {r}");
+        assert!(zero[r] == down[r] || zero[r] == up[r], "row {r}");
+        if evicted_rows.contains(&r) {
+            continue; // CIC evictions route entries to the CPU path
+        }
+        // The floor mode matches the exact reference bit for bit.
+        let pairs: Vec<(f64, f64)> = matrix
+            .row(r)
+            .0
+            .iter()
+            .zip(matrix.row(r).1)
+            .map(|(&c, &v)| (v, x[c as usize]))
+            .collect();
+        let want = exact_dot_floor(&pairs);
+        assert_eq!(down[r], want, "row {r}");
+    }
+}
+
+/// Non-finite inputs are rejected at the boundary (§IV-D), not mapped.
+#[test]
+fn non_finite_inputs_are_rejected() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let spec = ClusterSpec { size: 8, ..Default::default() };
+    let entries = vec![(0u16, 0u16, f64::INFINITY)];
+    assert!(Cluster::program(spec, &entries, &mut rng).is_err());
+    let entries = vec![(0u16, 0u16, 1.0)];
+    let cluster = Cluster::program(spec, &entries, &mut rng).unwrap().cluster;
+    let mut x = vec![1.0; 8];
+    x[3] = f64::NAN;
+    assert!(cluster.mvm(&x, &MvmOptions::default(), &mut rng).is_err());
+}

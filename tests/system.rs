@@ -1,0 +1,174 @@
+//! System-level integration: the complete pipeline — suite replica →
+//! blocking → capacity mapping → engines → solvers — across matrix
+//! classes and platforms.
+
+use memsci::core::dispatch::Target;
+use memsci::core::{map_blocks, AcceleratorConfig, AcceleratorPlatform};
+use memsci::gpu::GpuPlatform;
+use memsci::solvers::platform::Platform;
+use memsci::solvers::{bicgstab::bicgstab, cg::cg, gmres::gmres, SolveOptions};
+use memsci::sparse::blocking::{BlockedMatrix, BlockingConfig};
+use memsci::sparse::suite::{by_name, suite};
+
+const SCALE: f64 = 0.05;
+
+/// Every suite replica survives the full preprocessing pipeline with
+/// entry conservation at each stage.
+#[test]
+fn pipeline_conserves_every_matrix() {
+    let bc = BlockingConfig::default();
+    let config = AcceleratorConfig::default();
+    for entry in suite() {
+        let a = entry.generate_scaled(SCALE);
+        let blocked = BlockedMatrix::block(&a, &bc);
+        assert_eq!(blocked.nnz(), a.nnz(), "{}: blocking conservation", entry.name);
+        let mapping = map_blocks(&blocked, &config);
+        assert_eq!(
+            mapping.mapped_nnz() + mapping.extra_residual.len(),
+            blocked.stats.nnz_blocked,
+            "{}: mapping conservation",
+            entry.name
+        );
+    }
+}
+
+/// The accelerator engine reproduces CSR SpMV numerics for every
+/// replica class.
+#[test]
+fn engine_spmv_matches_reference_across_the_suite() {
+    for name in ["Pres_Poisson", "bcircuit", "ns3Da", "Trefethen_20000", "GaAsH6"] {
+        let entry = by_name(name).unwrap();
+        let a = entry.generate_scaled(SCALE);
+        let n = a.rows();
+        let blocked = BlockedMatrix::block(&a, &BlockingConfig::default());
+        let mut acc = AcceleratorPlatform::new(&blocked, AcceleratorConfig::default());
+        let x: Vec<f64> = (0..n).map(|i| ((i * 37) % 101) as f64 * 0.021 - 1.0).collect();
+        let mut y1 = vec![0.0; n];
+        let mut y2 = vec![0.0; n];
+        acc.spmv(&x, &mut y1);
+        a.spmv(&x, &mut y2);
+        for (i, (u, v)) in y1.iter().zip(&y2).enumerate() {
+            assert!(
+                (u - v).abs() <= 1e-9 * v.abs().max(1.0),
+                "{name} row {i}: {u} vs {v}"
+            );
+        }
+    }
+}
+
+/// Dispatch (§VIII-A) routes the two difficult matrices to the GPU and
+/// everything else to the accelerator at representative scale.
+#[test]
+fn dispatch_matches_the_papers_split() {
+    let bc = BlockingConfig::default();
+    let config = AcceleratorConfig::default();
+    for entry in suite() {
+        let a = entry.generate_scaled(0.15);
+        let blocked = BlockedMatrix::block(&a, &bc);
+        let target = memsci::core::dispatch::choose_target(&blocked, &config);
+        let expected = if entry.name == "ns3Da" || entry.name == "thermomech_TC" {
+            Target::Gpu
+        } else {
+            Target::Accelerator
+        };
+        assert_eq!(target, expected, "{} (efficiency {:.3})", entry.name, blocked.stats.efficiency());
+    }
+}
+
+/// All three platforms drive all applicable solvers to the same answer.
+#[test]
+fn solvers_agree_across_platforms() {
+    let entry = by_name("qa8fm").unwrap();
+    let a = entry.generate_scaled(SCALE);
+    let n = a.rows();
+    let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
+    let opts = SolveOptions { tol: 1e-9, max_iters: 3000, record_residuals: false };
+
+    let solve_cg = |p: &mut dyn Platform| {
+        let mut x = vec![0.0; n];
+        let r = cg(p, &b, &mut x, &opts);
+        assert!(r.converged);
+        x
+    };
+    let blocked = BlockedMatrix::block(&a, &BlockingConfig::default());
+    let mut acc = AcceleratorPlatform::new(&blocked, AcceleratorConfig::default());
+    let mut gpu = GpuPlatform::new(a.clone());
+    let mut cpu = memsci::solvers::CsrPlatform::new(a.clone());
+    let xs = [solve_cg(&mut acc), solve_cg(&mut gpu), solve_cg(&mut cpu)];
+    for x in &xs[1..] {
+        for (u, v) in xs[0].iter().zip(x) {
+            assert!((u - v).abs() <= 1e-5 * v.abs().max(1.0));
+        }
+    }
+
+    // GMRES and BiCG-STAB also run on the accelerator unchanged.
+    let mut x = vec![0.0; n];
+    assert!(gmres(&mut acc, &b, &mut x, 30, &opts).converged);
+    let mut x = vec![0.0; n];
+    assert!(bicgstab(&mut acc, &b, &mut x, &opts).converged);
+}
+
+/// Cost accounting is self-consistent: more iterations cost more, and
+/// both time and energy are strictly positive per kernel.
+#[test]
+fn cost_accounting_is_monotone() {
+    let entry = by_name("crystm03").unwrap(); // SPD: CG applies
+    let a = entry.generate_scaled(SCALE);
+    let n = a.rows();
+    let blocked = BlockedMatrix::block(&a, &BlockingConfig::default());
+    let mut acc = AcceleratorPlatform::new(&blocked, AcceleratorConfig::default());
+    let b = vec![1.0; n];
+    let loose = {
+        let mut x = vec![0.0; n];
+        cg(&mut acc, &b, &mut x, &SolveOptions::with_tol(1e-2))
+    };
+    let elapsed_after_loose = acc.elapsed_seconds();
+    let tight = {
+        let mut x = vec![0.0; n];
+        cg(&mut acc, &b, &mut x, &SolveOptions::with_tol(1e-12))
+    };
+    assert!(tight.converged && loose.converged);
+    assert!(tight.iterations > loose.iterations);
+    assert!(tight.time_seconds > loose.time_seconds);
+    assert!(tight.energy_joules > loose.energy_joules);
+    assert!(loose.time_seconds > 0.0 && loose.energy_joules > 0.0);
+    // Cumulative platform counters advance across solves.
+    assert!(acc.elapsed_seconds() > elapsed_after_loose);
+}
+
+/// The capacity mapper keeps Table I inventory limits for every replica.
+#[test]
+fn mapping_respects_cluster_inventory() {
+    let config = AcceleratorConfig::default();
+    for entry in suite() {
+        let a = entry.generate_scaled(0.15);
+        let blocked = BlockedMatrix::block(&a, &BlockingConfig::default());
+        let mapping = map_blocks(&blocked, &config);
+        for &(size, _) in &config.clusters_per_bank {
+            let used = mapping.clusters.iter().filter(|c| c.size as usize == size).count();
+            assert!(
+                used <= config.cluster_capacity(size),
+                "{}: {used} clusters of {size} exceed capacity",
+                entry.name
+            );
+        }
+        // Per-bank limits too.
+        let mut per_bank: std::collections::BTreeMap<(usize, u32), usize> = Default::default();
+        for c in &mapping.clusters {
+            *per_bank.entry((c.bank, c.size)).or_default() += 1;
+        }
+        for (&(bank, size), &count) in &per_bank {
+            let limit = config
+                .clusters_per_bank
+                .iter()
+                .find(|&&(s, _)| s == size as usize)
+                .map(|&(_, n)| n)
+                .unwrap_or(0);
+            assert!(
+                count <= limit,
+                "{}: bank {bank} holds {count} x {size} clusters (limit {limit})",
+                entry.name
+            );
+        }
+    }
+}
