@@ -27,8 +27,7 @@ fn bench_program(c: &mut Criterion) {
         group.bench_function(format!("{n}x{n}"), |bench| {
             let mut rng = StdRng::seed_from_u64(1);
             bench.iter(|| {
-                Cluster::program(ClusterSpec::with_size(n), black_box(&entries), &mut rng)
-                    .unwrap()
+                Cluster::program(ClusterSpec::with_size(n), black_box(&entries), &mut rng).unwrap()
             })
         });
     }
@@ -41,11 +40,16 @@ fn bench_mvm(c: &mut Criterion) {
     for n in [16usize, 32, 64] {
         let entries = block(n, 0.25, n as u64);
         let mut rng = StdRng::seed_from_u64(2);
-        let cluster =
-            Cluster::program(ClusterSpec::with_size(n), &entries, &mut rng).unwrap().cluster;
+        let cluster = Cluster::program(ClusterSpec::with_size(n), &entries, &mut rng)
+            .unwrap()
+            .cluster;
         let x: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.37).sin()).collect();
         group.bench_function(format!("{n}x{n}"), |bench| {
-            bench.iter(|| cluster.mvm(black_box(&x), &MvmOptions::default(), &mut rng).unwrap())
+            bench.iter(|| {
+                cluster
+                    .mvm(black_box(&x), &MvmOptions::default(), &mut rng)
+                    .unwrap()
+            })
         });
     }
     group.finish();
@@ -57,20 +61,34 @@ fn bench_early_termination_ablation(c: &mut Criterion) {
     let n = 32;
     let entries = block(n, 0.3, 9);
     let mut rng = StdRng::seed_from_u64(3);
-    let cluster = Cluster::program(ClusterSpec::with_size(n), &entries, &mut rng).unwrap().cluster;
+    let cluster = Cluster::program(ClusterSpec::with_size(n), &entries, &mut rng)
+        .unwrap()
+        .cluster;
     // A wide-dynamic-range vector: early termination matters here.
     let x: Vec<f64> = (0..n)
         .map(|i| (1.0 + i as f64 * 0.1) * (2.0f64).powi((i as i32 % 6) * 8 - 20))
         .collect();
     group.bench_function("on", |bench| {
-        bench.iter(|| cluster.mvm(black_box(&x), &MvmOptions::default(), &mut rng).unwrap())
+        bench.iter(|| {
+            cluster
+                .mvm(black_box(&x), &MvmOptions::default(), &mut rng)
+                .unwrap()
+        })
     });
-    let no_term = MvmOptions { early_termination: false, ..Default::default() };
+    let no_term = MvmOptions {
+        early_termination: false,
+        ..Default::default()
+    };
     group.bench_function("off", |bench| {
         bench.iter(|| cluster.mvm(black_box(&x), &no_term, &mut rng).unwrap())
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_program, bench_mvm, bench_early_termination_ablation);
+criterion_group!(
+    benches,
+    bench_program,
+    bench_mvm,
+    bench_early_termination_ablation
+);
 criterion_main!(benches);

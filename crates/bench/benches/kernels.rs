@@ -63,5 +63,11 @@ fn bench_settled(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_wideint, bench_alignment, bench_ancode, bench_settled);
+criterion_group!(
+    benches,
+    bench_wideint,
+    bench_alignment,
+    bench_ancode,
+    bench_settled
+);
 criterion_main!(benches);

@@ -90,5 +90,10 @@ fn bench_engine_spmv(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cg_platforms, bench_solver_variants, bench_engine_spmv);
+criterion_group!(
+    benches,
+    bench_cg_platforms,
+    bench_solver_variants,
+    bench_engine_spmv
+);
 criterion_main!(benches);

@@ -53,29 +53,42 @@ fn main() {
         }
         return;
     }
-    let mut args = Args { scale: 1.0, runs: 15, tol: 1e-8 };
+    let mut args = Args {
+        scale: 1.0,
+        runs: 15,
+        tol: 1e-8,
+    };
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
             "--scale" => {
-                args.scale = rest.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
-                    eprintln!("--scale needs a number");
-                    std::process::exit(2);
-                });
+                args.scale = rest
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--scale needs a number");
+                        std::process::exit(2);
+                    });
                 i += 2;
             }
             "--runs" => {
-                args.runs = rest.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
-                    eprintln!("--runs needs an integer");
-                    std::process::exit(2);
-                });
+                args.runs = rest
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--runs needs an integer");
+                        std::process::exit(2);
+                    });
                 i += 2;
             }
             "--tol" => {
-                args.tol = rest.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
-                    eprintln!("--tol needs a number");
-                    std::process::exit(2);
-                });
+                args.tol = rest
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--tol needs a number");
+                        std::process::exit(2);
+                    });
                 i += 2;
             }
             other => {
@@ -94,12 +107,21 @@ fn run(cmd: &str, args: Args) {
         "table3" => print!("{}", tables::table3()),
         "fig6" => print!("{}", figures::figure6()),
         "fig7" => {
-            print!("{}", figures::blocking_pattern("Pres_Poisson", args.scale.min(0.25)));
+            print!(
+                "{}",
+                figures::blocking_pattern("Pres_Poisson", args.scale.min(0.25))
+            );
             println!();
-            print!("{}", figures::blocking_pattern("xenon1", args.scale.min(0.25)));
+            print!(
+                "{}",
+                figures::blocking_pattern("xenon1", args.scale.min(0.25))
+            );
         }
         "fig11" => {
-            print!("{}", figures::blocking_pattern("ns3Da", args.scale.min(0.25)));
+            print!(
+                "{}",
+                figures::blocking_pattern("ns3Da", args.scale.min(0.25))
+            );
         }
         "fig8" => {
             let outcomes = suite_run::run_suite(args.scale, args.tol);
@@ -186,7 +208,10 @@ fn print_mc(points: &[montecarlo::McPoint], baseline_label: &str) {
         .find(|p| p.label == baseline_label)
         .map(|p| p.mean)
         .unwrap_or(1.0);
-    println!("{:<14} | {:>5} | {:>6} | {:>5} | fails | normalized (min/mean/max)", "config", "min", "mean", "max");
+    println!(
+        "{:<14} | {:>5} | {:>6} | {:>5} | fails | normalized (min/mean/max)",
+        "config", "min", "mean", "max"
+    );
     for p in points {
         let (nmin, nmean, nmax) = p.normalized(baseline);
         println!(

@@ -26,7 +26,10 @@ pub fn figure8(outcomes: &[MatrixOutcome]) -> String {
         ));
     }
     let gmean = geometric_mean(outcomes.iter().map(MatrixOutcome::speedup));
-    out.push_str(&format!("{:<17} | {:>6.2}x  (paper: 10.3x)\n", "G-MEAN", gmean));
+    out.push_str(&format!(
+        "{:<17} | {:>6.2}x  (paper: 10.3x)\n",
+        "G-MEAN", gmean
+    ));
     out
 }
 
@@ -35,7 +38,12 @@ pub fn figure9(outcomes: &[MatrixOutcome]) -> String {
     let mut out = String::new();
     out.push_str("Figure 9 — Accelerator energy consumption normalized to the GPU baseline\n");
     for o in outcomes {
-        out.push_str(&format!("{:<17} | {:>8.4} {}\n", o.name, o.energy_ratio(), bar(1.0 / o.energy_ratio(), 2.0)));
+        out.push_str(&format!(
+            "{:<17} | {:>8.4} {}\n",
+            o.name,
+            o.energy_ratio(),
+            bar(1.0 / o.energy_ratio(), 2.0)
+        ));
     }
     let accel_only: Vec<f64> = outcomes
         .iter()
@@ -163,8 +171,10 @@ pub fn blocking_pattern(name: &str, scale: f64) -> String {
     if hist.is_empty() {
         out.push_str("(none)");
     } else {
-        let parts: Vec<String> =
-            hist.iter().map(|&(s, n)| format!("{n} x {s}x{s}")).collect();
+        let parts: Vec<String> = hist
+            .iter()
+            .map(|&(s, n)| format!("{n} x {s}x{s}"))
+            .collect();
         out.push_str(&parts.join(", "));
     }
     out.push('\n');
@@ -176,10 +186,22 @@ pub fn area_report() -> String {
     let a = system_area(&AcceleratorConfig::default());
     let mut out = String::new();
     out.push_str("System area (§VIII-C)\n");
-    out.push_str(&format!("  crossbars + ADCs   : {:>7.1} mm2\n", a.crossbars_mm2));
-    out.push_str(&format!("  cluster overheads  : {:>7.1} mm2\n", a.cluster_overhead_mm2));
-    out.push_str(&format!("  local processors   : {:>7.1} mm2\n", a.processors_mm2));
-    out.push_str(&format!("  global memory      : {:>7.1} mm2\n", a.global_memory_mm2));
+    out.push_str(&format!(
+        "  crossbars + ADCs   : {:>7.1} mm2\n",
+        a.crossbars_mm2
+    ));
+    out.push_str(&format!(
+        "  cluster overheads  : {:>7.1} mm2\n",
+        a.cluster_overhead_mm2
+    ));
+    out.push_str(&format!(
+        "  local processors   : {:>7.1} mm2\n",
+        a.processors_mm2
+    ));
+    out.push_str(&format!(
+        "  global memory      : {:>7.1} mm2\n",
+        a.global_memory_mm2
+    ));
     out.push_str(&format!(
         "  total              : {:>7.1} mm2   (paper: 539 mm2; P100 die: 610 mm2)\n",
         a.total_mm2()
@@ -241,7 +263,10 @@ pub fn ablation() -> String {
         }
     }
     let mut rng = StdRng::seed_from_u64(7);
-    let spec = ClusterSpec { size: n, ..Default::default() };
+    let spec = ClusterSpec {
+        size: n,
+        ..Default::default()
+    };
     let cluster = Cluster::program(spec, &entries, &mut rng).unwrap().cluster;
     let x: Vec<f64> = (0..n)
         .map(|i| (1.0 + i as f64 * 0.21) * (2.0f64).powi((i as i32 % 5) * 7 - 14))
@@ -249,10 +274,24 @@ pub fn ablation() -> String {
 
     let base = cluster.mvm(&x, &MvmOptions::default(), &mut rng).unwrap();
     let no_term = cluster
-        .mvm(&x, &MvmOptions { early_termination: false, ..Default::default() }, &mut rng)
+        .mvm(
+            &x,
+            &MvmOptions {
+                early_termination: false,
+                ..Default::default()
+            },
+            &mut rng,
+        )
         .unwrap();
     let no_head = cluster
-        .mvm(&x, &MvmOptions { adc_headstart: false, ..Default::default() }, &mut rng)
+        .mvm(
+            &x,
+            &MvmOptions {
+                adc_headstart: false,
+                ..Default::default()
+            },
+            &mut rng,
+        )
         .unwrap();
     out.push_str(&format!(
         "  early termination : {:>5} / {:>5} slices used, energy x{:.2} without it\n",
@@ -315,18 +354,8 @@ fn heterogeneity_ablation() -> String {
             vec![(512u32, 0.10), (256, 0.08), (128, 0.07), (64, 0.06)],
             vec![(512usize, 2usize), (256, 4), (128, 6), (64, 8)],
         ),
-        (
-            "512-only",
-            vec![512],
-            vec![(512, 0.10)],
-            vec![(512, 20)],
-        ),
-        (
-            "64-only",
-            vec![64],
-            vec![(64, 0.06)],
-            vec![(64, 160)],
-        ),
+        ("512-only", vec![512], vec![(512, 0.10)], vec![(512, 20)]),
+        ("64-only", vec![64], vec![(64, 0.06)], vec![(64, 160)]),
     ] {
         let bc = BlockingConfig {
             block_sizes: sizes,
@@ -334,7 +363,10 @@ fn heterogeneity_ablation() -> String {
             ..Default::default()
         };
         let blocked = BlockedMatrix::block(&a, &bc);
-        let config = AcceleratorConfig { clusters_per_bank: cluster_mix, ..Default::default() };
+        let config = AcceleratorConfig {
+            clusters_per_bank: cluster_mix,
+            ..Default::default()
+        };
         let mut acc = AcceleratorPlatform::new(&blocked, config);
         let mut y = vec![0.0; a.rows()];
         acc.spmv(&x, &mut y);
@@ -455,7 +487,11 @@ pub fn real_matrix_report(path: &str, tol: f64) -> Result<String, Box<dyn std::e
     ));
     let n = a.rows();
     let b = vec![1.0; n];
-    let opts = SolveOptions { tol, max_iters: 5000, record_residuals: false };
+    let opts = SolveOptions {
+        tol,
+        max_iters: 5000,
+        record_residuals: false,
+    };
     let mut gpu = GpuPlatform::new(a.clone());
     let mut xg = vec![0.0; n];
     let rg = if stats.symmetric {
@@ -500,9 +536,7 @@ pub fn sizing_exploration() -> String {
     let m = memsci_xbar::CostModel::default();
     let mut out = String::new();
     out.push_str("Crossbar sizing trade-offs (§V-A; statistical model, 60 vector slices)\n");
-    out.push_str(
-        "size | density | thrpt [Gop/s] | eff [Gop/J] | area-eff [Gop/s/mm2]\n",
-    );
+    out.push_str("size | density | thrpt [Gop/s] | eff [Gop/J] | area-eff [Gop/s/mm2]\n");
     out.push_str(&"-".repeat(70));
     out.push('\n');
     for n in [32usize, 64, 128, 256, 512, 1024] {
@@ -539,7 +573,9 @@ mod harness_tests {
     #[test]
     fn real_matrix_report_roundtrip() {
         // Write a replica to a temp .mtx and run the real-matrix path.
-        let a = memsci_sparse::suite::by_name("crystm03").unwrap().generate_scaled(0.05);
+        let a = memsci_sparse::suite::by_name("crystm03")
+            .unwrap()
+            .generate_scaled(0.05);
         let path = std::env::temp_dir().join("memsci_real_matrix_test.mtx");
         let f = std::fs::File::create(&path).unwrap();
         memsci_sparse::matrix_market::write_csr(&a, std::io::BufWriter::new(f)).unwrap();

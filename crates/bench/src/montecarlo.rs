@@ -7,7 +7,7 @@
 //! the paper's baseline point (1-bit cells, `R_off/R_on = 1500`, ideal
 //! programming).
 
-use memsci_core::{AcceleratorConfig, ExactAcceleratorPlatform, ExactOptions};
+use memsci_core::{AcceleratorConfig, ExactAcceleratorPlatform, ExactOptions, ExecStats};
 use memsci_solvers::cg::cg;
 use memsci_solvers::SolveOptions;
 use memsci_sparse::blocking::{BlockedMatrix, BlockingConfig};
@@ -35,11 +35,23 @@ pub struct MonteCarloConfig {
     /// the Monte-Carlo spread instead comes from per-seed programming
     /// error).
     pub rtn_probability: f64,
+    /// Host worker threads for the trial loop (`None` = machine
+    /// parallelism; `MEMSCI_THREADS` overrides). Results are
+    /// bit-identical at any setting: every trial derives its RNG stream
+    /// from its own seed.
+    pub threads: Option<usize>,
 }
 
 impl Default for MonteCarloConfig {
     fn default() -> Self {
-        MonteCarloConfig { runs: 15, n: 256, tol: 1e-6, max_iters: 150, rtn_probability: 0.0 }
+        MonteCarloConfig {
+            runs: 15,
+            n: 256,
+            tol: 1e-6,
+            max_iters: 150,
+            rtn_probability: 0.0,
+            threads: None,
+        }
     }
 }
 
@@ -56,6 +68,9 @@ pub struct McPoint {
     pub max: usize,
     /// Runs that failed to converge within the cap.
     pub failures: usize,
+    /// Host execution stats of the trial loop (wall-clock measurement,
+    /// not modelled accelerator time).
+    pub exec: ExecStats,
 }
 
 impl McPoint {
@@ -87,25 +102,44 @@ pub fn mc_iterations(a: &Csr, cell: CellSpec, seed: u64, mc: &MonteCarloConfig) 
     let mut platform = ExactAcceleratorPlatform::new(
         &blocked,
         config,
-        ExactOptions { seed, rtn_probability: mc.rtn_probability, ..Default::default() },
+        ExactOptions {
+            seed,
+            rtn_probability: mc.rtn_probability,
+            ..Default::default()
+        },
     )
     .expect("test matrix programs cleanly");
     let n = a.rows();
     let b = vec![1.0; n];
     let mut x = vec![0.0; n];
-    let opts = SolveOptions { tol: mc.tol, max_iters: mc.max_iters, record_residuals: false };
+    let opts = SolveOptions {
+        tol: mc.tol,
+        max_iters: mc.max_iters,
+        record_residuals: false,
+    };
     let report = cg(&mut platform, &b, &mut x, &opts);
     (report.iterations, report.converged)
 }
 
 /// Sweeps one cell configuration over the Monte-Carlo seeds.
+///
+/// Trials are independent — each derives its stream from
+/// `task_seed(0, trial)` (which reproduces the historical `0..runs`
+/// seeds) — so they fan out across host workers; the aggregation is a
+/// serial fold in trial order, making the point bit-identical at any
+/// thread count.
 pub fn sweep_point(a: &Csr, label: String, cell: CellSpec, mc: &MonteCarloConfig) -> McPoint {
+    let threads = memsci_core::exec::worker_count(mc.threads);
+    let (trials, exec) = memsci_core::exec::timed(threads, mc.runs, || {
+        memsci_core::exec::parallel_tasks(threads, mc.runs, |trial| {
+            mc_iterations(a, cell, memsci_core::exec::task_seed(0, trial as u64), mc)
+        })
+    });
     let mut min = usize::MAX;
     let mut max = 0usize;
     let mut sum = 0usize;
     let mut failures = 0usize;
-    for seed in 0..mc.runs as u64 {
-        let (iters, converged) = mc_iterations(a, cell, seed, mc);
+    for (iters, converged) in trials {
         let iters = if converged { iters } else { mc.max_iters };
         if !converged {
             failures += 1;
@@ -114,7 +148,14 @@ pub fn sweep_point(a: &Csr, label: String, cell: CellSpec, mc: &MonteCarloConfig
         max = max.max(iters);
         sum += iters;
     }
-    McPoint { label, min, mean: sum as f64 / mc.runs as f64, max, failures }
+    McPoint {
+        label,
+        min,
+        mean: sum as f64 / mc.runs as f64,
+        max,
+        failures,
+        exec,
+    }
 }
 
 /// Figure 12: iteration count vs bits per cell × dynamic range,
@@ -162,7 +203,13 @@ mod tests {
     use super::*;
 
     fn small_mc() -> MonteCarloConfig {
-        MonteCarloConfig { runs: 2, n: 64, tol: 1e-6, max_iters: 200, rtn_probability: 0.0 }
+        MonteCarloConfig {
+            runs: 2,
+            n: 64,
+            tol: 1e-6,
+            max_iters: 200,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -185,5 +232,23 @@ mod tests {
         let (nmin, nmean, nmax) = p.normalized(p.mean);
         assert!(nmin <= 1.0 + 1e-12 && nmax + 1e-12 >= 1.0);
         assert!((nmean - 1.0).abs() < 1e-12);
+        assert_eq!(p.exec.tasks, mc.runs);
+    }
+
+    #[test]
+    fn parallel_trials_match_serial() {
+        let a = test_matrix(64);
+        let cell = CellSpec::default().with_programming_sigma(0.01);
+        let mut serial_mc = small_mc();
+        serial_mc.threads = Some(1);
+        let serial = sweep_point(&a, "p".into(), cell, &serial_mc);
+        let mut parallel_mc = small_mc();
+        parallel_mc.threads = Some(2);
+        let parallel = sweep_point(&a, "p".into(), cell, &parallel_mc);
+        assert_eq!(parallel.min, serial.min);
+        assert_eq!(parallel.mean.to_bits(), serial.mean.to_bits());
+        assert_eq!(parallel.max, serial.max);
+        assert_eq!(parallel.failures, serial.failures);
+        assert_eq!(parallel.exec.threads, 2);
     }
 }

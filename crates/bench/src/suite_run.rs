@@ -3,7 +3,7 @@
 use memsci_core::dispatch::{choose_target, Target};
 use memsci_core::engine::AcceleratorPlatform;
 use memsci_core::overhead::{preprocessing_time, SetupCost};
-use memsci_core::AcceleratorConfig;
+use memsci_core::{AcceleratorConfig, ExecStats};
 use memsci_gpu::GpuPlatform;
 use memsci_solvers::{bicgstab::bicgstab, cg::cg, SolveOptions, SolveReport};
 use memsci_sparse::blocking::{BlockedMatrix, BlockingConfig};
@@ -58,6 +58,9 @@ pub struct MatrixOutcome {
     pub setup: SetupCost,
     /// Average vector slices per cluster in the last MVM.
     pub avg_slices: f64,
+    /// Host execution stats of this matrix's end-to-end run (filled by
+    /// [`run_suite`]; wall-clock measurement, not modelled time).
+    pub exec: ExecStats,
 }
 
 impl MatrixOutcome {
@@ -86,7 +89,11 @@ pub fn run_matrix(entry: &SuiteEntry, scale: f64, tol: f64) -> MatrixOutcome {
     // Per-iteration costs are what Figures 8-9 compare; capping the
     // count keeps ill-conditioned replicas affordable while both
     // platforms execute identical iteration sequences.
-    let opts = SolveOptions { tol, max_iters: 2_000, record_residuals: false };
+    let opts = SolveOptions {
+        tol,
+        max_iters: 2_000,
+        record_residuals: false,
+    };
 
     // GPU baseline solve.
     let mut gpu = GpuPlatform::new(a.clone());
@@ -139,8 +146,11 @@ pub fn run_matrix(entry: &SuiteEntry, scale: f64, tol: f64) -> MatrixOutcome {
                 time: report.time_seconds + preproc,
                 energy: report.energy_joules + gpu.spec().energy(preproc),
             };
-            let setup =
-                SetupCost { preprocessing_time: preproc, write_time: 0.0, write_energy: 0.0 };
+            let setup = SetupCost {
+                preprocessing_time: preproc,
+                write_time: 0.0,
+                write_energy: 0.0,
+            };
             (cost, setup, 0.0)
         }
     };
@@ -156,21 +166,56 @@ pub fn run_matrix(entry: &SuiteEntry, scale: f64, tol: f64) -> MatrixOutcome {
         gpu: gpu_cost,
         setup,
         avg_slices,
+        exec: ExecStats::default(),
     }
+}
+
+/// Runs a set of suite matrices, fanning them out across host workers.
+///
+/// Matrices are independent; outcomes come back in entry order, so the
+/// result is bit-identical at any thread count (`None` = machine
+/// parallelism; `MEMSCI_THREADS` overrides). Each outcome's
+/// [`exec`](MatrixOutcome::exec) records that matrix's own wall-clock.
+pub fn run_entries(
+    entries: &[SuiteEntry],
+    scale: f64,
+    tol: f64,
+    threads: Option<usize>,
+) -> Vec<MatrixOutcome> {
+    let threads = memsci_core::exec::worker_count(threads);
+    memsci_core::exec::parallel_map(threads, entries, |_, e| {
+        let (mut outcome, exec) =
+            memsci_core::exec::timed(threads, 1, || run_matrix(e, scale, tol));
+        outcome.exec = exec;
+        outcome
+    })
 }
 
 /// Runs the whole suite.
 pub fn run_suite(scale: f64, tol: f64) -> Vec<MatrixOutcome> {
-    suite().iter().map(|e| run_matrix(e, scale, tol)).collect()
+    run_entries(&suite(), scale, tol, None)
 }
 
 /// Geometric mean of a positive series.
+///
+/// Non-positive and non-finite values have no logarithm and would
+/// silently poison the whole mean with `-inf`/`NaN`; they are skipped
+/// with a warning on stderr instead. Returns `NaN` when no valid value
+/// remains (including for an empty input).
 pub fn geometric_mean(values: impl IntoIterator<Item = f64>) -> f64 {
     let mut log_sum = 0.0;
     let mut count = 0usize;
+    let mut skipped = 0usize;
     for v in values {
-        log_sum += v.ln();
-        count += 1;
+        if v > 0.0 && v.is_finite() {
+            log_sum += v.ln();
+            count += 1;
+        } else {
+            skipped += 1;
+        }
+    }
+    if skipped > 0 {
+        eprintln!("warning: geometric_mean skipped {skipped} non-positive or non-finite value(s)");
     }
     if count == 0 {
         return f64::NAN;
@@ -190,6 +235,19 @@ mod tests {
     }
 
     #[test]
+    fn geometric_mean_skips_invalid_values() {
+        // Zeros, negatives, and non-finite values must not poison the
+        // mean of the remaining series.
+        assert!((geometric_mean([2.0, 0.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geometric_mean([2.0, -3.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geometric_mean([2.0, f64::NAN, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geometric_mean([2.0, f64::INFINITY, 8.0]) - 4.0).abs() < 1e-12);
+        // Nothing valid left: NaN, not a panic and not -inf.
+        assert!(geometric_mean([0.0, -1.0]).is_nan());
+        assert!(geometric_mean([f64::NEG_INFINITY]).is_nan());
+    }
+
+    #[test]
     fn well_blocking_matrix_beats_the_gpu() {
         let e = by_name("Pres_Poisson").unwrap();
         let o = run_matrix(&e, 0.25, 1e-8);
@@ -201,6 +259,23 @@ mod tests {
         assert!(o.speedup() > 1.0, "speedup {}", o.speedup());
         assert!(o.energy_ratio() < 1.0, "energy ratio {}", o.energy_ratio());
         assert!(o.overhead_fraction() < 0.9);
+    }
+
+    #[test]
+    fn parallel_entries_match_serial() {
+        let entries = vec![by_name("Pres_Poisson").unwrap(), by_name("ns3Da").unwrap()];
+        let serial = run_entries(&entries, 0.12, 1e-6, Some(1));
+        let parallel = run_entries(&entries, 0.12, 1e-6, Some(2));
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.name, p.name);
+            assert_eq!(s.target, p.target);
+            assert_eq!(s.accel, p.accel);
+            assert_eq!(s.gpu, p.gpu);
+            assert_eq!(s.efficiency.to_bits(), p.efficiency.to_bits());
+            assert_eq!(s.avg_slices.to_bits(), p.avg_slices.to_bits());
+            assert!(p.exec.wall_seconds >= 0.0);
+        }
     }
 
     #[test]

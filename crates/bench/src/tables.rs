@@ -23,9 +23,7 @@ pub fn table1() -> String {
         .collect();
     out.push_str(&format!("Bank     | {}, 1 LEON core\n", mix.join(", ")));
     out.push_str("Cluster  | 127 bit slice crossbars\n");
-    out.push_str(
-        "Crossbar | N x N cells, (log2[N] - 1)-bit pipelined SAR ADC (CIC), 2N drivers\n",
-    );
+    out.push_str("Crossbar | N x N cells, (log2[N] - 1)-bit pipelined SAR ADC (CIC), 2N drivers\n");
     out.push_str(&format!(
         "Cell     | TaOx, Ron = {:.0} kOhm, Roff = {:.0} MOhm, Vread = {} V, Ewrite = {:.2} nJ, Twrite = {:.2} ns\n",
         c.cell.r_on / 1e3,
@@ -81,7 +79,9 @@ pub fn table2_rows(scale: f64) -> Vec<Table2Row> {
 /// Renders Table II.
 pub fn table2(scale: f64) -> String {
     let mut out = String::new();
-    out.push_str(&format!("Table II — Evaluated matrices (replicas at scale {scale}), SPD on top\n"));
+    out.push_str(&format!(
+        "Table II — Evaluated matrices (replicas at scale {scale}), SPD on top\n"
+    ));
     out.push_str(
         "Matrix            |      NNZs |    Rows | NNZ/Row | Blocked | (paper: NNZ/Row, Blocked)\n",
     );
@@ -110,7 +110,12 @@ pub fn table3() -> String {
     out.push_str("Size | Area [mm2] | Energy [pJ] | Latency [nsec] | (paper: energy, latency)\n");
     out.push_str(&"-".repeat(78));
     out.push('\n');
-    let paper = [(64usize, 28.0, 53.3), (128, 65.2, 107.0), (256, 150.0, 213.0), (512, 342.0, 427.0)];
+    let paper = [
+        (64usize, 28.0, 53.3),
+        (128, 65.2, 107.0),
+        (256, 150.0, 213.0),
+        (512, 342.0, 427.0),
+    ];
     for (size, e_paper, l_paper) in paper {
         out.push_str(&format!(
             "{:>4} | {:>10.5} | {:>11.1} | {:>14.1} | (paper: {:>6.1} pJ, {:>5.1} ns)\n",

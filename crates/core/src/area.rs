@@ -68,8 +68,7 @@ pub fn system_area(config: &AcceleratorConfig) -> AreaBreakdown {
     let mut crossbars = 0.0;
     let mut clusters = 0usize;
     for &(size, count) in &config.clusters_per_bank {
-        let per_cluster =
-            CROSSBARS_PER_CLUSTER as f64 * config.cost.crossbar_area_mm2(size);
+        let per_cluster = CROSSBARS_PER_CLUSTER as f64 * config.cost.crossbar_area_mm2(size);
         crossbars += per_cluster * count as f64 * config.banks as f64;
         clusters += count * config.banks;
     }

@@ -36,6 +36,12 @@ pub struct AcceleratorConfig {
     /// comparisons against the whole-chip GPU baseline are like for
     /// like.
     pub system_static_power: f64,
+    /// Host worker threads for the simulator's parallel sections
+    /// (`None` = machine parallelism). The `MEMSCI_THREADS` environment
+    /// variable overrides this; results are bit-identical at any
+    /// setting. Purely a simulation-host knob — it never affects
+    /// modelled accelerator time or energy.
+    pub threads: Option<usize>,
 }
 
 impl Default for AcceleratorConfig {
@@ -51,6 +57,7 @@ impl Default for AcceleratorConfig {
             barrier_time: 1.0e-6,
             gpu_fallback_efficiency: 0.10,
             system_static_power: 60.0,
+            threads: None,
         }
     }
 }
@@ -66,7 +73,11 @@ impl AcceleratorConfig {
 
     /// Total clusters of all sizes.
     pub fn total_clusters(&self) -> usize {
-        self.clusters_per_bank.iter().map(|&(_, c)| c).sum::<usize>() * self.banks
+        self.clusters_per_bank
+            .iter()
+            .map(|&(_, c)| c)
+            .sum::<usize>()
+            * self.banks
     }
 
     /// Crossbar sizes available, descending.
@@ -77,14 +88,19 @@ impl AcceleratorConfig {
     /// A scaled-down configuration (for tests): `banks` banks with the
     /// Table I per-bank mix.
     pub fn with_banks(banks: usize) -> Self {
-        AcceleratorConfig { banks, ..Default::default() }
+        AcceleratorConfig {
+            banks,
+            ..Default::default()
+        }
     }
 
     /// Vector-section length actually used for an `n`-element problem:
     /// the configured section, shrunk so every bank participates when
     /// `n` is smaller than `banks × vector_section`.
     pub fn effective_section(&self, n: usize) -> usize {
-        self.vector_section.min(n.div_ceil(self.banks.max(1))).max(1)
+        self.vector_section
+            .min(n.div_ceil(self.banks.max(1)))
+            .max(1)
     }
 }
 
@@ -175,7 +191,10 @@ mod tests {
     fn default_matches_table1() {
         let c = AcceleratorConfig::default();
         assert_eq!(c.banks, 128);
-        assert_eq!(c.clusters_per_bank, vec![(512, 2), (256, 4), (128, 6), (64, 8)]);
+        assert_eq!(
+            c.clusters_per_bank,
+            vec![(512, 2), (256, 4), (128, 6), (64, 8)]
+        );
         assert_eq!(c.total_clusters(), 128 * 20);
         assert_eq!(c.cluster_capacity(512), 256);
         assert_eq!(c.cluster_capacity(64), 1024);

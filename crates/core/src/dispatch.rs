@@ -56,7 +56,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let a = banded(600, 16, 0.9, ValueModel::with_spread(8), &mut rng).to_csr();
         let blocked = BlockedMatrix::block(&a, &BlockingConfig::default());
-        assert_eq!(choose_target(&blocked, &AcceleratorConfig::default()), Target::Accelerator);
+        assert_eq!(
+            choose_target(&blocked, &AcceleratorConfig::default()),
+            Target::Accelerator
+        );
     }
 
     #[test]
@@ -64,7 +67,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let a = uniform_random(2048, 14000, ValueModel::with_spread(8), &mut rng).to_csr();
         let blocked = BlockedMatrix::block(&a, &BlockingConfig::default());
-        assert_eq!(choose_target(&blocked, &AcceleratorConfig::default()), Target::Gpu);
+        assert_eq!(
+            choose_target(&blocked, &AcceleratorConfig::default()),
+            Target::Gpu
+        );
     }
 
     #[test]
@@ -72,8 +78,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let a = banded(600, 16, 0.9, ValueModel::with_spread(8), &mut rng).to_csr();
         let blocked = BlockedMatrix::block(&a, &BlockingConfig::default());
-        let config =
-            AcceleratorConfig { gpu_fallback_efficiency: 1.1, ..Default::default() };
+        let config = AcceleratorConfig {
+            gpu_fallback_efficiency: 1.1,
+            ..Default::default()
+        };
         assert_eq!(choose_target(&blocked, &config), Target::Gpu);
     }
 }

@@ -21,6 +21,7 @@
 //!
 //! [`CostModel`]: memsci_xbar::CostModel
 
+use memsci_exec::ExecStats;
 use memsci_numeric::FloatParts;
 use memsci_solvers::platform::{axpby_f64, dot_f64, Platform};
 use memsci_sparse::{BlockedMatrix, Coo, Csr};
@@ -45,6 +46,9 @@ pub struct SpmvStats {
     pub max_slices: usize,
     /// Fraction of potential conversions skipped by early termination.
     pub skipped_fraction: f64,
+    /// Host execution stats of the parallel per-cluster section
+    /// (wall-clock measurement, not modelled accelerator time).
+    pub exec: ExecStats,
 }
 
 /// One cluster in the fast engine.
@@ -111,7 +115,9 @@ impl AcceleratorPlatform {
         // Residual = preprocessing residual + mapping overflow.
         let mut residual_coo = blocked.residual.to_coo();
         for &(r, c, v) in &mapping.extra_residual {
-            residual_coo.push(r as usize, c as usize, v).expect("overflow entry in range");
+            residual_coo
+                .push(r as usize, c as usize, v)
+                .expect("overflow entry in range");
         }
         let residual = residual_coo.to_csr();
         let residual_t = residual.transpose();
@@ -252,7 +258,13 @@ impl AcceleratorPlatform {
     /// settles (§IV-B): the running sum's leading one sits near
     /// `log2 |dot|` above the fixed-point LSB, and accumulation stops
     /// once the remaining-slice bound drops below the mantissa.
-    pub fn estimate_row_slices(dot: f64, exp_base: i32, x_exp_base: i32, xw: usize, pm_bits: i64) -> usize {
+    pub fn estimate_row_slices(
+        dot: f64,
+        exp_base: i32,
+        x_exp_base: i32,
+        xw: usize,
+        pm_bits: i64,
+    ) -> usize {
         if xw == 0 {
             return 0;
         }
@@ -362,6 +374,8 @@ impl AcceleratorPlatform {
             } else {
                 0.0
             },
+            // Filled in by the caller, which owns the timed section.
+            exec: ExecStats::default(),
         };
     }
 
@@ -412,23 +426,35 @@ impl Platform for AcceleratorPlatform {
     fn spmv(&mut self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.n, "x length");
         assert_eq!(y.len(), self.n, "y length");
-        // Functional result: per-cluster dots plus residual.
-        let mut dots: Vec<Vec<f64>> = Vec::with_capacity(self.clusters.len());
         y.fill(0.0);
-        for cluster in &self.clusters {
-            let mut cluster_dots = Vec::with_capacity(cluster.rows.len());
-            for (lr, entries) in &cluster.rows {
-                let mut acc = 0.0;
-                for &(c, v) in entries {
-                    acc += v * x[cluster.col0 + c as usize];
+        // Functional result: per-cluster dots plus residual. Clusters
+        // are independent, so their dot products fan out across worker
+        // threads; each task only writes its own buffer.
+        let threads = memsci_exec::worker_count(self.config.threads);
+        let (dots, exec) = memsci_exec::timed(threads, self.clusters.len(), || {
+            memsci_exec::parallel_map(threads, &self.clusters, |_, cluster| {
+                let mut cluster_dots = Vec::with_capacity(cluster.rows.len());
+                for (_, entries) in &cluster.rows {
+                    let mut acc = 0.0;
+                    for &(c, v) in entries {
+                        acc += v * x[cluster.col0 + c as usize];
+                    }
+                    cluster_dots.push(acc);
                 }
+                cluster_dots
+            })
+        });
+        // Serial merge in cluster order: the exact reduction order of
+        // the serial loop, so results are bit-identical at any thread
+        // count.
+        for (cluster, cluster_dots) in self.clusters.iter().zip(&dots) {
+            for ((lr, _), &acc) in cluster.rows.iter().zip(cluster_dots) {
                 y[cluster.row0 + *lr as usize] += acc;
-                cluster_dots.push(acc);
             }
-            dots.push(cluster_dots);
         }
         self.residual.spmv_add(x, y);
         self.charge_spmv_cost(x, &dots);
+        self.last_spmv.exec = exec;
     }
 
     fn spmv_transpose(&mut self, x: &[f64], y: &mut [f64]) {
@@ -546,6 +572,34 @@ mod tests {
     }
 
     #[test]
+    fn parallel_spmv_is_bit_identical_to_serial() {
+        let a = banded(700, 14, 0.7, ValueModel::with_spread(12), &mut rng()).to_csr();
+        let x: Vec<f64> = (0..700).map(|i| (i as f64 * 0.19).sin() * 3.0).collect();
+        let mut serial_cfg = AcceleratorConfig::with_banks(4);
+        serial_cfg.threads = Some(1);
+        let mut acc = accelerate(&a, serial_cfg);
+        let mut y_serial = vec![0.0; 700];
+        acc.spmv(&x, &mut y_serial);
+        let (t_serial, e_serial) = (acc.elapsed_seconds(), acc.energy_joules());
+        for threads in [2, 3, 8] {
+            let mut cfg = AcceleratorConfig::with_banks(4);
+            cfg.threads = Some(threads);
+            let mut acc = accelerate(&a, cfg);
+            let mut y = vec![0.0; 700];
+            acc.spmv(&x, &mut y);
+            for (u, v) in y.iter().zip(&y_serial) {
+                assert_eq!(u.to_bits(), v.to_bits(), "threads={threads}");
+            }
+            // The modelled cost is a pure function of the inputs too.
+            assert_eq!(acc.elapsed_seconds().to_bits(), t_serial.to_bits());
+            assert_eq!(acc.energy_joules().to_bits(), e_serial.to_bits());
+            let exec = acc.last_spmv().exec;
+            assert_eq!(exec.threads, threads);
+            assert!(exec.tasks > 0 && exec.wall_seconds >= 0.0);
+        }
+    }
+
+    #[test]
     fn transpose_matches_csr_reference() {
         let a = banded(300, 10, 0.6, ValueModel::with_spread(8), &mut rng()).to_csr();
         let mut acc = accelerate(&a, AcceleratorConfig::with_banks(4));
@@ -594,8 +648,9 @@ mod tests {
         let mut acc = accelerate(&a, AcceleratorConfig::with_banks(4));
         // A wide-dynamic-range vector: most rows settle long before the
         // least significant slices.
-        let x: Vec<f64> =
-            (0..512).map(|i| (2.0f64).powi((i % 10) * 6 - 30) * (1.0 + i as f64 * 0.01)).collect();
+        let x: Vec<f64> = (0..512)
+            .map(|i| (2.0f64).powi((i % 10) * 6 - 30) * (1.0 + i as f64 * 0.01))
+            .collect();
         let mut y = vec![0.0; 512];
         acc.spmv(&x, &mut y);
         assert!(
@@ -642,8 +697,14 @@ mod tests {
         let small = AcceleratorPlatform::estimate_row_slices(1e-30, -60, -60, 100, 60);
         assert!(big < small);
         assert_eq!(small, 100);
-        assert_eq!(AcceleratorPlatform::estimate_row_slices(0.0, 0, 0, 50, 60), 50);
-        assert_eq!(AcceleratorPlatform::estimate_row_slices(1.0, 0, 0, 0, 60), 0);
+        assert_eq!(
+            AcceleratorPlatform::estimate_row_slices(0.0, 0, 0, 50, 60),
+            50
+        );
+        assert_eq!(
+            AcceleratorPlatform::estimate_row_slices(1.0, 0, 0, 0, 60),
+            0
+        );
     }
 }
 

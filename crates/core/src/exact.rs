@@ -11,7 +11,7 @@
 
 use memsci_numeric::align::AlignError;
 use memsci_solvers::platform::{axpby_f64, dot_f64, Platform};
-use memsci_sparse::{BlockedMatrix, Csr};
+use memsci_sparse::{BlockedMatrix, Coo, Csr};
 use memsci_xbar::cluster::{Cluster, ClusterSpec, MvmOptions};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -32,7 +32,11 @@ pub struct ExactOptions {
 
 impl Default for ExactOptions {
     fn default() -> Self {
-        ExactOptions { seed: 0, rtn_probability: 0.0, mvm: MvmOptions::default() }
+        ExactOptions {
+            seed: 0,
+            rtn_probability: 0.0,
+            mvm: MvmOptions::default(),
+        }
     }
 }
 
@@ -45,7 +49,11 @@ struct ExactCluster {
 
 impl std::fmt::Debug for ExactCluster {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "ExactCluster(row0={}, col0={}, bank={})", self.row0, self.col0, self.bank)
+        write!(
+            f,
+            "ExactCluster(row0={}, col0={}, bank={})",
+            self.row0, self.col0, self.bank
+        )
     }
 }
 
@@ -57,9 +65,14 @@ pub struct ExactAcceleratorPlatform {
     n: usize,
     clusters: Vec<ExactCluster>,
     residual: Csr,
+    /// Explicit transpose of the full operator (blocks + residual,
+    /// ideal values), backing [`Platform::spmv_transpose`].
+    transpose: Csr,
     diag: Vec<f64>,
     bank_residual_local: Vec<usize>,
     bank_residual_remote: Vec<usize>,
+    bank_transpose_local: Vec<usize>,
+    bank_transpose_remote: Vec<usize>,
     bank_elems: Vec<usize>,
     rng: StdRng,
     time: f64,
@@ -94,7 +107,9 @@ impl ExactAcceleratorPlatform {
         let mut rng = StdRng::seed_from_u64(opts.seed);
         let mut residual_coo = blocked.residual.to_coo();
         for &(r, c, v) in &mapping.extra_residual {
-            residual_coo.push(r as usize, c as usize, v).expect("in range");
+            residual_coo
+                .push(r as usize, c as usize, v)
+                .expect("in range");
         }
         let mut clusters = Vec::new();
         for load in &mapping.clusters {
@@ -112,7 +127,11 @@ impl ExactAcceleratorPlatform {
             let outcome = Cluster::program(spec, &load.entries, &mut rng)?;
             for &(r, c, v) in &outcome.evicted {
                 residual_coo
-                    .push(load.row0 as usize + r as usize, load.col0 as usize + c as usize, v)
+                    .push(
+                        load.row0 as usize + r as usize,
+                        load.col0 as usize + c as usize,
+                        v,
+                    )
                     .expect("in range");
             }
             clusters.push(ExactCluster {
@@ -133,19 +152,38 @@ impl ExactAcceleratorPlatform {
                 }
             }
         }
-        let section = config.effective_section(n);
-        let mut bank_residual_local = vec![0usize; config.banks];
-        let mut bank_residual_remote = vec![0usize; config.banks];
-        for (r, c, _) in residual.iter() {
-            let bank = (r / section) % config.banks;
-            let local = r.abs_diff(c) <= config.local.gather_halo
-                || (c / section) % config.banks == bank;
-            if local {
-                bank_residual_local[bank] += 1;
-            } else {
-                bank_residual_remote[bank] += 1;
+        // Transpose products run on the digital residual path against
+        // the ideal (pre-programming) operator: a deployment would
+        // program A^T into its own clusters, so the vector section
+        // units stand in for them here.
+        let mut transpose_coo = Coo::new(n, n);
+        for (r, c, v) in residual.iter() {
+            transpose_coo.push(c, r, v).expect("in range");
+        }
+        for b in &blocked.blocks {
+            for (r, c, v) in b.global_entries() {
+                transpose_coo.push(c, r, v).expect("in range");
             }
         }
+        let transpose = transpose_coo.to_csr();
+        let section = config.effective_section(n);
+        let split_by_bank = |m: &Csr| {
+            let mut local_counts = vec![0usize; config.banks];
+            let mut remote_counts = vec![0usize; config.banks];
+            for (r, c, _) in m.iter() {
+                let bank = (r / section) % config.banks;
+                let local = r.abs_diff(c) <= config.local.gather_halo
+                    || (c / section) % config.banks == bank;
+                if local {
+                    local_counts[bank] += 1;
+                } else {
+                    remote_counts[bank] += 1;
+                }
+            }
+            (local_counts, remote_counts)
+        };
+        let (bank_residual_local, bank_residual_remote) = split_by_bank(&residual);
+        let (bank_transpose_local, bank_transpose_remote) = split_by_bank(&transpose);
         let mut bank_elems = vec![0usize; config.banks];
         for r in 0..n {
             bank_elems[(r / section) % config.banks] += 1;
@@ -156,9 +194,12 @@ impl ExactAcceleratorPlatform {
             n,
             clusters,
             residual,
+            transpose,
             diag,
             bank_residual_local,
             bank_residual_remote,
+            bank_transpose_local,
+            bank_transpose_remote,
             bank_elems,
             rng,
             time: 0.0,
@@ -246,11 +287,29 @@ impl Platform for ExactAcceleratorPlatform {
         self.energy += energy + self.config.system_static_power * time;
     }
 
-    fn spmv_transpose(&mut self, _x: &[f64], _y: &mut [f64]) {
-        // The exact platform backs CG and BiCG-STAB, neither of which
-        // needs transpose products; a deployment would program A^T into
-        // its own clusters. Use the fast engine for BiCG.
-        unimplemented!("exact platform does not model transpose products; use the fast engine");
+    fn spmv_transpose(&mut self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n, "x length");
+        assert_eq!(y.len(), self.n, "y length");
+        // A deployment would program A^T into its own clusters; here
+        // the product runs on the digital residual path against the
+        // ideal operator, with every non-zero charged at residual-path
+        // rates. BiCG therefore pairs a noisy forward operator with an
+        // ideal transpose, which the method tolerates.
+        self.transpose.spmv(x, y);
+        let local = self.config.local;
+        let mut worst = 0.0f64;
+        let mut energy = 0.0f64;
+        for bank in 0..self.config.banks {
+            let time = local.residual_time_split(
+                self.bank_transpose_local[bank],
+                self.bank_transpose_remote[bank],
+            );
+            worst = worst.max(time);
+            energy += local.energy(time);
+        }
+        let time = worst + self.config.barrier_time;
+        self.time += time;
+        self.energy += energy + self.config.system_static_power * time;
     }
 
     fn dot(&mut self, x: &[f64], y: &[f64]) -> f64 {
@@ -317,6 +376,53 @@ mod tests {
     }
 
     #[test]
+    fn exact_spmv_transpose_matches_explicit_transpose() {
+        let (a, mut acc) = build(12);
+        let n = a.rows();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.31).cos() - 0.4).collect();
+        let mut y1 = vec![0.0; n];
+        let mut y2 = vec![0.0; n];
+        let before = acc.elapsed_seconds();
+        acc.spmv_transpose(&x, &mut y1);
+        a.transpose().spmv(&x, &mut y2);
+        for (u, v) in y1.iter().zip(&y2) {
+            // Ideal values on the digital path; only the blocking
+            // partition reorders the sums.
+            assert!((u - v).abs() <= 1e-12 * v.abs().max(1.0), "{u} vs {v}");
+        }
+        assert!(
+            acc.elapsed_seconds() > before,
+            "transpose products must cost time"
+        );
+    }
+
+    #[test]
+    fn bicg_converges_on_the_exact_platform() {
+        let (a, mut acc) = build(10);
+        let n = a.rows();
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let opts = memsci_solvers::SolveOptions::with_tol(1e-8);
+        let rep = memsci_solvers::bicg::bicg(&mut acc, &b, &mut x, &opts);
+        assert!(
+            rep.converged,
+            "iters {} res {}",
+            rep.iterations, rep.relative_residual
+        );
+        // The returned solution really solves the system.
+        let mut r = vec![0.0; n];
+        a.spmv(&x, &mut r);
+        let err: f64 = r
+            .iter()
+            .zip(&b)
+            .map(|(ri, bi)| (ri - bi).powi(2))
+            .sum::<f64>()
+            .sqrt();
+        let nb: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!(err / nb < 1e-6, "residual {}", err / nb);
+    }
+
+    #[test]
     fn cg_converges_on_the_exact_platform() {
         let (a, mut acc) = build(10);
         let n = a.rows();
@@ -324,7 +430,11 @@ mod tests {
         let mut x = vec![0.0; n];
         let opts = memsci_solvers::SolveOptions::with_tol(1e-8);
         let rep = memsci_solvers::cg::cg(&mut acc, &b, &mut x, &opts);
-        assert!(rep.converged, "iters {} res {}", rep.iterations, rep.relative_residual);
+        assert!(
+            rep.converged,
+            "iters {} res {}",
+            rep.iterations, rep.relative_residual
+        );
         // Compare against the reference solve: same tolerance reached.
         let mut reference = memsci_solvers::CsrPlatform::new(a);
         let mut xr = vec![0.0; n];
@@ -333,7 +443,12 @@ mod tests {
         // Iteration counts match within a small slack (the platform
         // rounds per-block dots toward −∞ instead of to nearest).
         let diff = rep.iterations.abs_diff(rep_ref.iterations);
-        assert!(diff <= 2, "exact {} vs reference {}", rep.iterations, rep_ref.iterations);
+        assert!(
+            diff <= 2,
+            "exact {} vs reference {}",
+            rep.iterations,
+            rep_ref.iterations
+        );
     }
 
     #[test]
@@ -341,17 +456,27 @@ mod tests {
         let a = poisson2d(10, 10);
         let blocked = BlockedMatrix::block(&a, &BlockingConfig::default());
         let mut config = AcceleratorConfig::with_banks(2);
-        config.cell = config.cell.with_programming_sigma(0.05).with_bits_per_cell(2);
+        config.cell = config
+            .cell
+            .with_programming_sigma(0.05)
+            .with_bits_per_cell(2);
         let mut noisy = ExactAcceleratorPlatform::new(
             &blocked,
             config,
-            ExactOptions { seed: 3, ..Default::default() },
+            ExactOptions {
+                seed: 3,
+                ..Default::default()
+            },
         )
         .unwrap();
         let n = a.rows();
         let b = vec![1.0; n];
         let mut x = vec![0.0; n];
-        let opts = memsci_solvers::SolveOptions { tol: 1e-8, max_iters: 4000, ..Default::default() };
+        let opts = memsci_solvers::SolveOptions {
+            tol: 1e-8,
+            max_iters: 4000,
+            ..Default::default()
+        };
         let rep_noisy = memsci_solvers::cg::cg(&mut noisy, &b, &mut x, &opts);
         let (_, mut clean) = build(10);
         let mut xc = vec![0.0; n];

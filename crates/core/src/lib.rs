@@ -56,5 +56,7 @@ pub use dispatch::Target;
 pub use engine::{accelerate, AcceleratorPlatform, SpmvStats};
 pub use exact::{ExactAcceleratorPlatform, ExactOptions};
 pub use mapping::{map_blocks, ClusterLoad, Mapping, VectorMapEntry};
+pub use memsci_exec as exec;
+pub use memsci_exec::ExecStats;
 pub use multi::MultiAcceleratorPlatform;
 pub use overhead::SetupCost;

@@ -125,7 +125,11 @@ pub fn map_blocks(blocked: &BlockedMatrix, config: &AcceleratorConfig) -> Mappin
         pending
             .get_mut(&b.size)
             .unwrap_or_else(|| panic!("block size {} not in the configuration", b.size))
-            .push(PendingBlock { row0: b.row0, col0: b.col0, entries: b.entries.clone() });
+            .push(PendingBlock {
+                row0: b.row0,
+                col0: b.col0,
+                entries: b.entries.clone(),
+            });
     }
 
     let mut out = Mapping::default();
@@ -147,7 +151,10 @@ pub fn map_blocks(blocked: &BlockedMatrix, config: &AcceleratorConfig) -> Mappin
         let blocks = pending.remove(&s).unwrap();
         let mut groups: BTreeMap<(u32, u32), Vec<PendingBlock>> = BTreeMap::new();
         for b in blocks {
-            groups.entry((b.row0 / parent, b.col0 / parent)).or_default().push(b);
+            groups
+                .entry((b.row0 / parent, b.col0 / parent))
+                .or_default()
+                .push(b);
         }
         let mut ordered: Vec<((u32, u32), Vec<PendingBlock>)> = groups.into_iter().collect();
         ordered.sort_by_key(|(key, group)| (usize::MAX - group.len(), *key));
@@ -201,10 +208,14 @@ pub fn map_blocks(blocked: &BlockedMatrix, config: &AcceleratorConfig) -> Mappin
                         v,
                     ));
                 }
-                pending.entry(half).or_default().extend(quadrants.into_values());
+                pending
+                    .entry(half)
+                    .or_default()
+                    .extend(quadrants.into_values());
             } else {
                 for (r, c, v) in b.entries {
-                    out.extra_residual.push((b.row0 + u32::from(r), b.col0 + u32::from(c), v));
+                    out.extra_residual
+                        .push((b.row0 + u32::from(r), b.col0 + u32::from(c), v));
                 }
             }
         }
@@ -235,10 +246,15 @@ fn merge_group(
     let (kept, evicted) = exponent_window_partition(&values, max_spread);
     for &i in &evicted {
         let (r, c, v) = entries[i];
-        out.extra_residual.push((row0 + u32::from(r), col0 + u32::from(c), v));
+        out.extra_residual
+            .push((row0 + u32::from(r), col0 + u32::from(c), v));
     }
     let entries: Vec<(u16, u16, f64)> = kept.into_iter().map(|i| entries[i]).collect();
-    PendingBlock { row0, col0, entries }
+    PendingBlock {
+        row0,
+        col0,
+        entries,
+    }
 }
 
 #[cfg(test)]
@@ -328,7 +344,10 @@ mod tests {
             }
         }
         let a = coo.to_csr();
-        let bc = BlockingConfig { block_sizes: vec![64], ..Default::default() };
+        let bc = BlockingConfig {
+            block_sizes: vec![64],
+            ..Default::default()
+        };
         let blocked = BlockedMatrix::block(&a, &bc);
         assert!(blocked.blocks.iter().all(|b| b.size == 64));
         assert!(blocked.blocks.len() > 2);
@@ -356,7 +375,10 @@ mod tests {
             }
         }
         let a = coo.to_csr();
-        let bc = BlockingConfig { block_sizes: vec![512, 256], ..Default::default() };
+        let bc = BlockingConfig {
+            block_sizes: vec![512, 256],
+            ..Default::default()
+        };
         let blocked = BlockedMatrix::block(&a, &bc);
         assert_eq!(blocked.blocks.len(), 2);
         let mapping = map_blocks(&blocked, &config);
@@ -379,7 +401,10 @@ mod tests {
                 }
             }
         }
-        let bc = BlockingConfig { block_sizes: vec![64], ..Default::default() };
+        let bc = BlockingConfig {
+            block_sizes: vec![64],
+            ..Default::default()
+        };
         let blocked = BlockedMatrix::block(&coo.to_csr(), &bc);
         assert_eq!(blocked.blocks.len(), 3);
         let mapping = map_blocks(&blocked, &config);
@@ -402,7 +427,10 @@ mod tests {
                 coo.push(64 + r, 64 + c, 1e260).unwrap();
             }
         }
-        let bc = BlockingConfig { block_sizes: vec![64], ..Default::default() };
+        let bc = BlockingConfig {
+            block_sizes: vec![64],
+            ..Default::default()
+        };
         let blocked = BlockedMatrix::block(&coo.to_csr(), &bc);
         assert_eq!(blocked.blocks.len(), 2);
         let mapping = map_blocks(&blocked, &config);

@@ -9,6 +9,7 @@
 //! exchange puts the produced stripes back together before the next
 //! kernel.
 
+use memsci_exec::ExecStats;
 use memsci_solvers::platform::{axpby_f64, dot_f64, Platform};
 use memsci_sparse::blocking::{BlockedMatrix, BlockingConfig};
 use memsci_sparse::{Coo, Csr};
@@ -25,8 +26,12 @@ pub struct MultiAcceleratorPlatform {
     devices: Vec<(usize, AcceleratorPlatform)>,
     /// Seconds to exchange produced vector stripes between iterations.
     sync_time: f64,
+    /// Host worker threads for the per-device loop (`None` = machine
+    /// parallelism), taken from the accelerator configuration.
+    threads: Option<usize>,
     time: f64,
     energy: f64,
+    last_exec: ExecStats,
 }
 
 impl MultiAcceleratorPlatform {
@@ -64,7 +69,15 @@ impl MultiAcceleratorPlatform {
             let blocked = BlockedMatrix::block(&coo.to_csr(), &BlockingConfig::default());
             out.push((r0, AcceleratorPlatform::new(&blocked, config.clone())));
         }
-        MultiAcceleratorPlatform { n, devices: out, sync_time, time: 0.0, energy: 0.0 }
+        MultiAcceleratorPlatform {
+            n,
+            devices: out,
+            sync_time,
+            threads: config.threads,
+            time: 0.0,
+            energy: 0.0,
+            last_exec: ExecStats::default(),
+        }
     }
 
     /// Number of participating accelerators.
@@ -76,6 +89,50 @@ impl MultiAcceleratorPlatform {
     pub fn cluster_count(&self) -> usize {
         self.devices.iter().map(|(_, d)| d.cluster_count()).sum()
     }
+
+    /// Host execution stats of the most recent per-device parallel
+    /// section ([`spmv`](Platform::spmv) or
+    /// [`spmv_transpose`](Platform::spmv_transpose)).
+    pub fn last_exec(&self) -> ExecStats {
+        self.last_exec
+    }
+
+    /// Runs one kernel on every device in parallel, each into its own
+    /// stripe buffer, then merges serially in device order — the exact
+    /// reduction order of a serial device loop.
+    fn device_kernel(
+        &mut self,
+        x: &[f64],
+        y: &mut [f64],
+        kernel: impl Fn(&mut AcceleratorPlatform, &[f64], &mut [f64]) + Sync,
+    ) {
+        assert_eq!(x.len(), self.n, "x length");
+        assert_eq!(y.len(), self.n, "y length");
+        y.fill(0.0);
+        let n = self.n;
+        let threads = memsci_exec::worker_count(self.threads);
+        let (results, exec) = memsci_exec::timed(threads, self.devices.len(), || {
+            memsci_exec::parallel_map_mut(threads, &mut self.devices, |_, (_, dev)| {
+                let t0 = dev.elapsed_seconds();
+                let e0 = dev.energy_joules();
+                let mut buf = vec![0.0; n];
+                kernel(dev, x, &mut buf);
+                (buf, dev.elapsed_seconds() - t0, dev.energy_joules() - e0)
+            })
+        });
+        // Devices run in parallel: wall time is the slowest stripe plus
+        // the synchronization exchange; energies add.
+        let mut worst = 0.0f64;
+        for (buf, dt, de) in &results {
+            for (yi, bi) in y.iter_mut().zip(buf) {
+                *yi += bi;
+            }
+            worst = worst.max(*dt);
+            self.energy += de;
+        }
+        self.time += worst + self.sync_time;
+        self.last_exec = exec;
+    }
 }
 
 impl Platform for MultiAcceleratorPlatform {
@@ -84,43 +141,11 @@ impl Platform for MultiAcceleratorPlatform {
     }
 
     fn spmv(&mut self, x: &[f64], y: &mut [f64]) {
-        assert_eq!(x.len(), self.n, "x length");
-        assert_eq!(y.len(), self.n, "y length");
-        // Devices run in parallel: wall time is the slowest stripe plus
-        // the synchronization exchange; energies add.
-        let mut worst = 0.0f64;
-        let mut buf = vec![0.0; self.n];
-        y.fill(0.0);
-        for (_, dev) in &mut self.devices {
-            let t0 = dev.elapsed_seconds();
-            let e0 = dev.energy_joules();
-            dev.spmv(x, &mut buf);
-            for (yi, bi) in y.iter_mut().zip(&buf) {
-                *yi += bi;
-            }
-            worst = worst.max(dev.elapsed_seconds() - t0);
-            self.energy += dev.energy_joules() - e0;
-        }
-        self.time += worst + self.sync_time;
+        self.device_kernel(x, y, |dev, x, buf| dev.spmv(x, buf));
     }
 
     fn spmv_transpose(&mut self, x: &[f64], y: &mut [f64]) {
-        assert_eq!(x.len(), self.n, "x length");
-        assert_eq!(y.len(), self.n, "y length");
-        let mut worst = 0.0f64;
-        let mut buf = vec![0.0; self.n];
-        y.fill(0.0);
-        for (_, dev) in &mut self.devices {
-            let t0 = dev.elapsed_seconds();
-            let e0 = dev.energy_joules();
-            dev.spmv_transpose(x, &mut buf);
-            for (yi, bi) in y.iter_mut().zip(&buf) {
-                *yi += bi;
-            }
-            worst = worst.max(dev.elapsed_seconds() - t0);
-            self.energy += dev.energy_joules() - e0;
-        }
-        self.time += worst + self.sync_time;
+        self.device_kernel(x, y, |dev, x, buf| dev.spmv_transpose(x, buf));
     }
 
     fn dot(&mut self, x: &[f64], y: &[f64]) -> f64 {
@@ -229,6 +254,42 @@ mod tests {
         four.spmv(&x, &mut y);
         let t4 = four.elapsed_seconds();
         assert!(t4 <= t1 * 1.05, "four devices {t4} vs one {t1}");
+    }
+
+    #[test]
+    fn parallel_devices_are_bit_identical_to_serial() {
+        let a = spd(500);
+        let x: Vec<f64> = (0..500).map(|i| (i as f64 * 0.17).cos() * 2.0).collect();
+        let mut serial_cfg = AcceleratorConfig::with_banks(4);
+        serial_cfg.threads = Some(1);
+        let mut serial = MultiAcceleratorPlatform::new(&a, 3, serial_cfg, 2e-6);
+        let mut y_serial = vec![0.0; 500];
+        serial.spmv(&x, &mut y_serial);
+        let mut yt_serial = vec![0.0; 500];
+        serial.spmv_transpose(&x, &mut yt_serial);
+        for threads in [2, 4] {
+            let mut cfg = AcceleratorConfig::with_banks(4);
+            cfg.threads = Some(threads);
+            let mut multi = MultiAcceleratorPlatform::new(&a, 3, cfg, 2e-6);
+            let mut y = vec![0.0; 500];
+            multi.spmv(&x, &mut y);
+            let mut yt = vec![0.0; 500];
+            multi.spmv_transpose(&x, &mut yt);
+            for (u, v) in y.iter().zip(&y_serial).chain(yt.iter().zip(&yt_serial)) {
+                assert_eq!(u.to_bits(), v.to_bits(), "threads={threads}");
+            }
+            assert_eq!(
+                multi.elapsed_seconds().to_bits(),
+                serial.elapsed_seconds().to_bits()
+            );
+            assert_eq!(
+                multi.energy_joules().to_bits(),
+                serial.energy_joules().to_bits()
+            );
+            let exec = multi.last_exec();
+            assert_eq!(exec.threads, threads);
+            assert_eq!(exec.tasks, 3);
+        }
     }
 
     #[test]

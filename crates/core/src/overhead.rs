@@ -71,7 +71,11 @@ mod tests {
 
     #[test]
     fn overhead_fraction_bounds() {
-        let s = SetupCost { preprocessing_time: 1.0, write_time: 1.0, write_energy: 0.0 };
+        let s = SetupCost {
+            preprocessing_time: 1.0,
+            write_time: 1.0,
+            write_energy: 0.0,
+        };
         assert!((s.overhead_fraction(18.0) - 0.1).abs() < 1e-12);
         assert_eq!(s.overhead_fraction(0.0), 0.0);
         assert_eq!(s.total_time(), 2.0);

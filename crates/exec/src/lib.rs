@@ -1,0 +1,331 @@
+//! The shared execution layer: dependency-free data parallelism over
+//! [`std::thread::scope`].
+//!
+//! Solver-scale experiments spend their wall-clock in a handful of
+//! embarrassingly parallel loops — per-cluster dot products in the fast
+//! engine, per-device stripes in the multi-accelerator platform, the
+//! blocking preprocessor's candidate scan, and the Monte-Carlo /
+//! suite-run trial loops. This crate gives them one chunked
+//! parallel-map built on scoped threads (no external thread-pool crate,
+//! so the offline build keeps working) with three guarantees:
+//!
+//! 1. **Determinism.** Tasks are pure functions of their index and
+//!    input; results are merged serially in task order. A parallel run
+//!    is therefore bit-identical to a serial run of the same loop —
+//!    floating-point reduction order never depends on thread count or
+//!    scheduling. Seeded tasks derive their stream as
+//!    `seed = base ⊕ task index` ([`task_seed`]), never from a shared
+//!    generator.
+//! 2. **One knob.** The worker count resolves, in order, from the
+//!    `MEMSCI_THREADS` environment variable, an explicit configuration
+//!    value (e.g. `AcceleratorConfig::threads`), and the machine's
+//!    available parallelism ([`worker_count`]).
+//! 3. **Observability.** Callers time their parallel section with
+//!    [`timed`] and surface the resulting [`ExecStats`] in their own
+//!    statistics structs.
+//!
+//! Threads are spawned per call. The wired loops run milliseconds to
+//! seconds per call, so ~10 µs of spawn overhead is noise; a persistent
+//! pool would buy nothing but shared-state complexity.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::Instant;
+
+/// Environment variable overriding the worker count for every wired
+/// loop. Must parse as an integer ≥ 1; invalid values are ignored with
+/// a warning.
+pub const THREADS_ENV: &str = "MEMSCI_THREADS";
+
+/// Wall-clock statistics of one parallel section.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ExecStats {
+    /// Worker threads the section was allowed to use.
+    pub threads: usize,
+    /// Independent tasks the section was split into.
+    pub tasks: usize,
+    /// Host wall-clock seconds spent in the section (measurement, not
+    /// modelled accelerator time).
+    pub wall_seconds: f64,
+}
+
+/// Why a thread-count string was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ThreadParseError {
+    /// The string is not a base-10 integer.
+    NotANumber(String),
+    /// Zero workers cannot make progress.
+    Zero,
+}
+
+impl fmt::Display for ThreadParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThreadParseError::NotANumber(s) => write!(f, "`{s}` is not a thread count"),
+            ThreadParseError::Zero => write!(f, "thread count must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for ThreadParseError {}
+
+/// Parses a worker count: a base-10 integer ≥ 1.
+///
+/// # Errors
+///
+/// Returns [`ThreadParseError`] for non-numeric input (including empty
+/// strings and negatives) and for `0`.
+pub fn parse_threads(s: &str) -> Result<usize, ThreadParseError> {
+    match s.trim().parse::<usize>() {
+        Ok(0) => Err(ThreadParseError::Zero),
+        Ok(n) => Ok(n),
+        Err(_) => Err(ThreadParseError::NotANumber(s.to_string())),
+    }
+}
+
+/// Worker threads the host offers (≥ 1).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Resolves the worker count for a parallel section: the
+/// [`MEMSCI_THREADS`](THREADS_ENV) environment variable if set and
+/// valid, else the caller's configured value, else
+/// [`available_threads`]. Invalid environment values warn on stderr and
+/// fall through rather than abort a long run.
+pub fn worker_count(configured: Option<usize>) -> usize {
+    let env = std::env::var(THREADS_ENV).ok();
+    worker_count_from(env.as_deref(), configured)
+}
+
+/// [`worker_count`] with the environment value passed explicitly
+/// (testable without mutating process state).
+pub fn worker_count_from(env: Option<&str>, configured: Option<usize>) -> usize {
+    if let Some(s) = env {
+        match parse_threads(s) {
+            Ok(n) => return n,
+            Err(e) => eprintln!("warning: ignoring {THREADS_ENV}: {e}"),
+        }
+    }
+    configured.unwrap_or_else(available_threads).max(1)
+}
+
+/// Deterministic per-task RNG seed: `base ⊕ index`.
+///
+/// Every task derives its stream from the caller's base seed and its
+/// own index, never from a shared generator, so results are independent
+/// of how tasks land on threads. Index 0 reproduces the base seed —
+/// serial single-task code keeps its historical streams.
+pub fn task_seed(base: u64, index: u64) -> u64 {
+    base ^ index
+}
+
+/// Runs `tasks` independent jobs and collects their results in index
+/// order.
+///
+/// Tasks are split into at most `threads` contiguous chunks executed on
+/// scoped threads; with `threads <= 1` or a single task everything runs
+/// inline on the caller's thread. Either way the returned vector is
+/// ordered by task index, so any serial fold over it reproduces the
+/// serial loop bit for bit.
+pub fn parallel_tasks<U, F>(threads: usize, tasks: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    if threads <= 1 || tasks <= 1 {
+        return (0..tasks).map(f).collect();
+    }
+    let chunk = tasks.div_ceil(threads);
+    let mut chunks: Vec<Vec<U>> = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..tasks)
+            .step_by(chunk)
+            .map(|start| {
+                let end = (start + chunk).min(tasks);
+                let f = &f;
+                s.spawn(move || (start..end).map(f).collect::<Vec<U>>())
+            })
+            .collect();
+        chunks = handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect();
+    });
+    let mut out = Vec::with_capacity(tasks);
+    for c in chunks {
+        out.extend(c);
+    }
+    out
+}
+
+/// Maps `f` over a slice in parallel, preserving input order.
+///
+/// `f` receives `(index, &item)` and must be pure; the output vector is
+/// in item order regardless of thread count.
+pub fn parallel_map<T, U, F>(threads: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    parallel_tasks(threads, items.len(), |i| f(i, &items[i]))
+}
+
+/// Mutates each slice element in parallel, collecting one result per
+/// element in input order.
+///
+/// The slice is split into contiguous chunks via `split_at_mut`, so
+/// each element is owned by exactly one worker. `f` receives
+/// `(index, &mut item)`.
+pub fn parallel_map_mut<T, U, F>(threads: usize, items: &mut [T], f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(usize, &mut T) -> U + Sync,
+{
+    let tasks = items.len();
+    if threads <= 1 || tasks <= 1 {
+        return items.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk = tasks.div_ceil(threads);
+    let mut chunks: Vec<Vec<U>> = Vec::new();
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        let mut rest = items;
+        let mut start = 0usize;
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let f = &f;
+            let base = start;
+            handles.push(s.spawn(move || {
+                head.iter_mut()
+                    .enumerate()
+                    .map(|(i, t)| f(base + i, t))
+                    .collect::<Vec<U>>()
+            }));
+            start += take;
+        }
+        chunks = handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect();
+    });
+    let mut out = Vec::with_capacity(tasks);
+    for c in chunks {
+        out.extend(c);
+    }
+    out
+}
+
+/// Times a parallel section, pairing its result with [`ExecStats`].
+pub fn timed<R>(threads: usize, tasks: usize, f: impl FnOnce() -> R) -> (R, ExecStats) {
+    let start = Instant::now();
+    let result = f();
+    (
+        result,
+        ExecStats {
+            threads,
+            tasks,
+            wall_seconds: start.elapsed().as_secs_f64(),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_rejects_zero_and_garbage() {
+        assert_eq!(parse_threads("4"), Ok(4));
+        assert_eq!(parse_threads(" 8 "), Ok(8));
+        assert_eq!(parse_threads("0"), Err(ThreadParseError::Zero));
+        assert!(matches!(
+            parse_threads("-2"),
+            Err(ThreadParseError::NotANumber(_))
+        ));
+        assert!(matches!(
+            parse_threads("four"),
+            Err(ThreadParseError::NotANumber(_))
+        ));
+        assert!(matches!(
+            parse_threads(""),
+            Err(ThreadParseError::NotANumber(_))
+        ));
+        assert!(matches!(
+            parse_threads("3.5"),
+            Err(ThreadParseError::NotANumber(_))
+        ));
+    }
+
+    #[test]
+    fn worker_count_resolution_order() {
+        // Valid env wins over everything.
+        assert_eq!(worker_count_from(Some("3"), Some(7)), 3);
+        // Invalid env falls through to the configured value.
+        assert_eq!(worker_count_from(Some("0"), Some(7)), 7);
+        assert_eq!(worker_count_from(Some("junk"), Some(7)), 7);
+        // No env: configured value.
+        assert_eq!(worker_count_from(None, Some(2)), 2);
+        // Nothing configured: the host's parallelism, at least 1.
+        assert!(worker_count_from(None, None) >= 1);
+        assert!(worker_count_from(Some("nope"), None) >= 1);
+    }
+
+    #[test]
+    fn task_seed_is_xor() {
+        assert_eq!(task_seed(0, 5), 5);
+        assert_eq!(task_seed(42, 0), 42);
+        assert_ne!(task_seed(42, 1), task_seed(42, 2));
+    }
+
+    #[test]
+    fn parallel_tasks_preserve_order() {
+        for threads in [1, 2, 3, 8, 64] {
+            let got = parallel_tasks(threads, 37, |i| i * i);
+            let want: Vec<usize> = (0..37).map(|i| i * i).collect();
+            assert_eq!(got, want, "threads={threads}");
+        }
+        assert!(parallel_tasks(4, 0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn parallel_map_matches_serial_bitwise() {
+        let items: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.37).sin() * 1e3).collect();
+        let f = |i: usize, v: &f64| (v * 1.000001 + i as f64).to_bits();
+        let serial: Vec<u64> = items.iter().enumerate().map(|(i, v)| f(i, v)).collect();
+        for threads in [1, 2, 5, 16] {
+            assert_eq!(
+                parallel_map(threads, &items, f),
+                serial,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_map_mut_touches_every_element_once() {
+        for threads in [1, 2, 7, 32] {
+            let mut items = vec![0u32; 100];
+            let indices = parallel_map_mut(threads, &mut items, |i, v| {
+                *v += 1;
+                i
+            });
+            assert!(items.iter().all(|&v| v == 1), "threads={threads}");
+            assert_eq!(indices, (0..100).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn timed_reports_section_shape() {
+        let (sum, stats) = timed(4, 10, || parallel_tasks(4, 10, |i| i).iter().sum::<usize>());
+        assert_eq!(sum, 45);
+        assert_eq!(stats.threads, 4);
+        assert_eq!(stats.tasks, 10);
+        assert!(stats.wall_seconds >= 0.0);
+    }
+}

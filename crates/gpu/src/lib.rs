@@ -139,7 +139,13 @@ impl GpuPlatform {
     pub fn with_spec(a: Csr, spec: GpuSpec) -> Self {
         assert_eq!(a.rows(), a.cols(), "platform matrices must be square");
         let a_t = a.transpose();
-        GpuPlatform { spec, a, a_t, time: 0.0, energy: 0.0 }
+        GpuPlatform {
+            spec,
+            a,
+            a_t,
+            time: 0.0,
+            energy: 0.0,
+        }
     }
 
     /// The GPU parameters in use.
@@ -260,14 +266,15 @@ mod tests {
         assert!(t1 > 0.0);
         gpu.spmv(&x, &mut y);
         assert!((gpu.elapsed_seconds() - 2.0 * t1).abs() < 1e-12);
-        assert!(
-            (gpu.energy_joules() - gpu.spec().power_avg * gpu.elapsed_seconds()).abs() < 1e-12
-        );
+        assert!((gpu.energy_joules() - gpu.spec().power_avg * gpu.elapsed_seconds()).abs() < 1e-12);
     }
 
     #[test]
     fn energy_scales_with_power() {
-        let spec = GpuSpec { power_avg: 100.0, ..Default::default() };
+        let spec = GpuSpec {
+            power_avg: 100.0,
+            ..Default::default()
+        };
         assert_eq!(spec.energy(2.0), 200.0);
     }
 }

@@ -168,7 +168,11 @@ impl AlignedSlice {
                 out.push(p.signed_mantissa().shl(shift));
             }
         }
-        Ok(AlignedSlice { exp_base, magnitude_bits, values: out })
+        Ok(AlignedSlice {
+            exp_base,
+            magnitude_bits,
+            values: out,
+        })
     }
 
     /// Power-of-two weight of the fixed-point LSB.

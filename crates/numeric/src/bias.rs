@@ -45,7 +45,11 @@ impl BiasedSlice {
         let bias_bit = aligned.magnitude_bits();
         let bias = WideInt::pow2(bias_bit);
         let values = aligned.integers().iter().map(|v| v + &bias).collect();
-        BiasedSlice { bias_bit, exp_base: aligned.exp_base(), values }
+        BiasedSlice {
+            bias_bit,
+            exp_base: aligned.exp_base(),
+            values,
+        }
     }
 
     /// Bit position of the bias constant (`B = 2^bias_bit`).

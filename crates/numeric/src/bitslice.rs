@@ -33,7 +33,10 @@ impl SliceSet {
         let words_per_slice = n.div_ceil(64);
         let mut words = vec![vec![0u64; words_per_slice]; width];
         for (i, v) in values.iter().enumerate() {
-            assert!(!v.is_negative(), "unsigned slice set given a negative value");
+            assert!(
+                !v.is_negative(),
+                "unsigned slice set given a negative value"
+            );
             assert!(v.bit_len() <= width, "operand wider than the slice set");
             for (j, slice) in words.iter_mut().enumerate() {
                 if v.bit(j) {
@@ -41,7 +44,12 @@ impl SliceSet {
                 }
             }
         }
-        SliceSet { n, width, signed_msb: false, words }
+        SliceSet {
+            n,
+            width,
+            signed_msb: false,
+            words,
+        }
     }
 
     /// Slices signed operands in two's complement at `width` bits; the
@@ -74,14 +82,23 @@ impl SliceSet {
                 v < &half && -&half <= *v,
                 "value out of two's-complement range for width {width}"
             );
-            let enc = if v.is_negative() { &modulus + v } else { v.clone() };
+            let enc = if v.is_negative() {
+                &modulus + v
+            } else {
+                v.clone()
+            };
             for (j, slice) in words.iter_mut().enumerate() {
                 if enc.bit(j) {
                     slice[i / 64] |= 1u64 << (i % 64);
                 }
             }
         }
-        SliceSet { n, width, signed_msb: true, words }
+        SliceSet {
+            n,
+            width,
+            signed_msb: true,
+            words,
+        }
     }
 
     /// Number of elements in the block.
@@ -125,7 +142,10 @@ impl SliceSet {
 
     /// Number of elements with bit `j` set.
     pub fn popcount(&self, j: usize) -> u64 {
-        self.words[j].iter().map(|w| u64::from(w.count_ones())).sum()
+        self.words[j]
+            .iter()
+            .map(|w| u64::from(w.count_ones()))
+            .sum()
     }
 
     /// Reconstructs element `i`'s operand from its slices (test oracle).

@@ -31,7 +31,11 @@ impl NonFiniteError {
 
 impl fmt::Display for NonFiniteError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "non-finite value {} cannot be mapped to the crossbar substrate", self.value())
+        write!(
+            f,
+            "non-finite value {} cannot be mapped to the crossbar substrate",
+            self.value()
+        )
     }
 }
 
@@ -83,7 +87,11 @@ impl FloatParts {
         } else {
             (frac | (1u64 << 52), raw_exp - 1075)
         };
-        Ok(FloatParts { sign, mantissa, exponent })
+        Ok(FloatParts {
+            sign,
+            mantissa,
+            exponent,
+        })
     }
 
     /// Reconstructs the double exactly.
@@ -149,7 +157,7 @@ mod tests {
             -3.5,
             f64::MAX,
             f64::MIN_POSITIVE,
-            5e-324,            // smallest subnormal
+            5e-324,                     // smallest subnormal
             2.225_073_858_507_201e-308, // largest subnormal
             1.7976931348623157e308,
             -9.869604401089358,

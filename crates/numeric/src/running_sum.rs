@@ -113,13 +113,20 @@ impl Regions {
 /// Panics if `sum` is negative; the region argument only applies to
 /// non-negative accumulation (use [`settled`] for the signed case).
 pub fn regions_nonneg(sum: &WideInt, next_weight_bit: u32, partial_magnitude_bits: u32) -> Regions {
-    assert!(!sum.is_negative(), "region analysis requires a non-negative running sum");
+    assert!(
+        !sum.is_negative(),
+        "region analysis requires a non-negative running sum"
+    );
     let aligned_top = remaining_bound_bit(next_weight_bit, partial_magnitude_bits) as usize;
     let mut carry_len = 0usize;
     while sum.bit(aligned_top + carry_len) {
         carry_len += 1;
     }
-    Regions { aligned_top, carry_len, barrier: aligned_top + carry_len }
+    Regions {
+        aligned_top,
+        carry_len,
+        barrier: aligned_top + carry_len,
+    }
 }
 
 /// Paper-faithful settlement test for non-negative accumulation: the
@@ -164,13 +171,21 @@ pub struct RunningSum {
 impl RunningSum {
     /// Creates an empty running sum targeting a `precision`-bit mantissa.
     pub fn new(precision: u32, mode: Rounding) -> Self {
-        RunningSum { sum: WideInt::zero(), precision, mode }
+        RunningSum {
+            sum: WideInt::zero(),
+            precision,
+            mode,
+        }
     }
 
     /// Creates a running sum seeded with a known exact correction term
     /// (for example a precomputed bias constant).
     pub fn with_initial(init: WideInt, precision: u32, mode: Rounding) -> Self {
-        RunningSum { sum: init, precision, mode }
+        RunningSum {
+            sum: init,
+            precision,
+            mode,
+        }
     }
 
     /// Adds `partial × 2^weight_bit` to the running sum.
@@ -230,8 +245,7 @@ mod tests {
         // Thirteen slices with weights 12..=0. The leading slices place a
         // mantissa of 1100 with a settled gap below it; the tail slices
         // only touch bits the early-terminated mantissa never sees.
-        let mut partials: Vec<(u64, u32)> =
-            vec![(0b100110, 12), (0b010011, 11), (0b000101, 10)];
+        let mut partials: Vec<(u64, u32)> = vec![(0b100110, 12), (0b010011, 11), (0b000101, 10)];
         for w in (5..=9).rev() {
             partials.push((0, w));
         }

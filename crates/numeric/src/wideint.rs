@@ -236,12 +236,18 @@ impl WideInt {
     /// assert!(WideInt::zero().is_zero());
     /// ```
     pub fn zero() -> Self {
-        WideInt { neg: false, mag: Vec::new() }
+        WideInt {
+            neg: false,
+            mag: Vec::new(),
+        }
     }
 
     /// Returns one.
     pub fn one() -> Self {
-        WideInt { neg: false, mag: vec![1] }
+        WideInt {
+            neg: false,
+            mag: vec![1],
+        }
     }
 
     /// Returns `2^pos`.
@@ -312,7 +318,10 @@ impl WideInt {
 
     /// Absolute value.
     pub fn abs(&self) -> Self {
-        WideInt { neg: false, mag: self.mag.clone() }
+        WideInt {
+            neg: false,
+            mag: self.mag.clone(),
+        }
     }
 
     /// Sign of the value: `-1`, `0`, or `1`.
@@ -600,7 +609,11 @@ pub struct Rounded {
 impl Rounded {
     /// The canonical zero.
     pub fn zero() -> Self {
-        Rounded { neg: false, mantissa: 0, exp: 0 }
+        Rounded {
+            neg: false,
+            mantissa: 0,
+            exp: 0,
+        }
     }
 }
 
@@ -632,7 +645,11 @@ impl WideInt {
             } else {
                 m
             };
-            return Rounded { neg: self.neg, mantissa: m, exp: -(shift as i64) };
+            return Rounded {
+                neg: self.neg,
+                mantissa: m,
+                exp: -(shift as i64),
+            };
         }
         let shift = (bl - p) as u32;
         let kept = mag_shr(&self.mag, shift);
@@ -655,7 +672,11 @@ impl WideInt {
                 exp += 1;
             }
         }
-        Rounded { neg: self.neg, mantissa: m, exp }
+        Rounded {
+            neg: self.neg,
+            mantissa: m,
+            exp,
+        }
     }
 
     /// Converts `self × 2^e2` to the nearest `f64` under `mode`, with
@@ -833,7 +854,17 @@ mod tests {
 
     #[test]
     fn add_sub_match_i128() {
-        let cases = [0i128, 1, -1, 2, 7, -13, 1 << 62, -(1 << 62), i64::MAX as i128];
+        let cases = [
+            0i128,
+            1,
+            -1,
+            2,
+            7,
+            -13,
+            1 << 62,
+            -(1 << 62),
+            i64::MAX as i128,
+        ];
         for &a in &cases {
             for &b in &cases {
                 assert_eq!(w(a) + w(b), w(a + b), "{a} + {b}");
@@ -866,11 +897,7 @@ mod tests {
     fn shifts_match_floor_semantics() {
         for v in [-9i128, -8, -7, -1, 0, 1, 7, 8, 9] {
             for k in 0..5u32 {
-                assert_eq!(
-                    w(v).shr_floor(k),
-                    w(v >> k),
-                    "{v} >> {k} (floor)"
-                );
+                assert_eq!(w(v).shr_floor(k), w(v >> k), "{v} >> {k} (floor)");
                 assert_eq!(w(v).shl(k), w(v << k));
             }
         }
@@ -948,7 +975,15 @@ mod tests {
 
     #[test]
     fn to_f64_roundtrips_doubles() {
-        for x in [1.0f64, -1.5, 0.1, 1e300, -1e-300, 3.141592653589793, 5e-324] {
+        for x in [
+            1.0f64,
+            -1.5,
+            0.1,
+            1e300,
+            -1e-300,
+            std::f64::consts::PI,
+            5e-324,
+        ] {
             let bits = crate::float::FloatParts::decompose(x).unwrap();
             let v = WideInt::from(bits.mantissa).shl(0);
             let v = if bits.sign { -v } else { v };
@@ -961,17 +996,32 @@ mod tests {
     fn to_f64_rounds_directed() {
         // 2^53 + 1 is not representable: floor keeps 2^53, ceil bumps.
         let v = WideInt::pow2(53) + WideInt::one();
-        assert_eq!(v.to_f64_with_exp(0, Rounding::TowardNegInf), 9007199254740992.0);
-        assert_eq!(v.to_f64_with_exp(0, Rounding::TowardPosInf), 9007199254740994.0);
+        assert_eq!(
+            v.to_f64_with_exp(0, Rounding::TowardNegInf),
+            9007199254740992.0
+        );
+        assert_eq!(
+            v.to_f64_with_exp(0, Rounding::TowardPosInf),
+            9007199254740994.0
+        );
         let n = -(WideInt::pow2(53) + WideInt::one());
-        assert_eq!(n.to_f64_with_exp(0, Rounding::TowardNegInf), -9007199254740994.0);
-        assert_eq!(n.to_f64_with_exp(0, Rounding::TowardZero), -9007199254740992.0);
+        assert_eq!(
+            n.to_f64_with_exp(0, Rounding::TowardNegInf),
+            -9007199254740994.0
+        );
+        assert_eq!(
+            n.to_f64_with_exp(0, Rounding::TowardZero),
+            -9007199254740992.0
+        );
     }
 
     #[test]
     fn to_f64_handles_overflow_and_underflow() {
         let v = WideInt::one();
-        assert_eq!(v.to_f64_with_exp(1100, Rounding::NearestEven), f64::INFINITY);
+        assert_eq!(
+            v.to_f64_with_exp(1100, Rounding::NearestEven),
+            f64::INFINITY
+        );
         assert_eq!(v.to_f64_with_exp(1100, Rounding::TowardZero), f64::MAX);
         assert_eq!(v.to_f64_with_exp(-1200, Rounding::NearestEven), 0.0);
         assert_eq!(v.to_f64_with_exp(-1200, Rounding::TowardPosInf), 5e-324);

@@ -95,10 +95,7 @@ fn region_termination_exhaustive_12bit() {
             for r in 0..=bound {
                 let after =
                     WideInt::from(sum + r).round_to_precision(precision, Rounding::TowardNegInf);
-                assert_eq!(
-                    before, after,
-                    "sum={sum:#b} next_w={next_w} pm={pm} r={r}"
-                );
+                assert_eq!(before, after, "sum={sum:#b} next_w={next_w} pm={pm} r={r}");
             }
             // Cross-check the region decomposition invariants.
             let regions = regions_nonneg(&w, next_w, pm);
@@ -123,8 +120,7 @@ fn bias_debias_exhaustive() {
                 let vals = [a0 as f64, a1 as f64, a2 as f64];
                 let aligned = AlignedSlice::align(&vals, 117).unwrap();
                 let biased = BiasedSlice::from_aligned(&aligned);
-                let slices =
-                    SliceSet::from_unsigned(biased.values(), biased.operand_bits());
+                let slices = SliceSet::from_unsigned(biased.values(), biased.operand_bits());
                 for mask in 0u32..8 {
                     let mut raw = WideInt::zero();
                     let mut pop = 0u64;

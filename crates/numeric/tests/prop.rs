@@ -189,7 +189,11 @@ fn exact_dot_floor(a: &[f64], x: &[f64]) -> Rounded {
     if r.mantissa == 0 {
         return Rounded::zero();
     }
-    Rounded { neg: r.neg, mantissa: r.mantissa, exp: r.exp + i64::from(min_exp) }
+    Rounded {
+        neg: r.neg,
+        mantissa: r.mantissa,
+        exp: r.exp + i64::from(min_exp),
+    }
 }
 
 /// Simulates the cluster pipeline in software: returns the rounded
@@ -214,9 +218,9 @@ fn pipeline_dot(a: &[f64], x: &[f64]) -> (Rounded, usize, usize) {
         // "Analog" partial product of the AN-encoded biased operands.
         let mut raw = WideInt::zero();
         let mut pop = 0u64;
-        for i in 0..a.len() {
+        for (i, s) in stored.iter().enumerate().take(a.len()) {
             if xs.get(k, i) {
-                raw += &stored[i];
+                raw += s;
                 pop += 1;
             }
         }
@@ -230,7 +234,13 @@ fn pipeline_dot(a: &[f64], x: &[f64]) -> (Rounded, usize, usize) {
         } else {
             sum += &term;
         }
-        if k > 0 && settled(&sum, remaining_bound_bit(k as u32 - 1, pm), 53, Rounding::TowardNegInf)
+        if k > 0
+            && settled(
+                &sum,
+                remaining_bound_bit(k as u32 - 1, pm),
+                53,
+                Rounding::TowardNegInf,
+            )
         {
             break;
         }

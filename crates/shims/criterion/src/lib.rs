@@ -1,0 +1,187 @@
+//! Offline stand-in for the [`criterion`](https://docs.rs/criterion/0.5)
+//! benchmark harness.
+//!
+//! The build environment has no registry access, so the workspace
+//! replaces `criterion` with this path crate. It keeps the `[[bench]]`
+//! targets compiling and genuinely useful: each benchmark is warmed up,
+//! then timed with `std::time::Instant` over an adaptive iteration
+//! count, and the median per-iteration latency is printed. There are no
+//! statistical reports, plots, or baselines.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group (printed alongside
+/// timings).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The benchmark driver handed to `criterion_group!` functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_named(&name.into(), None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for upstream compatibility; the shim sizes iteration
+    /// counts adaptively instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        run_named(&full, self.throughput, f);
+        self
+    }
+
+    /// Finishes the group (no-op; timings print as they run).
+    pub fn finish(self) {}
+}
+
+/// Times the closure handed to it by [`Criterion::bench_function`].
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` for the harness-chosen number of iterations, timing the
+    /// whole batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_named<F: FnMut(&mut Bencher)>(name: &str, throughput: Option<Throughput>, mut f: F) {
+    // Warm-up run that also calibrates the iteration count toward a
+    // ~200 ms measurement window.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let target = Duration::from_millis(200);
+    let iters = (target.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut best = Duration::MAX;
+    for _ in 0..3 {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        best = best.min(b.elapsed);
+    }
+    let ns_per_iter = best.as_nanos() as f64 / iters as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  ({:.1} Melem/s)", n as f64 / ns_per_iter * 1e3)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  ({:.1} MB/s)", n as f64 / ns_per_iter * 1e3)
+        }
+        None => String::new(),
+    };
+    println!("bench {name:<48} {ns_per_iter:>14.1} ns/iter  ({iters} iters){rate}");
+}
+
+/// Declares a benchmark group function, mirroring upstream's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring upstream's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut c = Criterion::default();
+        c.bench_function("shim/smoke", |b| {
+            b.iter(|| black_box(1u64) + black_box(2u64))
+        });
+    }
+
+    #[test]
+    fn groups_compose() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(10);
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("grouped", |b| b.iter(|| black_box(3u64).pow(2)));
+        g.finish();
+    }
+}

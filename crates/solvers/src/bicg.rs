@@ -118,7 +118,11 @@ mod tests {
         let mut p = CsrPlatform::new(a);
         let mut x = vec![0.0; n];
         let rep = bicg(&mut p, &b, &mut x, &SolveOptions::with_tol(1e-10));
-        assert!(rep.converged, "iters {} res {}", rep.iterations, rep.relative_residual);
+        assert!(
+            rep.converged,
+            "iters {} res {}",
+            rep.iterations, rep.relative_residual
+        );
         for (xi, wi) in x.iter().zip(&want) {
             assert!((xi - wi).abs() < 1e-6);
         }

@@ -174,7 +174,11 @@ mod tests {
         let mut p = CsrPlatform::new(a);
         let mut x = vec![0.0; n];
         let rep = bicgstab(&mut p, &b, &mut x, &SolveOptions::with_tol(1e-10));
-        assert!(rep.converged, "iters {} res {}", rep.iterations, rep.relative_residual);
+        assert!(
+            rep.converged,
+            "iters {} res {}",
+            rep.iterations, rep.relative_residual
+        );
         for (xi, wi) in x.iter().zip(&want) {
             assert!((xi - wi).abs() < 1e-6, "{xi} vs {wi}");
         }
@@ -205,7 +209,10 @@ mod tests {
         let mut p = CsrPlatform::new(poisson2d(16, 16));
         let b = vec![1.0; 256];
         let mut x = vec![0.0; 256];
-        let opts = SolveOptions { max_iters: 2, ..Default::default() };
+        let opts = SolveOptions {
+            max_iters: 2,
+            ..Default::default()
+        };
         let rep = bicgstab(&mut p, &b, &mut x, &opts);
         assert!(rep.iterations <= 2);
         assert!(!rep.converged);

@@ -84,10 +84,7 @@ pub fn cg<P: Platform + ?Sized>(
         let pq = platform.dot(&p, &q);
         let alpha = rs / pq;
         if pq <= 0.0 || !pq.is_finite() || !rs.is_finite() || !alpha.is_finite() {
-            if restarts_left == 0
-                || !rs.is_finite()
-                || x.iter().any(|v| !v.is_finite())
-            {
+            if restarts_left == 0 || !rs.is_finite() || x.iter().any(|v| !v.is_finite()) {
                 break; // genuinely not SPD (or the state is lost)
             }
             restarts_left -= 1;
@@ -131,7 +128,11 @@ mod tests {
     fn residual(p: &CsrPlatform, b: &[f64], x: &[f64]) -> f64 {
         let mut r = vec![0.0; b.len()];
         p.matrix().spmv(x, &mut r);
-        r.iter().zip(b).map(|(ri, bi)| (bi - ri).powi(2)).sum::<f64>().sqrt()
+        r.iter()
+            .zip(b)
+            .map(|(ri, bi)| (bi - ri).powi(2))
+            .sum::<f64>()
+            .sqrt()
     }
 
     #[test]
@@ -157,7 +158,11 @@ mod tests {
             let b: Vec<f64> = (0..n).map(|i| ((i % 7) as f64) - 3.0).collect();
             let mut x = vec![0.0; n];
             let rep = cg(&mut p, &b, &mut x, &SolveOptions::with_tol(1e-10));
-            assert!(rep.converged, "after {} iters res {}", rep.iterations, rep.relative_residual);
+            assert!(
+                rep.converged,
+                "after {} iters res {}",
+                rep.iterations, rep.relative_residual
+            );
             let bn = b.iter().map(|v| v * v).sum::<f64>().sqrt();
             assert!(residual(&p, &b, &x) <= 1e-9 * bn);
         }
@@ -190,7 +195,10 @@ mod tests {
         let mut p = CsrPlatform::new(poisson2d(16, 16));
         let b = vec![1.0; 256];
         let mut x = vec![0.0; 256];
-        let opts = SolveOptions { max_iters: 3, ..Default::default() };
+        let opts = SolveOptions {
+            max_iters: 3,
+            ..Default::default()
+        };
         let rep = cg(&mut p, &b, &mut x, &opts);
         assert_eq!(rep.iterations, 3);
         assert!(!rep.converged);
@@ -201,7 +209,10 @@ mod tests {
         let mut p = CsrPlatform::new(poisson2d(10, 10));
         let b: Vec<f64> = (0..100).map(|i| (i as f64 * 0.1).sin()).collect();
         let mut x = vec![0.0; 100];
-        let opts = SolveOptions { record_residuals: true, ..Default::default() };
+        let opts = SolveOptions {
+            record_residuals: true,
+            ..Default::default()
+        };
         let rep = cg(&mut p, &b, &mut x, &opts);
         assert!(rep.converged);
         let h = &rep.residual_history;
@@ -210,11 +221,21 @@ mod tests {
 
     #[test]
     fn indefinite_matrix_breaks_down_gracefully() {
-        let a = Coo::from_triplets(2, 2, [(0, 0, 1.0), (1, 1, -1.0)]).unwrap().to_csr();
+        let a = Coo::from_triplets(2, 2, [(0, 0, 1.0), (1, 1, -1.0)])
+            .unwrap()
+            .to_csr();
         let mut p = CsrPlatform::new(a);
         let b = vec![0.0, 1.0];
         let mut x = vec![0.0; 2];
-        let rep = cg(&mut p, &b, &mut x, &SolveOptions { max_iters: 50, ..Default::default() });
+        let rep = cg(
+            &mut p,
+            &b,
+            &mut x,
+            &SolveOptions {
+                max_iters: 50,
+                ..Default::default()
+            },
+        );
         // Must terminate without panicking or looping forever.
         assert!(rep.iterations <= 50);
     }

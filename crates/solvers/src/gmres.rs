@@ -105,7 +105,11 @@ pub fn gmres<P: Platform + ?Sized>(
             }
             // New rotation to annihilate h[k+1].
             let denom = (h[k] * h[k] + h[k + 1] * h[k + 1]).sqrt();
-            let (c, s) = if denom == 0.0 { (1.0, 0.0) } else { (h[k] / denom, h[k + 1] / denom) };
+            let (c, s) = if denom == 0.0 {
+                (1.0, 0.0)
+            } else {
+                (h[k] / denom, h[k + 1] / denom)
+            };
             cs.push(c);
             sn.push(s);
             h[k] = c * h[k] + s * h[k + 1];
@@ -181,13 +185,9 @@ mod tests {
 
     #[test]
     fn solves_small_triangular_system() {
-        let a = Coo::from_triplets(
-            3,
-            3,
-            [(0, 0, 2.0), (0, 1, 1.0), (1, 1, 3.0), (2, 2, 4.0)],
-        )
-        .unwrap()
-        .to_csr();
+        let a = Coo::from_triplets(3, 3, [(0, 0, 2.0), (0, 1, 1.0), (1, 1, 3.0), (2, 2, 4.0)])
+            .unwrap()
+            .to_csr();
         let want = [1.0, 2.0, -1.0];
         let mut b = vec![0.0; 3];
         a.spmv(&want, &mut b);
@@ -223,7 +223,11 @@ mod tests {
         let mut p = CsrPlatform::new(a);
         let mut x = vec![0.0; n];
         let rep = gmres(&mut p, &b, &mut x, 15, &SolveOptions::with_tol(1e-10));
-        assert!(rep.converged, "iters {} res {}", rep.iterations, rep.relative_residual);
+        assert!(
+            rep.converged,
+            "iters {} res {}",
+            rep.iterations, rep.relative_residual
+        );
         for (xi, wi) in x.iter().zip(&want) {
             assert!((xi - wi).abs() < 1e-6);
         }
@@ -242,7 +246,10 @@ mod tests {
         let mut p = CsrPlatform::new(poisson2d(16, 16));
         let b = vec![1.0; 256];
         let mut x = vec![0.0; 256];
-        let opts = SolveOptions { max_iters: 7, ..Default::default() };
+        let opts = SolveOptions {
+            max_iters: 7,
+            ..Default::default()
+        };
         let rep = gmres(&mut p, &b, &mut x, 5, &opts);
         assert!(rep.iterations <= 7);
     }

@@ -43,7 +43,10 @@ pub fn jacobi<P: Platform + ?Sized>(
     assert_eq!(b.len(), n, "b length");
     assert_eq!(x.len(), n, "x length");
     let diag = platform.diagonal();
-    assert!(diag.iter().all(|&d| d != 0.0), "Jacobi requires a non-zero diagonal");
+    assert!(
+        diag.iter().all(|&d| d != 0.0),
+        "Jacobi requires a non-zero diagonal"
+    );
     let mut report = SolveReport::new();
     let t0 = platform.elapsed_seconds();
     let e0 = platform.energy_joules();
@@ -96,7 +99,11 @@ mod tests {
         let mut pj = CsrPlatform::new(a.clone());
         let b = vec![1.0; 36];
         let mut xj = vec![0.0; 36];
-        let opts = SolveOptions { tol: 1e-8, max_iters: 100_000, record_residuals: false };
+        let opts = SolveOptions {
+            tol: 1e-8,
+            max_iters: 100_000,
+            record_residuals: false,
+        };
         let rep_j = jacobi(&mut pj, &b, &mut xj, &opts);
         assert!(rep_j.converged);
         let mut pc = CsrPlatform::new(a);

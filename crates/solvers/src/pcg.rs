@@ -45,7 +45,10 @@ pub fn pcg_jacobi<P: Platform + ?Sized>(
         .diagonal()
         .into_iter()
         .map(|d| {
-            assert!(d != 0.0, "Jacobi preconditioning requires a non-zero diagonal");
+            assert!(
+                d != 0.0,
+                "Jacobi preconditioning requires a non-zero diagonal"
+            );
             1.0 / d
         })
         .collect();
@@ -145,7 +148,11 @@ mod tests {
     fn pcg_converges_where_cg_struggles() {
         let a = scaled_system(400);
         let b = vec![1.0; 400];
-        let opts = SolveOptions { tol: 1e-10, max_iters: 4000, record_residuals: false };
+        let opts = SolveOptions {
+            tol: 1e-10,
+            max_iters: 4000,
+            record_residuals: false,
+        };
         let mut p1 = CsrPlatform::new(a.clone());
         let mut x1 = vec![0.0; 400];
         let plain = cg(&mut p1, &b, &mut x1, &opts);
@@ -188,7 +195,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "non-zero diagonal")]
     fn rejects_zero_diagonal() {
-        let a = Coo::from_triplets(2, 2, [(0, 1, 1.0), (1, 0, 1.0)]).unwrap().to_csr();
+        let a = Coo::from_triplets(2, 2, [(0, 1, 1.0), (1, 0, 1.0)])
+            .unwrap()
+            .to_csr();
         let mut p = CsrPlatform::new(a);
         let mut x = vec![0.0; 2];
         pcg_jacobi(&mut p, &[1.0, 1.0], &mut x, &SolveOptions::default());

@@ -156,7 +156,9 @@ mod tests {
 
     #[test]
     fn csr_platform_kernels() {
-        let a = Coo::from_triplets(2, 2, [(0, 0, 2.0), (1, 1, 3.0)]).unwrap().to_csr();
+        let a = Coo::from_triplets(2, 2, [(0, 0, 2.0), (1, 1, 3.0)])
+            .unwrap()
+            .to_csr();
         let mut p = CsrPlatform::new(a);
         assert_eq!(p.n(), 2);
         let mut y = vec![0.0; 2];

@@ -15,14 +15,21 @@ pub struct SolveOptions {
 
 impl Default for SolveOptions {
     fn default() -> Self {
-        SolveOptions { tol: 1e-8, max_iters: 10_000, record_residuals: false }
+        SolveOptions {
+            tol: 1e-8,
+            max_iters: 10_000,
+            record_residuals: false,
+        }
     }
 }
 
 impl SolveOptions {
     /// Options with the given tolerance.
     pub fn with_tol(tol: f64) -> Self {
-        SolveOptions { tol, ..Default::default() }
+        SolveOptions {
+            tol,
+            ..Default::default()
+        }
     }
 }
 

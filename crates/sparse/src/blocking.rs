@@ -16,6 +16,7 @@
 
 use std::collections::BTreeMap;
 
+use memsci_exec::ExecStats;
 use memsci_numeric::FloatParts;
 
 use crate::coo::Coo;
@@ -100,7 +101,11 @@ impl Block {
     /// Iterates entries in global coordinates.
     pub fn global_entries(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
         self.entries.iter().map(move |&(r, c, v)| {
-            (self.row0 as usize + r as usize, self.col0 as usize + c as usize, v)
+            (
+                self.row0 as usize + r as usize,
+                self.col0 as usize + c as usize,
+                v,
+            )
         })
     }
 
@@ -176,69 +181,95 @@ impl BlockedMatrix {
     /// assert_eq!(captured + blocked.residual.nnz(), a.nnz());
     /// ```
     pub fn block(matrix: &Csr, config: &BlockingConfig) -> Self {
+        Self::block_with_exec(matrix, config, None).0
+    }
+
+    /// [`block`](Self::block) with an explicit host worker-thread count
+    /// and the wall-clock stats of the candidate scan.
+    ///
+    /// `threads = None` resolves to the `MEMSCI_THREADS` environment
+    /// variable or the machine's parallelism. The result is
+    /// bit-identical at any thread count: tile-row runs are scanned
+    /// independently and their blocks, survivors, and counters are
+    /// merged serially in tile-row order — exactly where a serial scan
+    /// puts them.
+    pub fn block_with_exec(
+        matrix: &Csr,
+        config: &BlockingConfig,
+        threads: Option<usize>,
+    ) -> (Self, ExecStats) {
+        let threads = memsci_exec::worker_count(threads);
         let (rows, cols) = matrix.shape();
-        let mut remaining: Vec<(u32, u32, f64)> =
-            matrix.iter().map(|(r, c, v)| (r as u32, c as u32, v)).collect();
-        let mut stats = BlockingStats { nnz_total: remaining.len(), ..Default::default() };
+        let mut remaining: Vec<(u32, u32, f64)> = matrix
+            .iter()
+            .map(|(r, c, v)| (r as u32, c as u32, v))
+            .collect();
+        let mut stats = BlockingStats {
+            nnz_total: remaining.len(),
+            ..Default::default()
+        };
         let mut blocks = Vec::new();
         let max_spread = config.max_exponent_spread();
+        let mut tasks = 0usize;
 
-        for &size in &config.block_sizes {
-            let min_nnz = config.min_nnz(size);
-            let mut survivors: Vec<(u32, u32, f64)> = Vec::with_capacity(remaining.len());
-            let mut i = 0;
-            while i < remaining.len() {
-                let tile_row = remaining[i].0 / size;
-                let mut j = i;
-                while j < remaining.len() && remaining[j].0 / size == tile_row {
-                    j += 1;
-                }
-                // Bucket this tile-row's entries by tile column.
-                let mut tiles: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
-                for (k, entry) in remaining.iter().enumerate().take(j).skip(i) {
-                    tiles.entry(entry.1 / size).or_default().push(k);
-                }
-                for (tile_col, idxs) in tiles {
-                    stats.touches += idxs.len();
-                    if idxs.len() < min_nnz {
-                        survivors.extend(idxs.iter().map(|&k| remaining[k]));
-                        continue;
+        let ((), mut exec) = memsci_exec::timed(threads, 0, || {
+            for &size in &config.block_sizes {
+                let min_nnz = config.min_nnz(size);
+                // Tile-row runs are contiguous in the (row, col)-sorted
+                // remainder and independent of one another, so the scan
+                // fans them out across workers.
+                let mut runs: Vec<(usize, usize)> = Vec::new();
+                let mut i = 0;
+                while i < remaining.len() {
+                    let tile_row = remaining[i].0 / size;
+                    let mut j = i;
+                    while j < remaining.len() && remaining[j].0 / size == tile_row {
+                        j += 1;
                     }
-                    let (kept, evicted) =
-                        exponent_window_filter(&remaining, &idxs, max_spread);
-                    if kept.len() < min_nnz {
-                        survivors.extend(idxs.iter().map(|&k| remaining[k]));
-                        continue;
-                    }
-                    stats.nnz_blocked += kept.len();
-                    stats.nnz_evicted_range += evicted.len();
-                    *stats.blocks_by_size.entry(size).or_default() += 1;
-                    let row0 = tile_row * size;
-                    let col0 = tile_col * size;
-                    let entries = kept
-                        .iter()
-                        .map(|&k| {
-                            let (r, c, v) = remaining[k];
-                            ((r - row0) as u16, (c - col0) as u16, v)
-                        })
-                        .collect();
-                    blocks.push(Block { row0, col0, size, entries });
-                    survivors.extend(evicted.iter().map(|&k| remaining[k]));
+                    runs.push((i, j));
+                    i = j;
                 }
-                i = j;
+                tasks += runs.len();
+                let rem = &remaining;
+                let results = memsci_exec::parallel_map(threads, &runs, |_, &(i, j)| {
+                    scan_tile_row(rem, i, j, size, min_nnz, max_spread)
+                });
+                let mut survivors: Vec<(u32, u32, f64)> = Vec::with_capacity(remaining.len());
+                for run in results {
+                    stats.touches += run.touches;
+                    stats.nnz_blocked += run.nnz_blocked;
+                    stats.nnz_evicted_range += run.nnz_evicted;
+                    if run.accepted > 0 {
+                        *stats.blocks_by_size.entry(size).or_default() += run.accepted;
+                    }
+                    blocks.extend(run.blocks);
+                    survivors.extend(run.survivors);
+                }
+                survivors.sort_unstable_by_key(|&(r, c, _)| (r, c));
+                remaining = survivors;
             }
-            survivors.sort_unstable_by_key(|&(r, c, _)| (r, c));
-            remaining = survivors;
-        }
+        });
+        exec.tasks = tasks;
 
         let residual = Coo::from_triplets(
             rows,
             cols,
-            remaining.iter().map(|&(r, c, v)| (r as usize, c as usize, v)),
+            remaining
+                .iter()
+                .map(|&(r, c, v)| (r as usize, c as usize, v)),
         )
         .expect("residual indices in range")
         .to_csr();
-        BlockedMatrix { rows, cols, blocks, residual, stats }
+        (
+            BlockedMatrix {
+                rows,
+                cols,
+                blocks,
+                residual,
+                stats,
+            },
+            exec,
+        )
     }
 
     /// Matrix dimensions as `(rows, cols)`.
@@ -277,6 +308,75 @@ impl BlockedMatrix {
         }
         hist.into_iter().rev().collect()
     }
+}
+
+/// Outcome of scanning one tile-row run at one block size.
+struct TileRowScan {
+    blocks: Vec<Block>,
+    survivors: Vec<(u32, u32, f64)>,
+    touches: usize,
+    nnz_blocked: usize,
+    nnz_evicted: usize,
+    accepted: usize,
+}
+
+/// Scans `remaining[i..j]` (one tile-row at edge `size`): buckets by
+/// tile column, accepts candidates that keep `min_nnz` non-zeros within
+/// the exponent window, and routes the rest to the survivors.
+fn scan_tile_row(
+    remaining: &[(u32, u32, f64)],
+    i: usize,
+    j: usize,
+    size: u32,
+    min_nnz: usize,
+    max_spread: i32,
+) -> TileRowScan {
+    let tile_row = remaining[i].0 / size;
+    let mut out = TileRowScan {
+        blocks: Vec::new(),
+        survivors: Vec::new(),
+        touches: 0,
+        nnz_blocked: 0,
+        nnz_evicted: 0,
+        accepted: 0,
+    };
+    // Bucket this tile-row's entries by tile column.
+    let mut tiles: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+    for (k, entry) in remaining.iter().enumerate().take(j).skip(i) {
+        tiles.entry(entry.1 / size).or_default().push(k);
+    }
+    for (tile_col, idxs) in tiles {
+        out.touches += idxs.len();
+        if idxs.len() < min_nnz {
+            out.survivors.extend(idxs.iter().map(|&k| remaining[k]));
+            continue;
+        }
+        let (kept, evicted) = exponent_window_filter(remaining, &idxs, max_spread);
+        if kept.len() < min_nnz {
+            out.survivors.extend(idxs.iter().map(|&k| remaining[k]));
+            continue;
+        }
+        out.nnz_blocked += kept.len();
+        out.nnz_evicted += evicted.len();
+        out.accepted += 1;
+        let row0 = tile_row * size;
+        let col0 = tile_col * size;
+        let entries = kept
+            .iter()
+            .map(|&k| {
+                let (r, c, v) = remaining[k];
+                ((r - row0) as u16, (c - col0) as u16, v)
+            })
+            .collect();
+        out.blocks.push(Block {
+            row0,
+            col0,
+            size,
+            entries,
+        });
+        out.survivors.extend(evicted.iter().map(|&k| remaining[k]));
+    }
+    out
 }
 
 /// Selects the largest subset of entries whose top binary exponents fit
@@ -413,7 +513,10 @@ mod tests {
         let cfg = BlockingConfig::default();
         let blocked = BlockedMatrix::block(&a, &cfg);
         let per_nnz = blocked.stats.touches_per_nnz();
-        assert!(per_nnz <= cfg.block_sizes.len() as f64, "touches/nnz {per_nnz}");
+        assert!(
+            per_nnz <= cfg.block_sizes.len() as f64,
+            "touches/nnz {per_nnz}"
+        );
         assert!(per_nnz >= 1.0);
     }
 
@@ -425,7 +528,11 @@ mod tests {
         let mut coo = Coo::new(n, n);
         for r in 0..n {
             for c in 0..n {
-                let v = if r == 0 && c < 4 { 1e300 } else { 1.0 + (r * n + c) as f64 * 1e-3 };
+                let v = if r == 0 && c < 4 {
+                    1e300
+                } else {
+                    1.0 + (r * n + c) as f64 * 1e-3
+                };
                 coo.push(r, c, v).unwrap();
             }
         }
@@ -472,6 +579,24 @@ mod tests {
         let sizes: Vec<u32> = hist.iter().map(|&(s, _)| s).collect();
         assert!(sizes.contains(&512), "sizes used: {sizes:?}");
         assert!(sizes.iter().any(|&s| s < 512), "sizes used: {sizes:?}");
+    }
+
+    #[test]
+    fn parallel_scan_is_identical_to_serial() {
+        let a = banded(900, 20, 0.8, ValueModel::with_spread(10), &mut rng()).to_csr();
+        let cfg = BlockingConfig::default();
+        let (serial, serial_exec) = BlockedMatrix::block_with_exec(&a, &cfg, Some(1));
+        assert_eq!(serial_exec.threads, 1);
+        assert!(serial_exec.tasks > 0);
+        for threads in [2, 3, 8] {
+            let (parallel, exec) = BlockedMatrix::block_with_exec(&a, &cfg, Some(threads));
+            // BlockedMatrix derives PartialEq: blocks (order, local
+            // coordinates, bit patterns), residual, and counters must
+            // all match the serial scan exactly.
+            assert_eq!(parallel, serial, "threads={threads}");
+            assert_eq!(exec.threads, threads);
+            assert_eq!(exec.tasks, serial_exec.tasks);
+        }
     }
 
     #[test]

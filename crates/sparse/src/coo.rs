@@ -66,7 +66,11 @@ impl Coo {
     /// Panics if either dimension exceeds `u32::MAX`.
     pub fn new(rows: usize, cols: usize) -> Self {
         assert!(rows <= u32::MAX as usize && cols <= u32::MAX as usize);
-        Coo { rows, cols, entries: Vec::new() }
+        Coo {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
     }
 
     /// Creates a matrix from raw triplets.
@@ -94,7 +98,11 @@ impl Coo {
     /// Returns [`IndexOutOfBounds`] if the entry lies outside the matrix.
     pub fn push(&mut self, row: usize, col: usize, value: f64) -> Result<(), IndexOutOfBounds> {
         if row >= self.rows || col >= self.cols {
-            return Err(IndexOutOfBounds { row, col, shape: (self.rows, self.cols) });
+            return Err(IndexOutOfBounds {
+                row,
+                col,
+                shape: (self.rows, self.cols),
+            });
         }
         self.entries.push((row as u32, col as u32, value));
         Ok(())
@@ -113,11 +121,20 @@ impl Coo {
 
     /// Iterates over `(row, col, value)` triplets.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
-        self.entries.iter().map(|&(r, c, v)| (r as usize, c as usize, v))
+        self.entries
+            .iter()
+            .map(|&(r, c, v)| (r as usize, c as usize, v))
     }
 
     /// Sorts entries row-major and sums duplicates, dropping entries that
     /// cancel to exact zero.
+    ///
+    /// Each duplicate run accumulates from `+0.0` in insertion order —
+    /// the same reduction a dense accumulator performs — so compressed
+    /// values match a dense stable-order accumulation bit for bit. In
+    /// particular a lone `-0.0` (or a run summing to a signed zero)
+    /// normalises to `+0.0` and is dropped, exactly as a dense array
+    /// initialised to `+0.0` would report it.
     pub fn compress(&mut self) {
         // Stable sort: duplicate entries sum in insertion order, keeping
         // compression deterministic down to floating-point rounding.
@@ -126,10 +143,15 @@ impl Coo {
         for &(r, c, v) in &self.entries {
             match out.last_mut() {
                 Some(last) if last.0 == r && last.1 == c => last.2 += v,
-                _ => out.push((r, c, v)),
+                // `0.0 + v` seeds the run the way a dense accumulator
+                // would; it only differs from `v` for `-0.0`.
+                _ => out.push((r, c, 0.0 + v)),
             }
         }
-        out.retain(|&(_, _, v)| v != 0.0);
+        // Bitwise check: after the `+0.0` seeding no run can sum to
+        // `-0.0`, so this drops exactly the cells a dense accumulation
+        // reports as `+0.0`.
+        out.retain(|&(_, _, v)| v.to_bits() != 0);
         self.entries = out;
     }
 
@@ -200,7 +222,13 @@ mod tests {
         let mut m = Coo::from_triplets(
             2,
             2,
-            [(0, 0, 1.0), (0, 0, 2.0), (1, 1, 5.0), (1, 0, 3.0), (1, 0, -3.0)],
+            [
+                (0, 0, 1.0),
+                (0, 0, 2.0),
+                (1, 1, 5.0),
+                (1, 0, 3.0),
+                (1, 0, -3.0),
+            ],
         )
         .unwrap();
         m.compress();

@@ -57,7 +57,13 @@ impl Csr {
                 assert!((c as usize) < cols, "column index in range");
             }
         }
-        Csr { rows, cols, row_ptr, col_idx, values }
+        Csr {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// An empty matrix with the given shape.
@@ -134,7 +140,9 @@ impl Csr {
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
         (0..self.rows).flat_map(move |r| {
             let (cols, vals) = self.row(r);
-            cols.iter().zip(vals).map(move |(&c, &v)| (r, c as usize, v))
+            cols.iter()
+                .zip(vals)
+                .map(move |(&c, &v)| (r, c as usize, v))
         })
     }
 
@@ -193,7 +201,9 @@ impl Csr {
 
     /// The main diagonal (zeros where unstored).
     pub fn diagonal(&self) -> Vec<f64> {
-        (0..self.rows.min(self.cols)).map(|i| self.get(i, i)).collect()
+        (0..self.rows.min(self.cols))
+            .map(|i| self.get(i, i))
+            .collect()
     }
 
     /// Returns the transpose as a new CSR matrix.
@@ -211,13 +221,17 @@ impl Csr {
         if self.rows != self.cols {
             return false;
         }
-        self.iter().all(|(r, c, v)| (self.get(c, r) - v).abs() <= tol)
+        self.iter()
+            .all(|(r, c, v)| (self.get(c, r) - v).abs() <= tol)
     }
 
     /// Structural bandwidth: the maximum of `|r - c|` over stored
     /// entries.
     pub fn bandwidth(&self) -> usize {
-        self.iter().map(|(r, c, _)| r.abs_diff(c)).max().unwrap_or(0)
+        self.iter()
+            .map(|(r, c, _)| r.abs_diff(c))
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -232,7 +246,13 @@ mod tests {
         Coo::from_triplets(
             3,
             3,
-            [(0, 0, 2.0), (0, 1, 1.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)],
+            [
+                (0, 0, 2.0),
+                (0, 1, 1.0),
+                (1, 1, 3.0),
+                (2, 0, 4.0),
+                (2, 2, 5.0),
+            ],
         )
         .unwrap()
         .to_csr()

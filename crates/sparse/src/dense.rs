@@ -63,7 +63,11 @@ pub struct DenseMatrix {
 impl DenseMatrix {
     /// A zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        DenseMatrix { rows, cols, data: vec![0.0; rows * cols] }
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Builds from row slices.
@@ -267,11 +271,7 @@ mod tests {
 
     #[test]
     fn lu_solves_random_system() {
-        let a = DenseMatrix::from_rows(&[
-            &[4.0, -2.0, 1.0],
-            &[3.0, 6.0, -4.0],
-            &[2.0, 1.0, 8.0],
-        ]);
+        let a = DenseMatrix::from_rows(&[&[4.0, -2.0, 1.0], &[3.0, 6.0, -4.0], &[2.0, 1.0, 8.0]]);
         let want = [1.0, -2.0, 3.0];
         let mut b = vec![0.0; 3];
         a.matvec(&want, &mut b);
@@ -291,7 +291,10 @@ mod tests {
     #[test]
     fn singular_matrix_is_reported() {
         let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
-        assert!(matches!(a.solve(&[1.0, 2.0]), Err(FactorError::Singular { .. })));
+        assert!(matches!(
+            a.solve(&[1.0, 2.0]),
+            Err(FactorError::Singular { .. })
+        ));
     }
 
     #[test]

@@ -93,8 +93,10 @@ pub fn read_coo<R: Read>(reader: R) -> Result<Coo, MatrixMarketError> {
             None => return Err(MatrixMarketError::BadBanner("empty stream".into())),
         }
     };
-    let tokens: Vec<String> =
-        banner.split_whitespace().map(|t| t.to_ascii_lowercase()).collect();
+    let tokens: Vec<String> = banner
+        .split_whitespace()
+        .map(|t| t.to_ascii_lowercase())
+        .collect();
     if tokens.len() < 5 || tokens[0] != "%%matrixmarket" || tokens[1] != "matrix" {
         return Err(MatrixMarketError::BadBanner(banner));
     }
@@ -123,7 +125,10 @@ pub fn read_coo<R: Read>(reader: R) -> Result<Coo, MatrixMarketError> {
         let fields: Vec<&str> = trimmed.split_whitespace().collect();
         if !have_size {
             if fields.len() != 3 {
-                return Err(MatrixMarketError::BadEntry { line: idx + 1, content: line });
+                return Err(MatrixMarketError::BadEntry {
+                    line: idx + 1,
+                    content: line,
+                });
             }
             rows = fields[0].parse().map_err(|_| MatrixMarketError::BadEntry {
                 line: idx + 1,
@@ -142,7 +147,10 @@ pub fn read_coo<R: Read>(reader: R) -> Result<Coo, MatrixMarketError> {
             continue;
         }
         if fields.len() < 3 {
-            return Err(MatrixMarketError::BadEntry { line: idx + 1, content: line });
+            return Err(MatrixMarketError::BadEntry {
+                line: idx + 1,
+                content: line,
+            });
         }
         let r: usize = fields[0].parse().map_err(|_| MatrixMarketError::BadEntry {
             line: idx + 1,
@@ -248,19 +256,28 @@ mod tests {
     #[test]
     fn unsupported_field_is_rejected() {
         let text = "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n";
-        assert!(matches!(read_coo(text.as_bytes()), Err(MatrixMarketError::Unsupported(_))));
+        assert!(matches!(
+            read_coo(text.as_bytes()),
+            Err(MatrixMarketError::Unsupported(_))
+        ));
     }
 
     #[test]
     fn count_mismatch_detected() {
         let text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
-        assert!(matches!(read_coo(text.as_bytes()), Err(MatrixMarketError::Inconsistent(_))));
+        assert!(matches!(
+            read_coo(text.as_bytes()),
+            Err(MatrixMarketError::Inconsistent(_))
+        ));
     }
 
     #[test]
     fn out_of_range_detected() {
         let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
-        assert!(matches!(read_coo(text.as_bytes()), Err(MatrixMarketError::Inconsistent(_))));
+        assert!(matches!(
+            read_coo(text.as_bytes()),
+            Err(MatrixMarketError::Inconsistent(_))
+        ));
     }
 
     #[test]

@@ -59,12 +59,20 @@ impl MatrixStats {
                 }
             }
         }
-        let exponent_range = if min_exp == i32::MAX { 0 } else { max_exp - min_exp };
+        let exponent_range = if min_exp == i32::MAX {
+            0
+        } else {
+            max_exp - min_exp
+        };
         MatrixStats {
             rows,
             cols,
             nnz,
-            nnz_per_row: if rows == 0 { 0.0 } else { nnz as f64 / rows as f64 },
+            nnz_per_row: if rows == 0 {
+                0.0
+            } else {
+                nnz as f64 / rows as f64
+            },
             density: matrix.density(),
             bandwidth: matrix.bandwidth(),
             exponent_range,
@@ -102,7 +110,13 @@ mod tests {
         let m = Coo::from_triplets(
             4,
             4,
-            [(0, 0, 1.0), (1, 1, -2.0), (2, 2, 0.5), (3, 3, 8.0), (0, 3, 1.0)],
+            [
+                (0, 0, 1.0),
+                (1, 1, -2.0),
+                (2, 2, 0.5),
+                (3, 3, 8.0),
+                (0, 3, 1.0),
+            ],
         )
         .unwrap()
         .to_csr();

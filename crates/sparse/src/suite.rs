@@ -101,9 +101,20 @@ impl SuiteEntry {
                 let nnz = (deg * n as f64) as usize;
                 generate::uniform_random(n, nnz, vm, &mut rng)
             }
-            Recipe::Mixed { dense_fraction, dense_deg, sparse_deg, hub_fraction } => {
-                self.generate_mixed(n, dense_fraction, dense_deg, sparse_deg, hub_fraction, vm, &mut rng)
-            }
+            Recipe::Mixed {
+                dense_fraction,
+                dense_deg,
+                sparse_deg,
+                hub_fraction,
+            } => self.generate_mixed(
+                n,
+                dense_fraction,
+                dense_deg,
+                sparse_deg,
+                hub_fraction,
+                vm,
+                &mut rng,
+            ),
         };
         let coo = self.apply_outliers(coo, &mut rng);
         if self.spd {
@@ -205,7 +216,7 @@ impl SuiteEntry {
                 // Down-scaling (rather than up) exercises the range
                 // evictions of §V-B1 without wrecking the conditioning
                 // of the synthetic system.
-                v * (2.0f64).powi(-rng.gen_range(90..140))
+                v * (2.0f64).powi(-rng.gen_range(90i32..140))
             } else {
                 v
             };
@@ -238,7 +249,12 @@ fn mixed(nnz_per_row: f64, blocked: f64, dense_deg: f64, hub_fraction: f64) -> R
     } else {
         0.0
     };
-    Recipe::Mixed { dense_fraction, dense_deg, sparse_deg, hub_fraction }
+    Recipe::Mixed {
+        dense_fraction,
+        dense_deg,
+        sparse_deg,
+        hub_fraction,
+    }
 }
 
 /// The 20 evaluated matrices (Table II; SPD matrices first).
@@ -266,53 +282,255 @@ pub fn suite() -> Vec<SuiteEntry> {
     };
     vec![
         // --- SPD (solved with CG) ---
-        e("2cubes_sphere", "electromagnetics", 101_492, 1_647_264, 16.2, 0.497, true, 24, 0.0,
-          mixed(16.2, 0.497, 17.0, 0.0)),
-        e("crystm03", "materials", 24_696, 583_770, 23.6, 0.947, true, 18, 0.0,
-          mixed(23.6, 0.947, 26.0, 0.0)),
-        e("finan512", "economics", 74_752, 596_992, 7.9, 0.467, true, 30, 0.0,
-          mixed(7.9, 0.467, 9.0, 0.0)),
-        e("G2_circuit", "circuit simulation", 150_102, 726_674, 4.5, 0.609, true, 28, 0.0,
-          mixed(4.5, 0.609, 6.4, 0.02)),
-        e("nasasrb", "structural", 54_870, 2_677_324, 49.8, 0.991, true, 58, 0.004,
-          mixed(49.8, 0.991, 52.0, 0.0)),
-        e("Pres_Poisson", "computational fluid dynamics", 14_822, 715_804, 48.3, 0.964, true, 9, 0.0,
-          mixed(48.3, 0.964, 52.0, 0.0)),
-        e("qa8fm", "acoustics", 66_127, 1_660_579, 25.1, 0.928, true, 14, 0.0,
-          mixed(25.1, 0.928, 28.0, 0.0)),
-        e("ship_001", "structural", 34_920, 3_896_496, 111.6, 0.664, true, 34, 0.0,
-          mixed(111.6, 0.664, 142.0, 0.0)),
-        e("thermomech_TC", "thermal", 102_158, 711_558, 6.8, 0.008, true, 12, 0.0,
-          Recipe::Uniform),
-        e("Trefethen_20000", "combinatorial", 20_000, 554_466, 27.7, 0.633, true, 16, 0.0,
-          Recipe::Trefethen),
+        e(
+            "2cubes_sphere",
+            "electromagnetics",
+            101_492,
+            1_647_264,
+            16.2,
+            0.497,
+            true,
+            24,
+            0.0,
+            mixed(16.2, 0.497, 17.0, 0.0),
+        ),
+        e(
+            "crystm03",
+            "materials",
+            24_696,
+            583_770,
+            23.6,
+            0.947,
+            true,
+            18,
+            0.0,
+            mixed(23.6, 0.947, 26.0, 0.0),
+        ),
+        e(
+            "finan512",
+            "economics",
+            74_752,
+            596_992,
+            7.9,
+            0.467,
+            true,
+            30,
+            0.0,
+            mixed(7.9, 0.467, 9.0, 0.0),
+        ),
+        e(
+            "G2_circuit",
+            "circuit simulation",
+            150_102,
+            726_674,
+            4.5,
+            0.609,
+            true,
+            28,
+            0.0,
+            mixed(4.5, 0.609, 6.4, 0.02),
+        ),
+        e(
+            "nasasrb",
+            "structural",
+            54_870,
+            2_677_324,
+            49.8,
+            0.991,
+            true,
+            58,
+            0.004,
+            mixed(49.8, 0.991, 52.0, 0.0),
+        ),
+        e(
+            "Pres_Poisson",
+            "computational fluid dynamics",
+            14_822,
+            715_804,
+            48.3,
+            0.964,
+            true,
+            9,
+            0.0,
+            mixed(48.3, 0.964, 52.0, 0.0),
+        ),
+        e(
+            "qa8fm",
+            "acoustics",
+            66_127,
+            1_660_579,
+            25.1,
+            0.928,
+            true,
+            14,
+            0.0,
+            mixed(25.1, 0.928, 28.0, 0.0),
+        ),
+        e(
+            "ship_001",
+            "structural",
+            34_920,
+            3_896_496,
+            111.6,
+            0.664,
+            true,
+            34,
+            0.0,
+            mixed(111.6, 0.664, 142.0, 0.0),
+        ),
+        e(
+            "thermomech_TC",
+            "thermal",
+            102_158,
+            711_558,
+            6.8,
+            0.008,
+            true,
+            12,
+            0.0,
+            Recipe::Uniform,
+        ),
+        e(
+            "Trefethen_20000",
+            "combinatorial",
+            20_000,
+            554_466,
+            27.7,
+            0.633,
+            true,
+            16,
+            0.0,
+            Recipe::Trefethen,
+        ),
         // --- non-SPD (solved with BiCG-STAB) ---
-        e("ASIC_100K", "circuit simulation", 99_340, 940_621, 9.5, 0.609, false, 36, 0.01,
-          mixed(9.5, 0.609, 14.0, 0.04)),
-        e("bcircuit", "circuit simulation", 68_902, 375_558, 5.4, 0.649, false, 32, 0.0,
-          mixed(5.4, 0.649, 9.0, 0.03)),
-        e("epb3", "thermal", 84_617, 463_625, 5.5, 0.722, false, 20, 0.0,
-          mixed(5.5, 0.722, 8.0, 0.0)),
-        e("GaAsH6", "quantum chemistry", 61_349, 3_381_809, 55.1, 0.692, false, 40, 0.0,
-          mixed(55.1, 0.692, 71.0, 0.0)),
-        e("ns3Da", "computational fluid dynamics", 20_414, 1_679_599, 82.0, 0.032, false, 22, 0.0,
-          Recipe::Uniform),
-        e("Si34H36", "quantum chemistry", 97_569, 5_156_379, 52.8, 0.537, false, 38, 0.0,
-          mixed(52.8, 0.537, 76.0, 0.0)),
-        e("torso2", "bioengineering", 115_697, 1_033_473, 8.9, 0.981, false, 16, 0.0,
-          mixed(8.9, 0.981, 9.5, 0.0)),
-        e("venkat25", "computational fluid dynamics", 62_424, 1_717_792, 27.5, 0.798, false, 26, 0.0,
-          mixed(27.5, 0.798, 32.0, 0.0)),
-        e("wang3", "semiconductor devices", 26_064, 177_168, 6.8, 0.646, false, 18, 0.0,
-          mixed(6.8, 0.646, 10.0, 0.0)),
-        e("xenon1", "materials", 48_600, 1_181_120, 24.3, 0.810, false, 24, 0.0,
-          mixed(24.3, 0.810, 28.0, 0.0)),
+        e(
+            "ASIC_100K",
+            "circuit simulation",
+            99_340,
+            940_621,
+            9.5,
+            0.609,
+            false,
+            36,
+            0.01,
+            mixed(9.5, 0.609, 14.0, 0.04),
+        ),
+        e(
+            "bcircuit",
+            "circuit simulation",
+            68_902,
+            375_558,
+            5.4,
+            0.649,
+            false,
+            32,
+            0.0,
+            mixed(5.4, 0.649, 9.0, 0.03),
+        ),
+        e(
+            "epb3",
+            "thermal",
+            84_617,
+            463_625,
+            5.5,
+            0.722,
+            false,
+            20,
+            0.0,
+            mixed(5.5, 0.722, 8.0, 0.0),
+        ),
+        e(
+            "GaAsH6",
+            "quantum chemistry",
+            61_349,
+            3_381_809,
+            55.1,
+            0.692,
+            false,
+            40,
+            0.0,
+            mixed(55.1, 0.692, 71.0, 0.0),
+        ),
+        e(
+            "ns3Da",
+            "computational fluid dynamics",
+            20_414,
+            1_679_599,
+            82.0,
+            0.032,
+            false,
+            22,
+            0.0,
+            Recipe::Uniform,
+        ),
+        e(
+            "Si34H36",
+            "quantum chemistry",
+            97_569,
+            5_156_379,
+            52.8,
+            0.537,
+            false,
+            38,
+            0.0,
+            mixed(52.8, 0.537, 76.0, 0.0),
+        ),
+        e(
+            "torso2",
+            "bioengineering",
+            115_697,
+            1_033_473,
+            8.9,
+            0.981,
+            false,
+            16,
+            0.0,
+            mixed(8.9, 0.981, 9.5, 0.0),
+        ),
+        e(
+            "venkat25",
+            "computational fluid dynamics",
+            62_424,
+            1_717_792,
+            27.5,
+            0.798,
+            false,
+            26,
+            0.0,
+            mixed(27.5, 0.798, 32.0, 0.0),
+        ),
+        e(
+            "wang3",
+            "semiconductor devices",
+            26_064,
+            177_168,
+            6.8,
+            0.646,
+            false,
+            18,
+            0.0,
+            mixed(6.8, 0.646, 10.0, 0.0),
+        ),
+        e(
+            "xenon1",
+            "materials",
+            48_600,
+            1_181_120,
+            24.3,
+            0.810,
+            false,
+            24,
+            0.0,
+            mixed(24.3, 0.810, 28.0, 0.0),
+        ),
     ]
 }
 
 /// Looks up a suite entry by its SuiteSparse name (case-insensitive).
 pub fn by_name(name: &str) -> Option<SuiteEntry> {
-    suite().into_iter().find(|e| e.name.eq_ignore_ascii_case(name))
+    suite()
+        .into_iter()
+        .find(|e| e.name.eq_ignore_ascii_case(name))
 }
 
 #[cfg(test)]

@@ -30,7 +30,17 @@ proptest! {
         }
         for r in 0..n {
             for c in 0..n {
-                prop_assert_eq!(csr.get(r, c), dense[r * n + c], "({}, {})", r, c);
+                // Bitwise: also distinguishes -0.0 from +0.0, which
+                // `==` would conflate.
+                prop_assert_eq!(
+                    csr.get(r, c).to_bits(),
+                    dense[r * n + c].to_bits(),
+                    "({}, {}): {} vs {}",
+                    r,
+                    c,
+                    csr.get(r, c),
+                    dense[r * n + c]
+                );
             }
         }
     }
@@ -123,6 +133,101 @@ proptest! {
         let x = m.solve(&b).unwrap();
         for (xi, wi) in x.iter().zip(&want) {
             prop_assert!((xi - wi).abs() < 1e-8);
+        }
+    }
+}
+
+/// Explicit mirrors of cases recorded in `prop.proptest-regressions`,
+/// so they run on every `cargo test` regardless of the property-testing
+/// backend in use.
+mod regressions {
+    use memsci_sparse::Coo;
+
+    /// The shrunk case from
+    /// `cc 26e2b3553f27d0de57daa9981fc0fc34648d2d41d1a43221e6fa236c76e9a51c`:
+    /// duplicate runs dominated by explicit zeros, with one cell whose
+    /// duplicates are all zero.
+    #[test]
+    fn compression_matches_dense_on_zero_heavy_duplicates() {
+        let n = 10;
+        let entries: Vec<(usize, usize, f64)> = vec![
+            (4, 6, -26.771286392229957),
+            (0, 0, 0.0),
+            (0, 0, 0.0),
+            (0, 0, 0.0),
+            (0, 0, 0.0),
+            (5, 0, 0.0),
+            (5, 0, 0.0),
+            (5, 0, 0.0),
+            (0, 0, 0.0),
+            (4, 6, 0.0),
+            (5, 0, 0.0),
+            (5, 0, 0.0),
+            (0, 0, 0.0),
+            (4, 6, 0.0),
+            (5, 0, 0.0),
+            (4, 6, -49.970188054677955),
+            (0, 0, 0.0),
+            (5, 0, 0.0),
+            (4, 6, -11.88362804010155),
+            (0, 0, 0.0),
+            (0, 0, 0.0),
+            (0, 0, 0.0),
+            (4, 6, 0.0),
+            (5, 0, 0.0),
+            (0, 0, 0.0),
+            (4, 6, 0.0),
+            (0, 0, 0.0),
+            (0, 0, 0.0),
+            (0, 1, 0.0),
+            (0, 0, 0.0),
+            (0, 0, 0.0),
+            (0, 0, 0.0),
+            (0, 0, 0.0),
+        ];
+        assert_csr_matches_dense(n, &entries);
+    }
+
+    /// Signed zeros: a lone `-0.0`, a run of `-0.0`s, and a nonzero run
+    /// cancelling to exact zero must all compress to what a dense
+    /// accumulator (initialised to `+0.0`) reports — bit for bit.
+    #[test]
+    fn compression_normalises_signed_zeros() {
+        let cases: &[&[(usize, usize, f64)]] = &[
+            &[(0, 0, -0.0)],
+            &[(0, 0, -0.0), (0, 0, -0.0)],
+            &[(1, 1, 1.0), (1, 1, -1.0)],
+            &[(2, 0, -0.0), (2, 0, 0.0), (2, 0, -0.0)],
+            &[(1, 2, 5.5), (1, 2, -5.5), (1, 2, -0.0)],
+        ];
+        for entries in cases {
+            assert_csr_matches_dense(3, entries);
+        }
+        // All-cancelling cells are dropped from the structure entirely.
+        let coo = Coo::from_triplets(3, 3, [(0, 0, -0.0), (1, 1, 2.0), (1, 1, -2.0)]).unwrap();
+        assert_eq!(coo.to_csr().nnz(), 0);
+    }
+
+    fn assert_csr_matches_dense(n: usize, entries: &[(usize, usize, f64)]) {
+        let csr = Coo::from_triplets(n, n, entries.iter().copied())
+            .unwrap()
+            .to_csr();
+        let mut sorted = entries.to_vec();
+        sorted.sort_by_key(|&(r, c, _)| (r, c));
+        let mut dense = vec![0.0f64; n * n];
+        for &(r, c, v) in &sorted {
+            dense[r * n + c] += v;
+        }
+        for r in 0..n {
+            for c in 0..n {
+                assert_eq!(
+                    csr.get(r, c).to_bits(),
+                    dense[r * n + c].to_bits(),
+                    "({r}, {c}): {} vs {}",
+                    csr.get(r, c),
+                    dense[r * n + c]
+                );
+            }
         }
     }
 }

@@ -39,11 +39,18 @@ impl AdcSpec {
     ///
     /// Panics unless `n` is a power of two of at least 4.
     pub fn for_crossbar(n: usize, bits_per_cell: u32, f_clk: f64, e_ref_10bit: f64) -> Self {
-        assert!(n.is_power_of_two() && n >= 4, "crossbar size must be a power of two >= 4");
+        assert!(
+            n.is_power_of_two() && n >= 4,
+            "crossbar size must be a power of two >= 4"
+        );
         // Max column output with CIC is (2^b - 1) · n/2 - 1.
         let max_out = ((1u64 << bits_per_cell) - 1) * (n as u64 / 2) - 1;
         let resolution = 64 - max_out.leading_zeros();
-        AdcSpec { resolution, f_clk, e_ref_10bit }
+        AdcSpec {
+            resolution,
+            f_clk,
+            e_ref_10bit,
+        }
     }
 
     /// Conversion time in seconds (one clock period, independent of
@@ -59,7 +66,10 @@ impl AdcSpec {
     ///
     /// Panics if `bits > resolution`.
     pub fn conversion_energy(&self, bits: u32) -> f64 {
-        assert!(bits <= self.resolution, "cannot search more bits than the resolution");
+        assert!(
+            bits <= self.resolution,
+            "cannot search more bits than the resolution"
+        );
         let r = f64::from(self.resolution);
         let b = f64::from(bits);
         let r_ref = f64::from(REFERENCE_RESOLUTION);

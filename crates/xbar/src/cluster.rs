@@ -61,7 +61,10 @@ impl Default for ClusterSpec {
 impl ClusterSpec {
     /// A cluster of the given size with otherwise default parameters.
     pub fn with_size(size: usize) -> Self {
-        ClusterSpec { size, ..Default::default() }
+        ClusterSpec {
+            size,
+            ..Default::default()
+        }
     }
 }
 
@@ -181,7 +184,10 @@ impl Cluster {
         let n = spec.size;
         let mut entries: Vec<(u16, u16, f64)> = entries.to_vec();
         for &(r, c, _) in &entries {
-            assert!((r as usize) < n && (c as usize) < n, "entry outside the block");
+            assert!(
+                (r as usize) < n && (c as usize) < n,
+                "entry outside the block"
+            );
         }
         let mut evicted = Vec::new();
         loop {
@@ -221,8 +227,11 @@ impl Cluster {
             None => v.clone(),
         };
         let enc_bias = encode(&bias);
-        let stored: Vec<WideInt> =
-            aligned.integers().iter().map(|v| encode(&(v + &bias))).collect();
+        let stored: Vec<WideInt> = aligned
+            .integers()
+            .iter()
+            .map(|v| encode(&(v + &bias)))
+            .collect();
         let stored_bits = stored
             .iter()
             .map(WideInt::bit_len)
@@ -240,8 +249,10 @@ impl Cluster {
             row_entries[r as usize].push((u32::from(c), idx));
             row_nnz[r as usize] += 1;
         }
-        let level_tables: Vec<Vec<u8>> =
-            stored.iter().map(|s| operand_levels(s, b, group_count)).collect();
+        let level_tables: Vec<Vec<u8>> = stored
+            .iter()
+            .map(|s| operand_levels(s, b, group_count))
+            .collect();
         let bias_levels = operand_levels(&enc_bias, b, group_count);
 
         let mut groups = Vec::with_capacity(group_count);
@@ -249,25 +260,23 @@ impl Cluster {
             let present: Vec<Vec<(u32, u8)>> = row_entries
                 .iter()
                 .map(|row| {
-                    row.iter().map(|&(input, idx)| (input, level_tables[idx][g])).collect()
+                    row.iter()
+                        .map(|&(input, idx)| (input, level_tables[idx][g]))
+                        .collect()
                 })
                 .collect();
-            let xb = Crossbar::program(
-                n,
-                b,
-                adc_res,
-                &present,
-                bias_levels[g],
-                &spec.cell,
-                rng,
-            )
-            .map_err(|e| ProgramError::CicBoundary { row: e.column })?;
+            let xb = Crossbar::program(n, b, adc_res, &present, bias_levels[g], &spec.cell, rng)
+                .map_err(|e| ProgramError::CicBoundary { row: e.column })?;
             groups.push(xb);
         }
 
         let fast_rows: Vec<Vec<(u32, WideInt)>> = row_entries
             .iter()
-            .map(|row| row.iter().map(|&(input, idx)| (input, stored[idx].clone())).collect())
+            .map(|row| {
+                row.iter()
+                    .map(|&(input, idx)| (input, stored[idx].clone()))
+                    .collect()
+            })
             .collect();
 
         let write_model = WriteModel::default();
@@ -361,8 +370,7 @@ impl Cluster {
         assert_eq!(x.len(), n, "vector length must match the block edge");
         let x_aligned = AlignedSlice::align(x, VECTOR_MAX_MAGNITUDE_BITS)?;
         let precision = opts.settle_precision();
-        let active_rows: Vec<usize> =
-            (0..n).filter(|&r| self.row_nnz[r] > 0).collect();
+        let active_rows: Vec<usize> = (0..n).filter(|&r| self.row_nnz[r] > 0).collect();
 
         let mut result = MvmResult {
             y: vec![0.0; n],
@@ -410,8 +418,7 @@ impl Cluster {
             for &r in &active_rows {
                 if done[r] {
                     result.conversions_skipped += groups;
-                    result.energy +=
-                        groups as f64 * self.spec.cost.skipped_column_energy();
+                    result.energy += groups as f64 * self.spec.cost.skipped_column_energy();
                     continue;
                 }
                 if let Some(profile) = result.row_slices.as_mut() {
@@ -435,16 +442,12 @@ impl Cluster {
                     for xb in &self.groups {
                         result.conversions += 1;
                         let searched = opts.adc_headstart.then(|| {
-                            headstart_bits(
-                                xb.column_level_sum(r).min(lmax * pop),
-                                resolution,
-                            )
+                            headstart_bits(xb.column_level_sum(r).min(lmax * pop), resolution)
                         });
-                        result.energy += self.spec.cost.column_energy(
-                            n,
-                            self.spec.cell.bits_per_cell,
-                            searched,
-                        );
+                        result.energy +=
+                            self.spec
+                                .cost
+                                .column_energy(n, self.spec.cell.bits_per_cell, searched);
                     }
                     sum
                 } else {
@@ -464,11 +467,10 @@ impl Cluster {
                         );
                         result.conversions += 1;
                         let searched = opts.adc_headstart.then_some(read.searched_bits);
-                        result.energy += self.spec.cost.column_energy(
-                            n,
-                            self.spec.cell.bits_per_cell,
-                            searched,
-                        );
+                        result.energy +=
+                            self.spec
+                                .cost
+                                .column_energy(n, self.spec.cell.bits_per_cell, searched);
                         let shift = g as u32 * self.spec.cell.bits_per_cell;
                         if shift < 64 {
                             lane_lo += i128::from(read.contribution) << shift;
@@ -577,7 +579,10 @@ mod tests {
             if pa.is_zero() || px.is_zero() {
                 continue;
             }
-            terms.push((pa.signed_mantissa() * px.signed_mantissa(), pa.exponent + px.exponent));
+            terms.push((
+                pa.signed_mantissa() * px.signed_mantissa(),
+                pa.exponent + px.exponent,
+            ));
             min_exp = min_exp.min(pa.exponent + px.exponent);
         }
         let mut sum = WideInt::zero();
@@ -610,11 +615,17 @@ mod tests {
                 0.0
             }
         });
-        let spec = ClusterSpec { size: n, ..Default::default() };
+        let spec = ClusterSpec {
+            size: n,
+            ..Default::default()
+        };
         let outcome = Cluster::program(spec, &entries, &mut rng()).unwrap();
         assert!(outcome.evicted.is_empty());
         let x: Vec<f64> = (0..n).map(|i| ((i as f64) - 7.5) * 0.21).collect();
-        let res = outcome.cluster.mvm(&x, &MvmOptions::default(), &mut rng()).unwrap();
+        let res = outcome
+            .cluster
+            .mvm(&x, &MvmOptions::default(), &mut rng())
+            .unwrap();
         for r in 0..n {
             let pairs: Vec<(f64, f64)> = entries
                 .iter()
@@ -631,8 +642,13 @@ mod tests {
     fn early_termination_preserves_results() {
         let n = 16;
         let entries = dense_block(n, |r, c| 1.0 + ((r * 31 + c * 17) % 97) as f64 * 0.125);
-        let spec = ClusterSpec { size: n, ..Default::default() };
-        let cluster = Cluster::program(spec, &entries, &mut rng()).unwrap().cluster;
+        let spec = ClusterSpec {
+            size: n,
+            ..Default::default()
+        };
+        let cluster = Cluster::program(spec, &entries, &mut rng())
+            .unwrap()
+            .cluster;
         // A vector with a ~36-binary-order dynamic range: plenty of
         // slices below the point where every row's mantissa settles.
         let x: Vec<f64> = (0..n)
@@ -642,7 +658,10 @@ mod tests {
         let without = cluster
             .mvm(
                 &x,
-                &MvmOptions { early_termination: false, ..Default::default() },
+                &MvmOptions {
+                    early_termination: false,
+                    ..Default::default()
+                },
                 &mut rng(),
             )
             .unwrap();
@@ -656,8 +675,13 @@ mod tests {
     fn empty_rows_cost_nothing_and_yield_zero() {
         let n = 8;
         let entries = vec![(1u16, 0u16, 2.0), (1, 3, -1.5)];
-        let spec = ClusterSpec { size: n, ..Default::default() };
-        let cluster = Cluster::program(spec, &entries, &mut rng()).unwrap().cluster;
+        let spec = ClusterSpec {
+            size: n,
+            ..Default::default()
+        };
+        let cluster = Cluster::program(spec, &entries, &mut rng())
+            .unwrap()
+            .cluster;
         let x = vec![1.0; n];
         let res = cluster.mvm(&x, &MvmOptions::default(), &mut rng()).unwrap();
         assert_eq!(res.y[0], 0.0);
@@ -669,9 +693,16 @@ mod tests {
     fn zero_vector_is_free() {
         let n = 8;
         let entries = vec![(0u16, 0u16, 1.0)];
-        let spec = ClusterSpec { size: n, ..Default::default() };
-        let cluster = Cluster::program(spec, &entries, &mut rng()).unwrap().cluster;
-        let res = cluster.mvm(&vec![0.0; n], &MvmOptions::default(), &mut rng()).unwrap();
+        let spec = ClusterSpec {
+            size: n,
+            ..Default::default()
+        };
+        let cluster = Cluster::program(spec, &entries, &mut rng())
+            .unwrap()
+            .cluster;
+        let res = cluster
+            .mvm(&vec![0.0; n], &MvmOptions::default(), &mut rng())
+            .unwrap();
         assert_eq!(res.slices_used, 0);
         assert_eq!(res.conversions, 0);
         assert!(res.y.iter().all(|&v| v == 0.0));
@@ -683,10 +714,21 @@ mod tests {
         let entries = dense_block(n, |r, c| ((r + c) % 5) as f64 - 2.0);
         // Ideal programming is deterministic, so a clean and a noisy
         // cluster built from the same seed hold identical patterns.
-        let clean_spec = ClusterSpec { size: n, ..Default::default() };
-        let clean = Cluster::program(clean_spec, &entries, &mut rng()).unwrap().cluster;
-        let noisy_spec = ClusterSpec { size: n, rtn_probability: 1e-4, ..Default::default() };
-        let noisy = Cluster::program(noisy_spec, &entries, &mut rng()).unwrap().cluster;
+        let clean_spec = ClusterSpec {
+            size: n,
+            ..Default::default()
+        };
+        let clean = Cluster::program(clean_spec, &entries, &mut rng())
+            .unwrap()
+            .cluster;
+        let noisy_spec = ClusterSpec {
+            size: n,
+            rtn_probability: 1e-4,
+            ..Default::default()
+        };
+        let noisy = Cluster::program(noisy_spec, &entries, &mut rng())
+            .unwrap()
+            .cluster;
         let x: Vec<f64> = (0..n).map(|i| 1.0 + i as f64 * 0.5).collect();
         let reference = clean.mvm(&x, &MvmOptions::default(), &mut rng()).unwrap().y;
         let mut r = rng();
@@ -719,13 +761,27 @@ mod tests {
         let entries = dense_block(n, |r, c| ((r * c) % 7) as f64 + 1.0);
         let x: Vec<f64> = (0..n).map(|i| (i + 1) as f64).collect();
         let clean = {
-            let spec = ClusterSpec { size: n, ..Default::default() };
-            let cluster = Cluster::program(spec, &entries, &mut rng()).unwrap().cluster;
-            cluster.mvm(&x, &MvmOptions::default(), &mut rng()).unwrap().y
+            let spec = ClusterSpec {
+                size: n,
+                ..Default::default()
+            };
+            let cluster = Cluster::program(spec, &entries, &mut rng())
+                .unwrap()
+                .cluster;
+            cluster
+                .mvm(&x, &MvmOptions::default(), &mut rng())
+                .unwrap()
+                .y
         };
-        let spec =
-            ClusterSpec { size: n, an_enabled: false, rtn_probability: 0.05, ..Default::default() };
-        let cluster = Cluster::program(spec, &entries, &mut rng()).unwrap().cluster;
+        let spec = ClusterSpec {
+            size: n,
+            an_enabled: false,
+            rtn_probability: 0.05,
+            ..Default::default()
+        };
+        let cluster = Cluster::program(spec, &entries, &mut rng())
+            .unwrap()
+            .cluster;
         let mut r = rng();
         let mut diverged = false;
         for _ in 0..10 {
@@ -742,8 +798,13 @@ mod tests {
         // far fewer.
         let n = 8;
         let entries = dense_block(n, |_, _| 1.5);
-        let spec = ClusterSpec { size: n, ..Default::default() };
-        let cluster = Cluster::program(spec, &entries, &mut rng()).unwrap().cluster;
+        let spec = ClusterSpec {
+            size: n,
+            ..Default::default()
+        };
+        let cluster = Cluster::program(spec, &entries, &mut rng())
+            .unwrap()
+            .cluster;
         let x: Vec<f64> = (0..n).map(|i| (2.0f64).powi(-(i as i32) * 25)).collect();
         let res = cluster.mvm(&x, &MvmOptions::default(), &mut rng()).unwrap();
         assert!(res.slices_total > 200, "total {}", res.slices_total);
@@ -759,21 +820,32 @@ mod tests {
     fn rounding_modes_bracket_floor_results() {
         let n = 8;
         let entries = dense_block(n, |r, c| ((r * 13 + c * 7) % 11) as f64 * 0.3 - 1.0);
-        let spec = ClusterSpec { size: n, ..Default::default() };
-        let cluster = Cluster::program(spec, &entries, &mut rng()).unwrap().cluster;
+        let spec = ClusterSpec {
+            size: n,
+            ..Default::default()
+        };
+        let cluster = Cluster::program(spec, &entries, &mut rng())
+            .unwrap()
+            .cluster;
         let x: Vec<f64> = (0..n).map(|i| 0.1 + i as f64 * 0.7).collect();
         let down = cluster.mvm(&x, &MvmOptions::default(), &mut rng()).unwrap();
         let up = cluster
             .mvm(
                 &x,
-                &MvmOptions { rounding: Rounding::TowardPosInf, ..Default::default() },
+                &MvmOptions {
+                    rounding: Rounding::TowardPosInf,
+                    ..Default::default()
+                },
                 &mut rng(),
             )
             .unwrap();
         let near = cluster
             .mvm(
                 &x,
-                &MvmOptions { rounding: Rounding::NearestEven, ..Default::default() },
+                &MvmOptions {
+                    rounding: Rounding::NearestEven,
+                    ..Default::default()
+                },
                 &mut rng(),
             )
             .unwrap();
@@ -803,9 +875,17 @@ mod tests {
                     }
                 }
             }
-            let spec = ClusterSpec { size: n, ..Default::default() };
+            let spec = ClusterSpec {
+                size: n,
+                ..Default::default()
+            };
             let outcome = Cluster::program(spec, &entries, &mut r).unwrap();
-            let total = outcome.cluster.row_nnz().iter().map(|&v| v as usize).sum::<usize>()
+            let total = outcome
+                .cluster
+                .row_nnz()
+                .iter()
+                .map(|&v| v as usize)
+                .sum::<usize>()
                 + outcome.evicted.len();
             assert_eq!(total, entries.len(), "trial {trial}: entries conserved");
         }
@@ -818,9 +898,18 @@ mod tests {
         let entries = dense_block(n, |r, c| {
             (1.0 + (r as f64) * 0.01) * (2.0f64).powi(((r * n + c) % 64) as i32)
         });
-        let spec = ClusterSpec { size: n, ..Default::default() };
-        let cluster = Cluster::program(spec, &entries, &mut rng()).unwrap().cluster;
-        assert!(cluster.stored_bits() <= 127, "stored bits {}", cluster.stored_bits());
+        let spec = ClusterSpec {
+            size: n,
+            ..Default::default()
+        };
+        let cluster = Cluster::program(spec, &entries, &mut rng())
+            .unwrap()
+            .cluster;
+        assert!(
+            cluster.stored_bits() <= 127,
+            "stored bits {}",
+            cluster.stored_bits()
+        );
         assert!(cluster.crossbar_count() <= 127);
     }
 
@@ -829,7 +918,10 @@ mod tests {
         let n = 16;
         let sparse = vec![(0u16, 0u16, 1.0)];
         let dense = dense_block(n, |r, c| 1.0 + ((r * 5 + c * 3) % 9) as f64 * 0.37);
-        let spec = ClusterSpec { size: n, ..Default::default() };
+        let spec = ClusterSpec {
+            size: n,
+            ..Default::default()
+        };
         let c1 = Cluster::program(spec, &sparse, &mut rng()).unwrap().cluster;
         let c2 = Cluster::program(spec, &dense, &mut rng()).unwrap().cluster;
         assert!(c2.write_energy() > c1.write_energy());
@@ -843,8 +935,13 @@ mod tests {
         // stored pattern is almost empty.
         let n = 16;
         let uniform = dense_block(n, |_, _| 1.0);
-        let spec = ClusterSpec { size: n, ..Default::default() };
-        let c = Cluster::program(spec, &uniform, &mut rng()).unwrap().cluster;
+        let spec = ClusterSpec {
+            size: n,
+            ..Default::default()
+        };
+        let c = Cluster::program(spec, &uniform, &mut rng())
+            .unwrap()
+            .cluster;
         let varied = dense_block(n, |r, c| 1.0 + ((r * 5 + c * 3) % 9) as f64 * 0.37);
         let cv = Cluster::program(spec, &varied, &mut rng()).unwrap().cluster;
         assert!(c.write_energy() < cv.write_energy());
@@ -876,12 +973,23 @@ mod fast_path_tests {
                 }
             }
         }
-        let fast_spec = ClusterSpec { size: n, ..Default::default() };
-        let slow_spec = ClusterSpec { size: n, rtn_probability: 1e-300, ..Default::default() };
+        let fast_spec = ClusterSpec {
+            size: n,
+            ..Default::default()
+        };
+        let slow_spec = ClusterSpec {
+            size: n,
+            rtn_probability: 1e-300,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(5);
-        let fast = Cluster::program(fast_spec, &entries, &mut rng).unwrap().cluster;
+        let fast = Cluster::program(fast_spec, &entries, &mut rng)
+            .unwrap()
+            .cluster;
         let mut rng = StdRng::seed_from_u64(5);
-        let slow = Cluster::program(slow_spec, &entries, &mut rng).unwrap().cluster;
+        let slow = Cluster::program(slow_spec, &entries, &mut rng)
+            .unwrap()
+            .cluster;
         let x: Vec<f64> = (0..n)
             .map(|i| (0.4 + i as f64 * 0.17) * (2.0f64).powi((i as i32 % 5) * 3 - 6))
             .collect();

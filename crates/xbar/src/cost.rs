@@ -59,7 +59,11 @@ impl CostModel {
     pub fn column_energy(&self, n: usize, bits_per_cell: u32, searched_bits: Option<u32>) -> f64 {
         let r = self.resolution(n, bits_per_cell);
         let searched = searched_bits.unwrap_or(r).min(r);
-        let duty = if r == 0 { 0.0 } else { f64::from(searched) / f64::from(r) };
+        let duty = if r == 0 {
+            0.0
+        } else {
+            f64::from(searched) / f64::from(r)
+        };
         self.e_col_base
             + duty * (self.e_col_lin * f64::from(r) + self.e_col_exp * (2.0f64).powi(r as i32))
     }
@@ -85,8 +89,12 @@ impl CostModel {
     /// Crossbar area including its ADC, in mm² (Table III values for the
     /// deployed sizes; power-law interpolation elsewhere).
     pub fn crossbar_area_mm2(&self, n: usize) -> f64 {
-        const TABLE: [(usize, f64); 4] =
-            [(64, 0.00078), (128, 0.00103), (256, 0.00162), (512, 0.00352)];
+        const TABLE: [(usize, f64); 4] = [
+            (64, 0.00078),
+            (128, 0.00103),
+            (256, 0.00162),
+            (512, 0.00352),
+        ];
         for &(size, area) in &TABLE {
             if n == size {
                 return area;
@@ -175,7 +183,10 @@ pub struct WriteModel {
 
 impl Default for WriteModel {
     fn default() -> Self {
-        WriteModel { t_row_write: 50.88e-9, e_cell_write: 3.91e-9 }
+        WriteModel {
+            t_row_write: 50.88e-9,
+            e_cell_write: 3.91e-9,
+        }
     }
 }
 
@@ -228,9 +239,12 @@ mod tests {
     #[test]
     fn area_matches_table3_exactly() {
         let m = CostModel::default();
-        for &(n, area) in
-            &[(64usize, 0.00078), (128, 0.00103), (256, 0.00162), (512, 0.00352)]
-        {
+        for &(n, area) in &[
+            (64usize, 0.00078),
+            (128, 0.00103),
+            (256, 0.00162),
+            (512, 0.00352),
+        ] {
             assert_eq!(m.crossbar_area_mm2(n), area);
         }
     }

@@ -31,7 +31,11 @@ pub struct CicBoundaryError {
 
 impl core::fmt::Display for CicBoundaryError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "column {} sits on the CIC resolution boundary", self.column)
+        write!(
+            f,
+            "column {} sits on the CIC resolution boundary",
+            self.column
+        )
     }
 }
 
@@ -157,7 +161,12 @@ impl Crossbar {
                 level_sum,
             });
         }
-        Ok(Crossbar { n, bits_per_cell, adc_resolution, columns })
+        Ok(Crossbar {
+            n,
+            bits_per_cell,
+            adc_resolution,
+            columns,
+        })
     }
 
     /// Crossbar dimension.
@@ -248,7 +257,11 @@ impl Crossbar {
         };
         let max_possible = col.level_sum.min(lmax * u64::from(active_count));
         let searched_bits = headstart_bits(max_possible, self.adc_resolution);
-        ColumnRead { measured, contribution, searched_bits }
+        ColumnRead {
+            measured,
+            contribution,
+            searched_bits,
+        }
     }
 
     /// Exact (noise-free, infinite-resolution) contribution of column
@@ -324,8 +337,7 @@ mod tests {
     fn ideal_count_matches_pattern() {
         // 8 inputs, column 0 has ones at inputs 1, 3, 5 (const 0).
         let present = vec![vec![(1u32, 1u8), (3, 1), (5, 1)]];
-        let xb = Crossbar::program(8, 1, 3, &present, 0, &CellSpec::default(), &mut rng())
-            .unwrap();
+        let xb = Crossbar::program(8, 1, 3, &present, 0, &CellSpec::default(), &mut rng()).unwrap();
         let (active, count) = all_active(8);
         let read = xb.read_column(0, &active, count, &CellSpec::default(), 0.0, &mut rng());
         assert_eq!(read.contribution, 3);
@@ -340,8 +352,7 @@ mod tests {
     fn cic_inverts_dense_columns() {
         // All 8 cells set: sum 8 > 4 -> inverted, stored zeros.
         let present = vec![(0..8).map(|i| (i, 1u8)).collect::<Vec<_>>()];
-        let xb = Crossbar::program(8, 1, 3, &present, 0, &CellSpec::default(), &mut rng())
-            .unwrap();
+        let xb = Crossbar::program(8, 1, 3, &present, 0, &CellSpec::default(), &mut rng()).unwrap();
         assert!(xb.column_inverted(0));
         let (active, count) = all_active(8);
         let read = xb.read_column(0, &active, count, &CellSpec::default(), 0.0, &mut rng());
@@ -364,8 +375,7 @@ mod tests {
         // One present cell (level 0) and const level 1 for the 7 absent:
         // raw sum 7 > 4 -> inverted.
         let present = vec![vec![(2u32, 0u8)]];
-        let xb = Crossbar::program(8, 1, 3, &present, 1, &CellSpec::default(), &mut rng())
-            .unwrap();
+        let xb = Crossbar::program(8, 1, 3, &present, 1, &CellSpec::default(), &mut rng()).unwrap();
         assert!(xb.column_inverted(0));
         let (active, count) = all_active(8);
         let read = xb.read_column(0, &active, count, &CellSpec::default(), 0.0, &mut rng());
@@ -379,8 +389,7 @@ mod tests {
     #[test]
     fn multibit_levels() {
         let present = vec![vec![(0u32, 3u8), (1, 2)]];
-        let xb = Crossbar::program(8, 2, 5, &present, 0, &CellSpec::default(), &mut rng())
-            .unwrap();
+        let xb = Crossbar::program(8, 2, 5, &present, 0, &CellSpec::default(), &mut rng()).unwrap();
         let (active, count) = all_active(8);
         let read = xb.read_column(0, &active, count, &CellSpec::default(), 0.0, &mut rng());
         assert_eq!(read.contribution, 5);
@@ -395,7 +404,11 @@ mod tests {
         let xb = Crossbar::program(n, 1, 8, &present, 0, &cell, &mut rng()).unwrap();
         let (active, count) = all_active(n);
         let read = xb.read_column(0, &active, count, &cell, 0.0, &mut rng());
-        assert!(read.measured > 1, "leak should inflate the count: {}", read.measured);
+        assert!(
+            read.measured > 1,
+            "leak should inflate the count: {}",
+            read.measured
+        );
         // At the Table I dynamic range the same read is exact.
         let cell = CellSpec::default();
         let xb = Crossbar::program(n, 1, 8, &present, 0, &cell, &mut rng()).unwrap();
@@ -409,8 +422,8 @@ mod tests {
             vec![(0u32, 1u8), (5, 1), (9, 1)],
             (0..12).map(|i| (i, 1u8)).collect::<Vec<_>>(),
         ];
-        let xb = Crossbar::program(16, 1, 4, &present, 0, &CellSpec::default(), &mut rng())
-            .unwrap();
+        let xb =
+            Crossbar::program(16, 1, 4, &present, 0, &CellSpec::default(), &mut rng()).unwrap();
         let words = vec![0b1010_1010_1010_1010u64];
         for r in 0..2 {
             let read = xb.read_column(r, &words, 8, &CellSpec::default(), 0.0, &mut rng());
@@ -421,9 +434,12 @@ mod tests {
     #[test]
     fn headstart_reflects_column_content() {
         // A nearly-empty column needs to search far fewer bits.
-        let present = vec![vec![(0u32, 1u8)], (0..200).map(|i| (i, 1u8)).collect::<Vec<_>>()];
-        let xb = Crossbar::program(512, 1, 8, &present, 0, &CellSpec::default(), &mut rng())
-            .unwrap();
+        let present = vec![
+            vec![(0u32, 1u8)],
+            (0..200).map(|i| (i, 1u8)).collect::<Vec<_>>(),
+        ];
+        let xb =
+            Crossbar::program(512, 1, 8, &present, 0, &CellSpec::default(), &mut rng()).unwrap();
         let (active, count) = all_active(512);
         let sparse = xb.read_column(0, &active, count, &CellSpec::default(), 0.0, &mut rng());
         let dense = xb.read_column(1, &active, count, &CellSpec::default(), 0.0, &mut rng());

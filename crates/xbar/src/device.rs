@@ -156,7 +156,9 @@ mod tests {
         let c = CellSpec::default().with_programming_sigma(0.05);
         let mut rng = StdRng::seed_from_u64(1);
         let n = 20_000;
-        let samples: Vec<f64> = (0..n).map(|_| c.sample_programming_error(&mut rng)).collect();
+        let samples: Vec<f64> = (0..n)
+            .map(|_| c.sample_programming_error(&mut rng))
+            .collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.002, "mean {mean}");

@@ -177,11 +177,16 @@ mod tests {
     #[test]
     fn all_policies_cover_required_pairs() {
         for (j, k, cutoff) in [(4usize, 4usize, 2i64), (8, 6, 5), (127, 60, 100), (5, 9, 0)] {
-            for policy in
-                [Policy::Vertical, Policy::Diagonal, Policy::Hybrid { chunk: 3 }]
-            {
+            for policy in [
+                Policy::Vertical,
+                Policy::Diagonal,
+                Policy::Hybrid { chunk: 3 },
+            ] {
                 let p = plan(policy, j, k, cutoff);
-                assert!(p.covers_required(j, k, cutoff), "{policy:?} {j}x{k} cutoff {cutoff}");
+                assert!(
+                    p.covers_required(j, k, cutoff),
+                    "{policy:?} {j}x{k} cutoff {cutoff}"
+                );
             }
         }
     }

@@ -18,7 +18,10 @@ fn exact_dot_floor(pairs: &[(f64, f64)]) -> f64 {
         if pa.is_zero() || px.is_zero() {
             continue;
         }
-        terms.push((pa.signed_mantissa() * px.signed_mantissa(), pa.exponent + px.exponent));
+        terms.push((
+            pa.signed_mantissa() * px.signed_mantissa(),
+            pa.exponent + px.exponent,
+        ));
         min_exp = min_exp.min(pa.exponent + px.exponent);
     }
     let mut sum = WideInt::zero();

@@ -17,7 +17,12 @@ use memsci::sparse::suite::by_name;
 fn run(name: &str) {
     let entry = by_name(name).expect("suite entry");
     let a = entry.generate_scaled(0.25);
-    println!("--- {} ({} rows, {} nnz) ---", entry.name, a.rows(), a.nnz());
+    println!(
+        "--- {} ({} rows, {} nnz) ---",
+        entry.name,
+        a.rows(),
+        a.nnz()
+    );
 
     let config = AcceleratorConfig::default();
     let blocked = BlockedMatrix::block(&a, &BlockingConfig::default());
@@ -30,7 +35,11 @@ fn run(name: &str) {
 
     let n = a.rows();
     let b = vec![1.0; n];
-    let opts = SolveOptions { tol: 1e-8, max_iters: 1500, record_residuals: false };
+    let opts = SolveOptions {
+        tol: 1e-8,
+        max_iters: 1500,
+        record_residuals: false,
+    };
 
     match target {
         Target::Accelerator => {

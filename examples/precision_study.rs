@@ -19,7 +19,11 @@ fn main() {
     let n = a.rows();
     let blocked = BlockedMatrix::block(&a, &BlockingConfig::default());
     let b = vec![1.0; n];
-    let opts = SolveOptions { tol: 1e-10, max_iters: 500, record_residuals: false };
+    let opts = SolveOptions {
+        tol: 1e-10,
+        max_iters: 500,
+        record_residuals: false,
+    };
 
     // Reference: plain f64 CG.
     let mut reference = CsrPlatform::new(a.clone());
@@ -45,10 +49,19 @@ fn main() {
     // Noisy devices: 2-bit cells with 5% programming error (the worst
     // point of Figure 13) visibly hinder convergence.
     let mut config = AcceleratorConfig::with_banks(2);
-    config.cell = config.cell.with_bits_per_cell(2).with_programming_sigma(0.05);
-    let mut noisy =
-        ExactAcceleratorPlatform::new(&blocked, config, ExactOptions { seed: 1, ..Default::default() })
-            .expect("finite matrix");
+    config.cell = config
+        .cell
+        .with_bits_per_cell(2)
+        .with_programming_sigma(0.05);
+    let mut noisy = ExactAcceleratorPlatform::new(
+        &blocked,
+        config,
+        ExactOptions {
+            seed: 1,
+            ..Default::default()
+        },
+    )
+    .expect("finite matrix");
     let mut x_noisy = vec![0.0; n];
     let r_noisy = cg(&mut noisy, &b, &mut x_noisy, &opts);
     println!(

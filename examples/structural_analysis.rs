@@ -35,7 +35,11 @@ fn main() {
     let n = a.rows();
     let b = vec![1.0; n];
     // Stiffness systems are ill-conditioned; bound the iteration budget.
-    let opts = SolveOptions { tol: 1e-8, max_iters: 1500, record_residuals: true };
+    let opts = SolveOptions {
+        tol: 1e-8,
+        max_iters: 1500,
+        record_residuals: true,
+    };
 
     let mut acc = AcceleratorPlatform::new(&blocked, AcceleratorConfig::default());
     let mut x = vec![0.0; n];
@@ -44,7 +48,11 @@ fn main() {
     println!(
         "accelerator: {} iterations ({}), {:.2} ms modelled",
         r_acc.iterations,
-        if r_acc.converged { "converged" } else { "capped" },
+        if r_acc.converged {
+            "converged"
+        } else {
+            "capped"
+        },
         r_acc.time_seconds * 1e3
     );
     println!(

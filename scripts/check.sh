@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Full local gate: everything CI would run, in the order that fails
+# fastest. The build environment has no registry access, so every cargo
+# invocation is --offline (all dependencies are workspace-local).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release --offline --workspace
+
+echo "== tests =="
+cargo test -q --offline --workspace
+
+echo "== rustfmt =="
+cargo fmt --check
+
+echo "== clippy =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "All checks passed."

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_calibration-8632a52f1f86cc90.d: tests/engine_calibration.rs
+
+/root/repo/target/debug/deps/engine_calibration-8632a52f1f86cc90: tests/engine_calibration.rs
+
+tests/engine_calibration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_calibration-b41a53a14ff08856.d: tests/engine_calibration.rs
+
+/root/repo/target/debug/deps/engine_calibration-b41a53a14ff08856: tests/engine_calibration.rs
+
+tests/engine_calibration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exhaustive-2214338dd22f2205.d: crates/numeric/tests/exhaustive.rs
+
+/root/repo/target/debug/deps/exhaustive-2214338dd22f2205: crates/numeric/tests/exhaustive.rs
+
+crates/numeric/tests/exhaustive.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exhaustive-d76164aa3636a103.d: crates/numeric/tests/exhaustive.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexhaustive-d76164aa3636a103.rmeta: crates/numeric/tests/exhaustive.rs Cargo.toml
+
+crates/numeric/tests/exhaustive.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/memsci-03f9a8dd876cbb65.d: src/lib.rs
+
+/root/repo/target/debug/deps/memsci-03f9a8dd876cbb65: src/lib.rs
+
+src/lib.rs:

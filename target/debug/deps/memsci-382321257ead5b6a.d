@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/memsci-382321257ead5b6a.d: src/lib.rs
+
+/root/repo/target/debug/deps/memsci-382321257ead5b6a: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/memsci-b0b32fc26cda1ee9.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmemsci-b0b32fc26cda1ee9.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmemsci-b0b32fc26cda1ee9.rmeta: src/lib.rs
+
+src/lib.rs:

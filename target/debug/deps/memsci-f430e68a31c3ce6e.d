@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/memsci-f430e68a31c3ce6e.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmemsci-f430e68a31c3ce6e.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmemsci-f430e68a31c3ce6e.rmeta: src/lib.rs
+
+src/lib.rs:

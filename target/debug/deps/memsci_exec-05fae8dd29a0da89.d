@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/memsci_exec-05fae8dd29a0da89.d: crates/exec/src/lib.rs
+
+/root/repo/target/debug/deps/libmemsci_exec-05fae8dd29a0da89.rlib: crates/exec/src/lib.rs
+
+/root/repo/target/debug/deps/libmemsci_exec-05fae8dd29a0da89.rmeta: crates/exec/src/lib.rs
+
+crates/exec/src/lib.rs:

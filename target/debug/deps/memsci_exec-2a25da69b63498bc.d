@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/memsci_exec-2a25da69b63498bc.d: crates/exec/src/lib.rs
+
+/root/repo/target/debug/deps/memsci_exec-2a25da69b63498bc: crates/exec/src/lib.rs
+
+crates/exec/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/memsci_exec-3127086b1fe4bafd.d: crates/exec/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmemsci_exec-3127086b1fe4bafd.rmeta: crates/exec/src/lib.rs Cargo.toml
+
+crates/exec/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/memsci_exec-7a999813189005b4.d: crates/exec/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmemsci_exec-7a999813189005b4.rmeta: crates/exec/src/lib.rs Cargo.toml
+
+crates/exec/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/memsci_gpu-333ee7e0a0fb9f1e.d: crates/gpu/src/lib.rs
+
+/root/repo/target/debug/deps/memsci_gpu-333ee7e0a0fb9f1e: crates/gpu/src/lib.rs
+
+crates/gpu/src/lib.rs:

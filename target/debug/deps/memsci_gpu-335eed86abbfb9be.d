@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/memsci_gpu-335eed86abbfb9be.d: crates/gpu/src/lib.rs
+
+/root/repo/target/debug/deps/memsci_gpu-335eed86abbfb9be: crates/gpu/src/lib.rs
+
+crates/gpu/src/lib.rs:

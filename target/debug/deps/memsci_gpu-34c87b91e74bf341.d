@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/memsci_gpu-34c87b91e74bf341.d: crates/gpu/src/lib.rs
+
+/root/repo/target/debug/deps/libmemsci_gpu-34c87b91e74bf341.rlib: crates/gpu/src/lib.rs
+
+/root/repo/target/debug/deps/libmemsci_gpu-34c87b91e74bf341.rmeta: crates/gpu/src/lib.rs
+
+crates/gpu/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/memsci_gpu-f3f1e8cea83a50ec.d: crates/gpu/src/lib.rs
+
+/root/repo/target/debug/deps/libmemsci_gpu-f3f1e8cea83a50ec.rlib: crates/gpu/src/lib.rs
+
+/root/repo/target/debug/deps/libmemsci_gpu-f3f1e8cea83a50ec.rmeta: crates/gpu/src/lib.rs
+
+crates/gpu/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/precision-5401d8ccc9d7ccab.d: tests/precision.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprecision-5401d8ccc9d7ccab.rmeta: tests/precision.rs Cargo.toml
+
+tests/precision.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/precision-560b14e23bcd0057.d: tests/precision.rs
+
+/root/repo/target/debug/deps/precision-560b14e23bcd0057: tests/precision.rs
+
+tests/precision.rs:

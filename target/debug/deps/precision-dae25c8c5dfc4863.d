@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/precision-dae25c8c5dfc4863.d: tests/precision.rs
+
+/root/repo/target/debug/deps/precision-dae25c8c5dfc4863: tests/precision.rs
+
+tests/precision.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-15db0471f88bd7c7.d: crates/sparse/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-15db0471f88bd7c7: crates/sparse/tests/prop.rs
+
+crates/sparse/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-5bde2566e1dac53e.d: crates/sparse/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-5bde2566e1dac53e: crates/sparse/tests/prop.rs
+
+crates/sparse/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-7bc8ca603ea92b5c.d: crates/xbar/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-7bc8ca603ea92b5c: crates/xbar/tests/prop.rs
+
+crates/xbar/tests/prop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-9483b05d168958f4.d: crates/xbar/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-9483b05d168958f4.rmeta: crates/xbar/tests/prop.rs Cargo.toml
+
+crates/xbar/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-af7bfb5681cf50f3.d: crates/numeric/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-af7bfb5681cf50f3.rmeta: crates/numeric/tests/prop.rs Cargo.toml
+
+crates/numeric/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

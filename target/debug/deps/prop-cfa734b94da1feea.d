@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-cfa734b94da1feea.d: crates/numeric/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-cfa734b94da1feea: crates/numeric/tests/prop.rs
+
+crates/numeric/tests/prop.rs:

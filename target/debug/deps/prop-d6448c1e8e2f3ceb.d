@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-d6448c1e8e2f3ceb.d: crates/sparse/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-d6448c1e8e2f3ceb.rmeta: crates/sparse/tests/prop.rs Cargo.toml
+
+crates/sparse/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

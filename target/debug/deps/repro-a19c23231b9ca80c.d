@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-a19c23231b9ca80c.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-a19c23231b9ca80c: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-fc173f63269a7485.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-fc173f63269a7485: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

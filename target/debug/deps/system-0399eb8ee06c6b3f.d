@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/system-0399eb8ee06c6b3f.d: tests/system.rs
+
+/root/repo/target/debug/deps/system-0399eb8ee06c6b3f: tests/system.rs
+
+tests/system.rs:

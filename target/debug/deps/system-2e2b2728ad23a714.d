@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/system-2e2b2728ad23a714.d: tests/system.rs
+
+/root/repo/target/debug/deps/system-2e2b2728ad23a714: tests/system.rs
+
+tests/system.rs:

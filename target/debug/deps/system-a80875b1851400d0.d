@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/system-a80875b1851400d0.d: tests/system.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsystem-a80875b1851400d0.rmeta: tests/system.rs Cargo.toml
+
+tests/system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

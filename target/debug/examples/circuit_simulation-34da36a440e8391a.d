@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/circuit_simulation-34da36a440e8391a.d: examples/circuit_simulation.rs
+
+/root/repo/target/debug/examples/circuit_simulation-34da36a440e8391a: examples/circuit_simulation.rs
+
+examples/circuit_simulation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/circuit_simulation-c4f61d8876ff2ba5.d: examples/circuit_simulation.rs
+
+/root/repo/target/debug/examples/circuit_simulation-c4f61d8876ff2ba5: examples/circuit_simulation.rs
+
+examples/circuit_simulation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/matrix_market_io-4d95e10119da5bde.d: examples/matrix_market_io.rs
+
+/root/repo/target/debug/examples/matrix_market_io-4d95e10119da5bde: examples/matrix_market_io.rs
+
+examples/matrix_market_io.rs:

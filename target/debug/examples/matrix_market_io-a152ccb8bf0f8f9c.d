@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/matrix_market_io-a152ccb8bf0f8f9c.d: examples/matrix_market_io.rs
+
+/root/repo/target/debug/examples/matrix_market_io-a152ccb8bf0f8f9c: examples/matrix_market_io.rs
+
+examples/matrix_market_io.rs:

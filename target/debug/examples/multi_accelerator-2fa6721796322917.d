@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/multi_accelerator-2fa6721796322917.d: examples/multi_accelerator.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmulti_accelerator-2fa6721796322917.rmeta: examples/multi_accelerator.rs Cargo.toml
+
+examples/multi_accelerator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_accelerator-998ad9bdad4abead.d: examples/multi_accelerator.rs
+
+/root/repo/target/debug/examples/multi_accelerator-998ad9bdad4abead: examples/multi_accelerator.rs
+
+examples/multi_accelerator.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_accelerator-bc7ba95dfc4d94ee.d: examples/multi_accelerator.rs
+
+/root/repo/target/debug/examples/multi_accelerator-bc7ba95dfc4d94ee: examples/multi_accelerator.rs
+
+examples/multi_accelerator.rs:

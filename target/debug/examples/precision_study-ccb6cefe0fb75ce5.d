@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/precision_study-ccb6cefe0fb75ce5.d: examples/precision_study.rs
+
+/root/repo/target/debug/examples/precision_study-ccb6cefe0fb75ce5: examples/precision_study.rs
+
+examples/precision_study.rs:

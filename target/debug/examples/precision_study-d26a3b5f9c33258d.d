@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/precision_study-d26a3b5f9c33258d.d: examples/precision_study.rs
+
+/root/repo/target/debug/examples/precision_study-d26a3b5f9c33258d: examples/precision_study.rs
+
+examples/precision_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-2b093ddad686628e.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-2b093ddad686628e: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-9ad9216d4e15b2fc.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-9ad9216d4e15b2fc: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/structural_analysis-9052031acd459df2.d: examples/structural_analysis.rs
+
+/root/repo/target/debug/examples/structural_analysis-9052031acd459df2: examples/structural_analysis.rs
+
+examples/structural_analysis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/structural_analysis-dedd2ec1f1a6fdfe.d: examples/structural_analysis.rs
+
+/root/repo/target/debug/examples/structural_analysis-dedd2ec1f1a6fdfe: examples/structural_analysis.rs
+
+examples/structural_analysis.rs:

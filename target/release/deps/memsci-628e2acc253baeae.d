@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/memsci-628e2acc253baeae.d: src/lib.rs
+
+/root/repo/target/release/deps/libmemsci-628e2acc253baeae.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmemsci-628e2acc253baeae.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/memsci-e5d26d049cf8befa.d: src/lib.rs
+
+/root/repo/target/release/deps/libmemsci-e5d26d049cf8befa.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmemsci-e5d26d049cf8befa.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/memsci_bench-d44621ff8f618890.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/montecarlo.rs crates/bench/src/suite_run.rs crates/bench/src/tables.rs
+
+/root/repo/target/release/deps/libmemsci_bench-d44621ff8f618890.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/montecarlo.rs crates/bench/src/suite_run.rs crates/bench/src/tables.rs
+
+/root/repo/target/release/deps/libmemsci_bench-d44621ff8f618890.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/montecarlo.rs crates/bench/src/suite_run.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/montecarlo.rs:
+crates/bench/src/suite_run.rs:
+crates/bench/src/tables.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/memsci_exec-a3973e229c9434ca.d: crates/exec/src/lib.rs
+
+/root/repo/target/release/deps/libmemsci_exec-a3973e229c9434ca.rlib: crates/exec/src/lib.rs
+
+/root/repo/target/release/deps/libmemsci_exec-a3973e229c9434ca.rmeta: crates/exec/src/lib.rs
+
+crates/exec/src/lib.rs:

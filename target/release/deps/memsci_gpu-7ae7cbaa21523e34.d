@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/memsci_gpu-7ae7cbaa21523e34.d: crates/gpu/src/lib.rs
+
+/root/repo/target/release/deps/libmemsci_gpu-7ae7cbaa21523e34.rlib: crates/gpu/src/lib.rs
+
+/root/repo/target/release/deps/libmemsci_gpu-7ae7cbaa21523e34.rmeta: crates/gpu/src/lib.rs
+
+crates/gpu/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/memsci_gpu-de4b6045774962c6.d: crates/gpu/src/lib.rs
+
+/root/repo/target/release/deps/libmemsci_gpu-de4b6045774962c6.rlib: crates/gpu/src/lib.rs
+
+/root/repo/target/release/deps/libmemsci_gpu-de4b6045774962c6.rmeta: crates/gpu/src/lib.rs
+
+crates/gpu/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-afff589a1fc8d5db.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-afff589a1fc8d5db: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/timing_exec-cd3bd465181661d0.d: crates/bench/src/bin/timing_exec.rs
+
+/root/repo/target/release/deps/timing_exec-cd3bd465181661d0: crates/bench/src/bin/timing_exec.rs
+
+crates/bench/src/bin/timing_exec.rs:

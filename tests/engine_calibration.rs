@@ -16,16 +16,24 @@ fn slice_estimates_track_the_exact_engine() {
     let mut rng = StdRng::seed_from_u64(77);
     let n = 32;
     let matrix = banded(n, 6, 0.8, ValueModel::with_spread(10), &mut rng).to_csr();
-    let entries: Vec<(u16, u16, f64)> =
-        matrix.iter().map(|(r, c, v)| (r as u16, c as u16, v)).collect();
-    let spec = ClusterSpec { size: n, ..Default::default() };
+    let entries: Vec<(u16, u16, f64)> = matrix
+        .iter()
+        .map(|(r, c, v)| (r as u16, c as u16, v))
+        .collect();
+    let spec = ClusterSpec {
+        size: n,
+        ..Default::default()
+    };
     let cluster = Cluster::program(spec, &entries, &mut rng).unwrap().cluster;
 
     // A vector with enough dynamic range for termination to matter.
     let x: Vec<f64> = (0..n)
         .map(|i| (0.7 + i as f64 * 0.05) * (2.0f64).powi((i as i32 % 8) * 5 - 17))
         .collect();
-    let opts = MvmOptions { collect_row_profile: true, ..Default::default() };
+    let opts = MvmOptions {
+        collect_row_profile: true,
+        ..Default::default()
+    };
     let res = cluster.mvm(&x, &opts, &mut rng).unwrap();
     let measured = res.row_slices.unwrap();
 
@@ -74,9 +82,14 @@ fn energy_accounting_is_consistent_between_engines() {
     let mut rng = StdRng::seed_from_u64(78);
     let n = 32;
     let matrix = banded(n, 8, 0.75, ValueModel::with_spread(8), &mut rng).to_csr();
-    let entries: Vec<(u16, u16, f64)> =
-        matrix.iter().map(|(r, c, v)| (r as u16, c as u16, v)).collect();
-    let spec = ClusterSpec { size: n, ..Default::default() };
+    let entries: Vec<(u16, u16, f64)> = matrix
+        .iter()
+        .map(|(r, c, v)| (r as u16, c as u16, v))
+        .collect();
+    let spec = ClusterSpec {
+        size: n,
+        ..Default::default()
+    };
     let cluster = Cluster::program(spec, &entries, &mut rng).unwrap().cluster;
     let x: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.31).sin()).collect();
     let exact = cluster.mvm(&x, &MvmOptions::default(), &mut rng).unwrap();
@@ -85,8 +98,7 @@ fn energy_accounting_is_consistent_between_engines() {
     let cost = memsci::xbar::CostModel::default();
     let full = cost.column_energy(n, 1, None);
     let floor = cost.skipped_column_energy();
-    let upper = exact.conversions as f64 * full
-        + exact.conversions_skipped as f64 * floor;
+    let upper = exact.conversions as f64 * full + exact.conversions_skipped as f64 * floor;
     let lower = (exact.conversions + exact.conversions_skipped) as f64 * floor;
     assert!(
         exact.energy > lower && exact.energy <= upper * 1.001,

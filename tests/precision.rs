@@ -28,7 +28,10 @@ fn exact_dot_floor(pairs: &[(f64, f64)]) -> f64 {
         if pa.is_zero() || px.is_zero() {
             continue;
         }
-        terms.push((pa.signed_mantissa() * px.signed_mantissa(), pa.exponent + px.exponent));
+        terms.push((
+            pa.signed_mantissa() * px.signed_mantissa(),
+            pa.exponent + px.exponent,
+        ));
         min_exp = min_exp.min(pa.exponent + px.exponent);
     }
     let mut sum = WideInt::zero();
@@ -58,12 +61,18 @@ fn cluster_dot_products_are_exactly_rounded() {
             .iter()
             .map(|(r, c, v)| (r as u16, c as u16, v))
             .collect();
-        let spec = ClusterSpec { size: n, ..Default::default() };
+        let spec = ClusterSpec {
+            size: n,
+            ..Default::default()
+        };
         let outcome = Cluster::program(spec, &entries, &mut rng).unwrap();
         let x: Vec<f64> = (0..n)
             .map(|i| (1.0 + i as f64 * 0.13) * (2.0f64).powi((i as i32 % 7) * 5 - 15))
             .collect();
-        let res = outcome.cluster.mvm(&x, &MvmOptions::default(), &mut rng).unwrap();
+        let res = outcome
+            .cluster
+            .mvm(&x, &MvmOptions::default(), &mut rng)
+            .unwrap();
         for r in 0..n {
             let pairs: Vec<(f64, f64)> = matrix
                 .row(r)
@@ -72,10 +81,7 @@ fn cluster_dot_products_are_exactly_rounded() {
                 .zip(matrix.row(r).1)
                 .map(|(&c, &v)| (v, x[c as usize]))
                 .collect();
-            let evicted_here = outcome
-                .evicted
-                .iter()
-                .any(|&(er, _, _)| er as usize == r);
+            let evicted_here = outcome.evicted.iter().any(|&(er, _, _)| er as usize == r);
             if evicted_here {
                 continue; // CIC evictions move entries to the CPU path
             }
@@ -93,7 +99,11 @@ fn exact_platform_matches_f64_convergence() {
         let blocked = BlockedMatrix::block(&a, &BlockingConfig::default());
         let n = a.rows();
         let b = vec![1.0; n];
-        let opts = SolveOptions { tol: 1e-9, max_iters: 500, record_residuals: false };
+        let opts = SolveOptions {
+            tol: 1e-9,
+            max_iters: 500,
+            record_residuals: false,
+        };
 
         let mut reference = CsrPlatform::new(a.clone());
         let mut x_ref = vec![0.0; n];
@@ -108,7 +118,10 @@ fn exact_platform_matches_f64_convergence() {
         .unwrap();
         let mut x = vec![0.0; n];
         let r = cg(&mut exact, &b, &mut x, &opts);
-        assert!(r.converged, "spread {spread}: exact platform did not converge");
+        assert!(
+            r.converged,
+            "spread {spread}: exact platform did not converge"
+        );
         assert!(
             r.iterations.abs_diff(r_ref.iterations) <= 2,
             "spread {spread}: {} vs {} iterations",
@@ -132,17 +145,32 @@ fn rounding_modes_bracket_on_clusters() {
     let mut rng = StdRng::seed_from_u64(3);
     let n = 16;
     let matrix = banded(n, 4, 0.9, ValueModel::with_spread(6), &mut rng).to_csr();
-    let entries: Vec<(u16, u16, f64)> =
-        matrix.iter().map(|(r, c, v)| (r as u16, c as u16, v)).collect();
-    let spec = ClusterSpec { size: n, ..Default::default() };
+    let entries: Vec<(u16, u16, f64)> = matrix
+        .iter()
+        .map(|(r, c, v)| (r as u16, c as u16, v))
+        .collect();
+    let spec = ClusterSpec {
+        size: n,
+        ..Default::default()
+    };
     let outcome = Cluster::program(spec, &entries, &mut rng).unwrap();
-    let evicted_rows: std::collections::BTreeSet<usize> =
-        outcome.evicted.iter().map(|&(r, _, _)| r as usize).collect();
+    let evicted_rows: std::collections::BTreeSet<usize> = outcome
+        .evicted
+        .iter()
+        .map(|&(r, _, _)| r as usize)
+        .collect();
     let cluster = outcome.cluster;
     let x: Vec<f64> = (0..n).map(|i| 0.3 + (i as f64) * 0.77).collect();
     let mut run = |mode| {
         cluster
-            .mvm(&x, &MvmOptions { rounding: mode, ..Default::default() }, &mut rng)
+            .mvm(
+                &x,
+                &MvmOptions {
+                    rounding: mode,
+                    ..Default::default()
+                },
+                &mut rng,
+            )
             .unwrap()
             .y
     };
@@ -173,7 +201,10 @@ fn rounding_modes_bracket_on_clusters() {
 #[test]
 fn non_finite_inputs_are_rejected() {
     let mut rng = StdRng::seed_from_u64(4);
-    let spec = ClusterSpec { size: 8, ..Default::default() };
+    let spec = ClusterSpec {
+        size: 8,
+        ..Default::default()
+    };
     let entries = vec![(0u16, 0u16, f64::INFINITY)];
     assert!(Cluster::program(spec, &entries, &mut rng).is_err());
     let entries = vec![(0u16, 0u16, 1.0)];

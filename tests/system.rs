@@ -21,7 +21,12 @@ fn pipeline_conserves_every_matrix() {
     for entry in suite() {
         let a = entry.generate_scaled(SCALE);
         let blocked = BlockedMatrix::block(&a, &bc);
-        assert_eq!(blocked.nnz(), a.nnz(), "{}: blocking conservation", entry.name);
+        assert_eq!(
+            blocked.nnz(),
+            a.nnz(),
+            "{}: blocking conservation",
+            entry.name
+        );
         let mapping = map_blocks(&blocked, &config);
         assert_eq!(
             mapping.mapped_nnz() + mapping.extra_residual.len(),
@@ -36,13 +41,21 @@ fn pipeline_conserves_every_matrix() {
 /// replica class.
 #[test]
 fn engine_spmv_matches_reference_across_the_suite() {
-    for name in ["Pres_Poisson", "bcircuit", "ns3Da", "Trefethen_20000", "GaAsH6"] {
+    for name in [
+        "Pres_Poisson",
+        "bcircuit",
+        "ns3Da",
+        "Trefethen_20000",
+        "GaAsH6",
+    ] {
         let entry = by_name(name).unwrap();
         let a = entry.generate_scaled(SCALE);
         let n = a.rows();
         let blocked = BlockedMatrix::block(&a, &BlockingConfig::default());
         let mut acc = AcceleratorPlatform::new(&blocked, AcceleratorConfig::default());
-        let x: Vec<f64> = (0..n).map(|i| ((i * 37) % 101) as f64 * 0.021 - 1.0).collect();
+        let x: Vec<f64> = (0..n)
+            .map(|i| ((i * 37) % 101) as f64 * 0.021 - 1.0)
+            .collect();
         let mut y1 = vec![0.0; n];
         let mut y2 = vec![0.0; n];
         acc.spmv(&x, &mut y1);
@@ -71,7 +84,13 @@ fn dispatch_matches_the_papers_split() {
         } else {
             Target::Accelerator
         };
-        assert_eq!(target, expected, "{} (efficiency {:.3})", entry.name, blocked.stats.efficiency());
+        assert_eq!(
+            target,
+            expected,
+            "{} (efficiency {:.3})",
+            entry.name,
+            blocked.stats.efficiency()
+        );
     }
 }
 
@@ -82,7 +101,11 @@ fn solvers_agree_across_platforms() {
     let a = entry.generate_scaled(SCALE);
     let n = a.rows();
     let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
-    let opts = SolveOptions { tol: 1e-9, max_iters: 3000, record_residuals: false };
+    let opts = SolveOptions {
+        tol: 1e-9,
+        max_iters: 3000,
+        record_residuals: false,
+    };
 
     let solve_cg = |p: &mut dyn Platform| {
         let mut x = vec![0.0; n];
@@ -145,7 +168,11 @@ fn mapping_respects_cluster_inventory() {
         let blocked = BlockedMatrix::block(&a, &BlockingConfig::default());
         let mapping = map_blocks(&blocked, &config);
         for &(size, _) in &config.clusters_per_bank {
-            let used = mapping.clusters.iter().filter(|c| c.size as usize == size).count();
+            let used = mapping
+                .clusters
+                .iter()
+                .filter(|c| c.size as usize == size)
+                .count();
             assert!(
                 used <= config.cluster_capacity(size),
                 "{}: {used} clusters of {size} exceed capacity",
