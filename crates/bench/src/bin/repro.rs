@@ -3,18 +3,27 @@
 //! Usage:
 //!
 //! ```text
-//! repro <experiment> [--scale S] [--runs N] [--tol T]
+//! repro <experiment> [--scale S] [--runs N] [--tol T] [--telemetry-out FILE]
 //!
 //! experiments:
 //!   table1 table2 table3
 //!   fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
-//!   area endurance ablation solve all
+//!   area endurance ablation smoke solve all
 //! ```
 //!
 //! `solve` runs the 20-matrix suite once and prints Figures 8, 9, and
-//! 10 together (they share the same runs); `all` runs everything.
+//! 10 together (they share the same runs); `all` runs everything;
+//! `smoke` is a fast telemetry exerciser (one suite matrix plus an
+//! error-injected bit-exact solve so AN-code counters fire).
+//!
+//! Telemetry: `--telemetry-out FILE` enables the global sink and writes
+//! a schema-versioned JSON run manifest on exit. The `MEMSCI_TELEMETRY`
+//! environment variable does the same without touching the command line
+//! (`1`/`on` = enable only, any other non-empty value = manifest path);
+//! the flag wins when both are given.
 
 use memsci_bench::{figures, montecarlo, suite_run, tables};
+use memsci_telemetry::json::Json;
 
 #[derive(Debug, Clone, Copy)]
 struct Args {
@@ -26,13 +35,28 @@ struct Args {
 fn main() {
     let mut argv = std::env::args().skip(1);
     let Some(cmd) = argv.next() else {
-        eprintln!("usage: repro <experiment> [--scale S] [--runs N] [--tol T]");
+        eprintln!(
+            "usage: repro <experiment> [--scale S] [--runs N] [--tol T] [--telemetry-out FILE]"
+        );
         eprintln!("experiments: table1 table2 table3 fig6 fig7 fig8 fig9 fig10 fig11");
-        eprintln!("             fig12 fig13 area endurance ablation sizing solve all");
+        eprintln!("             fig12 fig13 area endurance ablation sizing smoke solve all");
         eprintln!("             matrix <file.mtx>   (run a real SuiteSparse download)");
         std::process::exit(2);
     };
     let rest: Vec<String> = argv.collect();
+
+    // MEMSCI_TELEMETRY can enable the sink (and pick a manifest path)
+    // without touching the command line; --telemetry-out overrides the
+    // path below.
+    let mut telemetry_out: Option<std::path::PathBuf> = None;
+    match memsci_telemetry::env_setting() {
+        memsci_telemetry::EnvSetting::Disabled => {}
+        memsci_telemetry::EnvSetting::Enabled => memsci_telemetry::enable(),
+        memsci_telemetry::EnvSetting::File(path) => {
+            memsci_telemetry::enable();
+            telemetry_out = Some(path.into());
+        }
+    }
     if cmd == "matrix" {
         let Some(path) = rest.first() else {
             eprintln!("usage: repro matrix <file.mtx> [--tol T]");
@@ -51,6 +75,11 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        let config = [
+            ("command", Json::Str(format!("matrix {path}"))),
+            ("tol", Json::Num(tol)),
+        ];
+        finish_telemetry(telemetry_out.as_deref(), &config);
         return;
     }
     let mut args = Args {
@@ -91,6 +120,15 @@ fn main() {
                     });
                 i += 2;
             }
+            "--telemetry-out" => {
+                let Some(path) = rest.get(i + 1) else {
+                    eprintln!("--telemetry-out needs a file path");
+                    std::process::exit(2);
+                };
+                memsci_telemetry::enable();
+                telemetry_out = Some(path.into());
+                i += 2;
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -98,6 +136,30 @@ fn main() {
         }
     }
     run(&cmd, args);
+    let config = [
+        ("command", Json::Str(cmd.clone())),
+        ("scale", Json::Num(args.scale)),
+        ("runs", Json::UInt(args.runs as u64)),
+        ("tol", Json::Num(args.tol)),
+    ];
+    finish_telemetry(telemetry_out.as_deref(), &config);
+}
+
+/// Writes the run manifest when the sink is on and a path was chosen.
+fn finish_telemetry(path: Option<&std::path::Path>, config: &[(&str, Json)]) {
+    if !memsci_telemetry::enabled() {
+        return;
+    }
+    let Some(path) = path else {
+        return; // enabled without a file: counters stay in-process
+    };
+    match memsci_telemetry::write_manifest(path, &memsci_telemetry::snapshot(), config) {
+        Ok(()) => eprintln!("telemetry manifest written to {}", path.display()),
+        Err(e) => {
+            eprintln!("failed to write telemetry manifest {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
 }
 
 fn run(cmd: &str, args: Args) {
@@ -166,6 +228,63 @@ fn run(cmd: &str, args: Args) {
                 mc.runs
             );
             print_mc(&montecarlo::figure13(&mc), "B=1; E=0%");
+        }
+        "smoke" => {
+            // Fast telemetry exerciser: one well-blocking suite matrix
+            // through the modelled accelerator (ADC / slice / activation
+            // counters), then a small bit-exact solve with RTN upsets
+            // injected so the AN-code correction counters fire (§IV-E).
+            use memsci_core::{AcceleratorConfig, ExactAcceleratorPlatform, ExactOptions};
+            use memsci_solvers::platform::Platform;
+            use memsci_solvers::{cg::cg, SolveOptions};
+            use memsci_sparse::blocking::{BlockedMatrix, BlockingConfig};
+            use memsci_sparse::generate::poisson2d;
+            use memsci_sparse::suite::by_name;
+
+            let entry = by_name("Pres_Poisson").expect("suite entry");
+            let scale = args.scale.min(0.05);
+            let o = suite_run::run_matrix(&entry, scale, args.tol);
+            println!(
+                "smoke: {} @ scale {scale} -> {:?}, accel {} iters (converged {}), gpu {} iters",
+                o.name, o.target, o.accel.iterations, o.accel.converged, o.gpu.iterations
+            );
+
+            let a = poisson2d(12, 12);
+            let n = a.rows();
+            let blocked = BlockedMatrix::block(&a, &BlockingConfig::default());
+            let mut exact = ExactAcceleratorPlatform::new(
+                &blocked,
+                AcceleratorConfig::with_banks(2),
+                ExactOptions {
+                    seed: 7,
+                    rtn_probability: 2e-5,
+                    ..Default::default()
+                },
+            )
+            .expect("finite matrix");
+            let b = vec![1.0; n];
+            let mut x = vec![0.0; n];
+            let opts = SolveOptions::with_tol(1e-8).max_iters(400).telemetry(true);
+            let r = cg(&mut exact, &b, &mut x, &opts);
+            // A vector spanning many binary orders of magnitude makes the
+            // early-termination logic skip bit slices (§IV-B), which the
+            // uniform CG vectors above rarely trigger.
+            let wide: Vec<f64> = (0..n)
+                .map(|i| (2.0f64).powi(-((i % 8) as i32) * 25))
+                .collect();
+            let mut y = vec![0.0; n];
+            exact.spmv(&wide, &mut y);
+            println!(
+                "smoke: exact poisson2d(12x12) {} iters (converged {}), AN corrections {}, detections {}",
+                r.iterations, r.converged, exact.an_corrections, exact.an_detections
+            );
+            if let Some(t) = &r.telemetry {
+                println!(
+                    "smoke: solve telemetry: {} counters nonzero, {} spans",
+                    t.counters.iter().filter(|&(_, v)| v > 0).count(),
+                    t.spans.len()
+                );
+            }
         }
         "area" => print!("{}", figures::area_report()),
         "endurance" => {

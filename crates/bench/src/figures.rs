@@ -487,11 +487,7 @@ pub fn real_matrix_report(path: &str, tol: f64) -> Result<String, Box<dyn std::e
     ));
     let n = a.rows();
     let b = vec![1.0; n];
-    let opts = SolveOptions {
-        tol,
-        max_iters: 5000,
-        record_residuals: false,
-    };
+    let opts = SolveOptions::with_tol(tol).max_iters(5000);
     let mut gpu = GpuPlatform::new(a.clone());
     let mut xg = vec![0.0; n];
     let rg = if stats.symmetric {

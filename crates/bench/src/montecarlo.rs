@@ -112,11 +112,7 @@ pub fn mc_iterations(a: &Csr, cell: CellSpec, seed: u64, mc: &MonteCarloConfig) 
     let n = a.rows();
     let b = vec![1.0; n];
     let mut x = vec![0.0; n];
-    let opts = SolveOptions {
-        tol: mc.tol,
-        max_iters: mc.max_iters,
-        record_residuals: false,
-    };
+    let opts = SolveOptions::with_tol(mc.tol).max_iters(mc.max_iters);
     let report = cg(&mut platform, &b, &mut x, &opts);
     (report.iterations, report.converged)
 }

@@ -80,6 +80,22 @@ impl MatrixOutcome {
     }
 }
 
+/// Records one platform's solve into the telemetry outcome log.
+fn record_outcome(entry: &SuiteEntry, platform: &str, report: &SolveReport) {
+    if !memsci_telemetry::enabled() {
+        return; // keep the disabled path allocation-free
+    }
+    memsci_telemetry::record_outcome(memsci_telemetry::SolveOutcome {
+        label: format!("{}/{platform}", entry.name),
+        solver: if entry.spd { "cg" } else { "bicgstab" }.to_string(),
+        iterations: report.iterations,
+        converged: report.converged,
+        relative_residual: report.relative_residual,
+        time_seconds: report.time_seconds,
+        energy_joules: report.energy_joules,
+    });
+}
+
 /// Runs one suite matrix on both platforms.
 pub fn run_matrix(entry: &SuiteEntry, scale: f64, tol: f64) -> MatrixOutcome {
     let a = entry.generate_scaled(scale);
@@ -89,11 +105,7 @@ pub fn run_matrix(entry: &SuiteEntry, scale: f64, tol: f64) -> MatrixOutcome {
     // Per-iteration costs are what Figures 8-9 compare; capping the
     // count keeps ill-conditioned replicas affordable while both
     // platforms execute identical iteration sequences.
-    let opts = SolveOptions {
-        tol,
-        max_iters: 2_000,
-        record_residuals: false,
-    };
+    let opts = SolveOptions::with_tol(tol).max_iters(2_000);
 
     // GPU baseline solve.
     let mut gpu = GpuPlatform::new(a.clone());
@@ -104,6 +116,7 @@ pub fn run_matrix(entry: &SuiteEntry, scale: f64, tol: f64) -> MatrixOutcome {
         bicgstab(&mut gpu, &b, &mut xg, &opts)
     };
     let gpu_cost = SolveCost::from(&gpu_report);
+    record_outcome(entry, "gpu", &gpu_report);
 
     // Accelerator path: preprocess, dispatch, solve.
     let config = AcceleratorConfig::default();
@@ -128,6 +141,7 @@ pub fn run_matrix(entry: &SuiteEntry, scale: f64, tol: f64) -> MatrixOutcome {
             } else {
                 bicgstab(&mut acc, &b, &mut x, &opts)
             };
+            record_outcome(entry, "accel", &report);
             (SolveCost::from(&report), setup, acc.last_spmv().avg_slices)
         }
         Target::Gpu => {
@@ -140,6 +154,7 @@ pub fn run_matrix(entry: &SuiteEntry, scale: f64, tol: f64) -> MatrixOutcome {
             } else {
                 bicgstab(&mut gpu2, &b, &mut x, &opts)
             };
+            record_outcome(entry, "gpu_fallback", &report);
             let cost = SolveCost {
                 iterations: report.iterations,
                 converged: report.converged,
@@ -186,6 +201,12 @@ pub fn run_entries(
     memsci_core::exec::parallel_map(threads, entries, |_, e| {
         let (mut outcome, exec) =
             memsci_core::exec::timed(threads, 1, || run_matrix(e, scale, tol));
+        memsci_telemetry::record_exec(
+            "bench/run_matrix",
+            exec.threads,
+            exec.tasks,
+            exec.wall_seconds,
+        );
         outcome.exec = exec;
         outcome
     })
@@ -215,7 +236,12 @@ pub fn geometric_mean(values: impl IntoIterator<Item = f64>) -> f64 {
         }
     }
     if skipped > 0 {
-        eprintln!("warning: geometric_mean skipped {skipped} non-positive or non-finite value(s)");
+        let message =
+            format!("geometric_mean skipped {skipped} non-positive or non-finite value(s)");
+        // Counted even while the telemetry sink is disabled, so suite
+        // runs can assert zero skipped values after the fact.
+        memsci_telemetry::warn("geometric_mean", &message);
+        eprintln!("warning: {message}");
     }
     if count == 0 {
         return f64::NAN;
@@ -245,6 +271,14 @@ mod tests {
         // Nothing valid left: NaN, not a panic and not -inf.
         assert!(geometric_mean([0.0, -1.0]).is_nan());
         assert!(geometric_mean([f64::NEG_INFINITY]).is_nan());
+    }
+
+    #[test]
+    fn geometric_mean_warning_reaches_telemetry() {
+        let _guard = memsci_telemetry::exclusive_for_tests();
+        let before = memsci_telemetry::warning_count();
+        assert!((geometric_mean([4.0, f64::NAN]) - 4.0).abs() < 1e-12);
+        assert_eq!(memsci_telemetry::warning_count(), before + 1);
     }
 
     #[test]

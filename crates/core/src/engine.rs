@@ -287,6 +287,7 @@ impl AcceleratorPlatform {
         let mut max_slices = 0usize;
         let mut conv_done = 0.0f64;
         let mut conv_possible = 0.0f64;
+        let telemetry_on = memsci_telemetry::enabled();
 
         for (ci, cluster) in self.clusters.iter().enumerate() {
             let hi = (cluster.col0 + cluster.size).min(self.n);
@@ -333,6 +334,46 @@ impl AcceleratorPlatform {
             energy += skipped as f64 * cluster.groups as f64 * cost.skipped_column_energy();
             conv_done += (used_total * cluster.groups) as f64;
             conv_possible += ((used_total + skipped) * cluster.groups) as f64;
+            if telemetry_on {
+                // Modelled hardware events, mirroring the bit-exact
+                // cluster's flush in `memsci_xbar::Cluster::mvm`.
+                use memsci_telemetry::{incr, Counter};
+                incr(
+                    Counter::AdcConversions,
+                    (used_total * cluster.groups) as u64,
+                );
+                incr(
+                    Counter::AdcConversionsSkipped,
+                    (skipped * cluster.groups) as u64,
+                );
+                let resolution = cost.resolution(cluster.size, cell.bits_per_cell);
+                let hits: u64 = cluster
+                    .rows
+                    .iter()
+                    .enumerate()
+                    .filter(|&(ri, _)| cluster.searched_bits[ri] < resolution)
+                    .map(|(ri, _)| {
+                        Self::estimate_row_slices(
+                            dots[ci][ri],
+                            cluster.exp_base,
+                            x_exp_base,
+                            xw,
+                            cluster.pm_bits,
+                        ) as u64
+                            * cluster.groups as u64
+                    })
+                    .sum();
+                incr(Counter::AdcHeadstartHits, hits);
+                incr(Counter::SlicesApplied, cluster_max_used as u64);
+                incr(
+                    Counter::SlicesSkipped,
+                    xw.saturating_sub(cluster_max_used) as u64,
+                );
+                incr(
+                    Counter::xbar_activations_for_size(cluster.size),
+                    cluster_max_used as u64 * cluster.groups as u64,
+                );
+            }
             let t = cluster_max_used as f64 * cost.crossbar_op_latency(cluster.size);
             bank_cluster_time[cluster.bank] = bank_cluster_time[cluster.bank].max(t);
             bank_interrupts[cluster.bank] += 1;
@@ -424,6 +465,8 @@ impl Platform for AcceleratorPlatform {
     }
 
     fn spmv(&mut self, x: &[f64], y: &mut [f64]) {
+        let _span = memsci_telemetry::span("engine/spmv");
+        memsci_telemetry::incr(memsci_telemetry::Counter::SpmvOps, 1);
         assert_eq!(x.len(), self.n, "x length");
         assert_eq!(y.len(), self.n, "y length");
         y.fill(0.0);
@@ -453,11 +496,18 @@ impl Platform for AcceleratorPlatform {
             }
         }
         self.residual.spmv_add(x, y);
+        memsci_telemetry::incr(
+            memsci_telemetry::Counter::ResidualFlops,
+            2 * self.residual.nnz() as u64,
+        );
         self.charge_spmv_cost(x, &dots);
+        memsci_telemetry::record_exec("engine/spmv", exec.threads, exec.tasks, exec.wall_seconds);
         self.last_spmv.exec = exec;
     }
 
     fn spmv_transpose(&mut self, x: &[f64], y: &mut [f64]) {
+        let _span = memsci_telemetry::span("engine/spmv_transpose");
+        memsci_telemetry::incr(memsci_telemetry::Counter::SpmvTransposeOps, 1);
         assert_eq!(x.len(), self.n, "x length");
         assert_eq!(y.len(), self.n, "y length");
         y.fill(0.0);
@@ -476,12 +526,17 @@ impl Platform for AcceleratorPlatform {
             dots.push(vec![1.0; cluster.rows.len()]);
         }
         self.residual_t.spmv_add(x, y);
+        memsci_telemetry::incr(
+            memsci_telemetry::Counter::ResidualFlops,
+            2 * self.residual_t.nnz() as u64,
+        );
         // Approximate transpose dots by forward magnitudes for costing.
         let dots_est: Vec<Vec<f64>> = dots;
         self.charge_spmv_cost(x, &dots_est);
     }
 
     fn dot(&mut self, x: &[f64], y: &[f64]) -> f64 {
+        memsci_telemetry::incr(memsci_telemetry::Counter::DotOps, 1);
         let reduce = self.config.local.global_reduce_time;
         let local = self.config.local;
         self.dense_kernel(|e| local.dot_time(e), reduce);
@@ -489,6 +544,7 @@ impl Platform for AcceleratorPlatform {
     }
 
     fn axpby(&mut self, alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
+        memsci_telemetry::incr(memsci_telemetry::Counter::AxpbyOps, 1);
         let barrier = self.config.barrier_time;
         let local = self.config.local;
         self.dense_kernel(|e| local.axpy_time(e), barrier);

@@ -238,6 +238,8 @@ impl Platform for ExactAcceleratorPlatform {
     }
 
     fn spmv(&mut self, x: &[f64], y: &mut [f64]) {
+        let _span = memsci_telemetry::span("exact/spmv");
+        memsci_telemetry::incr(memsci_telemetry::Counter::SpmvOps, 1);
         assert_eq!(x.len(), self.n, "x length");
         assert_eq!(y.len(), self.n, "y length");
         y.fill(0.0);
@@ -272,6 +274,10 @@ impl Platform for ExactAcceleratorPlatform {
             self.an_detections += res.an_detections;
         }
         self.residual.spmv_add(x, y);
+        memsci_telemetry::incr(
+            memsci_telemetry::Counter::ResidualFlops,
+            2 * self.residual.nnz() as u64,
+        );
         let local = self.config.local;
         let mut worst = 0.0f64;
         for bank in 0..self.config.banks {
@@ -288,6 +294,8 @@ impl Platform for ExactAcceleratorPlatform {
     }
 
     fn spmv_transpose(&mut self, x: &[f64], y: &mut [f64]) {
+        let _span = memsci_telemetry::span("exact/spmv_transpose");
+        memsci_telemetry::incr(memsci_telemetry::Counter::SpmvTransposeOps, 1);
         assert_eq!(x.len(), self.n, "x length");
         assert_eq!(y.len(), self.n, "y length");
         // A deployment would program A^T into its own clusters; here
@@ -296,6 +304,10 @@ impl Platform for ExactAcceleratorPlatform {
         // rates. BiCG therefore pairs a noisy forward operator with an
         // ideal transpose, which the method tolerates.
         self.transpose.spmv(x, y);
+        memsci_telemetry::incr(
+            memsci_telemetry::Counter::ResidualFlops,
+            2 * self.transpose.nnz() as u64,
+        );
         let local = self.config.local;
         let mut worst = 0.0f64;
         let mut energy = 0.0f64;
@@ -313,6 +325,7 @@ impl Platform for ExactAcceleratorPlatform {
     }
 
     fn dot(&mut self, x: &[f64], y: &[f64]) -> f64 {
+        memsci_telemetry::incr(memsci_telemetry::Counter::DotOps, 1);
         let reduce = self.config.local.global_reduce_time;
         let local = self.config.local;
         self.dense_kernel(|e| local.dot_time(e), reduce);
@@ -320,6 +333,7 @@ impl Platform for ExactAcceleratorPlatform {
     }
 
     fn axpby(&mut self, alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
+        memsci_telemetry::incr(memsci_telemetry::Counter::AxpbyOps, 1);
         let barrier = self.config.barrier_time;
         let local = self.config.local;
         self.dense_kernel(|e| local.axpy_time(e), barrier);
@@ -472,11 +486,7 @@ mod tests {
         let n = a.rows();
         let b = vec![1.0; n];
         let mut x = vec![0.0; n];
-        let opts = memsci_solvers::SolveOptions {
-            tol: 1e-8,
-            max_iters: 4000,
-            ..Default::default()
-        };
+        let opts = memsci_solvers::SolveOptions::with_tol(1e-8).max_iters(4000);
         let rep_noisy = memsci_solvers::cg::cg(&mut noisy, &b, &mut x, &opts);
         let (_, mut clean) = build(10);
         let mut xc = vec![0.0; n];

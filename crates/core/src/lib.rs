@@ -58,5 +58,6 @@ pub use exact::{ExactAcceleratorPlatform, ExactOptions};
 pub use mapping::{map_blocks, ClusterLoad, Mapping, VectorMapEntry};
 pub use memsci_exec as exec;
 pub use memsci_exec::ExecStats;
+pub use memsci_telemetry as telemetry;
 pub use multi::MultiAcceleratorPlatform;
 pub use overhead::SetupCost;

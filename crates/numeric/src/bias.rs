@@ -110,6 +110,7 @@ impl BiasedSlice {
 /// assert_eq!(p, WideInt::from(3u64));
 /// ```
 pub fn debias_partial(p: &WideInt, bias_bit: usize, popcount: u64) -> WideInt {
+    memsci_telemetry::incr(memsci_telemetry::Counter::BiasDebiases, 1);
     p - &WideInt::from(popcount).shl(bias_bit as u32)
 }
 

@@ -35,6 +35,15 @@ pub fn bicg<P: Platform + ?Sized>(
     x: &mut [f64],
     opts: &SolveOptions,
 ) -> SolveReport {
+    crate::report::instrumented("solve/bicg", opts, || bicg_inner(platform, b, x, opts))
+}
+
+fn bicg_inner<P: Platform + ?Sized>(
+    platform: &mut P,
+    b: &[f64],
+    x: &mut [f64],
+    opts: &SolveOptions,
+) -> SolveReport {
     let n = platform.n();
     assert_eq!(b.len(), n, "b length");
     assert_eq!(x.len(), n, "x length");

@@ -36,6 +36,17 @@ pub fn bicgstab<P: Platform + ?Sized>(
     x: &mut [f64],
     opts: &SolveOptions,
 ) -> SolveReport {
+    crate::report::instrumented("solve/bicgstab", opts, || {
+        bicgstab_inner(platform, b, x, opts)
+    })
+}
+
+fn bicgstab_inner<P: Platform + ?Sized>(
+    platform: &mut P,
+    b: &[f64],
+    x: &mut [f64],
+    opts: &SolveOptions,
+) -> SolveReport {
     let n = platform.n();
     assert_eq!(b.len(), n, "b length");
     assert_eq!(x.len(), n, "x length");
@@ -209,10 +220,7 @@ mod tests {
         let mut p = CsrPlatform::new(poisson2d(16, 16));
         let b = vec![1.0; 256];
         let mut x = vec![0.0; 256];
-        let opts = SolveOptions {
-            max_iters: 2,
-            ..Default::default()
-        };
+        let opts = SolveOptions::default().max_iters(2);
         let rep = bicgstab(&mut p, &b, &mut x, &opts);
         assert!(rep.iterations <= 2);
         assert!(!rep.converged);

@@ -33,6 +33,15 @@ pub fn cg<P: Platform + ?Sized>(
     x: &mut [f64],
     opts: &SolveOptions,
 ) -> SolveReport {
+    crate::report::instrumented("solve/cg", opts, || cg_inner(platform, b, x, opts))
+}
+
+fn cg_inner<P: Platform + ?Sized>(
+    platform: &mut P,
+    b: &[f64],
+    x: &mut [f64],
+    opts: &SolveOptions,
+) -> SolveReport {
     let n = platform.n();
     assert_eq!(b.len(), n, "b length");
     assert_eq!(x.len(), n, "x length");
@@ -195,10 +204,7 @@ mod tests {
         let mut p = CsrPlatform::new(poisson2d(16, 16));
         let b = vec![1.0; 256];
         let mut x = vec![0.0; 256];
-        let opts = SolveOptions {
-            max_iters: 3,
-            ..Default::default()
-        };
+        let opts = SolveOptions::default().max_iters(3);
         let rep = cg(&mut p, &b, &mut x, &opts);
         assert_eq!(rep.iterations, 3);
         assert!(!rep.converged);
@@ -209,10 +215,7 @@ mod tests {
         let mut p = CsrPlatform::new(poisson2d(10, 10));
         let b: Vec<f64> = (0..100).map(|i| (i as f64 * 0.1).sin()).collect();
         let mut x = vec![0.0; 100];
-        let opts = SolveOptions {
-            record_residuals: true,
-            ..Default::default()
-        };
+        let opts = SolveOptions::default().record_residuals(true);
         let rep = cg(&mut p, &b, &mut x, &opts);
         assert!(rep.converged);
         let h = &rep.residual_history;
@@ -227,15 +230,7 @@ mod tests {
         let mut p = CsrPlatform::new(a);
         let b = vec![0.0, 1.0];
         let mut x = vec![0.0; 2];
-        let rep = cg(
-            &mut p,
-            &b,
-            &mut x,
-            &SolveOptions {
-                max_iters: 50,
-                ..Default::default()
-            },
-        );
+        let rep = cg(&mut p, &b, &mut x, &SolveOptions::default().max_iters(50));
         // Must terminate without panicking or looping forever.
         assert!(rep.iterations <= 50);
     }

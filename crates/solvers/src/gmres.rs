@@ -38,6 +38,16 @@ pub fn gmres<P: Platform + ?Sized>(
     m: usize,
     opts: &SolveOptions,
 ) -> SolveReport {
+    crate::report::instrumented("solve/gmres", opts, || gmres_inner(platform, b, x, m, opts))
+}
+
+fn gmres_inner<P: Platform + ?Sized>(
+    platform: &mut P,
+    b: &[f64],
+    x: &mut [f64],
+    m: usize,
+    opts: &SolveOptions,
+) -> SolveReport {
     let n = platform.n();
     assert!(m > 0, "restart length must be positive");
     assert_eq!(b.len(), n, "b length");
@@ -246,10 +256,7 @@ mod tests {
         let mut p = CsrPlatform::new(poisson2d(16, 16));
         let b = vec![1.0; 256];
         let mut x = vec![0.0; 256];
-        let opts = SolveOptions {
-            max_iters: 7,
-            ..Default::default()
-        };
+        let opts = SolveOptions::default().max_iters(7);
         let rep = gmres(&mut p, &b, &mut x, 5, &opts);
         assert!(rep.iterations <= 7);
     }

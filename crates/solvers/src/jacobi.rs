@@ -39,6 +39,15 @@ pub fn jacobi<P: Platform + ?Sized>(
     x: &mut [f64],
     opts: &SolveOptions,
 ) -> SolveReport {
+    crate::report::instrumented("solve/jacobi", opts, || jacobi_inner(platform, b, x, opts))
+}
+
+fn jacobi_inner<P: Platform + ?Sized>(
+    platform: &mut P,
+    b: &[f64],
+    x: &mut [f64],
+    opts: &SolveOptions,
+) -> SolveReport {
     let n = platform.n();
     assert_eq!(b.len(), n, "b length");
     assert_eq!(x.len(), n, "x length");
@@ -99,11 +108,7 @@ mod tests {
         let mut pj = CsrPlatform::new(a.clone());
         let b = vec![1.0; 36];
         let mut xj = vec![0.0; 36];
-        let opts = SolveOptions {
-            tol: 1e-8,
-            max_iters: 100_000,
-            record_residuals: false,
-        };
+        let opts = SolveOptions::with_tol(1e-8).max_iters(100_000);
         let rep_j = jacobi(&mut pj, &b, &mut xj, &opts);
         assert!(rep_j.converged);
         let mut pc = CsrPlatform::new(a);

@@ -38,6 +38,17 @@ pub fn pcg_jacobi<P: Platform + ?Sized>(
     x: &mut [f64],
     opts: &SolveOptions,
 ) -> SolveReport {
+    crate::report::instrumented("solve/pcg_jacobi", opts, || {
+        pcg_jacobi_inner(platform, b, x, opts)
+    })
+}
+
+fn pcg_jacobi_inner<P: Platform + ?Sized>(
+    platform: &mut P,
+    b: &[f64],
+    x: &mut [f64],
+    opts: &SolveOptions,
+) -> SolveReport {
     let n = platform.n();
     assert_eq!(b.len(), n, "b length");
     assert_eq!(x.len(), n, "x length");
@@ -148,11 +159,7 @@ mod tests {
     fn pcg_converges_where_cg_struggles() {
         let a = scaled_system(400);
         let b = vec![1.0; 400];
-        let opts = SolveOptions {
-            tol: 1e-10,
-            max_iters: 4000,
-            record_residuals: false,
-        };
+        let opts = SolveOptions::with_tol(1e-10).max_iters(4000);
         let mut p1 = CsrPlatform::new(a.clone());
         let mut x1 = vec![0.0; 400];
         let plain = cg(&mut p1, &b, &mut x1, &opts);

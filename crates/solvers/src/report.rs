@@ -1,6 +1,20 @@
 //! Solve configuration and outcome reporting.
 
+use memsci_telemetry::RunTelemetry;
+
 /// Options shared by all solvers.
+///
+/// Knobs combine through the chainable builder methods:
+///
+/// ```
+/// use memsci_solvers::SolveOptions;
+///
+/// let opts = SolveOptions::default()
+///     .tol(1e-10)
+///     .max_iters(500)
+///     .record_residuals(true);
+/// assert_eq!(opts.max_iters, 500);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SolveOptions {
     /// Relative residual tolerance: converged when
@@ -11,6 +25,11 @@ pub struct SolveOptions {
     pub max_iters: usize,
     /// Record the residual norm after every iteration.
     pub record_residuals: bool,
+    /// Capture per-solve telemetry (hardware counters, span timings)
+    /// into [`SolveReport::telemetry`]. Enables the global telemetry
+    /// sink for the duration of the solve. Never changes numeric
+    /// results.
+    pub telemetry: bool,
 }
 
 impl Default for SolveOptions {
@@ -19,6 +38,7 @@ impl Default for SolveOptions {
             tol: 1e-8,
             max_iters: 10_000,
             record_residuals: false,
+            telemetry: false,
         }
     }
 }
@@ -26,10 +46,40 @@ impl Default for SolveOptions {
 impl SolveOptions {
     /// Options with the given tolerance.
     pub fn with_tol(tol: f64) -> Self {
-        SolveOptions {
-            tol,
-            ..Default::default()
-        }
+        SolveOptions::default().tol(tol)
+    }
+
+    /// Options with per-solve telemetry capture on.
+    pub fn with_telemetry() -> Self {
+        SolveOptions::default().telemetry(true)
+    }
+
+    /// Sets the relative residual tolerance.
+    #[must_use]
+    pub fn tol(mut self, tol: f64) -> Self {
+        self.tol = tol;
+        self
+    }
+
+    /// Sets the iteration cap.
+    #[must_use]
+    pub fn max_iters(mut self, max_iters: usize) -> Self {
+        self.max_iters = max_iters;
+        self
+    }
+
+    /// Records the residual norm after every iteration.
+    #[must_use]
+    pub fn record_residuals(mut self, record: bool) -> Self {
+        self.record_residuals = record;
+        self
+    }
+
+    /// Captures per-solve telemetry into the report.
+    #[must_use]
+    pub fn telemetry(mut self, telemetry: bool) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 }
 
@@ -48,6 +98,8 @@ pub struct SolveReport {
     pub time_seconds: f64,
     /// Simulated joules the solve consumed on the platform.
     pub energy_joules: f64,
+    /// Per-solve telemetry (when [`SolveOptions::telemetry`] is set).
+    pub telemetry: Option<RunTelemetry>,
 }
 
 impl SolveReport {
@@ -59,8 +111,30 @@ impl SolveReport {
             residual_history: Vec::new(),
             time_seconds: 0.0,
             energy_joules: 0.0,
+            telemetry: None,
         }
     }
+}
+
+/// Runs a solver body under its span, capturing per-solve telemetry
+/// when requested. The span guard drops before the capture finishes so
+/// the solve's own span lands in the report.
+pub(crate) fn instrumented(
+    name: &'static str,
+    opts: &SolveOptions,
+    body: impl FnOnce() -> SolveReport,
+) -> SolveReport {
+    let capture = memsci_telemetry::Capture::start(opts.telemetry);
+    let mut report = {
+        let _span = memsci_telemetry::span(name);
+        body()
+    };
+    memsci_telemetry::incr(
+        memsci_telemetry::Counter::SolveIterations,
+        report.iterations as u64,
+    );
+    report.telemetry = capture.finish();
+    report
 }
 
 #[cfg(test)]
@@ -70,8 +144,30 @@ mod tests {
     #[test]
     fn defaults_are_sane() {
         let o = SolveOptions::default();
-        assert!(o.tol > 0.0 && o.max_iters > 0 && !o.record_residuals);
+        assert!(o.tol > 0.0 && o.max_iters > 0 && !o.record_residuals && !o.telemetry);
         assert_eq!(SolveOptions::with_tol(1e-6).tol, 1e-6);
+        assert!(SolveOptions::with_telemetry().telemetry);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let o = SolveOptions::with_tol(1e-12)
+            .max_iters(77)
+            .record_residuals(true)
+            .telemetry(true);
+        assert_eq!(o.tol, 1e-12);
+        assert_eq!(o.max_iters, 77);
+        assert!(o.record_residuals && o.telemetry);
+        // Builder output equals the equivalent struct literal.
+        assert_eq!(
+            o,
+            SolveOptions {
+                tol: 1e-12,
+                max_iters: 77,
+                record_residuals: true,
+                telemetry: true,
+            }
+        );
     }
 
     #[test]
@@ -80,5 +176,35 @@ mod tests {
         assert!(!r.converged);
         assert_eq!(r.iterations, 0);
         assert!(r.relative_residual.is_infinite());
+        assert!(r.telemetry.is_none());
+    }
+
+    #[test]
+    fn instrumented_attaches_telemetry_only_when_requested() {
+        let _x = memsci_telemetry::exclusive_for_tests();
+        memsci_telemetry::reset();
+        memsci_telemetry::disable();
+
+        let plain = instrumented("solve/test", &SolveOptions::default(), || {
+            let mut r = SolveReport::new();
+            r.iterations = 3;
+            r
+        });
+        assert!(plain.telemetry.is_none());
+
+        let captured = instrumented("solve/test", &SolveOptions::with_telemetry(), || {
+            let mut r = SolveReport::new();
+            r.iterations = 3;
+            r
+        });
+        let t = captured.telemetry.expect("telemetry requested");
+        assert_eq!(
+            t.counters.get(memsci_telemetry::Counter::SolveIterations),
+            3
+        );
+        assert_eq!(t.spans.len(), 1);
+        assert_eq!(t.spans[0].name, "solve/test");
+        memsci_telemetry::disable();
+        memsci_telemetry::reset();
     }
 }

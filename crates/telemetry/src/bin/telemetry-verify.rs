@@ -1,0 +1,104 @@
+//! Validates a telemetry run manifest against the current schema.
+//!
+//! ```text
+//! telemetry-verify <manifest.json> [--require-nonzero c1,c2,...] [--quiet]
+//! ```
+//!
+//! Exits 0 when the manifest parses, matches schema version 1, and
+//! every `--require-nonzero` counter is strictly positive; exits 1 with
+//! a diagnostic otherwise. Used by `scripts/check.sh` to gate the smoke
+//! repro run.
+
+use memsci_telemetry::json::Json;
+use memsci_telemetry::{validate_manifest, Counter};
+
+fn usage() -> ! {
+    eprintln!("usage: telemetry-verify <manifest.json> [--require-nonzero c1,c2,...] [--quiet]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut path: Option<String> = None;
+    let mut required: Vec<String> = Vec::new();
+    let mut quiet = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--require-nonzero" => {
+                let list = args.next().unwrap_or_else(|| usage());
+                required.extend(
+                    list.split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(String::from),
+                );
+            }
+            "--quiet" => quiet = true,
+            "--help" | "-h" => usage(),
+            _ if path.is_none() => path = Some(arg),
+            _ => usage(),
+        }
+    }
+    let path = path.unwrap_or_else(|| usage());
+
+    let known: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
+    for name in &required {
+        if !known.contains(&name.as_str()) {
+            eprintln!("telemetry-verify: unknown counter `{name}`");
+            eprintln!("known counters: {}", known.join(", "));
+            std::process::exit(2);
+        }
+    }
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("telemetry-verify: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let doc = match validate_manifest(&text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("telemetry-verify: {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let counters = doc
+        .get("counters")
+        .expect("validated manifest has counters");
+    let mut failed = false;
+    for name in &required {
+        let value = counters
+            .get(name)
+            .and_then(Json::as_u64)
+            .expect("validated counter is an integer");
+        if value == 0 {
+            eprintln!("telemetry-verify: {path}: counter `{name}` is zero");
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+
+    if !quiet {
+        let spans = doc
+            .get("spans")
+            .and_then(Json::as_arr)
+            .map_or(0, <[Json]>::len);
+        let solves = doc
+            .get("solves")
+            .and_then(Json::as_arr)
+            .map_or(0, <[Json]>::len);
+        println!(
+            "telemetry-verify: {path}: ok (schema v{}, {spans} spans, {solves} solves)",
+            doc.get("schema_version")
+                .and_then(Json::as_u64)
+                .unwrap_or(0)
+        );
+    }
+}

@@ -1,0 +1,271 @@
+//! The typed hardware event-counter set.
+//!
+//! Each [`Counter`] is one analog or digital cost driver of the paper's
+//! evaluation: ADC conversions and headstart-shortened searches
+//! (§V-B2), crossbar slice activations per block size, vector slices
+//! applied vs skipped by early termination (§IV-B), AN-code
+//! corrections/detections (§IV-E), residual-CSR flops, and
+//! bias/CIC bookkeeping. Counters live in one global array of relaxed
+//! atomics; [`incr`] is a no-op (one atomic load) while the sink is
+//! disabled, so instrumented hot paths cost nothing in ordinary runs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One hardware event class tracked by the global sink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Counter {
+    /// SAR ADC conversions performed (§V-B).
+    AdcConversions,
+    /// Conversions skipped because the row's mantissa had settled
+    /// (early termination, §IV-B).
+    AdcConversionsSkipped,
+    /// Conversions whose SAR search was shortened by the headstart
+    /// optimization (searched fewer bits than the full resolution,
+    /// §V-B2).
+    AdcHeadstartHits,
+    /// Crossbar slice applications on 512×512 clusters.
+    XbarActivations512,
+    /// Crossbar slice applications on 256×256 clusters.
+    XbarActivations256,
+    /// Crossbar slice applications on 128×128 clusters.
+    XbarActivations128,
+    /// Crossbar slice applications on 64×64 clusters.
+    XbarActivations64,
+    /// Crossbar slice applications on non-Table-I cluster sizes.
+    XbarActivationsOther,
+    /// Vector bit slices actually applied across all cluster MVMs.
+    SlicesApplied,
+    /// Vector bit slices skipped by early termination (total available
+    /// minus applied).
+    SlicesSkipped,
+    /// Partial dot products corrected by the AN code (§IV-E).
+    AnCorrections,
+    /// Partial dot products with detected-but-uncorrectable AN errors.
+    AnDetections,
+    /// Bias removals from partial dot products (§IV-C).
+    BiasDebiases,
+    /// Columns stored inverted by computational invert coding at
+    /// programming time (§V-B2).
+    CicInvertedColumns,
+    /// Floating-point operations on the residual-CSR path (one
+    /// multiply-add pair per unblocked non-zero).
+    ResidualFlops,
+    /// Sparse MVMs executed by a platform.
+    SpmvOps,
+    /// Transpose sparse MVMs executed by a platform.
+    SpmvTransposeOps,
+    /// Dense dot products executed by a platform.
+    DotOps,
+    /// Dense AXPY/AXPBY kernels executed by a platform.
+    AxpbyOps,
+    /// Solver iterations completed.
+    SolveIterations,
+    /// Warnings routed through [`crate::warn`] (e.g. `geometric_mean`
+    /// skipping non-positive values).
+    Warnings,
+}
+
+/// Number of counters in the catalog.
+pub const COUNTER_COUNT: usize = 21;
+
+impl Counter {
+    /// Every counter, in catalog (manifest) order.
+    pub const ALL: [Counter; COUNTER_COUNT] = [
+        Counter::AdcConversions,
+        Counter::AdcConversionsSkipped,
+        Counter::AdcHeadstartHits,
+        Counter::XbarActivations512,
+        Counter::XbarActivations256,
+        Counter::XbarActivations128,
+        Counter::XbarActivations64,
+        Counter::XbarActivationsOther,
+        Counter::SlicesApplied,
+        Counter::SlicesSkipped,
+        Counter::AnCorrections,
+        Counter::AnDetections,
+        Counter::BiasDebiases,
+        Counter::CicInvertedColumns,
+        Counter::ResidualFlops,
+        Counter::SpmvOps,
+        Counter::SpmvTransposeOps,
+        Counter::DotOps,
+        Counter::AxpbyOps,
+        Counter::SolveIterations,
+        Counter::Warnings,
+    ];
+
+    /// Stable snake-case name used in manifests and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::AdcConversions => "adc_conversions",
+            Counter::AdcConversionsSkipped => "adc_conversions_skipped",
+            Counter::AdcHeadstartHits => "adc_headstart_hits",
+            Counter::XbarActivations512 => "xbar_activations_512",
+            Counter::XbarActivations256 => "xbar_activations_256",
+            Counter::XbarActivations128 => "xbar_activations_128",
+            Counter::XbarActivations64 => "xbar_activations_64",
+            Counter::XbarActivationsOther => "xbar_activations_other",
+            Counter::SlicesApplied => "slices_applied",
+            Counter::SlicesSkipped => "slices_skipped",
+            Counter::AnCorrections => "an_corrections",
+            Counter::AnDetections => "an_detections",
+            Counter::BiasDebiases => "bias_debiases",
+            Counter::CicInvertedColumns => "cic_inverted_columns",
+            Counter::ResidualFlops => "residual_flops",
+            Counter::SpmvOps => "spmv_ops",
+            Counter::SpmvTransposeOps => "spmv_transpose_ops",
+            Counter::DotOps => "dot_ops",
+            Counter::AxpbyOps => "axpby_ops",
+            Counter::SolveIterations => "solve_iterations",
+            Counter::Warnings => "warnings",
+        }
+    }
+
+    /// The slice-activation counter for a cluster of the given block
+    /// edge (Table I sizes get their own bucket).
+    pub fn xbar_activations_for_size(size: usize) -> Counter {
+        match size {
+            512 => Counter::XbarActivations512,
+            256 => Counter::XbarActivations256,
+            128 => Counter::XbarActivations128,
+            64 => Counter::XbarActivations64,
+            _ => Counter::XbarActivationsOther,
+        }
+    }
+}
+
+static VALUES: [AtomicU64; COUNTER_COUNT] = [const { AtomicU64::new(0) }; COUNTER_COUNT];
+
+/// Adds `n` to a counter when the global sink is enabled.
+///
+/// The disabled-path cost is a single relaxed atomic load, so this can
+/// sit on simulator hot paths.
+#[inline]
+pub fn incr(counter: Counter, n: u64) {
+    if n != 0 && crate::enabled() {
+        VALUES[counter as usize].fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Adds `n` to a counter unconditionally (used for warnings, which must
+/// not be lost while the sink is disabled).
+#[inline]
+pub(crate) fn incr_always(counter: Counter, n: u64) {
+    if n != 0 {
+        VALUES[counter as usize].fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+pub(crate) fn snapshot_counters() -> HwCounters {
+    let mut values = [0u64; COUNTER_COUNT];
+    for (slot, atom) in values.iter_mut().zip(&VALUES) {
+        *slot = atom.load(Ordering::Relaxed);
+    }
+    HwCounters { values }
+}
+
+pub(crate) fn reset_counters() {
+    for atom in &VALUES {
+        atom.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time snapshot of every counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HwCounters {
+    values: [u64; COUNTER_COUNT],
+}
+
+impl HwCounters {
+    /// Value of one counter.
+    pub fn get(&self, counter: Counter) -> u64 {
+        self.values[counter as usize]
+    }
+
+    /// Iterates `(name, value)` pairs in catalog order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        Counter::ALL.iter().map(|&c| (c.name(), self.get(c)))
+    }
+
+    /// Events accumulated since `baseline` (saturating per counter, so
+    /// a reset between snapshots cannot produce nonsense).
+    pub fn delta_since(&self, baseline: &HwCounters) -> HwCounters {
+        let mut values = [0u64; COUNTER_COUNT];
+        for (i, slot) in values.iter_mut().enumerate() {
+            *slot = self.values[i].saturating_sub(baseline.values[i]);
+        }
+        HwCounters { values }
+    }
+
+    /// Sum of the per-block-size crossbar activation buckets.
+    pub fn xbar_activations_total(&self) -> u64 {
+        self.get(Counter::XbarActivations512)
+            + self.get(Counter::XbarActivations256)
+            + self.get(Counter::XbarActivations128)
+            + self.get(Counter::XbarActivations64)
+            + self.get(Counter::XbarActivationsOther)
+    }
+
+    /// True if every counter is zero.
+    pub fn is_zero(&self) -> bool {
+        self.values.iter().all(|&v| v == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_consistent() {
+        assert_eq!(Counter::ALL.len(), COUNTER_COUNT);
+        // Names are unique and snake_case.
+        let mut names: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), COUNTER_COUNT);
+        for name in names {
+            assert!(name
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+        // Discriminants index the value array densely.
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(*c as usize, i);
+        }
+    }
+
+    #[test]
+    fn size_buckets() {
+        assert_eq!(
+            Counter::xbar_activations_for_size(512),
+            Counter::XbarActivations512
+        );
+        assert_eq!(
+            Counter::xbar_activations_for_size(64),
+            Counter::XbarActivations64
+        );
+        assert_eq!(
+            Counter::xbar_activations_for_size(100),
+            Counter::XbarActivationsOther
+        );
+    }
+
+    #[test]
+    fn delta_saturates() {
+        let mut a = HwCounters::default();
+        let mut b = HwCounters::default();
+        a.values[0] = 5;
+        b.values[0] = 7;
+        b.values[1] = 3;
+        let d = b.delta_since(&a);
+        assert_eq!(d.values[0], 2);
+        assert_eq!(d.values[1], 3);
+        // A reset between snapshots must not underflow.
+        let d = a.delta_since(&b);
+        assert_eq!(d.values[0], 0);
+        assert!(!b.is_zero() && HwCounters::default().is_zero());
+        assert_eq!(b.iter().count(), COUNTER_COUNT);
+    }
+}

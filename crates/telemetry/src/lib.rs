@@ -1,0 +1,398 @@
+//! Telemetry for the memristive scientific-computing simulator:
+//! hierarchical wall-clock spans, typed hardware event counters, and
+//! schema-versioned JSON run manifests.
+//!
+//! The crate is dependency-free (like `memsci-exec`) and built around a
+//! single global sink guarded by one `AtomicBool`:
+//!
+//! - **Disabled** (the default), every instrumentation point costs one
+//!   relaxed atomic load and records nothing, so simulator hot paths
+//!   stay clean in ordinary runs.
+//! - **Enabled** via [`enable`], [`SolveOptions::with_telemetry`] in
+//!   `memsci-solvers`, or the `MEMSCI_TELEMETRY` environment variable,
+//!   spans aggregate per path, counters accumulate, and per-solve
+//!   deltas can be captured with [`Capture`].
+//!
+//! Telemetry is strictly read-only on the math: enabling it must never
+//! change a numeric result (the workspace carries bitwise-identity
+//! tests for this).
+
+#![warn(missing_docs)]
+
+mod counters;
+pub mod json;
+pub mod manifest;
+mod span;
+
+pub use counters::{incr, Counter, HwCounters, COUNTER_COUNT};
+pub use manifest::{
+    build_manifest, validate_manifest, write_manifest, ManifestError, SCHEMA_NAME, SCHEMA_VERSION,
+};
+pub use span::{span, Span, SpanStat};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Environment variable controlling the global sink for binaries that
+/// opt in (see [`env_setting`]).
+pub const TELEMETRY_ENV: &str = "MEMSCI_TELEMETRY";
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Locks a mutex, recovering from poisoning (telemetry state stays
+/// usable even if a panicking thread held a guard).
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// True when the global sink is recording.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns the global sink on.
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turns the global sink off (already-recorded data is kept).
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// How a binary should interpret `MEMSCI_TELEMETRY`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnvSetting {
+    /// Telemetry stays off (unset, empty, `0`, `off`, `false`).
+    Disabled,
+    /// Telemetry on, no manifest file (`1`, `on`, `true`).
+    Enabled,
+    /// Telemetry on, manifest written to this path (any other value).
+    File(String),
+}
+
+/// Parses the `MEMSCI_TELEMETRY` environment variable.
+pub fn env_setting() -> EnvSetting {
+    match std::env::var(TELEMETRY_ENV) {
+        Err(_) => EnvSetting::Disabled,
+        Ok(v) => match v.trim() {
+            "" | "0" | "off" | "false" => EnvSetting::Disabled,
+            "1" | "on" | "true" => EnvSetting::Enabled,
+            path => EnvSetting::File(path.to_string()),
+        },
+    }
+}
+
+/// One recorded parallel section (mirrors `memsci_exec::ExecStats`
+/// without depending on that crate).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecSection {
+    /// Section name (e.g. `engine/spmv`).
+    pub name: String,
+    /// Times the section ran.
+    pub calls: u64,
+    /// Largest worker-thread count observed.
+    pub max_threads: usize,
+    /// Total tasks dispatched across all calls.
+    pub tasks: u64,
+    /// Total wall-clock seconds across all calls.
+    pub wall_seconds: f64,
+}
+
+static EXEC_SECTIONS: Mutex<Vec<ExecSection>> = Mutex::new(Vec::new());
+
+/// Records one execution of a parallel section. No-op while the sink is
+/// disabled. Sections with the same name aggregate.
+pub fn record_exec(name: &str, threads: usize, tasks: usize, wall_seconds: f64) {
+    if !enabled() {
+        return;
+    }
+    let mut sections = lock(&EXEC_SECTIONS);
+    if let Some(s) = sections.iter_mut().find(|s| s.name == name) {
+        s.calls += 1;
+        s.max_threads = s.max_threads.max(threads);
+        s.tasks += tasks as u64;
+        s.wall_seconds += wall_seconds;
+    } else {
+        sections.push(ExecSection {
+            name: name.to_string(),
+            calls: 1,
+            max_threads: threads,
+            tasks: tasks as u64,
+            wall_seconds,
+        });
+    }
+}
+
+/// One warning routed through the telemetry sink.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WarningEvent {
+    /// Stable category slug (e.g. `geometric_mean`).
+    pub category: String,
+    /// Human-readable message.
+    pub message: String,
+}
+
+static WARNINGS: Mutex<Vec<WarningEvent>> = Mutex::new(Vec::new());
+const MAX_WARNINGS: usize = 256;
+
+/// Records a warning event and bumps [`Counter::Warnings`].
+///
+/// Unlike ordinary counters this records even while the sink is
+/// disabled — warnings are rare and must not be lost. Stored events cap
+/// at a fixed limit; the counter keeps the true total.
+pub fn warn(category: &str, message: &str) {
+    counters::incr_always(Counter::Warnings, 1);
+    let mut warnings = lock(&WARNINGS);
+    if warnings.len() < MAX_WARNINGS {
+        warnings.push(WarningEvent {
+            category: category.to_string(),
+            message: message.to_string(),
+        });
+    }
+}
+
+/// Total warnings recorded so far (independent of the sink state).
+pub fn warning_count() -> u64 {
+    counters::snapshot_counters().get(Counter::Warnings)
+}
+
+/// Final state of one solve, as recorded for the run manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveOutcome {
+    /// Run label (matrix name, experiment id, ...).
+    pub label: String,
+    /// Solver name (`cg`, `bicgstab`, ...).
+    pub solver: String,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Whether the solve hit its tolerance.
+    pub converged: bool,
+    /// Final relative residual.
+    pub relative_residual: f64,
+    /// Wall-clock seconds of the solve.
+    pub time_seconds: f64,
+    /// Modelled accelerator energy in joules.
+    pub energy_joules: f64,
+}
+
+static OUTCOMES: Mutex<Vec<SolveOutcome>> = Mutex::new(Vec::new());
+
+/// Records a solve outcome for the manifest. No-op while disabled.
+pub fn record_outcome(outcome: SolveOutcome) {
+    if !enabled() {
+        return;
+    }
+    lock(&OUTCOMES).push(outcome);
+}
+
+/// A point-in-time copy of everything the sink has recorded.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TelemetrySnapshot {
+    /// Hardware event counters.
+    pub counters: HwCounters,
+    /// Aggregated spans, sorted by path.
+    pub spans: Vec<SpanStat>,
+    /// Recorded parallel sections, in first-seen order.
+    pub exec: Vec<ExecSection>,
+    /// Warning events (capped; the counter keeps the true total).
+    pub warnings: Vec<WarningEvent>,
+    /// Solve outcomes, in completion order.
+    pub outcomes: Vec<SolveOutcome>,
+}
+
+/// Snapshots the entire sink.
+pub fn snapshot() -> TelemetrySnapshot {
+    TelemetrySnapshot {
+        counters: counters::snapshot_counters(),
+        spans: span::snapshot_spans(),
+        exec: lock(&EXEC_SECTIONS).clone(),
+        warnings: lock(&WARNINGS).clone(),
+        outcomes: lock(&OUTCOMES).clone(),
+    }
+}
+
+/// Clears all recorded data (counters, spans, sections, warnings,
+/// outcomes). The enabled flag is left untouched.
+pub fn reset() {
+    counters::reset_counters();
+    span::reset_spans();
+    lock(&EXEC_SECTIONS).clear();
+    lock(&WARNINGS).clear();
+    lock(&OUTCOMES).clear();
+}
+
+/// Telemetry accumulated by one solve: counter deltas, span deltas, and
+/// the parallel sections active during the solve.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunTelemetry {
+    /// Hardware events attributed to this solve.
+    pub counters: HwCounters,
+    /// Span statistics attributed to this solve.
+    pub spans: Vec<SpanStat>,
+    /// Parallel sections recorded during this solve (cumulative values,
+    /// since sections aggregate globally).
+    pub exec: Vec<ExecSection>,
+}
+
+/// Captures the sink state at solve start so [`Capture::finish`] can
+/// attribute the delta to that solve.
+#[derive(Debug)]
+pub struct Capture {
+    counters: HwCounters,
+    spans: Vec<SpanStat>,
+    active: bool,
+}
+
+impl Capture {
+    /// Starts a capture. When `active` is false (telemetry not
+    /// requested), the capture is free and [`Capture::finish`] returns
+    /// `None`.
+    pub fn start(active: bool) -> Capture {
+        if !active {
+            return Capture {
+                counters: HwCounters::default(),
+                spans: Vec::new(),
+                active: false,
+            };
+        }
+        enable();
+        Capture {
+            counters: counters::snapshot_counters(),
+            spans: span::snapshot_spans(),
+            active: true,
+        }
+    }
+
+    /// Finishes the capture, returning what accumulated since
+    /// [`Capture::start`].
+    pub fn finish(self) -> Option<RunTelemetry> {
+        if !self.active {
+            return None;
+        }
+        let now = snapshot();
+        Some(RunTelemetry {
+            counters: now.counters.delta_since(&self.counters),
+            spans: span::delta_spans(&now.spans, &self.spans),
+            exec: now.exec,
+        })
+    }
+}
+
+/// Serializes tests that assert on global sink state. Cargo runs tests
+/// within one binary in parallel; every test that enables/resets the
+/// sink or asserts exact counter values must hold this guard.
+pub fn exclusive_for_tests() -> MutexGuard<'static, ()> {
+    static GATE: Mutex<()> = Mutex::new(());
+    lock(&GATE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_incr_is_dropped_and_enabled_incr_lands() {
+        let _x = exclusive_for_tests();
+        reset();
+        disable();
+        incr(Counter::AdcConversions, 5);
+        assert_eq!(snapshot().counters.get(Counter::AdcConversions), 0);
+        enable();
+        incr(Counter::AdcConversions, 5);
+        incr(Counter::SlicesSkipped, 2);
+        disable();
+        let snap = snapshot();
+        assert_eq!(snap.counters.get(Counter::AdcConversions), 5);
+        assert_eq!(snap.counters.get(Counter::SlicesSkipped), 2);
+        reset();
+        assert!(snapshot().counters.is_zero());
+    }
+
+    #[test]
+    fn capture_attributes_deltas() {
+        let _x = exclusive_for_tests();
+        reset();
+        disable();
+
+        // Inactive capture: free, returns None, leaves the sink off.
+        let cap = Capture::start(false);
+        incr(Counter::DotOps, 3);
+        assert!(cap.finish().is_none());
+        assert!(!enabled());
+
+        // Active capture: enables the sink and attributes the delta.
+        incr(Counter::DotOps, 100); // dropped: sink still off
+        let cap = Capture::start(true);
+        assert!(enabled());
+        incr(Counter::DotOps, 3);
+        {
+            let _g = span("solve/test");
+        }
+        let run = cap.finish().unwrap();
+        assert_eq!(run.counters.get(Counter::DotOps), 3);
+        assert_eq!(run.spans.len(), 1);
+        assert_eq!(run.spans[0].name, "solve/test");
+        disable();
+        reset();
+    }
+
+    #[test]
+    fn exec_sections_aggregate_by_name() {
+        let _x = exclusive_for_tests();
+        reset();
+        enable();
+        record_exec("engine/spmv", 4, 10, 0.5);
+        record_exec("engine/spmv", 2, 6, 0.25);
+        record_exec("bench/entries", 4, 3, 1.0);
+        disable();
+        record_exec("dropped", 1, 1, 1.0);
+        let snap = snapshot();
+        reset();
+        assert_eq!(snap.exec.len(), 2);
+        let spmv = &snap.exec[0];
+        assert_eq!(
+            (spmv.name.as_str(), spmv.calls, spmv.max_threads, spmv.tasks),
+            ("engine/spmv", 2, 4, 16)
+        );
+        assert!((spmv.wall_seconds - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warnings_record_even_while_disabled() {
+        let _x = exclusive_for_tests();
+        reset();
+        disable();
+        warn("geometric_mean", "skipped 2 non-positive values");
+        let snap = snapshot();
+        assert_eq!(snap.counters.get(Counter::Warnings), 1);
+        assert_eq!(snap.warnings.len(), 1);
+        assert_eq!(snap.warnings[0].category, "geometric_mean");
+        assert_eq!(warning_count(), 1);
+        reset();
+    }
+
+    #[test]
+    fn env_setting_parses_all_forms() {
+        // env_setting reads the process env, so drive the parser via a
+        // controlled set/remove sequence under the test gate.
+        let _x = exclusive_for_tests();
+        let cases = [
+            ("", EnvSetting::Disabled),
+            ("0", EnvSetting::Disabled),
+            ("off", EnvSetting::Disabled),
+            ("false", EnvSetting::Disabled),
+            ("1", EnvSetting::Enabled),
+            ("on", EnvSetting::Enabled),
+            ("true", EnvSetting::Enabled),
+            ("run.json", EnvSetting::File("run.json".to_string())),
+        ];
+        for (value, expected) in cases {
+            std::env::set_var(TELEMETRY_ENV, value);
+            assert_eq!(env_setting(), expected, "value {value:?}");
+        }
+        std::env::remove_var(TELEMETRY_ENV);
+        assert_eq!(env_setting(), EnvSetting::Disabled);
+    }
+}

@@ -1,0 +1,352 @@
+//! Schema-versioned JSON run manifests.
+//!
+//! A manifest captures everything needed to attribute a run's cost:
+//! the schema identity, run configuration key/values, thread count,
+//! per-span wall-clock statistics, the full hardware counter set,
+//! recorded parallel sections, warnings, and per-solve outcomes.
+//! [`validate_manifest`] is the machine-checkable contract used by the
+//! `telemetry-verify` binary and by `scripts/check.sh`.
+
+use crate::json::{parse, Json, JsonError};
+use crate::{Counter, TelemetrySnapshot};
+
+/// Manifest schema identifier.
+pub const SCHEMA_NAME: &str = "memsci-telemetry-manifest";
+/// Current manifest schema version.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Builds a manifest document from a telemetry snapshot plus run
+/// configuration pairs supplied by the caller (binary name, matrix,
+/// scale, ...). The document is deterministic given identical inputs.
+pub fn build_manifest(snapshot: &TelemetrySnapshot, config: &[(&str, Json)]) -> Json {
+    let mut root = vec![
+        ("schema".to_string(), Json::Str(SCHEMA_NAME.to_string())),
+        ("schema_version".to_string(), Json::UInt(SCHEMA_VERSION)),
+    ];
+
+    root.push((
+        "config".to_string(),
+        Json::Obj(
+            config
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        ),
+    ));
+
+    root.push((
+        "counters".to_string(),
+        Json::Obj(
+            snapshot
+                .counters
+                .iter()
+                .map(|(name, value)| (name.to_string(), Json::UInt(value)))
+                .collect(),
+        ),
+    ));
+
+    root.push((
+        "spans".to_string(),
+        Json::Arr(
+            snapshot
+                .spans
+                .iter()
+                .map(|s| {
+                    Json::Obj(vec![
+                        ("name".to_string(), Json::Str(s.name.clone())),
+                        ("calls".to_string(), Json::UInt(s.calls)),
+                        ("seconds".to_string(), Json::Num(s.seconds)),
+                    ])
+                })
+                .collect(),
+        ),
+    ));
+
+    root.push((
+        "exec_sections".to_string(),
+        Json::Arr(
+            snapshot
+                .exec
+                .iter()
+                .map(|e| {
+                    Json::Obj(vec![
+                        ("name".to_string(), Json::Str(e.name.clone())),
+                        ("calls".to_string(), Json::UInt(e.calls)),
+                        ("max_threads".to_string(), Json::UInt(e.max_threads as u64)),
+                        ("tasks".to_string(), Json::UInt(e.tasks)),
+                        ("wall_seconds".to_string(), Json::Num(e.wall_seconds)),
+                    ])
+                })
+                .collect(),
+        ),
+    ));
+
+    root.push((
+        "warnings".to_string(),
+        Json::Arr(
+            snapshot
+                .warnings
+                .iter()
+                .map(|w| {
+                    Json::Obj(vec![
+                        ("category".to_string(), Json::Str(w.category.clone())),
+                        ("message".to_string(), Json::Str(w.message.clone())),
+                    ])
+                })
+                .collect(),
+        ),
+    ));
+
+    root.push((
+        "solves".to_string(),
+        Json::Arr(
+            snapshot
+                .outcomes
+                .iter()
+                .map(|o| {
+                    Json::Obj(vec![
+                        ("label".to_string(), Json::Str(o.label.clone())),
+                        ("solver".to_string(), Json::Str(o.solver.clone())),
+                        ("iterations".to_string(), Json::UInt(o.iterations as u64)),
+                        ("converged".to_string(), Json::Bool(o.converged)),
+                        (
+                            "relative_residual".to_string(),
+                            Json::Num(o.relative_residual),
+                        ),
+                        ("time_seconds".to_string(), Json::Num(o.time_seconds)),
+                        ("energy_joules".to_string(), Json::Num(o.energy_joules)),
+                    ])
+                })
+                .collect(),
+        ),
+    ));
+
+    Json::Obj(root)
+}
+
+/// A manifest validation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestError(pub String);
+
+impl std::fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid manifest: {}", self.0)
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+impl From<JsonError> for ManifestError {
+    fn from(e: JsonError) -> Self {
+        ManifestError(e.to_string())
+    }
+}
+
+fn fail(msg: impl Into<String>) -> ManifestError {
+    ManifestError(msg.into())
+}
+
+/// Parses and validates manifest text against schema version 1.
+///
+/// Checks the schema identity, that every cataloged counter is present
+/// as a non-negative integer, and that spans / exec sections / solves
+/// are well-formed. Returns the parsed document for further inspection.
+///
+/// # Errors
+///
+/// Returns [`ManifestError`] describing the first violation found.
+pub fn validate_manifest(text: &str) -> Result<Json, ManifestError> {
+    let doc = parse(text)?;
+    if doc.get("schema").and_then(Json::as_str) != Some(SCHEMA_NAME) {
+        return Err(fail(format!("`schema` must be \"{SCHEMA_NAME}\"")));
+    }
+    if doc.get("schema_version").and_then(Json::as_u64) != Some(SCHEMA_VERSION) {
+        return Err(fail(format!("`schema_version` must be {SCHEMA_VERSION}")));
+    }
+    doc.get("config")
+        .and_then(Json::as_obj)
+        .ok_or_else(|| fail("`config` must be an object"))?;
+
+    let counters = doc
+        .get("counters")
+        .and_then(Json::as_obj)
+        .ok_or_else(|| fail("`counters` must be an object"))?;
+    for c in Counter::ALL {
+        let value = counters
+            .iter()
+            .find(|(k, _)| k == c.name())
+            .map(|(_, v)| v)
+            .ok_or_else(|| fail(format!("missing counter `{}`", c.name())))?;
+        if value.as_u64().is_none() {
+            return Err(fail(format!(
+                "counter `{}` must be a non-negative integer",
+                c.name()
+            )));
+        }
+    }
+
+    let spans = doc
+        .get("spans")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| fail("`spans` must be an array"))?;
+    for (i, s) in spans.iter().enumerate() {
+        let name = s.get("name").and_then(Json::as_str);
+        let calls = s.get("calls").and_then(Json::as_u64);
+        let seconds = s.get("seconds").and_then(Json::as_f64);
+        if name.is_none() || calls.is_none() || seconds.is_none() {
+            return Err(fail(format!(
+                "spans[{i}] needs string `name`, integer `calls`, number `seconds`"
+            )));
+        }
+        if calls == Some(0) {
+            return Err(fail(format!("spans[{i}] has zero calls")));
+        }
+    }
+
+    let sections = doc
+        .get("exec_sections")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| fail("`exec_sections` must be an array"))?;
+    for (i, e) in sections.iter().enumerate() {
+        if e.get("name").and_then(Json::as_str).is_none()
+            || e.get("calls").and_then(Json::as_u64).is_none()
+            || e.get("max_threads").and_then(Json::as_u64).is_none()
+            || e.get("tasks").and_then(Json::as_u64).is_none()
+            || e.get("wall_seconds").and_then(Json::as_f64).is_none()
+        {
+            return Err(fail(format!("exec_sections[{i}] is malformed")));
+        }
+    }
+
+    doc.get("warnings")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| fail("`warnings` must be an array"))?;
+
+    let solves = doc
+        .get("solves")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| fail("`solves` must be an array"))?;
+    for (i, s) in solves.iter().enumerate() {
+        if s.get("label").and_then(Json::as_str).is_none()
+            || s.get("solver").and_then(Json::as_str).is_none()
+            || s.get("iterations").and_then(Json::as_u64).is_none()
+            || s.get("converged").and_then(Json::as_bool).is_none()
+        {
+            return Err(fail(format!("solves[{i}] is malformed")));
+        }
+    }
+
+    Ok(doc)
+}
+
+/// Renders a manifest and writes it to `path`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from creating or writing the file.
+pub fn write_manifest(
+    path: &std::path::Path,
+    snapshot: &TelemetrySnapshot,
+    config: &[(&str, Json)],
+) -> std::io::Result<()> {
+    let doc = build_manifest(snapshot, config);
+    std::fs::write(path, doc.to_string_pretty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ExecSection, SolveOutcome, SpanStat, WarningEvent};
+
+    fn sample_snapshot() -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            counters: crate::HwCounters::default(),
+            spans: vec![SpanStat {
+                name: "solve/cg".into(),
+                calls: 1,
+                seconds: 0.25,
+            }],
+            exec: vec![ExecSection {
+                name: "engine/spmv".into(),
+                calls: 3,
+                max_threads: 4,
+                tasks: 12,
+                wall_seconds: 0.125,
+            }],
+            warnings: vec![WarningEvent {
+                category: "geometric_mean".into(),
+                message: "skipped 1 non-positive value".into(),
+            }],
+            outcomes: vec![SolveOutcome {
+                label: "Pres_Poisson".into(),
+                solver: "cg".into(),
+                iterations: 42,
+                converged: true,
+                relative_residual: 1e-9,
+                time_seconds: 0.5,
+                energy_joules: 0.001,
+            }],
+        }
+    }
+
+    #[test]
+    fn built_manifest_validates() {
+        let snap = sample_snapshot();
+        let doc = build_manifest(&snap, &[("matrix", Json::Str("Pres_Poisson".into()))]);
+        let text = doc.to_string_pretty();
+        let parsed = validate_manifest(&text).unwrap();
+        assert_eq!(
+            parsed
+                .get("config")
+                .unwrap()
+                .get("matrix")
+                .unwrap()
+                .as_str(),
+            Some("Pres_Poisson")
+        );
+        assert_eq!(
+            parsed.get("solves").unwrap().as_arr().unwrap()[0]
+                .get("iterations")
+                .unwrap()
+                .as_u64(),
+            Some(42)
+        );
+        // Determinism: same inputs, same bytes.
+        assert_eq!(
+            text,
+            build_manifest(&snap, &[("matrix", Json::Str("Pres_Poisson".into()))])
+                .to_string_pretty()
+        );
+    }
+
+    #[test]
+    fn validation_rejects_missing_counters() {
+        let snap = sample_snapshot();
+        let text = build_manifest(&snap, &[]).to_string_pretty();
+        let broken = text.replace("\"adc_conversions\"", "\"adc_conversionz\"");
+        let err = validate_manifest(&broken).unwrap_err();
+        assert!(err.0.contains("adc_conversions"), "{err}");
+    }
+
+    #[test]
+    fn validation_rejects_wrong_schema() {
+        assert!(validate_manifest("{\"schema\": \"other\"}").is_err());
+        assert!(validate_manifest("not json").is_err());
+        let snap = sample_snapshot();
+        let text = build_manifest(&snap, &[]).to_string_pretty();
+        let broken = text.replace("\"schema_version\": 1", "\"schema_version\": 99");
+        assert!(validate_manifest(&broken).is_err());
+    }
+
+    #[test]
+    fn write_manifest_round_trips() {
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/tmp/memsci-telemetry-manifest-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("manifest.json");
+        write_manifest(&path, &sample_snapshot(), &[("runs", Json::UInt(1))]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        validate_manifest(&text).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+}

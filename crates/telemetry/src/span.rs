@@ -1,0 +1,202 @@
+//! Hierarchical wall-clock spans.
+//!
+//! A span times one region of code under a slash-separated path. Paths
+//! nest: entering a span pushes its name onto a thread-local stack, so
+//! a `span("engine/spmv")` opened while `span("solve/cg")` is active
+//! records under `solve/cg/engine/spmv`. Statistics (call count, total
+//! seconds) aggregate per full path in a global registry; while the
+//! sink is disabled, opening a span costs one atomic load and records
+//! nothing.
+//!
+//! Guards are thread-bound: a guard must be dropped on the thread that
+//! created it, and worker threads spawned inside a span start with an
+//! empty path (parallel sections surface through
+//! [`crate::record_exec`] instead).
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::lock;
+
+pub(crate) static REGISTRY: Mutex<BTreeMap<String, (u64, f64)>> = Mutex::new(BTreeMap::new());
+
+thread_local! {
+    static PATH: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Aggregated statistics of one span path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanStat {
+    /// Full slash-separated span path.
+    pub name: String,
+    /// Times the span was entered.
+    pub calls: u64,
+    /// Total wall-clock seconds across all calls.
+    pub seconds: f64,
+}
+
+/// An active span; records its statistics on drop.
+#[derive(Debug)]
+#[must_use = "a span records on drop; binding it to `_` drops it immediately"]
+pub struct Span {
+    start: Option<Instant>,
+}
+
+/// Opens a span named `name` (static so the disabled path allocates
+/// nothing). Returns a guard that records elapsed time when dropped.
+pub fn span(name: &'static str) -> Span {
+    if !crate::enabled() {
+        return Span { start: None };
+    }
+    PATH.with(|p| p.borrow_mut().push(name));
+    Span {
+        start: Some(Instant::now()),
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else {
+            return;
+        };
+        let elapsed = start.elapsed().as_secs_f64();
+        let path = PATH.with(|p| {
+            let mut p = p.borrow_mut();
+            let joined = p.join("/");
+            p.pop();
+            joined
+        });
+        let mut reg = lock(&REGISTRY);
+        let entry = reg.entry(path).or_insert((0, 0.0));
+        entry.0 += 1;
+        entry.1 += elapsed;
+    }
+}
+
+/// Opens a span for the rest of the enclosing scope.
+///
+/// ```
+/// memsci_telemetry::enable();
+/// {
+///     memsci_telemetry::span!("solve/iter/spmv");
+///     // ... timed work ...
+/// }
+/// let snap = memsci_telemetry::snapshot();
+/// assert_eq!(snap.spans[0].name, "solve/iter/spmv");
+/// # memsci_telemetry::disable();
+/// # memsci_telemetry::reset();
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        let _memsci_telemetry_span_guard = $crate::span($name);
+    };
+}
+
+pub(crate) fn snapshot_spans() -> Vec<SpanStat> {
+    lock(&REGISTRY)
+        .iter()
+        .map(|(name, &(calls, seconds))| SpanStat {
+            name: name.clone(),
+            calls,
+            seconds,
+        })
+        .collect()
+}
+
+pub(crate) fn reset_spans() {
+    lock(&REGISTRY).clear();
+}
+
+/// Per-path delta between two span snapshots (both sorted by name).
+pub(crate) fn delta_spans(after: &[SpanStat], before: &[SpanStat]) -> Vec<SpanStat> {
+    let baseline: BTreeMap<&str, (u64, f64)> = before
+        .iter()
+        .map(|s| (s.name.as_str(), (s.calls, s.seconds)))
+        .collect();
+    after
+        .iter()
+        .filter_map(|s| {
+            let (calls0, secs0) = baseline.get(s.name.as_str()).copied().unwrap_or((0, 0.0));
+            let calls = s.calls.saturating_sub(calls0);
+            if calls == 0 {
+                return None;
+            }
+            Some(SpanStat {
+                name: s.name.clone(),
+                calls,
+                seconds: (s.seconds - secs0).max(0.0),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _x = crate::exclusive_for_tests();
+        crate::reset();
+        crate::disable();
+        {
+            let _g = span("never");
+        }
+        assert!(snapshot_spans().is_empty());
+    }
+
+    #[test]
+    fn nested_spans_build_paths() {
+        let _x = crate::exclusive_for_tests();
+        crate::reset();
+        crate::enable();
+        {
+            let _outer = span("solve/cg");
+            {
+                let _inner = span("spmv");
+            }
+            {
+                let _inner = span("spmv");
+            }
+        }
+        crate::disable();
+        let spans = snapshot_spans();
+        crate::reset();
+        let names: Vec<(&str, u64)> = spans.iter().map(|s| (s.name.as_str(), s.calls)).collect();
+        assert_eq!(names, vec![("solve/cg", 1), ("solve/cg/spmv", 2)]);
+        assert!(spans.iter().all(|s| s.seconds >= 0.0));
+        // Outer spans contain their inner spans' time.
+        assert!(spans[0].seconds >= spans[1].seconds);
+    }
+
+    #[test]
+    fn delta_subtracts_baseline() {
+        let before = vec![SpanStat {
+            name: "a".into(),
+            calls: 2,
+            seconds: 1.0,
+        }];
+        let after = vec![
+            SpanStat {
+                name: "a".into(),
+                calls: 5,
+                seconds: 2.5,
+            },
+            SpanStat {
+                name: "b".into(),
+                calls: 1,
+                seconds: 0.25,
+            },
+        ];
+        let d = delta_spans(&after, &before);
+        assert_eq!(d.len(), 2);
+        assert_eq!((d[0].name.as_str(), d[0].calls), ("a", 3));
+        assert!((d[0].seconds - 1.5).abs() < 1e-12);
+        assert_eq!((d[1].name.as_str(), d[1].calls), ("b", 1));
+        // Unchanged paths disappear from the delta.
+        assert!(delta_spans(&before, &before).is_empty());
+    }
+}

@@ -124,6 +124,9 @@ pub struct MvmResult {
     pub conversions: u64,
     /// Conversions skipped thanks to early termination.
     pub conversions_skipped: u64,
+    /// Conversions whose SAR search was shortened by the ADC headstart
+    /// (§V-B2): fewer bits searched than the full resolution.
+    pub headstart_hits: u64,
     /// Partial products corrected by the AN code.
     pub an_corrections: u64,
     /// Partial products with detected-but-uncorrectable errors.
@@ -270,6 +273,14 @@ impl Cluster {
             groups.push(xb);
         }
 
+        if memsci_telemetry::enabled() {
+            let inverted: u64 = groups
+                .iter()
+                .flat_map(|xb| (0..n).map(move |r| u64::from(xb.column_inverted(r))))
+                .sum();
+            memsci_telemetry::incr(memsci_telemetry::Counter::CicInvertedColumns, inverted);
+        }
+
         let fast_rows: Vec<Vec<(u32, WideInt)>> = row_entries
             .iter()
             .map(|row| {
@@ -380,6 +391,7 @@ impl Cluster {
             slices_used: 0,
             conversions: 0,
             conversions_skipped: 0,
+            headstart_hits: 0,
             an_corrections: 0,
             an_detections: 0,
             row_slices: opts.collect_row_profile.then(|| vec![0u32; n]),
@@ -444,6 +456,9 @@ impl Cluster {
                         let searched = opts.adc_headstart.then(|| {
                             headstart_bits(xb.column_level_sum(r).min(lmax * pop), resolution)
                         });
+                        if searched.is_some_and(|s| s < resolution) {
+                            result.headstart_hits += 1;
+                        }
                         result.energy +=
                             self.spec
                                 .cost
@@ -467,6 +482,9 @@ impl Cluster {
                         );
                         result.conversions += 1;
                         let searched = opts.adc_headstart.then_some(read.searched_bits);
+                        if searched.is_some_and(|s| s < resolution) {
+                            result.headstart_hits += 1;
+                        }
                         result.energy +=
                             self.spec
                                 .cost
@@ -526,7 +544,30 @@ impl Cluster {
         for &r in &active_rows {
             result.y[r] = sums[r].to_f64_with_exp(out_exp, opts.rounding);
         }
+        self.flush_counters(&result);
         Ok(result)
+    }
+
+    /// Publishes one MVM's event counts to the global telemetry sink.
+    /// AN corrections/detections and bias removals are counted at their
+    /// source in `memsci-numeric`, so they are not flushed here.
+    fn flush_counters(&self, result: &MvmResult) {
+        use memsci_telemetry::{incr, Counter};
+        if !memsci_telemetry::enabled() {
+            return;
+        }
+        incr(Counter::AdcConversions, result.conversions);
+        incr(Counter::AdcConversionsSkipped, result.conversions_skipped);
+        incr(Counter::AdcHeadstartHits, result.headstart_hits);
+        incr(Counter::SlicesApplied, result.slices_used as u64);
+        incr(
+            Counter::SlicesSkipped,
+            result.slices_total.saturating_sub(result.slices_used) as u64,
+        );
+        incr(
+            Counter::xbar_activations_for_size(self.spec.size),
+            result.slices_used as u64 * self.groups.len() as u64,
+        );
     }
 }
 

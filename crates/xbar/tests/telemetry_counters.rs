@@ -1,0 +1,125 @@
+//! Counter correctness on a hand-sized block: the global telemetry
+//! sink must agree, event for event, with closed-form expectations for
+//! a 64×64 cluster — ADC conversions, early-termination slice skips,
+//! and crossbar activations.
+
+use memsci_telemetry::{self as telemetry, Counter};
+use memsci_xbar::cluster::{Cluster, ClusterSpec, MvmOptions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn counters_match_closed_form_on_a_64x64_block() {
+    let _guard = telemetry::exclusive_for_tests();
+    telemetry::enable();
+
+    // A dense uniform 64×64 block: every row is active in every MVM,
+    // nothing is CIC-evicted, and (unlike a diagonal block) each row
+    // accumulates large contributions from the leading vector slices,
+    // so wide-dynamic-range inputs do settle early.
+    let n = 64usize;
+    let entries: Vec<(u16, u16, f64)> = (0..n)
+        .flat_map(|r| (0..n).map(move |c| (r as u16, c as u16, 1.5)))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(42);
+    let outcome = Cluster::program(ClusterSpec::with_size(n), &entries, &mut rng).unwrap();
+    assert!(outcome.evicted.is_empty(), "uniform block must not evict");
+    let cluster = outcome.cluster;
+
+    // --- Ablation MVM: no early termination, no ADC headstart. Every
+    // vector slice converts every active row on every crossbar group,
+    // so the counts are exact products.
+    let x = vec![1.0; n];
+    let no_shortcut = MvmOptions {
+        early_termination: false,
+        adc_headstart: false,
+        ..Default::default()
+    };
+    let base = telemetry::snapshot().counters;
+    let res = cluster.mvm(&x, &no_shortcut, &mut rng).unwrap();
+    let d = telemetry::snapshot().counters.delta_since(&base);
+
+    assert_eq!(res.slices_used, res.slices_total, "no early termination");
+    let xw = res.slices_total as u64;
+    assert!(xw > 0);
+    // conversions = slices × rows × groups, with groups a whole number
+    // of bit-slice crossbars.
+    let conversions = d.get(Counter::AdcConversions);
+    assert_eq!(conversions, res.conversions);
+    assert_eq!(
+        conversions % (xw * n as u64),
+        0,
+        "conversions {conversions}"
+    );
+    let groups = conversions / (xw * n as u64);
+    assert!(groups > 0);
+    assert_eq!(d.get(Counter::AdcConversionsSkipped), 0);
+    assert_eq!(d.get(Counter::AdcHeadstartHits), 0, "headstart disabled");
+    assert_eq!(d.get(Counter::SlicesApplied), xw);
+    assert_eq!(d.get(Counter::SlicesSkipped), 0);
+    assert_eq!(d.get(Counter::XbarActivations64), xw * groups);
+    assert_eq!(d.xbar_activations_total(), xw * groups);
+
+    // --- Early-termination MVM over ~180 binary orders of magnitude:
+    // rows settle long before the slice set is exhausted (§IV-B), and
+    // every (slice, row) pair is still accounted exactly once — either
+    // as `groups` conversions or as `groups` skipped conversions.
+    let wide: Vec<f64> = (0..n)
+        .map(|i| (2.0f64).powi(-((i / 8) as i32) * 25))
+        .collect();
+    let base = telemetry::snapshot().counters;
+    let res = cluster
+        .mvm(&wide, &MvmOptions::default(), &mut rng)
+        .unwrap();
+    let d = telemetry::snapshot().counters.delta_since(&base);
+
+    assert!(
+        res.slices_used < res.slices_total,
+        "wide-range vector must terminate early ({} of {})",
+        res.slices_used,
+        res.slices_total
+    );
+    assert_eq!(d.get(Counter::AdcConversions), res.conversions);
+    assert_eq!(
+        d.get(Counter::AdcConversionsSkipped),
+        res.conversions_skipped
+    );
+    assert_eq!(
+        d.get(Counter::AdcConversions) + d.get(Counter::AdcConversionsSkipped),
+        res.slices_used as u64 * n as u64 * groups,
+        "each applied slice converts or skips every active row once per group"
+    );
+    assert_eq!(d.get(Counter::SlicesApplied), res.slices_used as u64);
+    assert_eq!(
+        d.get(Counter::SlicesSkipped),
+        (res.slices_total - res.slices_used) as u64
+    );
+    assert!(d.get(Counter::SlicesSkipped) > 0);
+    assert_eq!(d.get(Counter::AdcHeadstartHits), res.headstart_hits);
+    assert_eq!(
+        d.get(Counter::XbarActivations64),
+        res.slices_used as u64 * groups
+    );
+
+    telemetry::disable();
+}
+
+#[test]
+fn disabled_sink_stays_silent() {
+    let _guard = telemetry::exclusive_for_tests();
+    telemetry::disable();
+
+    let n = 16usize;
+    let entries: Vec<(u16, u16, f64)> = (0..n).map(|i| (i as u16, i as u16, 2.0)).collect();
+    let mut rng = StdRng::seed_from_u64(7);
+    let cluster = Cluster::program(ClusterSpec::with_size(n), &entries, &mut rng)
+        .unwrap()
+        .cluster;
+    let x = vec![1.0; n];
+
+    let base = telemetry::snapshot().counters;
+    let res = cluster.mvm(&x, &MvmOptions::default(), &mut rng).unwrap();
+    let d = telemetry::snapshot().counters.delta_since(&base);
+    assert!(res.conversions > 0, "the MVM itself still counts locally");
+    assert!(d.is_zero(), "disabled sink must record nothing");
+}

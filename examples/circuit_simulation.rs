@@ -35,11 +35,7 @@ fn run(name: &str) {
 
     let n = a.rows();
     let b = vec![1.0; n];
-    let opts = SolveOptions {
-        tol: 1e-8,
-        max_iters: 1500,
-        record_residuals: false,
-    };
+    let opts = SolveOptions::with_tol(1e-8).max_iters(1500);
 
     match target {
         Target::Accelerator => {

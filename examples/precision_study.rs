@@ -19,11 +19,7 @@ fn main() {
     let n = a.rows();
     let blocked = BlockedMatrix::block(&a, &BlockingConfig::default());
     let b = vec![1.0; n];
-    let opts = SolveOptions {
-        tol: 1e-10,
-        max_iters: 500,
-        record_residuals: false,
-    };
+    let opts = SolveOptions::with_tol(1e-10).max_iters(500);
 
     // Reference: plain f64 CG.
     let mut reference = CsrPlatform::new(a.clone());

@@ -35,11 +35,9 @@ fn main() {
     let n = a.rows();
     let b = vec![1.0; n];
     // Stiffness systems are ill-conditioned; bound the iteration budget.
-    let opts = SolveOptions {
-        tol: 1e-8,
-        max_iters: 1500,
-        record_residuals: true,
-    };
+    let opts = SolveOptions::with_tol(1e-8)
+        .max_iters(1500)
+        .record_residuals(true);
 
     let mut acc = AcceleratorPlatform::new(&blocked, AcceleratorConfig::default());
     let mut x = vec![0.0; n];

@@ -11,6 +11,12 @@ cargo build --release --offline --workspace
 echo "== tests =="
 cargo test -q --offline --workspace
 
+echo "== telemetry smoke =="
+mkdir -p target/tmp
+./target/release/repro smoke --scale 0.05 --telemetry-out target/tmp/check-smoke.json
+./target/release/telemetry-verify target/tmp/check-smoke.json \
+    --require-nonzero adc_conversions,adc_conversions_skipped,slices_skipped,an_corrections,solve_iterations
+
 echo "== rustfmt =="
 cargo fmt --check
 

@@ -19,7 +19,10 @@
 //!   overhead/area/dispatch models);
 //! * [`gpu`] — the analytic P100 baseline;
 //! * [`solvers`] — CG, BiCG, BiCG-STAB, GMRES, Jacobi over the shared
-//!   [`Platform`](solvers::Platform) abstraction.
+//!   [`Platform`](solvers::Platform) abstraction;
+//! * [`telemetry`] — hierarchical spans, hardware event counters, and
+//!   the JSON run-manifest writer (strictly observational: enabling it
+//!   never changes a numeric result).
 //!
 //! # Quickstart
 //!
@@ -52,4 +55,5 @@ pub use memsci_gpu as gpu;
 pub use memsci_numeric as numeric;
 pub use memsci_solvers as solvers;
 pub use memsci_sparse as sparse;
+pub use memsci_telemetry as telemetry;
 pub use memsci_xbar as xbar;

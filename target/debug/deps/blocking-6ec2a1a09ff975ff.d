@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/blocking-6ec2a1a09ff975ff.d: crates/bench/benches/blocking.rs Cargo.toml
+
+/root/repo/target/debug/deps/libblocking-6ec2a1a09ff975ff.rmeta: crates/bench/benches/blocking.rs Cargo.toml
+
+crates/bench/benches/blocking.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

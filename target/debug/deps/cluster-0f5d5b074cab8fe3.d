@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cluster-0f5d5b074cab8fe3.d: crates/bench/benches/cluster.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcluster-0f5d5b074cab8fe3.rmeta: crates/bench/benches/cluster.rs Cargo.toml
+
+crates/bench/benches/cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_calibration-75b17eb2322f6aca.d: tests/engine_calibration.rs
+
+/root/repo/target/debug/deps/engine_calibration-75b17eb2322f6aca: tests/engine_calibration.rs
+
+tests/engine_calibration.rs:

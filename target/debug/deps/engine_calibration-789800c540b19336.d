@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_calibration-789800c540b19336.d: tests/engine_calibration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_calibration-789800c540b19336.rmeta: tests/engine_calibration.rs Cargo.toml
+
+tests/engine_calibration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exhaustive-772540509cd9ff67.d: crates/numeric/tests/exhaustive.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexhaustive-772540509cd9ff67.rmeta: crates/numeric/tests/exhaustive.rs Cargo.toml
+
+crates/numeric/tests/exhaustive.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

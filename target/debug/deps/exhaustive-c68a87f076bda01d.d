@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exhaustive-c68a87f076bda01d.d: crates/numeric/tests/exhaustive.rs
+
+/root/repo/target/debug/deps/exhaustive-c68a87f076bda01d: crates/numeric/tests/exhaustive.rs
+
+crates/numeric/tests/exhaustive.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/memsci-10e8828a2522a672.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmemsci-10e8828a2522a672.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/memsci-5d100aaa7dfe2c18.d: src/lib.rs
+
+/root/repo/target/debug/deps/memsci-5d100aaa7dfe2c18: src/lib.rs
+
+src/lib.rs:

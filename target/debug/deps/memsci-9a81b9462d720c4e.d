@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/memsci-9a81b9462d720c4e.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmemsci-9a81b9462d720c4e.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

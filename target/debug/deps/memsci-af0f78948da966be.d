@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/memsci-af0f78948da966be.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmemsci-af0f78948da966be.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmemsci-af0f78948da966be.rmeta: src/lib.rs
+
+src/lib.rs:

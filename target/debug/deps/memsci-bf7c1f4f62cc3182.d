@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/memsci-bf7c1f4f62cc3182.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmemsci-bf7c1f4f62cc3182.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmemsci-bf7c1f4f62cc3182.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/memsci_bench-17b9569745c17491.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/montecarlo.rs crates/bench/src/suite_run.rs crates/bench/src/tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmemsci_bench-17b9569745c17491.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/montecarlo.rs crates/bench/src/suite_run.rs crates/bench/src/tables.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/montecarlo.rs:
+crates/bench/src/suite_run.rs:
+crates/bench/src/tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

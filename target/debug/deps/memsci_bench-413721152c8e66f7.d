@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/memsci_bench-413721152c8e66f7.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/montecarlo.rs crates/bench/src/suite_run.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/libmemsci_bench-413721152c8e66f7.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/montecarlo.rs crates/bench/src/suite_run.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/libmemsci_bench-413721152c8e66f7.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/montecarlo.rs crates/bench/src/suite_run.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/montecarlo.rs:
+crates/bench/src/suite_run.rs:
+crates/bench/src/tables.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/memsci_core-9b9f3a8e783f9f40.d: crates/core/src/lib.rs crates/core/src/area.rs crates/core/src/config.rs crates/core/src/dispatch.rs crates/core/src/engine.rs crates/core/src/exact.rs crates/core/src/mapping.rs crates/core/src/multi.rs crates/core/src/overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmemsci_core-9b9f3a8e783f9f40.rmeta: crates/core/src/lib.rs crates/core/src/area.rs crates/core/src/config.rs crates/core/src/dispatch.rs crates/core/src/engine.rs crates/core/src/exact.rs crates/core/src/mapping.rs crates/core/src/multi.rs crates/core/src/overhead.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/area.rs:
+crates/core/src/config.rs:
+crates/core/src/dispatch.rs:
+crates/core/src/engine.rs:
+crates/core/src/exact.rs:
+crates/core/src/mapping.rs:
+crates/core/src/multi.rs:
+crates/core/src/overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/memsci_core-ae37b0bb9194d6ed.d: crates/core/src/lib.rs crates/core/src/area.rs crates/core/src/config.rs crates/core/src/dispatch.rs crates/core/src/engine.rs crates/core/src/exact.rs crates/core/src/mapping.rs crates/core/src/multi.rs crates/core/src/overhead.rs
+
+/root/repo/target/debug/deps/memsci_core-ae37b0bb9194d6ed: crates/core/src/lib.rs crates/core/src/area.rs crates/core/src/config.rs crates/core/src/dispatch.rs crates/core/src/engine.rs crates/core/src/exact.rs crates/core/src/mapping.rs crates/core/src/multi.rs crates/core/src/overhead.rs
+
+crates/core/src/lib.rs:
+crates/core/src/area.rs:
+crates/core/src/config.rs:
+crates/core/src/dispatch.rs:
+crates/core/src/engine.rs:
+crates/core/src/exact.rs:
+crates/core/src/mapping.rs:
+crates/core/src/multi.rs:
+crates/core/src/overhead.rs:

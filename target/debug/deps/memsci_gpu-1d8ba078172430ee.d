@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/memsci_gpu-1d8ba078172430ee.d: crates/gpu/src/lib.rs
+
+/root/repo/target/debug/deps/libmemsci_gpu-1d8ba078172430ee.rlib: crates/gpu/src/lib.rs
+
+/root/repo/target/debug/deps/libmemsci_gpu-1d8ba078172430ee.rmeta: crates/gpu/src/lib.rs
+
+crates/gpu/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/memsci_gpu-2e5331783a39b78b.d: crates/gpu/src/lib.rs
+
+/root/repo/target/debug/deps/memsci_gpu-2e5331783a39b78b: crates/gpu/src/lib.rs
+
+crates/gpu/src/lib.rs:

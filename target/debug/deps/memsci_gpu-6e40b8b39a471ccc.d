@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/memsci_gpu-6e40b8b39a471ccc.d: crates/gpu/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmemsci_gpu-6e40b8b39a471ccc.rmeta: crates/gpu/src/lib.rs Cargo.toml
+
+crates/gpu/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/memsci_gpu-a0e9cef933a3e945.d: crates/gpu/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmemsci_gpu-a0e9cef933a3e945.rmeta: crates/gpu/src/lib.rs Cargo.toml
+
+crates/gpu/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

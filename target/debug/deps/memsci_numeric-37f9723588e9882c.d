@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/memsci_numeric-37f9723588e9882c.d: crates/numeric/src/lib.rs crates/numeric/src/align.rs crates/numeric/src/ancode.rs crates/numeric/src/bias.rs crates/numeric/src/bitslice.rs crates/numeric/src/float.rs crates/numeric/src/rounding.rs crates/numeric/src/running_sum.rs crates/numeric/src/wideint.rs
+
+/root/repo/target/debug/deps/memsci_numeric-37f9723588e9882c: crates/numeric/src/lib.rs crates/numeric/src/align.rs crates/numeric/src/ancode.rs crates/numeric/src/bias.rs crates/numeric/src/bitslice.rs crates/numeric/src/float.rs crates/numeric/src/rounding.rs crates/numeric/src/running_sum.rs crates/numeric/src/wideint.rs
+
+crates/numeric/src/lib.rs:
+crates/numeric/src/align.rs:
+crates/numeric/src/ancode.rs:
+crates/numeric/src/bias.rs:
+crates/numeric/src/bitslice.rs:
+crates/numeric/src/float.rs:
+crates/numeric/src/rounding.rs:
+crates/numeric/src/running_sum.rs:
+crates/numeric/src/wideint.rs:

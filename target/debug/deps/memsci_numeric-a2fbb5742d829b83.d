@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/memsci_numeric-a2fbb5742d829b83.d: crates/numeric/src/lib.rs crates/numeric/src/align.rs crates/numeric/src/ancode.rs crates/numeric/src/bias.rs crates/numeric/src/bitslice.rs crates/numeric/src/float.rs crates/numeric/src/rounding.rs crates/numeric/src/running_sum.rs crates/numeric/src/wideint.rs
+
+/root/repo/target/debug/deps/libmemsci_numeric-a2fbb5742d829b83.rlib: crates/numeric/src/lib.rs crates/numeric/src/align.rs crates/numeric/src/ancode.rs crates/numeric/src/bias.rs crates/numeric/src/bitslice.rs crates/numeric/src/float.rs crates/numeric/src/rounding.rs crates/numeric/src/running_sum.rs crates/numeric/src/wideint.rs
+
+/root/repo/target/debug/deps/libmemsci_numeric-a2fbb5742d829b83.rmeta: crates/numeric/src/lib.rs crates/numeric/src/align.rs crates/numeric/src/ancode.rs crates/numeric/src/bias.rs crates/numeric/src/bitslice.rs crates/numeric/src/float.rs crates/numeric/src/rounding.rs crates/numeric/src/running_sum.rs crates/numeric/src/wideint.rs
+
+crates/numeric/src/lib.rs:
+crates/numeric/src/align.rs:
+crates/numeric/src/ancode.rs:
+crates/numeric/src/bias.rs:
+crates/numeric/src/bitslice.rs:
+crates/numeric/src/float.rs:
+crates/numeric/src/rounding.rs:
+crates/numeric/src/running_sum.rs:
+crates/numeric/src/wideint.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/memsci_numeric-a6d87dd9bed2f221.d: crates/numeric/src/lib.rs crates/numeric/src/align.rs crates/numeric/src/ancode.rs crates/numeric/src/bias.rs crates/numeric/src/bitslice.rs crates/numeric/src/float.rs crates/numeric/src/rounding.rs crates/numeric/src/running_sum.rs crates/numeric/src/wideint.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmemsci_numeric-a6d87dd9bed2f221.rmeta: crates/numeric/src/lib.rs crates/numeric/src/align.rs crates/numeric/src/ancode.rs crates/numeric/src/bias.rs crates/numeric/src/bitslice.rs crates/numeric/src/float.rs crates/numeric/src/rounding.rs crates/numeric/src/running_sum.rs crates/numeric/src/wideint.rs Cargo.toml
+
+crates/numeric/src/lib.rs:
+crates/numeric/src/align.rs:
+crates/numeric/src/ancode.rs:
+crates/numeric/src/bias.rs:
+crates/numeric/src/bitslice.rs:
+crates/numeric/src/float.rs:
+crates/numeric/src/rounding.rs:
+crates/numeric/src/running_sum.rs:
+crates/numeric/src/wideint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/memsci_solvers-0f35da2c9c4a1f37.d: crates/solvers/src/lib.rs crates/solvers/src/bicg.rs crates/solvers/src/bicgstab.rs crates/solvers/src/cg.rs crates/solvers/src/gmres.rs crates/solvers/src/jacobi.rs crates/solvers/src/pcg.rs crates/solvers/src/platform.rs crates/solvers/src/report.rs
+
+/root/repo/target/debug/deps/memsci_solvers-0f35da2c9c4a1f37: crates/solvers/src/lib.rs crates/solvers/src/bicg.rs crates/solvers/src/bicgstab.rs crates/solvers/src/cg.rs crates/solvers/src/gmres.rs crates/solvers/src/jacobi.rs crates/solvers/src/pcg.rs crates/solvers/src/platform.rs crates/solvers/src/report.rs
+
+crates/solvers/src/lib.rs:
+crates/solvers/src/bicg.rs:
+crates/solvers/src/bicgstab.rs:
+crates/solvers/src/cg.rs:
+crates/solvers/src/gmres.rs:
+crates/solvers/src/jacobi.rs:
+crates/solvers/src/pcg.rs:
+crates/solvers/src/platform.rs:
+crates/solvers/src/report.rs:

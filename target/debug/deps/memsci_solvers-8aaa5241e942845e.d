@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/memsci_solvers-8aaa5241e942845e.d: crates/solvers/src/lib.rs crates/solvers/src/bicg.rs crates/solvers/src/bicgstab.rs crates/solvers/src/cg.rs crates/solvers/src/gmres.rs crates/solvers/src/jacobi.rs crates/solvers/src/pcg.rs crates/solvers/src/platform.rs crates/solvers/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmemsci_solvers-8aaa5241e942845e.rmeta: crates/solvers/src/lib.rs crates/solvers/src/bicg.rs crates/solvers/src/bicgstab.rs crates/solvers/src/cg.rs crates/solvers/src/gmres.rs crates/solvers/src/jacobi.rs crates/solvers/src/pcg.rs crates/solvers/src/platform.rs crates/solvers/src/report.rs Cargo.toml
+
+crates/solvers/src/lib.rs:
+crates/solvers/src/bicg.rs:
+crates/solvers/src/bicgstab.rs:
+crates/solvers/src/cg.rs:
+crates/solvers/src/gmres.rs:
+crates/solvers/src/jacobi.rs:
+crates/solvers/src/pcg.rs:
+crates/solvers/src/platform.rs:
+crates/solvers/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

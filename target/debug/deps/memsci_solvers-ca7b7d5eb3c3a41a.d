@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/memsci_solvers-ca7b7d5eb3c3a41a.d: crates/solvers/src/lib.rs crates/solvers/src/bicg.rs crates/solvers/src/bicgstab.rs crates/solvers/src/cg.rs crates/solvers/src/gmres.rs crates/solvers/src/jacobi.rs crates/solvers/src/pcg.rs crates/solvers/src/platform.rs crates/solvers/src/report.rs
+
+/root/repo/target/debug/deps/libmemsci_solvers-ca7b7d5eb3c3a41a.rlib: crates/solvers/src/lib.rs crates/solvers/src/bicg.rs crates/solvers/src/bicgstab.rs crates/solvers/src/cg.rs crates/solvers/src/gmres.rs crates/solvers/src/jacobi.rs crates/solvers/src/pcg.rs crates/solvers/src/platform.rs crates/solvers/src/report.rs
+
+/root/repo/target/debug/deps/libmemsci_solvers-ca7b7d5eb3c3a41a.rmeta: crates/solvers/src/lib.rs crates/solvers/src/bicg.rs crates/solvers/src/bicgstab.rs crates/solvers/src/cg.rs crates/solvers/src/gmres.rs crates/solvers/src/jacobi.rs crates/solvers/src/pcg.rs crates/solvers/src/platform.rs crates/solvers/src/report.rs
+
+crates/solvers/src/lib.rs:
+crates/solvers/src/bicg.rs:
+crates/solvers/src/bicgstab.rs:
+crates/solvers/src/cg.rs:
+crates/solvers/src/gmres.rs:
+crates/solvers/src/jacobi.rs:
+crates/solvers/src/pcg.rs:
+crates/solvers/src/platform.rs:
+crates/solvers/src/report.rs:

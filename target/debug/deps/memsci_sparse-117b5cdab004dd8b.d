@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/memsci_sparse-117b5cdab004dd8b.d: crates/sparse/src/lib.rs crates/sparse/src/blocking.rs crates/sparse/src/coo.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/generate.rs crates/sparse/src/matrix_market.rs crates/sparse/src/stats.rs crates/sparse/src/suite.rs
+
+/root/repo/target/debug/deps/memsci_sparse-117b5cdab004dd8b: crates/sparse/src/lib.rs crates/sparse/src/blocking.rs crates/sparse/src/coo.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/generate.rs crates/sparse/src/matrix_market.rs crates/sparse/src/stats.rs crates/sparse/src/suite.rs
+
+crates/sparse/src/lib.rs:
+crates/sparse/src/blocking.rs:
+crates/sparse/src/coo.rs:
+crates/sparse/src/csr.rs:
+crates/sparse/src/dense.rs:
+crates/sparse/src/generate.rs:
+crates/sparse/src/matrix_market.rs:
+crates/sparse/src/stats.rs:
+crates/sparse/src/suite.rs:

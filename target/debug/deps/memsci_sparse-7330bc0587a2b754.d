@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/memsci_sparse-7330bc0587a2b754.d: crates/sparse/src/lib.rs crates/sparse/src/blocking.rs crates/sparse/src/coo.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/generate.rs crates/sparse/src/matrix_market.rs crates/sparse/src/stats.rs crates/sparse/src/suite.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmemsci_sparse-7330bc0587a2b754.rmeta: crates/sparse/src/lib.rs crates/sparse/src/blocking.rs crates/sparse/src/coo.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/generate.rs crates/sparse/src/matrix_market.rs crates/sparse/src/stats.rs crates/sparse/src/suite.rs Cargo.toml
+
+crates/sparse/src/lib.rs:
+crates/sparse/src/blocking.rs:
+crates/sparse/src/coo.rs:
+crates/sparse/src/csr.rs:
+crates/sparse/src/dense.rs:
+crates/sparse/src/generate.rs:
+crates/sparse/src/matrix_market.rs:
+crates/sparse/src/stats.rs:
+crates/sparse/src/suite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/memsci_sparse-b1d2a622293e10eb.d: crates/sparse/src/lib.rs crates/sparse/src/blocking.rs crates/sparse/src/coo.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/generate.rs crates/sparse/src/matrix_market.rs crates/sparse/src/stats.rs crates/sparse/src/suite.rs
+
+/root/repo/target/debug/deps/libmemsci_sparse-b1d2a622293e10eb.rlib: crates/sparse/src/lib.rs crates/sparse/src/blocking.rs crates/sparse/src/coo.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/generate.rs crates/sparse/src/matrix_market.rs crates/sparse/src/stats.rs crates/sparse/src/suite.rs
+
+/root/repo/target/debug/deps/libmemsci_sparse-b1d2a622293e10eb.rmeta: crates/sparse/src/lib.rs crates/sparse/src/blocking.rs crates/sparse/src/coo.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/generate.rs crates/sparse/src/matrix_market.rs crates/sparse/src/stats.rs crates/sparse/src/suite.rs
+
+crates/sparse/src/lib.rs:
+crates/sparse/src/blocking.rs:
+crates/sparse/src/coo.rs:
+crates/sparse/src/csr.rs:
+crates/sparse/src/dense.rs:
+crates/sparse/src/generate.rs:
+crates/sparse/src/matrix_market.rs:
+crates/sparse/src/stats.rs:
+crates/sparse/src/suite.rs:

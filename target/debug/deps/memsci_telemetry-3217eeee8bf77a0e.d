@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/memsci_telemetry-3217eeee8bf77a0e.d: crates/telemetry/src/lib.rs crates/telemetry/src/counters.rs crates/telemetry/src/json.rs crates/telemetry/src/manifest.rs crates/telemetry/src/span.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmemsci_telemetry-3217eeee8bf77a0e.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/counters.rs crates/telemetry/src/json.rs crates/telemetry/src/manifest.rs crates/telemetry/src/span.rs Cargo.toml
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/counters.rs:
+crates/telemetry/src/json.rs:
+crates/telemetry/src/manifest.rs:
+crates/telemetry/src/span.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/telemetry
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

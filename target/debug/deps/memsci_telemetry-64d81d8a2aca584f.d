@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/memsci_telemetry-64d81d8a2aca584f.d: crates/telemetry/src/lib.rs crates/telemetry/src/counters.rs crates/telemetry/src/json.rs crates/telemetry/src/manifest.rs crates/telemetry/src/span.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmemsci_telemetry-64d81d8a2aca584f.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/counters.rs crates/telemetry/src/json.rs crates/telemetry/src/manifest.rs crates/telemetry/src/span.rs Cargo.toml
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/counters.rs:
+crates/telemetry/src/json.rs:
+crates/telemetry/src/manifest.rs:
+crates/telemetry/src/span.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/memsci_telemetry-a5481eaddd97cc1b.d: crates/telemetry/src/lib.rs crates/telemetry/src/counters.rs crates/telemetry/src/json.rs crates/telemetry/src/manifest.rs crates/telemetry/src/span.rs
+
+/root/repo/target/debug/deps/memsci_telemetry-a5481eaddd97cc1b: crates/telemetry/src/lib.rs crates/telemetry/src/counters.rs crates/telemetry/src/json.rs crates/telemetry/src/manifest.rs crates/telemetry/src/span.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/counters.rs:
+crates/telemetry/src/json.rs:
+crates/telemetry/src/manifest.rs:
+crates/telemetry/src/span.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/telemetry

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/memsci_xbar-635a3587853c28a5.d: crates/xbar/src/lib.rs crates/xbar/src/adc.rs crates/xbar/src/cluster.rs crates/xbar/src/cost.rs crates/xbar/src/crossbar.rs crates/xbar/src/device.rs crates/xbar/src/schedule.rs
+
+/root/repo/target/debug/deps/memsci_xbar-635a3587853c28a5: crates/xbar/src/lib.rs crates/xbar/src/adc.rs crates/xbar/src/cluster.rs crates/xbar/src/cost.rs crates/xbar/src/crossbar.rs crates/xbar/src/device.rs crates/xbar/src/schedule.rs
+
+crates/xbar/src/lib.rs:
+crates/xbar/src/adc.rs:
+crates/xbar/src/cluster.rs:
+crates/xbar/src/cost.rs:
+crates/xbar/src/crossbar.rs:
+crates/xbar/src/device.rs:
+crates/xbar/src/schedule.rs:

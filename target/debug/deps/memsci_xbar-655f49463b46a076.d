@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/memsci_xbar-655f49463b46a076.d: crates/xbar/src/lib.rs crates/xbar/src/adc.rs crates/xbar/src/cluster.rs crates/xbar/src/cost.rs crates/xbar/src/crossbar.rs crates/xbar/src/device.rs crates/xbar/src/schedule.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmemsci_xbar-655f49463b46a076.rmeta: crates/xbar/src/lib.rs crates/xbar/src/adc.rs crates/xbar/src/cluster.rs crates/xbar/src/cost.rs crates/xbar/src/crossbar.rs crates/xbar/src/device.rs crates/xbar/src/schedule.rs Cargo.toml
+
+crates/xbar/src/lib.rs:
+crates/xbar/src/adc.rs:
+crates/xbar/src/cluster.rs:
+crates/xbar/src/cost.rs:
+crates/xbar/src/crossbar.rs:
+crates/xbar/src/device.rs:
+crates/xbar/src/schedule.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/memsci_xbar-a1ea8e6bf4afc7d0.d: crates/xbar/src/lib.rs crates/xbar/src/adc.rs crates/xbar/src/cluster.rs crates/xbar/src/cost.rs crates/xbar/src/crossbar.rs crates/xbar/src/device.rs crates/xbar/src/schedule.rs
+
+/root/repo/target/debug/deps/libmemsci_xbar-a1ea8e6bf4afc7d0.rlib: crates/xbar/src/lib.rs crates/xbar/src/adc.rs crates/xbar/src/cluster.rs crates/xbar/src/cost.rs crates/xbar/src/crossbar.rs crates/xbar/src/device.rs crates/xbar/src/schedule.rs
+
+/root/repo/target/debug/deps/libmemsci_xbar-a1ea8e6bf4afc7d0.rmeta: crates/xbar/src/lib.rs crates/xbar/src/adc.rs crates/xbar/src/cluster.rs crates/xbar/src/cost.rs crates/xbar/src/crossbar.rs crates/xbar/src/device.rs crates/xbar/src/schedule.rs
+
+crates/xbar/src/lib.rs:
+crates/xbar/src/adc.rs:
+crates/xbar/src/cluster.rs:
+crates/xbar/src/cost.rs:
+crates/xbar/src/crossbar.rs:
+crates/xbar/src/device.rs:
+crates/xbar/src/schedule.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/precision-825ed0c8bb69e81b.d: tests/precision.rs
+
+/root/repo/target/debug/deps/precision-825ed0c8bb69e81b: tests/precision.rs
+
+tests/precision.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/precision-e554c0b8d8e6ad88.d: tests/precision.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprecision-e554c0b8d8e6ad88.rmeta: tests/precision.rs Cargo.toml
+
+tests/precision.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

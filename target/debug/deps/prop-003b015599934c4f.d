@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-003b015599934c4f.d: crates/sparse/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-003b015599934c4f.rmeta: crates/sparse/tests/prop.rs Cargo.toml
+
+crates/sparse/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

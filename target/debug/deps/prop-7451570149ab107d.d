@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-7451570149ab107d.d: crates/numeric/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-7451570149ab107d: crates/numeric/tests/prop.rs
+
+crates/numeric/tests/prop.rs:

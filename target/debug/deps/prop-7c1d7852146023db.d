@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-7c1d7852146023db.d: crates/sparse/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-7c1d7852146023db: crates/sparse/tests/prop.rs
+
+crates/sparse/tests/prop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-a8c6e93c2800d079.d: crates/xbar/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-a8c6e93c2800d079.rmeta: crates/xbar/tests/prop.rs Cargo.toml
+
+crates/xbar/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-e6958c876cf9d7e4.d: crates/xbar/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-e6958c876cf9d7e4: crates/xbar/tests/prop.rs
+
+crates/xbar/tests/prop.rs:

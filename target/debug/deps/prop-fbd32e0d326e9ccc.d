@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-fbd32e0d326e9ccc.d: crates/numeric/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-fbd32e0d326e9ccc.rmeta: crates/numeric/tests/prop.rs Cargo.toml
+
+crates/numeric/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-0a16aba2d3cc9dbe.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-0a16aba2d3cc9dbe: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

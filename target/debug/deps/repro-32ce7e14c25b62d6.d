@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-32ce7e14c25b62d6.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-32ce7e14c25b62d6: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

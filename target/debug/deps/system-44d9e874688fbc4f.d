@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/system-44d9e874688fbc4f.d: tests/system.rs
+
+/root/repo/target/debug/deps/system-44d9e874688fbc4f: tests/system.rs
+
+tests/system.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/system-85807709cc920fbd.d: tests/system.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsystem-85807709cc920fbd.rmeta: tests/system.rs Cargo.toml
+
+tests/system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

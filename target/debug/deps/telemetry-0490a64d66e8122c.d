@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/telemetry-0490a64d66e8122c.d: tests/telemetry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelemetry-0490a64d66e8122c.rmeta: tests/telemetry.rs Cargo.toml
+
+tests/telemetry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

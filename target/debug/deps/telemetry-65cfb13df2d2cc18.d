@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry-65cfb13df2d2cc18.d: tests/telemetry.rs
+
+/root/repo/target/debug/deps/telemetry-65cfb13df2d2cc18: tests/telemetry.rs
+
+tests/telemetry.rs:

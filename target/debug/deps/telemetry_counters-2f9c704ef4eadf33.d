@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry_counters-2f9c704ef4eadf33.d: crates/xbar/tests/telemetry_counters.rs
+
+/root/repo/target/debug/deps/telemetry_counters-2f9c704ef4eadf33: crates/xbar/tests/telemetry_counters.rs
+
+crates/xbar/tests/telemetry_counters.rs:

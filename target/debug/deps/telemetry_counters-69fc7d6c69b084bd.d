@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/telemetry_counters-69fc7d6c69b084bd.d: crates/xbar/tests/telemetry_counters.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelemetry_counters-69fc7d6c69b084bd.rmeta: crates/xbar/tests/telemetry_counters.rs Cargo.toml
+
+crates/xbar/tests/telemetry_counters.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

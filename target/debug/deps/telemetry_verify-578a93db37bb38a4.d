@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry_verify-578a93db37bb38a4.d: crates/telemetry/src/bin/telemetry-verify.rs
+
+/root/repo/target/debug/deps/telemetry_verify-578a93db37bb38a4: crates/telemetry/src/bin/telemetry-verify.rs
+
+crates/telemetry/src/bin/telemetry-verify.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/telemetry_verify-b95b60edbb40e58c.d: crates/telemetry/src/bin/telemetry-verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelemetry_verify-b95b60edbb40e58c.rmeta: crates/telemetry/src/bin/telemetry-verify.rs Cargo.toml
+
+crates/telemetry/src/bin/telemetry-verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry_verify-eee92953a829e992.d: crates/telemetry/src/bin/telemetry-verify.rs
+
+/root/repo/target/debug/deps/telemetry_verify-eee92953a829e992: crates/telemetry/src/bin/telemetry-verify.rs
+
+crates/telemetry/src/bin/telemetry-verify.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/circuit_simulation-babfd248a23ecf44.d: examples/circuit_simulation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcircuit_simulation-babfd248a23ecf44.rmeta: examples/circuit_simulation.rs Cargo.toml
+
+examples/circuit_simulation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/circuit_simulation-e05431bc464d2020.d: examples/circuit_simulation.rs
+
+/root/repo/target/debug/examples/circuit_simulation-e05431bc464d2020: examples/circuit_simulation.rs
+
+examples/circuit_simulation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/matrix_market_io-48cbb8983be8916b.d: examples/matrix_market_io.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmatrix_market_io-48cbb8983be8916b.rmeta: examples/matrix_market_io.rs Cargo.toml
+
+examples/matrix_market_io.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

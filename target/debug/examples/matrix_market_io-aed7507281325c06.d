@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/matrix_market_io-aed7507281325c06.d: examples/matrix_market_io.rs
+
+/root/repo/target/debug/examples/matrix_market_io-aed7507281325c06: examples/matrix_market_io.rs
+
+examples/matrix_market_io.rs:

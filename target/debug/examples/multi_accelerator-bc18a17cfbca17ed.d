@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/multi_accelerator-bc18a17cfbca17ed.d: examples/multi_accelerator.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmulti_accelerator-bc18a17cfbca17ed.rmeta: examples/multi_accelerator.rs Cargo.toml
+
+examples/multi_accelerator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_accelerator-f1ad556c0a0734cb.d: examples/multi_accelerator.rs
+
+/root/repo/target/debug/examples/multi_accelerator-f1ad556c0a0734cb: examples/multi_accelerator.rs
+
+examples/multi_accelerator.rs:

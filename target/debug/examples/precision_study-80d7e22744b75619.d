@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/precision_study-80d7e22744b75619.d: examples/precision_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprecision_study-80d7e22744b75619.rmeta: examples/precision_study.rs Cargo.toml
+
+examples/precision_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

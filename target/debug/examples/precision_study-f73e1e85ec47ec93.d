@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/precision_study-f73e1e85ec47ec93.d: examples/precision_study.rs
+
+/root/repo/target/debug/examples/precision_study-f73e1e85ec47ec93: examples/precision_study.rs
+
+examples/precision_study.rs:

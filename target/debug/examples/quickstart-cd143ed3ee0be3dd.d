@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-cd143ed3ee0be3dd.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-cd143ed3ee0be3dd: examples/quickstart.rs
+
+examples/quickstart.rs:

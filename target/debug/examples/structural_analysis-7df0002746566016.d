@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/structural_analysis-7df0002746566016.d: examples/structural_analysis.rs Cargo.toml
+
+/root/repo/target/debug/examples/libstructural_analysis-7df0002746566016.rmeta: examples/structural_analysis.rs Cargo.toml
+
+examples/structural_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

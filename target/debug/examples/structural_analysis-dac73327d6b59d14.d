@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/structural_analysis-dac73327d6b59d14.d: examples/structural_analysis.rs
+
+/root/repo/target/debug/examples/structural_analysis-dac73327d6b59d14: examples/structural_analysis.rs
+
+examples/structural_analysis.rs:

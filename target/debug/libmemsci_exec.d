@@ -1,0 +1,1 @@
+/root/repo/target/debug/libmemsci_exec.rlib: /root/repo/crates/exec/src/lib.rs

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engine_calibration-a0bc353b037505fc.d: tests/engine_calibration.rs
+
+/root/repo/target/release/deps/engine_calibration-a0bc353b037505fc: tests/engine_calibration.rs
+
+tests/engine_calibration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exhaustive-a9a0a965ae16db20.d: crates/numeric/tests/exhaustive.rs
+
+/root/repo/target/release/deps/exhaustive-a9a0a965ae16db20: crates/numeric/tests/exhaustive.rs
+
+crates/numeric/tests/exhaustive.rs:

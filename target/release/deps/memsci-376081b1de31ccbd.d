@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/memsci-376081b1de31ccbd.d: src/lib.rs
+
+/root/repo/target/release/deps/libmemsci-376081b1de31ccbd.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmemsci-376081b1de31ccbd.rmeta: src/lib.rs
+
+src/lib.rs:

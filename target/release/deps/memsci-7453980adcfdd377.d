@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/memsci-7453980adcfdd377.d: src/lib.rs
+
+/root/repo/target/release/deps/libmemsci-7453980adcfdd377.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmemsci-7453980adcfdd377.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/memsci-9a8734530a9ce4d7.d: src/lib.rs
+
+/root/repo/target/release/deps/memsci-9a8734530a9ce4d7: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/memsci_bench-50861c94475965ba.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/montecarlo.rs crates/bench/src/suite_run.rs crates/bench/src/tables.rs
+
+/root/repo/target/release/deps/memsci_bench-50861c94475965ba: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/montecarlo.rs crates/bench/src/suite_run.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/montecarlo.rs:
+crates/bench/src/suite_run.rs:
+crates/bench/src/tables.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/memsci_bench-52a084e431501d4f.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/montecarlo.rs crates/bench/src/suite_run.rs crates/bench/src/tables.rs
+
+/root/repo/target/release/deps/libmemsci_bench-52a084e431501d4f.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/montecarlo.rs crates/bench/src/suite_run.rs crates/bench/src/tables.rs
+
+/root/repo/target/release/deps/libmemsci_bench-52a084e431501d4f.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/montecarlo.rs crates/bench/src/suite_run.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/montecarlo.rs:
+crates/bench/src/suite_run.rs:
+crates/bench/src/tables.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/memsci_core-5143019e8d2d8ee5.d: crates/core/src/lib.rs crates/core/src/area.rs crates/core/src/config.rs crates/core/src/dispatch.rs crates/core/src/engine.rs crates/core/src/exact.rs crates/core/src/mapping.rs crates/core/src/multi.rs crates/core/src/overhead.rs
+
+/root/repo/target/release/deps/memsci_core-5143019e8d2d8ee5: crates/core/src/lib.rs crates/core/src/area.rs crates/core/src/config.rs crates/core/src/dispatch.rs crates/core/src/engine.rs crates/core/src/exact.rs crates/core/src/mapping.rs crates/core/src/multi.rs crates/core/src/overhead.rs
+
+crates/core/src/lib.rs:
+crates/core/src/area.rs:
+crates/core/src/config.rs:
+crates/core/src/dispatch.rs:
+crates/core/src/engine.rs:
+crates/core/src/exact.rs:
+crates/core/src/mapping.rs:
+crates/core/src/multi.rs:
+crates/core/src/overhead.rs:

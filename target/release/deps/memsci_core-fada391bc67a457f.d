@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/memsci_core-fada391bc67a457f.d: crates/core/src/lib.rs crates/core/src/area.rs crates/core/src/config.rs crates/core/src/dispatch.rs crates/core/src/engine.rs crates/core/src/exact.rs crates/core/src/mapping.rs crates/core/src/multi.rs crates/core/src/overhead.rs
+
+/root/repo/target/release/deps/libmemsci_core-fada391bc67a457f.rlib: crates/core/src/lib.rs crates/core/src/area.rs crates/core/src/config.rs crates/core/src/dispatch.rs crates/core/src/engine.rs crates/core/src/exact.rs crates/core/src/mapping.rs crates/core/src/multi.rs crates/core/src/overhead.rs
+
+/root/repo/target/release/deps/libmemsci_core-fada391bc67a457f.rmeta: crates/core/src/lib.rs crates/core/src/area.rs crates/core/src/config.rs crates/core/src/dispatch.rs crates/core/src/engine.rs crates/core/src/exact.rs crates/core/src/mapping.rs crates/core/src/multi.rs crates/core/src/overhead.rs
+
+crates/core/src/lib.rs:
+crates/core/src/area.rs:
+crates/core/src/config.rs:
+crates/core/src/dispatch.rs:
+crates/core/src/engine.rs:
+crates/core/src/exact.rs:
+crates/core/src/mapping.rs:
+crates/core/src/multi.rs:
+crates/core/src/overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/memsci_exec-1b59acf0c717f2f0.d: crates/exec/src/lib.rs
+
+/root/repo/target/release/deps/memsci_exec-1b59acf0c717f2f0: crates/exec/src/lib.rs
+
+crates/exec/src/lib.rs:

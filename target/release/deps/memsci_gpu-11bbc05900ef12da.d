@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/memsci_gpu-11bbc05900ef12da.d: crates/gpu/src/lib.rs
+
+/root/repo/target/release/deps/libmemsci_gpu-11bbc05900ef12da.rlib: crates/gpu/src/lib.rs
+
+/root/repo/target/release/deps/libmemsci_gpu-11bbc05900ef12da.rmeta: crates/gpu/src/lib.rs
+
+crates/gpu/src/lib.rs:

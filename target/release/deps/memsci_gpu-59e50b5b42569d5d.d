@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/memsci_gpu-59e50b5b42569d5d.d: crates/gpu/src/lib.rs
+
+/root/repo/target/release/deps/memsci_gpu-59e50b5b42569d5d: crates/gpu/src/lib.rs
+
+crates/gpu/src/lib.rs:

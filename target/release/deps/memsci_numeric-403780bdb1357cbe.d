@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/memsci_numeric-403780bdb1357cbe.d: crates/numeric/src/lib.rs crates/numeric/src/align.rs crates/numeric/src/ancode.rs crates/numeric/src/bias.rs crates/numeric/src/bitslice.rs crates/numeric/src/float.rs crates/numeric/src/rounding.rs crates/numeric/src/running_sum.rs crates/numeric/src/wideint.rs
+
+/root/repo/target/release/deps/memsci_numeric-403780bdb1357cbe: crates/numeric/src/lib.rs crates/numeric/src/align.rs crates/numeric/src/ancode.rs crates/numeric/src/bias.rs crates/numeric/src/bitslice.rs crates/numeric/src/float.rs crates/numeric/src/rounding.rs crates/numeric/src/running_sum.rs crates/numeric/src/wideint.rs
+
+crates/numeric/src/lib.rs:
+crates/numeric/src/align.rs:
+crates/numeric/src/ancode.rs:
+crates/numeric/src/bias.rs:
+crates/numeric/src/bitslice.rs:
+crates/numeric/src/float.rs:
+crates/numeric/src/rounding.rs:
+crates/numeric/src/running_sum.rs:
+crates/numeric/src/wideint.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/memsci_solvers-42b6bee1fcfd2e94.d: crates/solvers/src/lib.rs crates/solvers/src/bicg.rs crates/solvers/src/bicgstab.rs crates/solvers/src/cg.rs crates/solvers/src/gmres.rs crates/solvers/src/jacobi.rs crates/solvers/src/pcg.rs crates/solvers/src/platform.rs crates/solvers/src/report.rs
+
+/root/repo/target/release/deps/memsci_solvers-42b6bee1fcfd2e94: crates/solvers/src/lib.rs crates/solvers/src/bicg.rs crates/solvers/src/bicgstab.rs crates/solvers/src/cg.rs crates/solvers/src/gmres.rs crates/solvers/src/jacobi.rs crates/solvers/src/pcg.rs crates/solvers/src/platform.rs crates/solvers/src/report.rs
+
+crates/solvers/src/lib.rs:
+crates/solvers/src/bicg.rs:
+crates/solvers/src/bicgstab.rs:
+crates/solvers/src/cg.rs:
+crates/solvers/src/gmres.rs:
+crates/solvers/src/jacobi.rs:
+crates/solvers/src/pcg.rs:
+crates/solvers/src/platform.rs:
+crates/solvers/src/report.rs:

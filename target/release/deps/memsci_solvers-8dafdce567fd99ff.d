@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/memsci_solvers-8dafdce567fd99ff.d: crates/solvers/src/lib.rs crates/solvers/src/bicg.rs crates/solvers/src/bicgstab.rs crates/solvers/src/cg.rs crates/solvers/src/gmres.rs crates/solvers/src/jacobi.rs crates/solvers/src/pcg.rs crates/solvers/src/platform.rs crates/solvers/src/report.rs
+
+/root/repo/target/release/deps/libmemsci_solvers-8dafdce567fd99ff.rlib: crates/solvers/src/lib.rs crates/solvers/src/bicg.rs crates/solvers/src/bicgstab.rs crates/solvers/src/cg.rs crates/solvers/src/gmres.rs crates/solvers/src/jacobi.rs crates/solvers/src/pcg.rs crates/solvers/src/platform.rs crates/solvers/src/report.rs
+
+/root/repo/target/release/deps/libmemsci_solvers-8dafdce567fd99ff.rmeta: crates/solvers/src/lib.rs crates/solvers/src/bicg.rs crates/solvers/src/bicgstab.rs crates/solvers/src/cg.rs crates/solvers/src/gmres.rs crates/solvers/src/jacobi.rs crates/solvers/src/pcg.rs crates/solvers/src/platform.rs crates/solvers/src/report.rs
+
+crates/solvers/src/lib.rs:
+crates/solvers/src/bicg.rs:
+crates/solvers/src/bicgstab.rs:
+crates/solvers/src/cg.rs:
+crates/solvers/src/gmres.rs:
+crates/solvers/src/jacobi.rs:
+crates/solvers/src/pcg.rs:
+crates/solvers/src/platform.rs:
+crates/solvers/src/report.rs:

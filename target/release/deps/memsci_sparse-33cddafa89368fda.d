@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/memsci_sparse-33cddafa89368fda.d: crates/sparse/src/lib.rs crates/sparse/src/blocking.rs crates/sparse/src/coo.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/generate.rs crates/sparse/src/matrix_market.rs crates/sparse/src/stats.rs crates/sparse/src/suite.rs
+
+/root/repo/target/release/deps/libmemsci_sparse-33cddafa89368fda.rlib: crates/sparse/src/lib.rs crates/sparse/src/blocking.rs crates/sparse/src/coo.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/generate.rs crates/sparse/src/matrix_market.rs crates/sparse/src/stats.rs crates/sparse/src/suite.rs
+
+/root/repo/target/release/deps/libmemsci_sparse-33cddafa89368fda.rmeta: crates/sparse/src/lib.rs crates/sparse/src/blocking.rs crates/sparse/src/coo.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/generate.rs crates/sparse/src/matrix_market.rs crates/sparse/src/stats.rs crates/sparse/src/suite.rs
+
+crates/sparse/src/lib.rs:
+crates/sparse/src/blocking.rs:
+crates/sparse/src/coo.rs:
+crates/sparse/src/csr.rs:
+crates/sparse/src/dense.rs:
+crates/sparse/src/generate.rs:
+crates/sparse/src/matrix_market.rs:
+crates/sparse/src/stats.rs:
+crates/sparse/src/suite.rs:

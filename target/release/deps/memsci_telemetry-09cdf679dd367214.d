@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/memsci_telemetry-09cdf679dd367214.d: crates/telemetry/src/lib.rs crates/telemetry/src/counters.rs crates/telemetry/src/json.rs crates/telemetry/src/manifest.rs crates/telemetry/src/span.rs
+
+/root/repo/target/release/deps/memsci_telemetry-09cdf679dd367214: crates/telemetry/src/lib.rs crates/telemetry/src/counters.rs crates/telemetry/src/json.rs crates/telemetry/src/manifest.rs crates/telemetry/src/span.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/counters.rs:
+crates/telemetry/src/json.rs:
+crates/telemetry/src/manifest.rs:
+crates/telemetry/src/span.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/telemetry

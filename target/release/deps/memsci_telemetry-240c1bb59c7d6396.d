@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/memsci_telemetry-240c1bb59c7d6396.d: crates/telemetry/src/lib.rs crates/telemetry/src/counters.rs crates/telemetry/src/json.rs crates/telemetry/src/manifest.rs crates/telemetry/src/span.rs
+
+/root/repo/target/release/deps/libmemsci_telemetry-240c1bb59c7d6396.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/counters.rs crates/telemetry/src/json.rs crates/telemetry/src/manifest.rs crates/telemetry/src/span.rs
+
+/root/repo/target/release/deps/libmemsci_telemetry-240c1bb59c7d6396.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/counters.rs crates/telemetry/src/json.rs crates/telemetry/src/manifest.rs crates/telemetry/src/span.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/counters.rs:
+crates/telemetry/src/json.rs:
+crates/telemetry/src/manifest.rs:
+crates/telemetry/src/span.rs:

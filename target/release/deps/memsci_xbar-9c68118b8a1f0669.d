@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/memsci_xbar-9c68118b8a1f0669.d: crates/xbar/src/lib.rs crates/xbar/src/adc.rs crates/xbar/src/cluster.rs crates/xbar/src/cost.rs crates/xbar/src/crossbar.rs crates/xbar/src/device.rs crates/xbar/src/schedule.rs
+
+/root/repo/target/release/deps/memsci_xbar-9c68118b8a1f0669: crates/xbar/src/lib.rs crates/xbar/src/adc.rs crates/xbar/src/cluster.rs crates/xbar/src/cost.rs crates/xbar/src/crossbar.rs crates/xbar/src/device.rs crates/xbar/src/schedule.rs
+
+crates/xbar/src/lib.rs:
+crates/xbar/src/adc.rs:
+crates/xbar/src/cluster.rs:
+crates/xbar/src/cost.rs:
+crates/xbar/src/crossbar.rs:
+crates/xbar/src/device.rs:
+crates/xbar/src/schedule.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/precision-1dce6af80cf31f91.d: tests/precision.rs
+
+/root/repo/target/release/deps/precision-1dce6af80cf31f91: tests/precision.rs
+
+tests/precision.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop-6ba4aa4599e4edb2.d: crates/sparse/tests/prop.rs
+
+/root/repo/target/release/deps/prop-6ba4aa4599e4edb2: crates/sparse/tests/prop.rs
+
+crates/sparse/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop-92e64065d003d36c.d: crates/numeric/tests/prop.rs
+
+/root/repo/target/release/deps/prop-92e64065d003d36c: crates/numeric/tests/prop.rs
+
+crates/numeric/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop-bd7166169df15ce9.d: crates/xbar/tests/prop.rs
+
+/root/repo/target/release/deps/prop-bd7166169df15ce9: crates/xbar/tests/prop.rs
+
+crates/xbar/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-6d2f80fe739e9db6.d: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-6d2f80fe739e9db6: crates/shims/proptest/src/lib.rs
+
+crates/shims/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-81f18883a64f26cc.d: crates/shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-81f18883a64f26cc: crates/shims/rand/src/lib.rs
+
+crates/shims/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-31444aee3fe80b63.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-31444aee3fe80b63: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-d5e70f7435c2a297.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-d5e70f7435c2a297: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/system-55fdfac25a1e9539.d: tests/system.rs
+
+/root/repo/target/release/deps/system-55fdfac25a1e9539: tests/system.rs
+
+tests/system.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/telemetry-ff484bf934c31ebd.d: tests/telemetry.rs
+
+/root/repo/target/release/deps/telemetry-ff484bf934c31ebd: tests/telemetry.rs
+
+tests/telemetry.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/telemetry_counters-a7d5a1c9def9bd43.d: crates/xbar/tests/telemetry_counters.rs
+
+/root/repo/target/release/deps/telemetry_counters-a7d5a1c9def9bd43: crates/xbar/tests/telemetry_counters.rs
+
+crates/xbar/tests/telemetry_counters.rs:

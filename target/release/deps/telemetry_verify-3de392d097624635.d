@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/telemetry_verify-3de392d097624635.d: crates/telemetry/src/bin/telemetry-verify.rs
+
+/root/repo/target/release/deps/telemetry_verify-3de392d097624635: crates/telemetry/src/bin/telemetry-verify.rs
+
+crates/telemetry/src/bin/telemetry-verify.rs:

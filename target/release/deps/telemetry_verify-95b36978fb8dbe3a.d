@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/telemetry_verify-95b36978fb8dbe3a.d: crates/telemetry/src/bin/telemetry-verify.rs
+
+/root/repo/target/release/deps/telemetry_verify-95b36978fb8dbe3a: crates/telemetry/src/bin/telemetry-verify.rs
+
+crates/telemetry/src/bin/telemetry-verify.rs:

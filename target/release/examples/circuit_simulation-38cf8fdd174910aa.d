@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/circuit_simulation-38cf8fdd174910aa.d: examples/circuit_simulation.rs
+
+/root/repo/target/release/examples/circuit_simulation-38cf8fdd174910aa: examples/circuit_simulation.rs
+
+examples/circuit_simulation.rs:

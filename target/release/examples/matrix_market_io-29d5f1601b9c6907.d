@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/matrix_market_io-29d5f1601b9c6907.d: examples/matrix_market_io.rs
+
+/root/repo/target/release/examples/matrix_market_io-29d5f1601b9c6907: examples/matrix_market_io.rs
+
+examples/matrix_market_io.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/multi_accelerator-725ef2b0cbd38a2a.d: examples/multi_accelerator.rs
+
+/root/repo/target/release/examples/multi_accelerator-725ef2b0cbd38a2a: examples/multi_accelerator.rs
+
+examples/multi_accelerator.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/precision_study-66bd75b26776dc1b.d: examples/precision_study.rs
+
+/root/repo/target/release/examples/precision_study-66bd75b26776dc1b: examples/precision_study.rs
+
+examples/precision_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-03ec7636366ad3de.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-03ec7636366ad3de: examples/quickstart.rs
+
+examples/quickstart.rs:

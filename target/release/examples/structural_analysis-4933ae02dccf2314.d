@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/structural_analysis-4933ae02dccf2314.d: examples/structural_analysis.rs
+
+/root/repo/target/release/examples/structural_analysis-4933ae02dccf2314: examples/structural_analysis.rs
+
+examples/structural_analysis.rs:

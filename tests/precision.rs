@@ -99,11 +99,7 @@ fn exact_platform_matches_f64_convergence() {
         let blocked = BlockedMatrix::block(&a, &BlockingConfig::default());
         let n = a.rows();
         let b = vec![1.0; n];
-        let opts = SolveOptions {
-            tol: 1e-9,
-            max_iters: 500,
-            record_residuals: false,
-        };
+        let opts = SolveOptions::with_tol(1e-9).max_iters(500);
 
         let mut reference = CsrPlatform::new(a.clone());
         let mut x_ref = vec![0.0; n];

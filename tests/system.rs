@@ -101,11 +101,7 @@ fn solvers_agree_across_platforms() {
     let a = entry.generate_scaled(SCALE);
     let n = a.rows();
     let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
-    let opts = SolveOptions {
-        tol: 1e-9,
-        max_iters: 3000,
-        record_residuals: false,
-    };
+    let opts = SolveOptions::with_tol(1e-9).max_iters(3000);
 
     let solve_cg = |p: &mut dyn Platform| {
         let mut x = vec![0.0; n];

@@ -1,0 +1,142 @@
+//! Telemetry is strictly observational: enabling the sink, attaching
+//! per-solve capture, or changing the host thread count must not move
+//! a single bit of any numeric output, on either engine.
+
+use memsci::core::{
+    AcceleratorConfig, AcceleratorPlatform, ExactAcceleratorPlatform, ExactOptions,
+};
+use memsci::solvers::cg::cg;
+use memsci::solvers::{SolveOptions, SolveReport};
+use memsci::sparse::blocking::{BlockedMatrix, BlockingConfig};
+use memsci::sparse::generate::poisson2d;
+use memsci::sparse::suite::by_name;
+use memsci::telemetry;
+use memsci::telemetry::Counter;
+
+fn assert_bit_identical(
+    label: &str,
+    reference: &(Vec<f64>, SolveReport),
+    run: &(Vec<f64>, SolveReport),
+) {
+    let (x_ref, r_ref) = reference;
+    let (x, r) = run;
+    assert_eq!(x.len(), x_ref.len(), "{label}: solution length");
+    for (i, (a, b)) in x.iter().zip(x_ref).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "{label}: x[{i}]");
+    }
+    assert_eq!(r.iterations, r_ref.iterations, "{label}: iterations");
+    assert_eq!(r.converged, r_ref.converged, "{label}: converged");
+    assert_eq!(
+        r.relative_residual.to_bits(),
+        r_ref.relative_residual.to_bits(),
+        "{label}: relative residual"
+    );
+    assert_eq!(
+        r.residual_history.len(),
+        r_ref.residual_history.len(),
+        "{label}: residual history length"
+    );
+    for (i, (a, b)) in r
+        .residual_history
+        .iter()
+        .zip(&r_ref.residual_history)
+        .enumerate()
+    {
+        assert_eq!(a.to_bits(), b.to_bits(), "{label}: residual[{i}]");
+    }
+    assert_eq!(
+        r.time_seconds.to_bits(),
+        r_ref.time_seconds.to_bits(),
+        "{label}: modelled time"
+    );
+    assert_eq!(
+        r.energy_joules.to_bits(),
+        r_ref.energy_joules.to_bits(),
+        "{label}: modelled energy"
+    );
+}
+
+fn fast_solve(threads: usize, with_telemetry: bool) -> (Vec<f64>, SolveReport) {
+    let a = by_name("Pres_Poisson").unwrap().generate_scaled(0.05);
+    let n = a.rows();
+    let blocked = BlockedMatrix::block(&a, &BlockingConfig::default());
+    let config = AcceleratorConfig {
+        threads: Some(threads),
+        ..Default::default()
+    };
+    let mut acc = AcceleratorPlatform::new(&blocked, config);
+    let b = vec![1.0; n];
+    let mut x = vec![0.0; n];
+    let opts = SolveOptions::with_tol(1e-8)
+        .max_iters(500)
+        .record_residuals(true)
+        .telemetry(with_telemetry);
+    let r = cg(&mut acc, &b, &mut x, &opts);
+    (x, r)
+}
+
+/// Fast engine: telemetry on/off × host threads 1/4 all produce the
+/// same bits.
+#[test]
+fn fast_platform_outputs_are_bit_identical() {
+    let _guard = telemetry::exclusive_for_tests();
+    let reference = fast_solve(1, false);
+    assert!(reference.1.converged);
+    assert!(reference.1.telemetry.is_none());
+    for (threads, with_telemetry) in [(1, true), (4, false), (4, true)] {
+        let run = fast_solve(threads, with_telemetry);
+        let label = format!("fast threads={threads} telemetry={with_telemetry}");
+        assert_bit_identical(&label, &reference, &run);
+        assert_eq!(run.1.telemetry.is_some(), with_telemetry, "{label}");
+        if let Some(t) = &run.1.telemetry {
+            assert!(t.counters.get(Counter::AdcConversions) > 0, "{label}");
+            assert!(t.counters.get(Counter::SpmvOps) > 0, "{label}");
+            assert!(!t.spans.is_empty(), "{label}");
+        }
+    }
+    telemetry::disable();
+}
+
+fn exact_solve(with_telemetry: bool) -> (Vec<f64>, SolveReport, u64) {
+    let a = poisson2d(10, 10);
+    let n = a.rows();
+    let blocked = BlockedMatrix::block(&a, &BlockingConfig::default());
+    let mut exact = ExactAcceleratorPlatform::new(
+        &blocked,
+        AcceleratorConfig::with_banks(2),
+        ExactOptions {
+            seed: 3,
+            rtn_probability: 2e-5,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let b = vec![1.0; n];
+    let mut x = vec![0.0; n];
+    let opts = SolveOptions::with_tol(1e-9)
+        .max_iters(400)
+        .record_residuals(true)
+        .telemetry(with_telemetry);
+    let r = cg(&mut exact, &b, &mut x, &opts);
+    (x, r, exact.an_corrections)
+}
+
+/// Bit-exact engine with injected RTN upsets: the seeded noise stream —
+/// and therefore every output bit and every AN-code correction — is the
+/// same whether or not the sink is recording.
+#[test]
+fn exact_platform_outputs_are_bit_identical() {
+    let _guard = telemetry::exclusive_for_tests();
+    let (x_ref, r_ref, corrections_ref) = exact_solve(false);
+    assert!(r_ref.converged);
+    let (x, r, corrections) = exact_solve(true);
+    assert_bit_identical("exact telemetry=true", &(x_ref, r_ref), &(x, r.clone()));
+    assert_eq!(corrections, corrections_ref, "AN corrections drifted");
+    let t = r.telemetry.expect("telemetry was requested");
+    // The captured counter delta agrees with the platform's own
+    // lifetime accumulator (one solve, fresh platform).
+    assert_eq!(t.counters.get(Counter::AnCorrections), corrections);
+    assert!(t.counters.get(Counter::AdcConversions) > 0);
+    assert!(t.counters.get(Counter::BiasDebiases) > 0);
+    telemetry::disable();
+}
