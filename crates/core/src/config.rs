@@ -42,6 +42,12 @@ pub struct AcceleratorConfig {
     /// setting. Purely a simulation-host knob — it never affects
     /// modelled accelerator time or energy.
     pub threads: Option<usize>,
+    /// Whether the staged SpMV pipeline overlaps the residual-CSR lane
+    /// with per-cluster compute on the host (`None` = off). The
+    /// `MEMSCI_OVERLAP` environment variable overrides this; results
+    /// are bit-identical either way because the ordered merge runs
+    /// after both lanes finish. Purely a simulation-host knob.
+    pub overlap: Option<bool>,
 }
 
 impl Default for AcceleratorConfig {
@@ -58,6 +64,7 @@ impl Default for AcceleratorConfig {
             gpu_fallback_efficiency: 0.10,
             system_static_power: 60.0,
             threads: None,
+            overlap: None,
         }
     }
 }

@@ -74,6 +74,55 @@ mod tests {
     }
 
     #[test]
+    fn empty_matrix_falls_back_to_the_gpu() {
+        // No non-zeros means zero blocking efficiency, which sits below
+        // any positive fallback threshold: nothing to accelerate.
+        let a = memsci_sparse::Csr::empty(64, 64);
+        let blocked = BlockedMatrix::block(&a, &BlockingConfig::default());
+        assert_eq!(blocked.stats.efficiency(), 0.0);
+        assert_eq!(
+            choose_target(&blocked, &AcceleratorConfig::default()),
+            Target::Gpu
+        );
+    }
+
+    #[test]
+    fn all_residual_matrix_falls_back_to_the_gpu() {
+        // A bare identity never forms a block (one isolated non-zero
+        // per candidate window), so every entry lands on the residual
+        // path and the dispatcher must refuse the crossbars.
+        let a = memsci_sparse::Csr::identity(512);
+        let blocked = BlockedMatrix::block(&a, &BlockingConfig::default());
+        assert_eq!(blocked.stats.nnz_blocked, 0, "identity must not block");
+        assert_eq!(
+            choose_target(&blocked, &AcceleratorConfig::default()),
+            Target::Gpu
+        );
+    }
+
+    #[test]
+    fn threshold_boundary_is_strict() {
+        // The comparison is strictly `<`: a matrix exactly at the
+        // threshold stays on the accelerator, and any threshold above
+        // the measured efficiency forces the GPU.
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = banded(600, 16, 0.9, ValueModel::with_spread(8), &mut rng).to_csr();
+        let blocked = BlockedMatrix::block(&a, &BlockingConfig::default());
+        let eff = blocked.stats.efficiency();
+        assert!(eff > 0.0 && eff <= 1.0);
+        let at = AcceleratorConfig {
+            gpu_fallback_efficiency: eff,
+            ..Default::default()
+        };
+        assert_eq!(choose_target(&blocked, &at), Target::Accelerator);
+        let above = AcceleratorConfig {
+            gpu_fallback_efficiency: f64::from_bits(eff.to_bits() + 1),
+            ..Default::default()
+        };
+        assert_eq!(choose_target(&blocked, &above), Target::Gpu);
+    }
+
+    #[test]
     fn threshold_is_configurable() {
         let mut rng = StdRng::seed_from_u64(3);
         let a = banded(600, 16, 0.9, ValueModel::with_spread(8), &mut rng).to_csr();

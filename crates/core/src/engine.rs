@@ -28,6 +28,7 @@ use memsci_sparse::{BlockedMatrix, Coo, Csr};
 
 use crate::config::AcceleratorConfig;
 use crate::mapping::{map_blocks, Mapping};
+use crate::pipeline::{self, PipelineSpec};
 
 /// Cost and utilization statistics of the most recent sparse MVM.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -105,7 +106,11 @@ impl AcceleratorPlatform {
     pub fn new(blocked: &BlockedMatrix, config: AcceleratorConfig) -> Self {
         let (rows, cols) = blocked.shape();
         assert_eq!(rows, cols, "platform matrices must be square");
-        let mapping = map_blocks(blocked, &config);
+        let _span = memsci_telemetry::span("engine/build");
+        let mapping = {
+            let _g = memsci_telemetry::span(pipeline::STAGE_DECOMPOSE);
+            map_blocks(blocked, &config)
+        };
         Self::from_mapping(blocked, mapping, config)
     }
 
@@ -124,6 +129,7 @@ impl AcceleratorPlatform {
 
         let an_bits = if config.an_enabled { 9 } else { 0 };
         let b = config.cell.bits_per_cell;
+        let _program_span = memsci_telemetry::span(pipeline::STAGE_PROGRAM);
         let clusters: Vec<FastCluster> = mapping
             .clusters
             .iter()
@@ -470,38 +476,53 @@ impl Platform for AcceleratorPlatform {
         assert_eq!(x.len(), self.n, "x length");
         assert_eq!(y.len(), self.n, "y length");
         y.fill(0.0);
-        // Functional result: per-cluster dots plus residual. Clusters
-        // are independent, so their dot products fan out across worker
-        // threads; each task only writes its own buffer.
-        let threads = memsci_exec::worker_count(self.config.threads);
-        let (dots, exec) = memsci_exec::timed(threads, self.clusters.len(), || {
-            memsci_exec::parallel_map(threads, &self.clusters, |_, cluster| {
-                let mut cluster_dots = Vec::with_capacity(cluster.rows.len());
-                for (_, entries) in &cluster.rows {
-                    let mut acc = 0.0;
-                    for &(c, v) in entries {
-                        acc += v * x[cluster.col0 + c as usize];
+        let spec = PipelineSpec::from_config(&self.config);
+        let n = self.n;
+        let clusters = &self.clusters;
+        let residual = &self.residual;
+        // Cluster lane: per-cluster dot products fan out across worker
+        // threads, each task writing only its own buffer. Residual
+        // lane: fresh row sums on the digital path. The ordered merge
+        // folds clusters (storage order) then residual rows into `y`,
+        // so the reduction order never depends on threads or overlap.
+        let (dots, _rbuf, exec) = pipeline::run_stages(
+            &spec,
+            "engine/spmv",
+            clusters.len(),
+            |threads| {
+                memsci_exec::parallel_map(threads, clusters, |_, cluster| {
+                    let mut cluster_dots = Vec::with_capacity(cluster.rows.len());
+                    for (_, entries) in &cluster.rows {
+                        let mut acc = 0.0;
+                        for &(c, v) in entries {
+                            acc += v * x[cluster.col0 + c as usize];
+                        }
+                        cluster_dots.push(acc);
                     }
-                    cluster_dots.push(acc);
+                    cluster_dots
+                })
+            },
+            || {
+                let mut rbuf = vec![0.0; n];
+                residual.spmv(x, &mut rbuf);
+                memsci_telemetry::incr(
+                    memsci_telemetry::Counter::ResidualFlops,
+                    2 * residual.nnz() as u64,
+                );
+                rbuf
+            },
+            |dots, rbuf| {
+                for (cluster, cluster_dots) in clusters.iter().zip(dots) {
+                    for ((lr, _), &acc) in cluster.rows.iter().zip(cluster_dots) {
+                        y[cluster.row0 + *lr as usize] += acc;
+                    }
                 }
-                cluster_dots
-            })
-        });
-        // Serial merge in cluster order: the exact reduction order of
-        // the serial loop, so results are bit-identical at any thread
-        // count.
-        for (cluster, cluster_dots) in self.clusters.iter().zip(&dots) {
-            for ((lr, _), &acc) in cluster.rows.iter().zip(cluster_dots) {
-                y[cluster.row0 + *lr as usize] += acc;
-            }
-        }
-        self.residual.spmv_add(x, y);
-        memsci_telemetry::incr(
-            memsci_telemetry::Counter::ResidualFlops,
-            2 * self.residual.nnz() as u64,
+                for (yr, rv) in y.iter_mut().zip(rbuf) {
+                    *yr += rv;
+                }
+            },
         );
         self.charge_spmv_cost(x, &dots);
-        memsci_telemetry::record_exec("engine/spmv", exec.threads, exec.tasks, exec.wall_seconds);
         self.last_spmv.exec = exec;
     }
 
@@ -511,28 +532,62 @@ impl Platform for AcceleratorPlatform {
         assert_eq!(x.len(), self.n, "x length");
         assert_eq!(y.len(), self.n, "y length");
         y.fill(0.0);
-        let mut dots: Vec<Vec<f64>> = Vec::with_capacity(self.clusters.len());
-        for cluster in &self.clusters {
-            // Functional transpose; cost modelled as a forward MVM over
-            // the mirrored mapping (a deployment would program Aᵀ).
-            for (lr, entries) in &cluster.rows {
-                let xv = x[cluster.row0 + *lr as usize];
-                if xv != 0.0 {
-                    for &(c, v) in entries {
-                        y[cluster.col0 + c as usize] += v * xv;
+        let spec = PipelineSpec::from_config(&self.config);
+        let n = self.n;
+        let clusters = &self.clusters;
+        let residual_t = &self.residual_t;
+        // Functional transpose; cost modelled as a forward MVM over the
+        // mirrored mapping (a deployment would program Aᵀ). Each
+        // cluster scatters into a private column buffer over its own
+        // column range, merged serially in storage order.
+        let (_, _, exec) = pipeline::run_stages(
+            &spec,
+            "engine/spmv_transpose",
+            clusters.len(),
+            |threads| {
+                memsci_exec::parallel_map(threads, clusters, |_, cluster| {
+                    let mut cols = vec![0.0f64; cluster.size];
+                    for (lr, entries) in &cluster.rows {
+                        let xv = x[cluster.row0 + *lr as usize];
+                        if xv != 0.0 {
+                            for &(c, v) in entries {
+                                cols[c as usize] += v * xv;
+                            }
+                        }
+                    }
+                    cols
+                })
+            },
+            || {
+                let mut rbuf = vec![0.0; n];
+                residual_t.spmv(x, &mut rbuf);
+                memsci_telemetry::incr(
+                    memsci_telemetry::Counter::ResidualFlops,
+                    2 * residual_t.nnz() as u64,
+                );
+                rbuf
+            },
+            |cols, rbuf| {
+                for (cluster, cluster_cols) in clusters.iter().zip(cols) {
+                    for (c, &v) in cluster_cols.iter().enumerate() {
+                        if v != 0.0 {
+                            y[cluster.col0 + c] += v;
+                        }
                     }
                 }
-            }
-            dots.push(vec![1.0; cluster.rows.len()]);
-        }
-        self.residual_t.spmv_add(x, y);
-        memsci_telemetry::incr(
-            memsci_telemetry::Counter::ResidualFlops,
-            2 * self.residual_t.nnz() as u64,
+                for (yr, rv) in y.iter_mut().zip(rbuf) {
+                    *yr += rv;
+                }
+            },
         );
         // Approximate transpose dots by forward magnitudes for costing.
-        let dots_est: Vec<Vec<f64>> = dots;
+        let dots_est: Vec<Vec<f64>> = self
+            .clusters
+            .iter()
+            .map(|c| vec![1.0; c.rows.len()])
+            .collect();
         self.charge_spmv_cost(x, &dots_est);
+        self.last_spmv.exec = exec;
     }
 
     fn dot(&mut self, x: &[f64], y: &[f64]) -> f64 {
@@ -652,6 +707,37 @@ mod tests {
             let exec = acc.last_spmv().exec;
             assert_eq!(exec.threads, threads);
             assert!(exec.tasks > 0 && exec.wall_seconds >= 0.0);
+        }
+    }
+
+    #[test]
+    fn overlap_and_threads_are_bit_identical() {
+        let a = banded(700, 14, 0.7, ValueModel::with_spread(12), &mut rng()).to_csr();
+        let x: Vec<f64> = (0..700).map(|i| (i as f64 * 0.19).sin() * 3.0).collect();
+        let mut reference: Option<(Vec<u64>, Vec<u64>, u64, u64)> = None;
+        for overlap in [false, true] {
+            for threads in [1, 2, 4] {
+                let mut cfg = AcceleratorConfig::with_banks(4);
+                cfg.threads = Some(threads);
+                cfg.overlap = Some(overlap);
+                let mut acc = accelerate(&a, cfg);
+                let mut y = vec![0.0; 700];
+                acc.spmv(&x, &mut y);
+                let mut yt = vec![0.0; 700];
+                acc.spmv_transpose(&x, &mut yt);
+                let got = (
+                    y.iter().map(|v| v.to_bits()).collect::<Vec<u64>>(),
+                    yt.iter().map(|v| v.to_bits()).collect::<Vec<u64>>(),
+                    acc.elapsed_seconds().to_bits(),
+                    acc.energy_joules().to_bits(),
+                );
+                match &reference {
+                    None => reference = Some(got),
+                    Some(want) => {
+                        assert_eq!(&got, want, "threads={threads} overlap={overlap}");
+                    }
+                }
+            }
         }
     }
 

@@ -18,6 +18,11 @@ use rand::SeedableRng;
 
 use crate::config::AcceleratorConfig;
 use crate::mapping::map_blocks;
+use crate::pipeline::{self, PipelineSpec};
+
+/// Salt separating the per-cluster read-noise streams from the build
+/// (programming) stream derived from the same user seed.
+const RNG_STREAM_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// Options for the exact platform.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -45,6 +50,10 @@ struct ExactCluster {
     col0: usize,
     bank: usize,
     cluster: Cluster,
+    /// Private read-noise stream (RTN, absent-cell noise), seeded from
+    /// the user seed and the cluster's build index so results never
+    /// depend on which worker thread simulates the cluster.
+    rng: StdRng,
 }
 
 impl std::fmt::Debug for ExactCluster {
@@ -57,13 +66,35 @@ impl std::fmt::Debug for ExactCluster {
     }
 }
 
+/// One bank's clusters — the sharding unit of the cluster lane,
+/// mirroring the hardware's bank-level concurrency.
+#[derive(Debug)]
+struct ExactBank {
+    bank: usize,
+    clusters: Vec<ExactCluster>,
+}
+
+/// What one simulated cluster MVM produced, carried from the cluster
+/// lane to the ordered merge and the cost accounting.
+struct ClusterOutcome {
+    bank: usize,
+    row0: usize,
+    y: Vec<f64>,
+    energy: f64,
+    time: f64,
+    an_corrections: u64,
+    an_detections: u64,
+}
+
 /// The bit-exact accelerator platform.
 #[derive(Debug)]
 pub struct ExactAcceleratorPlatform {
     config: AcceleratorConfig,
     opts: ExactOptions,
     n: usize,
-    clusters: Vec<ExactCluster>,
+    /// Clusters grouped by owning bank (the cluster lane's shards),
+    /// bank-major in ascending bank order.
+    banks: Vec<ExactBank>,
     residual: Csr,
     /// Explicit transpose of the full operator (blocks + residual,
     /// ideal values), backing [`Platform::spmv_transpose`].
@@ -74,7 +105,6 @@ pub struct ExactAcceleratorPlatform {
     bank_transpose_local: Vec<usize>,
     bank_transpose_remote: Vec<usize>,
     bank_elems: Vec<usize>,
-    rng: StdRng,
     time: f64,
     energy: f64,
     /// AN-code corrections observed so far.
@@ -103,7 +133,15 @@ impl ExactAcceleratorPlatform {
         let (rows, cols) = blocked.shape();
         assert_eq!(rows, cols, "platform matrices must be square");
         let n = rows;
-        let mapping = map_blocks(blocked, &config);
+        let _build_span = memsci_telemetry::span("exact/build");
+        let mapping = {
+            let _g = memsci_telemetry::span(pipeline::STAGE_DECOMPOSE);
+            map_blocks(blocked, &config)
+        };
+        // Programming consumes the build stream serially (cluster order
+        // matters for reproducibility); each programmed cluster then
+        // receives its own salted read-noise stream so the MVM lane can
+        // shard across workers without sharing a generator.
         let mut rng = StdRng::seed_from_u64(opts.seed);
         let mut residual_coo = blocked.residual.to_coo();
         for &(r, c, v) in &mapping.extra_residual {
@@ -111,6 +149,7 @@ impl ExactAcceleratorPlatform {
                 .push(r as usize, c as usize, v)
                 .expect("in range");
         }
+        let _program_span = memsci_telemetry::span(pipeline::STAGE_PROGRAM);
         let mut clusters = Vec::new();
         for load in &mapping.clusters {
             if load.entries.is_empty() {
@@ -134,13 +173,28 @@ impl ExactAcceleratorPlatform {
                     )
                     .expect("in range");
             }
+            let stream = memsci_exec::task_seed(opts.seed ^ RNG_STREAM_SALT, clusters.len() as u64);
             clusters.push(ExactCluster {
                 row0: load.row0 as usize,
                 col0: load.col0 as usize,
                 bank: load.bank,
                 cluster: outcome.cluster,
+                rng: StdRng::seed_from_u64(stream),
             });
         }
+        drop(_program_span);
+        // Group the cluster inventory by owning bank: the cluster lane
+        // shards over banks, and the ordered merge walks this fixed
+        // bank-major order regardless of thread count.
+        let mut by_bank: std::collections::BTreeMap<usize, Vec<ExactCluster>> =
+            std::collections::BTreeMap::new();
+        for ec in clusters {
+            by_bank.entry(ec.bank).or_default().push(ec);
+        }
+        let banks: Vec<ExactBank> = by_bank
+            .into_iter()
+            .map(|(bank, clusters)| ExactBank { bank, clusters })
+            .collect();
         let residual = residual_coo.to_csr();
         // Diagonal of the full matrix (blocks + residual), kept for the
         // Platform::diagonal accessor.
@@ -192,7 +246,7 @@ impl ExactAcceleratorPlatform {
             config,
             opts,
             n,
-            clusters,
+            banks,
             residual,
             transpose,
             diag,
@@ -201,7 +255,6 @@ impl ExactAcceleratorPlatform {
             bank_transpose_local,
             bank_transpose_remote,
             bank_elems,
-            rng,
             time: 0.0,
             energy: 0.0,
             an_corrections: 0,
@@ -211,7 +264,7 @@ impl ExactAcceleratorPlatform {
 
     /// Number of programmed clusters.
     pub fn cluster_count(&self) -> usize {
-        self.clusters.len()
+        self.banks.iter().map(|b| b.clusters.len()).sum()
     }
 
     /// Non-zeros on the residual path.
@@ -243,41 +296,85 @@ impl Platform for ExactAcceleratorPlatform {
         assert_eq!(x.len(), self.n, "x length");
         assert_eq!(y.len(), self.n, "y length");
         y.fill(0.0);
+        let spec = PipelineSpec::from_config(&self.config);
+        let n = self.n;
+        let mvm_opts = self.opts.mvm;
+        let banks = &mut self.banks;
+        let residual = &self.residual;
+        let tasks = banks.len();
+        let (bank_results, _rbuf, _exec) = pipeline::run_stages(
+            &spec,
+            "exact/spmv",
+            tasks,
+            |threads| {
+                memsci_exec::parallel_map_mut(threads, banks, |_, shard| {
+                    let mut x_pad = Vec::new();
+                    shard
+                        .clusters
+                        .iter_mut()
+                        .map(|ec| {
+                            let size = ec.cluster.n();
+                            let hi = (ec.col0 + size).min(n);
+                            let x_block: &[f64] = if hi - ec.col0 == size {
+                                &x[ec.col0..hi]
+                            } else {
+                                x_pad.clear();
+                                x_pad.extend_from_slice(&x[ec.col0..hi]);
+                                x_pad.resize(size, 0.0);
+                                &x_pad
+                            };
+                            let res = ec
+                                .cluster
+                                .mvm(x_block, &mvm_opts, &mut ec.rng)
+                                .expect("vector values are finite");
+                            ClusterOutcome {
+                                bank: shard.bank,
+                                row0: ec.row0,
+                                y: res.y,
+                                energy: res.energy,
+                                time: res.time,
+                                an_corrections: res.an_corrections,
+                                an_detections: res.an_detections,
+                            }
+                        })
+                        .collect::<Vec<_>>()
+                })
+            },
+            || {
+                let mut rbuf = vec![0.0f64; n];
+                residual.spmv(x, &mut rbuf);
+                memsci_telemetry::incr(
+                    memsci_telemetry::Counter::ResidualFlops,
+                    2 * residual.nnz() as u64,
+                );
+                rbuf
+            },
+            |bank_results, rbuf| {
+                // Fixed merge order: banks ascending, clusters in build
+                // order within each bank, then the residual row sums.
+                for outcome in bank_results.iter().flatten() {
+                    for (r, &v) in outcome.y.iter().enumerate() {
+                        if v != 0.0 && outcome.row0 + r < n {
+                            y[outcome.row0 + r] += v;
+                        }
+                    }
+                }
+                for (yr, rv) in y.iter_mut().zip(rbuf) {
+                    *yr += rv;
+                }
+            },
+        );
+        memsci_telemetry::incr(memsci_telemetry::Counter::BankShardTasks, tasks as u64);
         let mut bank_cluster_time = vec![0.0f64; self.config.banks];
         let mut bank_interrupts = vec![0usize; self.config.banks];
         let mut energy = 0.0f64;
-        let mut x_pad = Vec::new();
-        for ec in &self.clusters {
-            let size = ec.cluster.n();
-            let hi = (ec.col0 + size).min(self.n);
-            let x_block: &[f64] = if hi - ec.col0 == size {
-                &x[ec.col0..hi]
-            } else {
-                x_pad.clear();
-                x_pad.extend_from_slice(&x[ec.col0..hi]);
-                x_pad.resize(size, 0.0);
-                &x_pad
-            };
-            let res = ec
-                .cluster
-                .mvm(x_block, &self.opts.mvm, &mut self.rng)
-                .expect("vector values are finite");
-            for (r, &v) in res.y.iter().enumerate() {
-                if v != 0.0 && ec.row0 + r < self.n {
-                    y[ec.row0 + r] += v;
-                }
-            }
-            energy += res.energy;
-            bank_cluster_time[ec.bank] = bank_cluster_time[ec.bank].max(res.time);
-            bank_interrupts[ec.bank] += 1;
-            self.an_corrections += res.an_corrections;
-            self.an_detections += res.an_detections;
+        for outcome in bank_results.iter().flatten() {
+            energy += outcome.energy;
+            bank_cluster_time[outcome.bank] = bank_cluster_time[outcome.bank].max(outcome.time);
+            bank_interrupts[outcome.bank] += 1;
+            self.an_corrections += outcome.an_corrections;
+            self.an_detections += outcome.an_detections;
         }
-        self.residual.spmv_add(x, y);
-        memsci_telemetry::incr(
-            memsci_telemetry::Counter::ResidualFlops,
-            2 * self.residual.nnz() as u64,
-        );
         let local = self.config.local;
         let mut worst = 0.0f64;
         for bank in 0..self.config.banks {
@@ -303,10 +400,18 @@ impl Platform for ExactAcceleratorPlatform {
         // ideal operator, with every non-zero charged at residual-path
         // rates. BiCG therefore pairs a noisy forward operator with an
         // ideal transpose, which the method tolerates.
-        self.transpose.spmv(x, y);
-        memsci_telemetry::incr(
-            memsci_telemetry::Counter::ResidualFlops,
-            2 * self.transpose.nnz() as u64,
+        let transpose = &self.transpose;
+        pipeline::run_residual_only(
+            || {
+                let mut rbuf = vec![0.0f64; transpose.rows()];
+                transpose.spmv(x, &mut rbuf);
+                memsci_telemetry::incr(
+                    memsci_telemetry::Counter::ResidualFlops,
+                    2 * transpose.nnz() as u64,
+                );
+                rbuf
+            },
+            |rbuf| y.copy_from_slice(rbuf),
         );
         let local = self.config.local;
         let mut worst = 0.0f64;
@@ -463,6 +568,54 @@ mod tests {
             rep.iterations,
             rep_ref.iterations
         );
+    }
+
+    #[test]
+    fn overlap_and_threads_are_bit_identical_exact() {
+        // Both the deterministic fast path and the noisy path (which
+        // draws from the per-cluster read-noise streams) must produce
+        // bitwise-identical results under every host execution mode:
+        // merge order is fixed bank-major and every cluster owns its
+        // own RNG stream keyed by build index, not worker thread.
+        for rtn in [0.0, 0.02] {
+            let a = poisson2d(12, 12);
+            let blocked = BlockedMatrix::block(&a, &BlockingConfig::default());
+            let n = a.rows();
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.17).cos() + 0.8).collect();
+            let mut reference: Option<(Vec<u64>, Vec<u64>)> = None;
+            for overlap in [false, true] {
+                for threads in [1, 2, 4] {
+                    let mut config = AcceleratorConfig::with_banks(4);
+                    config.threads = Some(threads);
+                    config.overlap = Some(overlap);
+                    let mut acc = ExactAcceleratorPlatform::new(
+                        &blocked,
+                        config,
+                        ExactOptions {
+                            seed: 7,
+                            rtn_probability: rtn,
+                            ..Default::default()
+                        },
+                    )
+                    .unwrap();
+                    assert!(acc.banks.len() > 1, "want several bank shards");
+                    let mut y = vec![0.0; n];
+                    let mut yt = vec![0.0; n];
+                    acc.spmv(&x, &mut y);
+                    acc.spmv_transpose(&x, &mut yt);
+                    let bits = (
+                        y.iter().map(|v| v.to_bits()).collect::<Vec<u64>>(),
+                        yt.iter().map(|v| v.to_bits()).collect::<Vec<u64>>(),
+                    );
+                    match &reference {
+                        None => reference = Some(bits),
+                        Some(want) => {
+                            assert_eq!(&bits, want, "rtn={rtn} threads={threads} overlap={overlap}")
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

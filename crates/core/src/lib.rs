@@ -17,7 +17,11 @@
 //! * [`area`] — the 539 mm² system area model (§VIII-C);
 //! * [`dispatch`] — the accelerator-vs-GPU decision (§VIII-A);
 //! * [`multi`] — row-striped execution across several accelerators
-//!   (§VI).
+//!   (§VI);
+//! * [`pipeline`] — the staged SpMV skeleton (decompose → program →
+//!   cluster-MVM → residual-CSR → ordered merge) every platform's
+//!   kernels run through, with per-stage spans and the
+//!   `MEMSCI_OVERLAP` lane-overlap knob.
 //!
 //! # Examples
 //!
@@ -50,6 +54,7 @@ pub mod exact;
 pub mod mapping;
 pub mod multi;
 pub mod overhead;
+pub mod pipeline;
 
 pub use config::{AcceleratorConfig, LocalTimings};
 pub use dispatch::Target;
@@ -61,3 +66,4 @@ pub use memsci_exec::ExecStats;
 pub use memsci_telemetry as telemetry;
 pub use multi::MultiAcceleratorPlatform;
 pub use overhead::SetupCost;
+pub use pipeline::PipelineSpec;

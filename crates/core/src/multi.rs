@@ -16,6 +16,7 @@ use memsci_sparse::{Coo, Csr};
 
 use crate::config::AcceleratorConfig;
 use crate::engine::AcceleratorPlatform;
+use crate::pipeline::{self, PipelineSpec};
 
 /// Several accelerators jointly solving one system.
 #[derive(Debug, Clone)]
@@ -97,9 +98,10 @@ impl MultiAcceleratorPlatform {
         self.last_exec
     }
 
-    /// Runs one kernel on every device in parallel, each into its own
-    /// stripe buffer, then merges serially in device order — the exact
-    /// reduction order of a serial device loop.
+    /// Runs one kernel on every device through the staged pipeline's
+    /// cluster lane (the devices are the shards; each runs its own
+    /// residual pass internally), then merges serially in device order —
+    /// the exact reduction order of a serial device loop.
     fn device_kernel(
         &mut self,
         x: &[f64],
@@ -110,26 +112,39 @@ impl MultiAcceleratorPlatform {
         assert_eq!(y.len(), self.n, "y length");
         y.fill(0.0);
         let n = self.n;
-        let threads = memsci_exec::worker_count(self.threads);
-        let (results, exec) = memsci_exec::timed(threads, self.devices.len(), || {
-            memsci_exec::parallel_map_mut(threads, &mut self.devices, |_, (_, dev)| {
-                let t0 = dev.elapsed_seconds();
-                let e0 = dev.energy_joules();
-                let mut buf = vec![0.0; n];
-                kernel(dev, x, &mut buf);
-                (buf, dev.elapsed_seconds() - t0, dev.energy_joules() - e0)
-            })
-        });
-        // Devices run in parallel: wall time is the slowest stripe plus
-        // the synchronization exchange; energies add.
+        let spec = PipelineSpec {
+            threads: memsci_exec::worker_count(self.threads),
+            overlap: false,
+        };
+        let devices = &mut self.devices;
         let mut worst = 0.0f64;
-        for (buf, dt, de) in &results {
-            for (yi, bi) in y.iter_mut().zip(buf) {
-                *yi += bi;
-            }
-            worst = worst.max(*dt);
-            self.energy += de;
-        }
+        let mut energy = 0.0f64;
+        let (_, exec) = pipeline::run_cluster_only(
+            &spec,
+            "multi/device_kernel",
+            devices.len(),
+            |threads| {
+                memsci_exec::parallel_map_mut(threads, devices, |_, (_, dev)| {
+                    let t0 = dev.elapsed_seconds();
+                    let e0 = dev.energy_joules();
+                    let mut buf = vec![0.0; n];
+                    kernel(dev, x, &mut buf);
+                    (buf, dev.elapsed_seconds() - t0, dev.energy_joules() - e0)
+                })
+            },
+            |results| {
+                // Devices run in parallel: wall time is the slowest
+                // stripe plus the synchronization exchange; energies add.
+                for (buf, dt, de) in results {
+                    for (yi, bi) in y.iter_mut().zip(buf) {
+                        *yi += bi;
+                    }
+                    worst = worst.max(*dt);
+                    energy += de;
+                }
+            },
+        );
+        self.energy += energy;
         self.time += worst + self.sync_time;
         self.last_exec = exec;
     }

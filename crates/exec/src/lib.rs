@@ -38,6 +38,11 @@ use std::time::Instant;
 /// a warning.
 pub const THREADS_ENV: &str = "MEMSCI_THREADS";
 
+/// Environment variable overriding lane overlap for every staged
+/// kernel pipeline (`1`/`on`/`true`/`yes` or `0`/`off`/`false`/`no`).
+/// Invalid values are ignored with a warning.
+pub const OVERLAP_ENV: &str = "MEMSCI_OVERLAP";
+
 /// Wall-clock statistics of one parallel section.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ExecStats {
@@ -109,6 +114,86 @@ pub fn worker_count_from(env: Option<&str>, configured: Option<usize>) -> usize 
         }
     }
     configured.unwrap_or_else(available_threads).max(1)
+}
+
+/// Why an overlap string was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OverlapParseError(pub String);
+
+impl fmt::Display for OverlapParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "`{}` is not an overlap switch (1/on/true or 0/off/false)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for OverlapParseError {}
+
+/// Parses an overlap switch: `1`/`on`/`true`/`yes` enable,
+/// `0`/`off`/`false`/`no` disable (case-insensitive).
+///
+/// # Errors
+///
+/// Returns [`OverlapParseError`] for anything else.
+pub fn parse_overlap(s: &str) -> Result<bool, OverlapParseError> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "1" | "on" | "true" | "yes" => Ok(true),
+        "0" | "off" | "false" | "no" => Ok(false),
+        _ => Err(OverlapParseError(s.to_string())),
+    }
+}
+
+/// Resolves whether two-lane overlap is enabled: the
+/// [`MEMSCI_OVERLAP`](OVERLAP_ENV) environment variable if set and
+/// valid, else the caller's configured value, else off. Overlap never
+/// changes results — it only runs the two lanes of a staged kernel on
+/// different host threads.
+pub fn overlap_enabled(configured: Option<bool>) -> bool {
+    let env = std::env::var(OVERLAP_ENV).ok();
+    overlap_from(env.as_deref(), configured)
+}
+
+/// [`overlap_enabled`] with the environment value passed explicitly
+/// (testable without mutating process state).
+pub fn overlap_from(env: Option<&str>, configured: Option<bool>) -> bool {
+    if let Some(s) = env {
+        match parse_overlap(s) {
+            Ok(v) => return v,
+            Err(e) => eprintln!("warning: ignoring {OVERLAP_ENV}: {e}"),
+        }
+    }
+    configured.unwrap_or(false)
+}
+
+/// Runs two independent lanes and returns both results.
+///
+/// With `overlap` set, the secondary lane runs on a scoped thread while
+/// the primary lane runs on the caller's thread; otherwise both run
+/// serially (primary first). Either way the caller receives
+/// `(primary, secondary)` and performs any merge itself **after** both
+/// lanes complete, so the reduction order — and therefore every bit of
+/// the result — is independent of the overlap setting.
+pub fn overlap2<RA, RB>(
+    overlap: bool,
+    primary: impl FnOnce() -> RA + Send,
+    secondary: impl FnOnce() -> RB + Send,
+) -> (RA, RB)
+where
+    RA: Send,
+    RB: Send,
+{
+    if !overlap {
+        return (primary(), secondary());
+    }
+    std::thread::scope(|s| {
+        let handle = s.spawn(secondary);
+        let ra = primary();
+        let rb = handle.join().expect("overlap lane panicked");
+        (ra, rb)
+    })
 }
 
 /// Deterministic per-task RNG seed: `base ⊕ index`.
@@ -274,6 +359,39 @@ mod tests {
         // Nothing configured: the host's parallelism, at least 1.
         assert!(worker_count_from(None, None) >= 1);
         assert!(worker_count_from(Some("nope"), None) >= 1);
+    }
+
+    #[test]
+    fn overlap_parse_and_resolution() {
+        assert_eq!(parse_overlap("1"), Ok(true));
+        assert_eq!(parse_overlap(" ON "), Ok(true));
+        assert_eq!(parse_overlap("true"), Ok(true));
+        assert_eq!(parse_overlap("0"), Ok(false));
+        assert_eq!(parse_overlap("off"), Ok(false));
+        assert!(parse_overlap("maybe").is_err());
+        // Valid env wins over the configured value.
+        assert!(overlap_from(Some("1"), Some(false)));
+        assert!(!overlap_from(Some("0"), Some(true)));
+        // Invalid env falls through; default is off.
+        assert!(overlap_from(Some("junk"), Some(true)));
+        assert!(!overlap_from(Some("junk"), None));
+        assert!(overlap_from(None, Some(true)));
+        assert!(!overlap_from(None, None));
+    }
+
+    #[test]
+    fn overlap2_returns_both_lanes_in_both_modes() {
+        for overlap in [false, true] {
+            let items: Vec<f64> = (0..64).map(|i| (i as f64 * 0.13).sin()).collect();
+            let (a, b) = overlap2(
+                overlap,
+                || items.iter().map(|v| v * 2.0).collect::<Vec<f64>>(),
+                || items.iter().sum::<f64>(),
+            );
+            assert_eq!(a.len(), 64, "overlap={overlap}");
+            let want: f64 = items.iter().sum();
+            assert_eq!(b.to_bits(), want.to_bits(), "overlap={overlap}");
+        }
     }
 
     #[test]

@@ -71,6 +71,7 @@ fn bicg_inner<P: Platform + ?Sized>(
     let mut res = platform.norm(&r) / b_norm;
 
     for _ in 0..opts.max_iters {
+        let _iter = memsci_telemetry::span("iter");
         if opts.record_residuals {
             report.residual_history.push(res);
         }

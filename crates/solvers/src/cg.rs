@@ -73,6 +73,7 @@ fn cg_inner<P: Platform + ?Sized>(
     let mut restarts_left = 32usize;
 
     for iter in 0..opts.max_iters {
+        let _iter = memsci_telemetry::span("iter");
         if iter > 0 && iter % REFRESH_INTERVAL == 0 {
             if x.iter().any(|v| !v.is_finite()) {
                 break; // the iterate is lost; report non-convergence

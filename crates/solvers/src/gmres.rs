@@ -97,6 +97,7 @@ fn gmres_inner<P: Platform + ?Sized>(
             if report.iterations >= opts.max_iters {
                 break;
             }
+            let _iter = memsci_telemetry::span("iter");
             let mut w = vec![0.0; n];
             platform.spmv(&basis[k], &mut w);
             report.iterations += 1;

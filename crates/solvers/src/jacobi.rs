@@ -71,6 +71,7 @@ fn jacobi_inner<P: Platform + ?Sized>(
     let mut r = vec![0.0; n];
     let mut res = f64::INFINITY;
     for _ in 0..opts.max_iters {
+        let _iter = memsci_telemetry::span("iter");
         // r = b − A·x
         platform.spmv(x, &mut r);
         platform.axpby(1.0, b, -1.0, &mut r);

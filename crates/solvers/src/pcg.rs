@@ -86,6 +86,7 @@ fn pcg_jacobi_inner<P: Platform + ?Sized>(
     let mut res = platform.norm(&r) / b_norm;
 
     for _ in 0..opts.max_iters {
+        let _iter = memsci_telemetry::span("iter");
         if opts.record_residuals {
             report.residual_history.push(res);
         }

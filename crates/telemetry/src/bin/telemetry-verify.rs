@@ -1,25 +1,33 @@
 //! Validates a telemetry run manifest against the current schema.
 //!
 //! ```text
-//! telemetry-verify <manifest.json> [--require-nonzero c1,c2,...] [--quiet]
+//! telemetry-verify <manifest.json> [--require-nonzero c1,c2,...]
+//!                  [--invariants] [--diff-solves other.json] [--quiet]
 //! ```
 //!
-//! Exits 0 when the manifest parses, matches schema version 1, and
-//! every `--require-nonzero` counter is strictly positive; exits 1 with
-//! a diagnostic otherwise. Used by `scripts/check.sh` to gate the smoke
-//! repro run.
+//! Exits 0 when the manifest parses, matches schema version 1, every
+//! `--require-nonzero` counter is strictly positive, the cross-counter
+//! physical invariants hold (`--invariants`), and the solve outcomes
+//! are bitwise identical to the comparison manifest (`--diff-solves`);
+//! exits 1 with a diagnostic otherwise. Used by `scripts/check.sh` to
+//! gate the smoke repro run and the overlap/threads determinism matrix.
 
 use memsci_telemetry::json::Json;
-use memsci_telemetry::{validate_manifest, Counter};
+use memsci_telemetry::{check_invariants, diff_solves, validate_manifest, Counter};
 
 fn usage() -> ! {
-    eprintln!("usage: telemetry-verify <manifest.json> [--require-nonzero c1,c2,...] [--quiet]");
+    eprintln!(
+        "usage: telemetry-verify <manifest.json> [--require-nonzero c1,c2,...] \
+         [--invariants] [--diff-solves other.json] [--quiet]"
+    );
     std::process::exit(2);
 }
 
 fn main() {
     let mut path: Option<String> = None;
     let mut required: Vec<String> = Vec::new();
+    let mut invariants = false;
+    let mut diff_path: Option<String> = None;
     let mut quiet = false;
 
     let mut args = std::env::args().skip(1);
@@ -34,6 +42,8 @@ fn main() {
                         .map(String::from),
                 );
             }
+            "--invariants" => invariants = true,
+            "--diff-solves" => diff_path = Some(args.next().unwrap_or_else(|| usage())),
             "--quiet" => quiet = true,
             "--help" | "-h" => usage(),
             _ if path.is_none() => path = Some(arg),
@@ -83,6 +93,34 @@ fn main() {
     }
     if failed {
         std::process::exit(1);
+    }
+
+    if invariants {
+        if let Err(e) = check_invariants(&doc) {
+            eprintln!("telemetry-verify: {path}: invariant violated: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    if let Some(other_path) = &diff_path {
+        let other_text = match std::fs::read_to_string(other_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("telemetry-verify: cannot read {other_path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let other = match validate_manifest(&other_text) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("telemetry-verify: {other_path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        if let Err(e) = diff_solves(&doc, &other) {
+            eprintln!("telemetry-verify: {path} vs {other_path}: {e}");
+            std::process::exit(1);
+        }
     }
 
     if !quiet {

@@ -64,10 +64,16 @@ pub enum Counter {
     /// Warnings routed through [`crate::warn`] (e.g. `geometric_mean`
     /// skipping non-positive values).
     Warnings,
+    /// Staged kernels that ran their cluster and residual lanes
+    /// overlapped on separate host threads (`MEMSCI_OVERLAP`).
+    OverlapKernels,
+    /// Per-bank shard tasks dispatched by the exact engine's cluster
+    /// lane (one per populated bank per kernel).
+    BankShardTasks,
 }
 
 /// Number of counters in the catalog.
-pub const COUNTER_COUNT: usize = 21;
+pub const COUNTER_COUNT: usize = 23;
 
 impl Counter {
     /// Every counter, in catalog (manifest) order.
@@ -93,6 +99,8 @@ impl Counter {
         Counter::AxpbyOps,
         Counter::SolveIterations,
         Counter::Warnings,
+        Counter::OverlapKernels,
+        Counter::BankShardTasks,
     ];
 
     /// Stable snake-case name used in manifests and reports.
@@ -119,6 +127,8 @@ impl Counter {
             Counter::AxpbyOps => "axpby_ops",
             Counter::SolveIterations => "solve_iterations",
             Counter::Warnings => "warnings",
+            Counter::OverlapKernels => "overlap_kernels",
+            Counter::BankShardTasks => "bank_shard_tasks",
         }
     }
 

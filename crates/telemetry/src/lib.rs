@@ -26,7 +26,8 @@ mod span;
 
 pub use counters::{incr, Counter, HwCounters, COUNTER_COUNT};
 pub use manifest::{
-    build_manifest, validate_manifest, write_manifest, ManifestError, SCHEMA_NAME, SCHEMA_VERSION,
+    build_manifest, check_invariants, diff_solves, validate_manifest, write_manifest,
+    ManifestError, SCHEMA_NAME, SCHEMA_VERSION,
 };
 pub use span::{span, Span, SpanStat};
 

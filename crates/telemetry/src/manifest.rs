@@ -239,6 +239,137 @@ pub fn validate_manifest(text: &str) -> Result<Json, ManifestError> {
     Ok(doc)
 }
 
+fn counter_value(doc: &Json, name: &str) -> u64 {
+    doc.get("counters")
+        .and_then(|c| c.get(name))
+        .and_then(Json::as_u64)
+        .unwrap_or(0)
+}
+
+/// Checks cross-counter physical invariants of a validated manifest —
+/// relationships the hardware model guarantees regardless of workload:
+///
+/// * headstart hits are a subset of performed ADC conversions;
+/// * every crossbar slice application converts (or skips) at least one
+///   row and at most a full 512-row column set;
+/// * vector slices applied never exceed total slice applications
+///   (each activation applies one slice across ≥1 bit group);
+/// * residual flops come in multiply-add pairs, so the count is even.
+///
+/// # Errors
+///
+/// Returns [`ManifestError`] naming the first violated invariant.
+pub fn check_invariants(doc: &Json) -> Result<(), ManifestError> {
+    let conversions = counter_value(doc, "adc_conversions");
+    let skipped = counter_value(doc, "adc_conversions_skipped");
+    let headstart = counter_value(doc, "adc_headstart_hits");
+    if headstart > conversions {
+        return Err(fail(format!(
+            "adc_headstart_hits ({headstart}) exceeds adc_conversions ({conversions})"
+        )));
+    }
+    let activations: u64 = [
+        "xbar_activations_512",
+        "xbar_activations_256",
+        "xbar_activations_128",
+        "xbar_activations_64",
+        "xbar_activations_other",
+    ]
+    .iter()
+    .map(|n| counter_value(doc, n))
+    .sum();
+    let outcomes = conversions + skipped;
+    if activations > 0 {
+        if outcomes < activations {
+            return Err(fail(format!(
+                "{activations} slice activations produced only {outcomes} conversion outcomes"
+            )));
+        }
+        if outcomes > activations.saturating_mul(512) {
+            return Err(fail(format!(
+                "{outcomes} conversion outcomes from {activations} activations exceeds 512 rows each"
+            )));
+        }
+    } else if outcomes > 0 {
+        return Err(fail(format!(
+            "{outcomes} conversion outcomes with zero slice activations"
+        )));
+    }
+    let slices_applied = counter_value(doc, "slices_applied");
+    if slices_applied > activations {
+        return Err(fail(format!(
+            "slices_applied ({slices_applied}) exceeds total crossbar activations ({activations})"
+        )));
+    }
+    let residual_flops = counter_value(doc, "residual_flops");
+    if !residual_flops.is_multiple_of(2) {
+        return Err(fail(format!(
+            "residual_flops ({residual_flops}) must be even (multiply-add pairs)"
+        )));
+    }
+    Ok(())
+}
+
+/// Compares the solve outcomes of two validated manifests for bitwise
+/// equality: same solve count and, per solve, identical label, solver,
+/// iteration count, convergence flag, and bit-identical residual, time,
+/// and energy (floats are compared by [`f64::to_bits`]; the JSON writer
+/// round-trips f64 exactly, so this detects any numeric divergence).
+///
+/// # Errors
+///
+/// Returns [`ManifestError`] locating the first divergence.
+pub fn diff_solves(a: &Json, b: &Json) -> Result<(), ManifestError> {
+    let sa = a
+        .get("solves")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| fail("left manifest has no `solves` array"))?;
+    let sb = b
+        .get("solves")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| fail("right manifest has no `solves` array"))?;
+    if sa.len() != sb.len() {
+        return Err(fail(format!(
+            "solve count differs: {} vs {}",
+            sa.len(),
+            sb.len()
+        )));
+    }
+    for (i, (x, y)) in sa.iter().zip(sb).enumerate() {
+        for key in ["label", "solver"] {
+            let vx = x.get(key).and_then(Json::as_str);
+            let vy = y.get(key).and_then(Json::as_str);
+            if vx != vy {
+                return Err(fail(format!("solves[{i}].{key} differs: {vx:?} vs {vy:?}")));
+            }
+        }
+        let ix = x.get("iterations").and_then(Json::as_u64);
+        let iy = y.get("iterations").and_then(Json::as_u64);
+        if ix != iy {
+            return Err(fail(format!(
+                "solves[{i}].iterations differs: {ix:?} vs {iy:?}"
+            )));
+        }
+        let cx = x.get("converged").and_then(Json::as_bool);
+        let cy = y.get("converged").and_then(Json::as_bool);
+        if cx != cy {
+            return Err(fail(format!(
+                "solves[{i}].converged differs: {cx:?} vs {cy:?}"
+            )));
+        }
+        for key in ["relative_residual", "time_seconds", "energy_joules"] {
+            let vx = x.get(key).and_then(Json::as_f64);
+            let vy = y.get(key).and_then(Json::as_f64);
+            if vx.map(f64::to_bits) != vy.map(f64::to_bits) {
+                return Err(fail(format!(
+                    "solves[{i}].{key} differs bitwise: {vx:?} vs {vy:?}"
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Renders a manifest and writes it to `path`.
 ///
 /// # Errors
@@ -336,6 +467,94 @@ mod tests {
         let text = build_manifest(&snap, &[]).to_string_pretty();
         let broken = text.replace("\"schema_version\": 1", "\"schema_version\": 99");
         assert!(validate_manifest(&broken).is_err());
+    }
+
+    fn manifest_with_counters(pairs: &[(&str, u64)]) -> Json {
+        let text = build_manifest(&sample_snapshot(), &[]).to_string_pretty();
+        let mut doc = validate_manifest(&text).unwrap();
+        if let Json::Obj(fields) = &mut doc {
+            for (key, value) in fields {
+                if key == "counters" {
+                    if let Json::Obj(counters) = value {
+                        for (name, slot) in counters {
+                            if let Some((_, v)) = pairs.iter().find(|(n, _)| n == name) {
+                                *slot = Json::UInt(*v);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        doc
+    }
+
+    #[test]
+    fn invariants_accept_consistent_counters() {
+        // All-zero counters are trivially consistent.
+        check_invariants(&manifest_with_counters(&[])).unwrap();
+        // A plausible run: 2 activations of a 4-row cluster, one slice
+        // applied, half the conversions headstarted, paired flops.
+        check_invariants(&manifest_with_counters(&[
+            ("xbar_activations_128", 2),
+            ("adc_conversions", 6),
+            ("adc_conversions_skipped", 2),
+            ("adc_headstart_hits", 3),
+            ("slices_applied", 1),
+            ("residual_flops", 10),
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn invariants_reject_impossible_counters() {
+        let headstart = manifest_with_counters(&[("adc_headstart_hits", 1)]);
+        assert!(check_invariants(&headstart)
+            .unwrap_err()
+            .0
+            .contains("adc_headstart_hits"));
+        // Conversions without a single crossbar activation.
+        let orphan = manifest_with_counters(&[("adc_conversions", 4)]);
+        assert!(check_invariants(&orphan).unwrap_err().0.contains("zero"));
+        // More outcomes than 512-row columns can produce.
+        let overfull =
+            manifest_with_counters(&[("xbar_activations_64", 1), ("adc_conversions", 513)]);
+        assert!(check_invariants(&overfull).unwrap_err().0.contains("512"));
+        // A slice applied with no activation recorded.
+        let slices = manifest_with_counters(&[("slices_applied", 1)]);
+        assert!(check_invariants(&slices)
+            .unwrap_err()
+            .0
+            .contains("slices_applied"));
+        // An unpaired residual flop.
+        let odd = manifest_with_counters(&[("residual_flops", 3)]);
+        assert!(check_invariants(&odd).unwrap_err().0.contains("even"));
+    }
+
+    #[test]
+    fn diff_solves_detects_bitwise_divergence() {
+        let base = build_manifest(&sample_snapshot(), &[]).to_string_pretty();
+        let a = validate_manifest(&base).unwrap();
+        diff_solves(&a, &a).unwrap();
+        // A one-ULP change in the residual must be caught.
+        let mut other = sample_snapshot();
+        other.outcomes[0].relative_residual =
+            f64::from_bits(other.outcomes[0].relative_residual.to_bits() + 1);
+        let b_text = build_manifest(&other, &[]).to_string_pretty();
+        let b = validate_manifest(&b_text).unwrap();
+        let err = diff_solves(&a, &b).unwrap_err();
+        assert!(err.0.contains("relative_residual"), "{err}");
+        // Iteration-count divergence too.
+        let mut other = sample_snapshot();
+        other.outcomes[0].iterations += 1;
+        let c_text = build_manifest(&other, &[]).to_string_pretty();
+        let c = validate_manifest(&c_text).unwrap();
+        assert!(diff_solves(&a, &c).unwrap_err().0.contains("iterations"));
+        // Different solve counts.
+        let mut other = sample_snapshot();
+        other.outcomes.clear();
+        let d_text = build_manifest(&other, &[]).to_string_pretty();
+        let d = validate_manifest(&d_text).unwrap();
+        assert!(diff_solves(&a, &d).unwrap_err().0.contains("count"));
     }
 
     #[test]

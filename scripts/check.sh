@@ -15,7 +15,30 @@ echo "== telemetry smoke =="
 mkdir -p target/tmp
 ./target/release/repro smoke --scale 0.05 --telemetry-out target/tmp/check-smoke.json
 ./target/release/telemetry-verify target/tmp/check-smoke.json \
-    --require-nonzero adc_conversions,adc_conversions_skipped,slices_skipped,an_corrections,solve_iterations
+    --require-nonzero adc_conversions,adc_conversions_skipped,slices_skipped,an_corrections,solve_iterations \
+    --invariants
+
+echo "== overlap/threads determinism matrix =="
+# The staged pipeline promises bit-identical solve outcomes for every
+# (MEMSCI_THREADS, MEMSCI_OVERLAP) combination; run the smoke experiment
+# across the matrix and diff every manifest's solves against the serial
+# non-overlapped baseline.
+for t in 1 4; do
+    for o in 0 1; do
+        MEMSCI_THREADS=$t MEMSCI_OVERLAP=$o \
+            ./target/release/repro smoke --scale 0.05 \
+            --telemetry-out "target/tmp/check-smoke-t${t}-o${o}.json"
+    done
+done
+for t in 1 4; do
+    for o in 0 1; do
+        [ "$t" = 1 ] && [ "$o" = 0 ] && continue
+        ./target/release/telemetry-verify target/tmp/check-smoke-t1-o0.json \
+            --invariants --quiet \
+            --diff-solves "target/tmp/check-smoke-t${t}-o${o}.json"
+    done
+done
+echo "solve outcomes bit-identical across threads {1,4} x overlap {off,on}"
 
 echo "== rustfmt =="
 cargo fmt --check
