@@ -1,0 +1,70 @@
+//! Repeated-SpMV host benchmark: the solver hot path, warm vs cold.
+//!
+//! Warm iterations reuse the platform scratch arenas (steady state of a
+//! CG/BiCGStab solve); cold iterations call `clear_scratch()` first,
+//! re-paying the allocation cost the arenas exist to remove. The
+//! warm/cold gap is the benefit; the warm number is what `repro bench`
+//! compares against the recorded baseline.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use memsci_core::{AcceleratorConfig, AcceleratorPlatform, ExactAcceleratorPlatform, ExactOptions};
+use memsci_solvers::platform::Platform;
+use memsci_sparse::blocking::{BlockedMatrix, BlockingConfig};
+use memsci_sparse::suite::by_name;
+
+fn config() -> AcceleratorConfig {
+    let mut config = AcceleratorConfig::with_banks(4);
+    config.threads = Some(1);
+    config.overlap = Some(false);
+    config
+}
+
+fn setup() -> (BlockedMatrix, Vec<f64>) {
+    let a = by_name("Pres_Poisson")
+        .expect("suite entry")
+        .generate_scaled(0.05);
+    let x = (0..a.rows())
+        .map(|i| (i as f64 * 0.17).sin() + 1.1)
+        .collect();
+    (BlockedMatrix::block(&a, &BlockingConfig::default()), x)
+}
+
+fn bench_fast(c: &mut Criterion) {
+    let (blocked, x) = setup();
+    let mut acc = AcceleratorPlatform::new(&blocked, config());
+    let mut y = vec![0.0; acc.n()];
+    acc.spmv(&x, &mut y);
+    c.bench_function("spmv_repeat/fast_warm", |bench| {
+        bench.iter(|| acc.spmv(black_box(&x), &mut y))
+    });
+    c.bench_function("spmv_repeat/fast_cold", |bench| {
+        bench.iter(|| {
+            acc.clear_scratch();
+            acc.spmv(black_box(&x), &mut y)
+        })
+    });
+}
+
+fn bench_exact(c: &mut Criterion) {
+    let (blocked, x) = setup();
+    let opts = ExactOptions {
+        seed: 7,
+        ..Default::default()
+    };
+    let mut acc =
+        ExactAcceleratorPlatform::new(&blocked, config(), opts).expect("matrix programs cleanly");
+    let mut y = vec![0.0; acc.n()];
+    acc.spmv(&x, &mut y);
+    c.bench_function("spmv_repeat/exact_warm", |bench| {
+        bench.iter(|| acc.spmv(black_box(&x), &mut y))
+    });
+    c.bench_function("spmv_repeat/exact_cold", |bench| {
+        bench.iter(|| {
+            acc.clear_scratch();
+            acc.spmv(black_box(&x), &mut y)
+        })
+    });
+}
+
+criterion_group!(benches, bench_fast, bench_exact);
+criterion_main!(benches);

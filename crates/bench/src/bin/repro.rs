@@ -4,6 +4,8 @@
 //!
 //! ```text
 //! repro <experiment> [--scale S] [--runs N] [--tol T] [--telemetry-out FILE]
+//!                    [--telemetry-stream FILE]
+//! repro bench [--smoke] [--iters N] [--out FILE]
 //!
 //! experiments:
 //!   table1 table2 table3
@@ -14,16 +16,22 @@
 //! `solve` runs the 20-matrix suite once and prints Figures 8, 9, and
 //! 10 together (they share the same runs); `all` runs everything;
 //! `smoke` is a fast telemetry exerciser (one suite matrix plus an
-//! error-injected bit-exact solve so AN-code counters fire).
+//! error-injected bit-exact solve so AN-code counters fire); `bench`
+//! measures host wall-clock (simulator speed) and writes a
+//! schema-versioned `BENCH_*.json` document (default `BENCH_PR5.json`).
 //!
 //! Telemetry: `--telemetry-out FILE` enables the global sink and writes
 //! a schema-versioned JSON run manifest on exit. The `MEMSCI_TELEMETRY`
 //! environment variable does the same without touching the command line
 //! (`1`/`on` = enable only, any other non-empty value = manifest path);
-//! the flag wins when both are given.
+//! the flag wins when both are given. `--telemetry-stream FILE` also
+//! enables the sink but appends an incremental JSONL record per
+//! Monte-Carlo sweep point (fig12/fig13), so killed sweeps keep their
+//! finished points.
 
-use memsci_bench::{figures, montecarlo, suite_run, tables};
+use memsci_bench::{figures, montecarlo, perf, suite_run, tables};
 use memsci_telemetry::json::Json;
+use memsci_telemetry::ManifestStream;
 
 #[derive(Debug, Clone, Copy)]
 struct Args {
@@ -36,8 +44,10 @@ fn main() {
     let mut argv = std::env::args().skip(1);
     let Some(cmd) = argv.next() else {
         eprintln!(
-            "usage: repro <experiment> [--scale S] [--runs N] [--tol T] [--telemetry-out FILE]"
+            "usage: repro <experiment> [--scale S] [--runs N] [--tol T] [--telemetry-out FILE] \
+             [--telemetry-stream FILE]"
         );
+        eprintln!("       repro bench [--smoke] [--iters N] [--out FILE]");
         eprintln!("experiments: table1 table2 table3 fig6 fig7 fig8 fig9 fig10 fig11");
         eprintln!("             fig12 fig13 area endurance ablation sizing smoke solve all");
         eprintln!("             matrix <file.mtx>   (run a real SuiteSparse download)");
@@ -49,6 +59,7 @@ fn main() {
     // without touching the command line; --telemetry-out overrides the
     // path below.
     let mut telemetry_out: Option<std::path::PathBuf> = None;
+    let mut telemetry_stream_path: Option<std::path::PathBuf> = None;
     match memsci_telemetry::env_setting() {
         memsci_telemetry::EnvSetting::Disabled => {}
         memsci_telemetry::EnvSetting::Enabled => memsci_telemetry::enable(),
@@ -80,6 +91,10 @@ fn main() {
             ("tol", Json::Num(tol)),
         ];
         finish_telemetry(telemetry_out.as_deref(), &config);
+        return;
+    }
+    if cmd == "bench" {
+        run_bench_cmd(&rest);
         return;
     }
     let mut args = Args {
@@ -129,20 +144,127 @@ fn main() {
                 telemetry_out = Some(path.into());
                 i += 2;
             }
+            "--telemetry-stream" => {
+                let Some(path) = rest.get(i + 1) else {
+                    eprintln!("--telemetry-stream needs a file path");
+                    std::process::exit(2);
+                };
+                memsci_telemetry::enable();
+                telemetry_stream_path = Some(std::path::PathBuf::from(path));
+                i += 2;
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
             }
         }
     }
-    run(&cmd, args);
     let config = [
         ("command", Json::Str(cmd.clone())),
         ("scale", Json::Num(args.scale)),
         ("runs", Json::UInt(args.runs as u64)),
         ("tol", Json::Num(args.tol)),
     ];
+    let mut stream = telemetry_stream_path.as_deref().map(|path| {
+        let config: Vec<(&str, Json)> = config.to_vec();
+        match ManifestStream::create(path, &config) {
+            Ok(stream) => stream,
+            Err(e) => {
+                eprintln!("cannot create telemetry stream {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    });
+    run(&cmd, args, &mut stream);
+    if let Some(stream) = stream {
+        let records = stream.records();
+        match stream.finish() {
+            Ok(()) => eprintln!(
+                "telemetry stream written to {} ({records} records)",
+                telemetry_stream_path
+                    .as_deref()
+                    .unwrap_or_else(|| std::path::Path::new("?"))
+                    .display()
+            ),
+            Err(e) => {
+                eprintln!("failed to finish telemetry stream: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     finish_telemetry(telemetry_out.as_deref(), &config);
+}
+
+/// `repro bench [--smoke] [--iters N] [--out FILE]` — host wall-clock
+/// benchmark; writes the schema-versioned document and prints a
+/// summary. `--validate FILE` instead checks an existing document
+/// against the schema without running anything.
+fn run_bench_cmd(rest: &[String]) {
+    let mut opts = perf::BenchOptions::full();
+    let mut out = std::path::PathBuf::from("BENCH_PR5.json");
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--validate" => {
+                let Some(path) = rest.get(i + 1) else {
+                    eprintln!("--validate needs a file path");
+                    std::process::exit(2);
+                };
+                let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                    eprintln!("cannot read {path}: {e}");
+                    std::process::exit(1);
+                });
+                match perf::validate_bench(&text) {
+                    Ok(_) => {
+                        println!(
+                            "{path}: ok (schema {} v{})",
+                            perf::BENCH_SCHEMA_NAME,
+                            perf::BENCH_SCHEMA_VERSION
+                        );
+                        return;
+                    }
+                    Err(e) => {
+                        eprintln!("{path}: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            "--smoke" => {
+                opts = perf::BenchOptions::smoke();
+                i += 1;
+            }
+            "--iters" => {
+                opts.iters = rest
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--iters needs an integer");
+                        std::process::exit(2);
+                    });
+                i += 2;
+            }
+            "--out" => {
+                let Some(path) = rest.get(i + 1) else {
+                    eprintln!("--out needs a file path");
+                    std::process::exit(2);
+                };
+                out = path.into();
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown bench flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let doc = perf::run_bench(&opts);
+    let text = doc.to_string_pretty();
+    if let Err(e) = std::fs::write(&out, format!("{text}\n")) {
+        eprintln!("cannot write {}: {e}", out.display());
+        std::process::exit(1);
+    }
+    print!("{}", perf::summarize(&doc));
+    println!("bench document written to {}", out.display());
 }
 
 /// Writes the run manifest when the sink is on and a path was chosen.
@@ -162,7 +284,18 @@ fn finish_telemetry(path: Option<&std::path::Path>, config: &[(&str, Json)]) {
     }
 }
 
-fn run(cmd: &str, args: Args) {
+/// Flushes one stream record labelled after the finished sweep point,
+/// or does nothing when streaming is off.
+fn stream_point(stream: &mut Option<ManifestStream>, point: &montecarlo::McPoint) {
+    if let Some(stream) = stream.as_mut() {
+        if let Err(e) = stream.record(&point.label, &memsci_telemetry::snapshot()) {
+            eprintln!("telemetry stream write failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run(cmd: &str, args: Args, stream: &mut Option<ManifestStream>) {
     match cmd {
         "table1" => print!("{}", tables::table1()),
         "table2" => print!("{}", tables::table2(args.scale)),
@@ -216,7 +349,8 @@ fn run(cmd: &str, args: Args) {
                 "Figure 12 — iteration count vs bits/cell and dynamic range ({} runs/point)",
                 mc.runs
             );
-            print_mc(&montecarlo::figure12(&mc), "B=1; D=1.5K");
+            let points = montecarlo::figure12_with(&mc, &mut |p| stream_point(stream, p));
+            print_mc(&points, "B=1; D=1.5K");
         }
         "fig13" => {
             let mc = montecarlo::MonteCarloConfig {
@@ -227,7 +361,8 @@ fn run(cmd: &str, args: Args) {
                 "Figure 13 — iteration count vs bits/cell and programming error ({} runs/point)",
                 mc.runs
             );
-            print_mc(&montecarlo::figure13(&mc), "B=1; E=0%");
+            let points = montecarlo::figure13_with(&mc, &mut |p| stream_point(stream, p));
+            print_mc(&points, "B=1; E=0%");
         }
         "smoke" => {
             // Fast telemetry exerciser: one well-blocking suite matrix
@@ -299,20 +434,20 @@ fn run(cmd: &str, args: Args) {
         }
         "all" => {
             for c in ["table1", "table3", "fig6", "sizing", "ablation", "area"] {
-                run(c, args);
+                run(c, args, stream);
                 println!();
             }
-            run("table2", args);
+            run("table2", args, stream);
             println!();
-            run("fig7", args);
+            run("fig7", args, stream);
             println!();
-            run("fig11", args);
+            run("fig11", args, stream);
             println!();
-            run("solve", args);
+            run("solve", args, stream);
             println!();
-            run("fig12", args);
+            run("fig12", args, stream);
             println!();
-            run("fig13", args);
+            run("fig13", args, stream);
         }
         other => {
             eprintln!("unknown experiment {other}");

@@ -13,5 +13,6 @@
 
 pub mod figures;
 pub mod montecarlo;
+pub mod perf;
 pub mod suite_run;
 pub mod tables;

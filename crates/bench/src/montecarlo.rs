@@ -162,6 +162,14 @@ pub fn sweep_point(a: &Csr, label: String, cell: CellSpec, mc: &MonteCarloConfig
 /// randomness behind the min/mean/max whiskers; the dynamic-range
 /// effect itself comes from the deterministic off-state leakage.
 pub fn figure12(mc: &MonteCarloConfig) -> Vec<McPoint> {
+    figure12_with(mc, &mut |_| {})
+}
+
+/// [`figure12`] with an observer invoked after each sweep point
+/// completes — the hook long sweeps use to flush one telemetry stream
+/// record per trial batch, so a killed run still leaves every finished
+/// point on disk.
+pub fn figure12_with(mc: &MonteCarloConfig, observe: &mut dyn FnMut(&McPoint)) -> Vec<McPoint> {
     let a = test_matrix(mc.n);
     let mut out = Vec::new();
     for bits in [1u32, 2] {
@@ -171,7 +179,9 @@ pub fn figure12(mc: &MonteCarloConfig) -> Vec<McPoint> {
                 .with_dynamic_range(dr)
                 .with_programming_sigma(0.005);
             let label = format!("B={bits}; D={}K", dr / 1000.0);
-            out.push(sweep_point(&a, label, cell, mc));
+            let point = sweep_point(&a, label, cell, mc);
+            observe(&point);
+            out.push(point);
         }
     }
     out
@@ -180,6 +190,11 @@ pub fn figure12(mc: &MonteCarloConfig) -> Vec<McPoint> {
 /// Figure 13: iteration count vs bits per cell × programming error,
 /// normalized to 1-bit cells with ideal programming.
 pub fn figure13(mc: &MonteCarloConfig) -> Vec<McPoint> {
+    figure13_with(mc, &mut |_| {})
+}
+
+/// [`figure13`] with a per-point observer; see [`figure12_with`].
+pub fn figure13_with(mc: &MonteCarloConfig, observe: &mut dyn FnMut(&McPoint)) -> Vec<McPoint> {
     let a = test_matrix(mc.n);
     let mut out = Vec::new();
     for bits in [1u32, 2] {
@@ -188,7 +203,9 @@ pub fn figure13(mc: &MonteCarloConfig) -> Vec<McPoint> {
                 .with_bits_per_cell(bits)
                 .with_programming_sigma(sigma);
             let label = format!("B={bits}; E={}%", sigma * 100.0);
-            out.push(sweep_point(&a, label, cell, mc));
+            let point = sweep_point(&a, label, cell, mc);
+            observe(&point);
+            out.push(point);
         }
     }
     out

@@ -1,0 +1,498 @@
+//! Host-performance benchmark harness (`repro bench`).
+//!
+//! Unlike the modelled accelerator costs reported by the tables and
+//! figures, this module measures *host wall-clock* — the simulator's
+//! own speed — so the zero-allocation SpMV work (scratch arenas,
+//! precomputed MVM plans) has a recorded, comparable number. It times
+//! repeated SpMV on both engines in warm (scratch reused) and cold
+//! (`clear_scratch()` before every kernel) modes, plus end-to-end
+//! CG/BiCGStab solves across host thread counts and lane overlap, and
+//! emits a schema-versioned JSON document (`BENCH_PR5.json`) with the
+//! speedup against the embedded pre-optimization baseline.
+
+use std::time::Instant;
+
+use memsci_core::{AcceleratorConfig, AcceleratorPlatform, ExactAcceleratorPlatform, ExactOptions};
+use memsci_solvers::platform::Platform;
+use memsci_solvers::{bicgstab::bicgstab, cg::cg, SolveOptions};
+use memsci_sparse::blocking::{BlockedMatrix, BlockingConfig};
+use memsci_sparse::suite::by_name;
+use memsci_sparse::Csr;
+use memsci_telemetry::json::{parse, Json};
+use memsci_telemetry::{Counter, ManifestError};
+
+/// Bench document schema identifier.
+pub const BENCH_SCHEMA_NAME: &str = "memsci-bench";
+/// Current bench document schema version.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// Workspace commit the baselines below were measured at (before the
+/// scratch-arena / MVM-plan optimization).
+pub const BASELINE_COMMIT: &str = "3a7d543";
+/// Median host seconds per warm exact-engine SpMV at
+/// [`BASELINE_COMMIT`]: Pres_Poisson scale 0.05, 4 banks, 1 thread,
+/// seed 7, 64 iterations.
+pub const BASELINE_EXACT_SPMV_S: f64 = 0.1111;
+/// Median host seconds per warm fast-engine SpMV at
+/// [`BASELINE_COMMIT`] (same matrix and shape, 512 iterations).
+pub const BASELINE_FAST_SPMV_S: f64 = 9.03e-5;
+
+/// The suite matrix every bench configuration runs on.
+pub const BENCH_MATRIX: &str = "Pres_Poisson";
+/// Scale factor applied to [`BENCH_MATRIX`] (the suite smoke size).
+pub const BENCH_SCALE: f64 = 0.05;
+const BENCH_BANKS: usize = 4;
+const BENCH_SEED: u64 = 7;
+
+/// Shape of one bench run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchOptions {
+    /// Timed repeated-SpMV iterations per engine/mode (after warm-up).
+    pub iters: usize,
+    /// Iteration cap for the end-to-end solver runs (the exact engine
+    /// would otherwise dominate the bench; a capped solve still times
+    /// the full platform stack per iteration).
+    pub solver_max_iters: usize,
+    /// Host worker-thread counts swept by the solver benches.
+    pub thread_counts: Vec<usize>,
+    /// Lane-overlap settings swept by the solver benches.
+    pub overlaps: Vec<bool>,
+    /// True when this is the reduced CI smoke shape.
+    pub smoke: bool,
+}
+
+impl BenchOptions {
+    /// The full shape behind the committed `BENCH_PR5.json`: 64 timed
+    /// iterations, threads {1, 4} × overlap {off, on}.
+    pub fn full() -> BenchOptions {
+        BenchOptions {
+            iters: 64,
+            solver_max_iters: 25,
+            thread_counts: vec![1, 4],
+            overlaps: vec![false, true],
+            smoke: false,
+        }
+    }
+
+    /// The CI smoke shape: 16 iterations, single-threaded, no overlap.
+    pub fn smoke() -> BenchOptions {
+        BenchOptions {
+            iters: 16,
+            solver_max_iters: 8,
+            thread_counts: vec![1],
+            overlaps: vec![false],
+            smoke: true,
+        }
+    }
+}
+
+fn bench_matrix() -> Csr {
+    by_name(BENCH_MATRIX)
+        .expect("suite entry")
+        .generate_scaled(BENCH_SCALE)
+}
+
+fn bench_vector(n: usize) -> Vec<f64> {
+    (0..n).map(|i| (i as f64 * 0.17).sin() + 1.1).collect()
+}
+
+fn config(threads: usize, overlap: bool) -> AcceleratorConfig {
+    let mut config = AcceleratorConfig::with_banks(BENCH_BANKS);
+    config.threads = Some(threads);
+    config.overlap = Some(overlap);
+    config
+}
+
+fn exact_opts() -> ExactOptions {
+    ExactOptions {
+        seed: BENCH_SEED,
+        ..Default::default()
+    }
+}
+
+/// Median of per-iteration durations (seconds).
+fn median_s(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Times `iters` SpMVs on a warm platform, optionally dropping the
+/// scratch arenas before every kernel (`cold`), returning
+/// `(median s/iter, total s)`.
+fn time_spmv<P: Platform>(acc: &mut P, clear: Option<&dyn Fn(&mut P)>, iters: usize) -> (f64, f64) {
+    let n = acc.n();
+    let x = bench_vector(n);
+    let mut y = vec![0.0; n];
+    for _ in 0..2 {
+        acc.spmv(&x, &mut y);
+    }
+    let mut samples = Vec::with_capacity(iters);
+    let start = Instant::now();
+    for _ in 0..iters {
+        if let Some(clear) = clear {
+            clear(acc);
+        }
+        let t0 = Instant::now();
+        acc.spmv(&x, &mut y);
+        samples.push(t0.elapsed().as_secs_f64());
+    }
+    (median_s(samples), start.elapsed().as_secs_f64())
+}
+
+fn spmv_entry(
+    engine: &str,
+    mode: &str,
+    iters: usize,
+    median_s_per_iter: f64,
+    total_s: f64,
+) -> Json {
+    Json::Obj(vec![
+        ("engine".to_string(), Json::Str(engine.into())),
+        ("mode".to_string(), Json::Str(mode.into())),
+        ("threads".to_string(), Json::UInt(1)),
+        ("overlap".to_string(), Json::Bool(false)),
+        ("iters".to_string(), Json::UInt(iters as u64)),
+        (
+            "median_s_per_iter".to_string(),
+            Json::Num(median_s_per_iter),
+        ),
+        ("total_s".to_string(), Json::Num(total_s)),
+    ])
+}
+
+/// Runs the repeated-SpMV microbench: both engines, warm and cold, on
+/// one thread with overlap off (the configuration the baselines were
+/// recorded at). Returns the JSON entries plus the warm medians
+/// `(exact, fast)`.
+fn run_spmv_bench(opts: &BenchOptions) -> (Vec<Json>, f64, f64) {
+    let a = bench_matrix();
+    let blocked = BlockedMatrix::block(&a, &BlockingConfig::default());
+    let mut entries = Vec::new();
+
+    let mut exact = ExactAcceleratorPlatform::new(&blocked, config(1, false), exact_opts())
+        .expect("bench matrix programs cleanly");
+    let (warm_exact, total) = time_spmv(&mut exact, None, opts.iters);
+    entries.push(spmv_entry("exact", "warm", opts.iters, warm_exact, total));
+    let clear_exact = |p: &mut ExactAcceleratorPlatform| p.clear_scratch();
+    let (cold_exact, total) = time_spmv(&mut exact, Some(&clear_exact), opts.iters);
+    entries.push(spmv_entry("exact", "cold", opts.iters, cold_exact, total));
+
+    // The fast engine is ~3 orders of magnitude quicker per kernel;
+    // scale the iteration count up so the timings stay measurable.
+    let fast_iters = opts.iters * 8;
+    let mut fast = AcceleratorPlatform::new(&blocked, config(1, false));
+    let (warm_fast, total) = time_spmv(&mut fast, None, fast_iters);
+    entries.push(spmv_entry("fast", "warm", fast_iters, warm_fast, total));
+    let clear_fast = |p: &mut AcceleratorPlatform| p.clear_scratch();
+    let (cold_fast, total) = time_spmv(&mut fast, Some(&clear_fast), fast_iters);
+    entries.push(spmv_entry("fast", "cold", fast_iters, cold_fast, total));
+
+    (entries, warm_exact, warm_fast)
+}
+
+/// Runs the end-to-end solver benches across engines × solvers ×
+/// threads × overlap.
+fn run_solver_bench(opts: &BenchOptions) -> Vec<Json> {
+    let a = bench_matrix();
+    let blocked = BlockedMatrix::block(&a, &BlockingConfig::default());
+    let n = a.rows();
+    let b = vec![1.0; n];
+    let solve_opts = SolveOptions::with_tol(1e-8).max_iters(opts.solver_max_iters);
+    let mut entries = Vec::new();
+    for &threads in &opts.thread_counts {
+        for &overlap in &opts.overlaps {
+            for engine in ["fast", "exact"] {
+                for solver in ["cg", "bicgstab"] {
+                    let mut x = vec![0.0; n];
+                    let t0 = Instant::now();
+                    let report = match engine {
+                        "fast" => {
+                            let mut acc =
+                                AcceleratorPlatform::new(&blocked, config(threads, overlap));
+                            match solver {
+                                "cg" => cg(&mut acc, &b, &mut x, &solve_opts),
+                                _ => bicgstab(&mut acc, &b, &mut x, &solve_opts),
+                            }
+                        }
+                        _ => {
+                            let mut acc = ExactAcceleratorPlatform::new(
+                                &blocked,
+                                config(threads, overlap),
+                                exact_opts(),
+                            )
+                            .expect("bench matrix programs cleanly");
+                            match solver {
+                                "cg" => cg(&mut acc, &b, &mut x, &solve_opts),
+                                _ => bicgstab(&mut acc, &b, &mut x, &solve_opts),
+                            }
+                        }
+                    };
+                    let wall = t0.elapsed().as_secs_f64();
+                    entries.push(Json::Obj(vec![
+                        ("solver".to_string(), Json::Str(solver.into())),
+                        ("engine".to_string(), Json::Str(engine.into())),
+                        ("threads".to_string(), Json::UInt(threads as u64)),
+                        ("overlap".to_string(), Json::Bool(overlap)),
+                        (
+                            "iterations".to_string(),
+                            Json::UInt(report.iterations as u64),
+                        ),
+                        ("converged".to_string(), Json::Bool(report.converged)),
+                        ("wall_s".to_string(), Json::Num(wall)),
+                    ]));
+                }
+            }
+        }
+    }
+    entries
+}
+
+/// Runs the whole bench and builds the schema-versioned document.
+///
+/// The telemetry sink is enabled for the duration so the document can
+/// report the `scratch_reuse` / `plan_hits` counters the hot path fires
+/// (proof the arenas and plans are actually exercised); the previous
+/// sink state is restored afterwards.
+pub fn run_bench(opts: &BenchOptions) -> Json {
+    let was_enabled = memsci_telemetry::enabled();
+    memsci_telemetry::enable();
+    let counters_before = memsci_telemetry::snapshot().counters;
+    let (spmv, warm_exact, warm_fast) = run_spmv_bench(opts);
+    let solves = run_solver_bench(opts);
+    let delta = memsci_telemetry::snapshot()
+        .counters
+        .delta_since(&counters_before);
+    if !was_enabled {
+        memsci_telemetry::disable();
+    }
+    Json::Obj(vec![
+        ("schema".to_string(), Json::Str(BENCH_SCHEMA_NAME.into())),
+        (
+            "schema_version".to_string(),
+            Json::UInt(BENCH_SCHEMA_VERSION),
+        ),
+        (
+            "baseline".to_string(),
+            Json::Obj(vec![
+                ("commit".to_string(), Json::Str(BASELINE_COMMIT.into())),
+                ("exact_spmv_s".to_string(), Json::Num(BASELINE_EXACT_SPMV_S)),
+                ("fast_spmv_s".to_string(), Json::Num(BASELINE_FAST_SPMV_S)),
+            ]),
+        ),
+        (
+            "config".to_string(),
+            Json::Obj(vec![
+                ("matrix".to_string(), Json::Str(BENCH_MATRIX.into())),
+                ("scale".to_string(), Json::Num(BENCH_SCALE)),
+                ("banks".to_string(), Json::UInt(BENCH_BANKS as u64)),
+                ("seed".to_string(), Json::UInt(BENCH_SEED)),
+                ("iters".to_string(), Json::UInt(opts.iters as u64)),
+                (
+                    "solver_max_iters".to_string(),
+                    Json::UInt(opts.solver_max_iters as u64),
+                ),
+                ("smoke".to_string(), Json::Bool(opts.smoke)),
+            ]),
+        ),
+        ("spmv".to_string(), Json::Arr(spmv)),
+        ("solves".to_string(), Json::Arr(solves)),
+        (
+            "counters".to_string(),
+            Json::Obj(vec![
+                (
+                    "scratch_reuse".to_string(),
+                    Json::UInt(delta.get(Counter::ScratchReuse)),
+                ),
+                (
+                    "plan_hits".to_string(),
+                    Json::UInt(delta.get(Counter::PlanHits)),
+                ),
+            ]),
+        ),
+        (
+            "speedup".to_string(),
+            Json::Obj(vec![
+                (
+                    "exact_vs_baseline".to_string(),
+                    Json::Num(BASELINE_EXACT_SPMV_S / warm_exact),
+                ),
+                (
+                    "fast_vs_baseline".to_string(),
+                    Json::Num(BASELINE_FAST_SPMV_S / warm_fast),
+                ),
+            ]),
+        ),
+    ])
+}
+
+/// Renders a one-screen summary of a bench document for the terminal.
+pub fn summarize(doc: &Json) -> String {
+    let mut out = String::new();
+    out.push_str("repro bench — host wall-clock (simulator speed, not modelled time)\n");
+    if let Some(entries) = doc.get("spmv").and_then(Json::as_arr) {
+        out.push_str("repeated SpMV (median s/iter):\n");
+        for e in entries {
+            out.push_str(&format!(
+                "  {:<5} {:<4} iters={:<4} {:.6e}\n",
+                e.get("engine").and_then(Json::as_str).unwrap_or("?"),
+                e.get("mode").and_then(Json::as_str).unwrap_or("?"),
+                e.get("iters").and_then(Json::as_u64).unwrap_or(0),
+                e.get("median_s_per_iter")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(f64::NAN),
+            ));
+        }
+    }
+    if let Some(speedup) = doc.get("speedup") {
+        out.push_str(&format!(
+            "speedup vs {} baseline: exact {:.2}x, fast {:.2}x\n",
+            doc.get("baseline")
+                .and_then(|b| b.get("commit"))
+                .and_then(Json::as_str)
+                .unwrap_or("?"),
+            speedup
+                .get("exact_vs_baseline")
+                .and_then(Json::as_f64)
+                .unwrap_or(f64::NAN),
+            speedup
+                .get("fast_vs_baseline")
+                .and_then(Json::as_f64)
+                .unwrap_or(f64::NAN),
+        ));
+    }
+    if let Some(solves) = doc.get("solves").and_then(Json::as_arr) {
+        out.push_str(&format!("end-to-end solves: {}\n", solves.len()));
+    }
+    out
+}
+
+fn fail(msg: impl Into<String>) -> ManifestError {
+    ManifestError(msg.into())
+}
+
+/// Parses and validates a bench document against schema version 1:
+/// schema identity, a baseline with the recorded commit, non-empty
+/// `spmv` and `solves` arrays with well-formed entries, and finite
+/// positive speedups.
+///
+/// # Errors
+///
+/// Returns [`ManifestError`] describing the first violation.
+pub fn validate_bench(text: &str) -> Result<Json, ManifestError> {
+    let doc = parse(text).map_err(|e| fail(e.to_string()))?;
+    if doc.get("schema").and_then(Json::as_str) != Some(BENCH_SCHEMA_NAME) {
+        return Err(fail(format!("`schema` must be \"{BENCH_SCHEMA_NAME}\"")));
+    }
+    if doc.get("schema_version").and_then(Json::as_u64) != Some(BENCH_SCHEMA_VERSION) {
+        return Err(fail(format!(
+            "`schema_version` must be {BENCH_SCHEMA_VERSION}"
+        )));
+    }
+    let baseline = doc
+        .get("baseline")
+        .ok_or_else(|| fail("missing `baseline`"))?;
+    if baseline.get("commit").and_then(Json::as_str).is_none()
+        || baseline
+            .get("exact_spmv_s")
+            .and_then(Json::as_f64)
+            .is_none()
+    {
+        return Err(fail("`baseline` needs `commit` and `exact_spmv_s`"));
+    }
+    let spmv = doc
+        .get("spmv")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| fail("`spmv` must be an array"))?;
+    if spmv.is_empty() {
+        return Err(fail("`spmv` must not be empty"));
+    }
+    for (i, e) in spmv.iter().enumerate() {
+        let median = e.get("median_s_per_iter").and_then(Json::as_f64);
+        if e.get("engine").and_then(Json::as_str).is_none()
+            || e.get("mode").and_then(Json::as_str).is_none()
+            || e.get("iters").and_then(Json::as_u64).is_none()
+            || !median.is_some_and(|m| m.is_finite() && m > 0.0)
+        {
+            return Err(fail(format!("spmv[{i}] is malformed")));
+        }
+    }
+    let solves = doc
+        .get("solves")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| fail("`solves` must be an array"))?;
+    if solves.is_empty() {
+        return Err(fail("`solves` must not be empty"));
+    }
+    for (i, s) in solves.iter().enumerate() {
+        if s.get("solver").and_then(Json::as_str).is_none()
+            || s.get("engine").and_then(Json::as_str).is_none()
+            || s.get("iterations").and_then(Json::as_u64).is_none()
+            || s.get("wall_s").and_then(Json::as_f64).is_none()
+        {
+            return Err(fail(format!("solves[{i}] is malformed")));
+        }
+    }
+    let speedup = doc
+        .get("speedup")
+        .and_then(|s| s.get("exact_vs_baseline"))
+        .and_then(Json::as_f64)
+        .ok_or_else(|| fail("missing `speedup.exact_vs_baseline`"))?;
+    if !(speedup.is_finite() && speedup > 0.0) {
+        return Err(fail(format!("speedup {speedup} is not a positive number")));
+    }
+    Ok(doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_bench_runs_and_validates() {
+        // The smallest meaningful shape: enough to prove the plumbing
+        // without paying the full 64-iteration run in unit tests.
+        let opts = BenchOptions {
+            iters: 2,
+            solver_max_iters: 2,
+            thread_counts: vec![1],
+            overlaps: vec![false],
+            smoke: true,
+        };
+        let doc = run_bench(&opts);
+        let text = doc.to_string_pretty();
+        let parsed = validate_bench(&text).unwrap();
+        assert_eq!(
+            parsed.get("spmv").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(4)
+        );
+        // 1 thread × 1 overlap × 2 engines × 2 solvers.
+        assert_eq!(
+            parsed
+                .get("solves")
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len),
+            Some(4)
+        );
+        // The warm exact runs must actually hit the scratch arenas.
+        assert!(
+            parsed
+                .get("counters")
+                .and_then(|c| c.get("scratch_reuse"))
+                .and_then(Json::as_u64)
+                .unwrap_or(0)
+                > 0
+        );
+        let summary = summarize(&parsed);
+        assert!(summary.contains("speedup"), "{summary}");
+    }
+
+    #[test]
+    fn validation_rejects_malformed_documents() {
+        assert!(validate_bench("not json").is_err());
+        assert!(validate_bench("{\"schema\": \"other\"}").is_err());
+        let minimal = format!(
+            "{{\"schema\": \"{BENCH_SCHEMA_NAME}\", \"schema_version\": {BENCH_SCHEMA_VERSION}}}"
+        );
+        assert!(validate_bench(&minimal).unwrap_err().0.contains("baseline"));
+    }
+}

@@ -12,7 +12,7 @@
 use memsci_numeric::align::AlignError;
 use memsci_solvers::platform::{axpby_f64, dot_f64, Platform};
 use memsci_sparse::{BlockedMatrix, Coo, Csr};
-use memsci_xbar::cluster::{Cluster, ClusterSpec, MvmOptions};
+use memsci_xbar::cluster::{Cluster, ClusterSpec, MvmOptions, MvmScratch};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -54,6 +54,11 @@ struct ExactCluster {
     /// the user seed and the cluster's build index so results never
     /// depend on which worker thread simulates the cluster.
     rng: StdRng,
+    /// Reusable MVM working memory, warm after the first kernel.
+    scratch: MvmScratch,
+    /// Reusable per-cluster output block, lent to the cluster lane each
+    /// kernel and restored afterwards.
+    ybuf: Vec<f64>,
 }
 
 impl std::fmt::Debug for ExactCluster {
@@ -72,6 +77,9 @@ impl std::fmt::Debug for ExactCluster {
 struct ExactBank {
     bank: usize,
     clusters: Vec<ExactCluster>,
+    /// Reusable zero-padded vector block for clusters whose column
+    /// range is clipped by the matrix edge.
+    x_pad: Vec<f64>,
 }
 
 /// What one simulated cluster MVM produced, carried from the cluster
@@ -105,6 +113,8 @@ pub struct ExactAcceleratorPlatform {
     bank_transpose_local: Vec<usize>,
     bank_transpose_remote: Vec<usize>,
     bank_elems: Vec<usize>,
+    /// Residual-lane row sums reused across kernels.
+    rbuf: Vec<f64>,
     time: f64,
     energy: f64,
     /// AN-code corrections observed so far.
@@ -180,6 +190,8 @@ impl ExactAcceleratorPlatform {
                 bank: load.bank,
                 cluster: outcome.cluster,
                 rng: StdRng::seed_from_u64(stream),
+                scratch: MvmScratch::default(),
+                ybuf: Vec::new(),
             });
         }
         drop(_program_span);
@@ -193,7 +205,11 @@ impl ExactAcceleratorPlatform {
         }
         let banks: Vec<ExactBank> = by_bank
             .into_iter()
-            .map(|(bank, clusters)| ExactBank { bank, clusters })
+            .map(|(bank, clusters)| ExactBank {
+                bank,
+                clusters,
+                x_pad: Vec::new(),
+            })
             .collect();
         let residual = residual_coo.to_csr();
         // Diagonal of the full matrix (blocks + residual), kept for the
@@ -255,6 +271,7 @@ impl ExactAcceleratorPlatform {
             bank_transpose_local,
             bank_transpose_remote,
             bank_elems,
+            rbuf: Vec::new(),
             time: 0.0,
             energy: 0.0,
             an_corrections: 0,
@@ -270,6 +287,22 @@ impl ExactAcceleratorPlatform {
     /// Non-zeros on the residual path.
     pub fn residual_nnz(&self) -> usize {
         self.residual.nnz()
+    }
+
+    /// Drops every reusable buffer (per-cluster MVM scratch and output
+    /// blocks, per-bank vector pads, the residual-lane row sums) so the
+    /// next kernel starts cold. Results are unaffected — warm and cold
+    /// kernels are bit-identical; this only exists so benchmarks can
+    /// measure the allocation cost the scratch arenas remove.
+    pub fn clear_scratch(&mut self) {
+        for bank in &mut self.banks {
+            bank.x_pad = Vec::new();
+            for ec in &mut bank.clusters {
+                ec.scratch = MvmScratch::default();
+                ec.ybuf = Vec::new();
+            }
+        }
+        self.rbuf = Vec::new();
     }
 
     fn dense_kernel(&mut self, per_elem_time: impl Fn(usize) -> f64, extra: f64) {
@@ -299,18 +332,22 @@ impl Platform for ExactAcceleratorPlatform {
         let spec = PipelineSpec::from_config(&self.config);
         let n = self.n;
         let mvm_opts = self.opts.mvm;
+        let mut rbuf = std::mem::take(&mut self.rbuf);
         let banks = &mut self.banks;
         let residual = &self.residual;
         let tasks = banks.len();
-        let (bank_results, _rbuf, _exec) = pipeline::run_stages(
+        let (bank_results, rbuf, _exec) = pipeline::run_stages(
             &spec,
             "exact/spmv",
             tasks,
             |threads| {
                 memsci_exec::parallel_map_mut(threads, banks, |_, shard| {
-                    let mut x_pad = Vec::new();
-                    shard
-                        .clusters
+                    let ExactBank {
+                        bank,
+                        clusters,
+                        x_pad,
+                    } = shard;
+                    clusters
                         .iter_mut()
                         .map(|ec| {
                             let size = ec.cluster.n();
@@ -321,27 +358,35 @@ impl Platform for ExactAcceleratorPlatform {
                                 x_pad.clear();
                                 x_pad.extend_from_slice(&x[ec.col0..hi]);
                                 x_pad.resize(size, 0.0);
-                                &x_pad
+                                x_pad
                             };
-                            let res = ec
+                            let mut ybuf = std::mem::take(&mut ec.ybuf);
+                            ybuf.resize(size, 0.0);
+                            let stats = ec
                                 .cluster
-                                .mvm(x_block, &mvm_opts, &mut ec.rng)
+                                .mvm_with(
+                                    x_block,
+                                    &mvm_opts,
+                                    &mut ec.rng,
+                                    &mut ec.scratch,
+                                    &mut ybuf,
+                                )
                                 .expect("vector values are finite");
                             ClusterOutcome {
-                                bank: shard.bank,
+                                bank: *bank,
                                 row0: ec.row0,
-                                y: res.y,
-                                energy: res.energy,
-                                time: res.time,
-                                an_corrections: res.an_corrections,
-                                an_detections: res.an_detections,
+                                y: ybuf,
+                                energy: stats.energy,
+                                time: stats.time,
+                                an_corrections: stats.an_corrections,
+                                an_detections: stats.an_detections,
                             }
                         })
                         .collect::<Vec<_>>()
                 })
             },
-            || {
-                let mut rbuf = vec![0.0f64; n];
+            move || {
+                rbuf.resize(n, 0.0);
                 residual.spmv(x, &mut rbuf);
                 memsci_telemetry::incr(
                     memsci_telemetry::Counter::ResidualFlops,
@@ -388,6 +433,14 @@ impl Platform for ExactAcceleratorPlatform {
         let time = worst + self.config.barrier_time;
         self.time += time;
         self.energy += energy + self.config.system_static_power * time;
+        // Return the lent buffers to their owners so the next kernel
+        // runs warm (outcome order matches cluster order per bank).
+        for (shard, outcomes) in self.banks.iter_mut().zip(bank_results) {
+            for (ec, outcome) in shard.clusters.iter_mut().zip(outcomes) {
+                ec.ybuf = outcome.y;
+            }
+        }
+        self.rbuf = rbuf;
     }
 
     fn spmv_transpose(&mut self, x: &[f64], y: &mut [f64]) {
@@ -400,10 +453,11 @@ impl Platform for ExactAcceleratorPlatform {
         // ideal operator, with every non-zero charged at residual-path
         // rates. BiCG therefore pairs a noisy forward operator with an
         // ideal transpose, which the method tolerates.
+        let mut rbuf = std::mem::take(&mut self.rbuf);
         let transpose = &self.transpose;
-        pipeline::run_residual_only(
-            || {
-                let mut rbuf = vec![0.0f64; transpose.rows()];
+        let rbuf = pipeline::run_residual_only(
+            move || {
+                rbuf.resize(transpose.rows(), 0.0);
                 transpose.spmv(x, &mut rbuf);
                 memsci_telemetry::incr(
                     memsci_telemetry::Counter::ResidualFlops,
@@ -413,6 +467,7 @@ impl Platform for ExactAcceleratorPlatform {
             },
             |rbuf| y.copy_from_slice(rbuf),
         );
+        self.rbuf = rbuf;
         let local = self.config.local;
         let mut worst = 0.0f64;
         let mut energy = 0.0f64;

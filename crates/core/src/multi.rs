@@ -18,13 +18,22 @@ use crate::config::AcceleratorConfig;
 use crate::engine::AcceleratorPlatform;
 use crate::pipeline::{self, PipelineSpec};
 
+/// One device's stripe engine plus its reusable output buffer.
+#[derive(Debug, Clone)]
+struct DeviceSlot {
+    /// Engine over the stripe embedded in an n×n matrix (column
+    /// indices, and the incoming x, keep their global meaning).
+    dev: AcceleratorPlatform,
+    /// Reusable per-device output vector, lent to the device lane each
+    /// kernel and restored afterwards so iterations run allocation-free.
+    buf: Vec<f64>,
+}
+
 /// Several accelerators jointly solving one system.
 #[derive(Debug, Clone)]
 pub struct MultiAcceleratorPlatform {
     n: usize,
-    /// Per-device: (first row of the stripe, engine over the stripe
-    /// embedded in an n×n matrix).
-    devices: Vec<(usize, AcceleratorPlatform)>,
+    devices: Vec<DeviceSlot>,
     /// Seconds to exchange produced vector stripes between iterations.
     sync_time: f64,
     /// Host worker threads for the per-device loop (`None` = machine
@@ -68,7 +77,10 @@ impl MultiAcceleratorPlatform {
                 }
             }
             let blocked = BlockedMatrix::block(&coo.to_csr(), &BlockingConfig::default());
-            out.push((r0, AcceleratorPlatform::new(&blocked, config.clone())));
+            out.push(DeviceSlot {
+                dev: AcceleratorPlatform::new(&blocked, config.clone()),
+                buf: Vec::new(),
+            });
         }
         MultiAcceleratorPlatform {
             n,
@@ -88,7 +100,17 @@ impl MultiAcceleratorPlatform {
 
     /// Clusters programmed across all devices.
     pub fn cluster_count(&self) -> usize {
-        self.devices.iter().map(|(_, d)| d.cluster_count()).sum()
+        self.devices.iter().map(|s| s.dev.cluster_count()).sum()
+    }
+
+    /// Drops every reusable buffer on this platform and its devices so
+    /// the next kernel starts cold. Results are unaffected — warm and
+    /// cold kernels are bit-identical.
+    pub fn clear_scratch(&mut self) {
+        for slot in &mut self.devices {
+            slot.buf = Vec::new();
+            slot.dev.clear_scratch();
+        }
     }
 
     /// Host execution stats of the most recent per-device parallel
@@ -119,17 +141,23 @@ impl MultiAcceleratorPlatform {
         let devices = &mut self.devices;
         let mut worst = 0.0f64;
         let mut energy = 0.0f64;
-        let (_, exec) = pipeline::run_cluster_only(
+        let (results, exec) = pipeline::run_cluster_only(
             &spec,
             "multi/device_kernel",
             devices.len(),
             |threads| {
-                memsci_exec::parallel_map_mut(threads, devices, |_, (_, dev)| {
-                    let t0 = dev.elapsed_seconds();
-                    let e0 = dev.energy_joules();
-                    let mut buf = vec![0.0; n];
-                    kernel(dev, x, &mut buf);
-                    (buf, dev.elapsed_seconds() - t0, dev.energy_joules() - e0)
+                memsci_exec::parallel_map_mut(threads, devices, |_, slot| {
+                    let t0 = slot.dev.elapsed_seconds();
+                    let e0 = slot.dev.energy_joules();
+                    let mut buf = std::mem::take(&mut slot.buf);
+                    buf.clear();
+                    buf.resize(n, 0.0);
+                    kernel(&mut slot.dev, x, &mut buf);
+                    (
+                        buf,
+                        slot.dev.elapsed_seconds() - t0,
+                        slot.dev.energy_joules() - e0,
+                    )
                 })
             },
             |results| {
@@ -147,6 +175,10 @@ impl MultiAcceleratorPlatform {
         self.energy += energy;
         self.time += worst + self.sync_time;
         self.last_exec = exec;
+        // Return the lent buffers so the next kernel runs warm.
+        for (slot, (buf, _, _)) in self.devices.iter_mut().zip(results) {
+            slot.buf = buf;
+        }
     }
 }
 
@@ -166,7 +198,8 @@ impl Platform for MultiAcceleratorPlatform {
     fn dot(&mut self, x: &[f64], y: &[f64]) -> f64 {
         // Each device reduces its stripe locally; one exchange combines.
         let mut worst = 0.0f64;
-        for (_, dev) in &mut self.devices {
+        for slot in &mut self.devices {
+            let dev = &mut slot.dev;
             let t0 = dev.elapsed_seconds();
             let e0 = dev.energy_joules();
             let _ = dev.dot(x, y); // per-device cost model
@@ -179,11 +212,17 @@ impl Platform for MultiAcceleratorPlatform {
 
     fn axpby(&mut self, alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
         let mut worst = 0.0f64;
-        for (_, dev) in &mut self.devices {
+        for slot in &mut self.devices {
+            let dev = &mut slot.dev;
             let t0 = dev.elapsed_seconds();
             let e0 = dev.energy_joules();
-            let mut scratch = y.to_vec();
+            // Reuse the device buffer as the per-device cost-model
+            // operand instead of cloning y every call.
+            let mut scratch = std::mem::take(&mut slot.buf);
+            scratch.clear();
+            scratch.extend_from_slice(y);
             dev.axpby(alpha, x, beta, &mut scratch);
+            slot.buf = scratch;
             worst = worst.max(dev.elapsed_seconds() - t0);
             self.energy += dev.energy_joules() - e0;
         }
@@ -193,8 +232,8 @@ impl Platform for MultiAcceleratorPlatform {
 
     fn diagonal(&self) -> Vec<f64> {
         let mut diag = vec![0.0; self.n];
-        for (_, dev) in &self.devices {
-            for (i, v) in dev.diagonal().into_iter().enumerate() {
+        for slot in &self.devices {
+            for (i, v) in slot.dev.diagonal().into_iter().enumerate() {
                 diag[i] += v;
             }
         }

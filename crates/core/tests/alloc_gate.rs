@@ -1,0 +1,83 @@
+//! Debug-only allocation regression gate for the warm SpMV hot path.
+//!
+//! This binary installs [`memsci_exec::alloc_counter::CountingAllocator`]
+//! as its global allocator and measures steady-state (warm) allocations
+//! per SpMV on both engines. The scratch-arena work of PR 5 drove these
+//! to a small constant — a handful of bookkeeping vectors from the
+//! pipeline and result collection, independent of matrix size. If a
+//! change reintroduces per-iteration allocation (a stray `clone()`, a
+//! fresh buffer in a lane), the counts jump well past the recorded
+//! baselines and this gate fails. Release builds don't count and the
+//! tests no-op.
+
+use memsci_core::{AcceleratorConfig, AcceleratorPlatform, ExactAcceleratorPlatform, ExactOptions};
+use memsci_exec::alloc_counter::{allocation_count, counting, CountingAllocator};
+use memsci_solvers::platform::Platform;
+use memsci_sparse::generate::poisson2d;
+use memsci_sparse::{BlockedMatrix, BlockingConfig};
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Measured warm-path ceilings (allocations per kernel, single thread,
+/// overlap off), with slack over the observed steady state (fast: 0,
+/// exact: 4 — the per-bank outcome collections) so incidental churn
+/// doesn't flake the gate. Before the scratch arenas these paths
+/// allocated O(clusters + n) buffers per kernel (hundreds), so the gate
+/// keeps an order of magnitude of discrimination.
+const MAX_WARM_ALLOCS_FAST_SPMV: u64 = 4;
+const MAX_WARM_ALLOCS_EXACT_SPMV: u64 = 12;
+
+fn warm_allocs_per_iter<P: Platform>(acc: &mut P, iters: u64) -> u64 {
+    let n = acc.n();
+    let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.17).sin() + 1.1).collect();
+    let mut y = vec![0.0; n];
+    // Warm up: the first kernels grow every arena to capacity.
+    for _ in 0..3 {
+        acc.spmv(&x, &mut y);
+    }
+    let before = allocation_count();
+    for _ in 0..iters {
+        acc.spmv(&x, &mut y);
+    }
+    (allocation_count() - before) / iters
+}
+
+fn single_thread_config() -> AcceleratorConfig {
+    let mut config = AcceleratorConfig::with_banks(4);
+    config.threads = Some(1);
+    config.overlap = Some(false);
+    config
+}
+
+#[test]
+fn fast_engine_warm_spmv_allocations_stay_bounded() {
+    if !counting() {
+        return;
+    }
+    let a = poisson2d(14, 14);
+    let blocked = BlockedMatrix::block(&a, &BlockingConfig::default());
+    let mut acc = AcceleratorPlatform::new(&blocked, single_thread_config());
+    let per_iter = warm_allocs_per_iter(&mut acc, 64);
+    assert!(
+        per_iter <= MAX_WARM_ALLOCS_FAST_SPMV,
+        "fast engine warm spmv allocates {per_iter}/iter, baseline {MAX_WARM_ALLOCS_FAST_SPMV}"
+    );
+}
+
+#[test]
+fn exact_engine_warm_spmv_allocations_stay_bounded() {
+    if !counting() {
+        return;
+    }
+    let a = poisson2d(10, 10);
+    let blocked = BlockedMatrix::block(&a, &BlockingConfig::default());
+    let mut acc =
+        ExactAcceleratorPlatform::new(&blocked, single_thread_config(), ExactOptions::default())
+            .unwrap();
+    let per_iter = warm_allocs_per_iter(&mut acc, 16);
+    assert!(
+        per_iter <= MAX_WARM_ALLOCS_EXACT_SPMV,
+        "exact engine warm spmv allocates {per_iter}/iter, baseline {MAX_WARM_ALLOCS_EXACT_SPMV}"
+    );
+}

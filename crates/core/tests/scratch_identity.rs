@@ -1,0 +1,133 @@
+//! Warm-vs-cold bitwise identity for the scratch arenas (PR 5).
+//!
+//! Every platform keeps reusable working memory (per-cluster MVM
+//! scratch, per-bank vector pads, residual-lane row sums, per-device
+//! stripe buffers) that persists across solver iterations. These tests
+//! pit a platform that reuses its scratch normally against a twin that
+//! calls `clear_scratch()` before every kernel: the 2nd..Nth results
+//! must be bit-identical in both modes, across host thread counts and
+//! lane overlap, with read noise (RTN) enabled on the exact engine.
+
+use memsci_core::{
+    AcceleratorConfig, AcceleratorPlatform, ExactAcceleratorPlatform, ExactOptions,
+    MultiAcceleratorPlatform,
+};
+use memsci_solvers::platform::Platform;
+use memsci_sparse::generate::poisson2d;
+use memsci_sparse::{BlockedMatrix, BlockingConfig};
+
+const ROUNDS: usize = 3;
+
+fn vectors(n: usize) -> Vec<Vec<f64>> {
+    (0..ROUNDS)
+        .map(|round| {
+            (0..n)
+                .map(|i| (i as f64 * 0.17 + round as f64 * 0.61).sin() + 1.1)
+                .collect()
+        })
+        .collect()
+}
+
+/// Runs `rounds` of spmv + spmv_transpose on `warm` (scratch reused)
+/// and `cold` (scratch dropped before every kernel), asserting bitwise
+/// equality after each kernel.
+fn assert_warm_cold_identical<P: Platform>(
+    warm: &mut P,
+    cold: &mut P,
+    clear: impl Fn(&mut P),
+    label: &str,
+) {
+    let n = warm.n();
+    let mut yw = vec![0.0; n];
+    let mut yc = vec![0.0; n];
+    for (round, x) in vectors(n).iter().enumerate() {
+        warm.spmv(x, &mut yw);
+        clear(cold);
+        cold.spmv(x, &mut yc);
+        for (u, v) in yw.iter().zip(&yc) {
+            assert_eq!(u.to_bits(), v.to_bits(), "spmv {label} round {round}");
+        }
+        warm.spmv_transpose(x, &mut yw);
+        clear(cold);
+        cold.spmv_transpose(x, &mut yc);
+        for (u, v) in yw.iter().zip(&yc) {
+            assert_eq!(
+                u.to_bits(),
+                v.to_bits(),
+                "spmv_transpose {label} round {round}"
+            );
+        }
+    }
+    assert_eq!(
+        warm.elapsed_seconds().to_bits(),
+        cold.elapsed_seconds().to_bits(),
+        "cost model {label}"
+    );
+}
+
+fn config(threads: usize, overlap: bool) -> AcceleratorConfig {
+    let mut config = AcceleratorConfig::with_banks(4);
+    config.threads = Some(threads);
+    config.overlap = Some(overlap);
+    config
+}
+
+#[test]
+fn fast_engine_warm_scratch_is_bit_identical() {
+    let a = poisson2d(14, 14);
+    let blocked = BlockedMatrix::block(&a, &BlockingConfig::default());
+    for threads in [1, 4] {
+        for overlap in [false, true] {
+            let mut warm = AcceleratorPlatform::new(&blocked, config(threads, overlap));
+            let mut cold = AcceleratorPlatform::new(&blocked, config(threads, overlap));
+            assert_warm_cold_identical(
+                &mut warm,
+                &mut cold,
+                |p| p.clear_scratch(),
+                &format!("fast t{threads} o{overlap}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn exact_engine_warm_scratch_is_bit_identical() {
+    let a = poisson2d(10, 10);
+    let blocked = BlockedMatrix::block(&a, &BlockingConfig::default());
+    // RTN on: the per-cluster noise streams must stay in lockstep
+    // whether or not the MVM scratch is reused.
+    let opts = ExactOptions {
+        seed: 7,
+        rtn_probability: 0.02,
+        ..Default::default()
+    };
+    for threads in [1, 4] {
+        for overlap in [false, true] {
+            let mut warm =
+                ExactAcceleratorPlatform::new(&blocked, config(threads, overlap), opts).unwrap();
+            let mut cold =
+                ExactAcceleratorPlatform::new(&blocked, config(threads, overlap), opts).unwrap();
+            assert_warm_cold_identical(
+                &mut warm,
+                &mut cold,
+                |p| p.clear_scratch(),
+                &format!("exact t{threads} o{overlap}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn multi_device_warm_scratch_is_bit_identical() {
+    let a = poisson2d(14, 14);
+    for threads in [1, 4] {
+        let mut warm = MultiAcceleratorPlatform::new(&a, 3, config(threads, false), 2e-6);
+        let mut cold = MultiAcceleratorPlatform::new(&a, 3, config(threads, false), 2e-6);
+        assert_warm_cold_identical(
+            &mut warm,
+            &mut cold,
+            |p| p.clear_scratch(),
+            &format!("multi t{threads}"),
+        );
+    }
+}

@@ -306,6 +306,68 @@ where
     out
 }
 
+pub mod alloc_counter {
+    //! A debug-only global allocation counter for regression gates.
+    //!
+    //! The zero-allocation SpMV work (scratch arenas, precomputed MVM
+    //! plans) is easy to regress silently: one stray `clone()` on a hot
+    //! path and the steady-state iteration allocates again. A test
+    //! binary installs [`CountingAllocator`] as its `#[global_allocator]`
+    //! and asserts that warm iterations stay under a recorded
+    //! allocations-per-iteration baseline. Counting is compiled in only
+    //! with debug assertions ([`counting`] reports which); release
+    //! binaries pay a single delegated call and no atomic traffic.
+
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+    /// A [`System`]-delegating allocator that counts allocation events
+    /// (alloc, alloc_zeroed, realloc — frees are not counted) in debug
+    /// builds. Install with `#[global_allocator]` in a test binary.
+    #[derive(Debug, Default, Clone, Copy)]
+    pub struct CountingAllocator;
+
+    unsafe impl GlobalAlloc for CountingAllocator {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            #[cfg(debug_assertions)]
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            #[cfg(debug_assertions)]
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            System.alloc_zeroed(layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            #[cfg(debug_assertions)]
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+    }
+
+    /// Allocation events observed so far by an installed
+    /// [`CountingAllocator`] (always 0 when none is installed or in
+    /// release builds).
+    pub fn allocation_count() -> u64 {
+        ALLOCATIONS.load(Ordering::Relaxed)
+    }
+
+    /// True when this build counts allocations (debug assertions on).
+    /// Gates should no-op when this is false instead of asserting
+    /// against a counter that never moves.
+    pub fn counting() -> bool {
+        cfg!(debug_assertions)
+    }
+}
+
 /// Times a parallel section, pairing its result with [`ExecStats`].
 pub fn timed<R>(threads: usize, tasks: usize, f: impl FnOnce() -> R) -> (R, ExecStats) {
     let start = Instant::now();
@@ -321,8 +383,26 @@ pub fn timed<R>(threads: usize, tasks: usize, f: impl FnOnce() -> R) -> (R, Exec
 }
 
 #[cfg(test)]
+#[global_allocator]
+static TEST_ALLOCATOR: alloc_counter::CountingAllocator = alloc_counter::CountingAllocator;
+
+#[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn alloc_counter_counts_in_debug_builds_only() {
+        let before = alloc_counter::allocation_count();
+        let v: Vec<u64> = Vec::with_capacity(32);
+        std::hint::black_box(&v);
+        drop(v);
+        let after = alloc_counter::allocation_count();
+        if alloc_counter::counting() {
+            assert!(after > before, "debug builds must count allocations");
+        } else {
+            assert_eq!(after, before, "release builds must not count");
+        }
+    }
 
     #[test]
     fn parse_rejects_zero_and_garbage() {

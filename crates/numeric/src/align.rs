@@ -98,28 +98,63 @@ pub fn analyze<I>(values: I) -> Result<Option<Alignment>, NonFiniteError>
 where
     I: IntoIterator<Item = f64>,
 {
+    let mut err = None;
+    let result = fold_alignment(
+        values
+            .into_iter()
+            .map_while(|v| match FloatParts::decompose(v) {
+                Ok(p) => Some(p),
+                Err(e) => {
+                    err = Some(e);
+                    None
+                }
+            }),
+    );
+    match err {
+        Some(e) => Err(e),
+        None => Ok(result),
+    }
+}
+
+/// [`analyze`] for data that may contain non-finite values: NaNs and
+/// infinities are skipped rather than rejected, matching the fast
+/// engine's per-apply vector scan (non-finite intermediates stay on the
+/// digital path and never reach a crossbar).
+pub fn analyze_lossy<I>(values: I) -> Option<Alignment>
+where
+    I: IntoIterator<Item = f64>,
+{
+    fold_alignment(
+        values
+            .into_iter()
+            .filter_map(|v| FloatParts::decompose(v).ok()),
+    )
+}
+
+/// The exponent-scan fold shared by [`analyze`] and [`analyze_lossy`]:
+/// zeros are ignored; `None` when every value is zero.
+fn fold_alignment(parts: impl Iterator<Item = FloatParts>) -> Option<Alignment> {
     let mut exp_min = i32::MAX;
     let mut top_max = i32::MIN;
-    for v in values {
-        let p = FloatParts::decompose(v)?;
+    for p in parts {
         if let Some(top) = p.top_exponent() {
             exp_min = exp_min.min(p.exponent);
             top_max = top_max.max(top);
         }
     }
     if exp_min == i32::MAX {
-        return Ok(None);
+        return None;
     }
-    Ok(Some(Alignment {
+    Some(Alignment {
         exp_base: exp_min,
         magnitude_bits: (top_max - exp_min + 1) as usize,
-    }))
+    })
 }
 
 /// A block of values converted to signed fixed point relative to a shared
 /// exponent base: `values[i] × 2^exp_base` reconstructs each double
 /// exactly.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct AlignedSlice {
     exp_base: i32,
     magnitude_bits: usize,
@@ -147,6 +182,26 @@ impl AlignedSlice {
     /// # Ok::<(), memsci_numeric::align::AlignError>(())
     /// ```
     pub fn align(values: &[f64], max_magnitude_bits: usize) -> Result<Self, AlignError> {
+        let mut out = AlignedSlice::default();
+        out.align_into(values, max_magnitude_bits)?;
+        Ok(out)
+    }
+
+    /// As [`Self::align`], but reusing `self`'s buffers — the outer
+    /// vector and every element's limb storage — so repeated alignment
+    /// of same-shaped inputs is allocation-free after warm-up. On error
+    /// `self` may hold a partially written block; callers must treat it
+    /// as garbage until the next successful call.
+    ///
+    /// # Errors
+    ///
+    /// [`AlignError::NonFinite`] for NaN/infinity inputs and
+    /// [`AlignError::RangeExceeded`] when the exponent range does not fit.
+    pub fn align_into(
+        &mut self,
+        values: &[f64],
+        max_magnitude_bits: usize,
+    ) -> Result<(), AlignError> {
         let alignment = analyze(values.iter().copied())?;
         let (exp_base, magnitude_bits) = match alignment {
             None => (0, 0),
@@ -158,21 +213,22 @@ impl AlignedSlice {
                 max: max_magnitude_bits,
             });
         }
-        let mut out = Vec::with_capacity(values.len());
-        for &v in values {
+        self.exp_base = exp_base;
+        self.magnitude_bits = magnitude_bits;
+        self.values.truncate(values.len());
+        while self.values.len() < values.len() {
+            self.values.push(WideInt::zero());
+        }
+        for (slot, &v) in self.values.iter_mut().zip(values) {
             let p = FloatParts::decompose(v).map_err(AlignError::NonFinite)?;
             if p.is_zero() {
-                out.push(WideInt::zero());
+                slot.set_zero();
             } else {
                 let shift = (p.exponent - exp_base) as u32;
-                out.push(p.signed_mantissa().shl(shift));
+                slot.assign_shl_u64(p.sign, p.mantissa, shift);
             }
         }
-        Ok(AlignedSlice {
-            exp_base,
-            magnitude_bits,
-            values: out,
-        })
+        Ok(())
     }
 
     /// Power-of-two weight of the fixed-point LSB.
@@ -279,6 +335,36 @@ mod tests {
         assert_eq!(a.value(0), 5e-324);
         assert_eq!(a.value(1), 1e-320);
         assert_eq!(a.exp_base(), -1074);
+    }
+
+    #[test]
+    fn align_into_reuse_matches_fresh_align() {
+        let mut scratch = AlignedSlice::default();
+        let blocks: [&[f64]; 4] = [
+            &[1.0, -0.375, 1e-3, 123456.789, 0.0, -7.25e4],
+            &[0.0, 0.0],
+            &[5e-324, 1e-320, -2.5e-319],
+            &[42.0],
+        ];
+        for vals in blocks {
+            scratch.align_into(vals, MAX_MAGNITUDE_BITS).unwrap();
+            let fresh = AlignedSlice::align(vals, MAX_MAGNITUDE_BITS).unwrap();
+            assert_eq!(scratch, fresh);
+        }
+        // Errors still surface through the reusing path.
+        assert!(scratch.align_into(&[f64::NAN], MAX_MAGNITUDE_BITS).is_err());
+        assert!(matches!(
+            scratch.align_into(&[1e-300, 1e300], MAX_MAGNITUDE_BITS),
+            Err(AlignError::RangeExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn analyze_lossy_skips_non_finite() {
+        let strict = analyze([1.0, 4.0]).unwrap().unwrap();
+        let lossy = analyze_lossy([1.0, f64::NAN, 4.0, f64::INFINITY]).unwrap();
+        assert_eq!(strict, lossy);
+        assert_eq!(analyze_lossy([f64::NAN, 0.0]), None);
     }
 
     #[test]

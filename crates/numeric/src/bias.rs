@@ -114,6 +114,27 @@ pub fn debias_partial(p: &WideInt, bias_bit: usize, popcount: u64) -> WideInt {
     p - &WideInt::from(popcount).shl(bias_bit as u32)
 }
 
+/// Allocation-free fused debias-and-accumulate:
+/// `acc ± (debias_partial(p, bias_bit, popcount) << shift)` computed in
+/// place on `acc`'s limb buffer (`negate` selects subtraction). The
+/// bias term is folded in as `∓ popcount << (bias_bit + shift)`, which
+/// is algebraically identical to shifting the debiased partial, so the
+/// result is bit-for-bit the same as the allocating form. Counts one
+/// [`BiasDebiases`](memsci_telemetry::Counter::BiasDebiases) event,
+/// exactly like [`debias_partial`].
+pub fn debias_accumulate(
+    acc: &mut WideInt,
+    p: &WideInt,
+    bias_bit: usize,
+    popcount: u64,
+    shift: u32,
+    negate: bool,
+) {
+    memsci_telemetry::incr(memsci_telemetry::Counter::BiasDebiases, 1);
+    acc.add_shl_assign(p, shift, negate);
+    acc.add_shl_u64_assign(popcount, bias_bit as u32 + shift, !negate);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,6 +170,29 @@ mod tests {
         // Vector slice [0, 1]: raw = 13, popcount 1 -> -3.
         let raw = WideInt::from(13u64);
         assert_eq!(debias_partial(&raw, 4, 1), WideInt::from(-3i64));
+    }
+
+    #[test]
+    fn debias_accumulate_matches_debias_partial() {
+        for &acc0 in &[0i64, 17, -300] {
+            for &raw in &[34i64, 13, 0, 500] {
+                for pop in [0u64, 1, 2, 7] {
+                    for shift in [0u32, 3, 64] {
+                        for negate in [false, true] {
+                            let mut acc = WideInt::from(acc0);
+                            debias_accumulate(&mut acc, &WideInt::from(raw), 4, pop, shift, negate);
+                            let term = debias_partial(&WideInt::from(raw), 4, pop).shl(shift);
+                            let want = if negate {
+                                WideInt::from(acc0) - term
+                            } else {
+                                WideInt::from(acc0) + term
+                            };
+                            assert_eq!(acc, want, "acc0={acc0} raw={raw} pop={pop} shift={shift}");
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@ use crate::wideint::WideInt;
 ///
 /// Slice `j` is a bitmap over element indices; element `i`'s operand has
 /// bit `j` set iff `get(j, i)`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct SliceSet {
     n: usize,
     width: usize,
@@ -71,33 +71,57 @@ impl SliceSet {
     /// assert_eq!(s.reconstruct(0), WideInt::from(-1i64));
     /// ```
     pub fn from_twos_complement(values: &[WideInt], width: usize) -> Self {
+        let mut out = SliceSet::default();
+        out.from_twos_complement_into(values, width);
+        out
+    }
+
+    /// As [`Self::from_twos_complement`], reusing `self`'s slice bitmaps
+    /// so repeated slicing of same-shaped blocks is allocation-free
+    /// after warm-up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0` or any value lies outside
+    /// `[-2^(width-1), 2^(width-1))`.
+    pub fn from_twos_complement_into(&mut self, values: &[WideInt], width: usize) {
         assert!(width >= 1, "two's complement needs at least the sign bit");
         let n = values.len();
         let words_per_slice = n.div_ceil(64);
-        let mut words = vec![vec![0u64; words_per_slice]; width];
-        let modulus = WideInt::pow2(width);
-        let half = WideInt::pow2(width - 1);
+        self.n = n;
+        self.width = width;
+        self.signed_msb = true;
+        self.words.truncate(width);
+        while self.words.len() < width {
+            self.words.push(Vec::new());
+        }
+        for slice in &mut self.words {
+            slice.clear();
+            slice.resize(words_per_slice, 0);
+        }
+        let mut enc = WideInt::zero();
         for (i, v) in values.iter().enumerate() {
+            // In range iff |v| < 2^(width-1), or v == -2^(width-1).
+            let in_range = v.bit_len() < width
+                || (v.is_negative() && v.bit_len() == width && v.count_ones() == 1);
             assert!(
-                v < &half && -&half <= *v,
+                in_range,
                 "value out of two's-complement range for width {width}"
             );
-            let enc = if v.is_negative() {
-                &modulus + v
+            let src: &WideInt = if v.is_negative() {
+                // enc = 2^width + v, computed in enc's reused buffer.
+                enc.set_zero();
+                enc.add_shl_u64_assign(1, width as u32, false);
+                enc.add_shl_assign(v, 0, false);
+                &enc
             } else {
-                v.clone()
+                v
             };
-            for (j, slice) in words.iter_mut().enumerate() {
-                if enc.bit(j) {
+            for (j, slice) in self.words.iter_mut().enumerate() {
+                if src.bit(j) {
                     slice[i / 64] |= 1u64 << (i % 64);
                 }
             }
-        }
-        SliceSet {
-            n,
-            width,
-            signed_msb: true,
-            words,
         }
     }
 
@@ -204,6 +228,22 @@ mod tests {
     #[should_panic(expected = "negative value")]
     fn unsigned_rejects_negative() {
         SliceSet::from_unsigned(&[w(-1)], 4);
+    }
+
+    #[test]
+    fn twos_complement_into_reuse_matches_fresh() {
+        let mut scratch = SliceSet::default();
+        let blocks: [(&[i64], usize); 4] = [
+            (&[0, 1, -1, 7, -8, 3], 4),
+            (&[5, -5], 5),
+            (&[], 3),
+            (&[-1, -1, -1], 2),
+        ];
+        for (vals, width) in blocks {
+            let vals: Vec<WideInt> = vals.iter().map(|&v| w(v)).collect();
+            scratch.from_twos_complement_into(&vals, width);
+            assert_eq!(scratch, SliceSet::from_twos_complement(&vals, width));
+        }
     }
 
     #[test]

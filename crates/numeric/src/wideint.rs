@@ -181,6 +181,38 @@ fn mag_mul_u64(a: &[u64], m: u64) -> Vec<u64> {
     out
 }
 
+/// Remainder of a magnitude modulo `d` without materializing the
+/// quotient (the allocation-free core of [`WideInt::rem_euclid_u64`]).
+fn mag_rem_u64(a: &[u64], d: u64) -> u64 {
+    assert!(d != 0, "division by zero");
+    let mut rem = 0u128;
+    for &w in a.iter().rev() {
+        rem = ((rem << 64) | u128::from(w)) % u128::from(d);
+    }
+    rem as u64
+}
+
+/// Limb `i` of `mag << (limbs·64 + bits)` computed on the fly, so shifted
+/// operands never need a temporary buffer. `bits` must be `< 64` and
+/// `mag` normalized.
+fn shifted_limb(mag: &[u64], limbs: usize, bits: u32, i: usize) -> u64 {
+    if i < limbs {
+        return 0;
+    }
+    let j = i - limbs;
+    let hi = mag.get(j).copied().unwrap_or(0);
+    if bits == 0 {
+        hi
+    } else {
+        let lo = if j == 0 {
+            0
+        } else {
+            mag.get(j - 1).copied().unwrap_or(0) >> (64 - bits)
+        };
+        (hi << bits) | lo
+    }
+}
+
 fn mag_divrem_u64(a: &[u64], d: u64) -> (Vec<u64>, u64) {
     assert!(d != 0, "division by zero");
     let mut out = vec![0u64; a.len()];
@@ -457,16 +489,43 @@ impl WideInt {
     }
 
     /// Remainder of the value modulo `d`, mapped into `[0, d)`.
+    /// Allocation-free (the quotient is never materialized).
     ///
     /// # Panics
     ///
     /// Panics if `d == 0`.
     pub fn rem_euclid_u64(&self, d: u64) -> u64 {
-        let (_, r) = mag_divrem_u64(&self.mag, d);
+        let r = mag_rem_u64(&self.mag, d);
         if self.neg && r != 0 {
             d - r
         } else {
             r
+        }
+    }
+
+    /// As [`Self::divrem_u64`], writing the quotient into `q`'s reused
+    /// limb buffer and returning the remainder (dividend-signed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    pub fn divrem_u64_into(&self, d: u64, q: &mut WideInt) -> i64 {
+        assert!(d != 0, "division by zero");
+        q.mag.clear();
+        q.mag.resize(self.mag.len(), 0);
+        let mut rem = 0u128;
+        for i in (0..self.mag.len()).rev() {
+            let cur = (rem << 64) | u128::from(self.mag[i]);
+            q.mag[i] = (cur / u128::from(d)) as u64;
+            rem = cur % u128::from(d);
+        }
+        mag_norm(&mut q.mag);
+        q.neg = self.neg && !q.mag.is_empty();
+        let r = rem as u64;
+        if self.neg {
+            -(r as i64)
+        } else {
+            r as i64
         }
     }
 
@@ -489,6 +548,169 @@ impl WideInt {
             m = mag_add(&m, &[1]);
         }
         WideInt::from_sign_magnitude(self.neg, m)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-place accumulation (the allocation-free hot path).
+// ---------------------------------------------------------------------------
+
+impl WideInt {
+    /// Resets the value to zero, keeping the limb buffer allocated.
+    pub fn set_zero(&mut self) {
+        self.mag.clear();
+        self.neg = false;
+    }
+
+    /// Overwrites the value with `±(m << shift)`, reusing the buffer.
+    pub fn assign_shl_u64(&mut self, neg: bool, m: u64, shift: u32) {
+        self.mag.clear();
+        self.neg = false;
+        if m != 0 {
+            self.add_shl_limbs(&[m], neg, shift);
+        }
+    }
+
+    /// In-place `self ± (rhs << shift)` without allocating the shifted
+    /// temporary (`negate` selects subtraction). Equivalent to
+    /// `*self += &rhs.shl(shift)` / `-=`, but the right operand's limbs
+    /// are read through the shift on the fly and the left operand's
+    /// buffer grows only when the result genuinely needs more limbs.
+    pub fn add_shl_assign(&mut self, rhs: &WideInt, shift: u32, negate: bool) {
+        self.add_shl_limbs(&rhs.mag, rhs.neg != negate, shift);
+    }
+
+    /// In-place `self ± (m << shift)` for a single unsigned limb.
+    pub fn add_shl_u64_assign(&mut self, m: u64, shift: u32, negate: bool) {
+        if m != 0 {
+            self.add_shl_limbs(&[m], negate, shift);
+        }
+    }
+
+    /// In-place `self += v << shift` for an `i128` (two limbs at most).
+    pub fn add_shl_i128_assign(&mut self, v: i128, shift: u32) {
+        let m = v.unsigned_abs();
+        let limbs = [m as u64, (m >> 64) as u64];
+        let len = if limbs[1] != 0 {
+            2
+        } else {
+            usize::from(limbs[0] != 0)
+        };
+        self.add_shl_limbs(&limbs[..len], v < 0, shift);
+    }
+
+    /// The shared core: `self ± (rmag << shift)` with `rmag` normalized
+    /// and non-aliasing (guaranteed by the borrow checker at call
+    /// sites). Handles all sign/magnitude cases in place.
+    fn add_shl_limbs(&mut self, rmag: &[u64], rneg: bool, shift: u32) {
+        if rmag.is_empty() {
+            return;
+        }
+        let limbs = (shift / 64) as usize;
+        let bits = shift % 64;
+        let rlen = rmag.len() + limbs + usize::from(bits != 0);
+        if self.mag.is_empty() {
+            self.mag.resize(rlen, 0);
+            for i in 0..rlen {
+                self.mag[i] = shifted_limb(rmag, limbs, bits, i);
+            }
+            mag_norm(&mut self.mag);
+            self.neg = rneg && !self.mag.is_empty();
+            return;
+        }
+        if self.neg == rneg {
+            // Same sign: magnitude addition with carry propagation.
+            if self.mag.len() < rlen {
+                self.mag.resize(rlen, 0);
+            }
+            let mut carry = 0u64;
+            let mut i = 0;
+            while i < self.mag.len() {
+                if i >= rlen && carry == 0 {
+                    break;
+                }
+                let r = if i < rlen {
+                    shifted_limb(rmag, limbs, bits, i)
+                } else {
+                    0
+                };
+                let (x, c1) = self.mag[i].overflowing_add(r);
+                let (x, c2) = x.overflowing_add(carry);
+                self.mag[i] = x;
+                carry = u64::from(c1) + u64::from(c2);
+                i += 1;
+            }
+            if carry != 0 {
+                self.mag.push(carry);
+            }
+            mag_norm(&mut self.mag);
+            return;
+        }
+        // Opposite signs: compare |self| against |rmag << shift|, then
+        // subtract the smaller from the larger in place.
+        let cmp = {
+            let mut ord = Ordering::Equal;
+            for i in (0..self.mag.len().max(rlen)).rev() {
+                let a = self.mag.get(i).copied().unwrap_or(0);
+                let b = if i < rlen {
+                    shifted_limb(rmag, limbs, bits, i)
+                } else {
+                    0
+                };
+                match a.cmp(&b) {
+                    Ordering::Equal => continue,
+                    other => {
+                        ord = other;
+                        break;
+                    }
+                }
+            }
+            ord
+        };
+        match cmp {
+            Ordering::Equal => self.set_zero(),
+            Ordering::Greater => {
+                // self.mag -= shifted; sign unchanged.
+                let mut borrow = 0u64;
+                let mut i = 0;
+                while i < self.mag.len() {
+                    if i >= rlen && borrow == 0 {
+                        break;
+                    }
+                    let b = if i < rlen {
+                        shifted_limb(rmag, limbs, bits, i)
+                    } else {
+                        0
+                    };
+                    let (x, b1) = self.mag[i].overflowing_sub(b);
+                    let (x, b2) = x.overflowing_sub(borrow);
+                    self.mag[i] = x;
+                    borrow = u64::from(b1) + u64::from(b2);
+                    i += 1;
+                }
+                debug_assert_eq!(borrow, 0);
+                mag_norm(&mut self.mag);
+            }
+            Ordering::Less => {
+                // self.mag = shifted - self.mag (forward pass reads each
+                // limb before overwriting it); result takes rhs's sign.
+                // |self| < |shifted| implies self.mag.len() <= rlen.
+                if self.mag.len() < rlen {
+                    self.mag.resize(rlen, 0);
+                }
+                let mut borrow = 0u64;
+                for i in 0..rlen {
+                    let a = shifted_limb(rmag, limbs, bits, i);
+                    let (x, b1) = a.overflowing_sub(self.mag[i]);
+                    let (x, b2) = x.overflowing_sub(borrow);
+                    self.mag[i] = x;
+                    borrow = u64::from(b1) + u64::from(b2);
+                }
+                debug_assert_eq!(borrow, 0);
+                mag_norm(&mut self.mag);
+                self.neg = rneg && !self.mag.is_empty();
+            }
+        }
     }
 }
 
@@ -710,12 +932,20 @@ impl WideInt {
             };
             (m << (-shift) as u32) as u64
         } else {
-            let dropped = mag_low_bits_nonzero(&self.mag, shift as usize);
             let guard = self.bit(shift as usize - 1);
             let sticky_low = mag_low_bits_nonzero(&self.mag, shift as usize - 1);
-            let kept = mag_shr(&self.mag, shift as u32);
-            let mut m = kept.first().copied().unwrap_or(0);
-            let _ = dropped;
+            // First limb of `mag >> shift`, read through the shift: the
+            // kept part fits 54 bits, so higher limbs are zero and no
+            // shifted temporary is needed.
+            let limbs = (shift / 64) as usize;
+            let bits = (shift % 64) as u32;
+            let lo = self.mag.get(limbs).copied().unwrap_or(0);
+            let mut m = if bits == 0 {
+                lo
+            } else {
+                let hi = self.mag.get(limbs + 1).copied().unwrap_or(0);
+                (lo >> bits) | (hi << (64 - bits))
+            };
             let inc = match mode {
                 Rounding::TowardZero => false,
                 Rounding::TowardNegInf => self.neg && (guard || sticky_low),
@@ -1013,6 +1243,83 @@ mod tests {
             n.to_f64_with_exp(0, Rounding::TowardZero),
             -9007199254740992.0
         );
+    }
+
+    #[test]
+    fn add_shl_assign_matches_allocating_arithmetic() {
+        let cases = [
+            0i128,
+            1,
+            -1,
+            2,
+            7,
+            -13,
+            255,
+            -256,
+            (1 << 62) + 12345,
+            -(1 << 62),
+            i64::MAX as i128,
+            i128::MIN / 2,
+        ];
+        for &a in &cases {
+            for &b in &cases {
+                for shift in [0u32, 1, 13, 63, 64, 65, 130] {
+                    for negate in [false, true] {
+                        let mut acc = w(a);
+                        acc.add_shl_assign(&w(b), shift, negate);
+                        let term = w(b).shl(shift);
+                        let want = if negate { w(a) - term } else { w(a) + term };
+                        assert_eq!(acc, want, "{a} ± ({b} << {shift}) negate={negate}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn add_shl_u64_and_i128_variants() {
+        for &a in &[0i128, 5, -5, 1 << 100, -(1 << 100)] {
+            for m in [0u64, 1, 42, u64::MAX] {
+                for shift in [0u32, 7, 64, 100] {
+                    let mut acc = w(a);
+                    acc.add_shl_u64_assign(m, shift, false);
+                    assert_eq!(acc, w(a) + WideInt::from(m).shl(shift));
+                    let mut acc = w(a);
+                    acc.add_shl_u64_assign(m, shift, true);
+                    assert_eq!(acc, w(a) - WideInt::from(m).shl(shift));
+                }
+            }
+            for v in [0i128, -1, 1, i128::MAX / 3, i128::MIN / 5] {
+                let mut acc = w(a);
+                acc.add_shl_i128_assign(v, 9);
+                assert_eq!(acc, w(a) + w(v).shl(9), "{a} += {v} << 9");
+            }
+        }
+    }
+
+    #[test]
+    fn set_zero_and_assign_reuse_buffers() {
+        let mut v = WideInt::pow2(500);
+        v.set_zero();
+        assert!(v.is_zero() && !v.is_negative());
+        v.assign_shl_u64(true, 3, 70);
+        assert_eq!(v, -WideInt::from(3u64).shl(70));
+        v.assign_shl_u64(false, 0, 10);
+        assert!(v.is_zero());
+    }
+
+    #[test]
+    fn divrem_into_matches_divrem() {
+        let mut q = WideInt::pow2(300); // dirty buffer on purpose
+        for &a in &[0i128, 100, -100, (1 << 90) + 17, -(1 << 90) - 17] {
+            for d in [1u64, 7, 251, 503, u64::MAX] {
+                let r = w(a).divrem_u64_into(d, &mut q);
+                let (want_q, want_r) = w(a).divrem_u64(d);
+                assert_eq!((q.clone(), r), (want_q, want_r), "{a} / {d}");
+                // q·d + r reconstructs the dividend.
+                assert_eq!(q.mul_u64(d) + WideInt::from(r), w(a), "{a} / {d}");
+            }
+        }
     }
 
     #[test]

@@ -3,22 +3,28 @@
 //! ```text
 //! telemetry-verify <manifest.json> [--require-nonzero c1,c2,...]
 //!                  [--invariants] [--diff-solves other.json] [--quiet]
+//! telemetry-verify --stream <stream.jsonl> [--quiet]
 //! ```
 //!
 //! Exits 0 when the manifest parses, matches schema version 1, every
 //! `--require-nonzero` counter is strictly positive, the cross-counter
 //! physical invariants hold (`--invariants`), and the solve outcomes
 //! are bitwise identical to the comparison manifest (`--diff-solves`);
-//! exits 1 with a diagnostic otherwise. Used by `scripts/check.sh` to
-//! gate the smoke repro run and the overlap/threads determinism matrix.
+//! exits 1 with a diagnostic otherwise. With `--stream` it instead
+//! validates an incremental JSONL sweep stream (header, per-batch
+//! records, summary). Used by `scripts/check.sh` to gate the smoke
+//! repro run and the overlap/threads determinism matrix.
 
 use memsci_telemetry::json::Json;
-use memsci_telemetry::{check_invariants, diff_solves, validate_manifest, Counter};
+use memsci_telemetry::{
+    check_invariants, diff_solves, validate_manifest, validate_stream, Counter,
+};
 
 fn usage() -> ! {
     eprintln!(
         "usage: telemetry-verify <manifest.json> [--require-nonzero c1,c2,...] \
-         [--invariants] [--diff-solves other.json] [--quiet]"
+         [--invariants] [--diff-solves other.json] [--quiet]\n\
+         \x20      telemetry-verify --stream <stream.jsonl> [--quiet]"
     );
     std::process::exit(2);
 }
@@ -28,6 +34,7 @@ fn main() {
     let mut required: Vec<String> = Vec::new();
     let mut invariants = false;
     let mut diff_path: Option<String> = None;
+    let mut stream_path: Option<String> = None;
     let mut quiet = false;
 
     let mut args = std::env::args().skip(1);
@@ -44,10 +51,36 @@ fn main() {
             }
             "--invariants" => invariants = true,
             "--diff-solves" => diff_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--stream" => stream_path = Some(args.next().unwrap_or_else(|| usage())),
             "--quiet" => quiet = true,
             "--help" | "-h" => usage(),
             _ if path.is_none() => path = Some(arg),
             _ => usage(),
+        }
+    }
+
+    if let Some(stream_path) = stream_path {
+        if path.is_some() || invariants || diff_path.is_some() || !required.is_empty() {
+            usage();
+        }
+        let text = match std::fs::read_to_string(&stream_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("telemetry-verify: cannot read {stream_path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match validate_stream(&text) {
+            Ok(records) => {
+                if !quiet {
+                    println!("telemetry-verify: {stream_path}: ok (stream, {records} records)");
+                }
+                return;
+            }
+            Err(e) => {
+                eprintln!("telemetry-verify: {stream_path}: {e}");
+                std::process::exit(1);
+            }
         }
     }
     let path = path.unwrap_or_else(|| usage());

@@ -70,10 +70,17 @@ pub enum Counter {
     /// Per-bank shard tasks dispatched by the exact engine's cluster
     /// lane (one per populated bank per kernel).
     BankShardTasks,
+    /// Cluster MVMs that ran against a warm scratch arena (buffers
+    /// reused from a previous call instead of freshly allocated).
+    ScratchReuse,
+    /// Cluster MVMs served by a precomputed plan (operator-invariant
+    /// state — active rows, row entry indices, bias multiples — derived
+    /// at program time rather than per call).
+    PlanHits,
 }
 
 /// Number of counters in the catalog.
-pub const COUNTER_COUNT: usize = 23;
+pub const COUNTER_COUNT: usize = 25;
 
 impl Counter {
     /// Every counter, in catalog (manifest) order.
@@ -101,6 +108,8 @@ impl Counter {
         Counter::Warnings,
         Counter::OverlapKernels,
         Counter::BankShardTasks,
+        Counter::ScratchReuse,
+        Counter::PlanHits,
     ];
 
     /// Stable snake-case name used in manifests and reports.
@@ -129,6 +138,8 @@ impl Counter {
             Counter::Warnings => "warnings",
             Counter::OverlapKernels => "overlap_kernels",
             Counter::BankShardTasks => "bank_shard_tasks",
+            Counter::ScratchReuse => "scratch_reuse",
+            Counter::PlanHits => "plan_hits",
         }
     }
 

@@ -23,6 +23,7 @@ mod counters;
 pub mod json;
 pub mod manifest;
 mod span;
+pub mod stream;
 
 pub use counters::{incr, Counter, HwCounters, COUNTER_COUNT};
 pub use manifest::{
@@ -30,6 +31,7 @@ pub use manifest::{
     ManifestError, SCHEMA_NAME, SCHEMA_VERSION,
 };
 pub use span::{span, Span, SpanStat};
+pub use stream::{validate_stream, ManifestStream, STREAM_SCHEMA_NAME, STREAM_SCHEMA_VERSION};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};

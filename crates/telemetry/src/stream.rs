@@ -1,0 +1,288 @@
+//! Incremental JSONL manifest streaming for long sweeps.
+//!
+//! A single end-of-run manifest is the wrong shape for Monte-Carlo
+//! sweeps: a run killed at trial 900 of 1000 leaves nothing behind, and
+//! the final document cannot attribute counters to individual sweep
+//! points. A [`ManifestStream`] instead appends one compact JSON record
+//! per trial batch — header first, then records carrying per-batch
+//! counter deltas, then a closing summary — flushing after every line so
+//! partial files stay useful. [`validate_stream`] is the machine
+//! contract mirrored by `telemetry-verify --stream`.
+
+use std::io::Write;
+use std::path::Path;
+
+use crate::json::{parse, Json};
+use crate::manifest::ManifestError;
+use crate::{Counter, HwCounters, TelemetrySnapshot};
+
+/// Stream schema identifier (`schema` field of the header line).
+pub const STREAM_SCHEMA_NAME: &str = "memsci-telemetry-stream";
+/// Current stream schema version.
+pub const STREAM_SCHEMA_VERSION: u64 = 1;
+
+/// An append-only JSONL telemetry stream.
+///
+/// Records carry counter *deltas* between consecutive
+/// [`record`](ManifestStream::record) calls, so each line attributes
+/// hardware events to one trial batch. Zero deltas are omitted to keep
+/// lines compact.
+#[derive(Debug)]
+pub struct ManifestStream {
+    file: std::fs::File,
+    records: u64,
+    baseline: HwCounters,
+}
+
+impl ManifestStream {
+    /// Creates (truncating) the stream file and writes the header line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn create(path: &Path, config: &[(&str, Json)]) -> std::io::Result<ManifestStream> {
+        let mut file = std::fs::File::create(path)?;
+        let header = Json::Obj(vec![
+            ("schema".to_string(), Json::Str(STREAM_SCHEMA_NAME.into())),
+            (
+                "schema_version".to_string(),
+                Json::UInt(STREAM_SCHEMA_VERSION),
+            ),
+            ("kind".to_string(), Json::Str("header".into())),
+            (
+                "config".to_string(),
+                Json::Obj(
+                    config
+                        .iter()
+                        .map(|(k, v)| (k.to_string(), v.clone()))
+                        .collect(),
+                ),
+            ),
+        ]);
+        writeln!(file, "{}", header.to_string_compact())?;
+        file.flush()?;
+        Ok(ManifestStream {
+            file,
+            records: 0,
+            baseline: HwCounters::default(),
+        })
+    }
+
+    /// Appends one record attributing the counters accumulated since the
+    /// previous record (or since stream creation) to `label`, plus the
+    /// cumulative solve-outcome count, and flushes the line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn record(&mut self, label: &str, snapshot: &TelemetrySnapshot) -> std::io::Result<()> {
+        let delta = snapshot.counters.delta_since(&self.baseline);
+        self.baseline = snapshot.counters;
+        let counters: Vec<(String, Json)> = delta
+            .iter()
+            .filter(|&(_, v)| v != 0)
+            .map(|(name, v)| (name.to_string(), Json::UInt(v)))
+            .collect();
+        let line = Json::Obj(vec![
+            ("kind".to_string(), Json::Str("record".into())),
+            ("index".to_string(), Json::UInt(self.records)),
+            ("label".to_string(), Json::Str(label.into())),
+            ("counters".to_string(), Json::Obj(counters)),
+            (
+                "solves".to_string(),
+                Json::UInt(snapshot.outcomes.len() as u64),
+            ),
+        ]);
+        writeln!(self.file, "{}", line.to_string_compact())?;
+        self.file.flush()?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Records written so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Writes the closing summary line and consumes the stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn finish(mut self) -> std::io::Result<()> {
+        let line = Json::Obj(vec![
+            ("kind".to_string(), Json::Str("summary".into())),
+            ("records".to_string(), Json::UInt(self.records)),
+        ]);
+        writeln!(self.file, "{}", line.to_string_compact())?;
+        self.file.flush()
+    }
+}
+
+fn fail(msg: impl Into<String>) -> ManifestError {
+    ManifestError(msg.into())
+}
+
+/// Validates stream text against schema version 1 and returns the
+/// record count.
+///
+/// Checks the header line (schema identity, `config` object), that
+/// every record carries a string `label`, a `counters` object whose
+/// keys are cataloged counter names with non-negative integer values,
+/// monotonically increasing `index`, and that the closing summary's
+/// `records` matches the record-line count. A missing summary (run
+/// killed mid-sweep) is an error here; the record lines themselves
+/// remain parseable for salvage.
+///
+/// # Errors
+///
+/// Returns [`ManifestError`] describing the first violation.
+pub fn validate_stream(text: &str) -> Result<u64, ManifestError> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = parse(lines.next().ok_or_else(|| fail("stream is empty"))?)?;
+    if header.get("schema").and_then(Json::as_str) != Some(STREAM_SCHEMA_NAME) {
+        return Err(fail(format!("`schema` must be \"{STREAM_SCHEMA_NAME}\"")));
+    }
+    if header.get("schema_version").and_then(Json::as_u64) != Some(STREAM_SCHEMA_VERSION) {
+        return Err(fail(format!(
+            "`schema_version` must be {STREAM_SCHEMA_VERSION}"
+        )));
+    }
+    if header.get("kind").and_then(Json::as_str) != Some("header") {
+        return Err(fail("first line must have kind \"header\""));
+    }
+    header
+        .get("config")
+        .and_then(Json::as_obj)
+        .ok_or_else(|| fail("header `config` must be an object"))?;
+
+    let known: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
+    let mut records = 0u64;
+    let mut summary: Option<u64> = None;
+    for (lineno, line) in lines.enumerate() {
+        if summary.is_some() {
+            return Err(fail(format!("line {}: content after summary", lineno + 2)));
+        }
+        let doc = parse(line)?;
+        match doc.get("kind").and_then(Json::as_str) {
+            Some("record") => {
+                if doc.get("index").and_then(Json::as_u64) != Some(records) {
+                    return Err(fail(format!("record {records}: `index` must be {records}")));
+                }
+                if doc.get("label").and_then(Json::as_str).is_none() {
+                    return Err(fail(format!("record {records}: missing string `label`")));
+                }
+                let counters = doc.get("counters").and_then(Json::as_obj).ok_or_else(|| {
+                    fail(format!("record {records}: `counters` must be an object"))
+                })?;
+                for (name, value) in counters {
+                    if !known.contains(&name.as_str()) {
+                        return Err(fail(format!("record {records}: unknown counter `{name}`")));
+                    }
+                    if value.as_u64().is_none() {
+                        return Err(fail(format!(
+                            "record {records}: counter `{name}` must be a non-negative integer"
+                        )));
+                    }
+                }
+                records += 1;
+            }
+            Some("summary") => {
+                summary = Some(
+                    doc.get("records")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| fail("summary needs integer `records`"))?,
+                );
+            }
+            other => return Err(fail(format!("unexpected line kind {other:?}"))),
+        }
+    }
+    match summary {
+        None => Err(fail("missing summary line (stream truncated?)")),
+        Some(s) if s != records => Err(fail(format!(
+            "summary claims {s} records, stream has {records}"
+        ))),
+        Some(_) => Ok(records),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap_with(counter: Counter, value: u64) -> TelemetrySnapshot {
+        let _x = crate::exclusive_for_tests();
+        crate::reset();
+        crate::enable();
+        crate::incr(counter, value);
+        let snap = crate::snapshot();
+        crate::disable();
+        crate::reset();
+        snap
+    }
+
+    #[test]
+    fn stream_round_trips_and_validates() {
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/tmp/memsci-telemetry-stream-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stream.jsonl");
+        let mut stream =
+            ManifestStream::create(&path, &[("sweep", Json::Str("rtn".into()))]).unwrap();
+        stream
+            .record("trial-0", &snap_with(Counter::SpmvOps, 3))
+            .unwrap();
+        stream
+            .record("trial-1", &snap_with(Counter::SpmvOps, 5))
+            .unwrap();
+        assert_eq!(stream.records(), 2);
+        stream.finish().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(validate_stream(&text), Ok(2));
+        // Deltas, not totals: the second record attributes only the
+        // growth since the first.
+        let second = text.lines().nth(2).unwrap();
+        let doc = parse(second).unwrap();
+        assert_eq!(
+            doc.get("counters")
+                .unwrap()
+                .get("spmv_ops")
+                .unwrap()
+                .as_u64(),
+            Some(2)
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn validation_rejects_malformed_streams() {
+        assert!(validate_stream("").is_err());
+        assert!(validate_stream("{\"schema\":\"other\"}").is_err());
+        let header = format!(
+            "{{\"schema\":\"{STREAM_SCHEMA_NAME}\",\"schema_version\":1,\
+             \"kind\":\"header\",\"config\":{{}}}}"
+        );
+        // Truncated: no summary.
+        assert!(validate_stream(&header).is_err());
+        // Unknown counter name.
+        let bad_counter = format!(
+            "{header}\n{{\"kind\":\"record\",\"index\":0,\"label\":\"t\",\
+             \"counters\":{{\"nope\":1}},\"solves\":0}}\n\
+             {{\"kind\":\"summary\",\"records\":1}}"
+        );
+        assert!(validate_stream(&bad_counter)
+            .unwrap_err()
+            .0
+            .contains("nope"));
+        // Summary/record count mismatch.
+        let miscount = format!("{header}\n{{\"kind\":\"summary\",\"records\":3}}");
+        assert!(validate_stream(&miscount).unwrap_err().0.contains("3"));
+        // Good minimal stream.
+        let good = format!(
+            "{header}\n{{\"kind\":\"record\",\"index\":0,\"label\":\"t\",\
+             \"counters\":{{\"spmv_ops\":2}},\"solves\":1}}\n\
+             {{\"kind\":\"summary\",\"records\":1}}"
+        );
+        assert_eq!(validate_stream(&good), Ok(1));
+    }
+}

@@ -11,7 +11,7 @@
 //! 53-bit mantissa settles (§IV-B), skipping the remaining conversions.
 
 use memsci_numeric::align::{AlignError, AlignedSlice};
-use memsci_numeric::bias::debias_partial;
+use memsci_numeric::bias::debias_accumulate;
 use memsci_numeric::bitslice::SliceSet;
 use memsci_numeric::running_sum::{remaining_bound_bit, settled};
 use memsci_numeric::{AnCode, Rounding, WideInt};
@@ -157,13 +157,63 @@ pub struct Cluster {
     an: Option<AnCode>,
     /// Magnitude bound (bits) of a de-biased partial dot product.
     pm_bits: u32,
-    /// Per output row: the present cells' `(input, encoded operand)`
-    /// pairs, enabling the exact fast path (see `mvm`).
-    fast_rows: Vec<Vec<(u32, WideInt)>>,
-    /// The encoded bias constant stored in every absent cell.
-    enc_bias: WideInt,
+    /// The encoded operand table, one entry per programmed cell.
+    stored: Vec<WideInt>,
+    /// Per output row: the present cells' `(input, stored-table index)`
+    /// pairs, enabling the exact fast path (see `mvm_with`).
+    fast_rows: Vec<Vec<(u32, u32)>>,
+    /// Rows with at least one programmed cell, precomputed so each MVM
+    /// skips empty rows without rescanning `row_nnz`.
+    active_rows: Vec<u32>,
+    /// `bias_multiples[m]` is `m` times the encoded bias constant held
+    /// in every absent cell: the absent-cell contribution of a slice
+    /// with `m` active-but-absent inputs, precomputed for every possible
+    /// multiplicity `0..=n`.
+    bias_multiples: Vec<WideInt>,
     write_time: f64,
     write_energy: f64,
+}
+
+/// Reusable working memory for [`Cluster::mvm_with`].
+///
+/// All buffers grow on first use and persist across calls, so steady
+/// state MVMs against same-shaped clusters allocate nothing. A scratch
+/// is plain data — it carries no results between calls and may be moved
+/// between clusters freely (every buffer is reset before use).
+#[derive(Debug, Default)]
+pub struct MvmScratch {
+    x_aligned: AlignedSlice,
+    slices: SliceSet,
+    sums: Vec<WideInt>,
+    done: Vec<bool>,
+    raw: WideInt,
+    checked: WideInt,
+    row_profile: Vec<u32>,
+    warm: bool,
+}
+
+/// Event counts and costs of one cluster MVM (the buffer-free subset of
+/// [`MvmResult`]; the dot products land in the caller's `y` slice).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MvmStats {
+    /// Energy consumed, in joules.
+    pub energy: f64,
+    /// Latency, in seconds.
+    pub time: f64,
+    /// Vector bit slices available (two's-complement width).
+    pub slices_total: usize,
+    /// Vector bit slices actually applied before all rows settled.
+    pub slices_used: usize,
+    /// ADC conversions performed.
+    pub conversions: u64,
+    /// Conversions skipped thanks to early termination.
+    pub conversions_skipped: u64,
+    /// Conversions whose SAR search was shortened by the ADC headstart.
+    pub headstart_hits: u64,
+    /// Partial products corrected by the AN code.
+    pub an_corrections: u64,
+    /// Partial products with detected-but-uncorrectable errors.
+    pub an_detections: u64,
 }
 
 impl Cluster {
@@ -281,14 +331,24 @@ impl Cluster {
             memsci_telemetry::incr(memsci_telemetry::Counter::CicInvertedColumns, inverted);
         }
 
-        let fast_rows: Vec<Vec<(u32, WideInt)>> = row_entries
+        // Plan precomputation: everything an MVM needs that depends only
+        // on the programmed block is derived once here. Rows reference
+        // the stored-operand table by index instead of cloning operands,
+        // and the absent-cell bias contribution for every possible
+        // active-input multiplicity is tabulated up front.
+        let fast_rows: Vec<Vec<(u32, u32)>> = row_entries
             .iter()
             .map(|row| {
                 row.iter()
-                    .map(|&(input, idx)| (input, stored[idx].clone()))
+                    .map(|&(input, idx)| (input, idx as u32))
                     .collect()
             })
             .collect();
+        let active_rows: Vec<u32> = (0..n as u32).filter(|&r| row_nnz[r as usize] > 0).collect();
+        let mut bias_multiples = Vec::with_capacity(n + 1);
+        for m in 0..=n {
+            bias_multiples.push(enc_bias.mul_u64(m as u64));
+        }
 
         let write_model = WriteModel::default();
         let set_cells: u64 = groups.iter().map(Crossbar::stored_level_sum).sum();
@@ -301,8 +361,10 @@ impl Cluster {
             row_nnz,
             an,
             pm_bits: bias_bit as u32 + 1 + n_bits,
+            stored,
             fast_rows,
-            enc_bias,
+            active_rows,
+            bias_multiples,
             write_time: write_model.cluster_write_time(n),
             write_energy: write_model.write_energy(set_cells),
             spec: *spec,
@@ -363,6 +425,10 @@ impl Cluster {
 
     /// Performs `y = block · x` on the crossbar substrate.
     ///
+    /// Convenience form of [`Self::mvm_with`] that allocates a fresh
+    /// scratch arena and output vector per call; hot paths should hold a
+    /// [`MvmScratch`] and call `mvm_with` directly.
+    ///
     /// # Errors
     ///
     /// Returns [`AlignError`] if the vector contains non-finite values
@@ -377,46 +443,95 @@ impl Cluster {
         opts: &MvmOptions,
         rng: &mut R,
     ) -> Result<MvmResult, AlignError> {
+        let mut scratch = MvmScratch::default();
+        let mut y = vec![0.0; self.n()];
+        let stats = self.mvm_with(x, opts, rng, &mut scratch, &mut y)?;
+        Ok(MvmResult {
+            y,
+            energy: stats.energy,
+            time: stats.time,
+            slices_total: stats.slices_total,
+            slices_used: stats.slices_used,
+            conversions: stats.conversions,
+            conversions_skipped: stats.conversions_skipped,
+            headstart_hits: stats.headstart_hits,
+            an_corrections: stats.an_corrections,
+            an_detections: stats.an_detections,
+            row_slices: opts
+                .collect_row_profile
+                .then(|| std::mem::take(&mut scratch.row_profile)),
+        })
+    }
+
+    /// Performs `y = block · x` with caller-owned working memory.
+    ///
+    /// Identical in results and cost accounting to [`Self::mvm`], but
+    /// every intermediate — the aligned vector, its bit slices, the
+    /// per-row running sums, and the reduction/decoder words — lives in
+    /// `scratch`, so repeated MVMs allocate nothing once the arena is
+    /// warm. The dot products are written into `y` (fully overwritten;
+    /// inactive rows become `0.0`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlignError`] if the vector contains non-finite values.
+    /// On error `scratch` holds no live data and may be reused.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` or `y.len()` differs from the block edge.
+    pub fn mvm_with<R: Rng + ?Sized>(
+        &self,
+        x: &[f64],
+        opts: &MvmOptions,
+        rng: &mut R,
+        scratch: &mut MvmScratch,
+        y: &mut [f64],
+    ) -> Result<MvmStats, AlignError> {
         let n = self.n();
         assert_eq!(x.len(), n, "vector length must match the block edge");
-        let x_aligned = AlignedSlice::align(x, VECTOR_MAX_MAGNITUDE_BITS)?;
+        assert_eq!(y.len(), n, "output length must match the block edge");
+        memsci_telemetry::incr(memsci_telemetry::Counter::PlanHits, 1);
+        if scratch.warm {
+            memsci_telemetry::incr(memsci_telemetry::Counter::ScratchReuse, 1);
+        }
+        y.fill(0.0);
+        scratch.x_aligned.align_into(x, VECTOR_MAX_MAGNITUDE_BITS)?;
+        scratch.warm = true;
         let precision = opts.settle_precision();
-        let active_rows: Vec<usize> = (0..n).filter(|&r| self.row_nnz[r] > 0).collect();
 
-        let mut result = MvmResult {
-            y: vec![0.0; n],
-            energy: 0.0,
-            time: 0.0,
-            slices_total: 0,
-            slices_used: 0,
-            conversions: 0,
-            conversions_skipped: 0,
-            headstart_hits: 0,
-            an_corrections: 0,
-            an_detections: 0,
-            row_slices: opts.collect_row_profile.then(|| vec![0u32; n]),
-        };
-        if active_rows.is_empty() || x_aligned.magnitude_bits() == 0 {
-            return Ok(result);
+        let mut stats = MvmStats::default();
+        scratch.row_profile.clear();
+        if opts.collect_row_profile {
+            scratch.row_profile.resize(n, 0);
+        }
+        if self.active_rows.is_empty() || scratch.x_aligned.magnitude_bits() == 0 {
+            return Ok(stats);
         }
 
-        let xw = x_aligned.magnitude_bits() + 1; // two's-complement width
-        let slices = SliceSet::from_twos_complement(x_aligned.integers(), xw);
-        result.slices_total = xw;
+        let xw = scratch.x_aligned.magnitude_bits() + 1; // two's-complement width
+        scratch
+            .slices
+            .from_twos_complement_into(scratch.x_aligned.integers(), xw);
+        stats.slices_total = xw;
 
-        let mut sums: Vec<WideInt> = vec![WideInt::zero(); n];
-        let mut done: Vec<bool> = vec![false; n];
-        let mut remaining = active_rows.len();
+        scratch.sums.resize_with(n, WideInt::zero);
+        for &r in &self.active_rows {
+            scratch.sums[r as usize].set_zero();
+        }
+        scratch.done.clear();
+        scratch.done.resize(n, false);
+        let mut remaining = self.active_rows.len();
         let groups = self.groups.len() as u64;
 
         let resolution = self.spec.cost.resolution(n, self.spec.cell.bits_per_cell);
         let lmax = u64::from(self.spec.cell.max_level());
         for k in (0..xw).rev() {
-            result.slices_used += 1;
-            result.time += self.spec.cost.crossbar_op_latency(n);
-            let active_words = slices.slice_words(k);
-            let pop = slices.popcount(k);
-            let negative_weight = slices.weight_is_negative(k);
+            stats.slices_used += 1;
+            stats.time += self.spec.cost.crossbar_op_latency(n);
+            let active_words = scratch.slices.slice_words(k);
+            let pop = scratch.slices.popcount(k);
+            let negative_weight = scratch.slices.weight_is_negative(k);
             // Exact fast path: with ideal programming, no RTN, and a
             // leak below half an LSB, every group's ADC count is exact,
             // so the shift-and-add reduction provably equals the direct
@@ -427,44 +542,51 @@ impl Cluster {
                 && self.spec.rtn_probability == 0.0
                 && self.spec.cell.leak_per_active_row() * (pop as f64) < 0.499;
 
-            for &r in &active_rows {
-                if done[r] {
-                    result.conversions_skipped += groups;
-                    result.energy += groups as f64 * self.spec.cost.skipped_column_energy();
+            for &r in &self.active_rows {
+                let r = r as usize;
+                if scratch.done[r] {
+                    stats.conversions_skipped += groups;
+                    stats.energy += groups as f64 * self.spec.cost.skipped_column_energy();
                     continue;
                 }
-                if let Some(profile) = result.row_slices.as_mut() {
-                    profile[r] += 1;
+                if opts.collect_row_profile {
+                    scratch.row_profile[r] += 1;
                 }
-                let raw = if fast_exact {
-                    // Direct exact reduction; energy/headstart accounted
-                    // per group from the stored column level sums.
+                if fast_exact {
+                    // Direct exact reduction into the reused word;
+                    // energy/headstart accounted per group from the
+                    // stored column level sums.
                     let mut present_active = 0u64;
-                    let mut sum = WideInt::zero();
-                    for (input, enc) in &self.fast_rows[r] {
-                        if active_words[*input as usize / 64] >> (input % 64) & 1 == 1 {
-                            sum += enc;
+                    scratch.raw.set_zero();
+                    for &(input, idx) in &self.fast_rows[r] {
+                        if active_words[input as usize / 64] >> (input % 64) & 1 == 1 {
+                            scratch
+                                .raw
+                                .add_shl_assign(&self.stored[idx as usize], 0, false);
                             present_active += 1;
                         }
                     }
                     let absent_active = pop - present_active;
                     if absent_active > 0 {
-                        sum += &self.enc_bias.mul_u64(absent_active);
+                        scratch.raw.add_shl_assign(
+                            &self.bias_multiples[absent_active as usize],
+                            0,
+                            false,
+                        );
                     }
                     for xb in &self.groups {
-                        result.conversions += 1;
+                        stats.conversions += 1;
                         let searched = opts.adc_headstart.then(|| {
                             headstart_bits(xb.column_level_sum(r).min(lmax * pop), resolution)
                         });
                         if searched.is_some_and(|s| s < resolution) {
-                            result.headstart_hits += 1;
+                            stats.headstart_hits += 1;
                         }
-                        result.energy +=
+                        stats.energy +=
                             self.spec
                                 .cost
                                 .column_energy(n, self.spec.cell.bits_per_cell, searched);
                     }
-                    sum
                 } else {
                     // Analog path: per-group reads with noise, leak, and
                     // ADC quantization; accumulate in two i128 lanes
@@ -480,12 +602,12 @@ impl Cluster {
                             self.spec.rtn_probability,
                             rng,
                         );
-                        result.conversions += 1;
+                        stats.conversions += 1;
                         let searched = opts.adc_headstart.then_some(read.searched_bits);
                         if searched.is_some_and(|s| s < resolution) {
-                            result.headstart_hits += 1;
+                            stats.headstart_hits += 1;
                         }
-                        result.energy +=
+                        stats.energy +=
                             self.spec
                                 .cost
                                 .column_energy(n, self.spec.cell.bits_per_cell, searched);
@@ -496,42 +618,50 @@ impl Cluster {
                             lane_hi += i128::from(read.contribution) << (shift - 64);
                         }
                     }
-                    WideInt::from(lane_lo) + WideInt::from(lane_hi).shl(64)
-                };
+                    scratch.raw.set_zero();
+                    scratch.raw.add_shl_i128_assign(lane_lo, 0);
+                    scratch.raw.add_shl_i128_assign(lane_hi, 64);
+                }
                 // AN check / correction (§IV-E), applied after reduction
                 // and before leading-one detection.
-                let checked = match &self.an {
-                    None => raw,
-                    Some(code) => match code.decode(&raw) {
-                        Ok(d) => {
-                            if d.correction.is_some() {
-                                result.an_corrections += 1;
+                let checked: &WideInt = match &self.an {
+                    None => &scratch.raw,
+                    Some(code) => match code.decode_into(&scratch.raw, &mut scratch.checked) {
+                        Ok(correction) => {
+                            if correction.is_some() {
+                                stats.an_corrections += 1;
                             }
-                            d.value
+                            &scratch.checked
                         }
                         Err(_) => {
-                            result.an_detections += 1;
-                            nearest_multiple(&raw, code.constant())
+                            stats.an_detections += 1;
+                            nearest_multiple_into(
+                                &scratch.raw,
+                                code.constant(),
+                                &mut scratch.checked,
+                            );
+                            &scratch.checked
                         }
                     },
                 };
-                let partial = debias_partial(&checked, self.bias_bit, pop);
-                let term = partial.shl(k as u32);
-                if negative_weight {
-                    sums[r] -= &term;
-                } else {
-                    sums[r] += &term;
-                }
+                debias_accumulate(
+                    &mut scratch.sums[r],
+                    checked,
+                    self.bias_bit,
+                    pop,
+                    k as u32,
+                    negative_weight,
+                );
                 if opts.early_termination
                     && k > 0
                     && settled(
-                        &sums[r],
+                        &scratch.sums[r],
                         remaining_bound_bit(k as u32 - 1, self.pm_bits),
                         precision,
                         opts.rounding,
                     )
                 {
-                    done[r] = true;
+                    scratch.done[r] = true;
                     remaining -= 1;
                 }
             }
@@ -540,33 +670,34 @@ impl Cluster {
             }
         }
 
-        let out_exp = self.exp_base + x_aligned.exp_base();
-        for &r in &active_rows {
-            result.y[r] = sums[r].to_f64_with_exp(out_exp, opts.rounding);
+        let out_exp = self.exp_base + scratch.x_aligned.exp_base();
+        for &r in &self.active_rows {
+            let r = r as usize;
+            y[r] = scratch.sums[r].to_f64_with_exp(out_exp, opts.rounding);
         }
-        self.flush_counters(&result);
-        Ok(result)
+        self.flush_counters(&stats);
+        Ok(stats)
     }
 
     /// Publishes one MVM's event counts to the global telemetry sink.
     /// AN corrections/detections and bias removals are counted at their
     /// source in `memsci-numeric`, so they are not flushed here.
-    fn flush_counters(&self, result: &MvmResult) {
+    fn flush_counters(&self, stats: &MvmStats) {
         use memsci_telemetry::{incr, Counter};
         if !memsci_telemetry::enabled() {
             return;
         }
-        incr(Counter::AdcConversions, result.conversions);
-        incr(Counter::AdcConversionsSkipped, result.conversions_skipped);
-        incr(Counter::AdcHeadstartHits, result.headstart_hits);
-        incr(Counter::SlicesApplied, result.slices_used as u64);
+        incr(Counter::AdcConversions, stats.conversions);
+        incr(Counter::AdcConversionsSkipped, stats.conversions_skipped);
+        incr(Counter::AdcHeadstartHits, stats.headstart_hits);
+        incr(Counter::SlicesApplied, stats.slices_used as u64);
         incr(
             Counter::SlicesSkipped,
-            result.slices_total.saturating_sub(result.slices_used) as u64,
+            stats.slices_total.saturating_sub(stats.slices_used) as u64,
         );
         incr(
             Counter::xbar_activations_for_size(self.spec.size),
-            result.slices_used as u64 * self.groups.len() as u64,
+            stats.slices_used as u64 * self.groups.len() as u64,
         );
     }
 }
@@ -578,18 +709,14 @@ fn headstart_bits(max_possible: u64, resolution: u32) -> u32 {
     needed.clamp(1, resolution)
 }
 
-/// Rounds a word to the nearest multiple of `a` and divides — the
-/// best-effort fallback when the AN code detects an uncorrectable error.
-fn nearest_multiple(word: &WideInt, a: u64) -> WideInt {
-    let (q, r) = word.divrem_u64(a);
+/// Rounds a word to the nearest multiple of `a` and divides, writing the
+/// quotient into `out`'s reused buffer — the best-effort fallback when
+/// the AN code detects an uncorrectable error.
+fn nearest_multiple_into(word: &WideInt, a: u64, out: &mut WideInt) {
+    let r = word.divrem_u64_into(a, out);
     if r.unsigned_abs() * 2 > a {
-        if word.is_negative() {
-            q - WideInt::one()
-        } else {
-            q + WideInt::one()
-        }
-    } else {
-        q
+        // Round away from zero: the remainder carries the dividend sign.
+        out.add_shl_u64_assign(1, 0, r < 0);
     }
 }
 
@@ -1040,5 +1167,69 @@ mod fast_path_tests {
         assert_eq!(rf.conversions, rs.conversions);
         assert_eq!(rf.slices_used, rs.slices_used);
         assert!((rf.energy - rs.energy).abs() < 1e-18 * rs.energy.max(1e-30));
+    }
+
+    /// A warm scratch arena must be invisible: the 2nd..Nth `mvm_with`
+    /// against reused buffers is bit-identical to a fresh `mvm`, on the
+    /// exact fast path, the analog path, and with live RTN noise.
+    #[test]
+    fn reused_scratch_is_bit_identical_to_fresh() {
+        let n = 16;
+        let mut entries = Vec::new();
+        for r in 0..n {
+            for c in 0..n {
+                if (r * 5 + c) % 3 != 0 {
+                    entries.push((
+                        r as u16,
+                        c as u16,
+                        ((r * 11 + c * 7) % 13) as f64 * 0.23 - 1.4,
+                    ));
+                }
+            }
+        }
+        for rtn in [0.0, 1e-300, 1e-3] {
+            let spec = ClusterSpec {
+                size: n,
+                rtn_probability: rtn,
+                ..Default::default()
+            };
+            let cluster = Cluster::program(spec, &entries, &mut StdRng::seed_from_u64(3))
+                .unwrap()
+                .cluster;
+            let opts = MvmOptions {
+                collect_row_profile: true,
+                ..Default::default()
+            };
+            let mut scratch = MvmScratch::default();
+            let mut y = vec![0.0; n];
+            for trial in 0..4u64 {
+                let x: Vec<f64> = (0..n)
+                    .map(|i| {
+                        ((i as f64) - 6.5)
+                            * 0.31
+                            * (2.0f64).powi(((i + trial as usize) % 7) as i32 * 4 - 12)
+                    })
+                    .collect();
+                // Identical RNG streams for the warm and fresh runs so
+                // RTN upsets fire at the same reads.
+                let mut rng_warm = StdRng::seed_from_u64(1000 + trial);
+                let mut rng_fresh = rng_warm.clone();
+                let stats = cluster
+                    .mvm_with(&x, &opts, &mut rng_warm, &mut scratch, &mut y)
+                    .unwrap();
+                let fresh = cluster.mvm(&x, &opts, &mut rng_fresh).unwrap();
+                assert_eq!(y, fresh.y, "rtn={rtn} trial={trial}");
+                assert_eq!(stats.conversions, fresh.conversions);
+                assert_eq!(stats.slices_used, fresh.slices_used);
+                assert_eq!(stats.an_corrections, fresh.an_corrections);
+                assert_eq!(stats.an_detections, fresh.an_detections);
+                assert_eq!(stats.energy, fresh.energy, "rtn={rtn} trial={trial}");
+                assert_eq!(
+                    Some(scratch.row_profile.clone()),
+                    fresh.row_slices,
+                    "rtn={rtn} trial={trial}"
+                );
+            }
+        }
     }
 }

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Host-performance benchmark: builds the release binary and regenerates
+# the schema-versioned bench document (default BENCH_PR5.json at the
+# repo root). Wall-clock numbers are machine-dependent; the committed
+# document records the shape and the speedup vs the embedded baseline.
+#
+# Usage: scripts/bench.sh [--smoke] [--iters N] [--out FILE]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline -p memsci-bench --bin repro
+./target/release/repro bench "$@"

@@ -40,6 +40,25 @@ for t in 1 4; do
 done
 echo "solve outcomes bit-identical across threads {1,4} x overlap {off,on}"
 
+echo "== bench smoke =="
+# Reduced-shape host benchmark: proves the repro bench harness runs end
+# to end and that its document matches the memsci-bench schema. The
+# committed full-shape document is validated the same way.
+./target/release/repro bench --smoke --out target/tmp/check-bench.json
+./target/release/repro bench --validate target/tmp/check-bench.json
+[ -f BENCH_PR5.json ] && ./target/release/repro bench --validate BENCH_PR5.json
+
+echo "== telemetry stream smoke =="
+# Incremental JSONL manifests: one record per Monte-Carlo sweep point.
+./target/release/repro fig13 --runs 2 \
+    --telemetry-stream target/tmp/check-stream.jsonl > /dev/null
+./target/release/telemetry-verify --stream target/tmp/check-stream.jsonl
+
+echo "== alloc gate (debug) =="
+# The counting allocator only exists in debug builds; this gates the
+# warm SpMV hot path against allocation regressions.
+cargo test -q --offline -p memsci-core --test alloc_gate
+
 echo "== rustfmt =="
 cargo fmt --check
 
