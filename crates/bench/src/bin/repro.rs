@@ -5,7 +5,7 @@
 //! ```text
 //! repro <experiment> [--scale S] [--runs N] [--tol T] [--telemetry-out FILE]
 //!                    [--telemetry-stream FILE]
-//! repro bench [--smoke] [--iters N] [--out FILE]
+//! repro bench [--smoke] [--iters N] [--rhs K1,K2,..] [--out FILE]
 //!
 //! experiments:
 //!   table1 table2 table3
@@ -18,7 +18,9 @@
 //! `smoke` is a fast telemetry exerciser (one suite matrix plus an
 //! error-injected bit-exact solve so AN-code counters fire); `bench`
 //! measures host wall-clock (simulator speed) and writes a
-//! schema-versioned `BENCH_*.json` document (default `BENCH_PR5.json`).
+//! schema-versioned `BENCH_*.json` document (default `BENCH_PR6.json`);
+//! `--rhs` picks the multi-RHS batch widths swept by its `spmv_batch`
+//! section (default `1,8`).
 //!
 //! Telemetry: `--telemetry-out FILE` enables the global sink and writes
 //! a schema-versioned JSON run manifest on exit. The `MEMSCI_TELEMETRY`
@@ -47,7 +49,7 @@ fn main() {
             "usage: repro <experiment> [--scale S] [--runs N] [--tol T] [--telemetry-out FILE] \
              [--telemetry-stream FILE]"
         );
-        eprintln!("       repro bench [--smoke] [--iters N] [--out FILE]");
+        eprintln!("       repro bench [--smoke] [--iters N] [--rhs K1,K2,..] [--out FILE]");
         eprintln!("experiments: table1 table2 table3 fig6 fig7 fig8 fig9 fig10 fig11");
         eprintln!("             fig12 fig13 area endurance ablation sizing smoke solve all");
         eprintln!("             matrix <file.mtx>   (run a real SuiteSparse download)");
@@ -195,13 +197,14 @@ fn main() {
     finish_telemetry(telemetry_out.as_deref(), &config);
 }
 
-/// `repro bench [--smoke] [--iters N] [--out FILE]` — host wall-clock
-/// benchmark; writes the schema-versioned document and prints a
-/// summary. `--validate FILE` instead checks an existing document
-/// against the schema without running anything.
+/// `repro bench [--smoke] [--iters N] [--rhs K1,K2,..] [--out FILE]` —
+/// host wall-clock benchmark; writes the schema-versioned document
+/// and prints a summary. `--rhs` sets the multi-RHS batch widths swept
+/// by the `spmv_batch` section. `--validate FILE` instead checks an
+/// existing document against the schema without running anything.
 fn run_bench_cmd(rest: &[String]) {
     let mut opts = perf::BenchOptions::full();
-    let mut out = std::path::PathBuf::from("BENCH_PR5.json");
+    let mut out = std::path::PathBuf::from("BENCH_PR6.json");
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
@@ -215,11 +218,13 @@ fn run_bench_cmd(rest: &[String]) {
                     std::process::exit(1);
                 });
                 match perf::validate_bench(&text) {
-                    Ok(_) => {
+                    Ok(doc) => {
                         println!(
                             "{path}: ok (schema {} v{})",
                             perf::BENCH_SCHEMA_NAME,
-                            perf::BENCH_SCHEMA_VERSION
+                            doc.get("schema_version")
+                                .and_then(Json::as_u64)
+                                .unwrap_or(0)
                         );
                         return;
                     }
@@ -241,6 +246,22 @@ fn run_bench_cmd(rest: &[String]) {
                         eprintln!("--iters needs an integer");
                         std::process::exit(2);
                     });
+                i += 2;
+            }
+            "--rhs" => {
+                let widths: Option<Vec<usize>> = rest
+                    .get(i + 1)
+                    .map(|v| v.split(',').map(|k| k.trim().parse().ok()).collect())
+                    .unwrap_or(None);
+                match widths {
+                    Some(widths) if !widths.is_empty() && widths.iter().all(|&k| k > 0) => {
+                        opts.rhs_counts = widths;
+                    }
+                    _ => {
+                        eprintln!("--rhs needs a comma-separated list of positive integers");
+                        std::process::exit(2);
+                    }
+                }
                 i += 2;
             }
             "--out" => {

@@ -23,8 +23,12 @@ use memsci_telemetry::{Counter, ManifestError};
 
 /// Bench document schema identifier.
 pub const BENCH_SCHEMA_NAME: &str = "memsci-bench";
-/// Current bench document schema version.
-pub const BENCH_SCHEMA_VERSION: u64 = 1;
+/// Current bench document schema version. Version 2 adds the
+/// `spmv_batch` section (multi-RHS amortization); version-1 documents
+/// (the committed `BENCH_PR5.json`) still validate.
+pub const BENCH_SCHEMA_VERSION: u64 = 2;
+/// Oldest schema version [`validate_bench`] still accepts.
+pub const BENCH_SCHEMA_MIN_VERSION: u64 = 1;
 
 /// Workspace commit the baselines below were measured at (before the
 /// scratch-arena / MVM-plan optimization).
@@ -57,6 +61,8 @@ pub struct BenchOptions {
     pub thread_counts: Vec<usize>,
     /// Lane-overlap settings swept by the solver benches.
     pub overlaps: Vec<bool>,
+    /// RHS batch widths swept by the multi-RHS SpMV bench.
+    pub rhs_counts: Vec<usize>,
     /// True when this is the reduced CI smoke shape.
     pub smoke: bool,
 }
@@ -70,6 +76,7 @@ impl BenchOptions {
             solver_max_iters: 25,
             thread_counts: vec![1, 4],
             overlaps: vec![false, true],
+            rhs_counts: vec![1, 8],
             smoke: false,
         }
     }
@@ -81,6 +88,7 @@ impl BenchOptions {
             solver_max_iters: 8,
             thread_counts: vec![1],
             overlaps: vec![false],
+            rhs_counts: vec![1, 8],
             smoke: true,
         }
     }
@@ -190,6 +198,113 @@ fn run_spmv_bench(opts: &BenchOptions) -> (Vec<Json>, f64, f64) {
     (entries, warm_exact, warm_fast)
 }
 
+fn batch_vectors(n: usize, k: usize) -> Vec<Vec<f64>> {
+    (0..k)
+        .map(|j| {
+            (0..n)
+                .map(|i| (i as f64 * 0.17 + j as f64 * 0.43).sin() + 1.1)
+                .collect()
+        })
+        .collect()
+}
+
+/// Times `batches` calls to `spmv_batch` with `k` right-hand sides,
+/// returning `(median s/batch, total s)`.
+fn time_spmv_batch<P: Platform>(acc: &mut P, k: usize, batches: usize) -> (f64, f64) {
+    let n = acc.n();
+    let xs = batch_vectors(n, k);
+    let x_refs: Vec<&[f64]> = xs.iter().map(|x| x.as_slice()).collect();
+    let mut ys = vec![Vec::new(); k];
+    acc.spmv_batch(&x_refs, &mut ys); // warm-up
+    let mut samples = Vec::with_capacity(batches);
+    let start = Instant::now();
+    for _ in 0..batches {
+        let t0 = Instant::now();
+        acc.spmv_batch(&x_refs, &mut ys);
+        samples.push(t0.elapsed().as_secs_f64());
+    }
+    (median_s(samples), start.elapsed().as_secs_f64())
+}
+
+/// Checks that one `spmv_batch` on a fresh `batched` platform is
+/// bitwise identical to `k` sequential `spmv` calls on a fresh `solo`
+/// twin (same build, same vectors).
+fn batch_matches_sequential<P: Platform>(solo: &mut P, batched: &mut P, k: usize) -> bool {
+    let n = solo.n();
+    let xs = batch_vectors(n, k);
+    let mut want = vec![0.0; n];
+    let x_refs: Vec<&[f64]> = xs.iter().map(|x| x.as_slice()).collect();
+    let mut ys = vec![Vec::new(); k];
+    batched.spmv_batch(&x_refs, &mut ys);
+    for (x, got) in xs.iter().zip(&ys) {
+        solo.spmv(x, &mut want);
+        if want
+            .iter()
+            .zip(got)
+            .any(|(u, v)| u.to_bits() != v.to_bits())
+        {
+            return false;
+        }
+    }
+    true
+}
+
+/// Runs the multi-RHS SpMV bench: both engines × each batch width in
+/// `opts.rhs_counts`, recording the median host time per batch, the
+/// amortized per-RHS time, and whether the batch reproduced k
+/// sequential kernels bit for bit.
+fn run_batch_bench(opts: &BenchOptions) -> Vec<Json> {
+    let a = bench_matrix();
+    let blocked = BlockedMatrix::block(&a, &BlockingConfig::default());
+    let mut entries = Vec::new();
+    for engine in ["exact", "fast"] {
+        for &k in &opts.rhs_counts {
+            // Hold the total kernel count roughly constant across
+            // widths so wide batches don't dominate the bench.
+            let base_iters = if engine == "fast" {
+                opts.iters * 8
+            } else {
+                opts.iters
+            };
+            let batches = (base_iters / k).max(2);
+            let (median, total, matches) = if engine == "exact" {
+                let mut acc =
+                    ExactAcceleratorPlatform::new(&blocked, config(1, false), exact_opts())
+                        .expect("bench matrix programs cleanly");
+                let (median, total) = time_spmv_batch(&mut acc, k, batches);
+                let mut solo =
+                    ExactAcceleratorPlatform::new(&blocked, config(1, false), exact_opts())
+                        .expect("bench matrix programs cleanly");
+                let mut batched =
+                    ExactAcceleratorPlatform::new(&blocked, config(1, false), exact_opts())
+                        .expect("bench matrix programs cleanly");
+                let matches = batch_matches_sequential(&mut solo, &mut batched, k);
+                (median, total, matches)
+            } else {
+                let mut acc = AcceleratorPlatform::new(&blocked, config(1, false));
+                let (median, total) = time_spmv_batch(&mut acc, k, batches);
+                let mut solo = AcceleratorPlatform::new(&blocked, config(1, false));
+                let mut batched = AcceleratorPlatform::new(&blocked, config(1, false));
+                let matches = batch_matches_sequential(&mut solo, &mut batched, k);
+                (median, total, matches)
+            };
+            entries.push(Json::Obj(vec![
+                ("engine".to_string(), Json::Str(engine.into())),
+                ("rhs".to_string(), Json::UInt(k as u64)),
+                ("batches".to_string(), Json::UInt(batches as u64)),
+                ("median_s_per_batch".to_string(), Json::Num(median)),
+                (
+                    "amortized_s_per_rhs".to_string(),
+                    Json::Num(median / k as f64),
+                ),
+                ("total_s".to_string(), Json::Num(total)),
+                ("matches_sequential".to_string(), Json::Bool(matches)),
+            ]));
+        }
+    }
+    entries
+}
+
 /// Runs the end-to-end solver benches across engines × solvers ×
 /// threads × overlap.
 fn run_solver_bench(opts: &BenchOptions) -> Vec<Json> {
@@ -258,6 +373,7 @@ pub fn run_bench(opts: &BenchOptions) -> Json {
     memsci_telemetry::enable();
     let counters_before = memsci_telemetry::snapshot().counters;
     let (spmv, warm_exact, warm_fast) = run_spmv_bench(opts);
+    let spmv_batch = run_batch_bench(opts);
     let solves = run_solver_bench(opts);
     let delta = memsci_telemetry::snapshot()
         .counters
@@ -295,6 +411,7 @@ pub fn run_bench(opts: &BenchOptions) -> Json {
             ]),
         ),
         ("spmv".to_string(), Json::Arr(spmv)),
+        ("spmv_batch".to_string(), Json::Arr(spmv_batch)),
         ("solves".to_string(), Json::Arr(solves)),
         (
             "counters".to_string(),
@@ -343,6 +460,24 @@ pub fn summarize(doc: &Json) -> String {
             ));
         }
     }
+    if let Some(entries) = doc.get("spmv_batch").and_then(Json::as_arr) {
+        out.push_str("batched multi-RHS SpMV (amortized s/iter/rhs):\n");
+        for e in entries {
+            out.push_str(&format!(
+                "  {:<5} rhs={:<2} {:.6e}{}\n",
+                e.get("engine").and_then(Json::as_str).unwrap_or("?"),
+                e.get("rhs").and_then(Json::as_u64).unwrap_or(0),
+                e.get("amortized_s_per_rhs")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(f64::NAN),
+                if e.get("matches_sequential").and_then(Json::as_bool) == Some(true) {
+                    " (bit-identical to sequential)"
+                } else {
+                    " (MISMATCH vs sequential)"
+                },
+            ));
+        }
+    }
     if let Some(speedup) = doc.get("speedup") {
         out.push_str(&format!(
             "speedup vs {} baseline: exact {:.2}x, fast {:.2}x\n",
@@ -370,10 +505,12 @@ fn fail(msg: impl Into<String>) -> ManifestError {
     ManifestError(msg.into())
 }
 
-/// Parses and validates a bench document against schema version 1:
-/// schema identity, a baseline with the recorded commit, non-empty
-/// `spmv` and `solves` arrays with well-formed entries, and finite
-/// positive speedups.
+/// Parses and validates a bench document: schema identity, a baseline
+/// with the recorded commit, non-empty `spmv` and `solves` arrays with
+/// well-formed entries, and finite positive speedups. Documents at
+/// schema version 2 must additionally carry a non-empty `spmv_batch`
+/// section whose entries all passed the bitwise batch-vs-sequential
+/// check; version-1 documents (pre-batch-lane) remain valid.
 ///
 /// # Errors
 ///
@@ -383,9 +520,13 @@ pub fn validate_bench(text: &str) -> Result<Json, ManifestError> {
     if doc.get("schema").and_then(Json::as_str) != Some(BENCH_SCHEMA_NAME) {
         return Err(fail(format!("`schema` must be \"{BENCH_SCHEMA_NAME}\"")));
     }
-    if doc.get("schema_version").and_then(Json::as_u64) != Some(BENCH_SCHEMA_VERSION) {
+    let version = doc
+        .get("schema_version")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| fail("missing `schema_version`"))?;
+    if !(BENCH_SCHEMA_MIN_VERSION..=BENCH_SCHEMA_VERSION).contains(&version) {
         return Err(fail(format!(
-            "`schema_version` must be {BENCH_SCHEMA_VERSION}"
+            "`schema_version` must be between {BENCH_SCHEMA_MIN_VERSION} and {BENCH_SCHEMA_VERSION}, got {version}"
         )));
     }
     let baseline = doc
@@ -414,6 +555,29 @@ pub fn validate_bench(text: &str) -> Result<Json, ManifestError> {
             || !median.is_some_and(|m| m.is_finite() && m > 0.0)
         {
             return Err(fail(format!("spmv[{i}] is malformed")));
+        }
+    }
+    if version >= 2 {
+        let batch = doc
+            .get("spmv_batch")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| fail("schema v2 requires a `spmv_batch` array"))?;
+        if batch.is_empty() {
+            return Err(fail("`spmv_batch` must not be empty"));
+        }
+        for (i, e) in batch.iter().enumerate() {
+            let amortized = e.get("amortized_s_per_rhs").and_then(Json::as_f64);
+            if e.get("engine").and_then(Json::as_str).is_none()
+                || e.get("rhs").and_then(Json::as_u64).is_none_or(|k| k == 0)
+                || !amortized.is_some_and(|m| m.is_finite() && m > 0.0)
+            {
+                return Err(fail(format!("spmv_batch[{i}] is malformed")));
+            }
+            if e.get("matches_sequential").and_then(Json::as_bool) != Some(true) {
+                return Err(fail(format!(
+                    "spmv_batch[{i}] did not reproduce sequential spmv bitwise"
+                )));
+            }
         }
     }
     let solves = doc
@@ -456,6 +620,7 @@ mod tests {
             solver_max_iters: 2,
             thread_counts: vec![1],
             overlaps: vec![false],
+            rhs_counts: vec![1, 3],
             smoke: true,
         };
         let doc = run_bench(&opts);
@@ -463,6 +628,15 @@ mod tests {
         let parsed = validate_bench(&text).unwrap();
         assert_eq!(
             parsed.get("spmv").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(4)
+        );
+        // 2 engines × 2 batch widths, every one bit-identical to
+        // sequential (validate_bench already enforces the flag).
+        assert_eq!(
+            parsed
+                .get("spmv_batch")
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len),
             Some(4)
         );
         // 1 thread × 1 overlap × 2 engines × 2 solvers.

@@ -97,8 +97,12 @@ pub struct AcceleratorPlatform {
     scratch_dots: Vec<Vec<f64>>,
     /// Per-cluster column buffers reused across transpose MVMs.
     scratch_cols: Vec<Vec<f64>>,
+    /// Per-cluster, per-RHS dot buffers reused across batched MVMs.
+    scratch_batch_dots: Vec<Vec<Vec<f64>>>,
     /// Residual-lane row sums reused across kernels.
     rbuf: Vec<f64>,
+    /// Per-RHS residual-lane row sums reused across batched MVMs.
+    batch_rbufs: Vec<Vec<f64>>,
     /// Per-bank accumulators reused by the cost model.
     bank_time_scratch: Vec<f64>,
     bank_interrupts_scratch: Vec<usize>,
@@ -141,6 +145,7 @@ impl AcceleratorPlatform {
         let an_bits = if config.an_enabled { 9 } else { 0 };
         let b = config.cell.bits_per_cell;
         let _program_span = memsci_telemetry::span(pipeline::STAGE_PROGRAM);
+        memsci_telemetry::incr(memsci_telemetry::Counter::OperatorPrograms, 1);
         let clusters: Vec<FastCluster> = mapping
             .clusters
             .iter()
@@ -221,7 +226,9 @@ impl AcceleratorPlatform {
             dots_est,
             scratch_dots: Vec::new(),
             scratch_cols: Vec::new(),
+            scratch_batch_dots: Vec::new(),
             rbuf: Vec::new(),
+            batch_rbufs: Vec::new(),
             bank_time_scratch: Vec::new(),
             bank_interrupts_scratch: Vec::new(),
             time: 0.0,
@@ -301,7 +308,7 @@ impl AcceleratorPlatform {
         ((xw as i64) - k_stop).clamp(1, xw as i64) as usize
     }
 
-    fn charge_spmv_cost(&mut self, x: &[f64], dots: &[Vec<f64>]) {
+    fn charge_spmv_cost<V: AsRef<[f64]>>(&mut self, x: &[f64], dots: &[V]) {
         let cost = &self.config.cost;
         let cell = &self.config.cell;
         let mut bank_cluster_time = std::mem::take(&mut self.bank_time_scratch);
@@ -318,6 +325,7 @@ impl AcceleratorPlatform {
         let telemetry_on = memsci_telemetry::enabled();
 
         for (ci, cluster) in self.clusters.iter().enumerate() {
+            let cluster_dots = dots[ci].as_ref();
             let hi = (cluster.col0 + cluster.size).min(self.n);
             let (x_exp_base, x_mag_bits) = vector_stats(&x[cluster.col0..hi]);
             if x_mag_bits == 0 {
@@ -328,7 +336,7 @@ impl AcceleratorPlatform {
             let mut used_total = 0usize;
             for (ri, (_, _entries)) in cluster.rows.iter().enumerate() {
                 let used = Self::estimate_row_slices(
-                    dots[ci][ri],
+                    cluster_dots[ri],
                     cluster.exp_base,
                     x_exp_base,
                     xw,
@@ -350,7 +358,7 @@ impl AcceleratorPlatform {
                 .enumerate()
                 .map(|(ri, _)| {
                     let used = Self::estimate_row_slices(
-                        dots[ci][ri],
+                        cluster_dots[ri],
                         cluster.exp_base,
                         x_exp_base,
                         xw,
@@ -382,7 +390,7 @@ impl AcceleratorPlatform {
                     .filter(|&(ri, _)| cluster.searched_bits[ri] < resolution)
                     .map(|(ri, _)| {
                         Self::estimate_row_slices(
-                            dots[ci][ri],
+                            cluster_dots[ri],
                             cluster.exp_base,
                             x_exp_base,
                             xw,
@@ -457,7 +465,9 @@ impl AcceleratorPlatform {
     pub fn clear_scratch(&mut self) {
         self.scratch_dots = Vec::new();
         self.scratch_cols = Vec::new();
+        self.scratch_batch_dots = Vec::new();
         self.rbuf = Vec::new();
+        self.batch_rbufs = Vec::new();
         self.bank_time_scratch = Vec::new();
         self.bank_interrupts_scratch = Vec::new();
     }
@@ -560,6 +570,97 @@ impl Platform for AcceleratorPlatform {
         self.last_spmv.exec = exec;
         self.scratch_dots = dots;
         self.rbuf = rbuf;
+    }
+
+    fn spmv_batch(&mut self, xs: &[&[f64]], ys: &mut [Vec<f64>]) {
+        assert_eq!(xs.len(), ys.len(), "batch rhs/output count mismatch");
+        if xs.is_empty() {
+            return;
+        }
+        let k = xs.len();
+        let _span = memsci_telemetry::span("engine/spmv_batch");
+        memsci_telemetry::incr(memsci_telemetry::Counter::SpmvOps, k as u64);
+        let n = self.n;
+        for x in xs {
+            assert_eq!(x.len(), n, "x length");
+        }
+        for y in ys.iter_mut() {
+            y.clear();
+            y.resize(n, 0.0);
+        }
+        let spec = PipelineSpec::from_config(&self.config);
+        let clusters = &self.clusters;
+        let residual = &self.residual;
+        // Same lanes and merge order as `spmv`, hoisted around the
+        // batch: the cluster lane fans out once and every shard walks
+        // all k vectors against its programmed cluster (plan and
+        // scratch stay hot), the residual lane streams the batch
+        // through the digital path, and the merge folds each vector in
+        // the solo order — clusters in storage order, then residual
+        // rows — so batched outputs are bit-identical to k solo calls.
+        let mut batch_bufs = std::mem::take(&mut self.scratch_batch_dots);
+        batch_bufs.resize_with(clusters.len(), Vec::new);
+        for bufs in &mut batch_bufs {
+            bufs.resize_with(k, Vec::new);
+        }
+        let mut rbufs = std::mem::take(&mut self.batch_rbufs);
+        rbufs.resize_with(k, Vec::new);
+        let (dots, rbufs, exec) = pipeline::run_batch_stages(
+            &spec,
+            "engine/spmv_batch",
+            clusters.len(),
+            k,
+            move |threads| {
+                memsci_exec::parallel_map_mut(threads, &mut batch_bufs, |ci, bufs| {
+                    let cluster = &clusters[ci];
+                    for (x, buf) in xs.iter().zip(bufs.iter_mut()) {
+                        buf.clear();
+                        buf.reserve(cluster.rows.len());
+                        for (_, entries) in &cluster.rows {
+                            let mut acc = 0.0;
+                            for &(c, v) in entries {
+                                acc += v * x[cluster.col0 + c as usize];
+                            }
+                            buf.push(acc);
+                        }
+                    }
+                });
+                batch_bufs
+            },
+            move || {
+                for (x, rbuf) in xs.iter().zip(rbufs.iter_mut()) {
+                    rbuf.resize(n, 0.0);
+                    residual.spmv(x, rbuf);
+                    memsci_telemetry::incr(
+                        memsci_telemetry::Counter::ResidualFlops,
+                        2 * residual.nnz() as u64,
+                    );
+                }
+                rbufs
+            },
+            |dots, rbufs| {
+                for (j, y) in ys.iter_mut().enumerate() {
+                    for (cluster, cluster_bufs) in clusters.iter().zip(dots) {
+                        for ((lr, _), &acc) in cluster.rows.iter().zip(&cluster_bufs[j]) {
+                            y[cluster.row0 + *lr as usize] += acc;
+                        }
+                    }
+                    for (yr, rv) in y.iter_mut().zip(&rbufs[j]) {
+                        *yr += rv;
+                    }
+                }
+            },
+        );
+        // Cost accounting runs per vector in batch order, so modelled
+        // time/energy and the hardware counters accumulate in the same
+        // float order as k sequential kernels.
+        for (j, x) in xs.iter().enumerate() {
+            let dots_j: Vec<&[f64]> = dots.iter().map(|bufs| bufs[j].as_slice()).collect();
+            self.charge_spmv_cost(x, &dots_j);
+        }
+        self.last_spmv.exec = exec;
+        self.scratch_batch_dots = dots;
+        self.batch_rbufs = rbufs;
     }
 
     fn spmv_transpose(&mut self, x: &[f64], y: &mut [f64]) {

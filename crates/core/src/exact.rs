@@ -115,6 +115,8 @@ pub struct ExactAcceleratorPlatform {
     bank_elems: Vec<usize>,
     /// Residual-lane row sums reused across kernels.
     rbuf: Vec<f64>,
+    /// Per-RHS residual-lane row sums reused across batched MVMs.
+    batch_rbufs: Vec<Vec<f64>>,
     time: f64,
     energy: f64,
     /// AN-code corrections observed so far.
@@ -160,6 +162,7 @@ impl ExactAcceleratorPlatform {
                 .expect("in range");
         }
         let _program_span = memsci_telemetry::span(pipeline::STAGE_PROGRAM);
+        memsci_telemetry::incr(memsci_telemetry::Counter::OperatorPrograms, 1);
         let mut clusters = Vec::new();
         for load in &mapping.clusters {
             if load.entries.is_empty() {
@@ -272,6 +275,7 @@ impl ExactAcceleratorPlatform {
             bank_transpose_remote,
             bank_elems,
             rbuf: Vec::new(),
+            batch_rbufs: Vec::new(),
             time: 0.0,
             energy: 0.0,
             an_corrections: 0,
@@ -303,6 +307,7 @@ impl ExactAcceleratorPlatform {
             }
         }
         self.rbuf = Vec::new();
+        self.batch_rbufs = Vec::new();
     }
 
     fn dense_kernel(&mut self, per_elem_time: impl Fn(usize) -> f64, extra: f64) {
@@ -441,6 +446,163 @@ impl Platform for ExactAcceleratorPlatform {
             }
         }
         self.rbuf = rbuf;
+    }
+
+    fn spmv_batch(&mut self, xs: &[&[f64]], ys: &mut [Vec<f64>]) {
+        assert_eq!(xs.len(), ys.len(), "batch rhs/output count mismatch");
+        if xs.is_empty() {
+            return;
+        }
+        let k = xs.len();
+        let _span = memsci_telemetry::span("exact/spmv_batch");
+        memsci_telemetry::incr(memsci_telemetry::Counter::SpmvOps, k as u64);
+        let n = self.n;
+        for x in xs {
+            assert_eq!(x.len(), n, "x length");
+        }
+        for y in ys.iter_mut() {
+            y.clear();
+            y.resize(n, 0.0);
+        }
+        let spec = PipelineSpec::from_config(&self.config);
+        let mvm_opts = self.opts.mvm;
+        let mut rbufs = std::mem::take(&mut self.batch_rbufs);
+        rbufs.resize_with(k, Vec::new);
+        let banks = &mut self.banks;
+        let residual = &self.residual;
+        let tasks = banks.len();
+        // One shard fan-out streams the whole batch: each bank walks
+        // its clusters once and pushes all k vectors through every
+        // programmed cluster while its plan and scratch stay hot. Each
+        // cluster owns a private read-noise stream, so drawing x₁..xₖ
+        // consecutively per cluster reproduces exactly the draws of k
+        // solo kernels (which consume the same stream in the same
+        // order, one vector at a time).
+        let (bank_results, rbufs, _exec) = pipeline::run_batch_stages(
+            &spec,
+            "exact/spmv_batch",
+            tasks,
+            k,
+            |threads| {
+                memsci_exec::parallel_map_mut(threads, banks, |_, shard| {
+                    let ExactBank {
+                        bank,
+                        clusters,
+                        x_pad,
+                    } = shard;
+                    let mut shard_outcomes: Vec<Vec<ClusterOutcome>> =
+                        Vec::with_capacity(clusters.len());
+                    for ec in clusters.iter_mut() {
+                        let size = ec.cluster.n();
+                        let hi = (ec.col0 + size).min(n);
+                        let mut per_vec = Vec::with_capacity(k);
+                        for x in xs {
+                            let x_block: &[f64] = if hi - ec.col0 == size {
+                                &x[ec.col0..hi]
+                            } else {
+                                x_pad.clear();
+                                x_pad.extend_from_slice(&x[ec.col0..hi]);
+                                x_pad.resize(size, 0.0);
+                                x_pad
+                            };
+                            // The warm buffer serves the first vector;
+                            // later vectors need their own block since
+                            // the merge reads all k of them.
+                            let mut ybuf = std::mem::take(&mut ec.ybuf);
+                            ybuf.resize(size, 0.0);
+                            let stats = ec
+                                .cluster
+                                .mvm_with(
+                                    x_block,
+                                    &mvm_opts,
+                                    &mut ec.rng,
+                                    &mut ec.scratch,
+                                    &mut ybuf,
+                                )
+                                .expect("vector values are finite");
+                            per_vec.push(ClusterOutcome {
+                                bank: *bank,
+                                row0: ec.row0,
+                                y: ybuf,
+                                energy: stats.energy,
+                                time: stats.time,
+                                an_corrections: stats.an_corrections,
+                                an_detections: stats.an_detections,
+                            });
+                        }
+                        shard_outcomes.push(per_vec);
+                    }
+                    shard_outcomes
+                })
+            },
+            move || {
+                for (x, rbuf) in xs.iter().zip(rbufs.iter_mut()) {
+                    rbuf.resize(n, 0.0);
+                    residual.spmv(x, rbuf);
+                    memsci_telemetry::incr(
+                        memsci_telemetry::Counter::ResidualFlops,
+                        2 * residual.nnz() as u64,
+                    );
+                }
+                rbufs
+            },
+            |bank_results, rbufs| {
+                // Per vector, the solo merge order: banks ascending,
+                // clusters in build order, then the residual row sums.
+                for (j, y) in ys.iter_mut().enumerate() {
+                    for per_vec in bank_results.iter().flatten() {
+                        let outcome = &per_vec[j];
+                        for (r, &v) in outcome.y.iter().enumerate() {
+                            if v != 0.0 && outcome.row0 + r < n {
+                                y[outcome.row0 + r] += v;
+                            }
+                        }
+                    }
+                    for (yr, rv) in y.iter_mut().zip(&rbufs[j]) {
+                        *yr += rv;
+                    }
+                }
+            },
+        );
+        memsci_telemetry::incr(memsci_telemetry::Counter::BankShardTasks, tasks as u64);
+        // Cost accounting runs per vector in batch order, accumulating
+        // modelled time/energy in the same float order as k solo calls.
+        for j in 0..k {
+            let mut bank_cluster_time = vec![0.0f64; self.config.banks];
+            let mut bank_interrupts = vec![0usize; self.config.banks];
+            let mut energy = 0.0f64;
+            for per_vec in bank_results.iter().flatten() {
+                let outcome = &per_vec[j];
+                energy += outcome.energy;
+                bank_cluster_time[outcome.bank] = bank_cluster_time[outcome.bank].max(outcome.time);
+                bank_interrupts[outcome.bank] += 1;
+                self.an_corrections += outcome.an_corrections;
+                self.an_detections += outcome.an_detections;
+            }
+            let local = self.config.local;
+            let mut worst = 0.0f64;
+            for bank in 0..self.config.banks {
+                let residual_time = local.residual_time_split(
+                    self.bank_residual_local[bank],
+                    self.bank_residual_remote[bank],
+                ) + bank_interrupts[bank] as f64 * local.interrupt_time;
+                worst = worst.max(bank_cluster_time[bank].max(residual_time));
+                energy += local.energy(residual_time);
+            }
+            let time = worst + self.config.barrier_time;
+            self.time += time;
+            self.energy += energy + self.config.system_static_power * time;
+        }
+        // Return the lent buffers: the last vector's block warms the
+        // next kernel (outcome order matches cluster order per bank).
+        for (shard, outcomes) in self.banks.iter_mut().zip(bank_results) {
+            for (ec, mut per_vec) in shard.clusters.iter_mut().zip(outcomes) {
+                if let Some(outcome) = per_vec.pop() {
+                    ec.ybuf = outcome.y;
+                }
+            }
+        }
+        self.batch_rbufs = rbufs;
     }
 
     fn spmv_transpose(&mut self, x: &[f64], y: &mut [f64]) {

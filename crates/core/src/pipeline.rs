@@ -44,6 +44,8 @@ pub const STAGE_CLUSTER: &str = "cluster_mvm";
 pub const STAGE_RESIDUAL: &str = "residual_csr";
 /// Span name of the ordered merge stage.
 pub const STAGE_MERGE: &str = "merge";
+/// Span name of a batched multi-RHS kernel (wraps the lane stages).
+pub const STAGE_BATCH: &str = "batch_mvm";
 
 /// Host execution parameters of one staged kernel, resolved from the
 /// environment and the accelerator configuration.
@@ -129,6 +131,38 @@ where
     (clusters, residual, exec)
 }
 
+/// Runs a batched multi-RHS staged kernel: the same two-lane skeleton
+/// as [`run_stages`], but opened under a [`STAGE_BATCH`] span and
+/// accounted as one batch of `rhs` right-hand sides.
+///
+/// The point of the batch lane is amortization (§VIII-D): the operator
+/// was decomposed and programmed once at platform build, and one
+/// invocation here streams all `rhs` vectors through the programmed
+/// clusters — the cluster lane fans out across workers *once* per
+/// batch instead of once per vector, and each shard keeps its plan and
+/// scratch state hot while it walks the whole batch. The bit-identity
+/// argument of [`run_stages`] carries over unchanged: lanes write only
+/// private buffers and the merge folds them in a fixed order, so a
+/// batched kernel reproduces `rhs` sequential kernels bit for bit.
+pub fn run_batch_stages<C, R>(
+    spec: &PipelineSpec,
+    section: &str,
+    tasks: usize,
+    rhs: usize,
+    cluster_lane: impl FnOnce(usize) -> C + Send,
+    residual_lane: impl FnOnce() -> R + Send,
+    merge: impl FnOnce(&C, &R),
+) -> (C, R, ExecStats)
+where
+    C: Send,
+    R: Send,
+{
+    let _batch = memsci_telemetry::span(STAGE_BATCH);
+    memsci_telemetry::incr(memsci_telemetry::Counter::BatchMvmOps, 1);
+    memsci_telemetry::incr(memsci_telemetry::Counter::BatchRhsVectors, rhs as u64);
+    run_stages(spec, section, tasks, cluster_lane, residual_lane, merge)
+}
+
 /// Runs a cluster-lane-only staged kernel (no residual lane at this
 /// level — e.g. the multi-accelerator platform, whose devices each run
 /// their own residual pass inside the lane). Overlap has nothing to
@@ -151,6 +185,24 @@ pub fn run_cluster_only<C: Send>(
         merge(&clusters);
     }
     (clusters, exec)
+}
+
+/// Batched counterpart of [`run_cluster_only`]: one cluster-lane fan-
+/// out streams `rhs` right-hand sides (the multi-accelerator platform's
+/// devices are the shards), under a [`STAGE_BATCH`] span with batch
+/// counters.
+pub fn run_batch_cluster_only<C: Send>(
+    spec: &PipelineSpec,
+    section: &str,
+    tasks: usize,
+    rhs: usize,
+    cluster_lane: impl FnOnce(usize) -> C + Send,
+    merge: impl FnOnce(&C),
+) -> (C, ExecStats) {
+    let _batch = memsci_telemetry::span(STAGE_BATCH);
+    memsci_telemetry::incr(memsci_telemetry::Counter::BatchMvmOps, 1);
+    memsci_telemetry::incr(memsci_telemetry::Counter::BatchRhsVectors, rhs as u64);
+    run_cluster_only(spec, section, tasks, cluster_lane, merge)
 }
 
 /// Runs a residual-lane-only staged kernel (no clusters — e.g. the

@@ -1,0 +1,199 @@
+//! Batched multi-RHS SpMV identity (PR 6).
+//!
+//! `spmv_batch` exists for amortization, not for different answers:
+//! one batched kernel must reproduce k solo kernels bit for bit —
+//! outputs, modelled time, and modelled energy — on every platform,
+//! across host thread counts and lane overlap, with read noise (RTN)
+//! enabled on the exact engine. A telemetry test pins down the
+//! amortization itself: a k = 8 batch programs the operator exactly
+//! once and fans its shards out exactly once.
+
+use memsci_core::{
+    AcceleratorConfig, AcceleratorPlatform, ExactAcceleratorPlatform, ExactOptions,
+    MultiAcceleratorPlatform,
+};
+use memsci_solvers::platform::Platform;
+use memsci_sparse::generate::poisson2d;
+use memsci_sparse::{BlockedMatrix, BlockingConfig, Csr};
+use memsci_telemetry::{self as telemetry, Counter};
+
+const K: usize = 5;
+
+fn batch_vectors(n: usize, k: usize) -> Vec<Vec<f64>> {
+    (0..k)
+        .map(|j| {
+            (0..n)
+                .map(|i| (i as f64 * 0.23 + j as f64 * 0.71).sin() + 0.9)
+                .collect()
+        })
+        .collect()
+}
+
+/// Runs the same batch through `solo` (k sequential `spmv` calls) and
+/// `batched` (one `spmv_batch` call), asserting bitwise equality of
+/// every output vector and of the modelled cost.
+fn assert_batch_identical<P: Platform>(solo: &mut P, batched: &mut P, k: usize, label: &str) {
+    let n = solo.n();
+    let xs = batch_vectors(n, k);
+    let mut solo_ys = vec![vec![0.0; n]; k];
+    for (x, y) in xs.iter().zip(solo_ys.iter_mut()) {
+        solo.spmv(x, y);
+    }
+    let x_refs: Vec<&[f64]> = xs.iter().map(|x| x.as_slice()).collect();
+    let mut batch_ys = vec![Vec::new(); k];
+    batched.spmv_batch(&x_refs, &mut batch_ys);
+    for (j, (want, got)) in solo_ys.iter().zip(&batch_ys).enumerate() {
+        assert_eq!(want.len(), got.len(), "{label} rhs {j}");
+        for (u, v) in want.iter().zip(got) {
+            assert_eq!(u.to_bits(), v.to_bits(), "{label} rhs {j}");
+        }
+    }
+    assert_eq!(
+        solo.elapsed_seconds().to_bits(),
+        batched.elapsed_seconds().to_bits(),
+        "modelled time {label}"
+    );
+    assert_eq!(
+        solo.energy_joules().to_bits(),
+        batched.energy_joules().to_bits(),
+        "modelled energy {label}"
+    );
+}
+
+fn config(threads: usize, overlap: bool) -> AcceleratorConfig {
+    let mut config = AcceleratorConfig::with_banks(4);
+    config.threads = Some(threads);
+    config.overlap = Some(overlap);
+    config
+}
+
+fn matrix() -> Csr {
+    poisson2d(14, 14)
+}
+
+#[test]
+fn fast_engine_batch_is_bit_identical_to_solo() {
+    let blocked = BlockedMatrix::block(&matrix(), &BlockingConfig::default());
+    for threads in [1, 4] {
+        for overlap in [false, true] {
+            let mut solo = AcceleratorPlatform::new(&blocked, config(threads, overlap));
+            let mut batched = AcceleratorPlatform::new(&blocked, config(threads, overlap));
+            assert_batch_identical(
+                &mut solo,
+                &mut batched,
+                K,
+                &format!("fast threads={threads} overlap={overlap}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn exact_engine_batch_is_bit_identical_to_solo() {
+    // Read noise draws from per-cluster streams: a batch walks each
+    // cluster's stream in the same order as k solo kernels, so even
+    // the noisy path must agree bitwise.
+    let blocked = BlockedMatrix::block(&matrix(), &BlockingConfig::default());
+    for rtn in [0.0, 0.02] {
+        for threads in [1, 4] {
+            for overlap in [false, true] {
+                let opts = ExactOptions {
+                    seed: 11,
+                    rtn_probability: rtn,
+                    ..Default::default()
+                };
+                let mut solo =
+                    ExactAcceleratorPlatform::new(&blocked, config(threads, overlap), opts)
+                        .unwrap();
+                let mut batched =
+                    ExactAcceleratorPlatform::new(&blocked, config(threads, overlap), opts)
+                        .unwrap();
+                assert_batch_identical(
+                    &mut solo,
+                    &mut batched,
+                    K,
+                    &format!("exact rtn={rtn} threads={threads} overlap={overlap}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn multi_device_batch_is_bit_identical_to_solo() {
+    let a = matrix();
+    for threads in [1, 4] {
+        let mut solo = MultiAcceleratorPlatform::new(&a, 3, config(threads, false), 2e-6);
+        let mut batched = MultiAcceleratorPlatform::new(&a, 3, config(threads, false), 2e-6);
+        assert_batch_identical(
+            &mut solo,
+            &mut batched,
+            K,
+            &format!("multi threads={threads}"),
+        );
+    }
+}
+
+#[test]
+fn batch_of_one_matches_spmv_exactly() {
+    let blocked = BlockedMatrix::block(&matrix(), &BlockingConfig::default());
+    let mut solo = AcceleratorPlatform::new(&blocked, config(2, false));
+    let mut batched = AcceleratorPlatform::new(&blocked, config(2, false));
+    assert_batch_identical(&mut solo, &mut batched, 1, "fast k=1");
+    let opts = ExactOptions {
+        seed: 3,
+        rtn_probability: 0.01,
+        ..Default::default()
+    };
+    let mut solo = ExactAcceleratorPlatform::new(&blocked, config(2, false), opts).unwrap();
+    let mut batched = ExactAcceleratorPlatform::new(&blocked, config(2, false), opts).unwrap();
+    assert_batch_identical(&mut solo, &mut batched, 1, "exact k=1");
+}
+
+#[test]
+fn exact_batch_programs_the_operator_once_for_eight_rhs() {
+    let _guard = telemetry::exclusive_for_tests();
+    telemetry::reset();
+    telemetry::enable();
+    let blocked = BlockedMatrix::block(&matrix(), &BlockingConfig::default());
+    let base = telemetry::snapshot().counters;
+    let mut acc =
+        ExactAcceleratorPlatform::new(&blocked, config(2, false), ExactOptions::default()).unwrap();
+    let built = telemetry::snapshot().counters.delta_since(&base);
+    assert_eq!(
+        built.get(Counter::OperatorPrograms),
+        1,
+        "one build programs the operator once"
+    );
+
+    let n = acc.n();
+    let xs = batch_vectors(n, 8);
+    let x_refs: Vec<&[f64]> = xs.iter().map(|x| x.as_slice()).collect();
+    let mut ys = vec![Vec::new(); 8];
+    let before = telemetry::snapshot().counters;
+    acc.spmv_batch(&x_refs, &mut ys);
+    let d = telemetry::snapshot().counters.delta_since(&before);
+    // The batch streams all eight vectors through the already-
+    // programmed crossbars: no new programming, one batched kernel,
+    // one shard fan-out, eight logical MVMs.
+    assert_eq!(d.get(Counter::OperatorPrograms), 0, "no reprogramming");
+    assert_eq!(d.get(Counter::BatchMvmOps), 1);
+    assert_eq!(d.get(Counter::BatchRhsVectors), 8);
+    assert_eq!(d.get(Counter::SpmvOps), 8);
+
+    // The shard fan-out is also amortized: the batch dispatches each
+    // populated bank shard once, exactly like a single solo kernel —
+    // not eight times.
+    let before_solo = telemetry::snapshot().counters;
+    let mut y = vec![0.0; n];
+    acc.spmv(&xs[0], &mut y);
+    let solo = telemetry::snapshot().counters.delta_since(&before_solo);
+    assert!(solo.get(Counter::BankShardTasks) > 0);
+    assert_eq!(
+        d.get(Counter::BankShardTasks),
+        solo.get(Counter::BankShardTasks),
+        "batch shard fan-out should match one solo kernel"
+    );
+    telemetry::disable();
+    telemetry::reset();
+}

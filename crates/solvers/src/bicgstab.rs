@@ -105,7 +105,6 @@ fn bicgstab_inner<P: Platform + ?Sized>(
         let s_norm = platform.norm(&s);
         if s_norm / b_norm <= opts.tol {
             platform.axpy(alpha, &p, x);
-            res = s_norm / b_norm;
             report.iterations += 1;
             report.converged = true;
             break;
@@ -128,8 +127,12 @@ fn bicgstab_inner<P: Platform + ?Sized>(
         report.iterations += 1;
     }
 
-    report.relative_residual = res;
-    report.converged |= res <= opts.tol;
+    // `r` is a recurrence that can drift from b − A·x after a corrupted
+    // or rounded product; recompute the true residual once before
+    // reporting (see `cg` for the rationale).
+    report.relative_residual =
+        crate::platform::true_relative_residual(platform, b, x, b_norm, &mut r);
+    report.converged = report.relative_residual <= opts.tol;
     report.time_seconds = platform.elapsed_seconds() - t0;
     report.energy_joules = platform.energy_joules() - e0;
     report

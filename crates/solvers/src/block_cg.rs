@@ -1,0 +1,361 @@
+//! Block conjugate gradient for several right-hand sides at once.
+//!
+//! Crossbar programming is the expensive part of deploying an operator
+//! (§VIII-D); once `A` is written, MVMs against it are cheap. When a
+//! workload carries several right-hand sides of the same system —
+//! multiple load cases, columns of an inverse, shifted sources — the
+//! batched MVM lane ([`Platform::spmv_batch`]) amortizes every per-
+//! kernel overhead across the batch. This solver drives that lane: it
+//! runs k *independent* CG recurrences in lockstep, issuing exactly one
+//! batched product per iteration for all still-active columns.
+//!
+//! This is deliberately **not** the classical block CG of O'Leary
+//! (which couples the columns through a shared Krylov block space and
+//! per-iteration k×k solves): the columns here never exchange
+//! information, so each column reproduces the plain [`cg`](crate::cg::cg)
+//! iteration bit for bit on deterministic platforms, and a column that
+//! converges is simply *deflated* — dropped from subsequent batches —
+//! while the rest keep iterating. Convergence is tracked per column,
+//! with the final verdict taken from a freshly computed true residual,
+//! never from the recurrence scalar.
+
+use crate::platform::{true_relative_residual, Platform};
+use crate::report::{SolveOptions, SolveReport};
+
+/// Per-column recurrence state.
+struct Column {
+    r: Vec<f64>,
+    p: Vec<f64>,
+    rs: f64,
+    b_norm: f64,
+    /// Still in the batch (neither converged nor broken down).
+    active: bool,
+    report: SolveReport,
+}
+
+/// Solves `A·xⱼ = bⱼ` for every column j by independent CG recurrences
+/// sharing one batched MVM per iteration, updating each `xs[j]` in
+/// place and returning one report per column.
+///
+/// Deflation: a column leaves the batch as soon as its recurrence
+/// reaches the tolerance (or breaks down); remaining columns keep the
+/// full batch lane to themselves. Like [`cg`](crate::cg::cg), the
+/// recurrence residual is refreshed from a true product periodically,
+/// and every column's final `relative_residual`/`converged` come from
+/// one fresh true residual, so a drifted recurrence cannot fake
+/// convergence.
+///
+/// Cost attribution: the platform charges the whole block solve as one
+/// run; each report carries the amortized per-column share (total time
+/// and energy divided by k). When [`SolveOptions::telemetry`] is set,
+/// every report receives the same capture covering the whole block
+/// solve.
+///
+/// # Examples
+///
+/// ```
+/// use memsci_solvers::block_cg::block_cg;
+/// use memsci_solvers::platform::CsrPlatform;
+/// use memsci_solvers::report::SolveOptions;
+/// use memsci_sparse::generate::poisson2d;
+///
+/// let mut p = CsrPlatform::new(poisson2d(8, 8));
+/// let b1 = vec![1.0; 64];
+/// let b2: Vec<f64> = (0..64).map(|i| (i as f64 * 0.2).sin()).collect();
+/// let mut xs = vec![vec![0.0; 64]; 2];
+/// let reports = block_cg(&mut p, &[&b1, &b2], &mut xs, &SolveOptions::default());
+/// assert!(reports.iter().all(|r| r.converged));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `bs.len() != xs.len()` or any column's length differs from
+/// the platform dimension.
+pub fn block_cg<P: Platform + ?Sized>(
+    platform: &mut P,
+    bs: &[&[f64]],
+    xs: &mut [Vec<f64>],
+    opts: &SolveOptions,
+) -> Vec<SolveReport> {
+    assert_eq!(bs.len(), xs.len(), "rhs/solution column count mismatch");
+    let capture = memsci_telemetry::Capture::start(opts.telemetry);
+    let mut reports = {
+        let _span = memsci_telemetry::span("solve/block_cg");
+        block_cg_inner(platform, bs, xs, opts)
+    };
+    let total_iters: usize = reports.iter().map(|r| r.iterations).sum();
+    memsci_telemetry::incr(
+        memsci_telemetry::Counter::SolveIterations,
+        total_iters as u64,
+    );
+    if let Some(telemetry) = capture.finish() {
+        for report in &mut reports {
+            report.telemetry = Some(telemetry.clone());
+        }
+    }
+    reports
+}
+
+fn block_cg_inner<P: Platform + ?Sized>(
+    platform: &mut P,
+    bs: &[&[f64]],
+    xs: &mut [Vec<f64>],
+    opts: &SolveOptions,
+) -> Vec<SolveReport> {
+    let n = platform.n();
+    let k = bs.len();
+    if k == 0 {
+        return Vec::new();
+    }
+    for (b, x) in bs.iter().zip(xs.iter()) {
+        assert_eq!(b.len(), n, "b length");
+        assert_eq!(x.len(), n, "x length");
+    }
+    let t0 = platform.elapsed_seconds();
+    let e0 = platform.energy_joules();
+
+    // Initial residuals: one batched product A·x₀ for all columns.
+    let mut qs: Vec<Vec<f64>> = vec![vec![0.0; n]; k];
+    {
+        let x_refs: Vec<&[f64]> = xs.iter().map(|x| x.as_slice()).collect();
+        platform.spmv_batch(&x_refs, &mut qs);
+    }
+    let mut cols: Vec<Column> = Vec::with_capacity(k);
+    for (j, (b, x)) in bs.iter().zip(xs.iter_mut()).enumerate() {
+        let mut report = SolveReport::new();
+        let b_norm = platform.norm(b);
+        if b_norm == 0.0 {
+            x.fill(0.0);
+            report.converged = true;
+            report.relative_residual = 0.0;
+            cols.push(Column {
+                r: Vec::new(),
+                p: Vec::new(),
+                rs: 0.0,
+                b_norm,
+                active: false,
+                report,
+            });
+            continue;
+        }
+        let mut r = std::mem::take(&mut qs[j]);
+        platform.axpby(1.0, b, -1.0, &mut r); // r = b − A·x₀
+        let p = r.clone();
+        let rs = platform.dot(&r, &r);
+        cols.push(Column {
+            r,
+            p,
+            rs,
+            b_norm,
+            active: true,
+            report,
+        });
+    }
+
+    // As in `cg`, refresh the recurrence from a true product
+    // periodically so it cannot drift indefinitely.
+    const REFRESH_INTERVAL: usize = 50;
+    let mut active_idx: Vec<usize> = Vec::with_capacity(k);
+    for iter in 0..opts.max_iters {
+        active_idx.clear();
+        active_idx.extend((0..k).filter(|&j| cols[j].active));
+        if active_idx.is_empty() {
+            break;
+        }
+        let _iter_span = memsci_telemetry::span("iter");
+        if iter > 0 && iter % REFRESH_INTERVAL == 0 {
+            // One batched A·x refreshes every active column's residual.
+            active_idx.retain(|&j| {
+                if xs[j].iter().any(|v| !v.is_finite()) {
+                    cols[j].active = false; // the iterate is lost
+                    false
+                } else {
+                    true
+                }
+            });
+            if active_idx.is_empty() {
+                break;
+            }
+            let x_refs: Vec<&[f64]> = active_idx.iter().map(|&j| xs[j].as_slice()).collect();
+            qs.resize_with(active_idx.len(), Vec::new);
+            platform.spmv_batch(&x_refs, &mut qs[..active_idx.len()]);
+            for (slot, &j) in active_idx.iter().enumerate() {
+                let col = &mut cols[j];
+                col.r.copy_from_slice(&qs[slot]);
+                let b = bs[j];
+                platform.axpby(1.0, b, -1.0, &mut col.r);
+                col.rs = platform.dot(&col.r, &col.r);
+            }
+        }
+        // Convergence checks deflate columns before the batched product.
+        active_idx.retain(|&j| {
+            let col = &mut cols[j];
+            let res = col.rs.sqrt() / col.b_norm;
+            if opts.record_residuals {
+                col.report.residual_history.push(res);
+            }
+            if res <= opts.tol {
+                col.active = false;
+                false
+            } else {
+                true
+            }
+        });
+        if active_idx.is_empty() {
+            break;
+        }
+        // One batched product serves every surviving column.
+        let p_refs: Vec<&[f64]> = active_idx.iter().map(|&j| cols[j].p.as_slice()).collect();
+        qs.resize_with(active_idx.len(), Vec::new);
+        platform.spmv_batch(&p_refs, &mut qs[..active_idx.len()]);
+        for (slot, &j) in active_idx.iter().enumerate() {
+            let q = &qs[slot];
+            let col = &mut cols[j];
+            let pq = platform.dot(&col.p, q);
+            if pq <= 0.0 || !pq.is_finite() || !col.rs.is_finite() {
+                col.active = false; // breakdown: leave the batch
+                continue;
+            }
+            let alpha = col.rs / pq;
+            platform.axpy(alpha, &col.p, &mut xs[j]);
+            platform.axpy(-alpha, q, &mut col.r);
+            let rs_new = platform.dot(&col.r, &col.r);
+            if !rs_new.is_finite() {
+                col.active = false;
+                continue;
+            }
+            let beta = rs_new / col.rs;
+            platform.axpby(1.0, &col.r, beta, &mut col.p);
+            col.rs = rs_new;
+            col.report.iterations += 1;
+        }
+    }
+
+    // Verdicts from fresh true residuals, never the recurrences.
+    let mut scratch = vec![0.0; n];
+    for (j, col) in cols.iter_mut().enumerate() {
+        if col.b_norm == 0.0 {
+            continue; // zero-rhs columns settled up front
+        }
+        col.report.relative_residual =
+            true_relative_residual(platform, bs[j], &xs[j], col.b_norm, &mut scratch);
+        col.report.converged = col.report.relative_residual <= opts.tol;
+    }
+
+    // Amortized per-column cost share of the one shared platform run.
+    let time = (platform.elapsed_seconds() - t0) / k as f64;
+    let energy = (platform.energy_joules() - e0) / k as f64;
+    cols.into_iter()
+        .map(|col| {
+            let mut report = col.report;
+            report.time_seconds = time;
+            report.energy_joules = energy;
+            report
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cg::cg;
+    use crate::platform::CsrPlatform;
+    use memsci_sparse::generate::{poisson2d, poisson3d};
+
+    fn rhs_family(n: usize, k: usize) -> Vec<Vec<f64>> {
+        (0..k)
+            .map(|j| {
+                (0..n)
+                    .map(|i| ((i * (j + 2)) as f64 * 0.17).sin() + j as f64 * 0.3)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_sequential_cg_bitwise_on_poisson() {
+        for a in [poisson2d(10, 10), poisson3d(5, 5, 5)] {
+            let n = a.rows();
+            let bs = rhs_family(n, 3);
+            let opts = SolveOptions::with_tol(1e-10);
+            // Sequential reference: one plain CG per column.
+            let mut seq_xs = Vec::new();
+            let mut seq_reports = Vec::new();
+            for b in &bs {
+                let mut p = CsrPlatform::new(a.clone());
+                let mut x = vec![0.0; n];
+                seq_reports.push(cg(&mut p, b, &mut x, &opts));
+                seq_xs.push(x);
+            }
+            // Block solve over the same columns.
+            let mut p = CsrPlatform::new(a.clone());
+            let b_refs: Vec<&[f64]> = bs.iter().map(|b| b.as_slice()).collect();
+            let mut xs = vec![vec![0.0; n]; 3];
+            let reports = block_cg(&mut p, &b_refs, &mut xs, &opts);
+            for (j, (x, want)) in xs.iter().zip(&seq_xs).enumerate() {
+                assert!(reports[j].converged && seq_reports[j].converged);
+                assert_eq!(reports[j].iterations, seq_reports[j].iterations, "col {j}");
+                // Independent lockstep recurrences replay plain CG
+                // exactly, so the solutions agree bit for bit.
+                for (u, v) in x.iter().zip(want) {
+                    assert_eq!(u.to_bits(), v.to_bits(), "col {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deflation_lets_hard_columns_finish() {
+        let a = poisson2d(12, 12);
+        let n = a.rows();
+        // One trivially easy column (b = 0) alongside genuine work.
+        let b0 = vec![0.0; n];
+        let b1: Vec<f64> = (0..n).map(|i| (i as f64 * 0.13).cos()).collect();
+        let mut p = CsrPlatform::new(a);
+        let mut xs = vec![vec![0.0; n]; 2];
+        let reports = block_cg(&mut p, &[&b0, &b1], &mut xs, &SolveOptions::with_tol(1e-10));
+        assert!(reports[0].converged);
+        assert_eq!(reports[0].iterations, 0);
+        assert!(xs[0].iter().all(|&v| v == 0.0));
+        assert!(reports[1].converged);
+        assert!(reports[1].iterations > 0);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let mut p = CsrPlatform::new(poisson2d(4, 4));
+        let reports = block_cg(&mut p, &[], &mut [], &SolveOptions::default());
+        assert!(reports.is_empty());
+    }
+
+    #[test]
+    fn iteration_cap_applies_per_column() {
+        let a = poisson2d(16, 16);
+        let n = a.rows();
+        let bs = rhs_family(n, 2);
+        let b_refs: Vec<&[f64]> = bs.iter().map(|b| b.as_slice()).collect();
+        let mut p = CsrPlatform::new(a);
+        let mut xs = vec![vec![0.0; n]; 2];
+        let opts = SolveOptions::default().max_iters(3);
+        let reports = block_cg(&mut p, &b_refs, &mut xs, &opts);
+        for rep in &reports {
+            assert_eq!(rep.iterations, 3);
+            assert!(!rep.converged);
+        }
+    }
+
+    #[test]
+    fn cost_share_is_amortized() {
+        let a = poisson2d(8, 8);
+        let n = a.rows();
+        let bs = rhs_family(n, 4);
+        let b_refs: Vec<&[f64]> = bs.iter().map(|b| b.as_slice()).collect();
+        let mut p = CsrPlatform::new(a);
+        let mut xs = vec![vec![0.0; n]; 4];
+        let reports = block_cg(&mut p, &b_refs, &mut xs, &SolveOptions::default());
+        let total: f64 = reports.iter().map(|r| r.time_seconds).sum();
+        assert!((total - p.elapsed_seconds()).abs() <= 1e-12 * p.elapsed_seconds().max(1.0));
+        let first = reports[0].time_seconds;
+        assert!(reports.iter().all(|r| r.time_seconds == first));
+    }
+}

@@ -121,8 +121,13 @@ fn cg_inner<P: Platform + ?Sized>(
         report.iterations += 1;
     }
 
-    report.relative_residual = rs.sqrt() / b_norm;
-    report.converged |= report.relative_residual <= opts.tol;
+    // The recurrence scalar `rs` drifts from ‖b − A·x‖² whenever a
+    // product was corrupted or rounded (the whole premise of the noise
+    // studies), so never let it testify about the final iterate: spend
+    // one fresh product on the true residual before claiming anything.
+    report.relative_residual =
+        crate::platform::true_relative_residual(platform, b, x, b_norm, &mut r);
+    report.converged = report.relative_residual <= opts.tol;
     report.time_seconds = platform.elapsed_seconds() - t0;
     report.energy_joules = platform.energy_joules() - e0;
     report
@@ -185,9 +190,93 @@ mod tests {
         let b = vec![1.0; 36];
         let mut x = vec![0.0; 36];
         cg(&mut p, &b, &mut x, &SolveOptions::default());
-        let rep = cg(&mut p, &b, &mut x.clone(), &SolveOptions::default());
+        let warm = x.clone();
+        let rep = cg(&mut p, &b, &mut x, &SolveOptions::default());
         assert_eq!(rep.iterations, 0);
         assert!(rep.converged);
+        // A converged warm start must leave the solution untouched.
+        assert_eq!(x, warm);
+    }
+
+    /// A platform whose `spmv` silently doubles one product mid-solve:
+    /// the recurrence scalar keeps shrinking, but the iterate stops
+    /// solving the system. The report must notice via the final true
+    /// residual instead of trusting the drifted recurrence.
+    struct CorruptingPlatform {
+        inner: CsrPlatform,
+        spmv_calls: usize,
+        corrupt_at: usize,
+    }
+
+    impl Platform for CorruptingPlatform {
+        fn n(&self) -> usize {
+            self.inner.n()
+        }
+        fn spmv(&mut self, x: &[f64], y: &mut [f64]) {
+            self.inner.spmv(x, y);
+            self.spmv_calls += 1;
+            if self.spmv_calls == self.corrupt_at {
+                for v in y.iter_mut() {
+                    *v *= 2.0;
+                }
+            }
+        }
+        fn spmv_transpose(&mut self, x: &[f64], y: &mut [f64]) {
+            self.inner.spmv_transpose(x, y);
+        }
+        fn dot(&mut self, x: &[f64], y: &[f64]) -> f64 {
+            self.inner.dot(x, y)
+        }
+        fn axpby(&mut self, alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
+            self.inner.axpby(alpha, x, beta, y);
+        }
+        fn diagonal(&self) -> Vec<f64> {
+            self.inner.diagonal()
+        }
+        fn elapsed_seconds(&self) -> f64 {
+            self.inner.elapsed_seconds()
+        }
+        fn energy_joules(&self) -> f64 {
+            self.inner.energy_joules()
+        }
+    }
+
+    #[test]
+    fn corrupted_product_cannot_fake_convergence() {
+        let a = poisson2d(6, 6);
+        let b: Vec<f64> = (0..36).map(|i| (i as f64 * 0.31).sin() + 1.0).collect();
+        // Doubling A·p keeps p·q positive (no restart fires) while
+        // desynchronizing the recurrence from b − A·x. Cap iterations
+        // below the periodic refresh so only the final check can save
+        // the report.
+        let mut p = CorruptingPlatform {
+            inner: CsrPlatform::new(a.clone()),
+            spmv_calls: 0,
+            corrupt_at: 6,
+        };
+        let mut x = vec![0.0; 36];
+        let opts = SolveOptions::with_tol(1e-10).max_iters(40);
+        let rep = cg(&mut p, &b, &mut x, &opts);
+        // The drifted recurrence scalar reaches the tolerance…
+        assert!(
+            rep.iterations < 40,
+            "recurrence never got small: {} iters",
+            rep.iterations
+        );
+        // …but the iterate does not solve the system, and the report
+        // must say so.
+        let mut r = vec![0.0; 36];
+        a.spmv(&x, &mut r);
+        let err: f64 = r
+            .iter()
+            .zip(&b)
+            .map(|(ri, bi)| (bi - ri).powi(2))
+            .sum::<f64>()
+            .sqrt();
+        let bn: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!(err / bn > 1e-6, "true residual {}", err / bn);
+        assert!(!rep.converged);
+        assert!(rep.relative_residual > 1e-6);
     }
 
     #[test]

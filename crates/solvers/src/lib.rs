@@ -13,6 +13,9 @@
 //! * [`gmres`](gmres::gmres) — restarted GMRES(m);
 //! * [`pcg_jacobi`](pcg::pcg_jacobi) — Jacobi-preconditioned CG (an
 //!   extension beyond the paper's plain CG);
+//! * [`block_cg`](block_cg::block_cg) — k independent CG recurrences in
+//!   lockstep over one batched MVM per iteration (multi-RHS, §VIII-D
+//!   amortization);
 //! * [`jacobi`](jacobi::jacobi) — a stationary-method reference.
 //!
 //! # Examples
@@ -35,6 +38,7 @@
 
 pub mod bicg;
 pub mod bicgstab;
+pub mod block_cg;
 pub mod cg;
 pub mod gmres;
 pub mod jacobi;

@@ -111,8 +111,12 @@ fn pcg_jacobi_inner<P: Platform + ?Sized>(
         report.iterations += 1;
     }
 
-    report.relative_residual = res;
-    report.converged |= res <= opts.tol;
+    // `res` already tracks ‖r‖, but `r` itself is a recurrence that can
+    // drift from b − A·x; recompute the true residual once before
+    // reporting (see `cg` for the rationale).
+    report.relative_residual =
+        crate::platform::true_relative_residual(platform, b, x, b_norm, &mut r);
+    report.converged = report.relative_residual <= opts.tol;
     report.time_seconds = platform.elapsed_seconds() - t0;
     report.energy_joules = platform.energy_joules() - e0;
     report

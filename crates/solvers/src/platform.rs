@@ -27,6 +27,37 @@ pub trait Platform {
     /// `y = Aᵀ·x` (needed by BiCG).
     fn spmv_transpose(&mut self, x: &[f64], y: &mut [f64]);
 
+    /// Batched multi-RHS sparse MVM: `ys[j] = A·xs[j]` for every
+    /// right-hand side, against one programmed operator.
+    ///
+    /// Programming a matrix into crossbars is expensive while MVMs
+    /// against an already-programmed operator are cheap (§VIII-D), so
+    /// platforms override this to stream all `k` vectors through the
+    /// operator in one staged kernel. The default loops over
+    /// [`Platform::spmv`]; every implementation (including the default)
+    /// must produce results bitwise identical to `k` sequential solo
+    /// `spmv` calls in the same order.
+    ///
+    /// Each `ys[j]` is resized to [`Platform::n`] and overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs.len() != ys.len()` or any `xs[j].len()` differs
+    /// from [`Platform::n`].
+    fn spmv_batch(&mut self, xs: &[&[f64]], ys: &mut [Vec<f64>]) {
+        assert_eq!(xs.len(), ys.len(), "batch rhs/output count mismatch");
+        if xs.is_empty() {
+            return;
+        }
+        memsci_telemetry::incr(memsci_telemetry::Counter::BatchMvmOps, 1);
+        memsci_telemetry::incr(memsci_telemetry::Counter::BatchRhsVectors, xs.len() as u64);
+        let n = self.n();
+        for (x, y) in xs.iter().zip(ys.iter_mut()) {
+            y.resize(n, 0.0);
+            self.spmv(x, y);
+        }
+    }
+
     /// Dense dot product `x·y` (§VI-A2).
     fn dot(&mut self, x: &[f64], y: &[f64]) -> f64;
 
@@ -53,9 +84,62 @@ pub trait Platform {
     }
 
     /// Euclidean norm `‖x‖₂`.
+    ///
+    /// The plain `dot(x,x)` sum of squares overflows to `inf` once
+    /// `|xᵢ| ≳ 1e154`, which would silently break the `‖b‖ == 0` and
+    /// tolerance logic in the solvers. When the squared sum is
+    /// non-finite the norm is recomputed with a scaled two-pass
+    /// fallback (divide by the max magnitude, sum, rescale); the rare
+    /// second pass runs digitally and is not charged to the platform.
+    /// `NaN` entries still yield `NaN`, and genuine `±inf` entries
+    /// yield `inf`.
     fn norm(&mut self, x: &[f64]) -> f64 {
-        self.dot(x, x).max(0.0).sqrt()
+        let d = self.dot(x, x);
+        if d.is_finite() {
+            return d.max(0.0).sqrt();
+        }
+        if x.iter().any(|v| v.is_nan()) {
+            return f64::NAN;
+        }
+        let m = x.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        if m == 0.0 || m.is_infinite() {
+            return m;
+        }
+        let inv = 1.0 / m;
+        let sum: f64 = x
+            .iter()
+            .map(|&v| {
+                let s = v * inv;
+                s * s
+            })
+            .sum();
+        m * sum.sqrt()
     }
+}
+
+/// Recomputes the *true* relative residual `‖b − A·x‖ / b_norm` with
+/// one fresh operator application, writing `b − A·x` into `r`.
+///
+/// Krylov recurrences carry the residual as a drifting scalar; after a
+/// corrupted product (the paper's Figure 12/13 noise studies) that
+/// scalar can reach the tolerance while the iterate does not solve the
+/// system. Solvers call this once after their loop so the final
+/// `converged` / `relative_residual` claim reflects the iterate, not
+/// the recurrence. A non-finite iterate reports `inf` without touching
+/// the operator.
+pub fn true_relative_residual<P: Platform + ?Sized>(
+    platform: &mut P,
+    b: &[f64],
+    x: &[f64],
+    b_norm: f64,
+    r: &mut [f64],
+) -> f64 {
+    if x.iter().any(|v| !v.is_finite()) {
+        return f64::INFINITY;
+    }
+    platform.spmv(x, r);
+    platform.axpby(1.0, b, -1.0, r);
+    platform.norm(r) / b_norm
 }
 
 /// A cost-free reference platform executing kernels in plain `f64` on a
@@ -197,5 +281,63 @@ mod tests {
         let mut y = vec![f64::NAN, 1.0];
         axpby_f64(1.0, &[2.0, 3.0], 0.0, &mut y);
         assert_eq!(y, vec![2.0, 3.0]); // NaN must not propagate
+    }
+
+    #[test]
+    fn norm_survives_huge_magnitudes() {
+        let a = Coo::from_triplets(2, 2, [(0, 0, 1.0)]).unwrap().to_csr();
+        let mut p = CsrPlatform::new(a);
+        // dot(x,x) overflows to inf; the scaled fallback recovers the
+        // exact answer (1e160 · √2 is representable).
+        let x = vec![1e160, 1e160];
+        let got = p.norm(&x);
+        assert!(got.is_finite(), "norm overflowed: {got}");
+        let want = 1e160 * 2.0f64.sqrt();
+        assert!((got - want).abs() <= 1e-12 * want, "{got} vs {want}");
+        // Ordinary magnitudes keep the single-pass bitwise behaviour.
+        assert_eq!(p.norm(&[3.0, 4.0]).to_bits(), 5.0f64.to_bits());
+        // Edge cases stay honest rather than collapsing to zero.
+        assert_eq!(p.norm(&[0.0, 0.0]), 0.0);
+        assert!(p.norm(&[1e160, f64::NAN]).is_nan());
+        assert_eq!(p.norm(&[1e160, f64::INFINITY]), f64::INFINITY);
+    }
+
+    #[test]
+    fn default_spmv_batch_matches_sequential_spmv() {
+        let a = Coo::from_triplets(3, 3, [(0, 0, 2.0), (1, 2, -1.0), (2, 1, 4.0)])
+            .unwrap()
+            .to_csr();
+        let xs: Vec<Vec<f64>> = vec![vec![1.0, 2.0, 3.0], vec![-0.5, 0.25, 8.0]];
+        let refs: Vec<&[f64]> = xs.iter().map(Vec::as_slice).collect();
+        let mut p = CsrPlatform::new(a.clone());
+        let mut ys = vec![Vec::new(), Vec::new()];
+        p.spmv_batch(&refs, &mut ys);
+        let mut solo = CsrPlatform::new(a);
+        for (x, y) in xs.iter().zip(&ys) {
+            let mut want = vec![0.0; 3];
+            solo.spmv(x, &mut want);
+            let got: Vec<u64> = y.iter().map(|v| v.to_bits()).collect();
+            let want: Vec<u64> = want.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got, want);
+        }
+        // Empty batches are a no-op.
+        p.spmv_batch(&[], &mut []);
+    }
+
+    #[test]
+    fn true_relative_residual_reports_the_iterate() {
+        let a = Coo::from_triplets(2, 2, [(0, 0, 2.0), (1, 1, 4.0)])
+            .unwrap()
+            .to_csr();
+        let mut p = CsrPlatform::new(a);
+        let b = vec![2.0, 4.0];
+        let mut r = vec![0.0; 2];
+        let b_norm = 20.0f64.sqrt();
+        let exact = true_relative_residual(&mut p, &b, &[1.0, 1.0], b_norm, &mut r);
+        assert_eq!(exact, 0.0);
+        let off = true_relative_residual(&mut p, &b, &[0.0, 0.0], b_norm, &mut r);
+        assert!((off - 1.0).abs() < 1e-15);
+        let lost = true_relative_residual(&mut p, &b, &[f64::NAN, 0.0], b_norm, &mut r);
+        assert!(lost.is_infinite());
     }
 }

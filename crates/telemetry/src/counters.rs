@@ -77,10 +77,20 @@ pub enum Counter {
     /// state — active rows, row entry indices, bias multiples — derived
     /// at program time rather than per call).
     PlanHits,
+    /// Batched multi-RHS MVM kernels executed (`spmv_batch` calls that
+    /// push k vectors through one programmed operator).
+    BatchMvmOps,
+    /// Right-hand-side vectors streamed through batched MVM kernels
+    /// (the k of every `spmv_batch` call, summed).
+    BatchRhsVectors,
+    /// Operators decomposed and programmed into crossbars (once per
+    /// platform build — the expensive write the batch lane amortizes,
+    /// §VIII-D).
+    OperatorPrograms,
 }
 
 /// Number of counters in the catalog.
-pub const COUNTER_COUNT: usize = 25;
+pub const COUNTER_COUNT: usize = 28;
 
 impl Counter {
     /// Every counter, in catalog (manifest) order.
@@ -110,6 +120,9 @@ impl Counter {
         Counter::BankShardTasks,
         Counter::ScratchReuse,
         Counter::PlanHits,
+        Counter::BatchMvmOps,
+        Counter::BatchRhsVectors,
+        Counter::OperatorPrograms,
     ];
 
     /// Stable snake-case name used in manifests and reports.
@@ -140,6 +153,9 @@ impl Counter {
             Counter::BankShardTasks => "bank_shard_tasks",
             Counter::ScratchReuse => "scratch_reuse",
             Counter::PlanHits => "plan_hits",
+            Counter::BatchMvmOps => "batch_mvm_ops",
+            Counter::BatchRhsVectors => "batch_rhs_vectors",
+            Counter::OperatorPrograms => "operator_programs",
         }
     }
 

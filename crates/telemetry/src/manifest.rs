@@ -254,7 +254,8 @@ fn counter_value(doc: &Json, name: &str) -> u64 {
 ///   row and at most a full 512-row column set;
 /// * vector slices applied never exceed total slice applications
 ///   (each activation applies one slice across ≥1 bit group);
-/// * residual flops come in multiply-add pairs, so the count is even.
+/// * residual flops come in multiply-add pairs, so the count is even;
+/// * every batched MVM kernel streams at least one right-hand side.
 ///
 /// # Errors
 ///
@@ -305,6 +306,13 @@ pub fn check_invariants(doc: &Json) -> Result<(), ManifestError> {
     if !residual_flops.is_multiple_of(2) {
         return Err(fail(format!(
             "residual_flops ({residual_flops}) must be even (multiply-add pairs)"
+        )));
+    }
+    let batch_ops = counter_value(doc, "batch_mvm_ops");
+    let batch_rhs = counter_value(doc, "batch_rhs_vectors");
+    if batch_rhs < batch_ops {
+        return Err(fail(format!(
+            "batch_rhs_vectors ({batch_rhs}) below batch_mvm_ops ({batch_ops}): every batch carries at least one RHS"
         )));
     }
     Ok(())

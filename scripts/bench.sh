@@ -1,12 +1,18 @@
 #!/usr/bin/env bash
 # Host-performance benchmark: builds the release binary and regenerates
-# the schema-versioned bench document (default BENCH_PR5.json at the
-# repo root). Wall-clock numbers are machine-dependent; the committed
-# document records the shape and the speedup vs the embedded baseline.
+# the schema-versioned bench document (default BENCH_PR6.json at the
+# repo root; override with BENCH_OUT or --out). Wall-clock numbers are
+# machine-dependent; the committed document records the shape, the
+# speedup vs the embedded baseline, and the multi-RHS amortization.
 #
-# Usage: scripts/bench.sh [--smoke] [--iters N] [--out FILE]
+# Usage: BENCH_OUT=FILE scripts/bench.sh [--smoke] [--iters N]
+#                                        [--rhs K1,K2,..] [--out FILE]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+BENCH_OUT="${BENCH_OUT:-BENCH_PR6.json}"
+
 cargo build --release --offline -p memsci-bench --bin repro
-./target/release/repro bench "$@"
+# Flags parse left to right, so a user-supplied --out in "$@" overrides
+# the BENCH_OUT default.
+./target/release/repro bench --out "$BENCH_OUT" "$@"

@@ -47,6 +47,12 @@ echo "== bench smoke =="
 ./target/release/repro bench --smoke --out target/tmp/check-bench.json
 ./target/release/repro bench --validate target/tmp/check-bench.json
 [ -f BENCH_PR5.json ] && ./target/release/repro bench --validate BENCH_PR5.json
+[ -f BENCH_PR6.json ] && ./target/release/repro bench --validate BENCH_PR6.json
+
+echo "== batch identity smoke =="
+# The multi-RHS lane promises bitwise batch == k solo kernels on every
+# platform, and program-once amortization on the exact engine.
+cargo test -q --offline -p memsci-core --test batch_identity
 
 echo "== telemetry stream smoke =="
 # Incremental JSONL manifests: one record per Monte-Carlo sweep point.
