@@ -6,6 +6,8 @@
 //! repro <experiment> [--scale S] [--runs N] [--tol T] [--telemetry-out FILE]
 //!                    [--telemetry-stream FILE]
 //! repro bench [--smoke] [--iters N] [--rhs K1,K2,..] [--out FILE]
+//! repro faults [--runs N] [--scale S] [--tol T] [--out FILE] [--validate FILE]
+//!              [--telemetry-out FILE] [--telemetry-stream FILE]
 //!
 //! experiments:
 //!   table1 table2 table3
@@ -20,7 +22,10 @@
 //! measures host wall-clock (simulator speed) and writes a
 //! schema-versioned `BENCH_*.json` document (default `BENCH_PR6.json`);
 //! `--rhs` picks the multi-RHS batch widths swept by its `spmv_batch`
-//! section (default `1,8`).
+//! section (default `1,8`); `faults` runs the device-reliability
+//! campaign (stuck-at rate × retention age grid) and writes a
+//! schema-versioned `FAULTS_*.json` coverage report (default
+//! `FAULTS_PR7.json`), byte-reproducible under a fixed seed.
 //!
 //! Telemetry: `--telemetry-out FILE` enables the global sink and writes
 //! a schema-versioned JSON run manifest on exit. The `MEMSCI_TELEMETRY`
@@ -31,7 +36,7 @@
 //! Monte-Carlo sweep point (fig12/fig13), so killed sweeps keep their
 //! finished points.
 
-use memsci_bench::{figures, montecarlo, perf, suite_run, tables};
+use memsci_bench::{faults, figures, montecarlo, perf, suite_run, tables};
 use memsci_telemetry::json::Json;
 use memsci_telemetry::ManifestStream;
 
@@ -50,6 +55,9 @@ fn main() {
              [--telemetry-stream FILE]"
         );
         eprintln!("       repro bench [--smoke] [--iters N] [--rhs K1,K2,..] [--out FILE]");
+        eprintln!(
+            "       repro faults [--runs N] [--scale S] [--tol T] [--out FILE] [--validate FILE]"
+        );
         eprintln!("experiments: table1 table2 table3 fig6 fig7 fig8 fig9 fig10 fig11");
         eprintln!("             fig12 fig13 area endurance ablation sizing smoke solve all");
         eprintln!("             matrix <file.mtx>   (run a real SuiteSparse download)");
@@ -97,6 +105,10 @@ fn main() {
     }
     if cmd == "bench" {
         run_bench_cmd(&rest);
+        return;
+    }
+    if cmd == "faults" {
+        run_faults_cmd(&rest, telemetry_out);
         return;
     }
     let mut args = Args {
@@ -286,6 +298,174 @@ fn run_bench_cmd(rest: &[String]) {
     }
     print!("{}", perf::summarize(&doc));
     println!("bench document written to {}", out.display());
+}
+
+/// `repro faults [--runs N] [--scale S] [--tol T] [--out FILE]` — the
+/// device-reliability campaign: sweeps stuck-at fault rate × retention
+/// write age with the reprogram-and-retry repair lane armed, prints the
+/// coverage table, and writes the schema-versioned report (default
+/// `FAULTS_PR7.json`). `--scale` scales the test-system size (base
+/// n = 128). `--validate FILE` instead checks an existing report
+/// against the schema and its counter invariants without running
+/// anything. The report and any `--telemetry-stream` records carry no
+/// wall-clock or host-knob fields, so a fixed seed reproduces both
+/// byte-for-byte at any `MEMSCI_THREADS` / `MEMSCI_OVERLAP` setting.
+fn run_faults_cmd(rest: &[String], mut telemetry_out: Option<std::path::PathBuf>) {
+    let mut cfg = faults::FaultCampaignConfig::default();
+    let mut out = std::path::PathBuf::from("FAULTS_PR7.json");
+    let mut stream_path: Option<std::path::PathBuf> = None;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--validate" => {
+                let Some(path) = rest.get(i + 1) else {
+                    eprintln!("--validate needs a file path");
+                    std::process::exit(2);
+                };
+                let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                    eprintln!("cannot read {path}: {e}");
+                    std::process::exit(1);
+                });
+                let doc = memsci_telemetry::json::parse(&text).unwrap_or_else(|e| {
+                    eprintln!("{path}: {e}");
+                    std::process::exit(1);
+                });
+                match faults::validate_report(&doc) {
+                    Ok(()) => {
+                        println!(
+                            "{path}: ok (schema {} v{})",
+                            faults::FAULT_SCHEMA,
+                            faults::FAULT_SCHEMA_VERSION
+                        );
+                        return;
+                    }
+                    Err(e) => {
+                        eprintln!("{path}: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            "--runs" => {
+                cfg.runs = rest
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--runs needs an integer");
+                        std::process::exit(2);
+                    });
+                i += 2;
+            }
+            "--scale" => {
+                let scale: f64 = rest
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|s: &f64| s.is_finite() && *s > 0.0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--scale needs a positive number");
+                        std::process::exit(2);
+                    });
+                cfg.n = ((128.0 * scale).round() as usize).clamp(32, 1024);
+                i += 2;
+            }
+            "--tol" => {
+                cfg.tol = rest
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--tol needs a number");
+                        std::process::exit(2);
+                    });
+                i += 2;
+            }
+            "--out" => {
+                let Some(path) = rest.get(i + 1) else {
+                    eprintln!("--out needs a file path");
+                    std::process::exit(2);
+                };
+                out = path.into();
+                i += 2;
+            }
+            "--telemetry-out" => {
+                let Some(path) = rest.get(i + 1) else {
+                    eprintln!("--telemetry-out needs a file path");
+                    std::process::exit(2);
+                };
+                memsci_telemetry::enable();
+                telemetry_out = Some(path.into());
+                i += 2;
+            }
+            "--telemetry-stream" => {
+                let Some(path) = rest.get(i + 1) else {
+                    eprintln!("--telemetry-stream needs a file path");
+                    std::process::exit(2);
+                };
+                memsci_telemetry::enable();
+                stream_path = Some(std::path::PathBuf::from(path));
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown faults flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    // The stream header promises byte-identity across hosts, so it
+    // carries only the campaign parameters — never threads or overlap.
+    let config = [
+        ("command", Json::Str("faults".into())),
+        ("runs", Json::UInt(cfg.runs as u64)),
+        ("n", Json::UInt(cfg.n as u64)),
+        ("tol", Json::Num(cfg.tol)),
+        ("seed", Json::UInt(cfg.seed)),
+        ("retry_limit", Json::UInt(u64::from(cfg.retry_limit))),
+    ];
+    let mut stream = stream_path.as_deref().map(|path| {
+        let config: Vec<(&str, Json)> = config.to_vec();
+        match ManifestStream::create(path, &config) {
+            Ok(stream) => stream,
+            Err(e) => {
+                eprintln!("cannot create telemetry stream {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    });
+    println!(
+        "Fault campaign — AN coverage and convergence vs fault rate x drift age \
+         ({} runs/point, n={}, retry limit {})",
+        cfg.runs, cfg.n, cfg.retry_limit
+    );
+    let points = faults::campaign_with(&cfg, &mut |p| {
+        if let Some(stream) = stream.as_mut() {
+            if let Err(e) = stream.record(&p.label, &faults::stream_snapshot()) {
+                eprintln!("telemetry stream write failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    });
+    print!("{}", faults::summarize(&points));
+    let doc = faults::report(&cfg, &points);
+    if let Err(e) = std::fs::write(&out, format!("{}\n", doc.to_string_pretty())) {
+        eprintln!("cannot write {}: {e}", out.display());
+        std::process::exit(1);
+    }
+    println!("fault campaign report written to {}", out.display());
+    if let Some(stream) = stream {
+        let records = stream.records();
+        match stream.finish() {
+            Ok(()) => eprintln!(
+                "telemetry stream written to {} ({records} records)",
+                stream_path
+                    .as_deref()
+                    .unwrap_or_else(|| std::path::Path::new("?"))
+                    .display()
+            ),
+            Err(e) => {
+                eprintln!("failed to finish telemetry stream: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    finish_telemetry(telemetry_out.as_deref(), &config);
 }
 
 /// Writes the run manifest when the sink is on and a path was chosen.

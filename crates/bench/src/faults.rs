@@ -1,0 +1,577 @@
+//! Fault-injection campaigns: AN-code coverage and solver convergence
+//! under device faults.
+//!
+//! The campaign sweeps a stuck-at fault rate × retention write-age grid
+//! over the exact platform with the reprogram-and-retry repair lane
+//! armed, running CG and BiCGStab per trial. Each point reports the
+//! platform's fault ledger (injected / detected / corrected /
+//! reprogrammed / degraded) and solver success rates, giving the
+//! detection-and-correction coverage curve and the convergence-vs-fault
+//! -rate curve in one pass.
+//!
+//! Reports carry no wall-clock fields, trials derive their RNG streams
+//! from `task_seed(seed, trial)`, and aggregation is a serial fold in
+//! trial order — so a fixed seed reproduces the report byte-for-byte at
+//! any `MEMSCI_THREADS` / `MEMSCI_OVERLAP` setting.
+
+use memsci_core::{AcceleratorConfig, ExactAcceleratorPlatform, ExactOptions};
+use memsci_solvers::bicgstab::bicgstab;
+use memsci_solvers::cg::cg;
+use memsci_solvers::SolveOptions;
+use memsci_sparse::blocking::{BlockedMatrix, BlockingConfig};
+use memsci_telemetry::json::Json;
+use memsci_telemetry::manifest::ManifestError;
+use memsci_telemetry::{Counter, TelemetrySnapshot};
+use memsci_xbar::{CellSpec, FaultModel};
+
+use crate::montecarlo;
+
+/// Schema identifier for campaign reports.
+pub const FAULT_SCHEMA: &str = "memsci-fault-campaign";
+/// Schema version for campaign reports.
+pub const FAULT_SCHEMA_VERSION: u64 = 1;
+
+/// Retention drift coefficient used for every point with a nonzero
+/// write age (`drift_factor` is exactly 1 at age 0, so the zero-age
+/// column stays on the ideal-retention path bit-for-bit).
+pub const DRIFT_COEFFICIENT: f64 = 0.004;
+
+/// Fault-campaign configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultCampaignConfig {
+    /// Trials per grid point (each trial solves with CG and BiCGStab).
+    pub runs: usize,
+    /// Linear-system size (the Monte-Carlo banded SPD test system).
+    pub n: usize,
+    /// Solver stopping tolerance.
+    pub tol: f64,
+    /// Solver iteration cap.
+    pub max_iters: usize,
+    /// Base RNG seed; trial streams derive from `task_seed(seed, k)`.
+    pub seed: u64,
+    /// Reprogram-and-retry budget per cluster before it degrades to
+    /// the residual-CSR exact path.
+    pub retry_limit: u32,
+    /// Stuck-at fault rates to sweep (split evenly on/off per cell).
+    pub fault_rates: Vec<f64>,
+    /// Operator write ages to sweep (retention drift axis).
+    pub drift_ages: Vec<u64>,
+    /// Host worker threads for the trial loop (`None` = machine
+    /// parallelism; `MEMSCI_THREADS` overrides).
+    pub threads: Option<usize>,
+    /// Overlap knob forwarded to the platform config (`None` = default
+    /// / `MEMSCI_OVERLAP`). Campaign results are identical either way.
+    pub overlap: Option<bool>,
+}
+
+impl Default for FaultCampaignConfig {
+    fn default() -> Self {
+        FaultCampaignConfig {
+            runs: 5,
+            n: 128,
+            tol: 1e-8,
+            max_iters: 600,
+            seed: 2026,
+            retry_limit: 2,
+            fault_rates: vec![0.0, 1e-4, 5e-4, 2e-3],
+            drift_ages: vec![0, 1000],
+            threads: None,
+            overlap: None,
+        }
+    }
+}
+
+/// Aggregated outcome of one solver across a point's trials.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverAggregate {
+    /// Trials that converged within the cap.
+    pub converged: usize,
+    /// Total iterations across trials (cap counts for unconverged).
+    pub iterations: u64,
+}
+
+impl SolverAggregate {
+    /// Mean iterations per trial.
+    pub fn mean_iterations(&self, runs: usize) -> f64 {
+        if runs == 0 {
+            return 0.0;
+        }
+        self.iterations as f64 / runs as f64
+    }
+}
+
+/// One grid point of the campaign: the platform fault ledger summed
+/// over trials (both solvers' platforms) plus solver outcomes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPoint {
+    /// Stable point label (used for stream records).
+    pub label: String,
+    /// Stuck-at rate for this point (on+off combined).
+    pub fault_rate: f64,
+    /// Operator write age for this point.
+    pub drift_age: u64,
+    /// Trials aggregated into this point.
+    pub runs: usize,
+    /// Stuck cells drawn at program time (the injected-fault count).
+    pub faults_injected: u64,
+    /// AN detections (syndrome outside the correction table).
+    pub an_detections: u64,
+    /// AN single-bit corrections applied in place.
+    pub an_corrections: u64,
+    /// Detections attributed to an active fault model.
+    pub faults_detected: u64,
+    /// Corrections attributed to an active fault model.
+    pub faults_corrected: u64,
+    /// Wear-aware reprogram-and-retry repairs.
+    pub cluster_reprograms: u64,
+    /// Clusters that exhausted the retry budget and degraded.
+    pub retries_exhausted: u64,
+    /// Clusters on the residual-CSR exact path after the trials.
+    pub degraded_clusters: u64,
+    /// CG outcomes.
+    pub cg: SolverAggregate,
+    /// BiCGStab outcomes.
+    pub bicgstab: SolverAggregate,
+}
+
+impl FaultPoint {
+    /// Share of fault-attributed AN events corrected in place (1.0
+    /// when nothing fired: an empty ledger is full coverage).
+    pub fn correction_coverage(&self) -> f64 {
+        let events = self.faults_corrected + self.faults_detected;
+        if events == 0 {
+            return 1.0;
+        }
+        self.faults_corrected as f64 / events as f64
+    }
+}
+
+/// One trial's raw ledger, folded serially into a [`FaultPoint`].
+#[derive(Debug, Clone, Copy, Default)]
+struct Trial {
+    injected: u64,
+    an_detections: u64,
+    an_corrections: u64,
+    faults_detected: u64,
+    faults_corrected: u64,
+    reprograms: u64,
+    exhausted: u64,
+    degraded: u64,
+    cg_converged: bool,
+    cg_iterations: usize,
+    bicg_converged: bool,
+    bicg_iterations: usize,
+}
+
+/// The campaign cell: ideal programming plus the swept fault model, so
+/// every AN event is attributable to the injected faults.
+fn fault_cell(rate: f64) -> CellSpec {
+    CellSpec::default().with_fault(
+        FaultModel::none()
+            .with_stuck_rates(rate / 2.0, rate / 2.0)
+            .with_drift_coefficient(DRIFT_COEFFICIENT),
+    )
+}
+
+fn solve_one(
+    platform: &mut ExactAcceleratorPlatform,
+    n: usize,
+    opts: &SolveOptions,
+    use_bicg: bool,
+) -> (bool, usize) {
+    let b = vec![1.0; n];
+    let mut x = vec![0.0; n];
+    let report = if use_bicg {
+        bicgstab(platform, &b, &mut x, opts)
+    } else {
+        cg(platform, &b, &mut x, opts)
+    };
+    (report.converged, report.iterations)
+}
+
+fn run_trial(
+    blocked: &BlockedMatrix,
+    n: usize,
+    cell: CellSpec,
+    age: u64,
+    seed: u64,
+    cfg: &FaultCampaignConfig,
+) -> Trial {
+    let solve = SolveOptions::with_tol(cfg.tol).max_iters(cfg.max_iters);
+    let mut t = Trial::default();
+    for (salt, use_bicg) in [(0u64, false), (0x5eed, true)] {
+        let mut config = AcceleratorConfig::with_banks(2);
+        config.cell = cell;
+        config.threads = cfg.threads;
+        config.overlap = cfg.overlap;
+        let mut platform = ExactAcceleratorPlatform::new(
+            blocked,
+            config,
+            ExactOptions {
+                seed: seed ^ salt,
+                retry_limit: cfg.retry_limit,
+                write_age: age,
+                ..Default::default()
+            },
+        )
+        .expect("campaign matrix programs cleanly");
+        t.injected += platform.stuck_cells();
+        let (converged, iterations) = solve_one(&mut platform, n, &solve, use_bicg);
+        if use_bicg {
+            t.bicg_converged = converged;
+            t.bicg_iterations = iterations;
+        } else {
+            t.cg_converged = converged;
+            t.cg_iterations = iterations;
+        }
+        t.an_detections += platform.an_detections;
+        t.an_corrections += platform.an_corrections;
+        t.faults_detected += platform.faults_detected;
+        t.faults_corrected += platform.faults_corrected;
+        t.reprograms += platform.cluster_reprograms;
+        t.exhausted += platform.retries_exhausted;
+        t.degraded += platform.degraded_clusters() as u64;
+    }
+    t
+}
+
+/// Runs the campaign, invoking `observe` after each grid point (stream
+/// hook). Points appear in sweep order: fault rate major, age minor.
+pub fn campaign_with(
+    cfg: &FaultCampaignConfig,
+    observe: &mut dyn FnMut(&FaultPoint),
+) -> Vec<FaultPoint> {
+    let a = montecarlo::test_matrix(cfg.n);
+    let blocked = BlockedMatrix::block(&a, &BlockingConfig::default());
+    let threads = memsci_core::exec::worker_count(cfg.threads);
+    let mut points = Vec::new();
+    for (pi, &rate) in cfg.fault_rates.iter().enumerate() {
+        for (ai, &age) in cfg.drift_ages.iter().enumerate() {
+            let cell = fault_cell(rate);
+            let point_index = (pi * cfg.drift_ages.len() + ai) as u64;
+            let trials = memsci_core::exec::parallel_tasks(threads, cfg.runs, |trial| {
+                let stream = point_index * cfg.runs as u64 + trial as u64;
+                run_trial(
+                    &blocked,
+                    cfg.n,
+                    cell,
+                    age,
+                    memsci_core::exec::task_seed(cfg.seed, stream),
+                    cfg,
+                )
+            });
+            let mut point = FaultPoint {
+                label: format!("rate_{rate:.0e}_age_{age}"),
+                fault_rate: rate,
+                drift_age: age,
+                runs: cfg.runs,
+                faults_injected: 0,
+                an_detections: 0,
+                an_corrections: 0,
+                faults_detected: 0,
+                faults_corrected: 0,
+                cluster_reprograms: 0,
+                retries_exhausted: 0,
+                degraded_clusters: 0,
+                cg: SolverAggregate::default(),
+                bicgstab: SolverAggregate::default(),
+            };
+            for t in &trials {
+                point.faults_injected += t.injected;
+                point.an_detections += t.an_detections;
+                point.an_corrections += t.an_corrections;
+                point.faults_detected += t.faults_detected;
+                point.faults_corrected += t.faults_corrected;
+                point.cluster_reprograms += t.reprograms;
+                point.retries_exhausted += t.exhausted;
+                point.degraded_clusters += t.degraded;
+                point.cg.converged += usize::from(t.cg_converged);
+                point.cg.iterations += t.cg_iterations as u64;
+                point.bicgstab.converged += usize::from(t.bicg_converged);
+                point.bicgstab.iterations += t.bicg_iterations as u64;
+            }
+            observe(&point);
+            points.push(point);
+        }
+    }
+    points
+}
+
+/// Runs the campaign without an observer.
+pub fn campaign(cfg: &FaultCampaignConfig) -> Vec<FaultPoint> {
+    campaign_with(cfg, &mut |_| {})
+}
+
+/// A telemetry snapshot for campaign stream records: drops the
+/// overlap-scheduling counter — the only counter that tracks a host
+/// execution knob — so streams stay byte-identical across
+/// `MEMSCI_THREADS` × `MEMSCI_OVERLAP` settings.
+pub fn stream_snapshot() -> TelemetrySnapshot {
+    let mut snap = memsci_telemetry::snapshot();
+    snap.counters = snap.counters.without(Counter::OverlapKernels);
+    snap
+}
+
+fn solver_json(agg: &SolverAggregate, runs: usize) -> Json {
+    Json::Obj(vec![
+        ("converged".into(), Json::UInt(agg.converged as u64)),
+        (
+            "mean_iterations".into(),
+            Json::Num(agg.mean_iterations(runs)),
+        ),
+    ])
+}
+
+/// Builds the schema-versioned campaign report. Contains no wall-clock
+/// or host fields: a fixed config reproduces it byte-for-byte.
+pub fn report(cfg: &FaultCampaignConfig, points: &[FaultPoint]) -> Json {
+    let config = Json::Obj(vec![
+        ("runs".into(), Json::UInt(cfg.runs as u64)),
+        ("n".into(), Json::UInt(cfg.n as u64)),
+        ("tol".into(), Json::Num(cfg.tol)),
+        ("max_iters".into(), Json::UInt(cfg.max_iters as u64)),
+        ("seed".into(), Json::UInt(cfg.seed)),
+        ("retry_limit".into(), Json::UInt(u64::from(cfg.retry_limit))),
+        ("drift_coefficient".into(), Json::Num(DRIFT_COEFFICIENT)),
+        (
+            "fault_rates".into(),
+            Json::Arr(cfg.fault_rates.iter().map(|&r| Json::Num(r)).collect()),
+        ),
+        (
+            "drift_ages".into(),
+            Json::Arr(cfg.drift_ages.iter().map(|&a| Json::UInt(a)).collect()),
+        ),
+    ]);
+    let points: Vec<Json> = points
+        .iter()
+        .map(|p| {
+            Json::Obj(vec![
+                ("label".into(), Json::Str(p.label.clone())),
+                ("fault_rate".into(), Json::Num(p.fault_rate)),
+                ("drift_age".into(), Json::UInt(p.drift_age)),
+                ("runs".into(), Json::UInt(p.runs as u64)),
+                ("faults_injected".into(), Json::UInt(p.faults_injected)),
+                ("an_detections".into(), Json::UInt(p.an_detections)),
+                ("an_corrections".into(), Json::UInt(p.an_corrections)),
+                ("faults_detected".into(), Json::UInt(p.faults_detected)),
+                ("faults_corrected".into(), Json::UInt(p.faults_corrected)),
+                (
+                    "cluster_reprograms".into(),
+                    Json::UInt(p.cluster_reprograms),
+                ),
+                ("retries_exhausted".into(), Json::UInt(p.retries_exhausted)),
+                ("degraded_clusters".into(), Json::UInt(p.degraded_clusters)),
+                (
+                    "correction_coverage".into(),
+                    Json::Num(p.correction_coverage()),
+                ),
+                ("cg".into(), solver_json(&p.cg, p.runs)),
+                ("bicgstab".into(), solver_json(&p.bicgstab, p.runs)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("schema".into(), Json::Str(FAULT_SCHEMA.into())),
+        ("schema_version".into(), Json::UInt(FAULT_SCHEMA_VERSION)),
+        ("config".into(), config),
+        ("points".into(), Json::Arr(points)),
+    ])
+}
+
+fn point_u64(p: &Json, key: &str) -> Result<u64, ManifestError> {
+    p.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| ManifestError(format!("point missing counter '{key}'")))
+}
+
+/// Validates a campaign report: schema header, per-point counter
+/// consistency, and solver-outcome bounds. This is the `check.sh`
+/// gate contract for committed campaign artifacts.
+pub fn validate_report(doc: &Json) -> Result<(), ManifestError> {
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(s) if s == FAULT_SCHEMA => {}
+        other => {
+            return Err(ManifestError(format!(
+                "schema must be '{FAULT_SCHEMA}', got {other:?}"
+            )))
+        }
+    }
+    match doc.get("schema_version").and_then(Json::as_u64) {
+        Some(FAULT_SCHEMA_VERSION) => {}
+        other => {
+            return Err(ManifestError(format!(
+                "schema_version must be {FAULT_SCHEMA_VERSION}, got {other:?}"
+            )))
+        }
+    }
+    let points = doc
+        .get("points")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ManifestError("report has no points array".into()))?;
+    if points.is_empty() {
+        return Err(ManifestError("report has an empty points array".into()));
+    }
+    for p in points {
+        let label = p
+            .get("label")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ManifestError("point missing label".into()))?;
+        let check = |cond: bool, msg: &str| -> Result<(), ManifestError> {
+            if cond {
+                Ok(())
+            } else {
+                Err(ManifestError(format!("point '{label}': {msg}")))
+            }
+        };
+        let runs = point_u64(p, "runs")?;
+        let rate = p
+            .get("fault_rate")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| ManifestError(format!("point '{label}': missing fault_rate")))?;
+        let age = point_u64(p, "drift_age")?;
+        let injected = point_u64(p, "faults_injected")?;
+        let an_det = point_u64(p, "an_detections")?;
+        let an_cor = point_u64(p, "an_corrections")?;
+        let f_det = point_u64(p, "faults_detected")?;
+        let f_cor = point_u64(p, "faults_corrected")?;
+        let reprograms = point_u64(p, "cluster_reprograms")?;
+        let exhausted = point_u64(p, "retries_exhausted")?;
+        let degraded = point_u64(p, "degraded_clusters")?;
+        check(
+            f_det <= an_det,
+            "fault-attributed detections exceed AN detections",
+        )?;
+        check(
+            f_cor <= an_cor,
+            "fault-attributed corrections exceed AN corrections",
+        )?;
+        check(
+            reprograms == 0 || an_det + f_det > 0,
+            "reprograms without any detection",
+        )?;
+        check(
+            exhausted <= reprograms || exhausted == 0,
+            "more exhaustions than repair attempts",
+        )?;
+        check(
+            degraded == exhausted,
+            "degraded clusters must equal exhausted retries",
+        )?;
+        if rate == 0.0 {
+            check(injected == 0, "stuck cells at a zero fault rate")?;
+            if age == 0 {
+                check(
+                    reprograms == 0,
+                    "repairs on the ideal (zero-fault, zero-age) point",
+                )?;
+            }
+        }
+        for solver in ["cg", "bicgstab"] {
+            let conv = p
+                .get(solver)
+                .and_then(|s| s.get("converged"))
+                .and_then(Json::as_u64)
+                .ok_or_else(|| {
+                    ManifestError(format!("point '{label}': missing {solver} outcome"))
+                })?;
+            check(conv <= runs, "more converged trials than runs")?;
+        }
+    }
+    Ok(())
+}
+
+/// Renders a fixed-width summary table of campaign points.
+pub fn summarize(points: &[FaultPoint]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "rate      age    stuck  an_det  an_cor  reprog  exhaust  coverage  cg    bicgstab\n",
+    );
+    for p in points {
+        out.push_str(&format!(
+            "{:<9} {:<6} {:<6} {:<7} {:<7} {:<7} {:<8} {:<9.3} {:>2}/{:<2} {:>2}/{:<2}\n",
+            format!("{:.0e}", p.fault_rate),
+            p.drift_age,
+            p.faults_injected,
+            p.an_detections,
+            p.an_corrections,
+            p.cluster_reprograms,
+            p.retries_exhausted,
+            p.correction_coverage(),
+            p.cg.converged,
+            p.runs,
+            p.bicgstab.converged,
+            p.runs,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> FaultCampaignConfig {
+        FaultCampaignConfig {
+            runs: 2,
+            n: 64,
+            max_iters: 400,
+            fault_rates: vec![0.0, 2e-3],
+            drift_ages: vec![0],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn campaign_report_is_valid_and_faults_fire() {
+        let cfg = tiny();
+        let points = campaign(&cfg);
+        assert_eq!(points.len(), 2);
+        let ideal = &points[0];
+        assert_eq!(ideal.faults_injected, 0);
+        assert_eq!(ideal.cluster_reprograms, 0);
+        assert_eq!(ideal.cg.converged, cfg.runs);
+        let faulty = &points[1];
+        assert!(faulty.faults_injected > 0, "stuck cells drawn");
+        assert!(faulty.an_detections > 0, "AN code saw the faults");
+        let doc = report(&cfg, &points);
+        validate_report(&doc).expect("fresh report validates");
+        let text = doc.to_string_pretty();
+        let parsed = memsci_telemetry::json::parse(&text).expect("round-trip");
+        validate_report(&parsed).expect("parsed report validates");
+    }
+
+    #[test]
+    fn campaign_is_deterministic_across_thread_counts() {
+        let mut cfg = tiny();
+        cfg.threads = Some(1);
+        let serial = campaign(&cfg);
+        cfg.threads = Some(4);
+        let parallel = campaign(&cfg);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn drift_age_triggers_repair_and_still_converges() {
+        let mut cfg = tiny();
+        cfg.fault_rates = vec![0.0];
+        cfg.drift_ages = vec![4000];
+        let points = campaign(&cfg);
+        let p = &points[0];
+        assert!(
+            p.cluster_reprograms > 0,
+            "retention drift should force repairs"
+        );
+        assert_eq!(p.cg.converged, cfg.runs, "repair restores convergence");
+        validate_report(&report(&cfg, &points)).expect("report validates");
+    }
+
+    #[test]
+    fn validator_rejects_inconsistent_points() {
+        let cfg = tiny();
+        let mut points = campaign(&cfg);
+        points[0].faults_detected = points[0].an_detections + 1;
+        let doc = report(&cfg, &points);
+        let err = validate_report(&doc).expect_err("must reject");
+        assert!(err.to_string().contains("AN detections"), "{err}");
+    }
+}

@@ -11,6 +11,7 @@
 
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod figures;
 pub mod montecarlo;
 pub mod perf;

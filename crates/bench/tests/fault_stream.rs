@@ -1,0 +1,76 @@
+//! Determinism regression for the fault campaign's telemetry stream.
+//!
+//! Two `repro faults`-equivalent campaign runs with the same seed must
+//! produce byte-identical JSONL stream manifests regardless of the
+//! host execution knobs: worker threads {1, 4} × overlap {off, on}.
+//! This is the reproducibility contract the stream header advertises —
+//! records carry counter deltas with the overlap-scheduling counter
+//! dropped, and no wall-clock fields.
+
+use std::path::Path;
+
+use memsci_bench::faults::{self, FaultCampaignConfig};
+use memsci_telemetry::json::Json;
+use memsci_telemetry::{validate_stream, ManifestStream};
+
+fn campaign_config(threads: usize, overlap: bool) -> FaultCampaignConfig {
+    FaultCampaignConfig {
+        runs: 2,
+        n: 64,
+        max_iters: 400,
+        fault_rates: vec![0.0, 2e-3],
+        drift_ages: vec![0, 500],
+        threads: Some(threads),
+        overlap: Some(overlap),
+        ..Default::default()
+    }
+}
+
+/// Runs the campaign with a fresh sink and streams every point,
+/// returning the stream file's exact bytes. The caller holds the
+/// telemetry test gate.
+fn stream_bytes(dir: &Path, threads: usize, overlap: bool) -> String {
+    memsci_telemetry::reset();
+    memsci_telemetry::enable();
+    let cfg = campaign_config(threads, overlap);
+    let path = dir.join(format!("stream_t{threads}_o{overlap}.jsonl"));
+    // The header carries only campaign parameters — the host knobs
+    // must not leak into the bytes being compared.
+    let config = [
+        ("command", Json::Str("faults".into())),
+        ("seed", Json::UInt(cfg.seed)),
+        ("runs", Json::UInt(cfg.runs as u64)),
+    ];
+    let mut stream = ManifestStream::create(&path, &config).expect("create stream");
+    faults::campaign_with(&cfg, &mut |p| {
+        stream
+            .record(&p.label, &faults::stream_snapshot())
+            .expect("stream record");
+    });
+    stream.finish().expect("finish stream");
+    memsci_telemetry::disable();
+    memsci_telemetry::reset();
+    std::fs::read_to_string(&path).expect("read stream back")
+}
+
+#[test]
+fn fault_campaign_stream_is_byte_identical_across_host_knobs() {
+    let _x = memsci_telemetry::exclusive_for_tests();
+    let dir =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/tmp/memsci-fault-stream-test");
+    std::fs::create_dir_all(&dir).expect("create tmp dir");
+    let baseline = stream_bytes(&dir, 1, false);
+    let records = validate_stream(&baseline).expect("baseline stream validates");
+    assert_eq!(records, 4, "one record per grid point");
+    assert!(
+        baseline.contains("faults_injected"),
+        "fault counters reach the stream"
+    );
+    for (threads, overlap) in [(1, true), (4, false), (4, true)] {
+        let other = stream_bytes(&dir, threads, overlap);
+        assert_eq!(
+            baseline, other,
+            "stream bytes diverged at threads={threads} overlap={overlap}"
+        );
+    }
+}

@@ -12,17 +12,22 @@
 use memsci_numeric::align::AlignError;
 use memsci_solvers::platform::{axpby_f64, dot_f64, Platform};
 use memsci_sparse::{BlockedMatrix, Coo, Csr};
-use memsci_xbar::cluster::{Cluster, ClusterSpec, MvmOptions, MvmScratch};
+use memsci_xbar::cluster::{Cluster, ClusterSpec, MvmError, MvmFault, MvmOptions, MvmScratch};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::config::AcceleratorConfig;
-use crate::mapping::map_blocks;
+use crate::mapping::{least_worn_bank, map_blocks};
 use crate::pipeline::{self, PipelineSpec};
 
 /// Salt separating the per-cluster read-noise streams from the build
 /// (programming) stream derived from the same user seed.
 const RNG_STREAM_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Salt separating the repair (reprogram-and-retry) programming streams
+/// from the build and read streams derived from the same user seed, so
+/// repairs are deterministic regardless of which kernel triggers them.
+const REPAIR_SALT: u64 = 0xC2B2_AE3D_27D4_EB4F;
 
 /// Options for the exact platform.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -33,6 +38,19 @@ pub struct ExactOptions {
     pub rtn_probability: f64,
     /// Per-MVM cluster options (early termination, rounding).
     pub mvm: MvmOptions,
+    /// Bounded reprogram-and-retry budget per cluster. When > 0, an MVM
+    /// whose AN check reports an uncorrectable error raises a typed
+    /// fault instead of falling back to the nearest codeword; the
+    /// platform then reprograms the afflicted cluster onto the
+    /// least-worn bank and retries, up to this many times per cluster,
+    /// after which the cluster degrades to the exact residual path. 0
+    /// (the default) disables the repair lane entirely, preserving the
+    /// pre-fault-subsystem behavior bit for bit.
+    pub retry_limit: u32,
+    /// Retention age of the initial operator programming, feeding the
+    /// drift model of the cell's [`memsci_xbar::FaultModel`] (0 = fresh
+    /// write, no drift).
+    pub write_age: u64,
 }
 
 impl Default for ExactOptions {
@@ -41,6 +59,8 @@ impl Default for ExactOptions {
             seed: 0,
             rtn_probability: 0.0,
             mvm: MvmOptions::default(),
+            retry_limit: 0,
+            write_age: 0,
         }
     }
 }
@@ -59,6 +79,21 @@ struct ExactCluster {
     /// Reusable per-cluster output block, lent to the cluster lane each
     /// kernel and restored afterwards.
     ybuf: Vec<f64>,
+    /// Position in the build order, keying this cluster's repair
+    /// programming streams.
+    build_index: u64,
+    /// Tile-local entries that programmed cleanly at build (alignment
+    /// evictions removed), kept so the repair lane can reprogram the
+    /// cluster or degrade it to the residual path.
+    entries: Vec<(u16, u16, f64)>,
+    /// Remaining reprogram-and-retry budget.
+    retries_left: u32,
+    /// Endurance writes this cluster has absorbed (initial program
+    /// included); feeds the endurance model on reprogram.
+    writes: u64,
+    /// Degraded: the retry budget ran out and the cluster's entries
+    /// moved to the exact residual path. The crossbars no longer run.
+    dead: bool,
 }
 
 impl std::fmt::Debug for ExactCluster {
@@ -92,6 +127,11 @@ struct ClusterOutcome {
     time: f64,
     an_corrections: u64,
     an_detections: u64,
+    faults_detected: u64,
+    faults_corrected: u64,
+    /// Raised fault, if the MVM aborted; `y` is zeroed and the repair
+    /// lane takes over after the ordered merge.
+    fault: Option<MvmFault>,
 }
 
 /// The bit-exact accelerator platform.
@@ -123,6 +163,18 @@ pub struct ExactAcceleratorPlatform {
     pub an_corrections: u64,
     /// AN-code detections (uncorrectable) observed so far.
     pub an_detections: u64,
+    /// AN detections attributed to injected device faults.
+    pub faults_detected: u64,
+    /// AN corrections attributed to injected device faults.
+    pub faults_corrected: u64,
+    /// Reprogram-and-retry repairs performed so far.
+    pub cluster_reprograms: u64,
+    /// Clusters whose retry budget ran out (now on the residual path).
+    pub retries_exhausted: u64,
+    /// Endurance writes absorbed per bank; repairs go to the minimum.
+    bank_wear: Vec<u64>,
+    /// Published high-water mark of per-cluster endurance writes.
+    wear_max: u64,
 }
 
 impl ExactAcceleratorPlatform {
@@ -164,6 +216,7 @@ impl ExactAcceleratorPlatform {
         let _program_span = memsci_telemetry::span(pipeline::STAGE_PROGRAM);
         memsci_telemetry::incr(memsci_telemetry::Counter::OperatorPrograms, 1);
         let mut clusters = Vec::new();
+        let mut bank_wear = vec![0u64; config.banks];
         for load in &mapping.clusters {
             if load.entries.is_empty() {
                 continue;
@@ -175,6 +228,8 @@ impl ExactAcceleratorPlatform {
                 an_enabled: config.an_enabled,
                 rtn_probability: opts.rtn_probability,
                 max_magnitude_bits: memsci_numeric::align::MAX_MAGNITUDE_BITS,
+                write_age: opts.write_age,
+                reprograms: 0,
             };
             let outcome = Cluster::program(spec, &load.entries, &mut rng)?;
             for &(r, c, v) in &outcome.evicted {
@@ -186,7 +241,22 @@ impl ExactAcceleratorPlatform {
                     )
                     .expect("in range");
             }
-            let stream = memsci_exec::task_seed(opts.seed ^ RNG_STREAM_SALT, clusters.len() as u64);
+            // The repair lane reprograms from the entry set that stuck:
+            // alignment evictions already live on the residual path.
+            let entries: Vec<(u16, u16, f64)> = if outcome.evicted.is_empty() {
+                load.entries.clone()
+            } else {
+                let evicted: std::collections::BTreeSet<(u16, u16)> =
+                    outcome.evicted.iter().map(|&(r, c, _)| (r, c)).collect();
+                load.entries
+                    .iter()
+                    .copied()
+                    .filter(|&(r, c, _)| !evicted.contains(&(r, c)))
+                    .collect()
+            };
+            bank_wear[load.bank] += 1;
+            let build_index = clusters.len() as u64;
+            let stream = memsci_exec::task_seed(opts.seed ^ RNG_STREAM_SALT, build_index);
             clusters.push(ExactCluster {
                 row0: load.row0 as usize,
                 col0: load.col0 as usize,
@@ -195,7 +265,16 @@ impl ExactAcceleratorPlatform {
                 rng: StdRng::seed_from_u64(stream),
                 scratch: MvmScratch::default(),
                 ybuf: Vec::new(),
+                build_index,
+                entries,
+                retries_left: opts.retry_limit,
+                writes: 1,
+                dead: false,
             });
+        }
+        let wear_max = u64::from(!clusters.is_empty());
+        if wear_max > 0 {
+            memsci_telemetry::incr(memsci_telemetry::Counter::WearWritesMax, wear_max);
         }
         drop(_program_span);
         // Group the cluster inventory by owning bank: the cluster lane
@@ -239,24 +318,9 @@ impl ExactAcceleratorPlatform {
             }
         }
         let transpose = transpose_coo.to_csr();
+        let (bank_residual_local, bank_residual_remote) = split_by_bank(&residual, &config, n);
+        let (bank_transpose_local, bank_transpose_remote) = split_by_bank(&transpose, &config, n);
         let section = config.effective_section(n);
-        let split_by_bank = |m: &Csr| {
-            let mut local_counts = vec![0usize; config.banks];
-            let mut remote_counts = vec![0usize; config.banks];
-            for (r, c, _) in m.iter() {
-                let bank = (r / section) % config.banks;
-                let local = r.abs_diff(c) <= config.local.gather_halo
-                    || (c / section) % config.banks == bank;
-                if local {
-                    local_counts[bank] += 1;
-                } else {
-                    remote_counts[bank] += 1;
-                }
-            }
-            (local_counts, remote_counts)
-        };
-        let (bank_residual_local, bank_residual_remote) = split_by_bank(&residual);
-        let (bank_transpose_local, bank_transpose_remote) = split_by_bank(&transpose);
         let mut bank_elems = vec![0usize; config.banks];
         for r in 0..n {
             bank_elems[(r / section) % config.banks] += 1;
@@ -280,6 +344,12 @@ impl ExactAcceleratorPlatform {
             energy: 0.0,
             an_corrections: 0,
             an_detections: 0,
+            faults_detected: 0,
+            faults_corrected: 0,
+            cluster_reprograms: 0,
+            retries_exhausted: 0,
+            bank_wear,
+            wear_max,
         })
     }
 
@@ -291,6 +361,30 @@ impl ExactAcceleratorPlatform {
     /// Non-zeros on the residual path.
     pub fn residual_nnz(&self) -> usize {
         self.residual.nnz()
+    }
+
+    /// Endurance writes absorbed per bank (initial programs + repairs).
+    pub fn bank_wear(&self) -> &[u64] {
+        &self.bank_wear
+    }
+
+    /// Stuck-at cells the fault model pinned across all programmed
+    /// crossbars (current programming; repairs redraw the masks).
+    pub fn stuck_cells(&self) -> u64 {
+        self.banks
+            .iter()
+            .flat_map(|b| &b.clusters)
+            .map(|ec| ec.cluster.stuck_cells())
+            .sum()
+    }
+
+    /// Clusters degraded to the residual path (retry budget exhausted).
+    pub fn degraded_clusters(&self) -> usize {
+        self.banks
+            .iter()
+            .flat_map(|b| &b.clusters)
+            .filter(|ec| ec.dead)
+            .count()
     }
 
     /// Drops every reusable buffer (per-cluster MVM scratch and output
@@ -321,6 +415,186 @@ impl ExactAcceleratorPlatform {
         self.time += time;
         self.energy += busy + self.config.system_static_power * time;
     }
+
+    /// Serial repair lane for clusters that raised an [`MvmFault`]
+    /// during the parallel MVM fan-out. Per afflicted cluster: bounded
+    /// reprogram-and-retry onto the least-worn bank with a fresh
+    /// deterministic programming stream, then — once the budget runs
+    /// out — graceful degradation to the exact residual path. Runs
+    /// after the ordered merge, in build order, so repaired
+    /// contributions land deterministically regardless of host threads.
+    fn repair_faulted(
+        &mut self,
+        x: &[f64],
+        y: &mut [f64],
+        faulted: &[(usize, usize)],
+        mvm_opts: &MvmOptions,
+    ) {
+        let n = self.n;
+        let mut new_residual: Vec<(usize, usize, f64)> = Vec::new();
+        for &(si, ci) in faulted {
+            loop {
+                let shard = &mut self.banks[si];
+                let (clusters, x_pad) = (&mut shard.clusters, &mut shard.x_pad);
+                let ec = &mut clusters[ci];
+                if ec.retries_left == 0 {
+                    // Budget exhausted: this cluster's entries move to
+                    // the residual path for the rest of the platform's
+                    // life; compute this kernel's contribution
+                    // digitally right here.
+                    ec.dead = true;
+                    self.retries_exhausted += 1;
+                    memsci_telemetry::incr(memsci_telemetry::Counter::RetriesExhausted, 1);
+                    memsci_telemetry::warn(
+                        "fault",
+                        &format!(
+                            "cluster at ({}, {}) exhausted its retry budget; \
+                             degraded to the residual path",
+                            ec.row0, ec.col0
+                        ),
+                    );
+                    for &(r, c, v) in &ec.entries {
+                        let (gr, gc) = (ec.row0 + r as usize, ec.col0 + c as usize);
+                        if gr < n && gc < n {
+                            y[gr] += v * x[gc];
+                        }
+                        new_residual.push((gr, gc, v));
+                    }
+                    memsci_telemetry::incr(
+                        memsci_telemetry::Counter::ResidualFlops,
+                        2 * ec.entries.len() as u64,
+                    );
+                    break;
+                }
+                ec.retries_left -= 1;
+                ec.writes += 1;
+                self.cluster_reprograms += 1;
+                memsci_telemetry::incr(memsci_telemetry::Counter::ClusterReprograms, 1);
+                if ec.writes > self.wear_max {
+                    memsci_telemetry::incr(
+                        memsci_telemetry::Counter::WearWritesMax,
+                        ec.writes - self.wear_max,
+                    );
+                    self.wear_max = ec.writes;
+                }
+                // Wear-aware placement: the replacement physical
+                // cluster comes from the least-worn bank.
+                let target = least_worn_bank(&self.bank_wear);
+                self.bank_wear[target] += 1;
+                ec.bank = target;
+                // Fresh write: drift resets, endurance accumulates.
+                let spec = ClusterSpec {
+                    size: ec.cluster.n(),
+                    cell: self.config.cell,
+                    cost: self.config.cost,
+                    an_enabled: self.config.an_enabled,
+                    rtn_probability: self.opts.rtn_probability,
+                    max_magnitude_bits: memsci_numeric::align::MAX_MAGNITUDE_BITS,
+                    write_age: 0,
+                    reprograms: ec.writes - 1,
+                };
+                let stream = memsci_exec::task_seed(
+                    self.opts.seed ^ REPAIR_SALT,
+                    ec.build_index * 64 + ec.writes,
+                );
+                let mut prng = StdRng::seed_from_u64(stream);
+                match Cluster::program(spec, &ec.entries, &mut prng) {
+                    Ok(outcome) => {
+                        // Alignment evictions are value-determined, so
+                        // an entry set that programmed cleanly at build
+                        // programs cleanly again.
+                        debug_assert!(outcome.evicted.is_empty());
+                        ec.cluster = outcome.cluster;
+                    }
+                    Err(_) => {
+                        // Unreachable for an entry set that programmed
+                        // at build; degrade on the next pass.
+                        ec.retries_left = 0;
+                        continue;
+                    }
+                }
+                let size = ec.cluster.n();
+                let hi = (ec.col0 + size).min(n);
+                let x_block: &[f64] = if hi - ec.col0 == size {
+                    &x[ec.col0..hi]
+                } else {
+                    x_pad.clear();
+                    x_pad.extend_from_slice(&x[ec.col0..hi]);
+                    x_pad.resize(size, 0.0);
+                    x_pad
+                };
+                let mut ybuf = std::mem::take(&mut ec.ybuf);
+                ybuf.clear();
+                ybuf.resize(size, 0.0);
+                match ec.cluster.mvm_with(
+                    x_block,
+                    mvm_opts,
+                    &mut ec.rng,
+                    &mut ec.scratch,
+                    &mut ybuf,
+                ) {
+                    Ok(stats) => {
+                        for (r, &v) in ybuf.iter().enumerate() {
+                            if v != 0.0 && ec.row0 + r < n {
+                                y[ec.row0 + r] += v;
+                            }
+                        }
+                        ec.ybuf = ybuf;
+                        self.an_corrections += stats.an_corrections;
+                        self.an_detections += stats.an_detections;
+                        self.faults_detected += stats.faults_detected;
+                        self.faults_corrected += stats.faults_corrected;
+                        // The serial retry extends the kernel's
+                        // critical path directly.
+                        self.time += stats.time;
+                        self.energy += stats.energy;
+                        break;
+                    }
+                    Err(MvmError::Fault(_)) => {
+                        ec.ybuf = ybuf;
+                        self.an_detections += 1;
+                        self.faults_detected += u64::from(ec.cluster.fault_active());
+                        continue;
+                    }
+                    Err(MvmError::Align(e)) => {
+                        panic!("vector values are finite: {e}")
+                    }
+                }
+            }
+        }
+        if !new_residual.is_empty() {
+            let mut coo = Coo::new(self.n, self.n);
+            for (r, c, v) in self.residual.iter() {
+                coo.push(r, c, v).expect("in range");
+            }
+            for &(r, c, v) in &new_residual {
+                coo.push(r, c, v).expect("in range");
+            }
+            self.residual = coo.to_csr();
+            let (local, remote) = split_by_bank(&self.residual, &self.config, self.n);
+            self.bank_residual_local = local;
+            self.bank_residual_remote = remote;
+        }
+    }
+}
+
+/// Splits a matrix's non-zeros into local and remote counts per bank
+/// for the residual-path latency model (§VI-A).
+fn split_by_bank(m: &Csr, config: &AcceleratorConfig, n: usize) -> (Vec<usize>, Vec<usize>) {
+    let section = config.effective_section(n);
+    let mut local_counts = vec![0usize; config.banks];
+    let mut remote_counts = vec![0usize; config.banks];
+    for (r, c, _) in m.iter() {
+        let bank = (r / section) % config.banks;
+        let local =
+            r.abs_diff(c) <= config.local.gather_halo || (c / section) % config.banks == bank;
+        if local {
+            local_counts[bank] += 1;
+        } else {
+            remote_counts[bank] += 1;
+        }
+    }
+    (local_counts, remote_counts)
 }
 
 impl Platform for ExactAcceleratorPlatform {
@@ -336,7 +610,10 @@ impl Platform for ExactAcceleratorPlatform {
         y.fill(0.0);
         let spec = PipelineSpec::from_config(&self.config);
         let n = self.n;
-        let mvm_opts = self.opts.mvm;
+        let mut mvm_opts = self.opts.mvm;
+        // An armed retry budget switches detections from nearest-codeword
+        // fallback to typed faults the repair lane can act on.
+        mvm_opts.fault_on_detection |= self.opts.retry_limit > 0;
         let mut rbuf = std::mem::take(&mut self.rbuf);
         let banks = &mut self.banks;
         let residual = &self.residual;
@@ -357,6 +634,25 @@ impl Platform for ExactAcceleratorPlatform {
                         .map(|ec| {
                             let size = ec.cluster.n();
                             let hi = (ec.col0 + size).min(n);
+                            let mut ybuf = std::mem::take(&mut ec.ybuf);
+                            ybuf.clear();
+                            ybuf.resize(size, 0.0);
+                            if ec.dead {
+                                // Degraded cluster: its entries live on
+                                // the residual path now.
+                                return ClusterOutcome {
+                                    bank: *bank,
+                                    row0: ec.row0,
+                                    y: ybuf,
+                                    energy: 0.0,
+                                    time: 0.0,
+                                    an_corrections: 0,
+                                    an_detections: 0,
+                                    faults_detected: 0,
+                                    faults_corrected: 0,
+                                    fault: None,
+                                };
+                            }
                             let x_block: &[f64] = if hi - ec.col0 == size {
                                 &x[ec.col0..hi]
                             } else {
@@ -365,26 +661,46 @@ impl Platform for ExactAcceleratorPlatform {
                                 x_pad.resize(size, 0.0);
                                 x_pad
                             };
-                            let mut ybuf = std::mem::take(&mut ec.ybuf);
-                            ybuf.resize(size, 0.0);
-                            let stats = ec
-                                .cluster
-                                .mvm_with(
-                                    x_block,
-                                    &mvm_opts,
-                                    &mut ec.rng,
-                                    &mut ec.scratch,
-                                    &mut ybuf,
-                                )
-                                .expect("vector values are finite");
-                            ClusterOutcome {
-                                bank: *bank,
-                                row0: ec.row0,
-                                y: ybuf,
-                                energy: stats.energy,
-                                time: stats.time,
-                                an_corrections: stats.an_corrections,
-                                an_detections: stats.an_detections,
+                            match ec.cluster.mvm_with(
+                                x_block,
+                                &mvm_opts,
+                                &mut ec.rng,
+                                &mut ec.scratch,
+                                &mut ybuf,
+                            ) {
+                                Ok(stats) => ClusterOutcome {
+                                    bank: *bank,
+                                    row0: ec.row0,
+                                    y: ybuf,
+                                    energy: stats.energy,
+                                    time: stats.time,
+                                    an_corrections: stats.an_corrections,
+                                    an_detections: stats.an_detections,
+                                    faults_detected: stats.faults_detected,
+                                    faults_corrected: stats.faults_corrected,
+                                    fault: None,
+                                },
+                                Err(MvmError::Fault(f)) => {
+                                    // Aborted MVM: contribute nothing to
+                                    // the merge; the repair lane re-runs
+                                    // this cluster afterwards.
+                                    ybuf.fill(0.0);
+                                    ClusterOutcome {
+                                        bank: *bank,
+                                        row0: ec.row0,
+                                        y: ybuf,
+                                        energy: 0.0,
+                                        time: 0.0,
+                                        an_corrections: 0,
+                                        an_detections: 1,
+                                        faults_detected: u64::from(ec.cluster.fault_active()),
+                                        faults_corrected: 0,
+                                        fault: Some(f),
+                                    }
+                                }
+                                Err(MvmError::Align(e)) => {
+                                    panic!("vector values are finite: {e}")
+                                }
                             }
                         })
                         .collect::<Vec<_>>()
@@ -424,6 +740,8 @@ impl Platform for ExactAcceleratorPlatform {
             bank_interrupts[outcome.bank] += 1;
             self.an_corrections += outcome.an_corrections;
             self.an_detections += outcome.an_detections;
+            self.faults_detected += outcome.faults_detected;
+            self.faults_corrected += outcome.faults_corrected;
         }
         let local = self.config.local;
         let mut worst = 0.0f64;
@@ -439,18 +757,38 @@ impl Platform for ExactAcceleratorPlatform {
         self.time += time;
         self.energy += energy + self.config.system_static_power * time;
         // Return the lent buffers to their owners so the next kernel
-        // runs warm (outcome order matches cluster order per bank).
-        for (shard, outcomes) in self.banks.iter_mut().zip(bank_results) {
-            for (ec, outcome) in shard.clusters.iter_mut().zip(outcomes) {
+        // runs warm (outcome order matches cluster order per bank), and
+        // collect any raised faults for the serial repair lane.
+        let mut faulted: Vec<(usize, usize)> = Vec::new();
+        for (si, (shard, outcomes)) in self.banks.iter_mut().zip(bank_results).enumerate() {
+            for (ci, (ec, outcome)) in shard.clusters.iter_mut().zip(outcomes).enumerate() {
+                if outcome.fault.is_some() {
+                    faulted.push((si, ci));
+                }
                 ec.ybuf = outcome.y;
             }
         }
         self.rbuf = rbuf;
+        if !faulted.is_empty() {
+            self.repair_faulted(x, y, &faulted, &mvm_opts);
+        }
     }
 
     fn spmv_batch(&mut self, xs: &[&[f64]], ys: &mut [Vec<f64>]) {
         assert_eq!(xs.len(), ys.len(), "batch rhs/output count mismatch");
         if xs.is_empty() {
+            return;
+        }
+        if self.opts.retry_limit > 0 || self.opts.mvm.fault_on_detection {
+            // The repair lane is serial and may reprogram clusters or
+            // grow the residual operator mid-batch, so armed platforms
+            // take one solo kernel per RHS: every repair lands between
+            // kernels and the batch reproduces k solo calls exactly.
+            for (x, y) in xs.iter().zip(ys.iter_mut()) {
+                y.clear();
+                y.resize(self.n, 0.0);
+                self.spmv(x, y);
+            }
             return;
         }
         let k = xs.len();
@@ -528,6 +866,9 @@ impl Platform for ExactAcceleratorPlatform {
                                 time: stats.time,
                                 an_corrections: stats.an_corrections,
                                 an_detections: stats.an_detections,
+                                faults_detected: stats.faults_detected,
+                                faults_corrected: stats.faults_corrected,
+                                fault: None,
                             });
                         }
                         shard_outcomes.push(per_vec);
@@ -578,6 +919,8 @@ impl Platform for ExactAcceleratorPlatform {
                 bank_interrupts[outcome.bank] += 1;
                 self.an_corrections += outcome.an_corrections;
                 self.an_detections += outcome.an_detections;
+                self.faults_detected += outcome.faults_detected;
+                self.faults_corrected += outcome.faults_corrected;
             }
             let local = self.config.local;
             let mut worst = 0.0f64;
@@ -832,6 +1175,151 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn faulty_clusters_repair_and_cg_still_converges() {
+        // Stuck-at cells make AN checks report uncorrectable errors;
+        // with an armed retry budget the platform reprograms afflicted
+        // clusters (wear-aware) and, once budgets run out, degrades
+        // them to the exact residual path — so CG still converges and
+        // no fault ever panics or silently corrupts the solve.
+        use memsci_xbar::FaultModel;
+        let a = poisson2d(10, 10);
+        let blocked = BlockedMatrix::block(&a, &BlockingConfig::default());
+        let mut config = AcceleratorConfig::with_banks(2);
+        config.cell = config
+            .cell
+            .with_fault(FaultModel::none().with_stuck_rates(0.003, 0.003));
+        let mut acc = ExactAcceleratorPlatform::new(
+            &blocked,
+            config,
+            ExactOptions {
+                seed: 11,
+                retry_limit: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let n = a.rows();
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let opts = memsci_solvers::SolveOptions::with_tol(1e-8).max_iters(4000);
+        let rep = memsci_solvers::cg::cg(&mut acc, &b, &mut x, &opts);
+        assert!(
+            rep.converged,
+            "iters {} res {}",
+            rep.iterations, rep.relative_residual
+        );
+        assert!(acc.faults_detected > 0, "stuck cells must raise faults");
+        assert!(acc.cluster_reprograms > 0, "faults must trigger repairs");
+        // Wear accounting covers the initial programs plus every repair.
+        let wear: u64 = acc.bank_wear().iter().sum();
+        assert_eq!(
+            wear,
+            acc.cluster_count() as u64 + acc.cluster_reprograms,
+            "bank wear must tally initial programs plus repairs"
+        );
+        // The solution really solves the system.
+        let mut r = vec![0.0; n];
+        a.spmv(&x, &mut r);
+        let err: f64 = r
+            .iter()
+            .zip(&b)
+            .map(|(ri, bi)| (ri - bi).powi(2))
+            .sum::<f64>()
+            .sqrt();
+        let nb: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!(err / nb < 1e-6, "residual {}", err / nb);
+    }
+
+    #[test]
+    fn retries_exhausted_degrades_without_panicking() {
+        // A zero retry budget is impossible to arm, so use limit 1 with
+        // aggressive stuck rates: fresh programming keeps injecting
+        // faults, budgets run out, clusters degrade to the residual
+        // path, and the solve still converges on exact arithmetic.
+        use memsci_xbar::FaultModel;
+        let a = poisson2d(10, 10);
+        let blocked = BlockedMatrix::block(&a, &BlockingConfig::default());
+        let mut config = AcceleratorConfig::with_banks(2);
+        config.cell = config
+            .cell
+            .with_fault(FaultModel::none().with_stuck_rates(0.05, 0.05));
+        let mut acc = ExactAcceleratorPlatform::new(
+            &blocked,
+            config,
+            ExactOptions {
+                seed: 3,
+                retry_limit: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let n = a.rows();
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let opts = memsci_solvers::SolveOptions::with_tol(1e-8).max_iters(4000);
+        let rep = memsci_solvers::cg::cg(&mut acc, &b, &mut x, &opts);
+        assert!(acc.retries_exhausted > 0, "budgets must run out");
+        assert_eq!(
+            acc.retries_exhausted,
+            acc.degraded_clusters() as u64,
+            "every exhausted budget degrades exactly one cluster"
+        );
+        assert!(
+            rep.converged,
+            "degraded residual path must still converge: iters {} res {}",
+            rep.iterations, rep.relative_residual
+        );
+    }
+
+    #[test]
+    fn armed_but_zero_fault_options_are_bit_identical() {
+        // retry_limit > 0 with an all-zero fault model must not change
+        // a single bit relative to the default options: the repair lane
+        // is pay-for-what-you-use. rtn=1e-300 exercises the noisy path
+        // (per-read draws happen) without ever upsetting a column.
+        use memsci_xbar::FaultModel;
+        for rtn in [0.0, 1e-300] {
+            let a = poisson2d(12, 12);
+            let blocked = BlockedMatrix::block(&a, &BlockingConfig::default());
+            let n = a.rows();
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.23).sin() + 1.1).collect();
+            let mut base = ExactAcceleratorPlatform::new(
+                &blocked,
+                AcceleratorConfig::with_banks(2),
+                ExactOptions {
+                    seed: 5,
+                    rtn_probability: rtn,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let mut config = AcceleratorConfig::with_banks(2);
+            config.cell = config.cell.with_fault(FaultModel::none());
+            let mut armed = ExactAcceleratorPlatform::new(
+                &blocked,
+                config,
+                ExactOptions {
+                    seed: 5,
+                    rtn_probability: rtn,
+                    retry_limit: 3,
+                    write_age: 0,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let mut y1 = vec![0.0; n];
+            let mut y2 = vec![0.0; n];
+            base.spmv(&x, &mut y1);
+            armed.spmv(&x, &mut y2);
+            let b1: Vec<u64> = y1.iter().map(|v| v.to_bits()).collect();
+            let b2: Vec<u64> = y2.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(b1, b2, "rtn={rtn}");
+            assert_eq!(armed.cluster_reprograms, 0);
+            assert_eq!(armed.retries_exhausted, 0);
         }
     }
 

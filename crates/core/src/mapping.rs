@@ -223,6 +223,25 @@ pub fn map_blocks(blocked: &BlockedMatrix, config: &AcceleratorConfig) -> Mappin
     out
 }
 
+/// Picks the least-worn bank from a per-bank endurance-write tally,
+/// breaking ties toward the lowest index so repair placement stays
+/// deterministic. Used by the reprogram-and-retry path to steer repairs
+/// away from banks that have already absorbed many writes.
+///
+/// # Panics
+///
+/// Panics if `wear` is empty.
+pub fn least_worn_bank(wear: &[u64]) -> usize {
+    assert!(!wear.is_empty(), "wear table must cover at least one bank");
+    let mut best = 0;
+    for (bank, &w) in wear.iter().enumerate().skip(1) {
+        if w < wear[best] {
+            best = bank;
+        }
+    }
+    best
+}
+
 fn merge_group(
     row0: u32,
     col0: u32,
@@ -411,6 +430,20 @@ mod tests {
         assert_eq!(mapping.clusters.len(), 1);
         assert_eq!(mapping.extra_residual.len(), 2 * 64 * 64);
         assert_eq!(total_nnz(&mapping), blocked.stats.nnz_blocked);
+    }
+
+    #[test]
+    fn least_worn_bank_prefers_minimum_then_lowest_index() {
+        assert_eq!(least_worn_bank(&[3]), 0);
+        assert_eq!(least_worn_bank(&[5, 2, 9, 2]), 1); // tie → lowest index
+        assert_eq!(least_worn_bank(&[0, 0, 0]), 0);
+        assert_eq!(least_worn_bank(&[7, 6, 5, 4]), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bank")]
+    fn least_worn_bank_rejects_empty_table() {
+        least_worn_bank(&[]);
     }
 
     #[test]

@@ -1,0 +1,141 @@
+//! Zero-fault identity (PR 7): arming the reliability subsystem with a
+//! fault model whose knobs are all inert must cost nothing — every
+//! engine's outputs, modelled time, and modelled energy stay bitwise
+//! identical to the pre-fault default configuration.
+//!
+//! "Inert" is stricter than "absent": the model below carries nonzero
+//! drift and endurance coefficients, but at write age 0 and reprogram
+//! count 0 both factors are exactly 1.0, stuck rates of 0 draw no RNG,
+//! and a positive retry budget arms detection without changing the
+//! clean-read path.
+
+use memsci_core::{
+    AcceleratorConfig, AcceleratorPlatform, ExactAcceleratorPlatform, ExactOptions,
+    MultiAcceleratorPlatform,
+};
+use memsci_solvers::platform::Platform;
+use memsci_sparse::generate::poisson2d;
+use memsci_sparse::{BlockedMatrix, BlockingConfig, Csr};
+use memsci_xbar::{CellSpec, FaultModel};
+
+fn matrix() -> Csr {
+    poisson2d(14, 14)
+}
+
+/// A fault model that is switched on (`is_active` at the spec level)
+/// but mathematically inert for a freshly programmed operator.
+fn inert_armed_cell() -> CellSpec {
+    CellSpec::default().with_fault(
+        FaultModel::none()
+            .with_stuck_rates(0.0, 0.0)
+            .with_drift_coefficient(0.01)
+            .with_endurance_sigma_growth(0.05),
+    )
+}
+
+fn probe(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| (i as f64 * 0.37).sin() * (2.0f64).powi(-((i % 6) as i32) * 9) + 0.5)
+        .collect()
+}
+
+fn assert_identical<P: Platform>(base: &mut P, armed: &mut P, label: &str) {
+    let n = base.n();
+    let x = probe(n);
+    let mut yb = vec![0.0; n];
+    let mut ya = vec![0.0; n];
+    for _ in 0..3 {
+        base.spmv(&x, &mut yb);
+        armed.spmv(&x, &mut ya);
+    }
+    for (i, (u, v)) in yb.iter().zip(&ya).enumerate() {
+        assert_eq!(u.to_bits(), v.to_bits(), "{label} row {i}");
+    }
+    assert_eq!(
+        base.elapsed_seconds().to_bits(),
+        armed.elapsed_seconds().to_bits(),
+        "modelled time {label}"
+    );
+    assert_eq!(
+        base.energy_joules().to_bits(),
+        armed.energy_joules().to_bits(),
+        "modelled energy {label}"
+    );
+}
+
+#[test]
+fn fast_engine_is_bit_identical_with_inert_fault_model() {
+    let blocked = BlockedMatrix::block(&matrix(), &BlockingConfig::default());
+    let mut base = AcceleratorPlatform::new(&blocked, AcceleratorConfig::with_banks(4));
+    let mut config = AcceleratorConfig::with_banks(4);
+    config.cell = inert_armed_cell();
+    let mut armed = AcceleratorPlatform::new(&blocked, config);
+    assert_identical(&mut base, &mut armed, "fast");
+}
+
+#[test]
+fn exact_engine_is_bit_identical_with_inert_fault_model() {
+    let blocked = BlockedMatrix::block(&matrix(), &BlockingConfig::default());
+    // With and without read noise: the inert model must not perturb
+    // the per-cluster RNG streams. (The retry budget stays at its
+    // default here — with RTN upsets firing AN detections, an armed
+    // repair lane would rightly change behaviour; that is its job.)
+    for rtn in [0.0, 0.02] {
+        let opts = ExactOptions {
+            seed: 17,
+            rtn_probability: rtn,
+            ..Default::default()
+        };
+        let mut base =
+            ExactAcceleratorPlatform::new(&blocked, AcceleratorConfig::with_banks(4), opts)
+                .unwrap();
+        let mut config = AcceleratorConfig::with_banks(4);
+        config.cell = inert_armed_cell();
+        let mut armed = ExactAcceleratorPlatform::new(&blocked, config, opts).unwrap();
+        assert_identical(&mut base, &mut armed, &format!("exact rtn={rtn}"));
+        assert_eq!(armed.stuck_cells(), 0, "no stuck cells drawn at rate 0");
+    }
+}
+
+#[test]
+fn exact_engine_is_bit_identical_with_retry_budget_armed_on_clean_reads() {
+    // A positive retry budget arms detection-triggered repair, but on a
+    // clean run (no noise, no faults) nothing may fire and the output
+    // must stay bitwise identical to the pre-fault default.
+    let blocked = BlockedMatrix::block(&matrix(), &BlockingConfig::default());
+    let mut base = ExactAcceleratorPlatform::new(
+        &blocked,
+        AcceleratorConfig::with_banks(4),
+        ExactOptions {
+            seed: 17,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let mut config = AcceleratorConfig::with_banks(4);
+    config.cell = inert_armed_cell();
+    let mut armed = ExactAcceleratorPlatform::new(
+        &blocked,
+        config,
+        ExactOptions {
+            seed: 17,
+            retry_limit: 3,
+            write_age: 0,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_identical(&mut base, &mut armed, "exact retry armed");
+    assert_eq!(armed.cluster_reprograms, 0, "no repairs on a clean run");
+    assert_eq!(armed.retries_exhausted, 0);
+}
+
+#[test]
+fn multi_device_engine_is_bit_identical_with_inert_fault_model() {
+    let a = matrix();
+    let mut base = MultiAcceleratorPlatform::new(&a, 3, AcceleratorConfig::with_banks(2), 2e-6);
+    let mut config = AcceleratorConfig::with_banks(2);
+    config.cell = inert_armed_cell();
+    let mut armed = MultiAcceleratorPlatform::new(&a, 3, config, 2e-6);
+    assert_identical(&mut base, &mut armed, "multi");
+}

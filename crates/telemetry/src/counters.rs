@@ -87,10 +87,26 @@ pub enum Counter {
     /// platform build — the expensive write the batch lane amortizes,
     /// §VIII-D).
     OperatorPrograms,
+    /// Stuck-at cells injected by the fault model at program time.
+    FaultsInjected,
+    /// AN detections attributed to injected device faults (the cluster
+    /// carries stuck cells, drift, or d2d spread).
+    FaultsDetected,
+    /// AN corrections attributed to injected device faults.
+    FaultsCorrected,
+    /// Cluster reprogram-and-retry repairs triggered by raised MVM
+    /// faults.
+    ClusterReprograms,
+    /// Clusters whose bounded retry budget ran out, degrading them to
+    /// the residual-CSR exact path.
+    RetriesExhausted,
+    /// High-water mark of per-cluster endurance writes (monotone; each
+    /// platform publishes increases of its own maximum).
+    WearWritesMax,
 }
 
 /// Number of counters in the catalog.
-pub const COUNTER_COUNT: usize = 28;
+pub const COUNTER_COUNT: usize = 34;
 
 impl Counter {
     /// Every counter, in catalog (manifest) order.
@@ -123,6 +139,12 @@ impl Counter {
         Counter::BatchMvmOps,
         Counter::BatchRhsVectors,
         Counter::OperatorPrograms,
+        Counter::FaultsInjected,
+        Counter::FaultsDetected,
+        Counter::FaultsCorrected,
+        Counter::ClusterReprograms,
+        Counter::RetriesExhausted,
+        Counter::WearWritesMax,
     ];
 
     /// Stable snake-case name used in manifests and reports.
@@ -156,6 +178,12 @@ impl Counter {
             Counter::BatchMvmOps => "batch_mvm_ops",
             Counter::BatchRhsVectors => "batch_rhs_vectors",
             Counter::OperatorPrograms => "operator_programs",
+            Counter::FaultsInjected => "faults_injected",
+            Counter::FaultsDetected => "faults_detected",
+            Counter::FaultsCorrected => "faults_corrected",
+            Counter::ClusterReprograms => "cluster_reprograms",
+            Counter::RetriesExhausted => "retries_exhausted",
+            Counter::WearWritesMax => "wear_writes_max",
         }
     }
 
@@ -209,9 +237,17 @@ pub(crate) fn reset_counters() {
 }
 
 /// A point-in-time snapshot of every counter.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HwCounters {
     values: [u64; COUNTER_COUNT],
+}
+
+impl Default for HwCounters {
+    fn default() -> Self {
+        HwCounters {
+            values: [0; COUNTER_COUNT],
+        }
+    }
 }
 
 impl HwCounters {
@@ -223,6 +259,14 @@ impl HwCounters {
     /// Iterates `(name, value)` pairs in catalog order.
     pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
         Counter::ALL.iter().map(|&c| (c.name(), self.get(c)))
+    }
+
+    /// A copy with one counter zeroed. Reproducibility campaigns use
+    /// this to drop host-knob-dependent counters (overlap scheduling)
+    /// from stream records that promise byte-identity across hosts.
+    pub fn without(mut self, counter: Counter) -> HwCounters {
+        self.values[counter as usize] = 0;
+        self
     }
 
     /// Events accumulated since `baseline` (saturating per counter, so

@@ -315,6 +315,40 @@ pub fn check_invariants(doc: &Json) -> Result<(), ManifestError> {
             "batch_rhs_vectors ({batch_rhs}) below batch_mvm_ops ({batch_ops}): every batch carries at least one RHS"
         )));
     }
+    let faults_detected = counter_value(doc, "faults_detected");
+    let an_detections = counter_value(doc, "an_detections");
+    if faults_detected > an_detections {
+        return Err(fail(format!(
+            "faults_detected ({faults_detected}) exceeds an_detections ({an_detections}): fault attribution without an AN detection"
+        )));
+    }
+    let faults_corrected = counter_value(doc, "faults_corrected");
+    let an_corrections = counter_value(doc, "an_corrections");
+    if faults_corrected > an_corrections {
+        return Err(fail(format!(
+            "faults_corrected ({faults_corrected}) exceeds an_corrections ({an_corrections}): fault attribution without an AN correction"
+        )));
+    }
+    let reprograms = counter_value(doc, "cluster_reprograms");
+    let exhausted = counter_value(doc, "retries_exhausted");
+    let detected_events = faults_detected + an_detections;
+    if reprograms > 0 && detected_events == 0 {
+        return Err(fail(format!(
+            "cluster_reprograms ({reprograms}) with zero detections: repairs must be triggered by detected faults"
+        )));
+    }
+    if exhausted > 0 && reprograms == 0 {
+        return Err(fail(format!(
+            "retries_exhausted ({exhausted}) with zero cluster_reprograms: a retry budget cannot run out before any retry"
+        )));
+    }
+    let wear_max = counter_value(doc, "wear_writes_max");
+    let programs = counter_value(doc, "operator_programs");
+    if wear_max > 0 && programs + reprograms == 0 {
+        return Err(fail(format!(
+            "wear_writes_max ({wear_max}) with zero operator_programs and zero cluster_reprograms: wear requires writes"
+        )));
+    }
     Ok(())
 }
 
@@ -536,6 +570,56 @@ mod tests {
         // An unpaired residual flop.
         let odd = manifest_with_counters(&[("residual_flops", 3)]);
         assert!(check_invariants(&odd).unwrap_err().0.contains("even"));
+    }
+
+    #[test]
+    fn invariants_accept_consistent_fault_counters() {
+        check_invariants(&manifest_with_counters(&[
+            ("faults_injected", 3),
+            ("an_detections", 5),
+            ("faults_detected", 4),
+            ("an_corrections", 7),
+            ("faults_corrected", 7),
+            ("operator_programs", 1),
+            ("cluster_reprograms", 2),
+            ("retries_exhausted", 1),
+            ("wear_writes_max", 3),
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn invariants_reject_impossible_fault_counters() {
+        // A fault attributed with no AN detection backing it.
+        let ghost = manifest_with_counters(&[("faults_detected", 1)]);
+        assert!(check_invariants(&ghost)
+            .unwrap_err()
+            .0
+            .contains("faults_detected"));
+        // A fault correction with no AN correction backing it.
+        let phantom = manifest_with_counters(&[("faults_corrected", 2)]);
+        assert!(check_invariants(&phantom)
+            .unwrap_err()
+            .0
+            .contains("faults_corrected"));
+        // A repair with nothing detected to repair.
+        let unprompted = manifest_with_counters(&[("cluster_reprograms", 1)]);
+        assert!(check_invariants(&unprompted)
+            .unwrap_err()
+            .0
+            .contains("cluster_reprograms"));
+        // A retry budget exhausted without a single retry.
+        let impossible = manifest_with_counters(&[("retries_exhausted", 1)]);
+        assert!(check_invariants(&impossible)
+            .unwrap_err()
+            .0
+            .contains("retries_exhausted"));
+        // Wear with no writes anywhere.
+        let wearless = manifest_with_counters(&[("wear_writes_max", 5)]);
+        assert!(check_invariants(&wearless)
+            .unwrap_err()
+            .0
+            .contains("wear_writes_max"));
     }
 
     #[test]

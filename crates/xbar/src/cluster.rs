@@ -43,6 +43,12 @@ pub struct ClusterSpec {
     pub rtn_probability: f64,
     /// Maximum aligned magnitude width for the matrix block (117).
     pub max_magnitude_bits: usize,
+    /// Operator write age feeding the retention drift model of
+    /// `cell.fault` (0 = freshly written, no drift).
+    pub write_age: u64,
+    /// Endurance cycles this physical cluster has already absorbed;
+    /// inflates the effective programming sigma per `cell.fault`.
+    pub reprograms: u64,
 }
 
 impl Default for ClusterSpec {
@@ -54,6 +60,8 @@ impl Default for ClusterSpec {
             an_enabled: true,
             rtn_probability: 0.0,
             max_magnitude_bits: memsci_numeric::align::MAX_MAGNITUDE_BITS,
+            write_age: 0,
+            reprograms: 0,
         }
     }
 }
@@ -83,6 +91,12 @@ pub struct MvmOptions {
     /// (§V-B2). Disabling it is the ablation baseline: every conversion
     /// searches the full resolution.
     pub adc_headstart: bool,
+    /// Raise a typed [`MvmFault`] when the AN code reports a
+    /// detected-but-uncorrectable error, instead of silently falling
+    /// back to the nearest codeword. Platforms with a repair policy
+    /// (reprogram-and-retry) set this; the default keeps the pre-fault
+    /// behavior.
+    pub fault_on_detection: bool,
 }
 
 impl Default for MvmOptions {
@@ -92,6 +106,7 @@ impl Default for MvmOptions {
             rounding: Rounding::TowardNegInf,
             collect_row_profile: false,
             adc_headstart: true,
+            fault_on_detection: false,
         }
     }
 }
@@ -131,6 +146,10 @@ pub struct MvmResult {
     pub an_corrections: u64,
     /// Partial products with detected-but-uncorrectable errors.
     pub an_detections: u64,
+    /// AN detections attributable to injected device faults.
+    pub faults_detected: u64,
+    /// AN corrections attributable to injected device faults.
+    pub faults_corrected: u64,
     /// Per-row slice counts (only when requested).
     pub row_slices: Option<Vec<u32>>,
 }
@@ -172,6 +191,12 @@ pub struct Cluster {
     bias_multiples: Vec<WideInt>,
     write_time: f64,
     write_energy: f64,
+    /// Stuck-at cells injected across all bit-group crossbars at
+    /// program time.
+    stuck_cells: u64,
+    /// Whether any device non-ideality from the fault model is live on
+    /// this cluster (disables the exact fast path).
+    fault_active: bool,
 }
 
 /// Reusable working memory for [`Cluster::mvm_with`].
@@ -214,6 +239,63 @@ pub struct MvmStats {
     pub an_corrections: u64,
     /// Partial products with detected-but-uncorrectable errors.
     pub an_detections: u64,
+    /// AN detections attributable to injected device faults (the
+    /// cluster carries stuck cells, drift, or d2d spread).
+    pub faults_detected: u64,
+    /// AN corrections attributable to injected device faults.
+    pub faults_corrected: u64,
+}
+
+/// A detected-but-uncorrectable error raised as a typed fault instead of
+/// silently propagating a garbage partial product
+/// ([`MvmOptions::fault_on_detection`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MvmFault {
+    /// Block-local matrix row whose partial product failed the check.
+    pub row: usize,
+    /// Vector bit-slice index being applied when the fault surfaced.
+    pub slice: usize,
+    /// The AN residue that matched no single bit-line error.
+    pub syndrome: u64,
+}
+
+impl core::fmt::Display for MvmFault {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "uncorrectable MVM fault at row {}, slice {} (AN syndrome {})",
+            self.row, self.slice, self.syndrome
+        )
+    }
+}
+
+impl std::error::Error for MvmFault {}
+
+/// Error returned by [`Cluster::mvm`] / [`Cluster::mvm_with`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MvmError {
+    /// The input vector could not be aligned (non-finite values).
+    Align(AlignError),
+    /// The AN code detected an uncorrectable error and the caller asked
+    /// for faults to be raised.
+    Fault(MvmFault),
+}
+
+impl core::fmt::Display for MvmError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MvmError::Align(e) => write!(f, "{e}"),
+            MvmError::Fault(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for MvmError {}
+
+impl From<AlignError> for MvmError {
+    fn from(e: AlignError) -> Self {
+        MvmError::Align(e)
+    }
 }
 
 impl Cluster {
@@ -318,10 +400,27 @@ impl Cluster {
                         .collect()
                 })
                 .collect();
-            let xb = Crossbar::program(n, b, adc_res, &present, bias_levels[g], &spec.cell, rng)
-                .map_err(|e| ProgramError::CicBoundary { row: e.column })?;
+            let xb = Crossbar::program_with(
+                n,
+                b,
+                adc_res,
+                &present,
+                bias_levels[g],
+                &spec.cell,
+                spec.write_age,
+                spec.reprograms,
+                rng,
+            )
+            .map_err(|e| ProgramError::CicBoundary { row: e.column })?;
             groups.push(xb);
         }
+
+        let stuck_cells: u64 = groups.iter().map(Crossbar::stuck_cells).sum();
+        let fault = spec.cell.fault;
+        let fault_active = stuck_cells > 0
+            || fault.d2d_sigma > 0.0
+            || fault.drift_factor(spec.write_age) != 1.0
+            || fault.endurance_scale(spec.reprograms) != 1.0;
 
         if memsci_telemetry::enabled() {
             let inverted: u64 = groups
@@ -329,6 +428,7 @@ impl Cluster {
                 .flat_map(|xb| (0..n).map(move |r| u64::from(xb.column_inverted(r))))
                 .sum();
             memsci_telemetry::incr(memsci_telemetry::Counter::CicInvertedColumns, inverted);
+            memsci_telemetry::incr(memsci_telemetry::Counter::FaultsInjected, stuck_cells);
         }
 
         // Plan precomputation: everything an MVM needs that depends only
@@ -367,6 +467,8 @@ impl Cluster {
             bias_multiples,
             write_time: write_model.cluster_write_time(n),
             write_energy: write_model.write_energy(set_cells),
+            stuck_cells,
+            fault_active,
             spec: *spec,
         })
     }
@@ -413,6 +515,17 @@ impl Cluster {
         &self.row_nnz
     }
 
+    /// Stuck-at cells injected into this cluster at program time.
+    pub fn stuck_cells(&self) -> u64 {
+        self.stuck_cells
+    }
+
+    /// True when any device non-ideality from the fault model is live
+    /// on this cluster (the exact fast path is disabled).
+    pub fn fault_active(&self) -> bool {
+        self.fault_active
+    }
+
     /// Time to program the cluster, in seconds.
     pub fn write_time(&self) -> f64 {
         self.write_time
@@ -431,8 +544,11 @@ impl Cluster {
     ///
     /// # Errors
     ///
-    /// Returns [`AlignError`] if the vector contains non-finite values
-    /// (its exponent range never exceeds [`VECTOR_MAX_MAGNITUDE_BITS`]).
+    /// Returns [`MvmError::Align`] if the vector contains non-finite
+    /// values (its exponent range never exceeds
+    /// [`VECTOR_MAX_MAGNITUDE_BITS`]), or [`MvmError::Fault`] when
+    /// [`MvmOptions::fault_on_detection`] is set and the AN code
+    /// detects an uncorrectable error.
     ///
     /// # Panics
     ///
@@ -442,7 +558,7 @@ impl Cluster {
         x: &[f64],
         opts: &MvmOptions,
         rng: &mut R,
-    ) -> Result<MvmResult, AlignError> {
+    ) -> Result<MvmResult, MvmError> {
         let mut scratch = MvmScratch::default();
         let mut y = vec![0.0; self.n()];
         let stats = self.mvm_with(x, opts, rng, &mut scratch, &mut y)?;
@@ -457,6 +573,8 @@ impl Cluster {
             headstart_hits: stats.headstart_hits,
             an_corrections: stats.an_corrections,
             an_detections: stats.an_detections,
+            faults_detected: stats.faults_detected,
+            faults_corrected: stats.faults_corrected,
             row_slices: opts
                 .collect_row_profile
                 .then(|| std::mem::take(&mut scratch.row_profile)),
@@ -474,8 +592,12 @@ impl Cluster {
     ///
     /// # Errors
     ///
-    /// Returns [`AlignError`] if the vector contains non-finite values.
-    /// On error `scratch` holds no live data and may be reused.
+    /// Returns [`MvmError::Align`] if the vector contains non-finite
+    /// values, or [`MvmError::Fault`] when
+    /// [`MvmOptions::fault_on_detection`] is set and the AN code
+    /// detects an uncorrectable error (event counts accumulated up to
+    /// the fault are flushed to telemetry; `y` holds partial data). On
+    /// error `scratch` holds no live data and may be reused.
     ///
     /// # Panics
     ///
@@ -487,7 +609,7 @@ impl Cluster {
         rng: &mut R,
         scratch: &mut MvmScratch,
         y: &mut [f64],
-    ) -> Result<MvmStats, AlignError> {
+    ) -> Result<MvmStats, MvmError> {
         let n = self.n();
         assert_eq!(x.len(), n, "vector length must match the block edge");
         assert_eq!(y.len(), n, "output length must match the block edge");
@@ -540,6 +662,7 @@ impl Cluster {
             // changing a single bit of the result.
             let fast_exact = self.spec.cell.programming_sigma == 0.0
                 && self.spec.rtn_probability == 0.0
+                && !self.fault_active
                 && self.spec.cell.leak_per_active_row() * (pop as f64) < 0.499;
 
             for &r in &self.active_rows {
@@ -630,11 +753,28 @@ impl Cluster {
                         Ok(correction) => {
                             if correction.is_some() {
                                 stats.an_corrections += 1;
+                                if self.fault_active {
+                                    stats.faults_corrected += 1;
+                                }
                             }
                             &scratch.checked
                         }
-                        Err(_) => {
+                        Err(e) => {
                             stats.an_detections += 1;
+                            if self.fault_active {
+                                stats.faults_detected += 1;
+                            }
+                            if opts.fault_on_detection {
+                                // Surface the fault instead of
+                                // propagating a garbage product; the
+                                // work done so far still counts.
+                                self.flush_counters(&stats);
+                                return Err(MvmError::Fault(MvmFault {
+                                    row: r,
+                                    slice: k,
+                                    syndrome: e.syndrome,
+                                }));
+                            }
                             nearest_multiple_into(
                                 &scratch.raw,
                                 code.constant(),
@@ -699,6 +839,8 @@ impl Cluster {
             Counter::xbar_activations_for_size(self.spec.size),
             stats.slices_used as u64 * self.groups.len() as u64,
         );
+        incr(Counter::FaultsDetected, stats.faults_detected);
+        incr(Counter::FaultsCorrected, stats.faults_corrected);
     }
 }
 
@@ -1094,6 +1236,73 @@ mod tests {
         let c2 = Cluster::program(spec, &dense, &mut rng()).unwrap().cluster;
         assert!(c2.write_energy() > c1.write_energy());
         assert_eq!(c1.write_time(), c2.write_time()); // row-parallel writes
+    }
+
+    #[test]
+    fn stuck_faults_raise_typed_mvm_faults() {
+        use crate::device::FaultModel;
+        let n = 16;
+        let entries = dense_block(n, |r, c| 1.0 + ((r * 3 + c) % 7) as f64);
+        let spec = ClusterSpec {
+            size: n,
+            cell: CellSpec::default().with_fault(FaultModel::none().with_stuck_rates(0.15, 0.15)),
+            ..Default::default()
+        };
+        let cluster = Cluster::program(spec, &entries, &mut rng())
+            .unwrap()
+            .cluster;
+        assert!(cluster.fault_active());
+        assert!(cluster.stuck_cells() > 0);
+        let x: Vec<f64> = (0..n).map(|i| 1.0 + i as f64 * 0.25).collect();
+        // Default options absorb detections via the nearest-codeword
+        // fallback and attribute them to the fault subsystem.
+        let res = cluster.mvm(&x, &MvmOptions::default(), &mut rng()).unwrap();
+        assert!(
+            res.faults_detected > 0,
+            "a one-third-stuck cluster must trip AN detections"
+        );
+        assert_eq!(res.faults_detected, res.an_detections);
+        assert_eq!(res.faults_corrected, res.an_corrections);
+        // With fault_on_detection the same detection surfaces as a
+        // typed fault instead.
+        let opts = MvmOptions {
+            fault_on_detection: true,
+            ..Default::default()
+        };
+        match cluster.mvm(&x, &opts, &mut rng()) {
+            Err(MvmError::Fault(f)) => {
+                assert!(f.row < n);
+                assert!(f.syndrome > 0);
+            }
+            other => panic!("expected a typed MVM fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_free_clusters_never_attribute_faults() {
+        let n = 16;
+        let entries = dense_block(n, |r, c| ((r + c) % 5) as f64 - 2.0);
+        // Heavy RTN produces AN detections, but none are device faults
+        // and fault_on_detection must not fire on a fault-free cluster
+        // unless an uncorrectable RTN pattern really occurs; default
+        // options must attribute zero faults either way.
+        let spec = ClusterSpec {
+            size: n,
+            rtn_probability: 0.05,
+            ..Default::default()
+        };
+        let cluster = Cluster::program(spec, &entries, &mut rng())
+            .unwrap()
+            .cluster;
+        assert!(!cluster.fault_active());
+        assert_eq!(cluster.stuck_cells(), 0);
+        let x: Vec<f64> = (0..n).map(|i| 1.0 + i as f64).collect();
+        let mut r = rng();
+        for _ in 0..10 {
+            let res = cluster.mvm(&x, &MvmOptions::default(), &mut r).unwrap();
+            assert_eq!(res.faults_detected, 0);
+            assert_eq!(res.faults_corrected, 0);
+        }
     }
 
     #[test]

@@ -85,6 +85,17 @@ pub struct Crossbar {
     bits_per_cell: u32,
     adc_resolution: u32,
     columns: Vec<Column>,
+    /// Deterministic retention scale applied to every analog read
+    /// (`FaultModel::drift_factor` of the operator's write age; exactly
+    /// 1.0 for fault-free crossbars).
+    drift: f64,
+    /// Effective sigma of the aggregated absent-cell noise (equals
+    /// `programming_sigma` when the fault model is off).
+    absent_sigma: f64,
+    /// Whether any stored cell can carry a non-zero error term.
+    cell_noise: bool,
+    /// Cells injected as stuck-at-G_on/G_off at program time.
+    stuck_cells: u64,
 }
 
 impl Crossbar {
@@ -114,8 +125,52 @@ impl Crossbar {
         cell: &CellSpec,
         rng: &mut R,
     ) -> Result<Self, CicBoundaryError> {
+        Self::program_with(
+            n,
+            bits_per_cell,
+            adc_resolution,
+            present,
+            const_level,
+            cell,
+            0,
+            0,
+            rng,
+        )
+    }
+
+    /// As [`Self::program`], with the hosting cluster's reliability
+    /// state: `write_age` (total operator writes, drives retention
+    /// drift) and `reprograms` (endurance cycles of this physical
+    /// cluster, inflates the effective programming sigma). With
+    /// `cell.fault` inactive and both counters zero this is
+    /// bit-identical to [`Self::program`] — same conductances, same RNG
+    /// draw sequence.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::program`].
+    ///
+    /// # Panics
+    ///
+    /// As [`Self::program`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn program_with<R: Rng + ?Sized>(
+        n: usize,
+        bits_per_cell: u32,
+        adc_resolution: u32,
+        present: &[Vec<(u32, u8)>],
+        const_level: u8,
+        cell: &CellSpec,
+        write_age: u64,
+        reprograms: u64,
+        rng: &mut R,
+    ) -> Result<Self, CicBoundaryError> {
         let lmax = (1u16 << bits_per_cell) - 1;
         assert!(u16::from(const_level) <= lmax, "const level out of range");
+        let fault = cell.fault;
+        let endurance = fault.endurance_scale(reprograms);
+        let stuck_rate = fault.stuck_rate();
+        let mut stuck_cells = 0u64;
         let boundary = u64::from(lmax) * n as u64 / 2;
         let mut columns = Vec::with_capacity(present.len());
         for (r, entries) in present.iter().enumerate() {
@@ -136,12 +191,42 @@ impl Crossbar {
             let mut cells = Vec::new();
             let mut present_zero_inputs = Vec::new();
             for &(input, level) in entries {
-                let s = stored(level);
+                // Stuck-at decision first (physical reality overrides
+                // the write), in the *stored* domain: a cell pinned at
+                // G_on reads as lmax regardless of CIC inversion.
+                let stuck = if stuck_rate > 0.0 {
+                    let u: f64 = rng.gen();
+                    if u < fault.stuck_on_rate {
+                        Some(lmax as u8)
+                    } else if u < stuck_rate {
+                        Some(0u8)
+                    } else {
+                        None
+                    }
+                } else {
+                    None
+                };
+                let (s, eps) = match stuck {
+                    Some(pinned) => {
+                        stuck_cells += 1;
+                        // A pinned conductance carries no write noise.
+                        (pinned, 0.0f64)
+                    }
+                    None => {
+                        let s = stored(level);
+                        let eps = if s > 0 {
+                            sample_cell_error(cell, endurance, rng)
+                        } else {
+                            0.0
+                        };
+                        (s, eps)
+                    }
+                };
                 if s > 0 {
                     cells.push(StoredCell {
                         input,
                         level: s,
-                        eps: cell.sample_programming_error(rng) as f32,
+                        eps: eps as f32,
                     });
                 } else {
                     present_zero_inputs.push(input);
@@ -161,17 +246,34 @@ impl Crossbar {
                 level_sum,
             });
         }
+        let absent_sigma = (cell.programming_sigma + fault.d2d_sigma) * endurance;
         Ok(Crossbar {
             n,
             bits_per_cell,
             adc_resolution,
             columns,
+            drift: fault.drift_factor(write_age),
+            absent_sigma,
+            cell_noise: absent_sigma > 0.0,
+            stuck_cells,
         })
     }
 
     /// Crossbar dimension.
     pub fn n(&self) -> usize {
         self.n
+    }
+
+    /// Cells injected as stuck-at faults when this crossbar was
+    /// programmed.
+    pub fn stuck_cells(&self) -> u64 {
+        self.stuck_cells
+    }
+
+    /// The retention drift scale this crossbar reads under (1.0 =
+    /// no drift).
+    pub fn drift(&self) -> f64 {
+        self.drift
     }
 
     /// Number of output columns.
@@ -215,7 +317,7 @@ impl Crossbar {
         let lmax = u64::from(cell.max_level());
         let mut ideal = 0u64;
         let mut noise = 0.0f64;
-        let noisy = cell.programming_sigma > 0.0;
+        let noisy = self.cell_noise;
         let mut present_active = 0u32;
         for c in &col.cells {
             if active[c.input as usize / 64] >> (c.input % 64) & 1 == 1 {
@@ -238,13 +340,15 @@ impl Crossbar {
                 // Absent cells only carry the bias pattern; their i.i.d.
                 // programming errors are aggregated statistically.
                 noise += f64::from(col.const_level)
-                    * cell.programming_sigma
+                    * self.absent_sigma
                     * f64::from(absent_active).sqrt()
                     * standard_normal(rng);
             }
         }
         let leak = cell.leak_per_active_row() * f64::from(active_count);
-        let mut analog = ideal as f64 + noise + leak;
+        // Retention drift scales the stored conductances (not the
+        // off-state leakage); `drift == 1.0` multiplies exactly.
+        let mut analog = (ideal as f64 + noise) * self.drift + leak;
         if rtn_probability > 0.0 && rng.gen::<f64>() < rtn_probability {
             analog += if rng.gen() { 1.0 } else { -1.0 };
         }
@@ -289,6 +393,24 @@ impl Crossbar {
         } else {
             sum
         }
+    }
+}
+
+/// Samples one cell's persistent relative error under the fault model:
+/// the effective sigma is `(programming_sigma + d2d·|N(0,1)|)` scaled by
+/// the endurance factor. With d2d off and endurance 1.0 this makes
+/// exactly the draws of [`CellSpec::sample_programming_error`] (none
+/// when sigma is zero), preserving zero-fault stream identity.
+fn sample_cell_error<R: Rng + ?Sized>(cell: &CellSpec, endurance: f64, rng: &mut R) -> f64 {
+    let sigma = if cell.fault.d2d_sigma > 0.0 {
+        (cell.programming_sigma + cell.fault.d2d_sigma * standard_normal(rng).abs()) * endurance
+    } else {
+        cell.programming_sigma * endurance
+    };
+    if sigma == 0.0 {
+        0.0
+    } else {
+        sigma * standard_normal(rng)
     }
 }
 
@@ -454,6 +576,102 @@ mod tests {
         assert_eq!(levels, vec![0b10, 0b01, 0b01, 0b11]);
         let levels = operand_levels(&v, 1, 8);
         assert_eq!(levels, vec![0, 1, 1, 0, 1, 0, 1, 1]);
+    }
+
+    #[test]
+    fn zero_fault_program_with_is_bit_identical_to_program() {
+        use crate::device::FaultModel;
+        let present = vec![
+            vec![(0u32, 1u8), (5, 1), (9, 1)],
+            (0..12).map(|i| (i, 1u8)).collect::<Vec<_>>(),
+        ];
+        for sigma in [0.0, 0.03] {
+            let cell = CellSpec::default().with_programming_sigma(sigma);
+            let armed = cell.with_fault(FaultModel::none());
+            let a = Crossbar::program(16, 1, 4, &present, 0, &cell, &mut rng()).unwrap();
+            let b =
+                Crossbar::program_with(16, 1, 4, &present, 0, &armed, 0, 0, &mut rng()).unwrap();
+            assert_eq!(a, b, "sigma {sigma}");
+            assert_eq!(b.stuck_cells(), 0);
+            assert_eq!(b.drift(), 1.0);
+        }
+    }
+
+    #[test]
+    fn stuck_on_cells_pin_to_max_level() {
+        use crate::device::FaultModel;
+        // Every explicit cell stuck at G_on: a column programmed with
+        // zeros still reads the full count.
+        let cell = CellSpec::default().with_fault(FaultModel::none().with_stuck_rates(1.0, 0.0));
+        let present = vec![vec![(0u32, 0u8), (1, 0), (2, 0)]];
+        let xb = Crossbar::program_with(8, 1, 3, &present, 0, &cell, 0, 0, &mut rng()).unwrap();
+        assert_eq!(xb.stuck_cells(), 3);
+        let (active, count) = all_active(8);
+        let read = xb.read_column(0, &active, count, &cell, 0.0, &mut rng());
+        assert_eq!(read.measured, 3);
+        // Stuck at G_off instead: an all-ones column reads nothing.
+        let cell = CellSpec::default().with_fault(FaultModel::none().with_stuck_rates(0.0, 1.0));
+        let present = vec![vec![(0u32, 1u8), (1, 1), (2, 1)]];
+        let xb = Crossbar::program_with(8, 1, 3, &present, 0, &cell, 0, 0, &mut rng()).unwrap();
+        assert_eq!(xb.stuck_cells(), 3);
+        let read = xb.read_column(0, &active, count, &cell, 0.0, &mut rng());
+        assert_eq!(read.measured, 0);
+    }
+
+    #[test]
+    fn stuck_rate_statistics() {
+        use crate::device::FaultModel;
+        let cell = CellSpec::default().with_fault(FaultModel::none().with_stuck_rates(0.1, 0.1));
+        let present = vec![(0..500).map(|i| (i, 1u8)).collect::<Vec<_>>()];
+        let mut r = rng();
+        let mut total = 0u64;
+        for _ in 0..20 {
+            let xb = Crossbar::program_with(512, 1, 9, &present, 0, &cell, 0, 0, &mut r).unwrap();
+            total += xb.stuck_cells();
+        }
+        let rate = total as f64 / (20.0 * 500.0);
+        assert!((0.15..0.25).contains(&rate), "stuck rate {rate}");
+    }
+
+    #[test]
+    fn retention_drift_shrinks_aged_reads() {
+        use crate::device::FaultModel;
+        let cell = CellSpec::default().with_fault(FaultModel::none().with_drift_coefficient(0.05));
+        let present = vec![(0..10).map(|i| (i, 1u8)).collect::<Vec<_>>()];
+        let fresh = Crossbar::program_with(64, 1, 5, &present, 0, &cell, 0, 0, &mut rng()).unwrap();
+        let aged =
+            Crossbar::program_with(64, 1, 5, &present, 0, &cell, 10_000, 0, &mut rng()).unwrap();
+        assert_eq!(fresh.drift(), 1.0);
+        assert!(aged.drift() < 1.0);
+        let (active, count) = all_active(64);
+        let f = fresh.read_column(0, &active, count, &cell, 0.0, &mut rng());
+        let a = aged.read_column(0, &active, count, &cell, 0.0, &mut rng());
+        assert_eq!(f.measured, 10);
+        assert!(a.measured < 10, "aged read {}", a.measured);
+    }
+
+    #[test]
+    fn endurance_and_d2d_widen_the_error_spread() {
+        use crate::device::FaultModel;
+        // Same seed: a heavily reprogrammed crossbar with d2d spread
+        // must show strictly larger per-cell errors than a pristine one.
+        let spread = |cell: &CellSpec, reprograms: u64| -> f64 {
+            let present = vec![(0..400).map(|i| (i, 1u8)).collect::<Vec<_>>()];
+            let xb =
+                Crossbar::program_with(512, 1, 9, &present, 0, cell, 0, reprograms, &mut rng())
+                    .unwrap();
+            let (active, count) = all_active(512);
+            let mut r = StdRng::seed_from_u64(77);
+            let read = xb.read_column(0, &active, count, cell, 0.0, &mut r);
+            (f64::from(read.measured) - 400.0).abs()
+        };
+        let base = CellSpec::default().with_programming_sigma(0.02);
+        let worn = base.with_fault(
+            FaultModel::none()
+                .with_d2d_sigma(0.05)
+                .with_endurance_sigma_growth(0.5),
+        );
+        assert!(spread(&worn, 40) > spread(&base, 0));
     }
 
     #[test]

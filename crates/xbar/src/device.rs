@@ -33,6 +33,10 @@ pub struct CellSpec {
     pub e_write: f64,
     /// Time to write one cell row, in seconds (Table I: 50.88 ns).
     pub t_write: f64,
+    /// Device non-idealities beyond Gaussian programming noise
+    /// (stuck-at faults, device-to-device spread, retention drift,
+    /// endurance wear). Defaults to [`FaultModel::none`].
+    pub fault: FaultModel,
 }
 
 impl Default for CellSpec {
@@ -46,6 +50,7 @@ impl Default for CellSpec {
             v_read: 0.2,
             e_write: 3.91e-9,
             t_write: 50.88e-9,
+            fault: FaultModel::none(),
         }
     }
 }
@@ -58,8 +63,17 @@ impl CellSpec {
 
     /// Returns a copy with the dynamic range set by scaling `R_off`
     /// (used by the Figure 12 sweep).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio` is non-finite or ≤ 1: such a ratio would make
+    /// [`Self::leak_per_active_row`] NaN/∞ and silently poison every
+    /// downstream conductance.
     pub fn with_dynamic_range(mut self, ratio: f64) -> Self {
-        assert!(ratio > 1.0, "dynamic range must exceed 1");
+        assert!(
+            ratio.is_finite() && ratio > 1.0,
+            "dynamic range must be finite and exceed 1, got {ratio}"
+        );
         self.r_off = self.r_on * ratio;
         self
     }
@@ -72,9 +86,23 @@ impl CellSpec {
     }
 
     /// Returns a copy with the given relative programming error σ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative, non-finite, or ≥ 1 (a NaN sigma
+    /// would propagate NaN into every programmed conductance).
     pub fn with_programming_sigma(mut self, sigma: f64) -> Self {
-        assert!((0.0..1.0).contains(&sigma), "sigma must be in [0, 1)");
+        assert!(
+            sigma.is_finite() && (0.0..1.0).contains(&sigma),
+            "programming sigma must be finite and in [0, 1), got {sigma}"
+        );
         self.programming_sigma = sigma;
+        self
+    }
+
+    /// Returns a copy with the given fault model.
+    pub fn with_fault(mut self, fault: FaultModel) -> Self {
+        self.fault = fault;
         self
     }
 
@@ -101,6 +129,151 @@ impl CellSpec {
         } else {
             self.programming_sigma * standard_normal(rng)
         }
+    }
+}
+
+/// Device non-idealities beyond the paper's Gaussian programming noise:
+/// stuck-at faults, device-to-device sigma spread, retention drift, and
+/// endurance wear (SIMBRAIN / memristor-MIMO style models).
+///
+/// The zero model ([`FaultModel::none`], the default) is guaranteed to
+/// leave every programmed conductance, every RNG draw, and every read
+/// bit-identical to a crossbar without a fault model — the subsystem is
+/// strictly pay-for-what-you-use.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultModel {
+    /// Probability that a programmed cell is stuck at `G_on` (reads as
+    /// the maximum level regardless of the intended value). Sampled
+    /// once per explicit cell at program time (seeded Bernoulli).
+    pub stuck_on_rate: f64,
+    /// Probability that a programmed cell is stuck at `G_off` (reads as
+    /// level 0).
+    pub stuck_off_rate: f64,
+    /// Device-to-device sigma spread: each cell's effective programming
+    /// sigma becomes `programming_sigma + d2d_sigma·|N(0,1)|`, modelling
+    /// the variance-of-the-variance across devices.
+    pub d2d_sigma: f64,
+    /// Retention drift coefficient `ν`: a cluster whose operator has
+    /// aged `age` writes reads conductances scaled by the deterministic
+    /// factor `clamp(1 − ν·ln(1 + age), 0, 1)`.
+    pub drift_coefficient: f64,
+    /// Endurance aging: each reprogram of a cluster multiplies its
+    /// cells' effective sigma by `1 + endurance_sigma_growth·reprograms`.
+    pub endurance_sigma_growth: f64,
+}
+
+impl FaultModel {
+    /// The zero model: no stuck cells, no spread, no drift, no wear.
+    pub const fn none() -> Self {
+        FaultModel {
+            stuck_on_rate: 0.0,
+            stuck_off_rate: 0.0,
+            d2d_sigma: 0.0,
+            drift_coefficient: 0.0,
+            endurance_sigma_growth: 0.0,
+        }
+    }
+
+    /// True if any non-ideality is switched on.
+    pub fn is_active(&self) -> bool {
+        self.stuck_on_rate > 0.0
+            || self.stuck_off_rate > 0.0
+            || self.d2d_sigma > 0.0
+            || self.drift_coefficient > 0.0
+            || self.endurance_sigma_growth > 0.0
+    }
+
+    /// Combined stuck-at probability.
+    pub fn stuck_rate(&self) -> f64 {
+        self.stuck_on_rate + self.stuck_off_rate
+    }
+
+    /// The deterministic retention scale for an operator aged
+    /// `write_age` writes: `clamp(1 − ν·ln(1 + age), 0, 1)`. Exactly
+    /// `1.0` when the coefficient or the age is zero.
+    pub fn drift_factor(&self, write_age: u64) -> f64 {
+        if self.drift_coefficient == 0.0 || write_age == 0 {
+            return 1.0;
+        }
+        (1.0 - self.drift_coefficient * (1.0 + write_age as f64).ln()).clamp(0.0, 1.0)
+    }
+
+    /// The sigma multiplier after `reprograms` endurance cycles.
+    /// Exactly `1.0` when growth or the reprogram count is zero.
+    pub fn endurance_scale(&self, reprograms: u64) -> f64 {
+        if self.endurance_sigma_growth == 0.0 || reprograms == 0 {
+            return 1.0;
+        }
+        1.0 + self.endurance_sigma_growth * reprograms as f64
+    }
+
+    /// Returns a copy with the given stuck-at rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both rates are finite, non-negative, and sum to at
+    /// most 1.
+    pub fn with_stuck_rates(mut self, stuck_on: f64, stuck_off: f64) -> Self {
+        assert!(
+            stuck_on.is_finite() && stuck_off.is_finite() && stuck_on >= 0.0 && stuck_off >= 0.0,
+            "stuck-at rates must be finite and non-negative, got {stuck_on} / {stuck_off}"
+        );
+        assert!(
+            stuck_on + stuck_off <= 1.0,
+            "stuck-at rates must sum to at most 1, got {stuck_on} + {stuck_off}"
+        );
+        self.stuck_on_rate = stuck_on;
+        self.stuck_off_rate = stuck_off;
+        self
+    }
+
+    /// Returns a copy with the given device-to-device sigma spread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or non-finite.
+    pub fn with_d2d_sigma(mut self, sigma: f64) -> Self {
+        assert!(
+            sigma.is_finite() && sigma >= 0.0,
+            "d2d sigma must be finite and non-negative, got {sigma}"
+        );
+        self.d2d_sigma = sigma;
+        self
+    }
+
+    /// Returns a copy with the given retention drift coefficient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nu` is negative or non-finite.
+    pub fn with_drift_coefficient(mut self, nu: f64) -> Self {
+        assert!(
+            nu.is_finite() && nu >= 0.0,
+            "drift coefficient must be finite and non-negative, got {nu}"
+        );
+        self.drift_coefficient = nu;
+        self
+    }
+
+    /// Returns a copy with the given endurance sigma growth per
+    /// reprogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `growth` is negative or non-finite.
+    pub fn with_endurance_sigma_growth(mut self, growth: f64) -> Self {
+        assert!(
+            growth.is_finite() && growth >= 0.0,
+            "endurance sigma growth must be finite and non-negative, got {growth}"
+        );
+        self.endurance_sigma_growth = growth;
+        self
+    }
+}
+
+impl Default for FaultModel {
+    fn default() -> Self {
+        FaultModel::none()
     }
 }
 
@@ -170,5 +343,81 @@ mod tests {
         let c = CellSpec::default();
         let mut rng = StdRng::seed_from_u64(2);
         assert_eq!(c.sample_programming_error(&mut rng), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dynamic range must be finite")]
+    fn rejects_nan_dynamic_range() {
+        let _ = CellSpec::default().with_dynamic_range(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "dynamic range must be finite")]
+    fn rejects_unit_dynamic_range() {
+        let _ = CellSpec::default().with_dynamic_range(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dynamic range must be finite")]
+    fn rejects_infinite_dynamic_range() {
+        let _ = CellSpec::default().with_dynamic_range(f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "programming sigma must be finite")]
+    fn rejects_negative_sigma() {
+        let _ = CellSpec::default().with_programming_sigma(-0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "programming sigma must be finite")]
+    fn rejects_nan_sigma() {
+        let _ = CellSpec::default().with_programming_sigma(f64::NAN);
+    }
+
+    #[test]
+    fn fault_model_zero_is_inactive_and_exact() {
+        let f = FaultModel::none();
+        assert!(!f.is_active());
+        assert_eq!(f, FaultModel::default());
+        assert_eq!(f.drift_factor(0), 1.0);
+        assert_eq!(f.drift_factor(1_000_000), 1.0);
+        assert_eq!(f.endurance_scale(0), 1.0);
+        assert_eq!(f.endurance_scale(99), 1.0);
+        assert_eq!(CellSpec::default().fault, f);
+    }
+
+    #[test]
+    fn fault_model_builders_activate() {
+        let f = FaultModel::none()
+            .with_stuck_rates(1e-3, 2e-3)
+            .with_d2d_sigma(0.01)
+            .with_drift_coefficient(0.02)
+            .with_endurance_sigma_growth(0.001);
+        assert!(f.is_active());
+        assert_eq!(f.stuck_rate(), 3e-3);
+        // Drift is deterministic, monotone in age, and clamped.
+        assert_eq!(f.drift_factor(0), 1.0);
+        let d1 = f.drift_factor(10);
+        let d2 = f.drift_factor(1000);
+        assert!(d1 < 1.0 && d2 < d1 && d2 >= 0.0);
+        // Endurance scale grows linearly with reprograms.
+        assert_eq!(f.endurance_scale(1), 1.001);
+        assert!((f.endurance_scale(10) - 1.01).abs() < 1e-12);
+        // Extreme drift clamps at zero, never negative.
+        let g = FaultModel::none().with_drift_coefficient(10.0);
+        assert_eq!(g.drift_factor(u64::MAX), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "stuck-at rates must sum")]
+    fn rejects_overfull_stuck_rates() {
+        let _ = FaultModel::none().with_stuck_rates(0.7, 0.6);
+    }
+
+    #[test]
+    #[should_panic(expected = "d2d sigma must be finite")]
+    fn rejects_negative_d2d_sigma() {
+        let _ = FaultModel::none().with_d2d_sigma(-1e-3);
     }
 }

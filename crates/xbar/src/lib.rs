@@ -34,7 +34,7 @@
 //! let result = cluster.mvm(&x, &MvmOptions::default(), &mut rng)?;
 //! assert_eq!(result.y[0], 1.0); // 2·1 − 0.5·2
 //! assert_eq!(result.y[1], 8.0);
-//! # Ok::<(), memsci_numeric::align::AlignError>(())
+//! # Ok::<(), memsci_xbar::cluster::MvmError>(())
 //! ```
 
 #![warn(missing_docs)]
@@ -48,8 +48,10 @@ pub mod device;
 pub mod schedule;
 
 pub use adc::AdcSpec;
-pub use cluster::{Cluster, ClusterSpec, MvmOptions, MvmResult, ProgramOutcome};
+pub use cluster::{
+    Cluster, ClusterSpec, MvmError, MvmFault, MvmOptions, MvmResult, ProgramOutcome,
+};
 pub use cost::{CostModel, WriteModel};
 pub use crossbar::Crossbar;
-pub use device::CellSpec;
+pub use device::{CellSpec, FaultModel};
 pub use schedule::{plan, Plan, Policy};

@@ -60,6 +60,23 @@ echo "== telemetry stream smoke =="
     --telemetry-stream target/tmp/check-stream.jsonl > /dev/null
 ./target/release/telemetry-verify --stream target/tmp/check-stream.jsonl
 
+echo "== fault campaign smoke =="
+# Device-reliability gate: a tiny campaign at a nonzero fault rate must
+# inject stuck cells, detect them through the AN code, repair via the
+# wear-aware reprogram-and-retry lane, and keep the counter ledger
+# consistent. Its JSONL stream and report must validate, and so must
+# any committed campaign artifact.
+./target/release/repro faults --runs 1 --scale 0.5 \
+    --out target/tmp/check-faults.json \
+    --telemetry-out target/tmp/check-faults-manifest.json \
+    --telemetry-stream target/tmp/check-faults-stream.jsonl > /dev/null
+./target/release/repro faults --validate target/tmp/check-faults.json
+./target/release/telemetry-verify target/tmp/check-faults-manifest.json \
+    --require-nonzero faults_injected,faults_detected,faults_corrected,cluster_reprograms,wear_writes_max \
+    --invariants
+./target/release/telemetry-verify --stream target/tmp/check-faults-stream.jsonl
+[ -f FAULTS_PR7.json ] && ./target/release/repro faults --validate FAULTS_PR7.json
+
 echo "== alloc gate (debug) =="
 # The counting allocator only exists in debug builds; this gates the
 # warm SpMV hot path against allocation regressions.
