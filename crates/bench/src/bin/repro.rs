@@ -6,8 +6,11 @@
 //! repro <experiment> [--scale S] [--runs N] [--tol T] [--telemetry-out FILE]
 //!                    [--telemetry-stream FILE]
 //! repro bench [--smoke] [--iters N] [--rhs K1,K2,..] [--out FILE]
+//! repro bench --compare BASELINE.json NEW.json [--tolerance T]
 //! repro faults [--runs N] [--scale S] [--tol T] [--out FILE] [--validate FILE]
+//!              [--d2d S1,S2,..] [--endurance G1,G2,..]
 //!              [--telemetry-out FILE] [--telemetry-stream FILE]
+//! repro trace [--out FILE] [--scale S] [--iters N] [--capacity N]
 //!
 //! experiments:
 //!   table1 table2 table3
@@ -36,7 +39,7 @@
 //! Monte-Carlo sweep point (fig12/fig13), so killed sweeps keep their
 //! finished points.
 
-use memsci_bench::{faults, figures, montecarlo, perf, suite_run, tables};
+use memsci_bench::{faults, figures, montecarlo, perf, suite_run, tables, tracecmd};
 use memsci_telemetry::json::Json;
 use memsci_telemetry::ManifestStream;
 
@@ -55,9 +58,12 @@ fn main() {
              [--telemetry-stream FILE]"
         );
         eprintln!("       repro bench [--smoke] [--iters N] [--rhs K1,K2,..] [--out FILE]");
+        eprintln!("       repro bench --compare BASELINE.json NEW.json [--tolerance T]");
         eprintln!(
             "       repro faults [--runs N] [--scale S] [--tol T] [--out FILE] [--validate FILE]"
         );
+        eprintln!("                    [--d2d S1,S2,..] [--endurance G1,G2,..]");
+        eprintln!("       repro trace [--out FILE] [--scale S] [--iters N] [--capacity N]");
         eprintln!("experiments: table1 table2 table3 fig6 fig7 fig8 fig9 fig10 fig11");
         eprintln!("             fig12 fig13 area endurance ablation sizing smoke solve all");
         eprintln!("             matrix <file.mtx>   (run a real SuiteSparse download)");
@@ -109,6 +115,10 @@ fn main() {
     }
     if cmd == "faults" {
         run_faults_cmd(&rest, telemetry_out);
+        return;
+    }
+    if cmd == "trace" {
+        run_trace_cmd(&rest);
         return;
     }
     let mut args = Args {
@@ -214,7 +224,48 @@ fn main() {
 /// and prints a summary. `--rhs` sets the multi-RHS batch widths swept
 /// by the `spmv_batch` section. `--validate FILE` instead checks an
 /// existing document against the schema without running anything.
+/// `--compare BASELINE.json NEW.json [--tolerance T]` instead diffs two
+/// bench documents and exits nonzero on any slowdown beyond the
+/// fractional tolerance (default 0.25 = 25%) — the perf-regression
+/// gate.
 fn run_bench_cmd(rest: &[String]) {
+    if let Some(i) = rest.iter().position(|a| a == "--compare") {
+        let (Some(base_path), Some(new_path)) = (rest.get(i + 1), rest.get(i + 2)) else {
+            eprintln!("--compare needs two file paths: BASELINE.json NEW.json");
+            std::process::exit(2);
+        };
+        let tolerance = match rest.iter().position(|a| a == "--tolerance") {
+            Some(j) => rest
+                .get(j + 1)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("--tolerance needs a number");
+                    std::process::exit(2);
+                }),
+            None => 0.25,
+        };
+        let read = |path: &String| {
+            std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(1);
+            })
+        };
+        let base_text = read(base_path);
+        let new_text = read(new_path);
+        match perf::compare_bench(&base_text, &new_text, tolerance) {
+            Ok(report) => {
+                print!("{}", report.render());
+                if !report.passed() {
+                    std::process::exit(1);
+                }
+                return;
+            }
+            Err(e) => {
+                eprintln!("bench compare failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     let mut opts = perf::BenchOptions::full();
     let mut out = std::path::PathBuf::from("BENCH_PR6.json");
     let mut i = 0;
@@ -300,12 +351,98 @@ fn run_bench_cmd(rest: &[String]) {
     println!("bench document written to {}", out.display());
 }
 
+/// `repro trace [--out FILE] [--scale S] [--iters N] [--capacity N]` —
+/// runs the traced pipeline workload (exact CG, fast CG, fast batched
+/// SpMV) with timeline tracing on and writes a Chrome `trace_event`
+/// JSON document (default `TRACE.json`) loadable in Perfetto /
+/// `chrome://tracing`. Host knobs (`MEMSCI_THREADS`, `MEMSCI_OVERLAP`)
+/// shape the lane layout; timestamps are wall-clock and excluded from
+/// every byte-reproducibility gate.
+fn run_trace_cmd(rest: &[String]) {
+    let mut opts = tracecmd::TraceOptions::default();
+    let mut out = std::path::PathBuf::from("TRACE.json");
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--out" => {
+                let Some(path) = rest.get(i + 1) else {
+                    eprintln!("--out needs a file path");
+                    std::process::exit(2);
+                };
+                out = path.into();
+                i += 2;
+            }
+            "--scale" => {
+                opts.scale = rest
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|s: &f64| s.is_finite() && *s > 0.0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--scale needs a positive number");
+                        std::process::exit(2);
+                    });
+                i += 2;
+            }
+            "--iters" => {
+                opts.max_iters = rest
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|n| *n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--iters needs a positive integer");
+                        std::process::exit(2);
+                    });
+                i += 2;
+            }
+            "--capacity" => {
+                opts.capacity = rest
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|n| *n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--capacity needs a positive integer");
+                        std::process::exit(2);
+                    });
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown trace flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let doc = tracecmd::run_trace(&opts);
+    let text = doc.to_string_pretty();
+    if let Err(e) = std::fs::write(&out, format!("{text}\n")) {
+        eprintln!("cannot write {}: {e}", out.display());
+        std::process::exit(1);
+    }
+    match memsci_telemetry::validate_trace(&text) {
+        Ok(summary) => println!(
+            "trace written to {} ({} events, {} span paths, {} threads, depth {}, {} dropped)",
+            out.display(),
+            summary.events,
+            summary.names.len(),
+            summary.tids.len(),
+            summary.max_depth,
+            summary.dropped
+        ),
+        Err(e) => {
+            eprintln!("exported trace failed validation: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// `repro faults [--runs N] [--scale S] [--tol T] [--out FILE]` — the
 /// device-reliability campaign: sweeps stuck-at fault rate × retention
 /// write age with the reprogram-and-retry repair lane armed, prints the
 /// coverage table, and writes the schema-versioned report (default
 /// `FAULTS_PR7.json`). `--scale` scales the test-system size (base
-/// n = 128). `--validate FILE` instead checks an existing report
+/// n = 128). `--d2d` / `--endurance` add device-to-device sigma and
+/// endurance sigma-growth sweep axes (defaults `0`, which keeps the
+/// classic rate × age grid). `--validate FILE` instead checks an
+/// existing report
 /// against the schema and its counter invariants without running
 /// anything. The report and any `--telemetry-stream` records carry no
 /// wall-clock or host-knob fields, so a fixed seed reproduces both
@@ -335,7 +472,9 @@ fn run_faults_cmd(rest: &[String], mut telemetry_out: Option<std::path::PathBuf>
                         println!(
                             "{path}: ok (schema {} v{})",
                             faults::FAULT_SCHEMA,
-                            faults::FAULT_SCHEMA_VERSION
+                            doc.get("schema_version")
+                                .and_then(Json::as_u64)
+                                .unwrap_or(0)
                         );
                         return;
                     }
@@ -383,6 +522,14 @@ fn run_faults_cmd(rest: &[String], mut telemetry_out: Option<std::path::PathBuf>
                     std::process::exit(2);
                 };
                 out = path.into();
+                i += 2;
+            }
+            "--d2d" => {
+                cfg.d2d_sigmas = parse_axis(rest.get(i + 1), "--d2d");
+                i += 2;
+            }
+            "--endurance" => {
+                cfg.endurance_growths = parse_axis(rest.get(i + 1), "--endurance");
                 i += 2;
             }
             "--telemetry-out" => {
@@ -466,6 +613,23 @@ fn run_faults_cmd(rest: &[String], mut telemetry_out: Option<std::path::PathBuf>
         }
     }
     finish_telemetry(telemetry_out.as_deref(), &config);
+}
+
+/// Parses a comma-separated sweep-axis list of finite non-negative
+/// numbers (the `--d2d` / `--endurance` fault-campaign flags).
+fn parse_axis(arg: Option<&String>, flag: &str) -> Vec<f64> {
+    let values: Option<Vec<f64>> = arg
+        .map(|v| v.split(',').map(|s| s.trim().parse().ok()).collect())
+        .unwrap_or(None);
+    match values {
+        Some(values) if !values.is_empty() && values.iter().all(|v| v.is_finite() && *v >= 0.0) => {
+            values
+        }
+        _ => {
+            eprintln!("{flag} needs a comma-separated list of non-negative numbers");
+            std::process::exit(2);
+        }
+    }
 }
 
 /// Writes the run manifest when the sink is on and a path was chosen.

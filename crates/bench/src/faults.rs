@@ -28,8 +28,14 @@ use crate::montecarlo;
 
 /// Schema identifier for campaign reports.
 pub const FAULT_SCHEMA: &str = "memsci-fault-campaign";
-/// Schema version for campaign reports.
-pub const FAULT_SCHEMA_VERSION: u64 = 1;
+/// Schema version for campaign reports. v2 adds the device-to-device
+/// sigma and endurance-growth sweep axes to the grid and per-point
+/// `d2d_sigma` / `endurance_growth` fields.
+pub const FAULT_SCHEMA_VERSION: u64 = 2;
+/// Oldest report schema version the validator still accepts. v1
+/// reports (rate × age grid only) predate the variation axes; their
+/// points read as `d2d_sigma = endurance_growth = 0`.
+pub const FAULT_SCHEMA_MIN_VERSION: u64 = 1;
 
 /// Retention drift coefficient used for every point with a nonzero
 /// write age (`drift_factor` is exactly 1 at age 0, so the zero-age
@@ -56,6 +62,12 @@ pub struct FaultCampaignConfig {
     pub fault_rates: Vec<f64>,
     /// Operator write ages to sweep (retention drift axis).
     pub drift_ages: Vec<u64>,
+    /// Device-to-device sigma spreads to sweep (programming-variation
+    /// axis; `0.0` keeps the classic rate × age grid unchanged).
+    pub d2d_sigmas: Vec<f64>,
+    /// Endurance sigma-growth-per-reprogram values to sweep (wear
+    /// axis; `0.0` keeps the classic grid unchanged).
+    pub endurance_growths: Vec<f64>,
     /// Host worker threads for the trial loop (`None` = machine
     /// parallelism; `MEMSCI_THREADS` overrides).
     pub threads: Option<usize>,
@@ -75,6 +87,8 @@ impl Default for FaultCampaignConfig {
             retry_limit: 2,
             fault_rates: vec![0.0, 1e-4, 5e-4, 2e-3],
             drift_ages: vec![0, 1000],
+            d2d_sigmas: vec![0.0],
+            endurance_growths: vec![0.0],
             threads: None,
             overlap: None,
         }
@@ -110,6 +124,10 @@ pub struct FaultPoint {
     pub fault_rate: f64,
     /// Operator write age for this point.
     pub drift_age: u64,
+    /// Device-to-device sigma spread for this point.
+    pub d2d_sigma: f64,
+    /// Endurance sigma growth per reprogram for this point.
+    pub endurance_growth: f64,
     /// Trials aggregated into this point.
     pub runs: usize,
     /// Stuck cells drawn at program time (the injected-fault count).
@@ -164,13 +182,30 @@ struct Trial {
 }
 
 /// The campaign cell: ideal programming plus the swept fault model, so
-/// every AN event is attributable to the injected faults.
-fn fault_cell(rate: f64) -> CellSpec {
+/// every AN event is attributable to the injected faults (and, on the
+/// v2 axes, to device-to-device variation and endurance wear).
+fn fault_cell(rate: f64, d2d_sigma: f64, endurance_growth: f64) -> CellSpec {
     CellSpec::default().with_fault(
         FaultModel::none()
             .with_stuck_rates(rate / 2.0, rate / 2.0)
-            .with_drift_coefficient(DRIFT_COEFFICIENT),
+            .with_drift_coefficient(DRIFT_COEFFICIENT)
+            .with_d2d_sigma(d2d_sigma)
+            .with_endurance_sigma_growth(endurance_growth),
     )
+}
+
+/// Stable point label: the classic `rate_R_age_A` stem, extended with
+/// `_d2d_S` / `_end_G` only when the corresponding axis is nonzero so
+/// v1-era labels (and any stream tooling keyed on them) are unchanged.
+fn point_label(rate: f64, age: u64, d2d_sigma: f64, endurance_growth: f64) -> String {
+    let mut label = format!("rate_{rate:.0e}_age_{age}");
+    if d2d_sigma != 0.0 {
+        label.push_str(&format!("_d2d_{d2d_sigma:.0e}"));
+    }
+    if endurance_growth != 0.0 {
+        label.push_str(&format!("_end_{endurance_growth:.0e}"));
+    }
+    label
 }
 
 fn solve_one(
@@ -236,7 +271,10 @@ fn run_trial(
 }
 
 /// Runs the campaign, invoking `observe` after each grid point (stream
-/// hook). Points appear in sweep order: fault rate major, age minor.
+/// hook). Points appear in sweep order: fault rate major, then age,
+/// then d2d sigma, then endurance growth. With the variation axes at
+/// their `[0.0]` defaults, the grid (and every trial's RNG stream
+/// index) is identical to the v1 rate × age campaign.
 pub fn campaign_with(
     cfg: &FaultCampaignConfig,
     observe: &mut dyn FnMut(&FaultPoint),
@@ -245,53 +283,60 @@ pub fn campaign_with(
     let blocked = BlockedMatrix::block(&a, &BlockingConfig::default());
     let threads = memsci_core::exec::worker_count(cfg.threads);
     let mut points = Vec::new();
-    for (pi, &rate) in cfg.fault_rates.iter().enumerate() {
-        for (ai, &age) in cfg.drift_ages.iter().enumerate() {
-            let cell = fault_cell(rate);
-            let point_index = (pi * cfg.drift_ages.len() + ai) as u64;
-            let trials = memsci_core::exec::parallel_tasks(threads, cfg.runs, |trial| {
-                let stream = point_index * cfg.runs as u64 + trial as u64;
-                run_trial(
-                    &blocked,
-                    cfg.n,
-                    cell,
-                    age,
-                    memsci_core::exec::task_seed(cfg.seed, stream),
-                    cfg,
-                )
-            });
-            let mut point = FaultPoint {
-                label: format!("rate_{rate:.0e}_age_{age}"),
-                fault_rate: rate,
-                drift_age: age,
-                runs: cfg.runs,
-                faults_injected: 0,
-                an_detections: 0,
-                an_corrections: 0,
-                faults_detected: 0,
-                faults_corrected: 0,
-                cluster_reprograms: 0,
-                retries_exhausted: 0,
-                degraded_clusters: 0,
-                cg: SolverAggregate::default(),
-                bicgstab: SolverAggregate::default(),
-            };
-            for t in &trials {
-                point.faults_injected += t.injected;
-                point.an_detections += t.an_detections;
-                point.an_corrections += t.an_corrections;
-                point.faults_detected += t.faults_detected;
-                point.faults_corrected += t.faults_corrected;
-                point.cluster_reprograms += t.reprograms;
-                point.retries_exhausted += t.exhausted;
-                point.degraded_clusters += t.degraded;
-                point.cg.converged += usize::from(t.cg_converged);
-                point.cg.iterations += t.cg_iterations as u64;
-                point.bicgstab.converged += usize::from(t.bicg_converged);
-                point.bicgstab.iterations += t.bicg_iterations as u64;
+    let mut point_index = 0u64;
+    for &rate in &cfg.fault_rates {
+        for &age in &cfg.drift_ages {
+            for &d2d in &cfg.d2d_sigmas {
+                for &growth in &cfg.endurance_growths {
+                    let cell = fault_cell(rate, d2d, growth);
+                    let trials = memsci_core::exec::parallel_tasks(threads, cfg.runs, |trial| {
+                        let stream = point_index * cfg.runs as u64 + trial as u64;
+                        run_trial(
+                            &blocked,
+                            cfg.n,
+                            cell,
+                            age,
+                            memsci_core::exec::task_seed(cfg.seed, stream),
+                            cfg,
+                        )
+                    });
+                    let mut point = FaultPoint {
+                        label: point_label(rate, age, d2d, growth),
+                        fault_rate: rate,
+                        drift_age: age,
+                        d2d_sigma: d2d,
+                        endurance_growth: growth,
+                        runs: cfg.runs,
+                        faults_injected: 0,
+                        an_detections: 0,
+                        an_corrections: 0,
+                        faults_detected: 0,
+                        faults_corrected: 0,
+                        cluster_reprograms: 0,
+                        retries_exhausted: 0,
+                        degraded_clusters: 0,
+                        cg: SolverAggregate::default(),
+                        bicgstab: SolverAggregate::default(),
+                    };
+                    for t in &trials {
+                        point.faults_injected += t.injected;
+                        point.an_detections += t.an_detections;
+                        point.an_corrections += t.an_corrections;
+                        point.faults_detected += t.faults_detected;
+                        point.faults_corrected += t.faults_corrected;
+                        point.cluster_reprograms += t.reprograms;
+                        point.retries_exhausted += t.exhausted;
+                        point.degraded_clusters += t.degraded;
+                        point.cg.converged += usize::from(t.cg_converged);
+                        point.cg.iterations += t.cg_iterations as u64;
+                        point.bicgstab.converged += usize::from(t.bicg_converged);
+                        point.bicgstab.iterations += t.bicg_iterations as u64;
+                    }
+                    observe(&point);
+                    points.push(point);
+                    point_index += 1;
+                }
             }
-            observe(&point);
-            points.push(point);
         }
     }
     points
@@ -341,6 +386,19 @@ pub fn report(cfg: &FaultCampaignConfig, points: &[FaultPoint]) -> Json {
             "drift_ages".into(),
             Json::Arr(cfg.drift_ages.iter().map(|&a| Json::UInt(a)).collect()),
         ),
+        (
+            "d2d_sigmas".into(),
+            Json::Arr(cfg.d2d_sigmas.iter().map(|&s| Json::Num(s)).collect()),
+        ),
+        (
+            "endurance_growths".into(),
+            Json::Arr(
+                cfg.endurance_growths
+                    .iter()
+                    .map(|&g| Json::Num(g))
+                    .collect(),
+            ),
+        ),
     ]);
     let points: Vec<Json> = points
         .iter()
@@ -349,6 +407,8 @@ pub fn report(cfg: &FaultCampaignConfig, points: &[FaultPoint]) -> Json {
                 ("label".into(), Json::Str(p.label.clone())),
                 ("fault_rate".into(), Json::Num(p.fault_rate)),
                 ("drift_age".into(), Json::UInt(p.drift_age)),
+                ("d2d_sigma".into(), Json::Num(p.d2d_sigma)),
+                ("endurance_growth".into(), Json::Num(p.endurance_growth)),
                 ("runs".into(), Json::UInt(p.runs as u64)),
                 ("faults_injected".into(), Json::UInt(p.faults_injected)),
                 ("an_detections".into(), Json::UInt(p.an_detections)),
@@ -396,14 +456,15 @@ pub fn validate_report(doc: &Json) -> Result<(), ManifestError> {
             )))
         }
     }
-    match doc.get("schema_version").and_then(Json::as_u64) {
-        Some(FAULT_SCHEMA_VERSION) => {}
+    let version = match doc.get("schema_version").and_then(Json::as_u64) {
+        Some(v) if (FAULT_SCHEMA_MIN_VERSION..=FAULT_SCHEMA_VERSION).contains(&v) => v,
         other => {
             return Err(ManifestError(format!(
-                "schema_version must be {FAULT_SCHEMA_VERSION}, got {other:?}"
+                "schema_version must be in {FAULT_SCHEMA_MIN_VERSION}..={FAULT_SCHEMA_VERSION}, \
+                 got {other:?}"
             )))
         }
-    }
+    };
     let points = doc
         .get("points")
         .and_then(Json::as_arr)
@@ -457,9 +518,30 @@ pub fn validate_report(doc: &Json) -> Result<(), ManifestError> {
             degraded == exhausted,
             "degraded clusters must equal exhausted retries",
         )?;
+        // v2 points carry the variation axes; v1 points predate them
+        // and read as zero. Nonzero d2d / endurance values mean
+        // programming noise can legitimately fire the AN path even at
+        // a zero stuck-at rate, so the ideal-point invariant only
+        // applies when every axis is at its ideal setting.
+        let axis = |key: &str| -> Result<f64, ManifestError> {
+            match p.get(key) {
+                None if version < 2 => Ok(0.0),
+                Some(v) => v
+                    .as_f64()
+                    .filter(|x| x.is_finite() && *x >= 0.0)
+                    .ok_or_else(|| {
+                        ManifestError(format!(
+                            "point '{label}': {key} must be finite and non-negative"
+                        ))
+                    }),
+                None => Err(ManifestError(format!("point '{label}': missing {key}"))),
+            }
+        };
+        let d2d = axis("d2d_sigma")?;
+        let growth = axis("endurance_growth")?;
         if rate == 0.0 {
             check(injected == 0, "stuck cells at a zero fault rate")?;
-            if age == 0 {
+            if age == 0 && d2d == 0.0 && growth == 0.0 {
                 check(
                     reprograms == 0,
                     "repairs on the ideal (zero-fault, zero-age) point",
@@ -563,6 +645,81 @@ mod tests {
         );
         assert_eq!(p.cg.converged, cfg.runs, "repair restores convergence");
         validate_report(&report(&cfg, &points)).expect("report validates");
+    }
+
+    #[test]
+    fn variation_axes_sweep_with_backward_compatible_labels() {
+        let mut cfg = tiny();
+        cfg.fault_rates = vec![0.0];
+        cfg.d2d_sigmas = vec![0.0, 0.05];
+        cfg.endurance_growths = vec![0.0, 0.01];
+        let points = campaign(&cfg);
+        assert_eq!(points.len(), 4, "rate x age x d2d x endurance grid");
+        // Zero axes keep the v1-era label stem untouched; nonzero axes
+        // extend it.
+        assert_eq!(points[0].label, "rate_0e0_age_0");
+        assert_eq!(points[1].label, "rate_0e0_age_0_end_1e-2");
+        assert_eq!(points[2].label, "rate_0e0_age_0_d2d_5e-2");
+        assert_eq!(points[3].label, "rate_0e0_age_0_d2d_5e-2_end_1e-2");
+        // Device-to-device spread is real programming noise: the AN
+        // code sees it even with no stuck cells.
+        assert!(
+            points[2].an_detections > 0,
+            "d2d spread should trip the AN code"
+        );
+        assert_eq!(points[2].faults_injected, 0, "no stuck cells at rate 0");
+        validate_report(&report(&cfg, &points)).expect("v2 report validates");
+    }
+
+    /// Drops `keys` from every object in the tree and rewrites
+    /// `schema_version` (test scaffolding for downgraded documents).
+    fn rewrite(doc: &Json, version: u64, drop: &[&str]) -> Json {
+        match doc {
+            Json::Obj(pairs) => Json::Obj(
+                pairs
+                    .iter()
+                    .filter(|(k, _)| !drop.contains(&k.as_str()))
+                    .map(|(k, v)| {
+                        let v = if k == "schema_version" {
+                            Json::UInt(version)
+                        } else {
+                            rewrite(v, version, drop)
+                        };
+                        (k.clone(), v)
+                    })
+                    .collect(),
+            ),
+            Json::Arr(items) => {
+                Json::Arr(items.iter().map(|v| rewrite(v, version, drop)).collect())
+            }
+            other => other.clone(),
+        }
+    }
+
+    #[test]
+    fn v1_reports_without_variation_axes_still_validate() {
+        let cfg = tiny();
+        let points = campaign(&cfg);
+        let doc = report(&cfg, &points);
+        // A v1-shaped document — version 1, no variation fields — is
+        // exactly what committed FAULTS_PR7.json is; it must validate.
+        let v1 = rewrite(
+            &doc,
+            1,
+            &[
+                "d2d_sigma",
+                "endurance_growth",
+                "d2d_sigmas",
+                "endurance_growths",
+            ],
+        );
+        validate_report(&v1).expect("v1 report validates");
+        // But a v2 document missing the axes is rejected.
+        let broken = rewrite(&doc, 2, &["d2d_sigma"]);
+        let err = validate_report(&broken).expect_err("v2 without axes must fail");
+        assert!(err.to_string().contains("d2d_sigma"), "{err}");
+        // And unknown future versions are rejected.
+        validate_report(&rewrite(&doc, 3, &[])).expect_err("future version must fail");
     }
 
     #[test]

@@ -17,3 +17,4 @@ pub mod montecarlo;
 pub mod perf;
 pub mod suite_run;
 pub mod tables;
+pub mod tracecmd;

@@ -607,6 +607,159 @@ pub fn validate_bench(text: &str) -> Result<Json, ManifestError> {
     Ok(doc)
 }
 
+/// One matched benchmark entry in a baseline-vs-new comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareRow {
+    /// Human-readable entry key (e.g. `spmv exact/warm`).
+    pub key: String,
+    /// Baseline seconds (per iter or per RHS).
+    pub base_s: f64,
+    /// New seconds.
+    pub new_s: f64,
+    /// Slowdown ratio `new / base` (1.0 = unchanged, 2.0 = twice as
+    /// slow).
+    pub ratio: f64,
+    /// True when the ratio exceeds `1 + tolerance`.
+    pub regressed: bool,
+}
+
+/// Result of [`compare_bench`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareReport {
+    /// Matched entries, in baseline order.
+    pub rows: Vec<CompareRow>,
+    /// Relative slowdown tolerance the rows were judged against.
+    pub tolerance: f64,
+    /// Entries present in only one of the two documents (skipped).
+    pub unmatched: usize,
+}
+
+impl CompareReport {
+    /// Matched entries that regressed beyond tolerance.
+    pub fn regressions(&self) -> usize {
+        self.rows.iter().filter(|r| r.regressed).count()
+    }
+
+    /// True when no matched entry regressed.
+    pub fn passed(&self) -> bool {
+        self.regressions() == 0
+    }
+
+    /// Renders the comparison as a one-screen table.
+    pub fn render(&self) -> String {
+        let width = self.rows.iter().map(|r| r.key.len()).max().unwrap_or(5);
+        let mut out = format!(
+            "bench compare (tolerance: fail above {:.2}x slowdown)\n",
+            1.0 + self.tolerance
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "  {:width$}  base {:>10.4e}  new {:>10.4e}  ratio {:>6.3}x  {}\n",
+                r.key,
+                r.base_s,
+                r.new_s,
+                r.ratio,
+                if r.regressed { "REGRESSED" } else { "ok" },
+            ));
+        }
+        if self.unmatched > 0 {
+            out.push_str(&format!(
+                "  ({} entries present in only one document, skipped)\n",
+                self.unmatched
+            ));
+        }
+        out.push_str(&format!(
+            "{} matched entries, {} regressed\n",
+            self.rows.len(),
+            self.regressions()
+        ));
+        out
+    }
+}
+
+/// Collects `(key, seconds)` comparison points from a bench document:
+/// every `spmv[]` entry keyed by engine/mode on `median_s_per_iter`,
+/// and every `spmv_batch[]` entry keyed by engine/rhs on
+/// `amortized_s_per_rhs` (absent in v1 documents).
+fn compare_points(doc: &Json) -> Vec<(String, f64)> {
+    let mut points = Vec::new();
+    if let Some(entries) = doc.get("spmv").and_then(Json::as_arr) {
+        for e in entries {
+            let engine = e.get("engine").and_then(Json::as_str).unwrap_or("?");
+            let mode = e.get("mode").and_then(Json::as_str).unwrap_or("?");
+            if let Some(s) = e.get("median_s_per_iter").and_then(Json::as_f64) {
+                points.push((format!("spmv {engine}/{mode}"), s));
+            }
+        }
+    }
+    if let Some(entries) = doc.get("spmv_batch").and_then(Json::as_arr) {
+        for e in entries {
+            let engine = e.get("engine").and_then(Json::as_str).unwrap_or("?");
+            let rhs = e.get("rhs").and_then(Json::as_u64).unwrap_or(0);
+            if let Some(s) = e.get("amortized_s_per_rhs").and_then(Json::as_f64) {
+                points.push((format!("spmv_batch {engine}/rhs{rhs}"), s));
+            }
+        }
+    }
+    points
+}
+
+/// Compares two bench documents for host-performance regressions: both
+/// texts must validate ([`validate_bench`]), matched entries (same
+/// `spmv` engine/mode, same `spmv_batch` engine/rhs) are judged by the
+/// slowdown ratio `new / base`, and any ratio above `1 + tolerance`
+/// marks a regression. Entries present in only one document are
+/// counted but not judged, so a baseline at an older schema (or a
+/// smoke run against a full run) still gates its intersection.
+///
+/// # Errors
+///
+/// Returns [`ManifestError`] when either document fails validation,
+/// when the tolerance is not a finite non-negative number, or when the
+/// two documents share no comparable entries.
+pub fn compare_bench(
+    base_text: &str,
+    new_text: &str,
+    tolerance: f64,
+) -> Result<CompareReport, ManifestError> {
+    if !(tolerance.is_finite() && tolerance >= 0.0) {
+        return Err(fail(format!(
+            "tolerance must be a finite non-negative number, got {tolerance}"
+        )));
+    }
+    let base = validate_bench(base_text).map_err(|e| fail(format!("baseline: {}", e.0)))?;
+    let new = validate_bench(new_text).map_err(|e| fail(format!("new: {}", e.0)))?;
+    let base_points = compare_points(&base);
+    let new_points = compare_points(&new);
+    let mut rows = Vec::new();
+    let mut matched_keys = 0usize;
+    for (key, base_s) in &base_points {
+        let Some((_, new_s)) = new_points.iter().find(|(k, _)| k == key) else {
+            continue;
+        };
+        matched_keys += 1;
+        let ratio = new_s / base_s;
+        rows.push(CompareRow {
+            key: key.clone(),
+            base_s: *base_s,
+            new_s: *new_s,
+            ratio,
+            regressed: ratio > 1.0 + tolerance,
+        });
+    }
+    if rows.is_empty() {
+        return Err(fail(
+            "the two bench documents share no comparable entries".to_string(),
+        ));
+    }
+    let unmatched = (base_points.len() - matched_keys) + (new_points.len() - matched_keys);
+    Ok(CompareReport {
+        rows,
+        tolerance,
+        unmatched,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -658,6 +811,75 @@ mod tests {
         );
         let summary = summarize(&parsed);
         assert!(summary.contains("speedup"), "{summary}");
+    }
+
+    /// Multiplies one numeric field of `doc[section][idx]` in place.
+    fn scale_entry(doc: &mut Json, section: &str, idx: usize, field: &str, factor: f64) {
+        let Json::Obj(fields) = doc else {
+            panic!("doc is an object")
+        };
+        let (_, section) = fields
+            .iter_mut()
+            .find(|(k, _)| k == section)
+            .expect("section present");
+        let Json::Arr(entries) = section else {
+            panic!("section is an array")
+        };
+        let Json::Obj(entry) = &mut entries[idx] else {
+            panic!("entry is an object")
+        };
+        let (_, slot) = entry
+            .iter_mut()
+            .find(|(k, _)| k == field)
+            .expect("field present");
+        let Json::Num(v) = slot else {
+            panic!("field is a number")
+        };
+        *v *= factor;
+    }
+
+    #[test]
+    fn compare_detects_injected_regressions() {
+        let opts = BenchOptions {
+            iters: 2,
+            solver_max_iters: 2,
+            thread_counts: vec![1],
+            overlaps: vec![false],
+            rhs_counts: vec![1],
+            smoke: true,
+        };
+        let base = run_bench(&opts);
+        let base_text = base.to_string_pretty();
+
+        // A document compared against itself passes at zero tolerance:
+        // 4 spmv entries + 2 engines × 1 batch width.
+        let same = compare_bench(&base_text, &base_text, 0.0).unwrap();
+        assert!(same.passed());
+        assert_eq!(same.rows.len(), 6);
+        assert_eq!(same.unmatched, 0);
+
+        // Inject a 10x slowdown into one spmv entry and one batch
+        // entry: both must trip a 50% tolerance.
+        let mut slow = base.clone();
+        scale_entry(&mut slow, "spmv", 0, "median_s_per_iter", 10.0);
+        scale_entry(&mut slow, "spmv_batch", 1, "amortized_s_per_rhs", 10.0);
+        let slow_text = slow.to_string_pretty();
+        let report = compare_bench(&base_text, &slow_text, 0.5).unwrap();
+        assert!(!report.passed());
+        assert_eq!(report.regressions(), 2);
+        assert!(report.render().contains("REGRESSED"), "{}", report.render());
+
+        // A generous tolerance absorbs the same slowdown, and a
+        // *speedup* never regresses.
+        assert!(compare_bench(&base_text, &slow_text, 20.0)
+            .unwrap()
+            .passed());
+        assert!(compare_bench(&slow_text, &base_text, 0.5).unwrap().passed());
+
+        // Broken tolerances and broken documents are errors.
+        assert!(compare_bench(&base_text, &base_text, f64::NAN).is_err());
+        assert!(compare_bench(&base_text, &base_text, -0.5).is_err());
+        assert!(compare_bench(&base_text, "not json", 0.5).is_err());
     }
 
     #[test]

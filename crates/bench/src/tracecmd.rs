@@ -1,0 +1,138 @@
+//! `repro trace` — run a representative staged-pipeline workload with
+//! timeline tracing on and export a Chrome `trace_event` document.
+//!
+//! The workload deliberately exercises every event source the tracer
+//! knows about: an exact-engine CG solve (per-iteration solver spans,
+//! `cluster_mvm` / `residual_csr` stage lanes, per-bank shard spans on
+//! `memsci-exec` worker threads), a fast-engine solve, and one batched
+//! multi-RHS kernel (`batch_mvm`). Host knobs come from the usual
+//! environment (`MEMSCI_THREADS`, `MEMSCI_OVERLAP`), so running with
+//! `MEMSCI_OVERLAP=1` puts the residual lane on its own thread id —
+//! visibly parallel to the cluster lane in Perfetto.
+//!
+//! Tracing is wall-clock and therefore excluded from every
+//! byte-reproducibility gate; the solve *outputs* under tracing are
+//! bitwise identical to untraced runs (asserted by the workspace's
+//! trace-identity tests).
+
+use memsci_core::{AcceleratorConfig, AcceleratorPlatform, ExactAcceleratorPlatform, ExactOptions};
+use memsci_solvers::platform::Platform;
+use memsci_solvers::{cg::cg, SolveOptions};
+use memsci_sparse::blocking::{BlockedMatrix, BlockingConfig};
+use memsci_sparse::suite::by_name;
+use memsci_telemetry::json::Json;
+
+/// Shape of one `repro trace` run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceOptions {
+    /// Scale factor applied to the suite matrix (`Pres_Poisson`).
+    pub scale: f64,
+    /// Iteration cap for the traced solves.
+    pub max_iters: usize,
+    /// Trace ring capacity in events.
+    pub capacity: usize,
+}
+
+impl Default for TraceOptions {
+    fn default() -> TraceOptions {
+        TraceOptions {
+            scale: 0.05,
+            max_iters: 8,
+            capacity: memsci_telemetry::trace::DEFAULT_TRACE_CAPACITY,
+        }
+    }
+}
+
+/// Runs the traced workload and returns the Chrome `trace_event`
+/// document. The trace ring is cleared first and tracing is disabled
+/// again afterwards; the telemetry statistics sink is left exactly as
+/// found.
+pub fn run_trace(opts: &TraceOptions) -> Json {
+    let a = by_name("Pres_Poisson")
+        .expect("suite entry")
+        .generate_scaled(opts.scale.clamp(0.01, 1.0));
+    let blocked = BlockedMatrix::block(&a, &BlockingConfig::default());
+    let n = a.rows();
+    let b = vec![1.0; n];
+    let solve_opts = SolveOptions::with_tol(1e-8).max_iters(opts.max_iters);
+    // Threads and overlap stay unset so MEMSCI_THREADS / MEMSCI_OVERLAP
+    // drive the lane layout the trace is meant to expose.
+    let config = AcceleratorConfig::with_banks(4);
+
+    memsci_telemetry::trace::enable_with_capacity(opts.capacity);
+    memsci_telemetry::trace::clear();
+
+    {
+        let _workload = memsci_telemetry::span("trace/exact_cg");
+        let mut exact = ExactAcceleratorPlatform::new(
+            &blocked,
+            config.clone(),
+            ExactOptions {
+                seed: 7,
+                ..Default::default()
+            },
+        )
+        .expect("suite matrix programs cleanly");
+        let mut x = vec![0.0; n];
+        cg(&mut exact, &b, &mut x, &solve_opts);
+    }
+    {
+        let _workload = memsci_telemetry::span("trace/fast_cg");
+        let mut fast = AcceleratorPlatform::new(&blocked, config.clone());
+        let mut x = vec![0.0; n];
+        cg(&mut fast, &b, &mut x, &solve_opts);
+    }
+    {
+        let _workload = memsci_telemetry::span("trace/fast_batch");
+        let mut fast = AcceleratorPlatform::new(&blocked, config);
+        let k = 4;
+        let xs: Vec<Vec<f64>> = (0..k)
+            .map(|j| {
+                (0..n)
+                    .map(|i| (i as f64 * 0.17 + j as f64 * 0.43).sin() + 1.1)
+                    .collect()
+            })
+            .collect();
+        let x_refs: Vec<&[f64]> = xs.iter().map(|x| x.as_slice()).collect();
+        let mut ys = vec![Vec::new(); k];
+        fast.spmv_batch(&x_refs, &mut ys);
+    }
+
+    memsci_telemetry::trace::disable();
+    memsci_telemetry::trace::export_chrome()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsci_telemetry::validate_trace;
+
+    #[test]
+    fn traced_workload_exports_a_valid_pipeline_trace() {
+        let _x = memsci_telemetry::exclusive_for_tests();
+        memsci_telemetry::trace::shutdown();
+        let opts = TraceOptions {
+            scale: 0.02,
+            max_iters: 2,
+            ..Default::default()
+        };
+        let doc = run_trace(&opts);
+        memsci_telemetry::trace::shutdown();
+        let summary = validate_trace(&doc.to_string_pretty()).unwrap();
+        // The stage lanes and all three workload phases are present.
+        for name in [
+            "trace/exact_cg",
+            "trace/fast_cg",
+            "trace/fast_batch",
+            "cluster_mvm",
+            "residual_csr",
+            "batch_mvm",
+            "iter",
+            "exact/bank_shard",
+            "cluster_program",
+        ] {
+            assert!(summary.names.contains(name), "missing event `{name}`");
+        }
+        assert_eq!(summary.dropped, 0);
+    }
+}

@@ -430,6 +430,7 @@ impl ExactAcceleratorPlatform {
         faulted: &[(usize, usize)],
         mvm_opts: &MvmOptions,
     ) {
+        let _span = memsci_telemetry::span("exact/repair");
         let n = self.n;
         let mut new_residual: Vec<(usize, usize, f64)> = Vec::new();
         for &(si, ci) in faulted {
@@ -444,6 +445,7 @@ impl ExactAcceleratorPlatform {
                     // digitally right here.
                     ec.dead = true;
                     self.retries_exhausted += 1;
+                    memsci_telemetry::trace::instant("exact/degrade");
                     memsci_telemetry::incr(memsci_telemetry::Counter::RetriesExhausted, 1);
                     memsci_telemetry::warn(
                         "fault",
@@ -469,6 +471,7 @@ impl ExactAcceleratorPlatform {
                 ec.retries_left -= 1;
                 ec.writes += 1;
                 self.cluster_reprograms += 1;
+                memsci_telemetry::trace::instant("exact/reprogram");
                 memsci_telemetry::incr(memsci_telemetry::Counter::ClusterReprograms, 1);
                 if ec.writes > self.wear_max {
                     memsci_telemetry::incr(
@@ -624,6 +627,11 @@ impl Platform for ExactAcceleratorPlatform {
             tasks,
             |threads| {
                 memsci_exec::parallel_map_mut(threads, banks, |_, shard| {
+                    // Worker threads start with an empty span path, so
+                    // this records (and traces) as a root span per bank
+                    // — the fan-out is visible as one row per lane in
+                    // the timeline.
+                    let _span = memsci_telemetry::span("exact/bank_shard");
                     let ExactBank {
                         bank,
                         clusters,
@@ -823,6 +831,7 @@ impl Platform for ExactAcceleratorPlatform {
             k,
             |threads| {
                 memsci_exec::parallel_map_mut(threads, banks, |_, shard| {
+                    let _span = memsci_telemetry::span("exact/bank_shard");
                     let ExactBank {
                         bank,
                         clusters,

@@ -1,0 +1,127 @@
+//! Tracing-identity gates (PR 8).
+//!
+//! Timeline tracing is observability, not physics: turning the trace
+//! ring on must not perturb a single output bit of any engine's solve
+//! — outputs, modelled time, and modelled energy all stay bitwise
+//! identical to an untraced run, with read noise (RTN) enabled on the
+//! exact engine. A second gate pins the overlap story the trace
+//! exists to show: with the residual lane overlapped, the
+//! `cluster_mvm` and `residual_csr` stage spans land on distinct
+//! thread ids.
+
+use memsci_core::{
+    AcceleratorConfig, AcceleratorPlatform, ExactAcceleratorPlatform, ExactOptions,
+    MultiAcceleratorPlatform,
+};
+use memsci_solvers::platform::Platform;
+use memsci_solvers::{cg::cg, SolveOptions};
+use memsci_sparse::generate::poisson2d;
+use memsci_sparse::{BlockedMatrix, BlockingConfig, Csr};
+use memsci_telemetry::{self as telemetry, trace};
+
+fn matrix() -> Csr {
+    poisson2d(14, 14)
+}
+
+fn config() -> AcceleratorConfig {
+    let mut config = AcceleratorConfig::with_banks(4);
+    config.threads = Some(2);
+    config.overlap = Some(true);
+    config
+}
+
+/// One CG solve plus one solo SpMV; returns every bit the run
+/// produced: solution, SpMV output, iterations, modelled time and
+/// energy (as bits, for exact comparison).
+fn solve_fingerprint<P: Platform>(p: &mut P) -> (Vec<u64>, Vec<u64>, usize, u64, u64) {
+    let n = p.n();
+    let b = vec![1.0; n];
+    let mut x = vec![0.0; n];
+    let report = cg(p, &b, &mut x, &SolveOptions::with_tol(1e-8).max_iters(50));
+    let wide: Vec<f64> = (0..n).map(|i| (i as f64 * 0.31).sin() + 1.2).collect();
+    let mut y = vec![0.0; n];
+    p.spmv(&wide, &mut y);
+    (
+        x.iter().map(|v| v.to_bits()).collect(),
+        y.iter().map(|v| v.to_bits()).collect(),
+        report.iterations,
+        p.elapsed_seconds().to_bits(),
+        p.energy_joules().to_bits(),
+    )
+}
+
+/// Runs `build` twice — traced and untraced — and asserts the
+/// fingerprints are identical.
+fn assert_trace_invisible<P: Platform>(mut build: impl FnMut() -> P, label: &str) {
+    trace::shutdown();
+    let untraced = solve_fingerprint(&mut build());
+    trace::enable();
+    trace::clear();
+    let traced = solve_fingerprint(&mut build());
+    trace::shutdown();
+    assert_eq!(untraced, traced, "{label}: tracing perturbed the solve");
+}
+
+#[test]
+fn tracing_does_not_perturb_any_engine() {
+    let _guard = telemetry::exclusive_for_tests();
+    let a = matrix();
+    let blocked = BlockedMatrix::block(&a, &BlockingConfig::default());
+    assert_trace_invisible(|| AcceleratorPlatform::new(&blocked, config()), "fast");
+    assert_trace_invisible(
+        || {
+            ExactAcceleratorPlatform::new(
+                &blocked,
+                config(),
+                ExactOptions {
+                    seed: 11,
+                    rtn_probability: 0.02,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        },
+        "exact",
+    );
+    assert_trace_invisible(
+        || MultiAcceleratorPlatform::new(&a, 3, config(), 2e-6),
+        "multi",
+    );
+}
+
+#[test]
+fn overlapped_stage_lanes_trace_on_distinct_tids() {
+    let _guard = telemetry::exclusive_for_tests();
+    trace::shutdown();
+    trace::enable();
+    trace::clear();
+    {
+        // Overlap is forced on in `config()`, so every kernel's
+        // residual lane runs on a fresh scoped thread.
+        let blocked = BlockedMatrix::block(&matrix(), &BlockingConfig::default());
+        let mut fast = AcceleratorPlatform::new(&blocked, config());
+        let n = fast.n();
+        let x = vec![1.0; n];
+        let mut y = vec![0.0; n];
+        for _ in 0..3 {
+            fast.spmv(&x, &mut y);
+        }
+    }
+    trace::disable();
+    let doc = trace::export_chrome();
+    trace::shutdown();
+    let summary = telemetry::validate_trace(&doc.to_string_pretty()).expect("trace validates");
+    let cluster = summary
+        .tids_by_name
+        .get(memsci_core::pipeline::STAGE_CLUSTER)
+        .expect("cluster lane traced");
+    let residual = summary
+        .tids_by_name
+        .get(memsci_core::pipeline::STAGE_RESIDUAL)
+        .expect("residual lane traced");
+    assert!(
+        cluster.is_disjoint(residual),
+        "overlapped lanes should trace on distinct tids: cluster {cluster:?}, residual {residual:?}"
+    );
+    assert!(summary.tids.len() >= 2, "expected thread fan-out");
+}

@@ -2,29 +2,40 @@
 //!
 //! ```text
 //! telemetry-verify <manifest.json> [--require-nonzero c1,c2,...]
-//!                  [--invariants] [--diff-solves other.json] [--quiet]
+//!                  [--invariants] [--diff-solves other.json]
+//!                  [--spans] [--quiet]
 //! telemetry-verify --stream <stream.jsonl> [--quiet]
+//! telemetry-verify --trace <trace.json> [--require-event e1,e2,...]
+//!                  [--min-tids N] [--quiet]
 //! ```
 //!
-//! Exits 0 when the manifest parses, matches schema version 1, every
-//! `--require-nonzero` counter is strictly positive, the cross-counter
-//! physical invariants hold (`--invariants`), and the solve outcomes
-//! are bitwise identical to the comparison manifest (`--diff-solves`);
-//! exits 1 with a diagnostic otherwise. With `--stream` it instead
-//! validates an incremental JSONL sweep stream (header, per-batch
-//! records, summary). Used by `scripts/check.sh` to gate the smoke
-//! repro run and the overlap/threads determinism matrix.
+//! Exits 0 when the manifest parses, matches a supported schema
+//! version, every `--require-nonzero` counter is strictly positive,
+//! the cross-counter physical invariants hold (`--invariants`), and
+//! the solve outcomes are bitwise identical to the comparison manifest
+//! (`--diff-solves`); exits 1 with a diagnostic otherwise. `--spans`
+//! pretty-prints the per-path latency table (calls, total, min, p50,
+//! p95, p99, max). With `--stream` it instead validates an incremental
+//! JSONL sweep stream (header, per-batch records, summary); with
+//! `--trace` it structurally validates Chrome `trace_event` JSON
+//! (phases, monotone timestamps, per-thread begin/end balance) and can
+//! require specific event names (`--require-event`) and a minimum
+//! thread fan-out (`--min-tids`, e.g. 2 under `MEMSCI_OVERLAP=1`).
+//! Used by `scripts/check.sh` to gate the smoke repro run, the
+//! overlap/threads determinism matrix, and the trace smoke run.
 
 use memsci_telemetry::json::Json;
 use memsci_telemetry::{
-    check_invariants, diff_solves, validate_manifest, validate_stream, Counter,
+    check_invariants, diff_solves, validate_manifest, validate_stream, validate_trace, Counter,
 };
 
 fn usage() -> ! {
     eprintln!(
         "usage: telemetry-verify <manifest.json> [--require-nonzero c1,c2,...] \
-         [--invariants] [--diff-solves other.json] [--quiet]\n\
-         \x20      telemetry-verify --stream <stream.jsonl> [--quiet]"
+         [--invariants] [--diff-solves other.json] [--spans] [--quiet]\n\
+         \x20      telemetry-verify --stream <stream.jsonl> [--quiet]\n\
+         \x20      telemetry-verify --trace <trace.json> [--require-event e1,e2,...] \
+         [--min-tids N] [--quiet]"
     );
     std::process::exit(2);
 }
@@ -35,6 +46,10 @@ fn main() {
     let mut invariants = false;
     let mut diff_path: Option<String> = None;
     let mut stream_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut required_events: Vec<String> = Vec::new();
+    let mut min_tids: usize = 0;
+    let mut print_spans = false;
     let mut quiet = false;
 
     let mut args = std::env::args().skip(1);
@@ -52,11 +67,76 @@ fn main() {
             "--invariants" => invariants = true,
             "--diff-solves" => diff_path = Some(args.next().unwrap_or_else(|| usage())),
             "--stream" => stream_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--trace" => trace_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--require-event" => {
+                let list = args.next().unwrap_or_else(|| usage());
+                required_events.extend(
+                    list.split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(String::from),
+                );
+            }
+            "--min-tids" => {
+                min_tids = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--spans" => print_spans = true,
             "--quiet" => quiet = true,
             "--help" | "-h" => usage(),
             _ if path.is_none() => path = Some(arg),
             _ => usage(),
         }
+    }
+
+    if let Some(trace_path) = trace_path {
+        if path.is_some() || invariants || diff_path.is_some() || stream_path.is_some() {
+            usage();
+        }
+        let text = match std::fs::read_to_string(&trace_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("telemetry-verify: cannot read {trace_path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let summary = match validate_trace(&text) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("telemetry-verify: {trace_path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let mut failed = false;
+        for name in &required_events {
+            if !summary.names.contains(name) {
+                eprintln!("telemetry-verify: {trace_path}: missing required event `{name}`");
+                failed = true;
+            }
+        }
+        if summary.tids.len() < min_tids {
+            eprintln!(
+                "telemetry-verify: {trace_path}: {} distinct tids, need at least {min_tids}",
+                summary.tids.len()
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        if !quiet {
+            println!(
+                "telemetry-verify: {trace_path}: ok (trace, {} events, {} names, {} tids, depth {}, {} dropped)",
+                summary.events,
+                summary.names.len(),
+                summary.tids.len(),
+                summary.max_depth,
+                summary.dropped
+            );
+        }
+        return;
     }
 
     if let Some(stream_path) = stream_path {
@@ -153,6 +233,34 @@ fn main() {
         if let Err(e) = diff_solves(&doc, &other) {
             eprintln!("telemetry-verify: {path} vs {other_path}: {e}");
             std::process::exit(1);
+        }
+    }
+
+    if print_spans {
+        let spans = doc.get("spans").and_then(Json::as_arr).unwrap_or(&[]);
+        let field = |s: &Json, key: &str| s.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+        let width = spans
+            .iter()
+            .filter_map(|s| s.get("name").and_then(Json::as_str).map(str::len))
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        println!(
+            "{:width$}  {:>8}  {:>11}  {:>11}  {:>11}  {:>11}  {:>11}  {:>11}",
+            "path", "calls", "total_s", "min_s", "p50_s", "p95_s", "p99_s", "max_s"
+        );
+        for s in spans {
+            println!(
+                "{:width$}  {:>8}  {:>11.4e}  {:>11.4e}  {:>11.4e}  {:>11.4e}  {:>11.4e}  {:>11.4e}",
+                s.get("name").and_then(Json::as_str).unwrap_or("?"),
+                s.get("calls").and_then(Json::as_u64).unwrap_or(0),
+                field(s, "seconds"),
+                field(s, "min_seconds"),
+                field(s, "p50_seconds"),
+                field(s, "p95_seconds"),
+                field(s, "p99_seconds"),
+                field(s, "max_seconds"),
+            );
         }
     }
 

@@ -24,14 +24,16 @@ pub mod json;
 pub mod manifest;
 mod span;
 pub mod stream;
+pub mod trace;
 
 pub use counters::{incr, Counter, HwCounters, COUNTER_COUNT};
 pub use manifest::{
     build_manifest, check_invariants, diff_solves, validate_manifest, write_manifest,
-    ManifestError, SCHEMA_NAME, SCHEMA_VERSION,
+    ManifestError, SCHEMA_MIN_VERSION, SCHEMA_NAME, SCHEMA_VERSION,
 };
-pub use span::{span, Span, SpanStat};
+pub use span::{span, LatencyHistogram, Span, SpanStat, HISTOGRAM_BUCKETS};
 pub use stream::{validate_stream, ManifestStream, STREAM_SCHEMA_NAME, STREAM_SCHEMA_VERSION};
+pub use trace::{validate_trace, TraceError, TraceEvent, TracePhase, TraceSummary};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
@@ -217,13 +219,15 @@ pub fn snapshot() -> TelemetrySnapshot {
 }
 
 /// Clears all recorded data (counters, spans, sections, warnings,
-/// outcomes). The enabled flag is left untouched.
+/// outcomes, trace events). The enabled flags — sink and trace — are
+/// left untouched, as is the trace ring allocation.
 pub fn reset() {
     counters::reset_counters();
     span::reset_spans();
     lock(&EXEC_SECTIONS).clear();
     lock(&WARNINGS).clear();
     lock(&OUTCOMES).clear();
+    trace::clear();
 }
 
 /// Telemetry accumulated by one solve: counter deltas, span deltas, and

@@ -12,8 +12,12 @@ use crate::{Counter, TelemetrySnapshot};
 
 /// Manifest schema identifier.
 pub const SCHEMA_NAME: &str = "memsci-telemetry-manifest";
-/// Current manifest schema version.
-pub const SCHEMA_VERSION: u64 = 1;
+/// Current manifest schema version. Version 2 added span latency
+/// distributions (`min_seconds`/`max_seconds`/`p50`/`p95`/`p99` and
+/// the log-bucketed histogram) to each `spans[]` entry.
+pub const SCHEMA_VERSION: u64 = 2;
+/// Oldest schema version [`validate_manifest`] still accepts.
+pub const SCHEMA_MIN_VERSION: u64 = 1;
 
 /// Builds a manifest document from a telemetry snapshot plus run
 /// configuration pairs supplied by the caller (binary name, matrix,
@@ -52,10 +56,24 @@ pub fn build_manifest(snapshot: &TelemetrySnapshot, config: &[(&str, Json)]) -> 
                 .spans
                 .iter()
                 .map(|s| {
+                    let histogram = s
+                        .histogram
+                        .buckets()
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &c)| c > 0)
+                        .map(|(i, &c)| Json::Arr(vec![Json::UInt(i as u64), Json::UInt(c)]))
+                        .collect();
                     Json::Obj(vec![
                         ("name".to_string(), Json::Str(s.name.clone())),
                         ("calls".to_string(), Json::UInt(s.calls)),
                         ("seconds".to_string(), Json::Num(s.seconds)),
+                        ("min_seconds".to_string(), Json::Num(s.min_seconds)),
+                        ("max_seconds".to_string(), Json::Num(s.max_seconds)),
+                        ("p50_seconds".to_string(), Json::Num(s.p50_seconds)),
+                        ("p95_seconds".to_string(), Json::Num(s.p95_seconds)),
+                        ("p99_seconds".to_string(), Json::Num(s.p99_seconds)),
+                        ("histogram".to_string(), Json::Arr(histogram)),
                     ])
                 })
                 .collect(),
@@ -146,11 +164,14 @@ fn fail(msg: impl Into<String>) -> ManifestError {
     ManifestError(msg.into())
 }
 
-/// Parses and validates manifest text against schema version 1.
+/// Parses and validates manifest text against the supported schema
+/// range ([`SCHEMA_MIN_VERSION`]`..=`[`SCHEMA_VERSION`]).
 ///
 /// Checks the schema identity, that every cataloged counter is present
 /// as a non-negative integer, and that spans / exec sections / solves
-/// are well-formed. Returns the parsed document for further inspection.
+/// are well-formed. Version-2 documents must additionally carry the
+/// span latency-distribution fields, with the histogram total equal to
+/// the call count. Returns the parsed document for further inspection.
 ///
 /// # Errors
 ///
@@ -160,9 +181,15 @@ pub fn validate_manifest(text: &str) -> Result<Json, ManifestError> {
     if doc.get("schema").and_then(Json::as_str) != Some(SCHEMA_NAME) {
         return Err(fail(format!("`schema` must be \"{SCHEMA_NAME}\"")));
     }
-    if doc.get("schema_version").and_then(Json::as_u64) != Some(SCHEMA_VERSION) {
-        return Err(fail(format!("`schema_version` must be {SCHEMA_VERSION}")));
-    }
+    let version = doc
+        .get("schema_version")
+        .and_then(Json::as_u64)
+        .filter(|v| (SCHEMA_MIN_VERSION..=SCHEMA_VERSION).contains(v))
+        .ok_or_else(|| {
+            fail(format!(
+                "`schema_version` must be in {SCHEMA_MIN_VERSION}..={SCHEMA_VERSION}"
+            ))
+        })?;
     doc.get("config")
         .and_then(Json::as_obj)
         .ok_or_else(|| fail("`config` must be an object"))?;
@@ -201,6 +228,9 @@ pub fn validate_manifest(text: &str) -> Result<Json, ManifestError> {
         if calls == Some(0) {
             return Err(fail(format!("spans[{i}] has zero calls")));
         }
+        if version >= 2 {
+            validate_span_distribution(i, s, calls.unwrap_or(0))?;
+        }
     }
 
     let sections = doc
@@ -237,6 +267,64 @@ pub fn validate_manifest(text: &str) -> Result<Json, ManifestError> {
     }
 
     Ok(doc)
+}
+
+/// Version ≥ 2 span entries carry the latency distribution: ordered
+/// percentiles, min ≤ max, and a sparse `[bucket, count]` histogram
+/// whose total equals the call count.
+fn validate_span_distribution(i: usize, s: &Json, calls: u64) -> Result<(), ManifestError> {
+    let field = |key: &str| -> Result<f64, ManifestError> {
+        s.get(key)
+            .and_then(Json::as_f64)
+            .filter(|v| v.is_finite() && *v >= 0.0)
+            .ok_or_else(|| {
+                fail(format!(
+                    "spans[{i}] needs a finite non-negative number `{key}`"
+                ))
+            })
+    };
+    let min = field("min_seconds")?;
+    let max = field("max_seconds")?;
+    let p50 = field("p50_seconds")?;
+    let p95 = field("p95_seconds")?;
+    let p99 = field("p99_seconds")?;
+    if min > max {
+        return Err(fail(format!(
+            "spans[{i}] has min_seconds ({min}) above max_seconds ({max})"
+        )));
+    }
+    if p50 > p95 || p95 > p99 {
+        return Err(fail(format!(
+            "spans[{i}] percentiles must be ordered: p50 {p50}, p95 {p95}, p99 {p99}"
+        )));
+    }
+    let histogram = s
+        .get("histogram")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| fail(format!("spans[{i}] needs a `histogram` array")))?;
+    let mut total = 0u64;
+    for (j, pair) in histogram.iter().enumerate() {
+        let ok = pair.as_arr().is_some_and(|p| {
+            p.len() == 2
+                && p[0]
+                    .as_u64()
+                    .is_some_and(|b| b < crate::HISTOGRAM_BUCKETS as u64)
+                && p[1].as_u64().is_some()
+        });
+        if !ok {
+            return Err(fail(format!(
+                "spans[{i}].histogram[{j}] must be a [bucket < {}, count] pair",
+                crate::HISTOGRAM_BUCKETS
+            )));
+        }
+        total += pair.as_arr().unwrap()[1].as_u64().unwrap();
+    }
+    if total != calls {
+        return Err(fail(format!(
+            "spans[{i}] histogram total ({total}) disagrees with calls ({calls})"
+        )));
+    }
+    Ok(())
 }
 
 fn counter_value(doc: &Json, name: &str) -> u64 {
@@ -434,11 +522,7 @@ mod tests {
     fn sample_snapshot() -> TelemetrySnapshot {
         TelemetrySnapshot {
             counters: crate::HwCounters::default(),
-            spans: vec![SpanStat {
-                name: "solve/cg".into(),
-                calls: 1,
-                seconds: 0.25,
-            }],
+            spans: vec![SpanStat::from_durations("solve/cg", &[0.25])],
             exec: vec![ExecSection {
                 name: "engine/spmv".into(),
                 calls: 3,
@@ -507,8 +591,46 @@ mod tests {
         assert!(validate_manifest("not json").is_err());
         let snap = sample_snapshot();
         let text = build_manifest(&snap, &[]).to_string_pretty();
-        let broken = text.replace("\"schema_version\": 1", "\"schema_version\": 99");
+        let broken = text.replace("\"schema_version\": 2", "\"schema_version\": 99");
         assert!(validate_manifest(&broken).is_err());
+    }
+
+    #[test]
+    fn version_1_manifests_still_validate() {
+        // A v1 document has no distribution fields on its spans; the
+        // validator must not demand them. (Extra fields are ignored,
+        // so rewriting the version of a v2 doc exercises the same
+        // acceptance path as a genuine v1 file.)
+        let text = build_manifest(&sample_snapshot(), &[]).to_string_pretty();
+        let v1 = text.replace("\"schema_version\": 2", "\"schema_version\": 1");
+        validate_manifest(&v1).unwrap();
+        // Version 0 and missing versions stay rejected.
+        let v0 = text.replace("\"schema_version\": 2", "\"schema_version\": 0");
+        assert!(validate_manifest(&v0).is_err());
+    }
+
+    #[test]
+    fn v2_validation_rejects_broken_distributions() {
+        let text = build_manifest(&sample_snapshot(), &[]).to_string_pretty();
+        // Remove the histogram from the only span.
+        let no_hist = text.replace("\"histogram\"", "\"histogram_gone\"");
+        assert!(validate_manifest(&no_hist)
+            .unwrap_err()
+            .0
+            .contains("histogram"));
+        // A histogram that disagrees with the call count.
+        let miscount = text.replace("\"calls\": 1", "\"calls\": 7");
+        assert!(validate_manifest(&miscount)
+            .unwrap_err()
+            .0
+            .contains("disagrees"));
+        // Negative extremum (percentiles are bucket midpoints, so the
+        // exact min is the one field with a predictable rendering).
+        let negative = text.replace("\"min_seconds\": 0.25", "\"min_seconds\": -1");
+        assert!(validate_manifest(&negative)
+            .unwrap_err()
+            .0
+            .contains("min_seconds"));
     }
 
     fn manifest_with_counters(pairs: &[(&str, u64)]) -> Json {

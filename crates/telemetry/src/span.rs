@@ -1,17 +1,26 @@
-//! Hierarchical wall-clock spans.
+//! Hierarchical wall-clock spans with latency distributions.
 //!
 //! A span times one region of code under a slash-separated path. Paths
 //! nest: entering a span pushes its name onto a thread-local stack, so
 //! a `span("engine/spmv")` opened while `span("solve/cg")` is active
-//! records under `solve/cg/engine/spmv`. Statistics (call count, total
-//! seconds) aggregate per full path in a global registry; while the
-//! sink is disabled, opening a span costs one atomic load and records
-//! nothing.
+//! records under `solve/cg/engine/spmv`. Statistics aggregate per full
+//! path in a global registry — call count, total seconds, min/max, and
+//! a log-bucketed latency histogram from which p50/p95/p99 are derived
+//! — so tail behaviour (a slow first iteration, a repair-lane stall)
+//! is visible, not averaged away. While the sink is disabled, opening
+//! a span costs two relaxed atomic loads and records nothing.
+//!
+//! When timeline tracing ([`crate::trace`]) is enabled, every guard
+//! additionally emits begin/end events into the trace ring buffer,
+//! independent of whether the statistics sink is on.
 //!
 //! Guards are thread-bound: a guard must be dropped on the thread that
 //! created it, and worker threads spawned inside a span start with an
 //! empty path (parallel sections surface through
-//! [`crate::record_exec`] instead).
+//! [`crate::record_exec`] instead). Dropping sibling guards out of
+//! creation order is tolerated — each drop pops the most recent stack
+//! entry, so the recorded paths are best-effort in that (unidiomatic)
+//! case — and never panics.
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -20,7 +29,184 @@ use std::time::Instant;
 
 use crate::lock;
 
-pub(crate) static REGISTRY: Mutex<BTreeMap<String, (u64, f64)>> = Mutex::new(BTreeMap::new());
+/// Number of log2-nanosecond latency buckets. Bucket 0 holds sub-ns
+/// (clock-granularity zero) durations; bucket `i >= 1` holds durations
+/// in `[2^(i-1), 2^i)` ns, so the top bucket covers everything from
+/// ~2^62 ns up — far beyond any real span.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A log-bucketed latency histogram (log2-ns buckets, see
+/// [`HISTOGRAM_BUCKETS`]). Recording is allocation-free; percentiles
+/// are derived by a cumulative walk using each bucket's geometric
+/// midpoint, so they carry bucket-resolution (≤ ~50%) relative error —
+/// plenty for order-of-magnitude tail attribution.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut map = f.debug_map();
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c > 0 {
+                map.entry(&i, &c);
+            }
+        }
+        map.finish()
+    }
+}
+
+fn bucket_index(ns: u64) -> usize {
+    if ns == 0 {
+        0
+    } else {
+        ((64 - ns.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// Representative duration (seconds) for a bucket: its geometric-ish
+/// midpoint, `1.5 * 2^(i-1)` ns (0 for the sub-ns bucket).
+fn bucket_midpoint_seconds(i: usize) -> f64 {
+    if i == 0 {
+        0.0
+    } else {
+        1.5 * f64::powi(2.0, i as i32 - 1) * 1e-9
+    }
+}
+
+/// Lower bound (seconds) of a bucket.
+fn bucket_lower_seconds(i: usize) -> f64 {
+    if i == 0 {
+        0.0
+    } else {
+        f64::powi(2.0, i as i32 - 1) * 1e-9
+    }
+}
+
+/// Upper bound (seconds) of a bucket.
+fn bucket_upper_seconds(i: usize) -> f64 {
+    f64::powi(2.0, i as i32) * 1e-9
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram::default()
+    }
+
+    /// Records one duration.
+    pub fn record_ns(&mut self, ns: u64) {
+        self.buckets[bucket_index(ns)] += 1;
+    }
+
+    /// Total recorded durations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// The raw bucket counts (index = log2-ns bucket).
+    pub fn buckets(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+        &self.buckets
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`) in seconds, using bucket
+    /// midpoints as representatives. Returns 0 for an empty histogram.
+    pub fn quantile_seconds(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cumulative = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= rank {
+                return bucket_midpoint_seconds(i);
+            }
+        }
+        bucket_midpoint_seconds(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Lower bound (seconds) of the smallest non-empty bucket (0 when
+    /// empty).
+    pub fn min_bound_seconds(&self) -> f64 {
+        self.buckets
+            .iter()
+            .position(|&c| c > 0)
+            .map_or(0.0, bucket_lower_seconds)
+    }
+
+    /// Upper bound (seconds) of the largest non-empty bucket (0 when
+    /// empty).
+    pub fn max_bound_seconds(&self) -> f64 {
+        self.buckets
+            .iter()
+            .rposition(|&c| c > 0)
+            .map_or(0.0, bucket_upper_seconds)
+    }
+
+    /// Per-bucket saturating subtraction (for snapshot deltas).
+    pub fn saturating_sub(&self, other: &LatencyHistogram) -> LatencyHistogram {
+        let mut out = LatencyHistogram::new();
+        for i in 0..HISTOGRAM_BUCKETS {
+            out.buckets[i] = self.buckets[i].saturating_sub(other.buckets[i]);
+        }
+        out
+    }
+
+    /// Rebuilds a histogram from `[bucket_index, count]` pairs; entries
+    /// out of range are ignored.
+    pub fn from_sparse(pairs: &[(usize, u64)]) -> LatencyHistogram {
+        let mut out = LatencyHistogram::new();
+        for &(i, c) in pairs {
+            if i < HISTOGRAM_BUCKETS {
+                out.buckets[i] += c;
+            }
+        }
+        out
+    }
+}
+
+/// Per-path aggregate held in the global registry.
+#[derive(Clone)]
+pub(crate) struct PathStats {
+    calls: u64,
+    seconds: f64,
+    min_seconds: f64,
+    max_seconds: f64,
+    histogram: LatencyHistogram,
+}
+
+impl PathStats {
+    fn new() -> PathStats {
+        PathStats {
+            calls: 0,
+            seconds: 0.0,
+            min_seconds: f64::INFINITY,
+            max_seconds: 0.0,
+            histogram: LatencyHistogram::new(),
+        }
+    }
+
+    fn record(&mut self, seconds: f64, ns: u64) {
+        self.calls += 1;
+        self.seconds += seconds;
+        self.min_seconds = self.min_seconds.min(seconds);
+        self.max_seconds = self.max_seconds.max(seconds);
+        self.histogram.record_ns(ns);
+    }
+}
+
+pub(crate) static REGISTRY: Mutex<BTreeMap<String, PathStats>> = Mutex::new(BTreeMap::new());
 
 thread_local! {
     static PATH: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
@@ -35,6 +221,44 @@ pub struct SpanStat {
     pub calls: u64,
     /// Total wall-clock seconds across all calls.
     pub seconds: f64,
+    /// Shortest single call, seconds.
+    pub min_seconds: f64,
+    /// Longest single call, seconds.
+    pub max_seconds: f64,
+    /// Median call duration, seconds (bucket-midpoint resolution).
+    pub p50_seconds: f64,
+    /// 95th-percentile call duration, seconds.
+    pub p95_seconds: f64,
+    /// 99th-percentile call duration, seconds.
+    pub p99_seconds: f64,
+    /// Full latency distribution the percentiles derive from.
+    pub histogram: LatencyHistogram,
+}
+
+impl SpanStat {
+    /// Builds a stat from explicit per-call durations (exact min/max,
+    /// histogram-derived percentiles) — for tests and synthetic docs.
+    pub fn from_durations(name: &str, durations_seconds: &[f64]) -> SpanStat {
+        let mut stats = PathStats::new();
+        for &s in durations_seconds {
+            stats.record(s, (s * 1e9).round().max(0.0) as u64);
+        }
+        stat_from_path(name.to_string(), &stats)
+    }
+}
+
+fn stat_from_path(name: String, s: &PathStats) -> SpanStat {
+    SpanStat {
+        name,
+        calls: s.calls,
+        seconds: s.seconds,
+        min_seconds: if s.calls == 0 { 0.0 } else { s.min_seconds },
+        max_seconds: s.max_seconds,
+        p50_seconds: s.histogram.quantile_seconds(0.50),
+        p95_seconds: s.histogram.quantile_seconds(0.95),
+        p99_seconds: s.histogram.quantile_seconds(0.99),
+        histogram: s.histogram,
+    }
 }
 
 /// An active span; records its statistics on drop.
@@ -42,26 +266,49 @@ pub struct SpanStat {
 #[must_use = "a span records on drop; binding it to `_` drops it immediately"]
 pub struct Span {
     start: Option<Instant>,
+    name: &'static str,
+    traced: bool,
 }
 
 /// Opens a span named `name` (static so the disabled path allocates
-/// nothing). Returns a guard that records elapsed time when dropped.
+/// nothing). Returns a guard that records elapsed time when dropped
+/// and, when timeline tracing is on, brackets the region with trace
+/// begin/end events.
 pub fn span(name: &'static str) -> Span {
-    if !crate::enabled() {
-        return Span { start: None };
+    let stats = crate::enabled();
+    let traced = crate::trace::enabled();
+    if !stats && !traced {
+        return Span {
+            start: None,
+            name,
+            traced: false,
+        };
     }
-    PATH.with(|p| p.borrow_mut().push(name));
+    if traced {
+        crate::trace::begin(name);
+    }
+    if stats {
+        PATH.with(|p| p.borrow_mut().push(name));
+    }
     Span {
-        start: Some(Instant::now()),
+        start: stats.then(Instant::now),
+        name,
+        traced,
     }
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
-        let Some(start) = self.start else {
+        let elapsed = self.start.map(|s| s.elapsed());
+        if self.traced {
+            // The begin was traced, so the end always lands (even
+            // across a mid-span trace disable) to keep exports
+            // balanced.
+            crate::trace::end(self.name);
+        }
+        let Some(elapsed) = elapsed else {
             return;
         };
-        let elapsed = start.elapsed().as_secs_f64();
         let path = PATH.with(|p| {
             let mut p = p.borrow_mut();
             let joined = p.join("/");
@@ -69,9 +316,9 @@ impl Drop for Span {
             joined
         });
         let mut reg = lock(&REGISTRY);
-        let entry = reg.entry(path).or_insert((0, 0.0));
-        entry.0 += 1;
-        entry.1 += elapsed;
+        reg.entry(path)
+            .or_insert_with(PathStats::new)
+            .record(elapsed.as_secs_f64(), elapsed.as_nanos() as u64);
     }
 }
 
@@ -98,11 +345,7 @@ macro_rules! span {
 pub(crate) fn snapshot_spans() -> Vec<SpanStat> {
     lock(&REGISTRY)
         .iter()
-        .map(|(name, &(calls, seconds))| SpanStat {
-            name: name.clone(),
-            calls,
-            seconds,
-        })
+        .map(|(name, s)| stat_from_path(name.clone(), s))
         .collect()
 }
 
@@ -111,23 +354,34 @@ pub(crate) fn reset_spans() {
 }
 
 /// Per-path delta between two span snapshots (both sorted by name).
+/// Calls, total seconds, and histograms subtract exactly; min/max and
+/// percentiles are recomputed from the *delta histogram*, so they
+/// carry bucket-resolution accuracy (the registry does not keep
+/// per-interval exact extrema).
 pub(crate) fn delta_spans(after: &[SpanStat], before: &[SpanStat]) -> Vec<SpanStat> {
-    let baseline: BTreeMap<&str, (u64, f64)> = before
-        .iter()
-        .map(|s| (s.name.as_str(), (s.calls, s.seconds)))
-        .collect();
+    let baseline: BTreeMap<&str, &SpanStat> = before.iter().map(|s| (s.name.as_str(), s)).collect();
     after
         .iter()
         .filter_map(|s| {
-            let (calls0, secs0) = baseline.get(s.name.as_str()).copied().unwrap_or((0, 0.0));
+            let empty = LatencyHistogram::new();
+            let (calls0, secs0, hist0) = baseline
+                .get(s.name.as_str())
+                .map_or((0, 0.0, &empty), |b| (b.calls, b.seconds, &b.histogram));
             let calls = s.calls.saturating_sub(calls0);
             if calls == 0 {
                 return None;
             }
+            let histogram = s.histogram.saturating_sub(hist0);
             Some(SpanStat {
                 name: s.name.clone(),
                 calls,
                 seconds: (s.seconds - secs0).max(0.0),
+                min_seconds: histogram.min_bound_seconds(),
+                max_seconds: histogram.max_bound_seconds(),
+                p50_seconds: histogram.quantile_seconds(0.50),
+                p95_seconds: histogram.quantile_seconds(0.95),
+                p99_seconds: histogram.quantile_seconds(0.99),
+                histogram,
             })
         })
         .collect()
@@ -173,28 +427,135 @@ mod tests {
     }
 
     #[test]
+    fn span_stats_carry_distribution_fields() {
+        let _x = crate::exclusive_for_tests();
+        crate::reset();
+        crate::enable();
+        for busy in [0u64, 200, 200, 200] {
+            let _g = span("work");
+            // Spin long enough to land in a deterministic-ish bucket
+            // spread: one near-zero call and three slower ones.
+            let t0 = Instant::now();
+            while t0.elapsed().as_micros() < u128::from(busy) {
+                std::hint::spin_loop();
+            }
+        }
+        crate::disable();
+        let spans = snapshot_spans();
+        crate::reset();
+        let s = &spans[0];
+        assert_eq!(s.calls, 4);
+        assert_eq!(s.histogram.count(), 4);
+        assert!(s.min_seconds <= s.max_seconds);
+        assert!(s.max_seconds >= 200e-6, "max {}", s.max_seconds);
+        assert!(s.seconds >= s.max_seconds);
+        assert!(s.p50_seconds <= s.p95_seconds);
+        assert!(s.p95_seconds <= s.p99_seconds);
+        // The p99 representative can only exceed the true max by its
+        // bucket width (midpoint vs observed value).
+        assert!(s.p99_seconds <= s.max_seconds * 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn out_of_order_sibling_drops_are_tolerated() {
+        let _x = crate::exclusive_for_tests();
+        crate::reset();
+        crate::enable();
+        let a = span("a");
+        let b = span("b");
+        // Dropping `a` before `b` pops the most recent entry ("b"), so
+        // the recorded paths are best-effort — but nothing panics and
+        // both calls are counted.
+        drop(a);
+        drop(b);
+        crate::disable();
+        let spans = snapshot_spans();
+        crate::reset();
+        let total_calls: u64 = spans.iter().map(|s| s.calls).sum();
+        assert_eq!(total_calls, 2);
+    }
+
+    #[test]
+    fn reset_while_active_does_not_panic() {
+        let _x = crate::exclusive_for_tests();
+        crate::reset();
+        crate::enable();
+        let g = span("long_lived");
+        crate::reset(); // clears the registry under the open span
+        drop(g); // records into the fresh registry
+        crate::disable();
+        let spans = snapshot_spans();
+        crate::reset();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "long_lived");
+        assert_eq!(spans[0].calls, 1);
+    }
+
+    #[test]
+    fn worker_thread_spans_record_independent_paths() {
+        let _x = crate::exclusive_for_tests();
+        crate::reset();
+        crate::enable();
+        {
+            let _outer = span("solve");
+            std::thread::scope(|scope| {
+                scope.spawn(|| {
+                    // Worker threads start with an empty path: this
+                    // records as a root span, not under `solve`.
+                    let _g = span("shard");
+                });
+            });
+        }
+        crate::disable();
+        let spans = snapshot_spans();
+        crate::reset();
+        let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["shard", "solve"]);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = LatencyHistogram::new();
+        assert_eq!(h.quantile_seconds(0.5), 0.0);
+        h.record_ns(0); // bucket 0
+        h.record_ns(1); // bucket 1: [1, 2)
+        h.record_ns(1024); // bucket 11: [1024, 2048)
+        h.record_ns(1500); // bucket 11
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.buckets()[1], 1);
+        assert_eq!(h.buckets()[11], 2);
+        // Median rank 2 lands in bucket 1 (midpoint 1.5 ns).
+        assert!((h.quantile_seconds(0.5) - 1.5e-9).abs() < 1e-15);
+        // p99 rank 4 lands in bucket 11 (midpoint 1536 ns).
+        assert!((h.quantile_seconds(0.99) - 1536e-9).abs() < 1e-12);
+        assert_eq!(h.min_bound_seconds(), 0.0);
+        assert!((h.max_bound_seconds() - 2048e-9).abs() < 1e-15);
+        // Sparse round-trip.
+        assert_eq!(LatencyHistogram::from_sparse(&[(0, 1), (1, 1), (11, 2)]), h);
+        // Saturating delta drops the shared prefix.
+        let d = h.saturating_sub(&LatencyHistogram::from_sparse(&[(11, 1)]));
+        assert_eq!(d.count(), 3);
+        assert_eq!(d.buckets()[11], 1);
+    }
+
+    #[test]
     fn delta_subtracts_baseline() {
-        let before = vec![SpanStat {
-            name: "a".into(),
-            calls: 2,
-            seconds: 1.0,
-        }];
+        let before = vec![SpanStat::from_durations("a", &[0.5, 0.5])];
         let after = vec![
-            SpanStat {
-                name: "a".into(),
-                calls: 5,
-                seconds: 2.5,
-            },
-            SpanStat {
-                name: "b".into(),
-                calls: 1,
-                seconds: 0.25,
-            },
+            SpanStat::from_durations("a", &[0.5, 0.5, 0.1, 0.1, 2.0]),
+            SpanStat::from_durations("b", &[0.25]),
         ];
         let d = delta_spans(&after, &before);
         assert_eq!(d.len(), 2);
         assert_eq!((d[0].name.as_str(), d[0].calls), ("a", 3));
-        assert!((d[0].seconds - 1.5).abs() < 1e-12);
+        assert!((d[0].seconds - 2.2).abs() < 1e-12);
+        // The delta histogram holds exactly the three new calls.
+        assert_eq!(d[0].histogram.count(), 3);
+        // Bucket-bound extrema: 0.1 s lands in [2^26, 2^27) ns, 2.0 s
+        // in [2^30, 2^31) ns.
+        assert!(d[0].min_seconds <= 0.1 && 0.1 <= d[0].min_seconds * 2.0 + 1e-12);
+        assert!(d[0].max_seconds >= 2.0 && d[0].max_seconds <= 4.0);
         assert_eq!((d[1].name.as_str(), d[1].calls), ("b", 1));
         // Unchanged paths disappear from the delta.
         assert!(delta_spans(&before, &before).is_empty());

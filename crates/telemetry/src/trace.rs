@@ -1,0 +1,622 @@
+//! Timeline tracing: a thread-aware ring buffer of timestamped events.
+//!
+//! Tracing answers the question the aggregated span registry cannot:
+//! *what ran when, on which thread*. While enabled, every [`crate::span`]
+//! guard emits a begin event on open and an end event on drop, and
+//! instrumentation points can drop instant marks (e.g. a repair-lane
+//! reprogram) with [`instant`]. Events carry the raw `&'static str`
+//! span name, a nanosecond timestamp relative to a process-wide epoch,
+//! and a small dense trace id for the recording thread — so overlapped
+//! pipeline lanes (`MEMSCI_OVERLAP`) and `memsci-exec` worker fan-out
+//! land on distinct rows when visualised.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Zero cost while disabled.** The hot path pays one relaxed
+//!    atomic load (inside [`crate::span`]) and allocates nothing, so
+//!    the warm-SpMV allocation gate holds with tracing off.
+//! 2. **No allocation while recording.** The ring is preallocated at
+//!    [`enable`] time; once full it overwrites the oldest events and
+//!    counts them in `dropped` rather than growing.
+//! 3. **Determinism carve-out.** Trace events are wall-clock and are
+//!    *never* folded into run manifests, telemetry streams, or solve
+//!    outcomes; byte-reproducibility gates ignore the trace file.
+//!
+//! Export is Chrome `trace_event` JSON ([`export_chrome`] /
+//! [`write_chrome`]): a `traceEvents` array of `B`/`E`/`i` phases that
+//! Perfetto and `chrome://tracing` load directly. [`validate_trace`]
+//! is the structural contract used by `telemetry-verify --trace`:
+//! monotone timestamps, well-formed phases, and per-thread begin/end
+//! stack discipline (lenient about orphan ends only when the ring
+//! reports dropped events, which truncate whole prefixes).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::json::{parse, Json, JsonError};
+use crate::lock;
+
+/// Default ring capacity in events (~64k events ≈ 2 MiB).
+pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
+
+static TRACE_ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+thread_local! {
+    /// Dense per-thread trace id, assigned on first traced event. OS
+    /// thread ids are neither small nor stable across platforms;
+    /// trace ids start at 1 (the process main thread in practice) and
+    /// give scoped worker threads fresh rows in the viewer.
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Phase of a trace event, mirroring Chrome `trace_event` phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TracePhase {
+    /// Span opened (`ph: "B"`).
+    Begin,
+    /// Span closed (`ph: "E"`).
+    End,
+    /// Instantaneous mark (`ph: "i"`).
+    Instant,
+}
+
+impl TracePhase {
+    /// The Chrome `trace_event` phase letter.
+    pub fn ph(self) -> &'static str {
+        match self {
+            TracePhase::Begin => "B",
+            TracePhase::End => "E",
+            TracePhase::Instant => "i",
+        }
+    }
+}
+
+/// One recorded timeline event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Span or mark name (static: recording never allocates).
+    pub name: &'static str,
+    /// Begin / end / instant.
+    pub phase: TracePhase,
+    /// Nanoseconds since the process trace epoch.
+    pub ts_ns: u64,
+    /// Dense trace id of the recording thread.
+    pub tid: u64,
+}
+
+struct Ring {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    /// Overwrite cursor once `events` reaches capacity.
+    next: usize,
+    /// Events overwritten by newer ones.
+    dropped: u64,
+}
+
+static RING: Mutex<Option<Ring>> = Mutex::new(None);
+
+/// True while trace recording is on.
+#[inline]
+pub fn enabled() -> bool {
+    TRACE_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns tracing on with [`DEFAULT_TRACE_CAPACITY`].
+pub fn enable() {
+    enable_with_capacity(DEFAULT_TRACE_CAPACITY);
+}
+
+/// Turns tracing on with an explicit ring capacity (events). The ring
+/// is preallocated here so recording never allocates. Re-enabling with
+/// a different capacity replaces the ring (recorded events are lost);
+/// re-enabling with the same capacity keeps them.
+pub fn enable_with_capacity(capacity: usize) {
+    let capacity = capacity.max(1);
+    let mut guard = lock(&RING);
+    let rebuild = match guard.as_ref() {
+        Some(ring) => ring.capacity != capacity,
+        None => true,
+    };
+    if rebuild {
+        *guard = Some(Ring {
+            events: Vec::with_capacity(capacity),
+            capacity,
+            next: 0,
+            dropped: 0,
+        });
+    }
+    drop(guard);
+    TRACE_ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Stops recording new spans. Spans already open keep their end events
+/// (the guard remembers it was traced), so exported traces stay
+/// balanced.
+pub fn disable() {
+    TRACE_ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Clears recorded events (ring allocation and enabled state are kept).
+/// Called from [`crate::reset`]. Clearing while spans are active leaves
+/// their end events orphaned in the next export; that trace is still
+/// structurally loadable, just incomplete.
+pub fn clear() {
+    let mut guard = lock(&RING);
+    if let Some(ring) = guard.as_mut() {
+        ring.events.clear();
+        ring.next = 0;
+        ring.dropped = 0;
+    }
+}
+
+/// Disables tracing and frees the ring.
+pub fn shutdown() {
+    TRACE_ENABLED.store(false, Ordering::Relaxed);
+    *lock(&RING) = None;
+}
+
+fn push(name: &'static str, phase: TracePhase) {
+    let tid = TID.with(|t| *t);
+    let mut guard = lock(&RING);
+    let Some(ring) = guard.as_mut() else {
+        return;
+    };
+    // Timestamp under the lock: the buffer order is the timestamp
+    // order, which keeps exported traces globally monotone.
+    let ts_ns = EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64;
+    let event = TraceEvent {
+        name,
+        phase,
+        ts_ns,
+        tid,
+    };
+    if ring.events.len() < ring.capacity {
+        ring.events.push(event);
+    } else {
+        ring.events[ring.next] = event;
+        ring.next = (ring.next + 1) % ring.capacity;
+        ring.dropped += 1;
+    }
+}
+
+/// Records a span-begin event. Only called from [`crate::span`], which
+/// gates on [`enabled`].
+pub(crate) fn begin(name: &'static str) {
+    push(name, TracePhase::Begin);
+}
+
+/// Records a span-end event. Called from the guard's drop whenever the
+/// *begin* was traced, regardless of the current flag, so traces stay
+/// balanced across a mid-span [`disable`].
+pub(crate) fn end(name: &'static str) {
+    push(name, TracePhase::End);
+}
+
+/// Drops an instantaneous mark (e.g. `exact/reprogram`) on the current
+/// thread's timeline. No-op while tracing is disabled.
+pub fn instant(name: &'static str) {
+    if !enabled() {
+        return;
+    }
+    push(name, TracePhase::Instant);
+}
+
+/// Copies out the recorded events, oldest first, plus the count of
+/// events the ring overwrote.
+pub fn snapshot() -> (Vec<TraceEvent>, u64) {
+    let guard = lock(&RING);
+    let Some(ring) = guard.as_ref() else {
+        return (Vec::new(), 0);
+    };
+    let mut out = Vec::with_capacity(ring.events.len());
+    if ring.events.len() == ring.capacity && ring.next > 0 {
+        out.extend_from_slice(&ring.events[ring.next..]);
+        out.extend_from_slice(&ring.events[..ring.next]);
+    } else {
+        out.extend_from_slice(&ring.events);
+    }
+    (out, ring.dropped)
+}
+
+/// Renders the recorded events as a Chrome `trace_event` JSON object
+/// (`{"traceEvents": [...], "metadata": {...}}`), loadable in Perfetto
+/// or `chrome://tracing`. Timestamps are microseconds (`ts_ns / 1000`
+/// with sub-µs precision kept as a fraction).
+pub fn export_chrome() -> Json {
+    let (events, dropped) = snapshot();
+    let rows = events
+        .iter()
+        .map(|e| {
+            let mut fields = vec![
+                ("name".to_string(), Json::Str(e.name.to_string())),
+                ("cat".to_string(), Json::Str("memsci".to_string())),
+                ("ph".to_string(), Json::Str(e.phase.ph().to_string())),
+                ("ts".to_string(), Json::Num(e.ts_ns as f64 / 1000.0)),
+                ("pid".to_string(), Json::UInt(1)),
+                ("tid".to_string(), Json::UInt(e.tid)),
+            ];
+            if e.phase == TracePhase::Instant {
+                // Thread-scoped instant: renders as a tick on its row.
+                fields.push(("s".to_string(), Json::Str("t".to_string())));
+            }
+            Json::Obj(fields)
+        })
+        .collect();
+    Json::Obj(vec![
+        ("traceEvents".to_string(), Json::Arr(rows)),
+        ("displayTimeUnit".to_string(), Json::Str("ms".to_string())),
+        (
+            "metadata".to_string(),
+            Json::Obj(vec![
+                (
+                    "tool".to_string(),
+                    Json::Str("memsci-telemetry".to_string()),
+                ),
+                ("dropped_events".to_string(), Json::UInt(dropped)),
+            ]),
+        ),
+    ])
+}
+
+/// Writes [`export_chrome`] to `path`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from creating or writing the file.
+pub fn write_chrome(path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, export_chrome().to_string_pretty())
+}
+
+/// A trace validation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError(pub String);
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid trace: {}", self.0)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<JsonError> for TraceError {
+    fn from(e: JsonError) -> Self {
+        TraceError(e.to_string())
+    }
+}
+
+fn tfail(msg: impl Into<String>) -> TraceError {
+    TraceError(msg.into())
+}
+
+/// Structural facts extracted by [`validate_trace`], for gating (e.g.
+/// "the cluster and residual lanes ran on distinct tids").
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceSummary {
+    /// Events in the file.
+    pub events: usize,
+    /// Events the ring overwrote before export.
+    pub dropped: u64,
+    /// Distinct event names.
+    pub names: BTreeSet<String>,
+    /// Distinct thread ids.
+    pub tids: BTreeSet<u64>,
+    /// Thread ids each name appeared on.
+    pub tids_by_name: BTreeMap<String, BTreeSet<u64>>,
+    /// Deepest begin/end nesting observed on any one thread.
+    pub max_depth: usize,
+}
+
+/// Parses and structurally validates Chrome `trace_event` JSON as
+/// produced by [`export_chrome`]: every event needs a non-empty string
+/// `name`, `ph` in `{B, E, i}`, finite non-negative number `ts`, and
+/// integer `pid`/`tid`; timestamps are globally non-decreasing; and on
+/// each tid, `B`/`E` events obey stack discipline with matching names.
+/// A ring that dropped events truncates the oldest prefix, which can
+/// only orphan `E` events — those are tolerated exactly when the
+/// metadata reports `dropped_events > 0`.
+///
+/// # Errors
+///
+/// Returns [`TraceError`] describing the first violation found.
+pub fn validate_trace(text: &str) -> Result<TraceSummary, TraceError> {
+    let doc = parse(text)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| tfail("`traceEvents` must be an array"))?;
+    if events.is_empty() {
+        return Err(tfail("`traceEvents` is empty"));
+    }
+    let dropped = doc
+        .get("metadata")
+        .and_then(|m| m.get("dropped_events"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+
+    let mut summary = TraceSummary {
+        events: events.len(),
+        dropped,
+        ..TraceSummary::default()
+    };
+    let mut last_ts = f64::NEG_INFINITY;
+    let mut stacks: BTreeMap<u64, Vec<String>> = BTreeMap::new();
+    for (i, e) in events.iter().enumerate() {
+        let name = e
+            .get("name")
+            .and_then(Json::as_str)
+            .filter(|n| !n.is_empty())
+            .ok_or_else(|| tfail(format!("traceEvents[{i}] needs a non-empty string `name`")))?;
+        let ph = e
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| tfail(format!("traceEvents[{i}] needs a string `ph`")))?;
+        let ts = e
+            .get("ts")
+            .and_then(Json::as_f64)
+            .filter(|t| t.is_finite() && *t >= 0.0)
+            .ok_or_else(|| {
+                tfail(format!(
+                    "traceEvents[{i}] needs a finite non-negative number `ts`"
+                ))
+            })?;
+        if e.get("pid").and_then(Json::as_u64).is_none() {
+            return Err(tfail(format!("traceEvents[{i}] needs an integer `pid`")));
+        }
+        let tid = e
+            .get("tid")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| tfail(format!("traceEvents[{i}] needs an integer `tid`")))?;
+        if ts < last_ts {
+            return Err(tfail(format!(
+                "traceEvents[{i}] timestamp {ts} precedes its predecessor {last_ts}"
+            )));
+        }
+        last_ts = ts;
+        summary.names.insert(name.to_string());
+        summary.tids.insert(tid);
+        summary
+            .tids_by_name
+            .entry(name.to_string())
+            .or_default()
+            .insert(tid);
+        let stack = stacks.entry(tid).or_default();
+        match ph {
+            "B" => {
+                stack.push(name.to_string());
+                summary.max_depth = summary.max_depth.max(stack.len());
+            }
+            "E" => match stack.pop() {
+                Some(open) if open == name => {}
+                Some(open) => {
+                    return Err(tfail(format!(
+                        "traceEvents[{i}] ends `{name}` but tid {tid} has `{open}` open"
+                    )));
+                }
+                None if dropped > 0 => {} // begin lost to the ring
+                None => {
+                    return Err(tfail(format!(
+                        "traceEvents[{i}] ends `{name}` with no span open on tid {tid}"
+                    )));
+                }
+            },
+            "i" => {}
+            other => {
+                return Err(tfail(format!(
+                    "traceEvents[{i}] has unsupported phase {other:?} (expected B, E, or i)"
+                )));
+            }
+        }
+    }
+    for (tid, stack) in &stacks {
+        if let Some(open) = stack.last() {
+            return Err(tfail(format!(
+                "tid {tid} ends the trace with `{open}` still open"
+            )));
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh() {
+        shutdown();
+        clear();
+    }
+
+    #[test]
+    fn disabled_tracing_records_nothing() {
+        let _x = crate::exclusive_for_tests();
+        fresh();
+        instant("never");
+        {
+            let _g = crate::span("never");
+        }
+        assert_eq!(snapshot().0.len(), 0);
+    }
+
+    #[test]
+    fn spans_emit_balanced_begin_end_events() {
+        let _x = crate::exclusive_for_tests();
+        fresh();
+        crate::disable(); // stats off: tracing alone must drive events
+        enable_with_capacity(64);
+        {
+            let _outer = crate::span("solve/cg");
+            {
+                let _inner = crate::span("spmv");
+            }
+            instant("mark");
+        }
+        disable();
+        let (events, dropped) = snapshot();
+        shutdown();
+        assert_eq!(dropped, 0);
+        let seq: Vec<(&str, TracePhase)> = events.iter().map(|e| (e.name, e.phase)).collect();
+        assert_eq!(
+            seq,
+            vec![
+                ("solve/cg", TracePhase::Begin),
+                ("spmv", TracePhase::Begin),
+                ("spmv", TracePhase::End),
+                ("mark", TracePhase::Instant),
+                ("solve/cg", TracePhase::End),
+            ]
+        );
+        // Timestamps are monotone in buffer order.
+        assert!(events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+        // All on one thread.
+        assert!(events.iter().all(|e| e.tid == events[0].tid));
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_dropped() {
+        let _x = crate::exclusive_for_tests();
+        fresh();
+        enable_with_capacity(4);
+        for _ in 0..5 {
+            instant("tick");
+        }
+        let (events, dropped) = snapshot();
+        shutdown();
+        assert_eq!(events.len(), 4);
+        assert_eq!(dropped, 1);
+        // Oldest-first order is preserved across the wrap.
+        assert!(events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+    }
+
+    #[test]
+    fn worker_threads_get_distinct_tids() {
+        let _x = crate::exclusive_for_tests();
+        fresh();
+        enable_with_capacity(64);
+        instant("main");
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                scope.spawn(|| {
+                    let _g = crate::span("worker");
+                });
+            }
+        });
+        disable();
+        let (events, _) = snapshot();
+        shutdown();
+        let main_tid = events[0].tid;
+        let worker_tids: BTreeSet<u64> = events
+            .iter()
+            .filter(|e| e.name == "worker")
+            .map(|e| e.tid)
+            .collect();
+        assert_eq!(worker_tids.len(), 2);
+        assert!(!worker_tids.contains(&main_tid));
+    }
+
+    #[test]
+    fn export_validates_and_reports_structure() {
+        let _x = crate::exclusive_for_tests();
+        fresh();
+        crate::disable();
+        enable_with_capacity(64);
+        {
+            let _outer = crate::span("pipeline");
+            {
+                let _inner = crate::span("cluster_mvm");
+            }
+            instant("reprogram");
+        }
+        disable();
+        let text = export_chrome().to_string_pretty();
+        shutdown();
+        let summary = validate_trace(&text).unwrap();
+        assert_eq!(summary.events, 5);
+        assert_eq!(summary.dropped, 0);
+        assert!(summary.names.contains("pipeline"));
+        assert!(summary.names.contains("cluster_mvm"));
+        assert!(summary.names.contains("reprogram"));
+        assert_eq!(summary.max_depth, 2);
+    }
+
+    #[test]
+    fn mid_span_disable_keeps_the_trace_balanced() {
+        let _x = crate::exclusive_for_tests();
+        fresh();
+        enable_with_capacity(64);
+        let g = crate::span("outer");
+        disable();
+        drop(g);
+        let text = export_chrome().to_string_pretty();
+        shutdown();
+        let summary = validate_trace(&text).unwrap();
+        assert_eq!(summary.events, 2);
+    }
+
+    fn doc(events: &str, dropped: u64) -> String {
+        format!(
+            "{{\"traceEvents\": [{events}], \
+             \"metadata\": {{\"dropped_events\": {dropped}}}}}"
+        )
+    }
+
+    fn ev(name: &str, ph: &str, ts: f64, tid: u64) -> String {
+        format!(
+            "{{\"name\": \"{name}\", \"ph\": \"{ph}\", \"ts\": {ts}, \"pid\": 1, \"tid\": {tid}}}"
+        )
+    }
+
+    #[test]
+    fn validation_rejects_structural_violations() {
+        // Empty trace.
+        assert!(validate_trace(&doc("", 0)).is_err());
+        // Unsupported phase.
+        let bad_ph = doc(&ev("a", "X", 0.0, 1), 0);
+        assert!(validate_trace(&bad_ph).unwrap_err().0.contains("phase"));
+        // Non-monotone timestamps.
+        let backwards = doc(
+            &format!("{}, {}", ev("a", "i", 5.0, 1), ev("b", "i", 1.0, 1)),
+            0,
+        );
+        assert!(validate_trace(&backwards)
+            .unwrap_err()
+            .0
+            .contains("precedes"));
+        // End with nothing open (and no drops to excuse it).
+        let orphan = doc(&ev("a", "E", 0.0, 1), 0);
+        assert!(validate_trace(&orphan).unwrap_err().0.contains("no span"));
+        // The same orphan is tolerated when the ring dropped events.
+        assert!(validate_trace(&doc(&ev("a", "E", 0.0, 1), 3)).is_ok());
+        // Mismatched end name is never tolerated.
+        let crossed = doc(
+            &format!("{}, {}", ev("a", "B", 0.0, 1), ev("b", "E", 1.0, 1)),
+            9,
+        );
+        assert!(validate_trace(&crossed).unwrap_err().0.contains("open"));
+        // A begin left open at the end of the trace.
+        let unclosed = doc(&ev("a", "B", 0.0, 1), 0);
+        assert!(validate_trace(&unclosed)
+            .unwrap_err()
+            .0
+            .contains("still open"));
+        // Begin/end discipline is per-tid: interleaving across threads
+        // is fine.
+        let lanes = doc(
+            &format!(
+                "{}, {}, {}, {}",
+                ev("cluster", "B", 0.0, 1),
+                ev("residual", "B", 1.0, 2),
+                ev("cluster", "E", 2.0, 1),
+                ev("residual", "E", 3.0, 2)
+            ),
+            0,
+        );
+        let summary = validate_trace(&lanes).unwrap();
+        assert_eq!(summary.tids.len(), 2);
+        assert_eq!(summary.tids_by_name["cluster"], BTreeSet::from([1]));
+    }
+}

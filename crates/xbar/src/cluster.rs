@@ -316,6 +316,10 @@ impl Cluster {
         entries: &[(u16, u16, f64)],
         rng: &mut R,
     ) -> Result<ProgramOutcome, AlignError> {
+        // Program time, not the SpMV hot path: build-time programming
+        // and repair-lane reprograms both land here, so the timeline
+        // trace shows each (re)program as its own block.
+        let _span = memsci_telemetry::span("cluster_program");
         let n = spec.size;
         let mut entries: Vec<(u16, u16, f64)> = entries.to_vec();
         for &(r, c, _) in &entries {

@@ -49,10 +49,34 @@ echo "== bench smoke =="
 [ -f BENCH_PR5.json ] && ./target/release/repro bench --validate BENCH_PR5.json
 [ -f BENCH_PR6.json ] && ./target/release/repro bench --validate BENCH_PR6.json
 
+echo "== bench regression gate =="
+# Perf-regression compare: the fresh smoke document must not be slower
+# than the committed baseline beyond a generous host-variance
+# tolerance (ratio ceiling 1 + tolerance). A nonzero exit here is the
+# gate firing.
+[ -f BENCH_PR6.json ] && ./target/release/repro bench \
+    --compare BENCH_PR6.json target/tmp/check-bench.json --tolerance 3.0
+
+echo "== trace smoke =="
+# Timeline tracing: one traced pipeline run with the residual lane
+# overlapped must export valid Chrome trace_event JSON whose stage
+# lanes land on distinct thread ids (Perfetto shows them stacked).
+MEMSCI_THREADS=4 MEMSCI_OVERLAP=1 ./target/release/repro trace \
+    --scale 0.02 --iters 4 --out target/tmp/check-trace.json
+./target/release/telemetry-verify --trace target/tmp/check-trace.json \
+    --require-event cluster_mvm,residual_csr,batch_mvm,iter,exact/bank_shard \
+    --min-tids 2
+
 echo "== batch identity smoke =="
 # The multi-RHS lane promises bitwise batch == k solo kernels on every
 # platform, and program-once amortization on the exact engine.
 cargo test -q --offline -p memsci-core --test batch_identity
+
+echo "== trace identity smoke =="
+# Tracing is observability, not physics: traced and untraced solves
+# must agree bit for bit on every engine, and overlapped stage lanes
+# must trace on distinct tids.
+cargo test -q --offline -p memsci-core --test trace_identity
 
 echo "== telemetry stream smoke =="
 # Incremental JSONL manifests: one record per Monte-Carlo sweep point.
@@ -76,6 +100,12 @@ echo "== fault campaign smoke =="
     --invariants
 ./target/release/telemetry-verify --stream target/tmp/check-faults-stream.jsonl
 [ -f FAULTS_PR7.json ] && ./target/release/repro faults --validate FAULTS_PR7.json
+# The v2 variation axes (device-to-device sigma, endurance growth)
+# must sweep and validate too.
+./target/release/repro faults --runs 1 --scale 0.5 \
+    --d2d 0,0.03 --endurance 0,0.02 \
+    --out target/tmp/check-faults-sweep.json > /dev/null
+./target/release/repro faults --validate target/tmp/check-faults-sweep.json
 
 echo "== alloc gate (debug) =="
 # The counting allocator only exists in debug builds; this gates the
