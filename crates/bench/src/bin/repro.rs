@@ -3,10 +3,11 @@
 //! Usage:
 //!
 //! ```text
-//! repro <experiment> [--scale S] [--runs N] [--tol T] [--telemetry-out FILE]
-//!                    [--telemetry-stream FILE]
+//! repro <experiment> [--scale S] [--runs N] [--tol T] [--perturbed]
+//!                    [--telemetry-out FILE] [--telemetry-stream FILE]
 //! repro bench [--smoke] [--iters N] [--rhs K1,K2,..] [--out FILE]
 //! repro bench --compare BASELINE.json NEW.json [--tolerance T]
+//! repro concurrent [--k N] [--engine fast|exact] [--telemetry-out FILE]
 //! repro faults [--runs N] [--scale S] [--tol T] [--out FILE] [--validate FILE]
 //!              [--d2d S1,S2,..] [--endurance G1,G2,..]
 //!              [--telemetry-out FILE] [--telemetry-stream FILE]
@@ -23,9 +24,15 @@
 //! `smoke` is a fast telemetry exerciser (one suite matrix plus an
 //! error-injected bit-exact solve so AN-code counters fire); `bench`
 //! measures host wall-clock (simulator speed) and writes a
-//! schema-versioned `BENCH_*.json` document (default `BENCH_PR6.json`);
+//! schema-versioned `BENCH_*.json` document (default `BENCH_PR9.json`);
 //! `--rhs` picks the multi-RHS batch widths swept by its `spmv_batch`
-//! section (default `1,8`); `faults` runs the device-reliability
+//! and `concurrent` sections (default `1,8`); `concurrent` runs the
+//! k-way shared-operator acceptance check: k solves through one cached
+//! operator must match k re-programming sequential solves bit for bit,
+//! with exactly one `operator_programs` and `k − 1` `cache_hits` in the
+//! run manifest; `--perturbed` switches fig12/fig13 to the
+//! perturbed-input mode (one cached operator per point, trials batched
+//! through the MVM lane); `faults` runs the device-reliability
 //! campaign (stuck-at rate × retention age grid) and writes a
 //! schema-versioned `FAULTS_*.json` coverage report (default
 //! `FAULTS_PR7.json`), byte-reproducible under a fixed seed.
@@ -48,6 +55,7 @@ struct Args {
     scale: f64,
     runs: usize,
     tol: f64,
+    perturbed: bool,
 }
 
 fn main() {
@@ -59,6 +67,7 @@ fn main() {
         );
         eprintln!("       repro bench [--smoke] [--iters N] [--rhs K1,K2,..] [--out FILE]");
         eprintln!("       repro bench --compare BASELINE.json NEW.json [--tolerance T]");
+        eprintln!("       repro concurrent [--k N] [--engine fast|exact] [--telemetry-out FILE]");
         eprintln!(
             "       repro faults [--runs N] [--scale S] [--tol T] [--out FILE] [--validate FILE]"
         );
@@ -113,6 +122,10 @@ fn main() {
         run_bench_cmd(&rest);
         return;
     }
+    if cmd == "concurrent" {
+        run_concurrent_cmd(&rest, telemetry_out);
+        return;
+    }
     if cmd == "faults" {
         run_faults_cmd(&rest, telemetry_out);
         return;
@@ -125,6 +138,7 @@ fn main() {
         scale: 1.0,
         runs: 15,
         tol: 1e-8,
+        perturbed: false,
     };
     let mut i = 0;
     while i < rest.len() {
@@ -159,6 +173,10 @@ fn main() {
                     });
                 i += 2;
             }
+            "--perturbed" => {
+                args.perturbed = true;
+                i += 1;
+            }
             "--telemetry-out" => {
                 let Some(path) = rest.get(i + 1) else {
                     eprintln!("--telemetry-out needs a file path");
@@ -183,12 +201,17 @@ fn main() {
             }
         }
     }
-    let config = [
+    // `perturbed` appears in the manifest header only when the new mode
+    // is on, so classic fig12/fig13 streams stay byte-identical.
+    let mut config = vec![
         ("command", Json::Str(cmd.clone())),
         ("scale", Json::Num(args.scale)),
         ("runs", Json::UInt(args.runs as u64)),
         ("tol", Json::Num(args.tol)),
     ];
+    if args.perturbed {
+        config.push(("perturbed", Json::Bool(true)));
+    }
     let mut stream = telemetry_stream_path.as_deref().map(|path| {
         let config: Vec<(&str, Json)> = config.to_vec();
         match ManifestStream::create(path, &config) {
@@ -267,7 +290,7 @@ fn run_bench_cmd(rest: &[String]) {
         }
     }
     let mut opts = perf::BenchOptions::full();
-    let mut out = std::path::PathBuf::from("BENCH_PR6.json");
+    let mut out = std::path::PathBuf::from("BENCH_PR9.json");
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
@@ -349,6 +372,103 @@ fn run_bench_cmd(rest: &[String]) {
     }
     print!("{}", perf::summarize(&doc));
     println!("bench document written to {}", out.display());
+}
+
+/// `repro concurrent [--k N] [--engine fast|exact] [--telemetry-out
+/// FILE]` — the shared-operator acceptance check: runs k sequential
+/// re-programming solves of the bench system, then the same k solves
+/// concurrently through one cached operator, and fails unless every
+/// solution matches bit for bit, exactly one operator was programmed,
+/// and the cache reports `k − 1` hits. The telemetry counters are reset
+/// between the two passes, so a `--telemetry-out` manifest accounts
+/// only the concurrent run (`operator_programs == 1`,
+/// `cache_hits == k − 1`).
+fn run_concurrent_cmd(rest: &[String], mut telemetry_out: Option<std::path::PathBuf>) {
+    let mut k = 8usize;
+    let mut engine = String::from("fast");
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--k" => {
+                k = rest
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|n| *n >= 2)
+                    .unwrap_or_else(|| {
+                        eprintln!("--k needs an integer >= 2");
+                        std::process::exit(2);
+                    });
+                i += 2;
+            }
+            "--engine" => {
+                engine = match rest.get(i + 1).map(String::as_str) {
+                    Some(e @ ("fast" | "exact")) => e.to_string(),
+                    _ => {
+                        eprintln!("--engine needs `fast` or `exact`");
+                        std::process::exit(2);
+                    }
+                };
+                i += 2;
+            }
+            "--telemetry-out" => {
+                let Some(path) = rest.get(i + 1) else {
+                    eprintln!("--telemetry-out needs a file path");
+                    std::process::exit(2);
+                };
+                telemetry_out = Some(path.into());
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown concurrent flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    // The cache counters must reach the manifest even when no env/flag
+    // enabled the sink beforehand.
+    memsci_telemetry::enable();
+    let run = perf::concurrent_acceptance(&engine, k, 25);
+    println!(
+        "concurrent: {} engine, k={} — {} operator program(s), {} cache hit(s), \
+         concurrent {:.4e}s vs sequential re-programs {:.4e}s ({:.2}x)",
+        run.engine,
+        run.k,
+        run.operator_programs,
+        run.cache_hits,
+        run.concurrent_s,
+        run.sequential_s,
+        run.sequential_s / run.concurrent_s
+    );
+    let mut failed = false;
+    if !run.matches_sequential {
+        eprintln!("FAIL: concurrent solutions are not bitwise identical to sequential");
+        failed = true;
+    }
+    if run.operator_programs != 1 {
+        eprintln!(
+            "FAIL: expected exactly 1 operator program, got {}",
+            run.operator_programs
+        );
+        failed = true;
+    }
+    if run.cache_hits != (k - 1) as u64 {
+        eprintln!(
+            "FAIL: expected {} cache hits, got {}",
+            k - 1,
+            run.cache_hits
+        );
+        failed = true;
+    }
+    let config = [
+        ("command", Json::Str("concurrent".into())),
+        ("engine", Json::Str(engine)),
+        ("k", Json::UInt(k as u64)),
+    ];
+    finish_telemetry(telemetry_out.as_deref(), &config);
+    if failed {
+        std::process::exit(1);
+    }
+    println!("concurrent: all {k} solutions bitwise identical to sequential");
 }
 
 /// `repro trace [--out FILE] [--scale S] [--iters N] [--capacity N]` —
@@ -711,10 +831,19 @@ fn run(cmd: &str, args: Args, stream: &mut Option<ManifestStream>) {
                 ..Default::default()
             };
             println!(
-                "Figure 12 — iteration count vs bits/cell and dynamic range ({} runs/point)",
-                mc.runs
+                "Figure 12 — iteration count vs bits/cell and dynamic range ({} runs/point{})",
+                mc.runs,
+                if args.perturbed {
+                    ", perturbed-input batch mode"
+                } else {
+                    ""
+                }
             );
-            let points = montecarlo::figure12_with(&mc, &mut |p| stream_point(stream, p));
+            let points = if args.perturbed {
+                montecarlo::figure12_perturbed_with(&mc, &mut |p| stream_point(stream, p))
+            } else {
+                montecarlo::figure12_with(&mc, &mut |p| stream_point(stream, p))
+            };
             print_mc(&points, "B=1; D=1.5K");
         }
         "fig13" => {
@@ -723,10 +852,19 @@ fn run(cmd: &str, args: Args, stream: &mut Option<ManifestStream>) {
                 ..Default::default()
             };
             println!(
-                "Figure 13 — iteration count vs bits/cell and programming error ({} runs/point)",
-                mc.runs
+                "Figure 13 — iteration count vs bits/cell and programming error ({} runs/point{})",
+                mc.runs,
+                if args.perturbed {
+                    ", perturbed-input batch mode"
+                } else {
+                    ""
+                }
             );
-            let points = montecarlo::figure13_with(&mc, &mut |p| stream_point(stream, p));
+            let points = if args.perturbed {
+                montecarlo::figure13_perturbed_with(&mc, &mut |p| stream_point(stream, p))
+            } else {
+                montecarlo::figure13_with(&mc, &mut |p| stream_point(stream, p))
+            };
             print_mc(&points, "B=1; E=0%");
         }
         "smoke" => {

@@ -7,7 +7,9 @@
 //! the paper's baseline point (1-bit cells, `R_off/R_on = 1500`, ideal
 //! programming).
 
+use memsci_core::service::{EngineSpec, OperatorCache};
 use memsci_core::{AcceleratorConfig, ExactAcceleratorPlatform, ExactOptions, ExecStats};
+use memsci_solvers::block_cg::block_cg;
 use memsci_solvers::cg::cg;
 use memsci_solvers::SolveOptions;
 use memsci_sparse::blocking::{BlockedMatrix, BlockingConfig};
@@ -154,6 +156,147 @@ pub fn sweep_point(a: &Csr, label: String, cell: CellSpec, mc: &MonteCarloConfig
     }
 }
 
+/// Exact-engine accelerator config for one Monte-Carlo cell
+/// configuration (shared by the per-trial and perturbed-input modes).
+fn point_config(cell: CellSpec, mc: &MonteCarloConfig) -> AcceleratorConfig {
+    let mut config = AcceleratorConfig::with_banks(1);
+    config.cell = cell;
+    config.threads = mc.threads;
+    config
+}
+
+/// The exact-engine spec of the perturbed-input mode: one fixed
+/// programming seed, so every trial of a point shares one operator.
+fn perturbed_engine(mc: &MonteCarloConfig) -> EngineSpec {
+    EngineSpec::Exact(ExactOptions {
+        seed: 0,
+        rtn_probability: mc.rtn_probability,
+        ..Default::default()
+    })
+}
+
+/// The deterministic perturbed right-hand side of one trial: the unit
+/// source of the per-trial mode, wobbled per entry by a trial-indexed
+/// harmonic. No RNG — trial j's vector is the same on every host.
+pub fn perturbed_rhs(n: usize, trial: u64) -> Vec<f64> {
+    (0..n)
+        .map(|i| 1.0 + 0.05 * ((i as f64) * 0.7 + (trial as f64) * 1.3).sin())
+        .collect()
+}
+
+/// Sweeps one cell configuration in *perturbed-input* mode: instead of
+/// re-programming the operator per trial (per-seed programming error),
+/// the point programs the matrix **once** — through `cache`, so repeat
+/// points are free — and runs every trial's [`perturbed_rhs`] through
+/// the batched MVM lane in one deflating [`block_cg`] call. Each column
+/// reproduces the plain per-trial `cg` iteration bit for bit against a
+/// session over the same cached operator.
+pub fn sweep_point_perturbed(
+    a: &Csr,
+    label: String,
+    cell: CellSpec,
+    mc: &MonteCarloConfig,
+    cache: &OperatorCache,
+) -> McPoint {
+    let n = a.rows();
+    let config = point_config(cell, mc);
+    let shared = cache
+        .get_or_program(a, &config, &perturbed_engine(mc))
+        .expect("test matrix programs cleanly");
+    let threads = memsci_core::exec::worker_count(mc.threads);
+    let (reports, exec) = memsci_core::exec::timed(threads, mc.runs, || {
+        let mut session = shared.open_session();
+        let bs: Vec<Vec<f64>> = (0..mc.runs).map(|t| perturbed_rhs(n, t as u64)).collect();
+        let b_refs: Vec<&[f64]> = bs.iter().map(|b| b.as_slice()).collect();
+        let mut xs = vec![vec![0.0; n]; mc.runs];
+        let opts = SolveOptions::with_tol(mc.tol).max_iters(mc.max_iters);
+        block_cg(&mut session, &b_refs, &mut xs, &opts)
+    });
+    let mut min = usize::MAX;
+    let mut max = 0usize;
+    let mut sum = 0usize;
+    let mut failures = 0usize;
+    for report in reports {
+        let iters = if report.converged {
+            report.iterations
+        } else {
+            mc.max_iters
+        };
+        if !report.converged {
+            failures += 1;
+        }
+        min = min.min(iters);
+        max = max.max(iters);
+        sum += iters;
+    }
+    McPoint {
+        label,
+        min,
+        mean: sum as f64 / mc.runs as f64,
+        max,
+        failures,
+        exec,
+    }
+}
+
+/// [`figure12`] in perturbed-input mode: same cell grid, one cached
+/// operator per point, trials batched through the MVM lane.
+pub fn figure12_perturbed(mc: &MonteCarloConfig) -> Vec<McPoint> {
+    figure12_perturbed_with(mc, &mut |_| {})
+}
+
+/// [`figure12_perturbed`] with a per-point observer; see
+/// [`figure12_with`].
+pub fn figure12_perturbed_with(
+    mc: &MonteCarloConfig,
+    observe: &mut dyn FnMut(&McPoint),
+) -> Vec<McPoint> {
+    let a = test_matrix(mc.n);
+    let cache = OperatorCache::with_capacity(8);
+    let mut out = Vec::new();
+    for bits in [1u32, 2] {
+        for dr in [750.0, 1500.0, 3000.0] {
+            let cell = CellSpec::default()
+                .with_bits_per_cell(bits)
+                .with_dynamic_range(dr)
+                .with_programming_sigma(0.005);
+            let label = format!("B={bits}; D={}K", dr / 1000.0);
+            let point = sweep_point_perturbed(&a, label, cell, mc, &cache);
+            observe(&point);
+            out.push(point);
+        }
+    }
+    out
+}
+
+/// [`figure13`] in perturbed-input mode; see [`figure12_perturbed`].
+pub fn figure13_perturbed(mc: &MonteCarloConfig) -> Vec<McPoint> {
+    figure13_perturbed_with(mc, &mut |_| {})
+}
+
+/// [`figure13_perturbed`] with a per-point observer; see
+/// [`figure12_with`].
+pub fn figure13_perturbed_with(
+    mc: &MonteCarloConfig,
+    observe: &mut dyn FnMut(&McPoint),
+) -> Vec<McPoint> {
+    let a = test_matrix(mc.n);
+    let cache = OperatorCache::with_capacity(8);
+    let mut out = Vec::new();
+    for bits in [1u32, 2] {
+        for sigma in [0.0, 0.01, 0.03, 0.05] {
+            let cell = CellSpec::default()
+                .with_bits_per_cell(bits)
+                .with_programming_sigma(sigma);
+            let label = format!("B={bits}; E={}%", sigma * 100.0);
+            let point = sweep_point_perturbed(&a, label, cell, mc, &cache);
+            observe(&point);
+            out.push(point);
+        }
+    }
+    out
+}
+
 /// Figure 12: iteration count vs bits per cell × dynamic range,
 /// normalized to 1-bit cells at `R_off/R_on = 1500`.
 ///
@@ -246,6 +389,72 @@ mod tests {
         assert!(nmin <= 1.0 + 1e-12 && nmax + 1e-12 >= 1.0);
         assert!((nmean - 1.0).abs() < 1e-12);
         assert_eq!(p.exec.tasks, mc.runs);
+    }
+
+    #[test]
+    fn perturbed_point_matches_sequential_sessions_bitwise() {
+        // The batched perturbed-input point must reproduce, bit for bit,
+        // one plain cg per trial on fresh sessions over the same cached
+        // operator — the deflating block recurrence may not change a
+        // single iterate.
+        let mc = small_mc();
+        let a = test_matrix(mc.n);
+        let cell = CellSpec::default().with_programming_sigma(0.01);
+        let cache = OperatorCache::with_capacity(2);
+        let point = sweep_point_perturbed(&a, "p".into(), cell, &mc, &cache);
+
+        let config = point_config(cell, &mc);
+        let shared = cache
+            .get_or_program(&a, &config, &perturbed_engine(&mc))
+            .unwrap();
+        let opts = SolveOptions::with_tol(mc.tol).max_iters(mc.max_iters);
+        let mut min = usize::MAX;
+        let mut max = 0usize;
+        let mut sum = 0usize;
+        for trial in 0..mc.runs {
+            let b = perturbed_rhs(a.rows(), trial as u64);
+            let mut x = vec![0.0; a.rows()];
+            let mut session = shared.open_session();
+            let report = cg(&mut session, &b, &mut x, &opts);
+            assert!(report.converged, "trial {trial}");
+            min = min.min(report.iterations);
+            max = max.max(report.iterations);
+            sum += report.iterations;
+        }
+        assert_eq!(point.min, min);
+        assert_eq!(point.max, max);
+        assert_eq!(
+            point.mean.to_bits(),
+            (sum as f64 / mc.runs as f64).to_bits()
+        );
+        assert_eq!(point.failures, 0);
+        // One program served the batched point and every sequential
+        // replay: only the first lookup missed.
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, stats.lookups - 1);
+    }
+
+    #[test]
+    fn perturbed_trials_are_host_deterministic() {
+        let mc1 = MonteCarloConfig {
+            threads: Some(1),
+            ..small_mc()
+        };
+        let mc2 = MonteCarloConfig {
+            threads: Some(2),
+            ..small_mc()
+        };
+        let a = test_matrix(mc1.n);
+        let cell = CellSpec::default().with_programming_sigma(0.01);
+        let serial =
+            sweep_point_perturbed(&a, "p".into(), cell, &mc1, &OperatorCache::with_capacity(2));
+        let parallel =
+            sweep_point_perturbed(&a, "p".into(), cell, &mc2, &OperatorCache::with_capacity(2));
+        assert_eq!(parallel.min, serial.min);
+        assert_eq!(parallel.mean.to_bits(), serial.mean.to_bits());
+        assert_eq!(parallel.max, serial.max);
+        assert_eq!(parallel.failures, serial.failures);
     }
 
     #[test]

@@ -12,6 +12,7 @@
 
 use std::time::Instant;
 
+use memsci_core::service::{solve_concurrent, EngineSpec, OperatorCache};
 use memsci_core::{AcceleratorConfig, AcceleratorPlatform, ExactAcceleratorPlatform, ExactOptions};
 use memsci_solvers::platform::Platform;
 use memsci_solvers::{bicgstab::bicgstab, cg::cg, SolveOptions};
@@ -24,9 +25,11 @@ use memsci_telemetry::{Counter, ManifestError};
 /// Bench document schema identifier.
 pub const BENCH_SCHEMA_NAME: &str = "memsci-bench";
 /// Current bench document schema version. Version 2 adds the
-/// `spmv_batch` section (multi-RHS amortization); version-1 documents
-/// (the committed `BENCH_PR5.json`) still validate.
-pub const BENCH_SCHEMA_VERSION: u64 = 2;
+/// `spmv_batch` section (multi-RHS amortization); version 3 adds the
+/// `concurrent` section (k cached-operator solves vs k re-programming
+/// solves). Documents at versions 1–2 (the committed `BENCH_PR5.json` /
+/// `BENCH_PR6.json`) still validate.
+pub const BENCH_SCHEMA_VERSION: u64 = 3;
 /// Oldest schema version [`validate_bench`] still accepts.
 pub const BENCH_SCHEMA_MIN_VERSION: u64 = 1;
 
@@ -305,6 +308,159 @@ fn run_batch_bench(opts: &BenchOptions) -> Vec<Json> {
     entries
 }
 
+fn engine_spec(engine: &str) -> EngineSpec {
+    match engine {
+        "fast" => EngineSpec::Fast,
+        _ => EngineSpec::Exact(exact_opts()),
+    }
+}
+
+/// Solves every RHS sequentially, **re-programming** the operator for
+/// each one (a fresh platform per solve — the pre-service cost of k
+/// independent solves of the same system), returning the solutions and
+/// the total wall-clock.
+fn sequential_reprogram_solves(
+    engine: &str,
+    rhs: &[Vec<f64>],
+    solve_opts: &SolveOptions,
+) -> (Vec<Vec<f64>>, f64) {
+    let a = bench_matrix();
+    let blocked = BlockedMatrix::block(&a, &BlockingConfig::default());
+    let n = a.rows();
+    let t0 = Instant::now();
+    let xs = rhs
+        .iter()
+        .map(|b| {
+            let mut x = vec![0.0; n];
+            match engine {
+                "fast" => {
+                    let mut acc = AcceleratorPlatform::new(&blocked, config(1, false));
+                    cg(&mut acc, b, &mut x, solve_opts);
+                }
+                _ => {
+                    let mut acc =
+                        ExactAcceleratorPlatform::new(&blocked, config(1, false), exact_opts())
+                            .expect("bench matrix programs cleanly");
+                    cg(&mut acc, b, &mut x, solve_opts);
+                }
+            }
+            x
+        })
+        .collect();
+    (xs, t0.elapsed().as_secs_f64())
+}
+
+/// Outcome of one k-way cached-operator concurrency measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConcurrentRun {
+    /// Engine the solves ran on (`fast` / `exact`).
+    pub engine: String,
+    /// Number of independent solves.
+    pub k: usize,
+    /// Wall-clock of k sequential solves, each re-programming.
+    pub sequential_s: f64,
+    /// Wall-clock of the k solves through one cached operator.
+    pub concurrent_s: f64,
+    /// Operators programmed by the concurrent path (cache misses).
+    pub operator_programs: u64,
+    /// Cache hits of the concurrent path (must be `k - 1`).
+    pub cache_hits: u64,
+    /// Every concurrent solution bitwise equal to its sequential twin.
+    pub matches_sequential: bool,
+}
+
+/// Runs k independent solves of the bench system through one cached
+/// operator ([`solve_concurrent`]) and through k re-programming
+/// sequential sessions, and compares the two bit for bit. When
+/// `reset_counters` is set the telemetry counters are zeroed *between*
+/// the sequential reference and the concurrent pass, so a manifest
+/// written afterwards accounts only the cached-operator run.
+fn concurrent_run_inner(
+    engine: &str,
+    k: usize,
+    solver_max_iters: usize,
+    reset_counters: bool,
+) -> ConcurrentRun {
+    let a = bench_matrix();
+    let cfg = config(4, false);
+    let solve_opts = SolveOptions::with_tol(1e-8).max_iters(solver_max_iters);
+    let rhs = batch_vectors(a.rows(), k);
+    let (want, sequential_s) = sequential_reprogram_solves(engine, &rhs, &solve_opts);
+    if reset_counters {
+        memsci_telemetry::reset();
+    }
+    let cache = OperatorCache::with_capacity(2);
+    let t0 = Instant::now();
+    let outcome = solve_concurrent(&cache, &a, &cfg, &engine_spec(engine), &rhs, &solve_opts)
+        .expect("bench matrix programs cleanly");
+    let concurrent_s = t0.elapsed().as_secs_f64();
+    let matches = want.len() == outcome.solves.len()
+        && want.iter().zip(&outcome.solves).all(|(w, s)| {
+            w.len() == s.x.len() && w.iter().zip(&s.x).all(|(u, v)| u.to_bits() == v.to_bits())
+        });
+    let stats = cache.stats();
+    ConcurrentRun {
+        engine: engine.into(),
+        k,
+        sequential_s,
+        concurrent_s,
+        operator_programs: stats.misses,
+        cache_hits: stats.hits,
+        matches_sequential: matches,
+    }
+}
+
+/// [`concurrent_run_inner`] without counter manipulation — the bench
+/// section shape.
+pub fn concurrent_run(engine: &str, k: usize, solver_max_iters: usize) -> ConcurrentRun {
+    concurrent_run_inner(engine, k, solver_max_iters, false)
+}
+
+/// Runs the cached-operator concurrency bench: both engines × each k in
+/// `opts.rhs_counts`, timing k re-programming sequential solves against
+/// k concurrent solves of one cached operator.
+fn run_concurrent_bench(opts: &BenchOptions) -> Vec<Json> {
+    let mut entries = Vec::new();
+    for engine in ["fast", "exact"] {
+        for &k in &opts.rhs_counts {
+            let run = concurrent_run(engine, k, opts.solver_max_iters);
+            entries.push(Json::Obj(vec![
+                ("engine".to_string(), Json::Str(run.engine.clone())),
+                ("k".to_string(), Json::UInt(run.k as u64)),
+                ("sequential_s".to_string(), Json::Num(run.sequential_s)),
+                ("concurrent_s".to_string(), Json::Num(run.concurrent_s)),
+                (
+                    "amortized_s_per_solve".to_string(),
+                    Json::Num(run.concurrent_s / run.k as f64),
+                ),
+                (
+                    "reprogram_speedup".to_string(),
+                    Json::Num(run.sequential_s / run.concurrent_s),
+                ),
+                (
+                    "operator_programs".to_string(),
+                    Json::UInt(run.operator_programs),
+                ),
+                ("cache_hits".to_string(), Json::UInt(run.cache_hits)),
+                (
+                    "matches_sequential".to_string(),
+                    Json::Bool(run.matches_sequential),
+                ),
+            ]));
+        }
+    }
+    entries
+}
+
+/// The `repro concurrent` acceptance shape: runs the k sequential
+/// reference solves first, then **resets the telemetry counters** so a
+/// manifest written after this call reports only the concurrent pass —
+/// exactly one `operator_programs` and `k − 1` `cache_hits` when the
+/// service layer holds its contract.
+pub fn concurrent_acceptance(engine: &str, k: usize, solver_max_iters: usize) -> ConcurrentRun {
+    concurrent_run_inner(engine, k, solver_max_iters, true)
+}
+
 /// Runs the end-to-end solver benches across engines × solvers ×
 /// threads × overlap.
 fn run_solver_bench(opts: &BenchOptions) -> Vec<Json> {
@@ -374,6 +530,7 @@ pub fn run_bench(opts: &BenchOptions) -> Json {
     let counters_before = memsci_telemetry::snapshot().counters;
     let (spmv, warm_exact, warm_fast) = run_spmv_bench(opts);
     let spmv_batch = run_batch_bench(opts);
+    let concurrent = run_concurrent_bench(opts);
     let solves = run_solver_bench(opts);
     let delta = memsci_telemetry::snapshot()
         .counters
@@ -412,6 +569,7 @@ pub fn run_bench(opts: &BenchOptions) -> Json {
         ),
         ("spmv".to_string(), Json::Arr(spmv)),
         ("spmv_batch".to_string(), Json::Arr(spmv_batch)),
+        ("concurrent".to_string(), Json::Arr(concurrent)),
         ("solves".to_string(), Json::Arr(solves)),
         (
             "counters".to_string(),
@@ -472,6 +630,30 @@ pub fn summarize(doc: &Json) -> String {
                     .unwrap_or(f64::NAN),
                 if e.get("matches_sequential").and_then(Json::as_bool) == Some(true) {
                     " (bit-identical to sequential)"
+                } else {
+                    " (MISMATCH vs sequential)"
+                },
+            ));
+        }
+    }
+    if let Some(entries) = doc.get("concurrent").and_then(Json::as_arr) {
+        out.push_str("cached-operator concurrency (k solves, one program):\n");
+        for e in entries {
+            out.push_str(&format!(
+                "  {:<5} k={:<2} concurrent {:.4e}s vs sequential {:.4e}s ({:.2}x){}\n",
+                e.get("engine").and_then(Json::as_str).unwrap_or("?"),
+                e.get("k").and_then(Json::as_u64).unwrap_or(0),
+                e.get("concurrent_s")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(f64::NAN),
+                e.get("sequential_s")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(f64::NAN),
+                e.get("reprogram_speedup")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(f64::NAN),
+                if e.get("matches_sequential").and_then(Json::as_bool) == Some(true) {
+                    ""
                 } else {
                     " (MISMATCH vs sequential)"
                 },
@@ -580,6 +762,39 @@ pub fn validate_bench(text: &str) -> Result<Json, ManifestError> {
             }
         }
     }
+    if version >= 3 {
+        let concurrent = doc
+            .get("concurrent")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| fail("schema v3 requires a `concurrent` array"))?;
+        if concurrent.is_empty() {
+            return Err(fail("`concurrent` must not be empty"));
+        }
+        for (i, e) in concurrent.iter().enumerate() {
+            let k = e.get("k").and_then(Json::as_u64);
+            let seq = e.get("sequential_s").and_then(Json::as_f64);
+            let conc = e.get("concurrent_s").and_then(Json::as_f64);
+            if e.get("engine").and_then(Json::as_str).is_none()
+                || k.is_none_or(|k| k == 0)
+                || !seq.is_some_and(|s| s.is_finite() && s > 0.0)
+                || !conc.is_some_and(|s| s.is_finite() && s > 0.0)
+            {
+                return Err(fail(format!("concurrent[{i}] is malformed")));
+            }
+            if e.get("matches_sequential").and_then(Json::as_bool) != Some(true) {
+                return Err(fail(format!(
+                    "concurrent[{i}] did not reproduce sequential solves bitwise"
+                )));
+            }
+            let programs = e.get("operator_programs").and_then(Json::as_u64);
+            let hits = e.get("cache_hits").and_then(Json::as_u64);
+            if programs != Some(1) || hits != k.map(|k| k - 1) {
+                return Err(fail(format!(
+                    "concurrent[{i}] must program once and hit k-1 times"
+                )));
+            }
+        }
+    }
     let solves = doc
         .get("solves")
         .and_then(Json::as_arr)
@@ -679,8 +894,10 @@ impl CompareReport {
 
 /// Collects `(key, seconds)` comparison points from a bench document:
 /// every `spmv[]` entry keyed by engine/mode on `median_s_per_iter`,
-/// and every `spmv_batch[]` entry keyed by engine/rhs on
-/// `amortized_s_per_rhs` (absent in v1 documents).
+/// every `spmv_batch[]` entry keyed by engine/rhs on
+/// `amortized_s_per_rhs` (absent in v1 documents), and every
+/// `concurrent[]` entry keyed by engine/k on `amortized_s_per_solve`
+/// (absent before v3).
 fn compare_points(doc: &Json) -> Vec<(String, f64)> {
     let mut points = Vec::new();
     if let Some(entries) = doc.get("spmv").and_then(Json::as_arr) {
@@ -698,6 +915,15 @@ fn compare_points(doc: &Json) -> Vec<(String, f64)> {
             let rhs = e.get("rhs").and_then(Json::as_u64).unwrap_or(0);
             if let Some(s) = e.get("amortized_s_per_rhs").and_then(Json::as_f64) {
                 points.push((format!("spmv_batch {engine}/rhs{rhs}"), s));
+            }
+        }
+    }
+    if let Some(entries) = doc.get("concurrent").and_then(Json::as_arr) {
+        for e in entries {
+            let engine = e.get("engine").and_then(Json::as_str).unwrap_or("?");
+            let k = e.get("k").and_then(Json::as_u64).unwrap_or(0);
+            if let Some(s) = e.get("amortized_s_per_solve").and_then(Json::as_f64) {
+                points.push((format!("concurrent {engine}/k{k}"), s));
             }
         }
     }
@@ -792,6 +1018,15 @@ mod tests {
                 .map(<[Json]>::len),
             Some(4)
         );
+        // 2 engines × 2 k-widths, each programming once and hitting
+        // k-1 times (validate_bench already enforces both).
+        assert_eq!(
+            parsed
+                .get("concurrent")
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len),
+            Some(4)
+        );
         // 1 thread × 1 overlap × 2 engines × 2 solvers.
         assert_eq!(
             parsed
@@ -852,10 +1087,11 @@ mod tests {
         let base_text = base.to_string_pretty();
 
         // A document compared against itself passes at zero tolerance:
-        // 4 spmv entries + 2 engines × 1 batch width.
+        // 4 spmv entries + 2 engines × 1 batch width + 2 engines × 1
+        // concurrency width.
         let same = compare_bench(&base_text, &base_text, 0.0).unwrap();
         assert!(same.passed());
-        assert_eq!(same.rows.len(), 6);
+        assert_eq!(same.rows.len(), 8);
         assert_eq!(same.unmatched, 0);
 
         // Inject a 10x slowdown into one spmv entry and one batch

@@ -21,6 +21,8 @@
 //!
 //! [`CostModel`]: memsci_xbar::CostModel
 
+use std::sync::Arc;
+
 use memsci_exec::ExecStats;
 use memsci_solvers::platform::{axpby_f64, dot_f64, Platform};
 use memsci_sparse::{BlockedMatrix, Coo, Csr};
@@ -73,9 +75,17 @@ struct FastCluster {
     write_energy: f64,
 }
 
-/// The fast accelerator platform (Table I system by default).
-#[derive(Debug, Clone)]
-pub struct AcceleratorPlatform {
+/// The immutable programmed state of the fast engine: the decomposed,
+/// crossbar-mapped operator, shared across any number of solve
+/// sessions.
+///
+/// Everything here is written once when the matrix is programmed and
+/// only read afterwards, so the operator is `Send + Sync` and lives
+/// behind an [`Arc`]: concurrent sessions built with
+/// [`AcceleratorPlatform::from_operator`] all read the same programmed
+/// clusters without repeating the expensive crossbar writes (§VIII-D).
+#[derive(Debug)]
+pub struct FastOperator {
     config: AcceleratorConfig,
     n: usize,
     clusters: Vec<FastCluster>,
@@ -93,6 +103,16 @@ pub struct AcceleratorPlatform {
     /// Precomputed transpose cost stand-in: one `1.0` per cluster row
     /// (part of the MVM plan, not scratch — never cleared).
     dots_est: Vec<Vec<f64>>,
+    /// The operator's main diagonal, assembled once at program time.
+    diag: Arc<[f64]>,
+}
+
+/// The fast accelerator platform (Table I system by default): a solve
+/// session owning per-call scratch arenas and cost accumulators over a
+/// shared programmed [`FastOperator`].
+#[derive(Debug, Clone)]
+pub struct AcceleratorPlatform {
+    op: Arc<FastOperator>,
     /// Per-cluster dot-product buffers reused across forward MVMs.
     scratch_dots: Vec<Vec<f64>>,
     /// Per-cluster column buffers reused across transpose MVMs.
@@ -112,13 +132,14 @@ pub struct AcceleratorPlatform {
     spmv_count: u64,
 }
 
-impl AcceleratorPlatform {
-    /// Builds the engine from a blocked matrix.
+impl FastOperator {
+    /// Decomposes, maps, and programs a blocked matrix into the
+    /// crossbars, producing the shareable operator.
     ///
     /// # Panics
     ///
     /// Panics if the blocked matrix is not square.
-    pub fn new(blocked: &BlockedMatrix, config: AcceleratorConfig) -> Self {
+    pub fn program(blocked: &BlockedMatrix, config: AcceleratorConfig) -> Self {
         let (rows, cols) = blocked.shape();
         assert_eq!(rows, cols, "platform matrices must be square");
         let _span = memsci_telemetry::span("engine/build");
@@ -213,8 +234,22 @@ impl AcceleratorPlatform {
             bank_elems[bank_of_row(r, section, config.banks)] += 1;
         }
 
-        let dots_est = clusters.iter().map(|c| vec![1.0; c.rows.len()]).collect();
-        AcceleratorPlatform {
+        let dots_est: Vec<Vec<f64>> = clusters.iter().map(|c| vec![1.0; c.rows.len()]).collect();
+        // The operator's diagonal, assembled once: residual diagonal
+        // plus every on-diagonal blocked entry, in cluster storage
+        // order (bitwise the same fold the old per-call path performed).
+        let mut diag = residual.diagonal();
+        for cluster in &clusters {
+            for (lr, entries) in &cluster.rows {
+                let gr = cluster.row0 + *lr as usize;
+                for &(c, v) in entries {
+                    if cluster.col0 + c as usize == gr {
+                        diag[gr] += v;
+                    }
+                }
+            }
+        }
+        FastOperator {
             n,
             clusters,
             residual,
@@ -224,24 +259,19 @@ impl AcceleratorPlatform {
             bank_elems,
             blocking_efficiency: blocked.stats.efficiency(),
             dots_est,
-            scratch_dots: Vec::new(),
-            scratch_cols: Vec::new(),
-            scratch_batch_dots: Vec::new(),
-            rbuf: Vec::new(),
-            batch_rbufs: Vec::new(),
-            bank_time_scratch: Vec::new(),
-            bank_interrupts_scratch: Vec::new(),
-            time: 0.0,
-            energy: 0.0,
-            last_spmv: SpmvStats::default(),
-            spmv_count: 0,
+            diag: diag.into(),
             config,
         }
     }
 
-    /// The configuration in use.
+    /// The configuration the operator was programmed under.
     pub fn config(&self) -> &AcceleratorConfig {
         &self.config
+    }
+
+    /// Problem dimension.
+    pub fn n(&self) -> usize {
+        self.n
     }
 
     /// Number of populated clusters.
@@ -259,14 +289,9 @@ impl AcceleratorPlatform {
         self.blocking_efficiency
     }
 
-    /// Statistics of the most recent sparse MVM.
-    pub fn last_spmv(&self) -> &SpmvStats {
-        &self.last_spmv
-    }
-
-    /// Sparse MVMs performed so far.
-    pub fn spmv_count(&self) -> u64 {
-        self.spmv_count
+    /// The operator's main diagonal, precomputed at program time.
+    pub fn diagonal(&self) -> Arc<[f64]> {
+        Arc::clone(&self.diag)
     }
 
     /// Total time to program every cluster, with the clusters of
@@ -283,6 +308,87 @@ impl AcceleratorPlatform {
     /// Total programming energy.
     pub fn write_energy(&self) -> f64 {
         self.clusters.iter().map(|c| c.write_energy).sum()
+    }
+}
+
+impl AcceleratorPlatform {
+    /// Builds the engine from a blocked matrix: programs a fresh
+    /// operator and opens a session on it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the blocked matrix is not square.
+    pub fn new(blocked: &BlockedMatrix, config: AcceleratorConfig) -> Self {
+        Self::from_operator(Arc::new(FastOperator::program(blocked, config)))
+    }
+
+    /// Opens a fresh solve session on an already-programmed operator.
+    ///
+    /// No crossbar writes happen here: the session only allocates its
+    /// (initially empty) scratch arenas and zeroed cost accumulators.
+    /// A session built this way behaves bitwise identically to one
+    /// built by [`AcceleratorPlatform::new`] on the same matrix.
+    pub fn from_operator(op: Arc<FastOperator>) -> Self {
+        AcceleratorPlatform {
+            op,
+            scratch_dots: Vec::new(),
+            scratch_cols: Vec::new(),
+            scratch_batch_dots: Vec::new(),
+            rbuf: Vec::new(),
+            batch_rbufs: Vec::new(),
+            bank_time_scratch: Vec::new(),
+            bank_interrupts_scratch: Vec::new(),
+            time: 0.0,
+            energy: 0.0,
+            last_spmv: SpmvStats::default(),
+            spmv_count: 0,
+        }
+    }
+
+    /// The shared programmed operator behind this session.
+    pub fn operator(&self) -> &Arc<FastOperator> {
+        &self.op
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &AcceleratorConfig {
+        &self.op.config
+    }
+
+    /// Number of populated clusters.
+    pub fn cluster_count(&self) -> usize {
+        self.op.cluster_count()
+    }
+
+    /// Non-zeros handled by the local processors.
+    pub fn residual_nnz(&self) -> usize {
+        self.op.residual_nnz()
+    }
+
+    /// Blocking efficiency of the underlying matrix.
+    pub fn blocking_efficiency(&self) -> f64 {
+        self.op.blocking_efficiency
+    }
+
+    /// Statistics of the most recent sparse MVM.
+    pub fn last_spmv(&self) -> &SpmvStats {
+        &self.last_spmv
+    }
+
+    /// Sparse MVMs performed so far by this session.
+    pub fn spmv_count(&self) -> u64 {
+        self.spmv_count
+    }
+
+    /// Total time to program every cluster (see
+    /// [`FastOperator::write_time`]).
+    pub fn write_time(&self) -> f64 {
+        self.op.write_time()
+    }
+
+    /// Total programming energy.
+    pub fn write_energy(&self) -> f64 {
+        self.op.write_energy()
     }
 
     /// Estimates the vector slices a row needs before its mantissa
@@ -309,14 +415,17 @@ impl AcceleratorPlatform {
     }
 
     fn charge_spmv_cost<V: AsRef<[f64]>>(&mut self, x: &[f64], dots: &[V]) {
-        let cost = &self.config.cost;
-        let cell = &self.config.cell;
+        // The operator handle is cloned so the (immutable) programmed
+        // state can be read while the session's accumulators mutate.
+        let op = Arc::clone(&self.op);
+        let cost = &op.config.cost;
+        let cell = &op.config.cell;
         let mut bank_cluster_time = std::mem::take(&mut self.bank_time_scratch);
         bank_cluster_time.clear();
-        bank_cluster_time.resize(self.config.banks, 0.0);
+        bank_cluster_time.resize(op.config.banks, 0.0);
         let mut bank_interrupts = std::mem::take(&mut self.bank_interrupts_scratch);
         bank_interrupts.clear();
-        bank_interrupts.resize(self.config.banks, 0);
+        bank_interrupts.resize(op.config.banks, 0);
         let mut energy = 0.0f64;
         let mut total_slices = 0usize;
         let mut max_slices = 0usize;
@@ -324,9 +433,9 @@ impl AcceleratorPlatform {
         let mut conv_possible = 0.0f64;
         let telemetry_on = memsci_telemetry::enabled();
 
-        for (ci, cluster) in self.clusters.iter().enumerate() {
+        for (ci, cluster) in op.clusters.iter().enumerate() {
             let cluster_dots = dots[ci].as_ref();
-            let hi = (cluster.col0 + cluster.size).min(self.n);
+            let hi = (cluster.col0 + cluster.size).min(op.n);
             let (x_exp_base, x_mag_bits) = vector_stats(&x[cluster.col0..hi]);
             if x_mag_bits == 0 {
                 continue; // all-zero vector section: nothing applied
@@ -417,28 +526,27 @@ impl AcceleratorPlatform {
             max_slices = max_slices.max(cluster_max_used);
         }
 
-        let local = &self.config.local;
+        let local = &op.config.local;
         let mut worst_bank = 0.0f64;
         let mut worst_cluster = 0.0f64;
         let mut worst_residual = 0.0f64;
-        for bank in 0..self.config.banks {
-            let residual_time = local.residual_time_split(
-                self.bank_residual_local[bank],
-                self.bank_residual_remote[bank],
-            ) + bank_interrupts[bank] as f64 * local.interrupt_time;
+        for bank in 0..op.config.banks {
+            let residual_time = local
+                .residual_time_split(op.bank_residual_local[bank], op.bank_residual_remote[bank])
+                + bank_interrupts[bank] as f64 * local.interrupt_time;
             let bank_time = bank_cluster_time[bank].max(residual_time);
             worst_bank = worst_bank.max(bank_time);
             worst_cluster = worst_cluster.max(bank_cluster_time[bank]);
             worst_residual = worst_residual.max(residual_time);
             energy += local.energy(residual_time);
         }
-        let time = worst_bank + self.config.barrier_time;
-        energy += self.config.system_static_power * time;
+        let time = worst_bank + op.config.barrier_time;
+        energy += op.config.system_static_power * time;
 
         self.time += time;
         self.energy += energy;
         self.spmv_count += 1;
-        let cluster_count = self.clusters.len().max(1);
+        let cluster_count = op.clusters.len().max(1);
         self.last_spmv = SpmvStats {
             time,
             energy,
@@ -473,15 +581,16 @@ impl AcceleratorPlatform {
     }
 
     fn dense_kernel(&mut self, per_elem_time: impl Fn(usize) -> f64, extra: f64) {
-        let max_elems = self.bank_elems.iter().copied().max().unwrap_or(0);
+        let op = &self.op;
+        let max_elems = op.bank_elems.iter().copied().max().unwrap_or(0);
         let time = per_elem_time(max_elems) + extra;
-        let busy: f64 = self
+        let busy: f64 = op
             .bank_elems
             .iter()
-            .map(|&e| self.config.local.energy(per_elem_time(e)))
+            .map(|&e| op.config.local.energy(per_elem_time(e)))
             .sum();
         self.time += time;
-        self.energy += busy + self.config.system_static_power * time;
+        self.energy += busy + op.config.system_static_power * time;
     }
 }
 
@@ -503,19 +612,20 @@ fn vector_stats(x: &[f64]) -> (i32, usize) {
 
 impl Platform for AcceleratorPlatform {
     fn n(&self) -> usize {
-        self.n
+        self.op.n
     }
 
     fn spmv(&mut self, x: &[f64], y: &mut [f64]) {
         let _span = memsci_telemetry::span("engine/spmv");
         memsci_telemetry::incr(memsci_telemetry::Counter::SpmvOps, 1);
-        assert_eq!(x.len(), self.n, "x length");
-        assert_eq!(y.len(), self.n, "y length");
+        assert_eq!(x.len(), self.op.n, "x length");
+        assert_eq!(y.len(), self.op.n, "y length");
         y.fill(0.0);
-        let spec = PipelineSpec::from_config(&self.config);
-        let n = self.n;
-        let clusters = &self.clusters;
-        let residual = &self.residual;
+        let op = Arc::clone(&self.op);
+        let spec = PipelineSpec::from_config(&op.config);
+        let n = op.n;
+        let clusters = &op.clusters;
+        let residual = &op.residual;
         // Cluster lane: per-cluster dot products fan out across worker
         // threads, each task writing only its own reused buffer from
         // the platform's scratch arena. Residual lane: row sums into
@@ -580,7 +690,8 @@ impl Platform for AcceleratorPlatform {
         let k = xs.len();
         let _span = memsci_telemetry::span("engine/spmv_batch");
         memsci_telemetry::incr(memsci_telemetry::Counter::SpmvOps, k as u64);
-        let n = self.n;
+        let op = Arc::clone(&self.op);
+        let n = op.n;
         for x in xs {
             assert_eq!(x.len(), n, "x length");
         }
@@ -588,9 +699,9 @@ impl Platform for AcceleratorPlatform {
             y.clear();
             y.resize(n, 0.0);
         }
-        let spec = PipelineSpec::from_config(&self.config);
-        let clusters = &self.clusters;
-        let residual = &self.residual;
+        let spec = PipelineSpec::from_config(&op.config);
+        let clusters = &op.clusters;
+        let residual = &op.residual;
         // Same lanes and merge order as `spmv`, hoisted around the
         // batch: the cluster lane fans out once and every shard walks
         // all k vectors against its programmed cluster (plan and
@@ -666,13 +777,14 @@ impl Platform for AcceleratorPlatform {
     fn spmv_transpose(&mut self, x: &[f64], y: &mut [f64]) {
         let _span = memsci_telemetry::span("engine/spmv_transpose");
         memsci_telemetry::incr(memsci_telemetry::Counter::SpmvTransposeOps, 1);
-        assert_eq!(x.len(), self.n, "x length");
-        assert_eq!(y.len(), self.n, "y length");
+        assert_eq!(x.len(), self.op.n, "x length");
+        assert_eq!(y.len(), self.op.n, "y length");
         y.fill(0.0);
-        let spec = PipelineSpec::from_config(&self.config);
-        let n = self.n;
-        let clusters = &self.clusters;
-        let residual_t = &self.residual_t;
+        let op = Arc::clone(&self.op);
+        let spec = PipelineSpec::from_config(&op.config);
+        let n = op.n;
+        let clusters = &op.clusters;
+        let residual_t = &op.residual_t;
         // Functional transpose; cost modelled as a forward MVM over the
         // mirrored mapping (a deployment would program Aᵀ). Each
         // cluster scatters into its reused column buffer over its own
@@ -723,10 +835,8 @@ impl Platform for AcceleratorPlatform {
             },
         );
         // Approximate transpose dots by forward magnitudes for costing,
-        // using the plan's precomputed all-ones estimate.
-        let dots_est = std::mem::take(&mut self.dots_est);
-        self.charge_spmv_cost(x, &dots_est);
-        self.dots_est = dots_est;
+        // using the operator's precomputed all-ones estimate.
+        self.charge_spmv_cost(x, &op.dots_est);
         self.last_spmv.exec = exec;
         self.scratch_cols = cols;
         self.rbuf = rbuf;
@@ -734,33 +844,22 @@ impl Platform for AcceleratorPlatform {
 
     fn dot(&mut self, x: &[f64], y: &[f64]) -> f64 {
         memsci_telemetry::incr(memsci_telemetry::Counter::DotOps, 1);
-        let reduce = self.config.local.global_reduce_time;
-        let local = self.config.local;
+        let reduce = self.op.config.local.global_reduce_time;
+        let local = self.op.config.local;
         self.dense_kernel(|e| local.dot_time(e), reduce);
         dot_f64(x, y)
     }
 
     fn axpby(&mut self, alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
         memsci_telemetry::incr(memsci_telemetry::Counter::AxpbyOps, 1);
-        let barrier = self.config.barrier_time;
-        let local = self.config.local;
+        let barrier = self.op.config.barrier_time;
+        let local = self.op.config.local;
         self.dense_kernel(|e| local.axpy_time(e), barrier);
         axpby_f64(alpha, x, beta, y);
     }
 
-    fn diagonal(&self) -> Vec<f64> {
-        let mut diag = self.residual.diagonal();
-        for cluster in &self.clusters {
-            for (lr, entries) in &cluster.rows {
-                let gr = cluster.row0 + *lr as usize;
-                for &(c, v) in entries {
-                    if cluster.col0 + c as usize == gr {
-                        diag[gr] += v;
-                    }
-                }
-            }
-        }
-        diag
+    fn diagonal(&self) -> Arc<[f64]> {
+        self.op.diagonal()
     }
 
     fn elapsed_seconds(&self) -> f64 {
@@ -901,7 +1000,57 @@ mod tests {
     fn diagonal_combines_blocks_and_residual() {
         let a = poisson2d(24, 24);
         let acc = accelerate(&a, AcceleratorConfig::with_banks(2));
-        assert_eq!(acc.diagonal(), a.diagonal());
+        assert_eq!(&*acc.diagonal(), a.diagonal().as_slice());
+    }
+
+    #[test]
+    fn diagonal_is_precomputed_and_shared() {
+        // The diagonal comes from the operator, assembled at program
+        // time: repeated calls hand out views of the same allocation,
+        // bitwise equal to the recomputed reference.
+        let a = banded(300, 9, 0.7, ValueModel::with_spread(7), &mut rng()).to_csr();
+        let acc = accelerate(&a, AcceleratorConfig::with_banks(3));
+        let d1 = acc.diagonal();
+        let d2 = acc.diagonal();
+        assert!(
+            std::sync::Arc::ptr_eq(&d1, &d2),
+            "diagonal must be shared, not rebuilt"
+        );
+        let want = a.diagonal();
+        assert_eq!(d1.len(), want.len());
+        for (u, v) in d1.iter().zip(&want) {
+            assert_eq!(u.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn sessions_share_one_operator_bitwise() {
+        // Two sessions over one programmed operator produce the same
+        // bits (outputs and modelled cost) as a freshly-built platform.
+        let a = banded(500, 11, 0.7, ValueModel::with_spread(9), &mut rng()).to_csr();
+        let blocked = BlockedMatrix::block(&a, &BlockingConfig::default());
+        let config = AcceleratorConfig::with_banks(4);
+        let mut fresh = AcceleratorPlatform::new(&blocked, config.clone());
+        let op = std::sync::Arc::clone(fresh.operator());
+        let x: Vec<f64> = (0..500).map(|i| (i as f64 * 0.13).sin() * 2.0).collect();
+        let mut y_fresh = vec![0.0; 500];
+        fresh.spmv(&x, &mut y_fresh);
+        for _ in 0..2 {
+            let mut session = AcceleratorPlatform::from_operator(std::sync::Arc::clone(&op));
+            let mut y = vec![0.0; 500];
+            session.spmv(&x, &mut y);
+            for (u, v) in y.iter().zip(&y_fresh) {
+                assert_eq!(u.to_bits(), v.to_bits());
+            }
+            assert_eq!(
+                session.elapsed_seconds().to_bits(),
+                fresh.elapsed_seconds().to_bits()
+            );
+            assert_eq!(
+                session.energy_joules().to_bits(),
+                fresh.energy_joules().to_bits()
+            );
+        }
     }
 
     #[test]
@@ -1021,7 +1170,7 @@ mod edge_tests {
         let mut y = vec![0.0; 100];
         acc.spmv(&x, &mut y);
         assert_eq!(y, x);
-        assert_eq!(acc.diagonal(), vec![1.0; 100]);
+        assert_eq!(&*acc.diagonal(), &[1.0; 100][..]);
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //! [`crate::engine::AcceleratorPlatform`], so it is meant for small
 //! systems.
 
+use std::sync::Arc;
+
 use memsci_numeric::align::AlignError;
 use memsci_solvers::platform::{axpby_f64, dot_f64, Platform};
 use memsci_sparse::{BlockedMatrix, Coo, Csr};
@@ -69,7 +71,10 @@ struct ExactCluster {
     row0: usize,
     col0: usize,
     bank: usize,
-    cluster: Cluster,
+    /// The programmed crossbars, shared with the operator (and every
+    /// sibling session) until a repair reprograms this cluster — then
+    /// the session swaps in its own freshly-programmed copy.
+    cluster: Arc<Cluster>,
     /// Private read-noise stream (RTN, absent-cell noise), seeded from
     /// the user seed and the cluster's build index so results never
     /// depend on which worker thread simulates the cluster.
@@ -84,8 +89,9 @@ struct ExactCluster {
     build_index: u64,
     /// Tile-local entries that programmed cleanly at build (alignment
     /// evictions removed), kept so the repair lane can reprogram the
-    /// cluster or degrade it to the residual path.
-    entries: Vec<(u16, u16, f64)>,
+    /// cluster or degrade it to the residual path. Shared with the
+    /// operator; repairs only read it.
+    entries: Arc<Vec<(u16, u16, f64)>>,
     /// Remaining reprogram-and-retry budget.
     retries_left: u32,
     /// Endurance writes this cluster has absorbed (initial program
@@ -134,25 +140,72 @@ struct ClusterOutcome {
     fault: Option<MvmFault>,
 }
 
-/// The bit-exact accelerator platform.
+/// The programmed (immutable) state of one cluster, shared by sessions.
 #[derive(Debug)]
-pub struct ExactAcceleratorPlatform {
+struct ClusterProgram {
+    row0: usize,
+    col0: usize,
+    bank: usize,
+    build_index: u64,
+    cluster: Arc<Cluster>,
+    entries: Arc<Vec<(u16, u16, f64)>>,
+}
+
+/// One bank's programmed clusters, in build order.
+#[derive(Debug)]
+struct BankProgram {
+    bank: usize,
+    clusters: Vec<ClusterProgram>,
+}
+
+/// The immutable programmed state of the bit-exact platform: every
+/// simulated cluster with its crossbar contents, the residual and
+/// transpose operators, cost-model splits and the precomputed diagonal.
+/// Programming happens exactly once, here; solve sessions
+/// ([`ExactAcceleratorPlatform`]) share one operator behind an [`Arc`]
+/// and never write a crossbar again (repairs excepted, which
+/// copy-on-write the afflicted cluster into the session).
+#[derive(Debug)]
+pub struct ExactOperator {
     config: AcceleratorConfig,
     opts: ExactOptions,
     n: usize,
     /// Clusters grouped by owning bank (the cluster lane's shards),
     /// bank-major in ascending bank order.
-    banks: Vec<ExactBank>,
-    residual: Csr,
+    banks: Vec<BankProgram>,
+    residual: Arc<Csr>,
     /// Explicit transpose of the full operator (blocks + residual,
     /// ideal values), backing [`Platform::spmv_transpose`].
     transpose: Csr,
-    diag: Vec<f64>,
+    /// The operator's main diagonal, assembled once at program time.
+    diag: Arc<[f64]>,
     bank_residual_local: Vec<usize>,
     bank_residual_remote: Vec<usize>,
     bank_transpose_local: Vec<usize>,
     bank_transpose_remote: Vec<usize>,
     bank_elems: Vec<usize>,
+    /// Endurance writes absorbed per bank by the initial programming.
+    bank_wear: Vec<u64>,
+    /// High-water mark of per-cluster endurance writes at build.
+    wear_max: u64,
+}
+
+/// The bit-exact accelerator platform: a solve session over a shared
+/// [`ExactOperator`], owning the per-cluster mutable state (read-noise
+/// streams, MVM scratch, retry budgets), the session residual operator
+/// (which grows when clusters degrade) and the cost accumulators.
+#[derive(Debug)]
+pub struct ExactAcceleratorPlatform {
+    op: Arc<ExactOperator>,
+    /// Session clusters grouped by bank, mirroring the operator's
+    /// bank-major order.
+    banks: Vec<ExactBank>,
+    /// Session view of the residual operator: starts as the shared
+    /// programmed residual and is copied-on-write when a cluster
+    /// degrades onto the residual path.
+    residual: Arc<Csr>,
+    bank_residual_local: Vec<usize>,
+    bank_residual_remote: Vec<usize>,
     /// Residual-lane row sums reused across kernels.
     rbuf: Vec<f64>,
     /// Per-RHS residual-lane row sums reused across batched MVMs.
@@ -177,9 +230,10 @@ pub struct ExactAcceleratorPlatform {
     wear_max: u64,
 }
 
-impl ExactAcceleratorPlatform {
-    /// Builds the platform, programming every mapped cluster (with
-    /// programming errors sampled from the configured cell spec).
+impl ExactOperator {
+    /// Programs every mapped cluster (with programming errors sampled
+    /// from the configured cell spec) and assembles the shared operator
+    /// state.
     ///
     /// # Errors
     ///
@@ -189,7 +243,7 @@ impl ExactAcceleratorPlatform {
     /// # Panics
     ///
     /// Panics if the blocked matrix is not square.
-    pub fn new(
+    pub fn program(
         blocked: &BlockedMatrix,
         config: AcceleratorConfig,
         opts: ExactOptions,
@@ -256,20 +310,13 @@ impl ExactAcceleratorPlatform {
             };
             bank_wear[load.bank] += 1;
             let build_index = clusters.len() as u64;
-            let stream = memsci_exec::task_seed(opts.seed ^ RNG_STREAM_SALT, build_index);
-            clusters.push(ExactCluster {
+            clusters.push(ClusterProgram {
                 row0: load.row0 as usize,
                 col0: load.col0 as usize,
                 bank: load.bank,
-                cluster: outcome.cluster,
-                rng: StdRng::seed_from_u64(stream),
-                scratch: MvmScratch::default(),
-                ybuf: Vec::new(),
                 build_index,
-                entries,
-                retries_left: opts.retry_limit,
-                writes: 1,
-                dead: false,
+                cluster: Arc::new(outcome.cluster),
+                entries: Arc::new(entries),
             });
         }
         let wear_max = u64::from(!clusters.is_empty());
@@ -280,18 +327,14 @@ impl ExactAcceleratorPlatform {
         // Group the cluster inventory by owning bank: the cluster lane
         // shards over banks, and the ordered merge walks this fixed
         // bank-major order regardless of thread count.
-        let mut by_bank: std::collections::BTreeMap<usize, Vec<ExactCluster>> =
+        let mut by_bank: std::collections::BTreeMap<usize, Vec<ClusterProgram>> =
             std::collections::BTreeMap::new();
-        for ec in clusters {
-            by_bank.entry(ec.bank).or_default().push(ec);
+        for cp in clusters {
+            by_bank.entry(cp.bank).or_default().push(cp);
         }
-        let banks: Vec<ExactBank> = by_bank
+        let banks: Vec<BankProgram> = by_bank
             .into_iter()
-            .map(|(bank, clusters)| ExactBank {
-                bank,
-                clusters,
-                x_pad: Vec::new(),
-            })
+            .map(|(bank, clusters)| BankProgram { bank, clusters })
             .collect();
         let residual = residual_coo.to_csr();
         // Diagonal of the full matrix (blocks + residual), kept for the
@@ -325,19 +368,118 @@ impl ExactAcceleratorPlatform {
         for r in 0..n {
             bank_elems[(r / section) % config.banks] += 1;
         }
-        Ok(ExactAcceleratorPlatform {
+        Ok(ExactOperator {
             config,
             opts,
             n,
             banks,
-            residual,
+            residual: Arc::new(residual),
             transpose,
-            diag,
+            diag: diag.into(),
             bank_residual_local,
             bank_residual_remote,
             bank_transpose_local,
             bank_transpose_remote,
             bank_elems,
+            bank_wear,
+            wear_max,
+        })
+    }
+
+    /// Problem dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The accelerator configuration the operator was programmed under.
+    pub fn config(&self) -> &AcceleratorConfig {
+        &self.config
+    }
+
+    /// The exact-simulation options the operator was programmed under.
+    pub fn options(&self) -> &ExactOptions {
+        &self.opts
+    }
+
+    /// Number of programmed clusters.
+    pub fn cluster_count(&self) -> usize {
+        self.banks.iter().map(|b| b.clusters.len()).sum()
+    }
+
+    /// Non-zeros on the programmed residual path.
+    pub fn residual_nnz(&self) -> usize {
+        self.residual.nnz()
+    }
+
+    /// The operator's main diagonal, precomputed at program time.
+    pub fn diagonal(&self) -> Arc<[f64]> {
+        Arc::clone(&self.diag)
+    }
+}
+
+impl ExactAcceleratorPlatform {
+    /// Builds the platform, programming every mapped cluster (with
+    /// programming errors sampled from the configured cell spec).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlignError`] if a blocked value is non-finite (the
+    /// preprocessor guarantees the exponent ranges fit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the blocked matrix is not square.
+    pub fn new(
+        blocked: &BlockedMatrix,
+        config: AcceleratorConfig,
+        opts: ExactOptions,
+    ) -> Result<Self, AlignError> {
+        Ok(Self::from_operator(Arc::new(ExactOperator::program(
+            blocked, config, opts,
+        )?)))
+    }
+
+    /// Opens a fresh solve session on an already-programmed operator.
+    /// No crossbar writes happen here: the session re-derives every
+    /// per-cluster read-noise stream from the operator's seed and the
+    /// cluster's build index, so a session over a cached operator is
+    /// bit-identical to a freshly-built platform.
+    pub fn from_operator(op: Arc<ExactOperator>) -> Self {
+        let banks = op
+            .banks
+            .iter()
+            .map(|bp| ExactBank {
+                bank: bp.bank,
+                clusters: bp
+                    .clusters
+                    .iter()
+                    .map(|cp| {
+                        let stream =
+                            memsci_exec::task_seed(op.opts.seed ^ RNG_STREAM_SALT, cp.build_index);
+                        ExactCluster {
+                            row0: cp.row0,
+                            col0: cp.col0,
+                            bank: cp.bank,
+                            cluster: Arc::clone(&cp.cluster),
+                            rng: StdRng::seed_from_u64(stream),
+                            scratch: MvmScratch::default(),
+                            ybuf: Vec::new(),
+                            build_index: cp.build_index,
+                            entries: Arc::clone(&cp.entries),
+                            retries_left: op.opts.retry_limit,
+                            writes: 1,
+                            dead: false,
+                        }
+                    })
+                    .collect(),
+                x_pad: Vec::new(),
+            })
+            .collect();
+        ExactAcceleratorPlatform {
+            banks,
+            residual: Arc::clone(&op.residual),
+            bank_residual_local: op.bank_residual_local.clone(),
+            bank_residual_remote: op.bank_residual_remote.clone(),
             rbuf: Vec::new(),
             batch_rbufs: Vec::new(),
             time: 0.0,
@@ -348,9 +490,15 @@ impl ExactAcceleratorPlatform {
             faults_corrected: 0,
             cluster_reprograms: 0,
             retries_exhausted: 0,
-            bank_wear,
-            wear_max,
-        })
+            bank_wear: op.bank_wear.clone(),
+            wear_max: op.wear_max,
+            op,
+        }
+    }
+
+    /// The shared programmed operator behind this session.
+    pub fn operator(&self) -> &Arc<ExactOperator> {
+        &self.op
     }
 
     /// Number of programmed clusters.
@@ -358,7 +506,7 @@ impl ExactAcceleratorPlatform {
         self.banks.iter().map(|b| b.clusters.len()).sum()
     }
 
-    /// Non-zeros on the residual path.
+    /// Non-zeros on the residual path (grows as clusters degrade).
     pub fn residual_nnz(&self) -> usize {
         self.residual.nnz()
     }
@@ -405,15 +553,16 @@ impl ExactAcceleratorPlatform {
     }
 
     fn dense_kernel(&mut self, per_elem_time: impl Fn(usize) -> f64, extra: f64) {
-        let max_elems = self.bank_elems.iter().copied().max().unwrap_or(0);
+        let op = &self.op;
+        let max_elems = op.bank_elems.iter().copied().max().unwrap_or(0);
         let time = per_elem_time(max_elems) + extra;
-        let busy: f64 = self
+        let busy: f64 = op
             .bank_elems
             .iter()
-            .map(|&e| self.config.local.energy(per_elem_time(e)))
+            .map(|&e| op.config.local.energy(per_elem_time(e)))
             .sum();
         self.time += time;
-        self.energy += busy + self.config.system_static_power * time;
+        self.energy += busy + self.op.config.system_static_power * time;
     }
 
     /// Serial repair lane for clusters that raised an [`MvmFault`]
@@ -431,7 +580,8 @@ impl ExactAcceleratorPlatform {
         mvm_opts: &MvmOptions,
     ) {
         let _span = memsci_telemetry::span("exact/repair");
-        let n = self.n;
+        let op = Arc::clone(&self.op);
+        let n = op.n;
         let mut new_residual: Vec<(usize, usize, f64)> = Vec::new();
         for &(si, ci) in faulted {
             loop {
@@ -455,7 +605,7 @@ impl ExactAcceleratorPlatform {
                             ec.row0, ec.col0
                         ),
                     );
-                    for &(r, c, v) in &ec.entries {
+                    for &(r, c, v) in ec.entries.iter() {
                         let (gr, gc) = (ec.row0 + r as usize, ec.col0 + c as usize);
                         if gr < n && gc < n {
                             y[gr] += v * x[gc];
@@ -488,16 +638,16 @@ impl ExactAcceleratorPlatform {
                 // Fresh write: drift resets, endurance accumulates.
                 let spec = ClusterSpec {
                     size: ec.cluster.n(),
-                    cell: self.config.cell,
-                    cost: self.config.cost,
-                    an_enabled: self.config.an_enabled,
-                    rtn_probability: self.opts.rtn_probability,
+                    cell: op.config.cell,
+                    cost: op.config.cost,
+                    an_enabled: op.config.an_enabled,
+                    rtn_probability: op.opts.rtn_probability,
                     max_magnitude_bits: memsci_numeric::align::MAX_MAGNITUDE_BITS,
                     write_age: 0,
                     reprograms: ec.writes - 1,
                 };
                 let stream = memsci_exec::task_seed(
-                    self.opts.seed ^ REPAIR_SALT,
+                    op.opts.seed ^ REPAIR_SALT,
                     ec.build_index * 64 + ec.writes,
                 );
                 let mut prng = StdRng::seed_from_u64(stream);
@@ -505,9 +655,10 @@ impl ExactAcceleratorPlatform {
                     Ok(outcome) => {
                         // Alignment evictions are value-determined, so
                         // an entry set that programmed cleanly at build
-                        // programs cleanly again.
+                        // programs cleanly again. The repaired crossbars
+                        // are private to this session.
                         debug_assert!(outcome.evicted.is_empty());
-                        ec.cluster = outcome.cluster;
+                        ec.cluster = Arc::new(outcome.cluster);
                     }
                     Err(_) => {
                         // Unreachable for an entry set that programmed
@@ -566,15 +717,17 @@ impl ExactAcceleratorPlatform {
             }
         }
         if !new_residual.is_empty() {
-            let mut coo = Coo::new(self.n, self.n);
+            let mut coo = Coo::new(n, n);
             for (r, c, v) in self.residual.iter() {
                 coo.push(r, c, v).expect("in range");
             }
             for &(r, c, v) in &new_residual {
                 coo.push(r, c, v).expect("in range");
             }
-            self.residual = coo.to_csr();
-            let (local, remote) = split_by_bank(&self.residual, &self.config, self.n);
+            // Copy-on-write: the grown residual is private to this
+            // session; the shared operator keeps its programmed one.
+            self.residual = Arc::new(coo.to_csr());
+            let (local, remote) = split_by_bank(&self.residual, &op.config, n);
             self.bank_residual_local = local;
             self.bank_residual_remote = remote;
         }
@@ -602,24 +755,25 @@ fn split_by_bank(m: &Csr, config: &AcceleratorConfig, n: usize) -> (Vec<usize>, 
 
 impl Platform for ExactAcceleratorPlatform {
     fn n(&self) -> usize {
-        self.n
+        self.op.n
     }
 
     fn spmv(&mut self, x: &[f64], y: &mut [f64]) {
         let _span = memsci_telemetry::span("exact/spmv");
         memsci_telemetry::incr(memsci_telemetry::Counter::SpmvOps, 1);
-        assert_eq!(x.len(), self.n, "x length");
-        assert_eq!(y.len(), self.n, "y length");
+        let op = Arc::clone(&self.op);
+        assert_eq!(x.len(), op.n, "x length");
+        assert_eq!(y.len(), op.n, "y length");
         y.fill(0.0);
-        let spec = PipelineSpec::from_config(&self.config);
-        let n = self.n;
-        let mut mvm_opts = self.opts.mvm;
+        let spec = PipelineSpec::from_config(&op.config);
+        let n = op.n;
+        let mut mvm_opts = op.opts.mvm;
         // An armed retry budget switches detections from nearest-codeword
         // fallback to typed faults the repair lane can act on.
-        mvm_opts.fault_on_detection |= self.opts.retry_limit > 0;
+        mvm_opts.fault_on_detection |= op.opts.retry_limit > 0;
         let mut rbuf = std::mem::take(&mut self.rbuf);
         let banks = &mut self.banks;
-        let residual = &self.residual;
+        let residual = Arc::clone(&self.residual);
         let tasks = banks.len();
         let (bank_results, rbuf, _exec) = pipeline::run_stages(
             &spec,
@@ -739,8 +893,8 @@ impl Platform for ExactAcceleratorPlatform {
             },
         );
         memsci_telemetry::incr(memsci_telemetry::Counter::BankShardTasks, tasks as u64);
-        let mut bank_cluster_time = vec![0.0f64; self.config.banks];
-        let mut bank_interrupts = vec![0usize; self.config.banks];
+        let mut bank_cluster_time = vec![0.0f64; op.config.banks];
+        let mut bank_interrupts = vec![0usize; op.config.banks];
         let mut energy = 0.0f64;
         for outcome in bank_results.iter().flatten() {
             energy += outcome.energy;
@@ -751,9 +905,9 @@ impl Platform for ExactAcceleratorPlatform {
             self.faults_detected += outcome.faults_detected;
             self.faults_corrected += outcome.faults_corrected;
         }
-        let local = self.config.local;
+        let local = op.config.local;
         let mut worst = 0.0f64;
-        for bank in 0..self.config.banks {
+        for bank in 0..op.config.banks {
             let residual_time = local.residual_time_split(
                 self.bank_residual_local[bank],
                 self.bank_residual_remote[bank],
@@ -761,9 +915,9 @@ impl Platform for ExactAcceleratorPlatform {
             worst = worst.max(bank_cluster_time[bank].max(residual_time));
             energy += local.energy(residual_time);
         }
-        let time = worst + self.config.barrier_time;
+        let time = worst + op.config.barrier_time;
         self.time += time;
-        self.energy += energy + self.config.system_static_power * time;
+        self.energy += energy + op.config.system_static_power * time;
         // Return the lent buffers to their owners so the next kernel
         // runs warm (outcome order matches cluster order per bank), and
         // collect any raised faults for the serial repair lane.
@@ -787,14 +941,14 @@ impl Platform for ExactAcceleratorPlatform {
         if xs.is_empty() {
             return;
         }
-        if self.opts.retry_limit > 0 || self.opts.mvm.fault_on_detection {
+        if self.op.opts.retry_limit > 0 || self.op.opts.mvm.fault_on_detection {
             // The repair lane is serial and may reprogram clusters or
             // grow the residual operator mid-batch, so armed platforms
             // take one solo kernel per RHS: every repair lands between
             // kernels and the batch reproduces k solo calls exactly.
             for (x, y) in xs.iter().zip(ys.iter_mut()) {
                 y.clear();
-                y.resize(self.n, 0.0);
+                y.resize(self.op.n, 0.0);
                 self.spmv(x, y);
             }
             return;
@@ -802,7 +956,8 @@ impl Platform for ExactAcceleratorPlatform {
         let k = xs.len();
         let _span = memsci_telemetry::span("exact/spmv_batch");
         memsci_telemetry::incr(memsci_telemetry::Counter::SpmvOps, k as u64);
-        let n = self.n;
+        let op = Arc::clone(&self.op);
+        let n = op.n;
         for x in xs {
             assert_eq!(x.len(), n, "x length");
         }
@@ -810,12 +965,12 @@ impl Platform for ExactAcceleratorPlatform {
             y.clear();
             y.resize(n, 0.0);
         }
-        let spec = PipelineSpec::from_config(&self.config);
-        let mvm_opts = self.opts.mvm;
+        let spec = PipelineSpec::from_config(&op.config);
+        let mvm_opts = op.opts.mvm;
         let mut rbufs = std::mem::take(&mut self.batch_rbufs);
         rbufs.resize_with(k, Vec::new);
         let banks = &mut self.banks;
-        let residual = &self.residual;
+        let residual = Arc::clone(&self.residual);
         let tasks = banks.len();
         // One shard fan-out streams the whole batch: each bank walks
         // its clusters once and pushes all k vectors through every
@@ -918,8 +1073,8 @@ impl Platform for ExactAcceleratorPlatform {
         // Cost accounting runs per vector in batch order, accumulating
         // modelled time/energy in the same float order as k solo calls.
         for j in 0..k {
-            let mut bank_cluster_time = vec![0.0f64; self.config.banks];
-            let mut bank_interrupts = vec![0usize; self.config.banks];
+            let mut bank_cluster_time = vec![0.0f64; op.config.banks];
+            let mut bank_interrupts = vec![0usize; op.config.banks];
             let mut energy = 0.0f64;
             for per_vec in bank_results.iter().flatten() {
                 let outcome = &per_vec[j];
@@ -931,9 +1086,9 @@ impl Platform for ExactAcceleratorPlatform {
                 self.faults_detected += outcome.faults_detected;
                 self.faults_corrected += outcome.faults_corrected;
             }
-            let local = self.config.local;
+            let local = op.config.local;
             let mut worst = 0.0f64;
-            for bank in 0..self.config.banks {
+            for bank in 0..op.config.banks {
                 let residual_time = local.residual_time_split(
                     self.bank_residual_local[bank],
                     self.bank_residual_remote[bank],
@@ -941,9 +1096,9 @@ impl Platform for ExactAcceleratorPlatform {
                 worst = worst.max(bank_cluster_time[bank].max(residual_time));
                 energy += local.energy(residual_time);
             }
-            let time = worst + self.config.barrier_time;
+            let time = worst + op.config.barrier_time;
             self.time += time;
-            self.energy += energy + self.config.system_static_power * time;
+            self.energy += energy + op.config.system_static_power * time;
         }
         // Return the lent buffers: the last vector's block warms the
         // next kernel (outcome order matches cluster order per bank).
@@ -960,15 +1115,16 @@ impl Platform for ExactAcceleratorPlatform {
     fn spmv_transpose(&mut self, x: &[f64], y: &mut [f64]) {
         let _span = memsci_telemetry::span("exact/spmv_transpose");
         memsci_telemetry::incr(memsci_telemetry::Counter::SpmvTransposeOps, 1);
-        assert_eq!(x.len(), self.n, "x length");
-        assert_eq!(y.len(), self.n, "y length");
+        let op = Arc::clone(&self.op);
+        assert_eq!(x.len(), op.n, "x length");
+        assert_eq!(y.len(), op.n, "y length");
         // A deployment would program A^T into its own clusters; here
         // the product runs on the digital residual path against the
         // ideal operator, with every non-zero charged at residual-path
         // rates. BiCG therefore pairs a noisy forward operator with an
         // ideal transpose, which the method tolerates.
         let mut rbuf = std::mem::take(&mut self.rbuf);
-        let transpose = &self.transpose;
+        let transpose = &op.transpose;
         let rbuf = pipeline::run_residual_only(
             move || {
                 rbuf.resize(transpose.rows(), 0.0);
@@ -982,40 +1138,40 @@ impl Platform for ExactAcceleratorPlatform {
             |rbuf| y.copy_from_slice(rbuf),
         );
         self.rbuf = rbuf;
-        let local = self.config.local;
+        let local = op.config.local;
         let mut worst = 0.0f64;
         let mut energy = 0.0f64;
-        for bank in 0..self.config.banks {
+        for bank in 0..op.config.banks {
             let time = local.residual_time_split(
-                self.bank_transpose_local[bank],
-                self.bank_transpose_remote[bank],
+                op.bank_transpose_local[bank],
+                op.bank_transpose_remote[bank],
             );
             worst = worst.max(time);
             energy += local.energy(time);
         }
-        let time = worst + self.config.barrier_time;
+        let time = worst + op.config.barrier_time;
         self.time += time;
-        self.energy += energy + self.config.system_static_power * time;
+        self.energy += energy + op.config.system_static_power * time;
     }
 
     fn dot(&mut self, x: &[f64], y: &[f64]) -> f64 {
         memsci_telemetry::incr(memsci_telemetry::Counter::DotOps, 1);
-        let reduce = self.config.local.global_reduce_time;
-        let local = self.config.local;
+        let local = self.op.config.local;
+        let reduce = local.global_reduce_time;
         self.dense_kernel(|e| local.dot_time(e), reduce);
         dot_f64(x, y)
     }
 
     fn axpby(&mut self, alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
         memsci_telemetry::incr(memsci_telemetry::Counter::AxpbyOps, 1);
-        let barrier = self.config.barrier_time;
-        let local = self.config.local;
+        let barrier = self.op.config.barrier_time;
+        let local = self.op.config.local;
         self.dense_kernel(|e| local.axpy_time(e), barrier);
         axpby_f64(alpha, x, beta, y);
     }
 
-    fn diagonal(&self) -> Vec<f64> {
-        self.diag.clone()
+    fn diagonal(&self) -> Arc<[f64]> {
+        self.op.diagonal()
     }
 
     fn elapsed_seconds(&self) -> f64 {

@@ -21,7 +21,17 @@
 //! * [`pipeline`] — the staged SpMV skeleton (decompose → program →
 //!   cluster-MVM → residual-CSR → ordered merge) every platform's
 //!   kernels run through, with per-stage spans and the
-//!   `MEMSCI_OVERLAP` lane-overlap knob.
+//!   `MEMSCI_OVERLAP` lane-overlap knob;
+//! * [`service`] — shareable programmed operators: the
+//!   fingerprint-keyed operator cache and concurrent solve sessions
+//!   over one cached operator.
+//!
+//! Every engine is split into an immutable programmed *operator*
+//! ([`engine::FastOperator`], [`exact::ExactOperator`],
+//! [`multi::MultiOperator`]; `Send + Sync`, shared behind `Arc`) and a
+//! per-solve *session* (the `*Platform` types) owning scratch arenas,
+//! noise streams and cost accumulators. Programming happens once per
+//! operator; sessions are cheap and bit-identical to a fresh build.
 //!
 //! # Examples
 //!
@@ -55,15 +65,20 @@ pub mod mapping;
 pub mod multi;
 pub mod overhead;
 pub mod pipeline;
+pub mod service;
 
 pub use config::{AcceleratorConfig, LocalTimings};
 pub use dispatch::Target;
-pub use engine::{accelerate, AcceleratorPlatform, SpmvStats};
-pub use exact::{ExactAcceleratorPlatform, ExactOptions};
+pub use engine::{accelerate, AcceleratorPlatform, FastOperator, SpmvStats};
+pub use exact::{ExactAcceleratorPlatform, ExactOperator, ExactOptions};
 pub use mapping::{map_blocks, ClusterLoad, Mapping, VectorMapEntry};
 pub use memsci_exec as exec;
 pub use memsci_exec::ExecStats;
 pub use memsci_telemetry as telemetry;
-pub use multi::MultiAcceleratorPlatform;
+pub use multi::{MultiAcceleratorPlatform, MultiOperator};
 pub use overhead::SetupCost;
 pub use pipeline::PipelineSpec;
+pub use service::{
+    solve_concurrent, ConcurrentOutcome, ConcurrentSolve, EngineSpec, OperatorCache,
+    SessionPlatform, SharedOperator,
+};

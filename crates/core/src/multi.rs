@@ -9,53 +9,54 @@
 //! exchange puts the produced stripes back together before the next
 //! kernel.
 
+use std::sync::Arc;
+
 use memsci_exec::ExecStats;
 use memsci_solvers::platform::{axpby_f64, dot_f64, Platform};
 use memsci_sparse::blocking::{BlockedMatrix, BlockingConfig};
 use memsci_sparse::{Coo, Csr};
 
 use crate::config::AcceleratorConfig;
-use crate::engine::AcceleratorPlatform;
+use crate::engine::{AcceleratorPlatform, FastOperator};
 use crate::pipeline::{self, PipelineSpec};
 
-/// One device's stripe engine plus its reusable output buffer.
+/// One device's stripe session plus its reusable output buffer.
 #[derive(Debug, Clone)]
 struct DeviceSlot {
-    /// Engine over the stripe embedded in an n×n matrix (column
-    /// indices, and the incoming x, keep their global meaning).
+    /// Session over the stripe operator embedded in an n×n matrix
+    /// (column indices, and the incoming x, keep their global meaning).
     dev: AcceleratorPlatform,
     /// Reusable per-device output vector, lent to the device lane each
     /// kernel and restored afterwards so iterations run allocation-free.
     buf: Vec<f64>,
 }
 
-/// Several accelerators jointly solving one system.
-#[derive(Debug, Clone)]
-pub struct MultiAcceleratorPlatform {
+/// The immutable programmed state of a multi-accelerator ensemble: one
+/// programmed stripe operator per device, shareable across sessions.
+#[derive(Debug)]
+pub struct MultiOperator {
     n: usize,
-    devices: Vec<DeviceSlot>,
+    devices: Vec<Arc<FastOperator>>,
     /// Seconds to exchange produced vector stripes between iterations.
     sync_time: f64,
     /// Host worker threads for the per-device loop (`None` = machine
     /// parallelism), taken from the accelerator configuration.
     threads: Option<usize>,
-    time: f64,
-    energy: f64,
-    last_exec: ExecStats,
+    /// The ensemble's main diagonal, assembled once at program time.
+    diag: Arc<[f64]>,
 }
 
-impl MultiAcceleratorPlatform {
-    /// Splits a matrix row-wise over `devices` accelerators.
-    ///
-    /// Each stripe is blocked and mapped independently, so every device
-    /// only spends clusters on its own rows. `sync_time` models the
+impl MultiOperator {
+    /// Splits a matrix row-wise over `devices` accelerators and
+    /// programs each stripe independently, so every device only spends
+    /// clusters on its own rows. `sync_time` models the
     /// inter-accelerator exchange after each kernel (e.g. over NVLink-
     /// class links).
     ///
     /// # Panics
     ///
     /// Panics if `devices == 0` or the matrix is not square.
-    pub fn new(a: &Csr, devices: usize, config: AcceleratorConfig, sync_time: f64) -> Self {
+    pub fn program(a: &Csr, devices: usize, config: AcceleratorConfig, sync_time: f64) -> Self {
         assert!(devices > 0, "at least one device");
         let (rows, cols) = a.shape();
         assert_eq!(rows, cols, "platform matrices must be square");
@@ -77,20 +78,89 @@ impl MultiAcceleratorPlatform {
                 }
             }
             let blocked = BlockedMatrix::block(&coo.to_csr(), &BlockingConfig::default());
-            out.push(DeviceSlot {
-                dev: AcceleratorPlatform::new(&blocked, config.clone()),
-                buf: Vec::new(),
-            });
+            out.push(Arc::new(FastOperator::program(&blocked, config.clone())));
         }
-        MultiAcceleratorPlatform {
+        // Stripe diagonals add elementwise in device order — the same
+        // fold the per-call path used to perform.
+        let mut diag = vec![0.0; n];
+        for dev in &out {
+            for (i, v) in dev.diagonal().iter().enumerate() {
+                diag[i] += v;
+            }
+        }
+        MultiOperator {
             n,
             devices: out,
             sync_time,
             threads: config.threads,
+            diag: diag.into(),
+        }
+    }
+
+    /// Problem dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of participating accelerators.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// The ensemble's main diagonal, precomputed at program time.
+    pub fn diagonal(&self) -> Arc<[f64]> {
+        Arc::clone(&self.diag)
+    }
+}
+
+/// Several accelerators jointly solving one system: a solve session
+/// over a shared [`MultiOperator`], owning one stripe session (scratch
+/// + cost accumulators) per device.
+#[derive(Debug, Clone)]
+pub struct MultiAcceleratorPlatform {
+    op: Arc<MultiOperator>,
+    devices: Vec<DeviceSlot>,
+    time: f64,
+    energy: f64,
+    last_exec: ExecStats,
+}
+
+impl MultiAcceleratorPlatform {
+    /// Splits a matrix row-wise over `devices` accelerators: programs a
+    /// fresh ensemble operator and opens a session on it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `devices == 0` or the matrix is not square.
+    pub fn new(a: &Csr, devices: usize, config: AcceleratorConfig, sync_time: f64) -> Self {
+        Self::from_operator(Arc::new(MultiOperator::program(
+            a, devices, config, sync_time,
+        )))
+    }
+
+    /// Opens a fresh solve session on an already-programmed ensemble.
+    /// No crossbar writes happen here.
+    pub fn from_operator(op: Arc<MultiOperator>) -> Self {
+        let devices = op
+            .devices
+            .iter()
+            .map(|dev| DeviceSlot {
+                dev: AcceleratorPlatform::from_operator(Arc::clone(dev)),
+                buf: Vec::new(),
+            })
+            .collect();
+        MultiAcceleratorPlatform {
+            op,
+            devices,
             time: 0.0,
             energy: 0.0,
             last_exec: ExecStats::default(),
         }
+    }
+
+    /// The shared programmed ensemble behind this session.
+    pub fn operator(&self) -> &Arc<MultiOperator> {
+        &self.op
     }
 
     /// Number of participating accelerators.
@@ -130,12 +200,12 @@ impl MultiAcceleratorPlatform {
         y: &mut [f64],
         kernel: impl Fn(&mut AcceleratorPlatform, &[f64], &mut [f64]) + Sync,
     ) {
-        assert_eq!(x.len(), self.n, "x length");
-        assert_eq!(y.len(), self.n, "y length");
+        assert_eq!(x.len(), self.op.n, "x length");
+        assert_eq!(y.len(), self.op.n, "y length");
         y.fill(0.0);
-        let n = self.n;
+        let n = self.op.n;
         let spec = PipelineSpec {
-            threads: memsci_exec::worker_count(self.threads),
+            threads: memsci_exec::worker_count(self.op.threads),
             overlap: false,
         };
         let devices = &mut self.devices;
@@ -173,7 +243,7 @@ impl MultiAcceleratorPlatform {
             },
         );
         self.energy += energy;
-        self.time += worst + self.sync_time;
+        self.time += worst + self.op.sync_time;
         self.last_exec = exec;
         // Return the lent buffers so the next kernel runs warm.
         for (slot, (buf, _, _)) in self.devices.iter_mut().zip(results) {
@@ -184,7 +254,7 @@ impl MultiAcceleratorPlatform {
 
 impl Platform for MultiAcceleratorPlatform {
     fn n(&self) -> usize {
-        self.n
+        self.op.n
     }
 
     fn spmv(&mut self, x: &[f64], y: &mut [f64]) {
@@ -202,7 +272,7 @@ impl Platform for MultiAcceleratorPlatform {
         }
         let k = xs.len();
         let _span = memsci_telemetry::span("multi/spmv_batch");
-        let n = self.n;
+        let n = self.op.n;
         for x in xs {
             assert_eq!(x.len(), n, "x length");
         }
@@ -211,11 +281,11 @@ impl Platform for MultiAcceleratorPlatform {
             y.resize(n, 0.0);
         }
         let spec = PipelineSpec {
-            threads: memsci_exec::worker_count(self.threads),
+            threads: memsci_exec::worker_count(self.op.threads),
             overlap: false,
         };
         let devices = &mut self.devices;
-        let sync_time = self.sync_time;
+        let sync_time = self.op.sync_time;
         let mut time = self.time;
         let mut total_energy = self.energy;
         // One device fan-out streams the whole batch: each device's
@@ -289,7 +359,7 @@ impl Platform for MultiAcceleratorPlatform {
             worst = worst.max(dev.elapsed_seconds() - t0);
             self.energy += dev.energy_joules() - e0;
         }
-        self.time += worst + self.sync_time;
+        self.time += worst + self.op.sync_time;
         dot_f64(x, y)
     }
 
@@ -313,14 +383,8 @@ impl Platform for MultiAcceleratorPlatform {
         axpby_f64(alpha, x, beta, y);
     }
 
-    fn diagonal(&self) -> Vec<f64> {
-        let mut diag = vec![0.0; self.n];
-        for slot in &self.devices {
-            for (i, v) in slot.dev.diagonal().into_iter().enumerate() {
-                diag[i] += v;
-            }
-        }
-        diag
+    fn diagonal(&self) -> Arc<[f64]> {
+        self.op.diagonal()
     }
 
     fn elapsed_seconds(&self) -> f64 {
@@ -362,7 +426,7 @@ mod tests {
         for (u, v) in y1.iter().zip(&y2) {
             assert!((u - v).abs() <= 1e-9 * v.abs().max(1.0));
         }
-        assert_eq!(multi.diagonal(), a.diagonal());
+        assert_eq!(&*multi.diagonal(), a.diagonal().as_slice());
     }
 
     #[test]

@@ -1,0 +1,644 @@
+//! Shareable programmed operators: a fingerprint-keyed operator cache
+//! and concurrent solve sessions.
+//!
+//! Programming a matrix into the crossbars is the dominant setup cost
+//! of the accelerator (§III): every cell write costs time, energy and
+//! endurance. The operator/session split lets the expensive programmed
+//! state — [`FastOperator`](crate::engine::FastOperator),
+//! [`ExactOperator`](crate::exact::ExactOperator),
+//! [`MultiOperator`](crate::multi::MultiOperator) — be programmed once
+//! and shared read-only across any number of solves, each of which owns
+//! only its cheap per-session state (scratch arenas, read-noise
+//! streams, cost accumulators).
+//!
+//! This module adds the system layer on top of that split:
+//!
+//! * [`OperatorCache`] — an LRU cache keyed by a content fingerprint of
+//!   (matrix, configuration, engine), so repeated solves against the
+//!   same operator skip programming entirely. Lookups, hits, misses and
+//!   evictions are published through the telemetry counters
+//!   `cache_lookups` / `cache_hits` / `cache_misses` /
+//!   `cache_evictions`.
+//! * [`solve_concurrent`] — runs k independent CG solves against one
+//!   cached operator on scoped host threads, routed through
+//!   [`choose_target`](crate::dispatch::choose_target) like any other
+//!   solve (poorly-blocking matrices still fall back to the GPU
+//!   model). Every concurrent solution is bitwise identical to the
+//!   solve a freshly-programmed sequential platform produces, because
+//!   sessions re-derive their read-noise streams from the operator's
+//!   seed and cluster build indices — never from shared mutable state.
+
+use std::sync::{Arc, Mutex};
+
+use memsci_gpu::GpuPlatform;
+use memsci_numeric::align::AlignError;
+use memsci_solvers::cg::cg;
+use memsci_solvers::platform::Platform;
+use memsci_solvers::report::{SolveOptions, SolveReport};
+use memsci_sparse::blocking::{BlockedMatrix, BlockingConfig};
+use memsci_sparse::Csr;
+
+use crate::config::AcceleratorConfig;
+use crate::dispatch::{choose_target, Target};
+use crate::engine::{AcceleratorPlatform, FastOperator};
+use crate::exact::{ExactAcceleratorPlatform, ExactOperator, ExactOptions};
+use crate::multi::{MultiAcceleratorPlatform, MultiOperator};
+
+/// Which accelerator engine a cached operator is programmed for.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineSpec {
+    /// The fast analytic engine ([`crate::engine::AcceleratorPlatform`]).
+    Fast,
+    /// The bit-exact simulation engine with its options
+    /// ([`crate::exact::ExactAcceleratorPlatform`]).
+    Exact(ExactOptions),
+    /// The multi-device ensemble ([`crate::multi::MultiAcceleratorPlatform`]).
+    Multi {
+        /// Number of participating accelerators.
+        devices: usize,
+        /// Seconds per inter-accelerator exchange.
+        sync_time: f64,
+    },
+}
+
+/// A programmed operator shared behind [`Arc`]s: the cacheable,
+/// `Send + Sync` half of a platform.
+#[derive(Debug, Clone)]
+pub enum SharedOperator {
+    /// A fast-engine operator.
+    Fast(Arc<FastOperator>),
+    /// A bit-exact operator.
+    Exact(Arc<ExactOperator>),
+    /// A multi-device ensemble operator.
+    Multi(Arc<MultiOperator>),
+}
+
+impl SharedOperator {
+    /// Opens a fresh solve session over this operator. No crossbar
+    /// writes happen: sessions only allocate scratch state and re-seed
+    /// their deterministic noise streams.
+    pub fn open_session(&self) -> SessionPlatform {
+        match self {
+            SharedOperator::Fast(op) => {
+                SessionPlatform::Fast(AcceleratorPlatform::from_operator(Arc::clone(op)))
+            }
+            SharedOperator::Exact(op) => {
+                SessionPlatform::Exact(ExactAcceleratorPlatform::from_operator(Arc::clone(op)))
+            }
+            SharedOperator::Multi(op) => {
+                SessionPlatform::Multi(MultiAcceleratorPlatform::from_operator(Arc::clone(op)))
+            }
+        }
+    }
+
+    /// Problem dimension.
+    pub fn n(&self) -> usize {
+        match self {
+            SharedOperator::Fast(op) => op.n(),
+            SharedOperator::Exact(op) => op.n(),
+            SharedOperator::Multi(op) => op.n(),
+        }
+    }
+}
+
+/// One solve session: a [`Platform`] over a shared operator (or the
+/// GPU fallback), uniform across engines so callers can hold sessions
+/// of any engine behind one type.
+#[derive(Debug)]
+pub enum SessionPlatform {
+    /// Fast-engine session.
+    Fast(AcceleratorPlatform),
+    /// Bit-exact session.
+    Exact(ExactAcceleratorPlatform),
+    /// Multi-device session.
+    Multi(MultiAcceleratorPlatform),
+    /// GPU-fallback session (owns its matrix; nothing is programmed).
+    Gpu(GpuPlatform),
+}
+
+macro_rules! delegate {
+    ($self:ident, $p:ident => $e:expr) => {
+        match $self {
+            SessionPlatform::Fast($p) => $e,
+            SessionPlatform::Exact($p) => $e,
+            SessionPlatform::Multi($p) => $e,
+            SessionPlatform::Gpu($p) => $e,
+        }
+    };
+}
+
+impl Platform for SessionPlatform {
+    fn n(&self) -> usize {
+        delegate!(self, p => p.n())
+    }
+    fn spmv(&mut self, x: &[f64], y: &mut [f64]) {
+        delegate!(self, p => p.spmv(x, y))
+    }
+    fn spmv_transpose(&mut self, x: &[f64], y: &mut [f64]) {
+        delegate!(self, p => p.spmv_transpose(x, y))
+    }
+    fn spmv_batch(&mut self, xs: &[&[f64]], ys: &mut [Vec<f64>]) {
+        delegate!(self, p => p.spmv_batch(xs, ys))
+    }
+    fn dot(&mut self, x: &[f64], y: &[f64]) -> f64 {
+        delegate!(self, p => p.dot(x, y))
+    }
+    fn axpby(&mut self, alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
+        delegate!(self, p => p.axpby(alpha, x, beta, y))
+    }
+    fn axpy(&mut self, alpha: f64, x: &[f64], y: &mut [f64]) {
+        delegate!(self, p => p.axpy(alpha, x, y))
+    }
+    fn assign(&mut self, src: &[f64], dst: &mut [f64]) {
+        delegate!(self, p => p.assign(src, dst))
+    }
+    fn norm(&mut self, x: &[f64]) -> f64 {
+        delegate!(self, p => p.norm(x))
+    }
+    fn diagonal(&self) -> Arc<[f64]> {
+        delegate!(self, p => p.diagonal())
+    }
+    fn elapsed_seconds(&self) -> f64 {
+        delegate!(self, p => p.elapsed_seconds())
+    }
+    fn energy_joules(&self) -> f64 {
+        delegate!(self, p => p.energy_joules())
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(FNV_OFFSET)
+    }
+    fn byte(&mut self, b: u8) {
+        self.0 ^= u64::from(b);
+        self.0 = self.0.wrapping_mul(FNV_PRIME);
+    }
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+    fn str(&mut self, s: &str) {
+        for b in s.bytes() {
+            self.byte(b);
+        }
+    }
+}
+
+/// Content fingerprint of (matrix, configuration, engine): the cache
+/// key. Covers every non-zero's position and value bits plus the full
+/// configuration and engine options, except the host execution knobs
+/// (`threads`, `overlap`) — those change neither the programmed
+/// crossbars nor any result or modelled cost, only host wall-clock.
+pub fn operator_fingerprint(a: &Csr, config: &AcceleratorConfig, engine: &EngineSpec) -> u64 {
+    let mut h = Fnv::new();
+    let (rows, cols) = a.shape();
+    h.u64(rows as u64);
+    h.u64(cols as u64);
+    h.u64(a.nnz() as u64);
+    for (r, c, v) in a.iter() {
+        h.u64(r as u64);
+        h.u64(c as u64);
+        h.u64(v.to_bits());
+    }
+    // The Debug forms cover every field of the nested config and
+    // options structs; f64 Debug is shortest-roundtrip, so distinct
+    // values render distinctly.
+    let mut normalized = config.clone();
+    normalized.threads = None;
+    normalized.overlap = None;
+    h.str(&format!("{normalized:?}"));
+    h.str(&format!("{engine:?}"));
+    h.0
+}
+
+/// Counter snapshot of one [`OperatorCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// `get_or_program` calls, hit or miss.
+    pub lookups: u64,
+    /// Lookups served by an already-programmed resident operator.
+    pub hits: u64,
+    /// Lookups that had to program the operator.
+    pub misses: u64,
+    /// Operators evicted by the LRU policy.
+    pub evictions: u64,
+}
+
+struct CacheInner {
+    /// LRU order: least-recently-used first, most-recent last.
+    entries: Vec<(u64, SharedOperator)>,
+    stats: CacheStats,
+}
+
+/// A fingerprint-keyed LRU cache of programmed operators.
+///
+/// Each `get_or_program` either returns a resident operator (a hit:
+/// zero programming work, zero crossbar writes) or programs a new one
+/// under the cache lock (a miss) and makes it resident, evicting the
+/// least-recently-used operator if the cache is over capacity.
+///
+/// # Examples
+///
+/// ```
+/// use memsci_core::service::{EngineSpec, OperatorCache};
+/// use memsci_core::AcceleratorConfig;
+/// use memsci_sparse::generate::poisson2d;
+///
+/// let a = poisson2d(16, 16);
+/// let cache = OperatorCache::with_capacity(2);
+/// let config = AcceleratorConfig::default();
+/// let op1 = cache.get_or_program(&a, &config, &EngineSpec::Fast).unwrap();
+/// let op2 = cache.get_or_program(&a, &config, &EngineSpec::Fast).unwrap();
+/// assert_eq!(cache.stats().hits, 1);
+/// assert_eq!(op1.n(), op2.n());
+/// ```
+pub struct OperatorCache {
+    capacity: usize,
+    inner: Mutex<CacheInner>,
+}
+
+impl std::fmt::Debug for OperatorCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().expect("cache lock");
+        f.debug_struct("OperatorCache")
+            .field("capacity", &self.capacity)
+            .field("resident", &inner.entries.len())
+            .field("stats", &inner.stats)
+            .finish()
+    }
+}
+
+impl OperatorCache {
+    /// A cache holding at most `capacity` programmed operators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "a zero-capacity cache cannot hold anything");
+        OperatorCache {
+            capacity,
+            inner: Mutex::new(CacheInner {
+                entries: Vec::new(),
+                stats: CacheStats::default(),
+            }),
+        }
+    }
+
+    /// Maximum number of resident operators.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of operators currently resident.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock").entries.len()
+    }
+
+    /// True when no operator is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookup / hit / miss / eviction counts so far.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().expect("cache lock").stats
+    }
+
+    /// Returns the operator programmed for `(a, config, engine)`,
+    /// programming it first if it is not resident. Programming happens
+    /// under the cache lock, so concurrent callers of the same key
+    /// program exactly once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlignError`] if the exact engine rejects a non-finite
+    /// blocked value.
+    pub fn get_or_program(
+        &self,
+        a: &Csr,
+        config: &AcceleratorConfig,
+        engine: &EngineSpec,
+    ) -> Result<SharedOperator, AlignError> {
+        let key = operator_fingerprint(a, config, engine);
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.stats.lookups += 1;
+        memsci_telemetry::incr(memsci_telemetry::Counter::CacheLookups, 1);
+        if let Some(pos) = inner.entries.iter().position(|(k, _)| *k == key) {
+            inner.stats.hits += 1;
+            memsci_telemetry::incr(memsci_telemetry::Counter::CacheHits, 1);
+            // Freshen: move to the most-recently-used slot.
+            let entry = inner.entries.remove(pos);
+            let op = entry.1.clone();
+            inner.entries.push(entry);
+            return Ok(op);
+        }
+        inner.stats.misses += 1;
+        memsci_telemetry::incr(memsci_telemetry::Counter::CacheMisses, 1);
+        let op = match engine {
+            EngineSpec::Fast => {
+                let blocked = BlockedMatrix::block(a, &BlockingConfig::default());
+                SharedOperator::Fast(Arc::new(FastOperator::program(&blocked, config.clone())))
+            }
+            EngineSpec::Exact(opts) => {
+                let blocked = BlockedMatrix::block(a, &BlockingConfig::default());
+                SharedOperator::Exact(Arc::new(ExactOperator::program(
+                    &blocked,
+                    config.clone(),
+                    *opts,
+                )?))
+            }
+            EngineSpec::Multi { devices, sync_time } => SharedOperator::Multi(Arc::new(
+                MultiOperator::program(a, *devices, config.clone(), *sync_time),
+            )),
+        };
+        inner.entries.push((key, op.clone()));
+        if inner.entries.len() > self.capacity {
+            inner.entries.remove(0);
+            inner.stats.evictions += 1;
+            memsci_telemetry::incr(memsci_telemetry::Counter::CacheEvictions, 1);
+        }
+        Ok(op)
+    }
+}
+
+/// One solve's outcome within a [`solve_concurrent`] fan-out.
+#[derive(Debug, Clone)]
+pub struct ConcurrentSolve {
+    /// The solution vector.
+    pub x: Vec<f64>,
+    /// The solver's report (iterations, residual, modelled cost).
+    pub report: SolveReport,
+}
+
+/// Outcome of a [`solve_concurrent`] call.
+#[derive(Debug, Clone)]
+pub struct ConcurrentOutcome {
+    /// Where the solves executed (accelerator operator or GPU model).
+    pub target: Target,
+    /// Per-right-hand-side results, in input order.
+    pub solves: Vec<ConcurrentSolve>,
+}
+
+/// Solves `A·x = b` by CG for every right-hand side in `rhs`, sharing
+/// one cached programmed operator across all solves and fanning the
+/// sessions out over scoped host threads (`config.threads`, `None` =
+/// machine parallelism).
+///
+/// The cache is consulted once per right-hand side *before* any solve
+/// spawns, so the counter outcome is deterministic: k solves of an
+/// uncached operator are exactly 1 miss (one programming) plus k−1
+/// hits. Matrices that block poorly route to the GPU model via
+/// [`choose_target`] and never touch the cache — nothing would be
+/// programmed for them.
+///
+/// Every returned solution is bitwise identical to the one a
+/// freshly-programmed sequential platform produces for the same
+/// right-hand side, regardless of thread count.
+///
+/// # Errors
+///
+/// Returns [`AlignError`] if the exact engine rejects a non-finite
+/// blocked value.
+///
+/// # Panics
+///
+/// Panics if any right-hand side's length differs from the matrix
+/// dimension.
+pub fn solve_concurrent(
+    cache: &OperatorCache,
+    a: &Csr,
+    config: &AcceleratorConfig,
+    engine: &EngineSpec,
+    rhs: &[Vec<f64>],
+    opts: &SolveOptions,
+) -> Result<ConcurrentOutcome, AlignError> {
+    let _span = memsci_telemetry::span("service/solve_concurrent");
+    let n = a.rows();
+    for b in rhs {
+        assert_eq!(b.len(), n, "rhs length");
+    }
+    let blocked = BlockedMatrix::block(a, &BlockingConfig::default());
+    let target = choose_target(&blocked, config);
+    let threads = memsci_exec::worker_count(config.threads);
+    let sessions: Vec<SessionPlatform> = match target {
+        Target::Accelerator => {
+            // One lookup per solve, serially: deterministic hit/miss
+            // accounting no matter how the solves interleave below.
+            let mut ops = Vec::with_capacity(rhs.len());
+            for _ in rhs {
+                ops.push(cache.get_or_program(a, config, engine)?);
+            }
+            ops.iter().map(SharedOperator::open_session).collect()
+        }
+        Target::Gpu => rhs
+            .iter()
+            .map(|_| SessionPlatform::Gpu(GpuPlatform::new(a.clone())))
+            .collect(),
+    };
+    let solves = run_sessions(sessions, rhs, opts, threads);
+    Ok(ConcurrentOutcome { target, solves })
+}
+
+/// Runs one CG solve per (session, rhs) pair on scoped host threads,
+/// returning results in input order.
+fn run_sessions(
+    sessions: Vec<SessionPlatform>,
+    rhs: &[Vec<f64>],
+    opts: &SolveOptions,
+    threads: usize,
+) -> Vec<ConcurrentSolve> {
+    // Hand each task exclusive ownership of its session through a
+    // mutex: `parallel_tasks` shares its closure immutably, and task
+    // indices are distinct, so each lock is uncontended.
+    let slots: Vec<Mutex<Option<SessionPlatform>>> =
+        sessions.into_iter().map(|s| Mutex::new(Some(s))).collect();
+    memsci_exec::parallel_tasks(threads, rhs.len(), |i| {
+        let mut session = slots[i]
+            .lock()
+            .expect("session lock")
+            .take()
+            .expect("each session is taken once");
+        let mut x = vec![0.0; rhs[i].len()];
+        let report = cg(&mut session, &rhs[i], &mut x, opts);
+        ConcurrentSolve { x, report }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsci_sparse::generate::poisson2d;
+
+    fn opts() -> SolveOptions {
+        SolveOptions::with_tol(1e-9)
+    }
+
+    #[test]
+    fn cache_hits_after_first_program() {
+        let a = poisson2d(12, 12);
+        let cache = OperatorCache::with_capacity(2);
+        let config = AcceleratorConfig::with_banks(2);
+        for _ in 0..3 {
+            cache
+                .get_or_program(&a, &config, &EngineSpec::Fast)
+                .unwrap();
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.lookups, 3);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_configs_are_distinct_operators() {
+        let a = poisson2d(12, 12);
+        let cache = OperatorCache::with_capacity(4);
+        cache
+            .get_or_program(&a, &AcceleratorConfig::with_banks(2), &EngineSpec::Fast)
+            .unwrap();
+        cache
+            .get_or_program(&a, &AcceleratorConfig::with_banks(4), &EngineSpec::Fast)
+            .unwrap();
+        cache
+            .get_or_program(
+                &a,
+                &AcceleratorConfig::with_banks(2),
+                &EngineSpec::Exact(ExactOptions::default()),
+            )
+            .unwrap();
+        assert_eq!(cache.stats().misses, 3);
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn host_knobs_do_not_split_the_cache() {
+        let a = poisson2d(12, 12);
+        let cache = OperatorCache::with_capacity(2);
+        let mut c1 = AcceleratorConfig::with_banks(2);
+        c1.threads = Some(1);
+        let mut c4 = AcceleratorConfig::with_banks(2);
+        c4.threads = Some(4);
+        c4.overlap = Some(true);
+        cache.get_or_program(&a, &c1, &EngineSpec::Fast).unwrap();
+        cache.get_or_program(&a, &c4, &EngineSpec::Fast).unwrap();
+        assert_eq!(cache.stats().hits, 1, "threads/overlap are not identity");
+    }
+
+    #[test]
+    fn lru_evicts_the_oldest() {
+        let cache = OperatorCache::with_capacity(2);
+        let config = AcceleratorConfig::with_banks(2);
+        let a1 = poisson2d(8, 8);
+        let a2 = poisson2d(9, 9);
+        let a3 = poisson2d(10, 10);
+        cache
+            .get_or_program(&a1, &config, &EngineSpec::Fast)
+            .unwrap();
+        cache
+            .get_or_program(&a2, &config, &EngineSpec::Fast)
+            .unwrap();
+        // Freshen a1, then insert a3: a2 is the LRU victim.
+        cache
+            .get_or_program(&a1, &config, &EngineSpec::Fast)
+            .unwrap();
+        cache
+            .get_or_program(&a3, &config, &EngineSpec::Fast)
+            .unwrap();
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.len(), 2);
+        // a1 is still resident; a2 must re-program.
+        cache
+            .get_or_program(&a1, &config, &EngineSpec::Fast)
+            .unwrap();
+        assert_eq!(cache.stats().hits, 2);
+        cache
+            .get_or_program(&a2, &config, &EngineSpec::Fast)
+            .unwrap();
+        assert_eq!(cache.stats().misses, 4);
+    }
+
+    #[test]
+    fn concurrent_solves_share_one_operator() {
+        let a = poisson2d(14, 14);
+        let n = a.rows();
+        let cache = OperatorCache::with_capacity(2);
+        let config = AcceleratorConfig::with_banks(2);
+        let rhs: Vec<Vec<f64>> = (0..4)
+            .map(|j| (0..n).map(|i| ((i + j) as f64 * 0.13).sin()).collect())
+            .collect();
+        let out = solve_concurrent(&cache, &a, &config, &EngineSpec::Fast, &rhs, &opts()).unwrap();
+        assert_eq!(out.target, Target::Accelerator);
+        assert_eq!(out.solves.len(), 4);
+        for s in &out.solves {
+            assert!(s.report.converged);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.lookups, 4);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 3);
+    }
+
+    #[test]
+    fn poorly_blocking_matrices_route_to_the_gpu() {
+        // An identity never blocks; the dispatcher must refuse the
+        // crossbars and the cache must stay untouched.
+        let a = Csr::identity(256);
+        let cache = OperatorCache::with_capacity(2);
+        let config = AcceleratorConfig::with_banks(2);
+        let rhs = vec![vec![1.0; 256]; 2];
+        let out = solve_concurrent(&cache, &a, &config, &EngineSpec::Fast, &rhs, &opts()).unwrap();
+        assert_eq!(out.target, Target::Gpu);
+        assert!(out.solves.iter().all(|s| s.report.converged));
+        assert_eq!(cache.stats().lookups, 0);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn operators_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SharedOperator>();
+        assert_send_sync::<FastOperator>();
+        assert_send_sync::<ExactOperator>();
+        assert_send_sync::<MultiOperator>();
+        assert_send_sync::<OperatorCache>();
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_values_and_structure() {
+        let config = AcceleratorConfig::default();
+        let a = poisson2d(8, 8);
+        let fp = operator_fingerprint(&a, &config, &EngineSpec::Fast);
+        // Same content fingerprints identically.
+        assert_eq!(
+            fp,
+            operator_fingerprint(&poisson2d(8, 8), &config, &EngineSpec::Fast)
+        );
+        // A different matrix, engine, or option set does not.
+        assert_ne!(
+            fp,
+            operator_fingerprint(&poisson2d(9, 8), &config, &EngineSpec::Fast)
+        );
+        assert_ne!(
+            fp,
+            operator_fingerprint(&a, &config, &EngineSpec::Exact(ExactOptions::default()))
+        );
+        let seeded = EngineSpec::Exact(ExactOptions {
+            seed: 1,
+            ..Default::default()
+        });
+        assert_ne!(
+            operator_fingerprint(&a, &config, &EngineSpec::Exact(ExactOptions::default())),
+            operator_fingerprint(&a, &config, &seeded)
+        );
+    }
+}

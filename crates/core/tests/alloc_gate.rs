@@ -10,11 +10,13 @@
 //! baselines and this gate fails. Release builds don't count and the
 //! tests no-op.
 
+use memsci_core::service::{EngineSpec, OperatorCache};
 use memsci_core::{AcceleratorConfig, AcceleratorPlatform, ExactAcceleratorPlatform, ExactOptions};
 use memsci_exec::alloc_counter::{allocation_count, counting, CountingAllocator};
 use memsci_solvers::platform::Platform;
 use memsci_sparse::generate::poisson2d;
 use memsci_sparse::{BlockedMatrix, BlockingConfig};
+use memsci_telemetry::{self as telemetry, Counter};
 
 #[global_allocator]
 static ALLOCATOR: CountingAllocator = CountingAllocator;
@@ -63,6 +65,52 @@ fn fast_engine_warm_spmv_allocations_stay_bounded() {
         per_iter <= MAX_WARM_ALLOCS_FAST_SPMV,
         "fast engine warm spmv allocates {per_iter}/iter, baseline {MAX_WARM_ALLOCS_FAST_SPMV}"
     );
+}
+
+/// Ceiling for a cache *hit*: fingerprint hashing plus LRU bookkeeping.
+/// A miss programs the operator — thousands of allocations for even a
+/// small Poisson system — so the gate discriminates by two orders of
+/// magnitude.
+const MAX_ALLOCS_CACHE_HIT: u64 = 64;
+
+#[test]
+fn cache_hit_is_zero_programming_work() {
+    let _guard = telemetry::exclusive_for_tests();
+    telemetry::reset();
+    telemetry::enable();
+    let a = poisson2d(14, 14);
+    let cache = OperatorCache::with_capacity(2);
+    let config = single_thread_config();
+    cache
+        .get_or_program(&a, &config, &EngineSpec::Fast)
+        .unwrap();
+    let base = telemetry::snapshot().counters;
+    let before = allocation_count();
+    let shared = cache
+        .get_or_program(&a, &config, &EngineSpec::Fast)
+        .unwrap();
+    let hit_allocs = allocation_count() - before;
+    let d = telemetry::snapshot().counters.delta_since(&base);
+    assert_eq!(shared.n(), a.rows());
+    assert_eq!(d.get(Counter::CacheHits), 1);
+    assert_eq!(
+        d.get(Counter::OperatorPrograms),
+        0,
+        "a hit must not program"
+    );
+    assert_eq!(
+        d.get(Counter::WearWritesMax),
+        0,
+        "a hit must not wear cells"
+    );
+    if counting() {
+        assert!(
+            hit_allocs <= MAX_ALLOCS_CACHE_HIT,
+            "cache hit allocated {hit_allocs} times, ceiling {MAX_ALLOCS_CACHE_HIT}"
+        );
+    }
+    telemetry::disable();
+    telemetry::reset();
 }
 
 #[test]

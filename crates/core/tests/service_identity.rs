@@ -1,0 +1,253 @@
+//! Concurrent-session identity (PR 9).
+//!
+//! The operator/session split exists for sharing, not for different
+//! answers: k solves fanned out over host threads against one cached
+//! operator must reproduce, bit for bit, the solutions and modelled
+//! costs of k sequential solves on freshly-programmed platforms — on
+//! every engine, across host thread counts and lane overlap, with read
+//! noise enabled on the exact engine. Telemetry tests pin down the
+//! sharing itself: a k = 8 concurrent run programs the operator exactly
+//! once and reports exactly seven cache hits.
+
+use memsci_core::service::{solve_concurrent, EngineSpec, OperatorCache};
+use memsci_core::{
+    AcceleratorConfig, AcceleratorPlatform, ExactAcceleratorPlatform, ExactOptions,
+    MultiAcceleratorPlatform, Target,
+};
+use memsci_solvers::cg::cg;
+use memsci_solvers::platform::Platform;
+use memsci_solvers::report::{SolveOptions, SolveReport};
+use memsci_sparse::generate::poisson2d;
+use memsci_sparse::{BlockedMatrix, BlockingConfig, Csr};
+use memsci_telemetry::{self as telemetry, Counter};
+
+const K: usize = 4;
+
+fn matrix() -> Csr {
+    poisson2d(14, 14)
+}
+
+fn config(threads: usize, overlap: bool) -> AcceleratorConfig {
+    let mut config = AcceleratorConfig::with_banks(4);
+    config.threads = Some(threads);
+    config.overlap = Some(overlap);
+    config
+}
+
+fn rhs_set(n: usize, k: usize) -> Vec<Vec<f64>> {
+    (0..k)
+        .map(|j| {
+            (0..n)
+                .map(|i| (i as f64 * 0.19 + j as f64 * 0.83).sin() + 0.7)
+                .collect()
+        })
+        .collect()
+}
+
+fn solve_opts() -> SolveOptions {
+    SolveOptions::with_tol(1e-9)
+}
+
+/// Solves every RHS sequentially, each on its own freshly-built
+/// platform produced by `fresh` — the reference the concurrent fan-out
+/// must reproduce bitwise.
+fn sequential_reference<P: Platform>(
+    fresh: impl Fn() -> P,
+    rhs: &[Vec<f64>],
+) -> Vec<(Vec<f64>, SolveReport)> {
+    rhs.iter()
+        .map(|b| {
+            let mut platform = fresh();
+            let mut x = vec![0.0; b.len()];
+            let report = cg(&mut platform, b, &mut x, &solve_opts());
+            (x, report)
+        })
+        .collect()
+}
+
+fn assert_bitwise_identical(
+    want: &[(Vec<f64>, SolveReport)],
+    got: &memsci_core::ConcurrentOutcome,
+    label: &str,
+) {
+    assert_eq!(got.target, Target::Accelerator, "{label}");
+    assert_eq!(want.len(), got.solves.len(), "{label}");
+    for (j, ((wx, wrep), solve)) in want.iter().zip(&got.solves).enumerate() {
+        assert_eq!(
+            wrep.converged, solve.report.converged,
+            "{label} rhs {j} convergence flag"
+        );
+        assert_eq!(wx.len(), solve.x.len(), "{label} rhs {j}");
+        for (u, v) in wx.iter().zip(&solve.x) {
+            assert_eq!(u.to_bits(), v.to_bits(), "{label} rhs {j}");
+        }
+        assert_eq!(
+            wrep.iterations, solve.report.iterations,
+            "{label} rhs {j} iterations"
+        );
+        assert_eq!(
+            wrep.time_seconds.to_bits(),
+            solve.report.time_seconds.to_bits(),
+            "{label} rhs {j} modelled time"
+        );
+        assert_eq!(
+            wrep.energy_joules.to_bits(),
+            solve.report.energy_joules.to_bits(),
+            "{label} rhs {j} modelled energy"
+        );
+    }
+}
+
+#[test]
+fn fast_concurrent_is_bit_identical_to_sequential() {
+    let a = matrix();
+    let rhs = rhs_set(a.rows(), K);
+    for threads in [1, 4] {
+        for overlap in [false, true] {
+            let cfg = config(threads, overlap);
+            let blocked = BlockedMatrix::block(&a, &BlockingConfig::default());
+            let want =
+                sequential_reference(|| AcceleratorPlatform::new(&blocked, cfg.clone()), &rhs);
+            let cache = OperatorCache::with_capacity(2);
+            let got =
+                solve_concurrent(&cache, &a, &cfg, &EngineSpec::Fast, &rhs, &solve_opts()).unwrap();
+            assert_bitwise_identical(
+                &want,
+                &got,
+                &format!("fast threads={threads} overlap={overlap}"),
+            );
+            assert_eq!(cache.stats().misses, 1);
+            assert_eq!(cache.stats().hits, (K - 1) as u64);
+        }
+    }
+}
+
+#[test]
+fn exact_concurrent_is_bit_identical_to_sequential() {
+    // Read noise draws from per-cluster streams that sessions re-seed
+    // from the operator's seed and each cluster's build index, so even
+    // the noisy path must agree bitwise with fresh sequential builds.
+    let a = matrix();
+    let rhs = rhs_set(a.rows(), K);
+    for rtn in [0.0, 0.02] {
+        for threads in [1, 4] {
+            for overlap in [false, true] {
+                let cfg = config(threads, overlap);
+                let opts = ExactOptions {
+                    seed: 11,
+                    rtn_probability: rtn,
+                    ..Default::default()
+                };
+                let blocked = BlockedMatrix::block(&a, &BlockingConfig::default());
+                let want = sequential_reference(
+                    || ExactAcceleratorPlatform::new(&blocked, cfg.clone(), opts).unwrap(),
+                    &rhs,
+                );
+                let cache = OperatorCache::with_capacity(2);
+                let got = solve_concurrent(
+                    &cache,
+                    &a,
+                    &cfg,
+                    &EngineSpec::Exact(opts),
+                    &rhs,
+                    &solve_opts(),
+                )
+                .unwrap();
+                assert_bitwise_identical(
+                    &want,
+                    &got,
+                    &format!("exact rtn={rtn} threads={threads} overlap={overlap}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn multi_concurrent_is_bit_identical_to_sequential() {
+    let a = matrix();
+    let rhs = rhs_set(a.rows(), K);
+    for threads in [1, 4] {
+        let cfg = config(threads, false);
+        let want = sequential_reference(
+            || MultiAcceleratorPlatform::new(&a, 3, cfg.clone(), 2e-6),
+            &rhs,
+        );
+        let cache = OperatorCache::with_capacity(2);
+        let engine = EngineSpec::Multi {
+            devices: 3,
+            sync_time: 2e-6,
+        };
+        let got = solve_concurrent(&cache, &a, &cfg, &engine, &rhs, &solve_opts()).unwrap();
+        assert_bitwise_identical(&want, &got, &format!("multi threads={threads}"));
+    }
+}
+
+#[test]
+fn eight_concurrent_solves_program_once_and_hit_seven_times() {
+    let _guard = telemetry::exclusive_for_tests();
+    telemetry::reset();
+    telemetry::enable();
+    let a = matrix();
+    let rhs = rhs_set(a.rows(), 8);
+    let cache = OperatorCache::with_capacity(2);
+    let base = telemetry::snapshot().counters;
+    let got = solve_concurrent(
+        &cache,
+        &a,
+        &config(4, false),
+        &EngineSpec::Fast,
+        &rhs,
+        &solve_opts(),
+    )
+    .unwrap();
+    let d = telemetry::snapshot().counters.delta_since(&base);
+    assert_eq!(got.solves.len(), 8);
+    // One programming serves all eight solves.
+    assert_eq!(d.get(Counter::OperatorPrograms), 1, "program exactly once");
+    assert_eq!(d.get(Counter::CacheLookups), 8);
+    assert_eq!(d.get(Counter::CacheMisses), 1);
+    assert_eq!(d.get(Counter::CacheHits), 7, "seven of eight lookups hit");
+    assert_eq!(d.get(Counter::CacheEvictions), 0);
+    let stats = cache.stats();
+    assert_eq!(stats.lookups, 8);
+    assert_eq!(stats.hits, 7);
+    assert_eq!(stats.misses, 1);
+    telemetry::disable();
+    telemetry::reset();
+}
+
+#[test]
+fn evictions_are_counted_and_bounded_by_misses() {
+    let _guard = telemetry::exclusive_for_tests();
+    telemetry::reset();
+    telemetry::enable();
+    let cache = OperatorCache::with_capacity(1);
+    let cfg = config(1, false);
+    let a1 = poisson2d(8, 8);
+    let a2 = poisson2d(9, 9);
+    let base = telemetry::snapshot().counters;
+    // Thrash a capacity-1 cache: every alternation reprograms and
+    // evicts the resident operator.
+    for _ in 0..2 {
+        cache.get_or_program(&a1, &cfg, &EngineSpec::Fast).unwrap();
+        cache.get_or_program(&a2, &cfg, &EngineSpec::Fast).unwrap();
+    }
+    let d = telemetry::snapshot().counters.delta_since(&base);
+    assert_eq!(d.get(Counter::CacheLookups), 4);
+    assert_eq!(d.get(Counter::CacheMisses), 4);
+    assert_eq!(d.get(Counter::CacheHits), 0);
+    assert_eq!(
+        d.get(Counter::CacheEvictions),
+        3,
+        "each insert after the first evicts"
+    );
+    assert!(d.get(Counter::CacheEvictions) <= d.get(Counter::CacheMisses));
+    assert_eq!(
+        d.get(Counter::OperatorPrograms),
+        d.get(Counter::CacheMisses),
+        "every miss programs exactly one operator"
+    );
+    telemetry::disable();
+    telemetry::reset();
+}

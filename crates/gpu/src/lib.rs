@@ -117,6 +117,7 @@ pub struct GpuPlatform {
     spec: GpuSpec,
     a: Csr,
     a_t: Csr,
+    diag: std::sync::Arc<[f64]>,
     time: f64,
     energy: f64,
 }
@@ -139,10 +140,12 @@ impl GpuPlatform {
     pub fn with_spec(a: Csr, spec: GpuSpec) -> Self {
         assert_eq!(a.rows(), a.cols(), "platform matrices must be square");
         let a_t = a.transpose();
+        let diag = a.diagonal().into();
         GpuPlatform {
             spec,
             a,
             a_t,
+            diag,
             time: 0.0,
             energy: 0.0,
         }
@@ -193,8 +196,8 @@ impl Platform for GpuPlatform {
         axpby_f64(alpha, x, beta, y);
     }
 
-    fn diagonal(&self) -> Vec<f64> {
-        self.a.diagonal()
+    fn diagonal(&self) -> std::sync::Arc<[f64]> {
+        std::sync::Arc::clone(&self.diag)
     }
 
     fn elapsed_seconds(&self) -> f64 {

@@ -230,7 +230,7 @@ mod tests {
         fn axpby(&mut self, alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
             self.inner.axpby(alpha, x, beta, y);
         }
-        fn diagonal(&self) -> Vec<f64> {
+        fn diagonal(&self) -> std::sync::Arc<[f64]> {
             self.inner.diagonal()
         }
         fn elapsed_seconds(&self) -> f64 {

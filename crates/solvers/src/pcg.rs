@@ -54,8 +54,8 @@ fn pcg_jacobi_inner<P: Platform + ?Sized>(
     assert_eq!(x.len(), n, "x length");
     let inv_diag: Vec<f64> = platform
         .diagonal()
-        .into_iter()
-        .map(|d| {
+        .iter()
+        .map(|&d| {
             assert!(
                 d != 0.0,
                 "Jacobi preconditioning requires a non-zero diagonal"

@@ -64,8 +64,14 @@ pub trait Platform {
     /// `y = α·x + β·y` (generalized AXPY, §VI-A3).
     fn axpby(&mut self, alpha: f64, x: &[f64], beta: f64, y: &mut [f64]);
 
-    /// The main diagonal of `A` (used by the Jacobi reference solver).
-    fn diagonal(&self) -> Vec<f64>;
+    /// The main diagonal of `A` (used by the Jacobi reference solver
+    /// and the Jacobi-preconditioned CG).
+    ///
+    /// Implementations precompute the diagonal when the operator is
+    /// programmed and hand out a shared reference-counted view, so
+    /// calling this on a hot path neither recomputes nor copies the
+    /// vector.
+    fn diagonal(&self) -> std::sync::Arc<[f64]>;
 
     /// Simulated seconds elapsed so far.
     fn elapsed_seconds(&self) -> f64;
@@ -160,6 +166,7 @@ pub fn true_relative_residual<P: Platform + ?Sized>(
 #[derive(Debug, Clone)]
 pub struct CsrPlatform {
     a: Csr,
+    diag: std::sync::Arc<[f64]>,
 }
 
 impl CsrPlatform {
@@ -170,7 +177,8 @@ impl CsrPlatform {
     /// Panics if the matrix is not square.
     pub fn new(a: Csr) -> Self {
         assert_eq!(a.rows(), a.cols(), "platform matrices must be square");
-        CsrPlatform { a }
+        let diag = a.diagonal().into();
+        CsrPlatform { a, diag }
     }
 
     /// The wrapped matrix.
@@ -200,8 +208,8 @@ impl Platform for CsrPlatform {
         axpby_f64(alpha, x, beta, y);
     }
 
-    fn diagonal(&self) -> Vec<f64> {
-        self.a.diagonal()
+    fn diagonal(&self) -> std::sync::Arc<[f64]> {
+        std::sync::Arc::clone(&self.diag)
     }
 
     fn elapsed_seconds(&self) -> f64 {
@@ -254,7 +262,7 @@ mod tests {
         let mut z = vec![1.0, 1.0];
         p.axpby(2.0, &[1.0, 2.0], 0.5, &mut z);
         assert_eq!(z, vec![2.5, 4.5]);
-        assert_eq!(p.diagonal(), vec![2.0, 3.0]);
+        assert_eq!(&*p.diagonal(), &[2.0, 3.0]);
     }
 
     #[test]

@@ -103,10 +103,21 @@ pub enum Counter {
     /// High-water mark of per-cluster endurance writes (monotone; each
     /// platform publishes increases of its own maximum).
     WearWritesMax,
+    /// Programmed-operator cache lookups performed by the service layer
+    /// (every `get_or_program` call, hit or miss).
+    CacheLookups,
+    /// Cache lookups served by an already-programmed resident operator
+    /// (no crossbar writes performed).
+    CacheHits,
+    /// Cache lookups that had to program the operator before caching it.
+    CacheMisses,
+    /// Resident operators evicted by the LRU policy when the cache
+    /// exceeded its capacity.
+    CacheEvictions,
 }
 
 /// Number of counters in the catalog.
-pub const COUNTER_COUNT: usize = 34;
+pub const COUNTER_COUNT: usize = 38;
 
 impl Counter {
     /// Every counter, in catalog (manifest) order.
@@ -145,6 +156,10 @@ impl Counter {
         Counter::ClusterReprograms,
         Counter::RetriesExhausted,
         Counter::WearWritesMax,
+        Counter::CacheLookups,
+        Counter::CacheHits,
+        Counter::CacheMisses,
+        Counter::CacheEvictions,
     ];
 
     /// Stable snake-case name used in manifests and reports.
@@ -184,6 +199,10 @@ impl Counter {
             Counter::ClusterReprograms => "cluster_reprograms",
             Counter::RetriesExhausted => "retries_exhausted",
             Counter::WearWritesMax => "wear_writes_max",
+            Counter::CacheLookups => "cache_lookups",
+            Counter::CacheHits => "cache_hits",
+            Counter::CacheMisses => "cache_misses",
+            Counter::CacheEvictions => "cache_evictions",
         }
     }
 

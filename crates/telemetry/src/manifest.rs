@@ -437,6 +437,20 @@ pub fn check_invariants(doc: &Json) -> Result<(), ManifestError> {
             "wear_writes_max ({wear_max}) with zero operator_programs and zero cluster_reprograms: wear requires writes"
         )));
     }
+    let cache_lookups = counter_value(doc, "cache_lookups");
+    let cache_hits = counter_value(doc, "cache_hits");
+    let cache_misses = counter_value(doc, "cache_misses");
+    let cache_evictions = counter_value(doc, "cache_evictions");
+    if cache_hits + cache_misses != cache_lookups {
+        return Err(fail(format!(
+            "cache_hits ({cache_hits}) + cache_misses ({cache_misses}) disagrees with cache_lookups ({cache_lookups}): every lookup is exactly one hit or one miss"
+        )));
+    }
+    if cache_evictions > cache_misses {
+        return Err(fail(format!(
+            "cache_evictions ({cache_evictions}) exceeds cache_misses ({cache_misses}): only a miss inserts an operator to evict"
+        )));
+    }
     Ok(())
 }
 

@@ -48,14 +48,27 @@ echo "== bench smoke =="
 ./target/release/repro bench --validate target/tmp/check-bench.json
 [ -f BENCH_PR5.json ] && ./target/release/repro bench --validate BENCH_PR5.json
 [ -f BENCH_PR6.json ] && ./target/release/repro bench --validate BENCH_PR6.json
+[ -f BENCH_PR9.json ] && ./target/release/repro bench --validate BENCH_PR9.json
 
 echo "== bench regression gate =="
 # Perf-regression compare: the fresh smoke document must not be slower
 # than the committed baseline beyond a generous host-variance
 # tolerance (ratio ceiling 1 + tolerance). A nonzero exit here is the
 # gate firing.
-[ -f BENCH_PR6.json ] && ./target/release/repro bench \
-    --compare BENCH_PR6.json target/tmp/check-bench.json --tolerance 3.0
+[ -f BENCH_PR9.json ] && ./target/release/repro bench \
+    --compare BENCH_PR9.json target/tmp/check-bench.json --tolerance 3.0
+
+echo "== concurrent identity smoke =="
+# The service layer promises k concurrent solves of one cached operator
+# are bitwise identical to k sequential re-programming solves, with
+# exactly one program and k-1 cache hits in the run manifest; the
+# cache-counter invariants (hits + misses == lookups, evictions <=
+# misses) must hold in the manifest too.
+./target/release/repro concurrent --k 8 \
+    --telemetry-out target/tmp/check-concurrent.json
+./target/release/telemetry-verify target/tmp/check-concurrent.json \
+    --require-nonzero cache_lookups,cache_hits,operator_programs,solve_iterations \
+    --invariants
 
 echo "== trace smoke =="
 # Timeline tracing: one traced pipeline run with the residual lane
