@@ -7,6 +7,9 @@ use memsci_numeric::bias::BiasedSlice;
 use memsci_numeric::bitslice::SliceSet;
 use memsci_numeric::running_sum::{remaining_bound_bit, settled};
 use memsci_numeric::{AnCode, Rounding, WideInt};
+use memsci_xbar::cluster::{Cluster, ClusterSpec, MvmOptions, MvmScratch};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 fn bench_wideint(c: &mut Criterion) {
     let a = WideInt::pow2(100) - WideInt::from(987654321u64);
@@ -55,6 +58,67 @@ fn bench_ancode(c: &mut Criterion) {
     });
 }
 
+/// The exact engine's per-slice hot loop: the columnar limb-plane
+/// gather against the retained per-entry reference kernel, plus the
+/// word-wise transpose behind the input slicing (DESIGN.md §15).
+fn bench_slice_kernel(c: &mut Criterion) {
+    let n = 64;
+    let entries: Vec<(u16, u16, f64)> = (0..n)
+        .flat_map(|r| (0..n).map(move |c| (r, c)))
+        .filter(|&(r, c)| (r * 7 + c * 3) % 4 != 0)
+        .map(|(r, c)| {
+            (
+                r as u16,
+                c as u16,
+                ((r * 13 + c * 5) % 19) as f64 * 0.31 - 2.0,
+            )
+        })
+        .collect();
+    let cluster = Cluster::program(
+        ClusterSpec::with_size(n),
+        &entries,
+        &mut StdRng::seed_from_u64(5),
+    )
+    .unwrap()
+    .cluster;
+    let x: Vec<f64> = (0..n)
+        .map(|i| (0.4 + i as f64 * 0.17) * (2.0f64).powi((i as i32 % 5) * 3 - 6))
+        .collect();
+    let opts = MvmOptions::default();
+    let mut scratch = MvmScratch::default();
+    let mut y = vec![0.0; n];
+    c.bench_function("slice_kernel/columnar_mvm_64", |bench| {
+        bench.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            cluster
+                .mvm_with(black_box(&x), &opts, &mut rng, &mut scratch, &mut y)
+                .unwrap()
+        })
+    });
+    c.bench_function("slice_kernel/reference_mvm_64", |bench| {
+        bench.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            cluster
+                .mvm_with_reference(black_box(&x), &opts, &mut rng, &mut scratch, &mut y)
+                .unwrap()
+        })
+    });
+    let values: Vec<WideInt> = (0..512)
+        .map(|i| {
+            let v = WideInt::from(0x9E37_79B9_7F4A_7C15u64 ^ (i as u64 * 0x45D9_F3B3));
+            if i % 3 == 0 {
+                -v
+            } else {
+                v
+            }
+        })
+        .collect();
+    let mut slices = SliceSet::default();
+    c.bench_function("slice_kernel/transpose_512x65", |bench| {
+        bench.iter(|| slices.from_twos_complement_into(black_box(&values), 65))
+    });
+}
+
 fn bench_settled(c: &mut Criterion) {
     let sum = WideInt::pow2(120) + WideInt::pow2(60) - WideInt::from(12345u64);
     let bound = remaining_bound_bit(40, 20);
@@ -68,6 +132,7 @@ criterion_group!(
     bench_wideint,
     bench_alignment,
     bench_ancode,
+    bench_slice_kernel,
     bench_settled
 );
 criterion_main!(benches);

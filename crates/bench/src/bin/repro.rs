@@ -5,7 +5,7 @@
 //! ```text
 //! repro <experiment> [--scale S] [--runs N] [--tol T] [--perturbed]
 //!                    [--telemetry-out FILE] [--telemetry-stream FILE]
-//! repro bench [--smoke] [--iters N] [--rhs K1,K2,..] [--out FILE]
+//! repro bench [--smoke] [--iters N] [--rhs K1,K2,..] [--matrix M1,M2,..] [--out FILE]
 //! repro bench --compare BASELINE.json NEW.json [--tolerance T]
 //! repro concurrent [--k N] [--engine fast|exact] [--telemetry-out FILE]
 //! repro faults [--runs N] [--scale S] [--tol T] [--out FILE] [--validate FILE]
@@ -24,9 +24,11 @@
 //! `smoke` is a fast telemetry exerciser (one suite matrix plus an
 //! error-injected bit-exact solve so AN-code counters fire); `bench`
 //! measures host wall-clock (simulator speed) and writes a
-//! schema-versioned `BENCH_*.json` document (default `BENCH_PR9.json`);
+//! schema-versioned `BENCH_*.json` document (default `BENCH_PR10.json`);
 //! `--rhs` picks the multi-RHS batch widths swept by its `spmv_batch`
-//! and `concurrent` sections (default `1,8`); `concurrent` runs the
+//! and `concurrent` sections (default `1,8`); `--matrix` restricts its
+//! `matrix_sweep` section to the named suite matrices (the default
+//! sweeps all 20); `concurrent` runs the
 //! k-way shared-operator acceptance check: k solves through one cached
 //! operator must match k re-programming sequential solves bit for bit,
 //! with exactly one `operator_programs` and `k − 1` `cache_hits` in the
@@ -65,7 +67,10 @@ fn main() {
             "usage: repro <experiment> [--scale S] [--runs N] [--tol T] [--telemetry-out FILE] \
              [--telemetry-stream FILE]"
         );
-        eprintln!("       repro bench [--smoke] [--iters N] [--rhs K1,K2,..] [--out FILE]");
+        eprintln!(
+            "       repro bench [--smoke] [--iters N] [--rhs K1,K2,..] [--matrix M1,M2,..] \
+             [--out FILE]"
+        );
         eprintln!("       repro bench --compare BASELINE.json NEW.json [--tolerance T]");
         eprintln!("       repro concurrent [--k N] [--engine fast|exact] [--telemetry-out FILE]");
         eprintln!(
@@ -242,11 +247,14 @@ fn main() {
     finish_telemetry(telemetry_out.as_deref(), &config);
 }
 
-/// `repro bench [--smoke] [--iters N] [--rhs K1,K2,..] [--out FILE]` —
-/// host wall-clock benchmark; writes the schema-versioned document
-/// and prints a summary. `--rhs` sets the multi-RHS batch widths swept
-/// by the `spmv_batch` section. `--validate FILE` instead checks an
-/// existing document against the schema without running anything.
+/// `repro bench [--smoke] [--iters N] [--rhs K1,K2,..] [--matrix
+/// M1,M2,..] [--out FILE]` — host wall-clock benchmark; writes the
+/// schema-versioned document and prints a summary. `--rhs` sets the
+/// multi-RHS batch widths swept by the `spmv_batch` section; `--matrix`
+/// restricts the suite sweep behind the `matrix_sweep` section (the
+/// default sweeps the whole 20-matrix suite). `--validate FILE` instead
+/// checks an existing document against the schema without running
+/// anything.
 /// `--compare BASELINE.json NEW.json [--tolerance T]` instead diffs two
 /// bench documents and exits nonzero on any slowdown beyond the
 /// fractional tolerance (default 0.25 = 25%) — the perf-regression
@@ -290,7 +298,7 @@ fn run_bench_cmd(rest: &[String]) {
         }
     }
     let mut opts = perf::BenchOptions::full();
-    let mut out = std::path::PathBuf::from("BENCH_PR9.json");
+    let mut out = std::path::PathBuf::from("BENCH_PR10.json");
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
@@ -332,6 +340,30 @@ fn run_bench_cmd(rest: &[String]) {
                         eprintln!("--iters needs an integer");
                         std::process::exit(2);
                     });
+                i += 2;
+            }
+            "--matrix" => {
+                let names: Option<Vec<String>> = rest.get(i + 1).map(|v| {
+                    v.split(',')
+                        .map(|n| n.trim().to_string())
+                        .filter(|n| !n.is_empty())
+                        .collect()
+                });
+                match names {
+                    Some(names) if !names.is_empty() => {
+                        for name in &names {
+                            if memsci_sparse::suite::by_name(name).is_none() {
+                                eprintln!("--matrix: {name} is not a suite matrix");
+                                std::process::exit(2);
+                            }
+                        }
+                        opts.sweep_matrices = Some(names);
+                    }
+                    _ => {
+                        eprintln!("--matrix needs a comma-separated list of suite matrix names");
+                        std::process::exit(2);
+                    }
+                }
                 i += 2;
             }
             "--rhs" => {

@@ -17,7 +17,7 @@ use memsci_core::{AcceleratorConfig, AcceleratorPlatform, ExactAcceleratorPlatfo
 use memsci_solvers::platform::Platform;
 use memsci_solvers::{bicgstab::bicgstab, cg::cg, SolveOptions};
 use memsci_sparse::blocking::{BlockedMatrix, BlockingConfig};
-use memsci_sparse::suite::by_name;
+use memsci_sparse::suite::{by_name, suite};
 use memsci_sparse::Csr;
 use memsci_telemetry::json::{parse, Json};
 use memsci_telemetry::{Counter, ManifestError};
@@ -27,9 +27,11 @@ pub const BENCH_SCHEMA_NAME: &str = "memsci-bench";
 /// Current bench document schema version. Version 2 adds the
 /// `spmv_batch` section (multi-RHS amortization); version 3 adds the
 /// `concurrent` section (k cached-operator solves vs k re-programming
-/// solves). Documents at versions 1–2 (the committed `BENCH_PR5.json` /
-/// `BENCH_PR6.json`) still validate.
-pub const BENCH_SCHEMA_VERSION: u64 = 3;
+/// solves); version 4 adds the `matrix_sweep` section (per-suite-matrix
+/// warm SpMV medians on both engines). Documents at versions 1–3 (the
+/// committed `BENCH_PR5.json` / `BENCH_PR6.json` / `BENCH_PR9.json`)
+/// still validate.
+pub const BENCH_SCHEMA_VERSION: u64 = 4;
 /// Oldest schema version [`validate_bench`] still accepts.
 pub const BENCH_SCHEMA_MIN_VERSION: u64 = 1;
 
@@ -66,6 +68,15 @@ pub struct BenchOptions {
     pub overlaps: Vec<bool>,
     /// RHS batch widths swept by the multi-RHS SpMV bench.
     pub rhs_counts: Vec<usize>,
+    /// Timed warm iterations per engine per matrix in the suite sweep
+    /// (the fast engine again runs 8× as many).
+    pub sweep_iters: usize,
+    /// Target row count the sweep scales every suite matrix to (the
+    /// generator clamps to at least 192 rows).
+    pub sweep_target_n: usize,
+    /// Restrict the suite sweep to these matrix names (`None` sweeps
+    /// the whole 20-matrix suite).
+    pub sweep_matrices: Option<Vec<String>>,
     /// True when this is the reduced CI smoke shape.
     pub smoke: bool,
 }
@@ -80,6 +91,9 @@ impl BenchOptions {
             thread_counts: vec![1, 4],
             overlaps: vec![false, true],
             rhs_counts: vec![1, 8],
+            sweep_iters: 8,
+            sweep_target_n: 768,
+            sweep_matrices: None,
             smoke: false,
         }
     }
@@ -92,6 +106,9 @@ impl BenchOptions {
             thread_counts: vec![1],
             overlaps: vec![false],
             rhs_counts: vec![1, 8],
+            sweep_iters: 2,
+            sweep_target_n: 256,
+            sweep_matrices: None,
             smoke: true,
         }
     }
@@ -304,6 +321,44 @@ fn run_batch_bench(opts: &BenchOptions) -> Vec<Json> {
                 ("matches_sequential".to_string(), Json::Bool(matches)),
             ]));
         }
+    }
+    entries
+}
+
+/// Runs the suite matrix sweep: every matrix of the evaluation suite
+/// (optionally restricted by `opts.sweep_matrices`), scaled to roughly
+/// `opts.sweep_target_n` rows, timed on both engines' warm SpMV. This
+/// is the breadth check behind `repro bench --matrix`: the single-matrix
+/// `spmv` section shows the depth of the hot path, this section shows
+/// the speedup holds across sparsity structures and exponent spreads.
+fn run_matrix_bench(opts: &BenchOptions) -> Vec<Json> {
+    let mut entries = Vec::new();
+    for entry in suite() {
+        if let Some(only) = &opts.sweep_matrices {
+            if !only.iter().any(|n| n == entry.name) {
+                continue;
+            }
+        }
+        let scale = (opts.sweep_target_n as f64 / entry.rows as f64).min(1.0);
+        let a = entry.generate_scaled(scale);
+        let blocked = BlockedMatrix::block(&a, &BlockingConfig::default());
+        let mut exact = ExactAcceleratorPlatform::new(&blocked, config(1, false), exact_opts())
+            .expect("suite matrix programs cleanly");
+        let (exact_median, exact_total) = time_spmv(&mut exact, None, opts.sweep_iters);
+        let mut fast = AcceleratorPlatform::new(&blocked, config(1, false));
+        let (fast_median, fast_total) = time_spmv(&mut fast, None, opts.sweep_iters * 8);
+        entries.push(Json::Obj(vec![
+            ("matrix".to_string(), Json::Str(entry.name.into())),
+            ("rows".to_string(), Json::UInt(a.rows() as u64)),
+            ("nnz".to_string(), Json::UInt(a.nnz() as u64)),
+            ("iters".to_string(), Json::UInt(opts.sweep_iters as u64)),
+            (
+                "exact_median_s_per_iter".to_string(),
+                Json::Num(exact_median),
+            ),
+            ("fast_median_s_per_iter".to_string(), Json::Num(fast_median)),
+            ("total_s".to_string(), Json::Num(exact_total + fast_total)),
+        ]));
     }
     entries
 }
@@ -531,6 +586,7 @@ pub fn run_bench(opts: &BenchOptions) -> Json {
     let (spmv, warm_exact, warm_fast) = run_spmv_bench(opts);
     let spmv_batch = run_batch_bench(opts);
     let concurrent = run_concurrent_bench(opts);
+    let matrix_sweep = run_matrix_bench(opts);
     let solves = run_solver_bench(opts);
     let delta = memsci_telemetry::snapshot()
         .counters
@@ -570,6 +626,7 @@ pub fn run_bench(opts: &BenchOptions) -> Json {
         ("spmv".to_string(), Json::Arr(spmv)),
         ("spmv_batch".to_string(), Json::Arr(spmv_batch)),
         ("concurrent".to_string(), Json::Arr(concurrent)),
+        ("matrix_sweep".to_string(), Json::Arr(matrix_sweep)),
         ("solves".to_string(), Json::Arr(solves)),
         (
             "counters".to_string(),
@@ -660,6 +717,22 @@ pub fn summarize(doc: &Json) -> String {
             ));
         }
     }
+    if let Some(entries) = doc.get("matrix_sweep").and_then(Json::as_arr) {
+        out.push_str("suite matrix sweep (warm median s/iter):\n");
+        for e in entries {
+            out.push_str(&format!(
+                "  {:<16} n={:<6} exact {:.4e}  fast {:.4e}\n",
+                e.get("matrix").and_then(Json::as_str).unwrap_or("?"),
+                e.get("rows").and_then(Json::as_u64).unwrap_or(0),
+                e.get("exact_median_s_per_iter")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(f64::NAN),
+                e.get("fast_median_s_per_iter")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(f64::NAN),
+            ));
+        }
+    }
     if let Some(speedup) = doc.get("speedup") {
         out.push_str(&format!(
             "speedup vs {} baseline: exact {:.2}x, fast {:.2}x\n",
@@ -692,7 +765,9 @@ fn fail(msg: impl Into<String>) -> ManifestError {
 /// well-formed entries, and finite positive speedups. Documents at
 /// schema version 2 must additionally carry a non-empty `spmv_batch`
 /// section whose entries all passed the bitwise batch-vs-sequential
-/// check; version-1 documents (pre-batch-lane) remain valid.
+/// check; version 3 a well-formed `concurrent` section; version 4 a
+/// non-empty `matrix_sweep` section. Older documents remain valid at
+/// their own version's requirements.
 ///
 /// # Errors
 ///
@@ -792,6 +867,27 @@ pub fn validate_bench(text: &str) -> Result<Json, ManifestError> {
                 return Err(fail(format!(
                     "concurrent[{i}] must program once and hit k-1 times"
                 )));
+            }
+        }
+    }
+    if version >= 4 {
+        let sweep = doc
+            .get("matrix_sweep")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| fail("schema v4 requires a `matrix_sweep` array"))?;
+        if sweep.is_empty() {
+            return Err(fail("`matrix_sweep` must not be empty"));
+        }
+        for (i, e) in sweep.iter().enumerate() {
+            let exact = e.get("exact_median_s_per_iter").and_then(Json::as_f64);
+            let fast = e.get("fast_median_s_per_iter").and_then(Json::as_f64);
+            if e.get("matrix").and_then(Json::as_str).is_none()
+                || e.get("rows").and_then(Json::as_u64).is_none_or(|n| n == 0)
+                || e.get("iters").and_then(Json::as_u64).is_none_or(|n| n == 0)
+                || !exact.is_some_and(|m| m.is_finite() && m > 0.0)
+                || !fast.is_some_and(|m| m.is_finite() && m > 0.0)
+            {
+                return Err(fail(format!("matrix_sweep[{i}] is malformed")));
             }
         }
     }
@@ -897,7 +993,8 @@ impl CompareReport {
 /// every `spmv_batch[]` entry keyed by engine/rhs on
 /// `amortized_s_per_rhs` (absent in v1 documents), and every
 /// `concurrent[]` entry keyed by engine/k on `amortized_s_per_solve`
-/// (absent before v3).
+/// (absent before v3), and every `matrix_sweep[]` entry keyed by matrix
+/// name on each engine's warm median (absent before v4).
 fn compare_points(doc: &Json) -> Vec<(String, f64)> {
     let mut points = Vec::new();
     if let Some(entries) = doc.get("spmv").and_then(Json::as_arr) {
@@ -924,6 +1021,17 @@ fn compare_points(doc: &Json) -> Vec<(String, f64)> {
             let k = e.get("k").and_then(Json::as_u64).unwrap_or(0);
             if let Some(s) = e.get("amortized_s_per_solve").and_then(Json::as_f64) {
                 points.push((format!("concurrent {engine}/k{k}"), s));
+            }
+        }
+    }
+    if let Some(entries) = doc.get("matrix_sweep").and_then(Json::as_arr) {
+        for e in entries {
+            let name = e.get("matrix").and_then(Json::as_str).unwrap_or("?");
+            if let Some(s) = e.get("exact_median_s_per_iter").and_then(Json::as_f64) {
+                points.push((format!("matrix {name}/exact"), s));
+            }
+            if let Some(s) = e.get("fast_median_s_per_iter").and_then(Json::as_f64) {
+                points.push((format!("matrix {name}/fast"), s));
             }
         }
     }
@@ -1000,6 +1108,9 @@ mod tests {
             thread_counts: vec![1],
             overlaps: vec![false],
             rhs_counts: vec![1, 3],
+            sweep_iters: 2,
+            sweep_target_n: 192,
+            sweep_matrices: Some(vec!["Pres_Poisson".into(), "crystm03".into()]),
             smoke: true,
         };
         let doc = run_bench(&opts);
@@ -1026,6 +1137,15 @@ mod tests {
                 .and_then(Json::as_arr)
                 .map(<[Json]>::len),
             Some(4)
+        );
+        // The two matrices the sweep was restricted to, both engines
+        // timed (validate_bench already enforces the shape).
+        assert_eq!(
+            parsed
+                .get("matrix_sweep")
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len),
+            Some(2)
         );
         // 1 thread × 1 overlap × 2 engines × 2 solvers.
         assert_eq!(
@@ -1081,6 +1201,9 @@ mod tests {
             thread_counts: vec![1],
             overlaps: vec![false],
             rhs_counts: vec![1],
+            sweep_iters: 2,
+            sweep_target_n: 192,
+            sweep_matrices: Some(vec!["Pres_Poisson".into()]),
             smoke: true,
         };
         let base = run_bench(&opts);
@@ -1088,10 +1211,10 @@ mod tests {
 
         // A document compared against itself passes at zero tolerance:
         // 4 spmv entries + 2 engines × 1 batch width + 2 engines × 1
-        // concurrency width.
+        // concurrency width + 1 sweep matrix × 2 engines.
         let same = compare_bench(&base_text, &base_text, 0.0).unwrap();
         assert!(same.passed());
-        assert_eq!(same.rows.len(), 8);
+        assert_eq!(same.rows.len(), 10);
         assert_eq!(same.unmatched, 0);
 
         // Inject a 10x slowdown into one spmv entry and one batch

@@ -29,27 +29,30 @@ impl SliceSet {
     ///
     /// Panics if any value is negative or wider than `width` bits.
     pub fn from_unsigned(values: &[WideInt], width: usize) -> Self {
-        let n = values.len();
-        let words_per_slice = n.div_ceil(64);
-        let mut words = vec![vec![0u64; words_per_slice]; width];
-        for (i, v) in values.iter().enumerate() {
+        let mut out = SliceSet::default();
+        out.from_unsigned_into(values, width);
+        out
+    }
+
+    /// As [`Self::from_unsigned`], reusing `self`'s slice bitmaps so
+    /// repeated slicing of same-shaped blocks is allocation-free after
+    /// warm-up.
+    ///
+    /// # Panics
+    ///
+    /// As [`Self::from_unsigned`].
+    pub fn from_unsigned_into(&mut self, values: &[WideInt], width: usize) {
+        self.reset(values.len(), width, false);
+        for v in values {
             assert!(
                 !v.is_negative(),
                 "unsigned slice set given a negative value"
             );
             assert!(v.bit_len() <= width, "operand wider than the slice set");
-            for (j, slice) in words.iter_mut().enumerate() {
-                if v.bit(j) {
-                    slice[i / 64] |= 1u64 << (i % 64);
-                }
-            }
         }
-        SliceSet {
-            n,
-            width,
-            signed_msb: false,
-            words,
-        }
+        self.fill_planes(values, width, |v, p| {
+            v.magnitude_limbs().get(p).copied().unwrap_or(0)
+        });
     }
 
     /// Slices signed operands in two's complement at `width` bits; the
@@ -86,11 +89,26 @@ impl SliceSet {
     /// `[-2^(width-1), 2^(width-1))`.
     pub fn from_twos_complement_into(&mut self, values: &[WideInt], width: usize) {
         assert!(width >= 1, "two's complement needs at least the sign bit");
-        let n = values.len();
+        self.reset(values.len(), width, true);
+        for v in values {
+            // In range iff |v| < 2^(width-1), or v == -2^(width-1).
+            let in_range = v.bit_len() < width
+                || (v.is_negative() && v.bit_len() == width && v.count_ones() == 1);
+            assert!(
+                in_range,
+                "value out of two's-complement range for width {width}"
+            );
+        }
+        self.fill_planes(values, width, twos_complement_limb);
+    }
+
+    /// Clears and reshapes the slice bitmaps for `n` elements × `width`
+    /// slices, reusing existing allocations.
+    fn reset(&mut self, n: usize, width: usize, signed_msb: bool) {
         let words_per_slice = n.div_ceil(64);
         self.n = n;
         self.width = width;
-        self.signed_msb = true;
+        self.signed_msb = signed_msb;
         self.words.truncate(width);
         while self.words.len() < width {
             self.words.push(Vec::new());
@@ -99,27 +117,32 @@ impl SliceSet {
             slice.clear();
             slice.resize(words_per_slice, 0);
         }
-        let mut enc = WideInt::zero();
-        for (i, v) in values.iter().enumerate() {
-            // In range iff |v| < 2^(width-1), or v == -2^(width-1).
-            let in_range = v.bit_len() < width
-                || (v.is_negative() && v.bit_len() == width && v.count_ones() == 1);
-            assert!(
-                in_range,
-                "value out of two's-complement range for width {width}"
-            );
-            let src: &WideInt = if v.is_negative() {
-                // enc = 2^width + v, computed in enc's reused buffer.
-                enc.set_zero();
-                enc.add_shl_u64_assign(1, width as u32, false);
-                enc.add_shl_assign(v, 0, false);
-                &enc
-            } else {
-                v
-            };
-            for (j, slice) in self.words.iter_mut().enumerate() {
-                if src.bit(j) {
-                    slice[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Populates the slice bitmaps by word-wise 64×64 bit-matrix
+    /// transposition: for each aligned block of 64 elements and each
+    /// 64-bit limb plane, gather one limb per element (via `limb_of`,
+    /// which sees the plane index `p` covering bits `64p..64p+63`),
+    /// transpose the block in registers, and store whole bitmap words —
+    /// instead of testing `width × n` individual bits.
+    fn fill_planes(
+        &mut self,
+        values: &[WideInt],
+        width: usize,
+        limb_of: impl Fn(&WideInt, usize) -> u64,
+    ) {
+        let planes = width.div_ceil(64);
+        let mut block = [0u64; 64];
+        for (w, chunk) in values.chunks(64).enumerate() {
+            for p in 0..planes {
+                for (e, v) in chunk.iter().enumerate() {
+                    block[e] = limb_of(v, p);
+                }
+                block[chunk.len()..].fill(0);
+                transpose64(&mut block);
+                let j_end = (width - p * 64).min(64);
+                for (j, &bits) in block[..j_end].iter().enumerate() {
+                    self.words[p * 64 + j][w] = bits;
                 }
             }
         }
@@ -189,6 +212,52 @@ impl SliceSet {
     }
 }
 
+/// Limb `p` of `v`'s infinite-width two's-complement encoding.
+///
+/// For a negative value with normalized magnitude limbs `mag`, the
+/// two's complement is `!mag + 1`: every limb below the lowest nonzero
+/// magnitude limb stays zero (the +1 carry rides through them), the
+/// lowest nonzero limb becomes its wrapping negation (absorbing the
+/// carry), and every limb above is bitwise inverted — with the all-ones
+/// sign extension falling out of inverting implicit zero limbs. Callers
+/// only read planes below `width`, which matches encoding at
+/// `2^width + v` because `(-m) mod 2^width = 2^width - m`.
+fn twos_complement_limb(v: &WideInt, p: usize) -> u64 {
+    let mag = v.magnitude_limbs();
+    if !v.is_negative() {
+        return mag.get(p).copied().unwrap_or(0);
+    }
+    let nz = mag
+        .iter()
+        .position(|&l| l != 0)
+        .expect("negative WideInt has a nonzero magnitude limb");
+    match p.cmp(&nz) {
+        std::cmp::Ordering::Less => 0,
+        std::cmp::Ordering::Equal => mag[p].wrapping_neg(),
+        std::cmp::Ordering::Greater => !mag.get(p).copied().unwrap_or(0),
+    }
+}
+
+/// In-place transpose of a 64×64 bit matrix stored row-major, with bit
+/// `c` of `a[r]` holding element `(r, c)` (Hacker's Delight §7-3,
+/// recursive block swap). Afterwards bit `r` of `a[c]` holds what bit
+/// `c` of `a[r]` held.
+fn transpose64(a: &mut [u64; 64]) {
+    let mut j = 32usize;
+    let mut m: u64 = 0x0000_0000_FFFF_FFFF;
+    while j != 0 {
+        let mut k = 0usize;
+        while k < 64 {
+            let t = ((a[k] >> j) ^ a[k + j]) & m;
+            a[k + j] ^= t;
+            a[k] ^= t << j;
+            k = (k + j + 1) & !j;
+        }
+        j >>= 1;
+        m ^= m << j;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -252,6 +321,86 @@ mod tests {
         let s = SliceSet::from_unsigned(&vals, 2);
         assert_eq!(s.popcount(0), 2);
         assert_eq!(s.popcount(1), 2);
+    }
+
+    #[test]
+    fn transpose64_is_a_transpose() {
+        // Pseudorandom but deterministic matrix via an LCG.
+        let mut a = [0u64; 64];
+        let mut s = 0x243F_6A88_85A3_08D3u64;
+        for r in a.iter_mut() {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            *r = s;
+        }
+        let orig = a;
+        transpose64(&mut a);
+        for (r, &row) in orig.iter().enumerate() {
+            for (c, &col) in a.iter().enumerate() {
+                assert_eq!((col >> r) & 1, (row >> c) & 1, "({r},{c})");
+            }
+        }
+        transpose64(&mut a);
+        assert_eq!(a, orig, "transpose is an involution");
+    }
+
+    #[test]
+    fn transposed_slicing_matches_per_bit_oracle() {
+        // Cross a 64-element block boundary and a 64-bit plane boundary
+        // so every branch of the word-wise path is exercised, and check
+        // each slice bit against WideInt::bit / the encoding identity.
+        let width = 130usize;
+        let vals: Vec<WideInt> = (0..150i64)
+            .map(|i| {
+                let base = WideInt::pow2((i as usize * 7) % (width - 1));
+                let v = &base + &w(i * 31 - 900);
+                if i % 3 == 0 {
+                    w(0) - &v
+                } else {
+                    v
+                }
+            })
+            .collect();
+        let s = SliceSet::from_twos_complement(&vals, width);
+        let two_w = WideInt::pow2(width);
+        for (i, v) in vals.iter().enumerate() {
+            let enc = if v.is_negative() {
+                &two_w + v
+            } else {
+                v.clone()
+            };
+            for j in 0..width {
+                assert_eq!(s.get(j, i), enc.bit(j), "element {i} bit {j}");
+            }
+            assert_eq!(&s.reconstruct(i), v, "element {i}");
+        }
+        let u: Vec<WideInt> = vals
+            .iter()
+            .map(|v| if v.is_negative() { w(0) - v } else { v.clone() })
+            .collect();
+        let su = SliceSet::from_unsigned(&u, width);
+        for (i, v) in u.iter().enumerate() {
+            for j in 0..width {
+                assert_eq!(su.get(j, i), v.bit(j), "unsigned element {i} bit {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn unsigned_into_reuse_matches_fresh() {
+        let mut scratch = SliceSet::default();
+        let blocks: [(&[i64], usize); 4] = [
+            (&[0, 1, 5, 127], 7),
+            (&[9, 2], 5),
+            (&[], 3),
+            (&[1, 1, 1], 2),
+        ];
+        for (vals, width) in blocks {
+            let vals: Vec<WideInt> = vals.iter().map(|&v| w(v)).collect();
+            scratch.from_unsigned_into(&vals, width);
+            assert_eq!(scratch, SliceSet::from_unsigned(&vals, width));
+        }
     }
 
     #[test]

@@ -571,6 +571,19 @@ impl WideInt {
         }
     }
 
+    /// Overwrites the value with the non-negative integer whose
+    /// little-endian magnitude limbs are `limbs` (not necessarily
+    /// normalized), reusing the buffer. This is the single-normalization
+    /// endpoint of the columnar slice kernel's lane accumulation: the
+    /// kernel combines its split accumulator lanes into raw limbs and
+    /// commits them here once per row per slice.
+    pub fn assign_limbs_unsigned(&mut self, limbs: &[u64]) {
+        self.mag.clear();
+        self.mag.extend_from_slice(limbs);
+        mag_norm(&mut self.mag);
+        self.neg = false;
+    }
+
     /// In-place `self ± (rhs << shift)` without allocating the shifted
     /// temporary (`negate` selects subtraction). Equivalent to
     /// `*self += &rhs.shl(shift)` / `-=`, but the right operand's limbs

@@ -93,8 +93,7 @@ impl AdcSpec {
     /// output the column can produce (§V-B2): the SAR starts from the
     /// most significant *possible* bit instead of the resolution MSb.
     pub fn headstart_bits(&self, max_possible_output: u64) -> u32 {
-        let needed = 64 - max_possible_output.leading_zeros();
-        needed.clamp(1, self.resolution)
+        headstart_bits(max_possible_output, self.resolution)
     }
 
     /// ADC area in mm², scaling 23% exponentially with resolution and
@@ -104,6 +103,16 @@ impl AdcSpec {
         let r_ref = f64::from(REFERENCE_RESOLUTION);
         a_ref_10bit * (0.23 * (2.0f64).powf(r - r_ref) + 0.77 * r / r_ref)
     }
+}
+
+/// Bits a headstarted SAR conversion searches for a column whose output
+/// cannot exceed `max_possible` at `resolution` bits — the single shared
+/// definition behind [`AdcSpec::headstart_bits`], the crossbar's
+/// per-read computation, and the cluster fast path's program-time
+/// headstart tables (keeping the three callers drift-free).
+pub(crate) fn headstart_bits(max_possible: u64, resolution: u32) -> u32 {
+    let needed = 64 - max_possible.leading_zeros();
+    needed.clamp(1, resolution)
 }
 
 #[cfg(test)]

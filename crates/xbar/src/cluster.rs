@@ -17,6 +17,7 @@ use memsci_numeric::running_sum::{remaining_bound_bit, settled};
 use memsci_numeric::{AnCode, Rounding, WideInt};
 use rand::Rng;
 
+use crate::adc::headstart_bits;
 use crate::cost::{CostModel, WriteModel};
 use crate::crossbar::{operand_levels, Crossbar};
 use crate::device::CellSpec;
@@ -176,10 +177,14 @@ pub struct Cluster {
     an: Option<AnCode>,
     /// Magnitude bound (bits) of a de-biased partial dot product.
     pm_bits: u32,
-    /// The encoded operand table, one entry per programmed cell.
+    /// The encoded operand table, one entry per programmed cell. The
+    /// production fast path reads the columnar `plan` instead; this
+    /// table backs the retained per-entry reference kernel
+    /// ([`Self::mvm_with_reference`]) the property tests compare
+    /// against.
     stored: Vec<WideInt>,
     /// Per output row: the present cells' `(input, stored-table index)`
-    /// pairs, enabling the exact fast path (see `mvm_with`).
+    /// pairs, backing the reference kernel.
     fast_rows: Vec<Vec<(u32, u32)>>,
     /// Rows with at least one programmed cell, precomputed so each MVM
     /// skips empty rows without rescanning `row_nnz`.
@@ -187,8 +192,13 @@ pub struct Cluster {
     /// `bias_multiples[m]` is `m` times the encoded bias constant held
     /// in every absent cell: the absent-cell contribution of a slice
     /// with `m` active-but-absent inputs, precomputed for every possible
-    /// multiplicity `0..=n`.
+    /// multiplicity `0..=n` (reference kernel only; the columnar kernel
+    /// folds the bias into its accumulator lanes).
     bias_multiples: Vec<WideInt>,
+    /// Columnar limb-plane layout and per-slice accounting tables for
+    /// the exact fast path, computed once at program time (DESIGN.md
+    /// §15).
+    plan: SlicePlan,
     write_time: f64,
     write_energy: f64,
     /// Stuck-at cells injected across all bit-group crossbars at
@@ -197,6 +207,52 @@ pub struct Cluster {
     /// Whether any device non-ideality from the fault model is live on
     /// this cluster (disables the exact fast path).
     fault_active: bool,
+}
+
+/// Stored operands are biased, AN-encoded and at most 127 bits wide
+/// ([`Cluster::stored_bits`]), so they always fit two 64-bit limbs.
+const MAX_STORED_LIMBS: usize = 2;
+
+/// Program-time columnar limb-plane plan (DESIGN.md §15).
+///
+/// The exact fast path's per-slice gather reads each active row's
+/// stored operands from a contiguous structure-of-arrays limb-major
+/// buffer (`planes`) instead of chasing `WideInt` heap pointers, and
+/// the headstart/energy accounting reduces to table lookups: every
+/// column's SAR start bit `s0 = clamp(bits(level_sum), 1, res)` is a
+/// program-time constant, so a slice with popcount `pop` searches
+/// `min(s0, qc)` bits with `qc = clamp(bits(lmax·pop), 1, res)` —
+/// aggregated per slice from the per-row histograms below.
+#[derive(Debug, Default)]
+struct SlicePlan {
+    /// CSR row pointers over `active_rows` (`active_rows.len() + 1`
+    /// entries).
+    row_ptr: Vec<u32>,
+    /// Flattened input line indices, grouped by active row.
+    inputs: Vec<u32>,
+    /// Stored-operand limbs, plane-major per row: limb `l` of entry `e`
+    /// of active row `ai` sits at `row_ptr[ai]·limbs + l·cnt + e` where
+    /// `cnt` is the row's entry count.
+    planes: Vec<u64>,
+    /// Limbs per stored operand (`1` or [`MAX_STORED_LIMBS`]).
+    limbs: usize,
+    /// Encoded bias constant limbs, zero-padded to `limbs`.
+    bias_limbs: [u64; MAX_STORED_LIMBS],
+    /// Flattened per-active-row histograms of the SAR start bit:
+    /// `hist[ai·(resolution+1) + s]` counts the row's bit-group columns
+    /// with `s0 == s` (`s ∈ 1..=resolution`).
+    hist: Vec<u32>,
+    /// Per-active-row count of columns with `s0 < resolution`: the
+    /// row's headstart hits on slices whose popcount does not cap the
+    /// search below the full resolution.
+    full_hits: Vec<u32>,
+    /// Energy of one conversion searching `s` bits, `s ∈ 1..=resolution`
+    /// (index 0 unused). `energy_by_searched[resolution]` is exactly the
+    /// full-resolution conversion energy, so headstart-off accounting
+    /// uses the same table.
+    energy_by_searched: Vec<f64>,
+    /// ADC resolution (cached from the cost model).
+    resolution: u32,
 }
 
 /// Reusable working memory for [`Cluster::mvm_with`].
@@ -210,7 +266,17 @@ pub struct MvmScratch {
     x_aligned: AlignedSlice,
     slices: SliceSet,
     sums: Vec<WideInt>,
-    done: Vec<bool>,
+    /// Live (not yet settled) rows as indices into `active_rows`,
+    /// compacted in place after each slice so early-terminated rows
+    /// cost nothing per slice. Order-preserving: the analog path draws
+    /// per-read RNG samples in row order.
+    live: Vec<u32>,
+    /// Live-set aggregate of the plan's per-row SAR start-bit
+    /// histograms, maintained incrementally as rows settle.
+    agg_hist: Vec<u64>,
+    /// Conversions by searched bits, accumulated as integers across the
+    /// whole MVM and converted to energy once at the end.
+    counts: Vec<u64>,
     raw: WideInt,
     checked: WideInt,
     row_profile: Vec<u32>,
@@ -454,6 +520,63 @@ impl Cluster {
             bias_multiples.push(enc_bias.mul_u64(m as u64));
         }
 
+        // Columnar limb-plane plan: flatten every active row's present
+        // operands into one plane-major limb buffer, and tabulate the
+        // per-column SAR start bits and per-searched-bits conversion
+        // energies so the MVM's accounting never touches the cost model.
+        let limbs = stored_bits.div_ceil(64).max(1);
+        assert!(
+            limbs <= MAX_STORED_LIMBS,
+            "stored operands exceed {} limbs",
+            MAX_STORED_LIMBS
+        );
+        let mut row_ptr = Vec::with_capacity(active_rows.len() + 1);
+        row_ptr.push(0u32);
+        let mut inputs = Vec::new();
+        let mut planes = Vec::new();
+        for &r in &active_rows {
+            let row = &row_entries[r as usize];
+            for &(input, _) in row {
+                inputs.push(input);
+            }
+            for l in 0..limbs {
+                for &(_, idx) in row {
+                    planes.push(stored[idx].magnitude_limbs().get(l).copied().unwrap_or(0));
+                }
+            }
+            row_ptr.push(inputs.len() as u32);
+        }
+        let mut bias_limbs = [0u64; MAX_STORED_LIMBS];
+        for (l, limb) in bias_limbs.iter_mut().enumerate() {
+            *limb = enc_bias.magnitude_limbs().get(l).copied().unwrap_or(0);
+        }
+        let buckets = adc_res as usize + 1;
+        let mut hist = vec![0u32; active_rows.len() * buckets];
+        let mut full_hits = vec![0u32; active_rows.len()];
+        for (ai, &r) in active_rows.iter().enumerate() {
+            for xb in &groups {
+                let s0 = headstart_bits(xb.column_level_sum(r as usize), adc_res);
+                hist[ai * buckets + s0 as usize] += 1;
+                if s0 < adc_res {
+                    full_hits[ai] += 1;
+                }
+            }
+        }
+        let energy_by_searched: Vec<f64> = (0..=adc_res)
+            .map(|s| spec.cost.column_energy(n, b, Some(s)))
+            .collect();
+        let plan = SlicePlan {
+            row_ptr,
+            inputs,
+            planes,
+            limbs,
+            bias_limbs,
+            hist,
+            full_hits,
+            energy_by_searched,
+            resolution: adc_res,
+        };
+
         let write_model = WriteModel::default();
         let set_cells: u64 = groups.iter().map(Crossbar::stored_level_sum).sum();
         let n_bits = WideInt::from(n as u64).bit_len() as u32;
@@ -469,6 +592,7 @@ impl Cluster {
             fast_rows,
             active_rows,
             bias_multiples,
+            plan,
             write_time: write_model.cluster_write_time(n),
             write_energy: write_model.write_energy(set_cells),
             stuck_cells,
@@ -614,6 +738,34 @@ impl Cluster {
         scratch: &mut MvmScratch,
         y: &mut [f64],
     ) -> Result<MvmStats, MvmError> {
+        self.mvm_with_impl(x, opts, rng, scratch, y, false)
+    }
+
+    /// As [`Self::mvm_with`], but the exact fast path gathers through
+    /// the retained per-entry reference kernel instead of the columnar
+    /// limb-plane kernel. The two are bitwise identical in results and
+    /// accounting; the property tests use this as their oracle.
+    #[doc(hidden)]
+    pub fn mvm_with_reference<R: Rng + ?Sized>(
+        &self,
+        x: &[f64],
+        opts: &MvmOptions,
+        rng: &mut R,
+        scratch: &mut MvmScratch,
+        y: &mut [f64],
+    ) -> Result<MvmStats, MvmError> {
+        self.mvm_with_impl(x, opts, rng, scratch, y, true)
+    }
+
+    fn mvm_with_impl<R: Rng + ?Sized>(
+        &self,
+        x: &[f64],
+        opts: &MvmOptions,
+        rng: &mut R,
+        scratch: &mut MvmScratch,
+        y: &mut [f64],
+        reference_kernel: bool,
+    ) -> Result<MvmStats, MvmError> {
         let n = self.n();
         assert_eq!(x.len(), n, "vector length must match the block edge");
         assert_eq!(y.len(), n, "output length must match the block edge");
@@ -645,19 +797,66 @@ impl Cluster {
         for &r in &self.active_rows {
             scratch.sums[r as usize].set_zero();
         }
-        scratch.done.clear();
-        scratch.done.resize(n, false);
-        let mut remaining = self.active_rows.len();
+        let active_total = self.active_rows.len();
+        scratch.live.clear();
+        scratch.live.extend(0..active_total as u32);
         let groups = self.groups.len() as u64;
 
-        let resolution = self.spec.cost.resolution(n, self.spec.cell.bits_per_cell);
+        // Accounting state: `column_level_sum(r)` is program-time
+        // constant, so per-conversion searched-bits reduce to the plan's
+        // per-row histograms aggregated over the live set, and energy to
+        // integer conversion counts by searched bits — converted to f64
+        // once at the end (`finish_energy`). Identical counts on the
+        // fast and analog paths: the analog reads' searched bits are
+        // deterministic (noise-independent).
+        let resolution = self.plan.resolution;
+        let buckets = resolution as usize + 1;
+        scratch.agg_hist.clear();
+        scratch.agg_hist.resize(buckets, 0);
+        let mut agg_full_hits = 0u64;
+        if opts.adc_headstart {
+            for &ai in &scratch.live {
+                let h = &self.plan.hist[ai as usize * buckets..(ai as usize + 1) * buckets];
+                for (agg, &c) in scratch.agg_hist.iter_mut().zip(h) {
+                    *agg += u64::from(c);
+                }
+                agg_full_hits += u64::from(self.plan.full_hits[ai as usize]);
+            }
+        }
+        scratch.counts.clear();
+        scratch.counts.resize(buckets, 0);
+        let slice_latency = self.spec.cost.crossbar_op_latency(n);
         let lmax = u64::from(self.spec.cell.max_level());
+
         for k in (0..xw).rev() {
             stats.slices_used += 1;
-            stats.time += self.spec.cost.crossbar_op_latency(n);
+            stats.time += slice_latency;
             let active_words = scratch.slices.slice_words(k);
             let pop = scratch.slices.popcount(k);
             let negative_weight = scratch.slices.weight_is_negative(k);
+            let live_n = scratch.live.len() as u64;
+            // Rows already settled skip their conversions, paying only
+            // the static column energy; the live list keeps them out of
+            // the per-row loop entirely.
+            stats.conversions_skipped += (active_total as u64 - live_n) * groups;
+            stats.conversions += live_n * groups;
+            if opts.adc_headstart {
+                // Each live column searches min(s0, qc) bits this slice.
+                let qc = headstart_bits(lmax * pop, resolution);
+                let mut below = 0u64;
+                for s in 1..qc as usize {
+                    scratch.counts[s] += scratch.agg_hist[s];
+                    below += scratch.agg_hist[s];
+                }
+                scratch.counts[qc as usize] += live_n * groups - below;
+                stats.headstart_hits += if qc < resolution {
+                    live_n * groups
+                } else {
+                    agg_full_hits
+                };
+            } else {
+                scratch.counts[resolution as usize] += live_n * groups;
+            }
             // Exact fast path: with ideal programming, no RTN, and a
             // leak below half an LSB, every group's ADC count is exact,
             // so the shift-and-add reduction provably equals the direct
@@ -669,50 +868,18 @@ impl Cluster {
                 && !self.fault_active
                 && self.spec.cell.leak_per_active_row() * (pop as f64) < 0.499;
 
-            for &r in &self.active_rows {
-                let r = r as usize;
-                if scratch.done[r] {
-                    stats.conversions_skipped += groups;
-                    stats.energy += groups as f64 * self.spec.cost.skipped_column_energy();
-                    continue;
-                }
+            let mut write = 0usize;
+            for i in 0..scratch.live.len() {
+                let ai = scratch.live[i] as usize;
+                let r = self.active_rows[ai] as usize;
                 if opts.collect_row_profile {
                     scratch.row_profile[r] += 1;
                 }
                 if fast_exact {
-                    // Direct exact reduction into the reused word;
-                    // energy/headstart accounted per group from the
-                    // stored column level sums.
-                    let mut present_active = 0u64;
-                    scratch.raw.set_zero();
-                    for &(input, idx) in &self.fast_rows[r] {
-                        if active_words[input as usize / 64] >> (input % 64) & 1 == 1 {
-                            scratch
-                                .raw
-                                .add_shl_assign(&self.stored[idx as usize], 0, false);
-                            present_active += 1;
-                        }
-                    }
-                    let absent_active = pop - present_active;
-                    if absent_active > 0 {
-                        scratch.raw.add_shl_assign(
-                            &self.bias_multiples[absent_active as usize],
-                            0,
-                            false,
-                        );
-                    }
-                    for xb in &self.groups {
-                        stats.conversions += 1;
-                        let searched = opts.adc_headstart.then(|| {
-                            headstart_bits(xb.column_level_sum(r).min(lmax * pop), resolution)
-                        });
-                        if searched.is_some_and(|s| s < resolution) {
-                            stats.headstart_hits += 1;
-                        }
-                        stats.energy +=
-                            self.spec
-                                .cost
-                                .column_energy(n, self.spec.cell.bits_per_cell, searched);
+                    if reference_kernel {
+                        self.gather_reference(r, active_words, pop, &mut scratch.raw);
+                    } else {
+                        self.gather_columnar(ai, active_words, pop, &mut scratch.raw);
                     }
                 } else {
                     // Analog path: per-group reads with noise, leak, and
@@ -729,15 +896,6 @@ impl Cluster {
                             self.spec.rtn_probability,
                             rng,
                         );
-                        stats.conversions += 1;
-                        let searched = opts.adc_headstart.then_some(read.searched_bits);
-                        if searched.is_some_and(|s| s < resolution) {
-                            stats.headstart_hits += 1;
-                        }
-                        stats.energy +=
-                            self.spec
-                                .cost
-                                .column_energy(n, self.spec.cell.bits_per_cell, searched);
                         let shift = g as u32 * self.spec.cell.bits_per_cell;
                         if shift < 64 {
                             lane_lo += i128::from(read.contribution) << shift;
@@ -772,6 +930,7 @@ impl Cluster {
                                 // Surface the fault instead of
                                 // propagating a garbage product; the
                                 // work done so far still counts.
+                                self.finish_energy(&mut stats, scratch);
                                 self.flush_counters(&stats);
                                 return Err(MvmError::Fault(MvmFault {
                                     row: r,
@@ -805,11 +964,23 @@ impl Cluster {
                         opts.rounding,
                     )
                 {
-                    scratch.done[r] = true;
-                    remaining -= 1;
+                    // Settled: drop the row from the live aggregates;
+                    // the in-place compaction below removes it from the
+                    // live list while preserving row order.
+                    if opts.adc_headstart {
+                        let h = &self.plan.hist[ai * buckets..(ai + 1) * buckets];
+                        for (agg, &c) in scratch.agg_hist.iter_mut().zip(h) {
+                            *agg -= u64::from(c);
+                        }
+                        agg_full_hits -= u64::from(self.plan.full_hits[ai]);
+                    }
+                } else {
+                    scratch.live[write] = ai as u32;
+                    write += 1;
                 }
             }
-            if opts.early_termination && remaining == 0 {
+            scratch.live.truncate(write);
+            if opts.early_termination && scratch.live.is_empty() {
                 break;
             }
         }
@@ -819,8 +990,105 @@ impl Cluster {
             let r = r as usize;
             y[r] = scratch.sums[r].to_f64_with_exp(out_exp, opts.rounding);
         }
+        self.finish_energy(&mut stats, scratch);
         self.flush_counters(&stats);
         Ok(stats)
+    }
+
+    /// Converts the MVM's integer conversion counts into joules, in one
+    /// fixed summation order (skipped conversions, then searched-bits
+    /// buckets ascending) so the energy is deterministic and identical
+    /// across the fast, analog, and reference paths.
+    fn finish_energy(&self, stats: &mut MvmStats, scratch: &MvmScratch) {
+        let mut energy = stats.conversions_skipped as f64 * self.spec.cost.skipped_column_energy();
+        for (count, e) in scratch
+            .counts
+            .iter()
+            .zip(&self.plan.energy_by_searched)
+            .skip(1)
+        {
+            energy += *count as f64 * e;
+        }
+        stats.energy = energy;
+    }
+
+    /// Columnar limb-plane gather: the slice-`k` partial sum of active
+    /// row `ai` as one branch-free masked pass over the plan's
+    /// plane-major limbs, accumulated in split 32-bit lanes (no carries
+    /// inside the loop; row degree and popcount keep every lane far
+    /// below overflow) and committed to `raw` with a single
+    /// normalization. Bitwise identical to [`Self::gather_reference`]:
+    /// both compute the same exact integer
+    /// `Σ_present stored + absent·bias`.
+    #[inline]
+    fn gather_columnar(&self, ai: usize, active_words: &[u64], pop: u64, raw: &mut WideInt) {
+        let plan = &self.plan;
+        let start = plan.row_ptr[ai] as usize;
+        let end = plan.row_ptr[ai + 1] as usize;
+        let cnt = end - start;
+        let inputs = &plan.inputs[start..end];
+        let base = start * plan.limbs;
+        let mut lo = [0u64; MAX_STORED_LIMBS];
+        let mut hi = [0u64; MAX_STORED_LIMBS];
+        let mut present = 0u64;
+        if plan.limbs == 2 {
+            let p0 = &plan.planes[base..base + cnt];
+            let p1 = &plan.planes[base + cnt..base + 2 * cnt];
+            for ((&input, &w0), &w1) in inputs.iter().zip(p0).zip(p1) {
+                let bit = active_words[input as usize / 64] >> (input % 64) & 1;
+                let mask = bit.wrapping_neg();
+                present += bit;
+                let w0 = w0 & mask;
+                let w1 = w1 & mask;
+                lo[0] += w0 & 0xFFFF_FFFF;
+                hi[0] += w0 >> 32;
+                lo[1] += w1 & 0xFFFF_FFFF;
+                hi[1] += w1 >> 32;
+            }
+        } else {
+            let p0 = &plan.planes[base..base + cnt];
+            for (&input, &w0) in inputs.iter().zip(p0) {
+                let bit = active_words[input as usize / 64] >> (input % 64) & 1;
+                let mask = bit.wrapping_neg();
+                present += bit;
+                let w0 = w0 & mask;
+                lo[0] += w0 & 0xFFFF_FFFF;
+                hi[0] += w0 >> 32;
+            }
+        }
+        // Absent active inputs each contribute the encoded bias; fold it
+        // into the lanes as one multiply per limb half.
+        let absent = pop - present;
+        let mut limbs_out = [0u64; MAX_STORED_LIMBS + 1];
+        let mut carry: u128 = 0;
+        for l in 0..plan.limbs {
+            let lane_lo = lo[l] + (plan.bias_limbs[l] & 0xFFFF_FFFF) * absent;
+            let lane_hi = hi[l] + (plan.bias_limbs[l] >> 32) * absent;
+            let t = carry + lane_lo as u128 + ((lane_hi as u128) << 32);
+            limbs_out[l] = t as u64;
+            carry = t >> 64;
+        }
+        limbs_out[plan.limbs] = carry as u64;
+        raw.assign_limbs_unsigned(&limbs_out[..plan.limbs + 1]);
+    }
+
+    /// The retained naive per-entry gather (the pre-columnar fast path):
+    /// walks the row's `(input, stored index)` pairs and accumulates
+    /// whole `WideInt` operands. Kept as the property-test oracle for
+    /// [`Self::gather_columnar`].
+    fn gather_reference(&self, r: usize, active_words: &[u64], pop: u64, raw: &mut WideInt) {
+        let mut present_active = 0u64;
+        raw.set_zero();
+        for &(input, idx) in &self.fast_rows[r] {
+            if active_words[input as usize / 64] >> (input % 64) & 1 == 1 {
+                raw.add_shl_assign(&self.stored[idx as usize], 0, false);
+                present_active += 1;
+            }
+        }
+        let absent_active = pop - present_active;
+        if absent_active > 0 {
+            raw.add_shl_assign(&self.bias_multiples[absent_active as usize], 0, false);
+        }
     }
 
     /// Publishes one MVM's event counts to the global telemetry sink.
@@ -846,13 +1114,6 @@ impl Cluster {
         incr(Counter::FaultsDetected, stats.faults_detected);
         incr(Counter::FaultsCorrected, stats.faults_corrected);
     }
-}
-
-/// Bits a headstarted SAR conversion searches (mirrors the crossbar's
-/// per-read computation for the fast path).
-fn headstart_bits(max_possible: u64, resolution: u32) -> u32 {
-    let needed = 64 - max_possible.leading_zeros();
-    needed.clamp(1, resolution)
 }
 
 /// Rounds a word to the nearest multiple of `a` and divides, writing the
@@ -1443,6 +1704,159 @@ mod fast_path_tests {
                     "rtn={rtn} trial={trial}"
                 );
             }
+        }
+    }
+
+    fn pin_block(n: usize) -> Vec<(u16, u16, f64)> {
+        let mut out = Vec::new();
+        for r in 0..n {
+            for c in 0..n {
+                if (r * 7 + c * 3) % 4 != 0 {
+                    let v = ((r * 13 + c * 5) % 19) as f64 * 0.31 - 2.0;
+                    out.push((r as u16, c as u16, v));
+                }
+            }
+        }
+        out
+    }
+
+    fn pin_vector(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (0.4 + i as f64 * 0.17) * (2.0f64).powi((i as i32 % 5) * 3 - 6))
+            .collect()
+    }
+
+    /// Pins the accounting of the columnar kernel and live-row list to
+    /// the exact values the pre-columnar implementation produced
+    /// (captured before the rewrite): integer counters and outputs must
+    /// match bit-for-bit; energy is the same sum in a different
+    /// association order, so it gets a 1e-9 relative window.
+    // The pinned literals are verbatim `{:e}` captures from the old
+    // implementation; keep every digit rather than clippy's shortest
+    // round-trip form.
+    #[allow(clippy::excessive_precision)]
+    #[test]
+    fn accounting_is_pinned_to_pre_columnar_behavior() {
+        let n = 16;
+        let entries = pin_block(n);
+        let x = pin_vector(n);
+        let spec = ClusterSpec {
+            size: n,
+            ..Default::default()
+        };
+        let cluster = Cluster::program(spec, &entries, &mut StdRng::seed_from_u64(5))
+            .unwrap()
+            .cluster;
+        struct Pin {
+            opts: MvmOptions,
+            conversions: u64,
+            skipped: u64,
+            hits: u64,
+            energy: f64,
+        }
+        let pins = [
+            Pin {
+                opts: MvmOptions::default(),
+                conversions: 71020,
+                skipped: 2948,
+                hits: 34788,
+                energy: 1.848905227998426019e-8,
+            },
+            Pin {
+                opts: MvmOptions {
+                    early_termination: false,
+                    ..Default::default()
+                },
+                conversions: 73968,
+                skipped: 0,
+                hits: 37736,
+                energy: 1.871432511998021427e-8,
+            },
+            Pin {
+                opts: MvmOptions {
+                    adc_headstart: false,
+                    ..Default::default()
+                },
+                conversions: 71020,
+                skipped: 2948,
+                hits: 0,
+                energy: 2.151841679996770856e-8,
+            },
+        ];
+        for (i, pin) in pins.iter().enumerate() {
+            let res = cluster
+                .mvm(&x, &pin.opts, &mut StdRng::seed_from_u64(5))
+                .unwrap();
+            assert_eq!(res.conversions, pin.conversions, "case {i}");
+            assert_eq!(res.conversions_skipped, pin.skipped, "case {i}");
+            assert_eq!(res.headstart_hits, pin.hits, "case {i}");
+            assert_eq!((res.slices_used, res.slices_total), (69, 69), "case {i}");
+            assert!(
+                (res.energy - pin.energy).abs() <= 1e-9 * pin.energy,
+                "case {i}: energy {:e} vs pinned {:e}",
+                res.energy,
+                pin.energy
+            );
+            assert_eq!(res.time, 9.200000000000008266e-7, "case {i}");
+            assert_eq!(res.an_corrections, 0, "case {i}");
+            assert_eq!(res.an_detections, 0, "case {i}");
+            assert_eq!(res.y[0], 3.210671562499998544e1, "case {i}");
+            assert_eq!(res.y[7], 1.540747374999999977e2, "case {i}");
+            assert_eq!(res.y[15], -8.647656250000011369e0, "case {i}");
+        }
+    }
+
+    /// The columnar limb-plane gather and the retained per-entry
+    /// reference kernel must agree bit-for-bit — outputs, counters, and
+    /// energy (the accounting is shared, so energy is `==`, not close).
+    #[test]
+    fn columnar_kernel_matches_reference_kernel() {
+        let n = 16;
+        let entries = pin_block(n);
+        let x = pin_vector(n);
+        for (an_enabled, early, headstart) in [
+            (true, true, true),
+            (false, false, true),
+            (true, true, false),
+            (false, true, true),
+        ] {
+            let spec = ClusterSpec {
+                size: n,
+                an_enabled,
+                ..Default::default()
+            };
+            let cluster = Cluster::program(spec, &entries, &mut StdRng::seed_from_u64(5))
+                .unwrap()
+                .cluster;
+            let opts = MvmOptions {
+                early_termination: early,
+                adc_headstart: headstart,
+                ..Default::default()
+            };
+            let mut sc_col = MvmScratch::default();
+            let mut sc_ref = MvmScratch::default();
+            let mut y_col = vec![0.0; n];
+            let mut y_ref = vec![0.0; n];
+            let s_col = cluster
+                .mvm_with(
+                    &x,
+                    &opts,
+                    &mut StdRng::seed_from_u64(7),
+                    &mut sc_col,
+                    &mut y_col,
+                )
+                .unwrap();
+            let s_ref = cluster
+                .mvm_with_reference(
+                    &x,
+                    &opts,
+                    &mut StdRng::seed_from_u64(7),
+                    &mut sc_ref,
+                    &mut y_ref,
+                )
+                .unwrap();
+            assert_eq!(y_col, y_ref, "an={an_enabled} et={early} hs={headstart}");
+            assert_eq!(s_col, s_ref, "an={an_enabled} et={early} hs={headstart}");
         }
     }
 }

@@ -17,6 +17,7 @@
 use memsci_numeric::WideInt;
 use rand::Rng;
 
+use crate::adc::headstart_bits;
 use crate::device::{standard_normal, CellSpec};
 
 /// Error returned when a column's level sum sits exactly on the CIC
@@ -412,11 +413,6 @@ fn sample_cell_error<R: Rng + ?Sized>(cell: &CellSpec, endurance: f64, rng: &mut
     } else {
         sigma * standard_normal(rng)
     }
-}
-
-fn headstart_bits(max_possible: u64, resolution: u32) -> u32 {
-    let needed = 64 - max_possible.leading_zeros();
-    needed.clamp(1, resolution)
 }
 
 /// Splits an encoded operand into base-`2^bits_per_cell` levels, least

@@ -2,7 +2,7 @@
 //! dot products over randomized blocks, vectors, and configurations.
 
 use memsci_numeric::{FloatParts, Rounding, WideInt};
-use memsci_xbar::cluster::{Cluster, ClusterSpec, MvmOptions};
+use memsci_xbar::cluster::{Cluster, ClusterSpec, MvmOptions, MvmScratch};
 use memsci_xbar::schedule::{plan, Policy};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -101,6 +101,58 @@ proptest! {
         prop_assert_eq!(&with.y, &without.y);
         prop_assert!(with.slices_used <= without.slices_used);
         prop_assert!(with.energy <= without.energy + 1e-18);
+    }
+
+    /// The columnar limb-plane gather is bitwise identical to the
+    /// retained per-entry reference kernel: same outputs and exactly
+    /// equal stats (shared accounting, so energy is `==`) across random
+    /// blocks, vector widths, AN on/off, early termination on/off, and
+    /// ADC headstart on/off.
+    #[test]
+    fn columnar_kernel_is_bitwise_identical_to_reference(
+        entries in prop::collection::vec((0u16..16, 0u16..16, small_double()), 1..80),
+        xs in prop::collection::vec(small_double(), 16),
+        an_enabled in any::<bool>(),
+        early_termination in any::<bool>(),
+        adc_headstart in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let mut grid = [[None::<f64>; 16]; 16];
+        for &(r, c, v) in &entries {
+            grid[r as usize][c as usize] = Some(v);
+        }
+        let block: Vec<(u16, u16, f64)> = (0..16)
+            .flat_map(|r| (0..16).filter_map(move |c| grid[r][c].map(|v| (r as u16, c as u16, v))))
+            .collect();
+        prop_assume!(!block.is_empty());
+        let spec = ClusterSpec { size: 16, an_enabled, ..Default::default() };
+        let cluster = Cluster::program(spec, &block, &mut StdRng::seed_from_u64(seed))
+            .unwrap()
+            .cluster;
+        let opts = MvmOptions {
+            early_termination,
+            adc_headstart,
+            collect_row_profile: true,
+            ..Default::default()
+        };
+        let mut sc_col = MvmScratch::default();
+        let mut sc_ref = MvmScratch::default();
+        let mut y_col = vec![0.0; 16];
+        let mut y_ref = vec![0.0; 16];
+        let s_col = cluster
+            .mvm_with(&xs, &opts, &mut StdRng::seed_from_u64(seed), &mut sc_col, &mut y_col)
+            .unwrap();
+        let s_ref = cluster
+            .mvm_with_reference(
+                &xs,
+                &opts,
+                &mut StdRng::seed_from_u64(seed),
+                &mut sc_ref,
+                &mut y_ref,
+            )
+            .unwrap();
+        prop_assert_eq!(y_col, y_ref);
+        prop_assert_eq!(s_col, s_ref);
     }
 
     /// Every schedule covers the required pairs for random shapes.

@@ -1,17 +1,17 @@
 #!/usr/bin/env bash
 # Host-performance benchmark: builds the release binary and regenerates
-# the schema-versioned bench document (default BENCH_PR9.json at the
+# the schema-versioned bench document (default BENCH_PR10.json at the
 # repo root; override with BENCH_OUT or --out). Wall-clock numbers are
 # machine-dependent; the committed document records the shape, the
-# speedup vs the embedded baseline, the multi-RHS amortization, and
-# the cached-operator concurrency section.
+# speedup vs the embedded baseline, the multi-RHS amortization, the
+# cached-operator concurrency section, and the 20-matrix suite sweep.
 #
 # Usage: BENCH_OUT=FILE scripts/bench.sh [--smoke] [--iters N]
-#                                        [--rhs K1,K2,..] [--out FILE]
+#                                        [--rhs K1,K2,..] [--matrix M1,M2,..] [--out FILE]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCH_OUT="${BENCH_OUT:-BENCH_PR9.json}"
+BENCH_OUT="${BENCH_OUT:-BENCH_PR10.json}"
 
 cargo build --release --offline -p memsci-bench --bin repro
 # Flags parse left to right, so a user-supplied --out in "$@" overrides

@@ -49,14 +49,15 @@ echo "== bench smoke =="
 [ -f BENCH_PR5.json ] && ./target/release/repro bench --validate BENCH_PR5.json
 [ -f BENCH_PR6.json ] && ./target/release/repro bench --validate BENCH_PR6.json
 [ -f BENCH_PR9.json ] && ./target/release/repro bench --validate BENCH_PR9.json
+[ -f BENCH_PR10.json ] && ./target/release/repro bench --validate BENCH_PR10.json
 
 echo "== bench regression gate =="
 # Perf-regression compare: the fresh smoke document must not be slower
 # than the committed baseline beyond a generous host-variance
 # tolerance (ratio ceiling 1 + tolerance). A nonzero exit here is the
 # gate firing.
-[ -f BENCH_PR9.json ] && ./target/release/repro bench \
-    --compare BENCH_PR9.json target/tmp/check-bench.json --tolerance 3.0
+[ -f BENCH_PR10.json ] && ./target/release/repro bench \
+    --compare BENCH_PR10.json target/tmp/check-bench.json --tolerance 3.0
 
 echo "== concurrent identity smoke =="
 # The service layer promises k concurrent solves of one cached operator
